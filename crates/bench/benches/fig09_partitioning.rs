@@ -1,0 +1,72 @@
+//! Fig 9 micro-benchmarks: the random-balanced partitioner and the
+//! per-stage inference costs that drive the partitioning experiment.
+//!
+//! The paper-style table itself is produced by
+//! `cargo run -p mvtee-bench --bin experiments -- fig9`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+use mvtee_partition::Partitioner;
+use mvtee_runtime::{Engine, EngineConfig, EngineKind};
+use mvtee_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_random_contraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9/random_contraction");
+    group.sample_size(10);
+    for kind in [ModelKind::ResNet50, ModelKind::GoogleNet, ModelKind::MnasNet] {
+        let model = zoo::build(kind, ScaleProfile::Test, 1).expect("builds");
+        for target in [2usize, 5, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.display_name().to_string(), target),
+                &target,
+                |b, &t| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        black_box(
+                            Partitioner::new(t).partition(&model.graph, seed).expect("partitions"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_stagewise_vs_whole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9/inference");
+    group.sample_size(10);
+    let model = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 1).expect("builds");
+    let input = Tensor::ones(model.input_shape.dims());
+    let engine = Engine::new(EngineConfig::of_kind(EngineKind::OrtLike));
+
+    let whole = engine.prepare(&model.graph).expect("prepares");
+    group.bench_function("whole_model", |b| {
+        b.iter(|| black_box(whole.run(std::slice::from_ref(&input)).expect("runs")))
+    });
+
+    let set = Partitioner::new(5).partition_best_of(&model.graph, 1, 3).expect("partitions");
+    let subgraphs = set.extract_subgraphs(&model.graph).expect("extracts");
+    let stages: Vec<_> =
+        subgraphs.iter().map(|g| engine.prepare(g).expect("prepares")).collect();
+    group.bench_function("5_partition_chain", |b| {
+        b.iter(|| {
+            let mut env = std::collections::HashMap::new();
+            env.insert(model.graph.inputs()[0], input.clone());
+            for (plan, stage) in set.stages.iter().zip(stages.iter()) {
+                let ins: Vec<Tensor> = plan.inputs.iter().map(|v| env[v].clone()).collect();
+                let outs = stage.run(&ins).expect("runs");
+                for (v, t) in plan.outputs.iter().zip(outs) {
+                    env.insert(*v, t);
+                }
+            }
+            black_box(env)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_contraction, bench_stagewise_vs_whole);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Fig 10 micro-benchmarks: the cryptographic and checkpoint-verification
+//! costs behind the encryption/checkpointing overhead experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mvtee::voting::{evaluate, VariantOutput};
+use mvtee::VotingPolicy;
+use mvtee_crypto::gcm::AesGcm;
+use mvtee_tensor::metrics::Metric;
+use mvtee_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_aes_gcm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10/aes_gcm_256");
+    group.sample_size(20);
+    let cipher = AesGcm::new_256(&[7u8; 32]);
+    // Checkpoint payload sizes observed at bench scale: 16 KiB – 1 MiB.
+    for size in [16 * 1024usize, 128 * 1024, 1024 * 1024] {
+        let payload = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("seal", size), &payload, |b, p| {
+            b.iter(|| black_box(cipher.seal(&[0u8; 12], p, b"aad")))
+        });
+        let sealed = cipher.seal(&[0u8; 12], &payload, b"aad");
+        group.bench_with_input(BenchmarkId::new("open", size), &sealed, |b, s| {
+            b.iter(|| black_box(cipher.open(&[0u8; 12], s, b"aad").expect("authentic")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_checkpoint_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10/checkpoint_verify");
+    group.sample_size(20);
+    for elems in [4096usize, 65_536] {
+        let base: Vec<f32> = (0..elems).map(|i| (i as f32).sin()).collect();
+        let outputs: Vec<VariantOutput> = (0..3)
+            .map(|v| {
+                let t = Tensor::from_vec(
+                    base.iter().map(|x| x + v as f32 * 1e-7).collect(),
+                    &[1, elems],
+                )
+                .expect("consistent");
+                VariantOutput::Ok(vec![t])
+            })
+            .collect();
+        group.throughput(Throughput::Elements(elems as u64));
+        group.bench_with_input(BenchmarkId::new("3_variants", elems), &outputs, |b, o| {
+            b.iter(|| black_box(evaluate(o, Metric::relaxed(), VotingPolicy::Unanimous)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_payload_serialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10/payload_codec");
+    group.sample_size(20);
+    let tensor = Tensor::ones(&[1, 64, 32, 32]);
+    let msg = mvtee::messages::StageRequest::Input { batch: 0, tensors: vec![tensor] };
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(mvtee::messages::encode(&msg).expect("encodes")))
+    });
+    let bytes = mvtee::messages::encode(&msg).expect("encodes");
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            black_box(
+                mvtee::messages::decode::<mvtee::messages::StageRequest>(&bytes)
+                    .expect("decodes"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aes_gcm,
+    bench_checkpoint_verification,
+    bench_payload_serialization
+);
+criterion_main!(benches);

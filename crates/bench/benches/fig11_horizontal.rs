@@ -1,0 +1,55 @@
+//! Fig 11 benchmarks: horizontal variant scaling — the cost of measuring
+//! and composing 1/3/5-variant MVX configurations on the selective
+//! partition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvtee::config::MvxConfig;
+use mvtee_bench::costs::measure;
+use mvtee_bench::sim::{simulate, Composition, SyncMode};
+use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_horizontal_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11/horizontal");
+    group.sample_size(10);
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 1).expect("builds");
+    for variants in [1usize, 3, 5] {
+        let cfg = MvxConfig::selective(5, &[2], variants);
+        let measured = measure(&model, &cfg, &HashMap::new());
+        group.bench_with_input(
+            BenchmarkId::new("pipelined_composition", variants),
+            &measured,
+            |b, m| {
+                b.iter(|| {
+                    black_box(simulate(m, 32, Composition::Pipelined, SyncMode::Sync, 0.05, 1))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_variant_replication_cost(c: &mut Criterion) {
+    // The real monitor-side cost of dispatching to N variants: sealing the
+    // same checkpoint payload N times.
+    let mut group = c.benchmark_group("fig11/monitor_dispatch");
+    group.sample_size(20);
+    let cipher = mvtee_crypto::gcm::AesGcm::new_256(&[1u8; 32]);
+    let payload = vec![0x5au8; 64 * 1024];
+    for variants in [1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::new("seal_n", variants), &variants, |b, &n| {
+            b.iter(|| {
+                for i in 0..n {
+                    let mut nonce = [0u8; 12];
+                    nonce[0] = i as u8;
+                    black_box(cipher.seal(&nonce, &payload, b"aad"));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_horizontal_scaling, bench_variant_replication_cost);
+criterion_main!(benches);

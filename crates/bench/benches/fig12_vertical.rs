@@ -1,0 +1,55 @@
+//! Fig 12 benchmarks: vertical variant scaling — cost of MVX on 1, 3 or
+//! all 5 partitions (3 variants each), end to end through the real
+//! deployment in sequential mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvtee::config::MvxConfig;
+use mvtee::prelude::*;
+use mvtee_bench::costs::{measure, model_input};
+use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_vertical_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12/measure_config");
+    group.sample_size(10);
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 1).expect("builds");
+    let configs: [(&str, Vec<usize>); 3] =
+        [("1mvx", vec![2]), ("3mvx", vec![2, 3, 4]), ("5mvx", vec![0, 1, 2, 3, 4])];
+    for (label, parts) in configs {
+        let cfg = MvxConfig::selective(5, &parts, 3);
+        group.bench_with_input(BenchmarkId::new("measure", label), &cfg, |b, cfg| {
+            b.iter(|| black_box(measure(&model, cfg, &HashMap::new())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_real_sequential_inference(c: &mut Criterion) {
+    // The genuine threaded system, sequential mode (valid on any core
+    // count): fast path vs 1-MVX vs 3-MVX.
+    let mut group = c.benchmark_group("fig12/real_sequential");
+    group.sample_size(10);
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 1).expect("builds");
+    let input = model_input(&model);
+    let configs: [(&str, Vec<usize>); 3] = [("0mvx", vec![]), ("1mvx", vec![1]), ("3mvx", vec![0, 1, 2])];
+    for (label, parts) in configs {
+        let mut d = Deployment::builder(model.clone())
+            .partitions(3)
+            .config({
+                let mut cfg = MvxConfig::selective(3, &parts, 3);
+                cfg.partition_seed = 0x5eed;
+                cfg
+            })
+            .build()
+            .expect("deploys");
+        group.bench_function(BenchmarkId::new("infer", label), |b| {
+            b.iter(|| black_box(d.infer(&input).expect("infers")))
+        });
+        d.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vertical_measurement, bench_real_sequential_inference);
+criterion_main!(benches);

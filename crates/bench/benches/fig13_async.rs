@@ -1,0 +1,67 @@
+//! Fig 13 benchmarks: synchronous vs asynchronous cross-validation with a
+//! lagging complex-schedule TVM variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvtee::config::{ExecMode, MvxConfig};
+use mvtee::prelude::*;
+use mvtee_bench::costs::{measure, model_input};
+use mvtee_bench::sim::{simulate, Composition, SyncMode};
+use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+use mvtee_runtime::EngineConfig;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn lagging_measured(model: &mvtee_graph::zoo::Model) -> mvtee_bench::costs::MeasuredConfig {
+    let cfg = MvxConfig::selective_diversified(5, &[1, 2], 3);
+    let mut overrides = HashMap::new();
+    overrides.insert((1usize, 2usize), EngineConfig::tvm_complex());
+    overrides.insert((2usize, 2usize), EngineConfig::tvm_complex());
+    measure(model, &cfg, &overrides)
+}
+
+fn bench_sync_vs_async_composition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13/composition");
+    group.sample_size(20);
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 1).expect("builds");
+    let measured = lagging_measured(&model);
+    for (label, mode) in
+        [("sync", SyncMode::Sync), ("async", SyncMode::AsyncCrossValidation)]
+    {
+        group.bench_with_input(BenchmarkId::new("sequential", label), &mode, |b, &m| {
+            b.iter(|| black_box(simulate(&measured, 32, Composition::Sequential, m, 0.05, 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("pipelined", label), &mode, |b, &m| {
+            b.iter(|| black_box(simulate(&measured, 32, Composition::Pipelined, m, 0.05, 1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_real_async_deployment(c: &mut Criterion) {
+    // Real threaded system: sequential inference with a lagging variant,
+    // sync vs async cross-validation.
+    let mut group = c.benchmark_group("fig13/real_sequential");
+    group.sample_size(10);
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 1).expect("builds");
+    let input = model_input(&model);
+    for (label, mode) in
+        [("sync", ExecMode::Sync), ("async", ExecMode::AsyncCrossValidation)]
+    {
+        let mut d = Deployment::builder(model.clone())
+            .partitions(3)
+            .mvx_on_partition(1, 3)
+            .slow_tvm_on(1)
+            .exec_mode(mode)
+            .voting(VotingPolicy::Majority)
+            .build()
+            .expect("deploys");
+        group.bench_function(BenchmarkId::new("infer", label), |b| {
+            b.iter(|| black_box(d.infer(&input).expect("infers")))
+        });
+        d.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync_vs_async_composition, bench_real_async_deployment);
+criterion_main!(benches);

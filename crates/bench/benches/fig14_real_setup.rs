@@ -1,0 +1,69 @@
+//! Fig 14 benchmarks: the real-setup configuration — diversified ORT/TVM
+//! variants with multi-level diversification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvtee_diversify::spec::spread_specs;
+use mvtee_diversify::VariantGenerator;
+use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+use mvtee_partition::Partitioner;
+use mvtee_runtime::Engine;
+use mvtee_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_variant_materialisation(c: &mut Criterion) {
+    // The offline tool's hot loop: transform + prepare one diversified
+    // variant per spec family.
+    let mut group = c.benchmark_group("fig14/materialise_variant");
+    group.sample_size(10);
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 1).expect("builds");
+    let set = Partitioner::new(5).partition_best_of(&model.graph, 1, 3).expect("partitions");
+    let subgraphs = set.extract_subgraphs(&model.graph).expect("extracts");
+    let generator = VariantGenerator::new(1);
+    let specs = spread_specs(3, 1);
+    for (i, spec) in specs.iter().enumerate() {
+        group.bench_with_input(BenchmarkId::new("spec", i), spec, |b, s| {
+            b.iter(|| black_box(generator.materialize(&subgraphs[2], 2, s).expect("materialises")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_diversified_variant_inference(c: &mut Criterion) {
+    // Per-variant inference cost across the diversified panel of the
+    // real-setup experiment (the spread of these times is what async
+    // cross-validation exploits).
+    let mut group = c.benchmark_group("fig14/variant_inference");
+    group.sample_size(10);
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 1).expect("builds");
+    let set = Partitioner::new(5).partition_best_of(&model.graph, 1, 3).expect("partitions");
+    let subgraphs = set.extract_subgraphs(&model.graph).expect("extracts");
+    let generator = VariantGenerator::new(1);
+
+    // Boundary input for partition 2 via the reference chain.
+    let engine = Engine::new(mvtee_runtime::EngineConfig::of_kind(
+        mvtee_runtime::EngineKind::OrtLike,
+    ));
+    let mut env = std::collections::HashMap::new();
+    env.insert(model.graph.inputs()[0], Tensor::ones(model.input_shape.dims()));
+    for (plan, sub) in set.stages.iter().zip(subgraphs.iter()).take(2) {
+        let ins: Vec<Tensor> = plan.inputs.iter().map(|v| env[v].clone()).collect();
+        let outs = engine.prepare(sub).expect("prepares").run(&ins).expect("runs");
+        for (v, t) in plan.outputs.iter().zip(outs) {
+            env.insert(*v, t);
+        }
+    }
+    let stage_inputs: Vec<Tensor> =
+        set.stages[2].inputs.iter().map(|v| env[v].clone()).collect();
+
+    for (i, spec) in spread_specs(3, 1).iter().enumerate() {
+        let bundle = generator.materialize(&subgraphs[2], 2, spec).expect("materialises");
+        let prepared = Engine::new(spec.engine.clone()).prepare(&bundle.graph).expect("prepares");
+        group.bench_function(BenchmarkId::new("variant", i), |b| {
+            b.iter(|| black_box(prepared.run(&stage_inputs).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variant_materialisation, bench_diversified_variant_inference);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Table 1 benchmarks: the cost of the exploit-detection machinery — the
+//! instrumented exploit path, the checkpoint evaluation that catches it,
+//! and a full real-system detection round trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvtee::prelude::*;
+use mvtee::voting::{evaluate, VariantOutput};
+use mvtee_faults::{Attack, CveClass};
+use mvtee_diversify::VariantSpec;
+use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+use mvtee_runtime::{Engine, EngineConfig, EngineKind};
+use mvtee_tensor::metrics::Metric;
+use mvtee_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_exploited_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/exploited_inference");
+    group.sample_size(10);
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 1).expect("builds");
+    let input = Tensor::ones(model.input_shape.dims());
+    let spec = VariantSpec::replicated(0, EngineKind::OrtLike);
+    for class in [CveClass::Oob, CveClass::Io, CveClass::Fpe] {
+        let prepared = Engine::new(EngineConfig::of_kind(EngineKind::OrtLike))
+            .prepare(&model.graph)
+            .expect("prepares");
+        let attacked = Attack::new(class).instrument(prepared, &spec);
+        group.bench_function(BenchmarkId::new("class", class.to_string()), |b| {
+            b.iter(|| black_box(attacked.run(std::slice::from_ref(&input)).expect("corrupts")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_divergence_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/divergence_evaluation");
+    group.sample_size(20);
+    // A healthy/corrupted output pair as produced by a real OOB exploit.
+    let healthy = Tensor::from_vec((0..4096).map(|i| (i as f32).cos()).collect(), &[1, 4096])
+        .expect("consistent");
+    let mut corrupted = healthy.clone();
+    for v in corrupted.data_mut().iter_mut().take(1024) {
+        *v = 999.0;
+    }
+    let outputs = [
+        VariantOutput::Ok(vec![healthy.clone()]),
+        VariantOutput::Ok(vec![corrupted]),
+    ];
+    group.bench_function("detect_corruption", |b| {
+        b.iter(|| black_box(evaluate(&outputs, Metric::relaxed(), VotingPolicy::Unanimous)))
+    });
+    let agreeing = [
+        VariantOutput::Ok(vec![healthy.clone()]),
+        VariantOutput::Ok(vec![healthy.clone()]),
+    ];
+    group.bench_function("pass_benign", |b| {
+        b.iter(|| black_box(evaluate(&agreeing, Metric::relaxed(), VotingPolicy::Unanimous)))
+    });
+    group.finish();
+}
+
+fn bench_full_detection_round_trip(c: &mut Criterion) {
+    // One inference through the real system with an active exploit: the
+    // detection latency the monitor pays end to end.
+    let mut group = c.benchmark_group("table1/real_detection");
+    group.sample_size(10);
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 1).expect("builds");
+    let input = Tensor::ones(model.input_shape.dims());
+    let mut d = Deployment::builder(model)
+        .partitions(2)
+        .mvx_on_partition(1, 2)
+        .engine_override(1, 1, EngineConfig::of_kind(EngineKind::TvmLike))
+        .response(ResponsePolicy::ContinueWithMajority)
+        .voting(VotingPolicy::Majority)
+        .attack(Attack::new(CveClass::Io))
+        .build()
+        .expect("deploys");
+    group.bench_function("detect_and_continue", |b| {
+        b.iter(|| black_box(d.infer(&input)))
+    });
+    assert!(d.events().detection_count() > 0, "exploit must have been detected");
+    d.shutdown();
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exploited_inference,
+    bench_divergence_evaluation,
+    bench_full_detection_round_trip
+);
+criterion_main!(benches);

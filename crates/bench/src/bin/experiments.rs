@@ -1,0 +1,99 @@
+//! The MVTEE experiment harness: regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! ```text
+//! experiments [--quick] [--markdown] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]
+//! ```
+//!
+//! * `--quick` — Test-scale models and a subset (CI smoke).
+//! * `--markdown` — emit GitHub-markdown tables (for `EXPERIMENTS.md`).
+//! * default experiment selection: `all`.
+
+use mvtee_bench::experiments::{
+    ablation_metric, ablation_weight_fn, fig10, fig11, fig12, fig13, fig14, fig9,
+    security_faults, table1, Settings,
+};
+use mvtee_bench::table::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: experiments [--quick] [--markdown] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]"
+        );
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    const KNOWN: [&str; 10] = [
+        "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "table1", "security",
+        "ablation", "all",
+    ];
+    if let Some(unknown) = selected.iter().find(|s| !KNOWN.contains(s)) {
+        eprintln!("error: unknown experiment '{unknown}' (expected one of {KNOWN:?})");
+        std::process::exit(2);
+    }
+    let settings = if quick { Settings::quick() } else { Settings::full() };
+    let run_all = selected.is_empty() || selected.contains(&"all");
+    let want = |name: &str| run_all || selected.contains(&name);
+
+    eprintln!(
+        "# MVTEE experiments ({} scale, models: {:?}, {} batches/stream)",
+        if quick { "test" } else { "bench" },
+        settings.models.iter().map(|m| m.display_name()).collect::<Vec<_>>(),
+        settings.batches,
+    );
+    eprintln!("# methodology: measured component costs composed by a calibrated pipeline model;");
+    eprintln!("# Table 1 and the security experiments run the real threaded system.\n");
+
+    let mut tables: Vec<Table> = Vec::new();
+    if want("fig9") {
+        eprintln!("running fig9 …");
+        tables.push(fig9(&settings));
+    }
+    if want("fig10") {
+        eprintln!("running fig10 …");
+        tables.push(fig10(&settings));
+    }
+    if want("fig11") {
+        eprintln!("running fig11 …");
+        tables.push(fig11(&settings));
+    }
+    if want("fig12") {
+        eprintln!("running fig12 …");
+        tables.push(fig12(&settings));
+    }
+    if want("fig13") {
+        eprintln!("running fig13 …");
+        tables.push(fig13(&settings));
+    }
+    if want("fig14") {
+        eprintln!("running fig14 …");
+        tables.push(fig14(&settings));
+    }
+    if want("table1") {
+        eprintln!("running table1 …");
+        tables.push(table1(&settings));
+    }
+    if want("security") {
+        eprintln!("running security …");
+        tables.push(security_faults(&settings));
+    }
+    if want("ablation") {
+        eprintln!("running ablations …");
+        tables.push(ablation_weight_fn(&settings));
+        tables.push(ablation_metric(&settings));
+    }
+    for t in &tables {
+        if markdown {
+            println!("{}", t.render_markdown());
+        } else {
+            println!("{}", t.render());
+        }
+    }
+}

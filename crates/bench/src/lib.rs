@@ -1,0 +1,33 @@
+//! The MVTEE benchmark harness: regenerates every table and figure of the
+//! paper's evaluation (§6).
+//!
+//! # Methodology
+//!
+//! The paper's testbed is a dual-socket 72-core Xeon; this reproduction
+//! runs on whatever machine builds it (often a single core), where genuine
+//! multi-core pipeline parallelism is unavailable. The harness therefore
+//! separates *measurement* from *composition*:
+//!
+//! * [`costs`] measures every cost component **for real** through the real
+//!   code paths — per-stage per-variant inference times on the diversified
+//!   engines, AES-GCM-256 seal/open of the actual checkpoint payload
+//!   bytes, serialization, and consistency-metric evaluation;
+//! * [`sim`] composes those measured costs with a discrete-event pipeline
+//!   simulator under the paper's resource model (each TEE on its own
+//!   core, the monitor's coordinator a serial resource per stage), with
+//!   per-batch jitter, for sequential and pipelined execution in sync and
+//!   async cross-validation modes.
+//!
+//! Functional and security experiments (Table 1, fault injection, the
+//! attested bootstrap) always run the **real threaded system** from the
+//! `mvtee` crate.
+//!
+//! Run `cargo run --release -p mvtee-bench --bin experiments -- --help`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod experiments;
+pub mod sim;
+pub mod table;

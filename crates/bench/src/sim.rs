@@ -1,0 +1,308 @@
+//! Discrete-event composition of measured costs under the paper's
+//! resource model.
+//!
+//! Resources: per stage, one *coordinator* (serial — it seals inputs,
+//! opens outputs, verifies) inside the multithreaded monitor, and one core
+//! per variant TEE. Batches flow FIFO. Sequential execution submits a
+//! batch only after the previous one fully completes; pipelined execution
+//! submits the whole stream at time zero so stages overlap.
+//!
+//! Sync mode forwards a batch when *all* variant outputs are opened and
+//! verified; async cross-validation forwards at majority quorum, with the
+//! straggler's open/validate work consuming coordinator time after the
+//! forward (Fig 8).
+//!
+//! Per-batch jitter models run-to-run variation: each service time is
+//! multiplied by `1 + U(-j, +j)` from a deterministic RNG.
+
+use crate::costs::{MeasuredConfig, StageCosts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Execution composition mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Composition {
+    /// One batch at a time, end to end.
+    Sequential,
+    /// All batches streamed; stages overlap.
+    Pipelined,
+}
+
+/// Checkpoint synchronisation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Wait for every variant.
+    Sync,
+    /// Forward at majority quorum; validate stragglers late.
+    AsyncCrossValidation,
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Total wall-clock of the stream (seconds).
+    pub makespan: f64,
+    /// Throughput in batches/second.
+    pub throughput: f64,
+    /// Mean per-batch latency (sequential: submission→completion;
+    /// pipelined: mean completion interval, the paper's streaming-latency
+    /// semantics).
+    pub latency: f64,
+}
+
+/// Simulates `batches` through the measured stages.
+///
+/// # Panics
+///
+/// Panics if `measured.stages` is empty.
+pub fn simulate(
+    measured: &MeasuredConfig,
+    batches: usize,
+    composition: Composition,
+    sync: SyncMode,
+    jitter: f64,
+    seed: u64,
+) -> SimResult {
+    assert!(!measured.stages.is_empty(), "at least one stage required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stages = &measured.stages;
+    let n_stages = stages.len();
+
+    // Resource next-free times.
+    let mut coord_free = vec![0.0f64; n_stages];
+    let mut variant_free: Vec<Vec<f64>> =
+        stages.iter().map(|s| vec![0.0; s.variant_compute.len()]).collect();
+
+    let mut completions = Vec::with_capacity(batches);
+    let mut prev_completion = 0.0f64;
+
+    for _b in 0..batches {
+        let submit = match composition {
+            Composition::Sequential => prev_completion,
+            Composition::Pipelined => 0.0,
+        };
+        let mut arrive = submit;
+        for (i, stage) in stages.iter().enumerate() {
+            arrive = simulate_stage(
+                stage,
+                arrive,
+                &mut coord_free[i],
+                &mut variant_free[i],
+                sync,
+                jitter,
+                &mut rng,
+            );
+        }
+        completions.push((submit, arrive));
+        prev_completion = arrive;
+    }
+
+    let makespan = completions.last().map(|&(_, c)| c).unwrap_or(0.0);
+    let throughput = if makespan > 0.0 { batches as f64 / makespan } else { 0.0 };
+    let latency = match composition {
+        Composition::Sequential => {
+            completions.iter().map(|&(s, c)| c - s).sum::<f64>() / batches.max(1) as f64
+        }
+        Composition::Pipelined => {
+            // Mean completion interval (streaming latency).
+            if throughput > 0.0 {
+                1.0 / throughput
+            } else {
+                0.0
+            }
+        }
+    };
+    SimResult { makespan, throughput, latency }
+}
+
+fn jittered(mean: f64, jitter: f64, rng: &mut StdRng) -> f64 {
+    if jitter <= 0.0 || mean <= 0.0 {
+        return mean;
+    }
+    mean * (1.0 + rng.gen_range(-jitter..jitter))
+}
+
+/// Advances one batch through one stage; returns its forward time.
+fn simulate_stage(
+    stage: &StageCosts,
+    arrive: f64,
+    coord_free: &mut f64,
+    variant_free: &mut [f64],
+    sync: SyncMode,
+    jitter: f64,
+    rng: &mut StdRng,
+) -> f64 {
+    let n = stage.variant_compute.len();
+    // Coordinator seals and dispatches the input to each variant serially.
+    let start = arrive.max(*coord_free);
+    let mut dispatch = Vec::with_capacity(n);
+    let mut t = start;
+    for _ in 0..n {
+        t += jittered(stage.monitor_seal_in, jitter, rng);
+        dispatch.push(t);
+    }
+    // Variants compute in parallel (one core each).
+    let mut outputs: Vec<f64> = (0..n)
+        .map(|v| {
+            let begin = dispatch[v].max(variant_free[v]);
+            let service = jittered(
+                stage.variant_crypto + stage.variant_compute[v],
+                jitter,
+                rng,
+            );
+            let done = begin + service;
+            variant_free[v] = done;
+            done
+        })
+        .collect();
+    outputs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+
+    // Coordinator opens outputs in arrival order.
+    let quorum = n / 2 + 1;
+    let (wait_until, late_count) = match sync {
+        SyncMode::Sync => (n, 0),
+        SyncMode::AsyncCrossValidation if stage.slow && n > 1 => (quorum, n - quorum),
+        SyncMode::AsyncCrossValidation => (n, 0),
+    };
+    let mut c = t;
+    for &out in outputs.iter().take(wait_until) {
+        c = c.max(out) + jittered(stage.monitor_open_out, jitter, rng);
+    }
+    if stage.slow {
+        c += jittered(stage.verify, jitter, rng);
+    }
+    let forward = c;
+    // Straggler handling consumes coordinator time after the forward.
+    let mut busy_until = forward;
+    for &out in outputs.iter().skip(wait_until).take(late_count) {
+        busy_until = busy_until.max(out) + jittered(stage.monitor_open_out, jitter, rng);
+    }
+    *coord_free = busy_until;
+    forward
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::StageCosts;
+    use mvtee_partition::PartitionSet;
+
+    fn fake_stage(computes: Vec<f64>, slow: bool) -> StageCosts {
+        StageCosts {
+            partition: 0,
+            raw_seal_in: 0.001,
+            raw_open_out: 0.001,
+            raw_variant_crypto: 0.001,
+            raw_verify: if slow { 0.002 } else { 0.0 },
+            variant_compute: computes,
+            monitor_seal_in: 0.001,
+            monitor_open_out: 0.001,
+            variant_crypto: 0.001,
+            verify: if slow { 0.002 } else { 0.0 },
+            slow,
+            payload_in_bytes: 1000,
+            payload_out_bytes: 1000,
+        }
+    }
+
+    fn fake_measured(stages: Vec<StageCosts>) -> MeasuredConfig {
+        MeasuredConfig {
+            model: "fake".into(),
+            baseline: stages.iter().map(|s| s.variant_compute[0]).sum(),
+            stages,
+            partition_set: PartitionSet { seed: 0, stages: vec![] },
+        }
+    }
+
+    #[test]
+    fn pipelined_beats_sequential_on_balanced_stages() {
+        let m = fake_measured(vec![
+            fake_stage(vec![0.01], false),
+            fake_stage(vec![0.01], false),
+            fake_stage(vec![0.01], false),
+            fake_stage(vec![0.01], false),
+        ]);
+        let seq = simulate(&m, 32, Composition::Sequential, SyncMode::Sync, 0.0, 1);
+        let pipe = simulate(&m, 32, Composition::Pipelined, SyncMode::Sync, 0.0, 1);
+        assert!(
+            pipe.throughput > 2.5 * seq.throughput,
+            "pipe {} vs seq {}",
+            pipe.throughput,
+            seq.throughput
+        );
+        assert!(pipe.latency < seq.latency);
+    }
+
+    #[test]
+    fn bottleneck_stage_limits_pipeline() {
+        let m = fake_measured(vec![
+            fake_stage(vec![0.001], false),
+            fake_stage(vec![0.02], false), // bottleneck
+            fake_stage(vec![0.001], false),
+        ]);
+        let pipe = simulate(&m, 64, Composition::Pipelined, SyncMode::Sync, 0.0, 1);
+        // Steady-state interval ≈ bottleneck service (+ small crypto).
+        assert!((pipe.latency - 0.022).abs() < 0.005, "latency {}", pipe.latency);
+    }
+
+    #[test]
+    fn sync_waits_for_slowest_variant() {
+        let fast = fake_measured(vec![fake_stage(vec![0.01, 0.01, 0.01], true)]);
+        let lag = fake_measured(vec![fake_stage(vec![0.01, 0.01, 0.05], true)]);
+        let f = simulate(&fast, 16, Composition::Sequential, SyncMode::Sync, 0.0, 1);
+        let l = simulate(&lag, 16, Composition::Sequential, SyncMode::Sync, 0.0, 1);
+        assert!(l.latency > f.latency + 0.03);
+    }
+
+    #[test]
+    fn async_hides_the_laggard_in_sequential() {
+        let lag = fake_measured(vec![
+            fake_stage(vec![0.01, 0.01, 0.05], true),
+            fake_stage(vec![0.01], false),
+        ]);
+        let sync = simulate(&lag, 16, Composition::Sequential, SyncMode::Sync, 0.0, 1);
+        let asynch = simulate(
+            &lag,
+            16,
+            Composition::Sequential,
+            SyncMode::AsyncCrossValidation,
+            0.0,
+            1,
+        );
+        assert!(
+            asynch.latency < sync.latency * 0.8,
+            "async {} vs sync {}",
+            asynch.latency,
+            sync.latency
+        );
+        assert!(asynch.throughput > sync.throughput);
+    }
+
+    #[test]
+    fn async_on_fast_path_changes_nothing() {
+        let m = fake_measured(vec![fake_stage(vec![0.01], false)]);
+        let a = simulate(&m, 8, Composition::Sequential, SyncMode::AsyncCrossValidation, 0.0, 1);
+        let s = simulate(&m, 8, Composition::Sequential, SyncMode::Sync, 0.0, 1);
+        assert!((a.latency - s.latency).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_by_seed() {
+        let m = fake_measured(vec![fake_stage(vec![0.01, 0.012], true)]);
+        let a = simulate(&m, 8, Composition::Pipelined, SyncMode::Sync, 0.1, 7);
+        let b = simulate(&m, 8, Composition::Pipelined, SyncMode::Sync, 0.1, 7);
+        assert_eq!(a.makespan, b.makespan);
+        let c = simulate(&m, 8, Composition::Pipelined, SyncMode::Sync, 0.1, 8);
+        assert_ne!(a.makespan, c.makespan);
+    }
+
+    #[test]
+    fn throughput_latency_consistency() {
+        let m = fake_measured(vec![fake_stage(vec![0.005], false); 3]);
+        let seq = simulate(&m, 10, Composition::Sequential, SyncMode::Sync, 0.0, 1);
+        // Sequential: throughput == 1/latency.
+        assert!((seq.throughput * seq.latency - 1.0).abs() < 1e-6);
+        let pipe = simulate(&m, 100, Composition::Pipelined, SyncMode::Sync, 0.0, 1);
+        assert!((pipe.throughput * pipe.latency - 1.0).abs() < 1e-6);
+    }
+}

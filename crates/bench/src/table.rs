@@ -1,0 +1,132 @@
+//! Plain-text table rendering for the experiment harness.
+
+/// A rendered experiment table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                line.push_str(&format!("{cell:<w$}  "));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + widths.len() * 2));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as GitHub markdown (for `EXPERIMENTS.md`).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\n### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats a ratio like `1.73x`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a percentage like `+12.3%` / `-45.6%`.
+pub fn pct(v: f64) -> String {
+    format!("{:+.1}%", v * 100.0)
+}
+
+/// Formats seconds as milliseconds.
+pub fn ms(v: f64) -> String {
+    format!("{:.2}ms", v * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_text() {
+        let mut t = Table::new("Demo", &["model", "thr"]);
+        t.row(vec!["ResNet-50".into(), "1.25x".into()]);
+        t.row(vec!["x".into(), "0.90x".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("ResNet-50"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("MD", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render_markdown();
+        assert!(s.contains("| a | b |"));
+        assert!(s.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(1.732), "1.73x");
+        assert_eq!(pct(0.123), "+12.3%");
+        assert_eq!(pct(-0.5), "-50.0%");
+        assert_eq!(ms(0.00123), "1.23ms");
+    }
+}

@@ -1,0 +1,779 @@
+#![forbid(unsafe_code)]
+//! A minimal, non-self-describing binary serde format for MVTEE.
+//!
+//! The approved dependency set includes `serde` but no serialisation
+//! format crate, so variant bundles (and the TEE substrate's sealed
+//! payloads) use this compact little-endian encoding. It supports exactly
+//! the data model the workspace's types need — integers, floats, strings,
+//! bytes, options, sequences, maps, tuples, structs and enums — and is
+//! intentionally *not* self-describing (`deserialize_any` is unsupported),
+//! like `bincode`/`postcard`.
+
+use serde::de::{DeserializeOwned, DeserializeSeed, EnumAccess, MapAccess, SeqAccess, VariantAccess, Visitor};
+use serde::ser::{
+    SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant, SerializeTuple,
+    SerializeTupleStruct, SerializeTupleVariant,
+};
+use serde::Serialize;
+use std::fmt;
+
+/// Serialisation/deserialisation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl serde::ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+impl serde::de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+/// Encodes a value.
+///
+/// # Errors
+///
+/// Returns an error only for unserialisable values (never for the types in
+/// this workspace).
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, CodecError> {
+    let mut ser = Encoder { out: Vec::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Decodes a value.
+///
+/// # Errors
+///
+/// Returns an error for truncated or malformed input.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut de = Decoder { input: bytes };
+    let value = T::deserialize(&mut de)?;
+    if !de.input.is_empty() {
+        return Err(CodecError(format!("{} trailing bytes", de.input.len())));
+    }
+    Ok(value)
+}
+
+struct Encoder {
+    out: Vec<u8>,
+}
+
+impl Encoder {
+    fn put_len(&mut self, len: usize) {
+        self.out.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+}
+
+impl serde::Serializer for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
+        self.out.push(v);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.serialize_u32(v as u32)
+    }
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.out.push(0);
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), CodecError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or_else(|| CodecError("sequences must have a known length".into()))?;
+        self.put_len(len);
+        Ok(self)
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        serde::Serializer::serialize_u32(&mut *self, variant_index)?;
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or_else(|| CodecError("maps must have a known length".into()))?;
+        self.put_len(len);
+        Ok(self)
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        serde::Serializer::serialize_u32(&mut *self, variant_index)?;
+        Ok(self)
+    }
+}
+
+impl SerializeSeq for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl SerializeTuple for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl SerializeTupleStruct for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl SerializeTupleVariant for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl SerializeMap for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
+        key.serialize(&mut **self)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl SerializeStruct for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl SerializeStructVariant for &mut Encoder {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+struct Decoder<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Decoder<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
+        if self.input.len() < n {
+            return Err(CodecError(format!(
+                "unexpected end of input: need {n}, have {}",
+                self.input.len()
+            )));
+        }
+        let (head, rest) = self.input.split_at(n);
+        self.input = rest;
+        Ok(head)
+    }
+
+    fn take_len(&mut self) -> Result<usize, CodecError> {
+        let bytes = self.take(8)?;
+        let len = u64::from_le_bytes(bytes.try_into().expect("sliced")) as usize;
+        if len > self.input.len() {
+            return Err(CodecError(format!("declared length {len} exceeds remaining input")));
+        }
+        Ok(len)
+    }
+
+    fn take_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sliced")))
+    }
+}
+
+macro_rules! de_num {
+    ($method:ident, $visit:ident, $ty:ty, $n:expr) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+            let bytes = self.take($n)?;
+            visitor.$visit(<$ty>::from_le_bytes(bytes.try_into().expect("sliced")))
+        }
+    };
+}
+
+impl<'de> serde::Deserializer<'de> for &mut Decoder<'de> {
+    type Error = CodecError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError("minicodec is not self-describing".into()))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let b = self.take(1)?[0];
+        visitor.visit_bool(b != 0)
+    }
+
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_i8(self.take(1)?[0] as i8)
+    }
+    de_num!(deserialize_i16, visit_i16, i16, 2);
+    de_num!(deserialize_i32, visit_i32, i32, 4);
+    de_num!(deserialize_i64, visit_i64, i64, 8);
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_u8(self.take(1)?[0])
+    }
+    de_num!(deserialize_u16, visit_u16, u16, 2);
+    de_num!(deserialize_u32, visit_u32, u32, 4);
+    de_num!(deserialize_u64, visit_u64, u64, 8);
+    de_num!(deserialize_f32, visit_f32, f32, 4);
+    de_num!(deserialize_f64, visit_f64, f64, 8);
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let code = self.take_u32()?;
+        visitor.visit_char(char::from_u32(code).ok_or_else(|| CodecError("bad char".into()))?)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.take_len()?;
+        let bytes = self.take(len)?;
+        visitor.visit_borrowed_str(
+            std::str::from_utf8(bytes).map_err(|e| CodecError(e.to_string()))?,
+        )
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.take_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(CodecError(format!("bad option tag {b}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.take_len()?;
+        visitor.visit_seq(CountedAccess { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(CountedAccess { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.take_len()?;
+        visitor.visit_map(CountedAccess { de: self, remaining: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_enum(EnumDecoder { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError("identifiers are not encoded".into()))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError("cannot skip unknown fields in a non-self-describing format".into()))
+    }
+}
+
+struct CountedAccess<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+    remaining: usize,
+}
+
+impl<'a, 'de> SeqAccess<'de> for CountedAccess<'a, 'de> {
+    type Error = CodecError;
+
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'a, 'de> MapAccess<'de> for CountedAccess<'a, 'de> {
+    type Error = CodecError;
+
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, CodecError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumDecoder<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+}
+
+impl<'a, 'de> EnumAccess<'de> for EnumDecoder<'a, 'de> {
+    type Error = CodecError;
+    type Variant = Self;
+
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self), CodecError> {
+        let index = self.de.take_u32()?;
+        let value = seed.deserialize(serde::de::value::U32Deserializer::new(index))?;
+        Ok((value, self))
+    }
+}
+
+impl<'a, 'de> VariantAccess<'de> for EnumDecoder<'a, 'de> {
+    type Error = CodecError;
+
+    fn unit_variant(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, CodecError> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
+        serde::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        serde::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Unit,
+        Newtype(u32),
+        Tuple(u8, String),
+        Struct { a: bool, b: Vec<f32> },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Nested {
+        name: String,
+        values: Vec<f64>,
+        map: BTreeMap<String, i64>,
+        opt: Option<Box<Nested>>,
+        kind: Kind,
+        pair: (u16, char),
+    }
+
+    fn round_trip<T: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = to_bytes(v).unwrap();
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(&42u8);
+        round_trip(&-7i64);
+        round_trip(&1.5f32);
+        round_trip(&f64::MIN);
+        round_trip(&true);
+        round_trip(&'λ');
+        round_trip(&"hello".to_string());
+        round_trip(&Option::<u32>::None);
+        round_trip(&Some(9u32));
+        round_trip(&vec![1u32, 2, 3]);
+    }
+
+    #[test]
+    fn enums_round_trip() {
+        round_trip(&Kind::Unit);
+        round_trip(&Kind::Newtype(7));
+        round_trip(&Kind::Tuple(1, "x".into()));
+        round_trip(&Kind::Struct { a: true, b: vec![1.0, -2.0] });
+    }
+
+    #[test]
+    fn nested_struct_round_trips() {
+        let mut map = BTreeMap::new();
+        map.insert("k1".to_string(), -5i64);
+        map.insert("k2".to_string(), 900i64);
+        let v = Nested {
+            name: "deep".into(),
+            values: vec![0.1, 0.2],
+            map,
+            opt: Some(Box::new(Nested {
+                name: "inner".into(),
+                values: vec![],
+                map: BTreeMap::new(),
+                opt: None,
+                kind: Kind::Unit,
+                pair: (3, 'z'),
+            })),
+            kind: Kind::Struct { a: false, b: vec![] },
+            pair: (65535, '@'),
+        };
+        round_trip(&v);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = to_bytes(&vec![1u64, 2, 3]).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<Vec<u64>>(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&7u32).unwrap();
+        bytes.push(0);
+        assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn absurd_length_rejected() {
+        // A sequence claiming u64::MAX elements must not allocate.
+        let bytes = u64::MAX.to_le_bytes().to_vec();
+        assert!(from_bytes::<Vec<u8>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_enum_tag_rejected() {
+        let bytes = 99u32.to_le_bytes().to_vec();
+        assert!(from_bytes::<Kind>(&bytes).is_err());
+    }
+
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use serde::Deserialize;
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum ArbEnum {
+        A,
+        B(u64),
+        C(String, Vec<f32>),
+        D { flag: bool, data: Vec<u8> },
+    }
+
+    fn arb_enum() -> impl Strategy<Value = ArbEnum> {
+        prop_oneof![
+            Just(ArbEnum::A),
+            any::<u64>().prop_map(ArbEnum::B),
+            (".*", proptest::collection::vec(any::<f32>(), 0..8))
+                .prop_map(|(s, v)| ArbEnum::C(s, v)),
+            (any::<bool>(), proptest::collection::vec(any::<u8>(), 0..32))
+                .prop_map(|(flag, data)| ArbEnum::D { flag, data }),
+        ]
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct ArbStruct {
+        id: u32,
+        name: String,
+        values: Vec<i64>,
+        nested: Option<Box<ArbStruct>>,
+        tags: BTreeMap<String, u16>,
+        kind: ArbEnum,
+    }
+
+    fn arb_struct(depth: u32) -> BoxedStrategy<ArbStruct> {
+        let leaf = (
+            any::<u32>(),
+            "[a-z]{0,12}",
+            proptest::collection::vec(any::<i64>(), 0..6),
+            proptest::collection::btree_map("[a-z]{1,4}", any::<u16>(), 0..4),
+            arb_enum(),
+        )
+            .prop_map(|(id, name, values, tags, kind)| ArbStruct {
+                id,
+                name,
+                values,
+                nested: None,
+                tags,
+                kind,
+            })
+            .boxed();
+        if depth == 0 {
+            leaf
+        } else {
+            (leaf.clone(), proptest::option::of(arb_struct(depth - 1)))
+                .prop_map(|(mut s, nested)| {
+                    s.nested = nested.map(Box::new);
+                    s
+                })
+                .boxed()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn arbitrary_structs_round_trip(v in arb_struct(2)) {
+            let bytes = to_bytes(&v).expect("encodes");
+            let back: ArbStruct = from_bytes(&bytes).expect("decodes");
+            // NaN-safe comparison: re-encode and compare bytes.
+            let bytes2 = to_bytes(&back).expect("re-encodes");
+            prop_assert_eq!(bytes, bytes2);
+        }
+
+        #[test]
+        fn truncations_never_panic(v in arb_struct(1), cut in any::<proptest::sample::Index>()) {
+            let bytes = to_bytes(&v).expect("encodes");
+            let cut = cut.index(bytes.len().max(1));
+            // Must return an error or a value, never panic/abort.
+            let _ = from_bytes::<ArbStruct>(&bytes[..cut]);
+        }
+
+        #[test]
+        fn bit_flips_never_panic(v in arb_struct(1), at in any::<proptest::sample::Index>(), bit in 0u8..8) {
+            let mut bytes = to_bytes(&v).expect("encodes");
+            if bytes.is_empty() { return Ok(()); }
+            let i = at.index(bytes.len());
+            bytes[i] ^= 1 << bit;
+            let _ = from_bytes::<ArbStruct>(&bytes);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The runtime-provisioned MVX configuration (§4.3).
+//!
+//! "Based on a runtime-provisioned MVX configuration that specifies the
+//! partition set (number and sizes of partitions) and the variant claims
+//! (type and number of variants per partition), the monitor manages the
+//! attestation, key distribution, binding and fault tolerance of
+//! variants."
+
+use mvtee_tensor::metrics::Metric;
+use serde::{Deserialize, Serialize};
+
+/// How many variants an individual partition runs, and how they are
+/// generated — the *variant claim* for that partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionMvx {
+    /// Number of variants (1 = no MVX, fast path in hybrid mode).
+    pub variants: usize,
+    /// When `true`, variants are identical replicas (the fundamental-
+    /// performance experiments); when `false`, diversified variants are
+    /// drawn from the pool (the real-setup experiments).
+    pub replicated: bool,
+    /// Consistency metric for this partition's checkpoint.
+    pub metric: Metric,
+}
+
+impl PartitionMvx {
+    /// A single-variant (fast path) claim.
+    pub fn single() -> Self {
+        PartitionMvx { variants: 1, replicated: true, metric: Metric::strict() }
+    }
+
+    /// `n` identical replicas with a strict metric.
+    pub fn replicated(n: usize) -> Self {
+        PartitionMvx { variants: n, replicated: true, metric: Metric::strict() }
+    }
+
+    /// `n` diversified variants with the relaxed heterogeneous metric.
+    pub fn diversified(n: usize) -> Self {
+        PartitionMvx { variants: n, replicated: false, metric: Metric::relaxed() }
+    }
+
+    /// Is MVX active here (more than one variant)?
+    pub fn mvx_enabled(&self) -> bool {
+        self.variants > 1
+    }
+}
+
+/// Checkpoint path selection (§4.3, Fig 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PathMode {
+    /// The default: slow path on MVX-enabled partitions, fast path on
+    /// single-variant partitions.
+    #[default]
+    Hybrid,
+    /// Force the slow path (checkpoint evaluation) everywhere — used to
+    /// measure checkpointing overhead (Fig 10).
+    ForceSlow,
+    /// Force the fast path (fall-through) everywhere.
+    ForceFast,
+}
+
+/// Checkpoint synchronisation mode (§4.3, Fig 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ExecMode {
+    /// Wait for every variant at each checkpoint.
+    #[default]
+    Sync,
+    /// Asynchronous cross-validation: proceed on majority consensus,
+    /// validate stragglers when they arrive, react at the next checkpoint.
+    AsyncCrossValidation,
+}
+
+/// Voting strategy at checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum VotingPolicy {
+    /// All variants must agree (the security-first default).
+    #[default]
+    Unanimous,
+    /// A strict majority suffices; minority dissent is flagged.
+    Majority,
+}
+
+/// What the monitor does when a checkpoint detects divergence or a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ResponsePolicy {
+    /// Stop the pipeline and surface an error (safety-critical default).
+    #[default]
+    Halt,
+    /// Record the event, adopt the majority (or first consistent) output
+    /// and continue (degraded service).
+    ContinueWithMajority,
+}
+
+/// The complete MVX configuration provisioned by the model owner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MvxConfig {
+    /// Number of partitions (checkpoints = partitions − 1).
+    pub partitions: usize,
+    /// Seed for partition-set selection from the pool.
+    pub partition_seed: u64,
+    /// Per-partition variant claims; length must equal `partitions`.
+    pub claims: Vec<PartitionMvx>,
+    /// Path mode.
+    pub path: PathMode,
+    /// Synchronisation mode.
+    pub exec: ExecMode,
+    /// Voting policy on slow-path checkpoints.
+    pub voting: VotingPolicy,
+    /// Response to detected inconsistencies.
+    pub response: ResponsePolicy,
+    /// Whether inter-TEE traffic is encrypted (disabled only by the
+    /// overhead-measurement baseline of Fig 10).
+    pub encrypt: bool,
+}
+
+impl MvxConfig {
+    /// A full fast-path configuration: every partition single-variant.
+    pub fn fast_path(partitions: usize) -> Self {
+        MvxConfig {
+            partitions,
+            partition_seed: 0x5eed,
+            claims: vec![PartitionMvx::single(); partitions],
+            path: PathMode::Hybrid,
+            exec: ExecMode::Sync,
+            voting: VotingPolicy::Unanimous,
+            response: ResponsePolicy::Halt,
+            encrypt: true,
+        }
+    }
+
+    /// Selective MVX: `variants` replicas on the partitions listed in
+    /// `mvx_partitions`, single variants elsewhere.
+    pub fn selective(partitions: usize, mvx_partitions: &[usize], variants: usize) -> Self {
+        let mut cfg = Self::fast_path(partitions);
+        for &p in mvx_partitions {
+            if p < partitions {
+                cfg.claims[p] = PartitionMvx::replicated(variants);
+            }
+        }
+        cfg
+    }
+
+    /// Selective MVX with diversified variants (the real-setup experiments).
+    pub fn selective_diversified(
+        partitions: usize,
+        mvx_partitions: &[usize],
+        variants: usize,
+    ) -> Self {
+        let mut cfg = Self::selective(partitions, mvx_partitions, variants);
+        for &p in mvx_partitions {
+            if p < partitions {
+                cfg.claims[p] = PartitionMvx::diversified(variants);
+            }
+        }
+        cfg
+    }
+
+    /// Does partition `p` take the slow path under this configuration?
+    pub fn slow_path(&self, p: usize) -> bool {
+        match self.path {
+            PathMode::ForceSlow => true,
+            PathMode::ForceFast => false,
+            PathMode::Hybrid => self.claims.get(p).map(PartitionMvx::mvx_enabled).unwrap_or(false),
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MvxError::InvalidConfig`] with the violation.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.partitions == 0 {
+            return Err(crate::MvxError::InvalidConfig("zero partitions".into()));
+        }
+        if self.claims.len() != self.partitions {
+            return Err(crate::MvxError::InvalidConfig(format!(
+                "{} claims for {} partitions",
+                self.claims.len(),
+                self.partitions
+            )));
+        }
+        if self.claims.iter().any(|c| c.variants == 0) {
+            return Err(crate::MvxError::InvalidConfig("a partition claims zero variants".into()));
+        }
+        if self.exec == ExecMode::AsyncCrossValidation && self.partitions == 1 {
+            // "This mode is inherently inapplicable for full MVX without
+            // partitioning."
+            return Err(crate::MvxError::InvalidConfig(
+                "async cross-validation requires at least two partitions".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total number of variant TEEs this configuration spawns.
+    pub fn total_variants(&self) -> usize {
+        self.claims.iter().map(|c| c.variants).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_path_config() {
+        let c = MvxConfig::fast_path(5);
+        c.validate().unwrap();
+        assert_eq!(c.total_variants(), 5);
+        assert!(!c.slow_path(0));
+        assert!(!c.claims[0].mvx_enabled());
+    }
+
+    #[test]
+    fn selective_config() {
+        let c = MvxConfig::selective(5, &[2], 3);
+        c.validate().unwrap();
+        assert_eq!(c.total_variants(), 7);
+        assert!(c.slow_path(2));
+        assert!(!c.slow_path(1));
+    }
+
+    #[test]
+    fn force_paths() {
+        let mut c = MvxConfig::fast_path(3);
+        c.path = PathMode::ForceSlow;
+        assert!(c.slow_path(0));
+        c.path = PathMode::ForceFast;
+        c.claims[1] = PartitionMvx::replicated(3);
+        assert!(!c.slow_path(1));
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(MvxConfig::fast_path(0).validate().is_err());
+        let mut c = MvxConfig::fast_path(3);
+        c.claims.pop();
+        assert!(c.validate().is_err());
+        let mut c = MvxConfig::fast_path(3);
+        c.claims[0].variants = 0;
+        assert!(c.validate().is_err());
+        let mut c = MvxConfig::fast_path(1);
+        c.exec = ExecMode::AsyncCrossValidation;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn diversified_claims_use_relaxed_metric() {
+        let c = MvxConfig::selective_diversified(5, &[2, 3], 3);
+        assert!(!c.claims[2].replicated);
+        assert!(c.claims[2].metric == Metric::relaxed());
+        assert!(c.claims[0].replicated);
+    }
+}

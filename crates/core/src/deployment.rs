@@ -1,0 +1,1401 @@
+//! End-to-end MVTEE deployments: the offline tooling phase (§5.1) plus the
+//! online monitor/variant runtime (§5.2).
+//!
+//! [`DeploymentBuilder`] is the public entry point. It drives:
+//!
+//! 1. **Offline**: random-balanced partitioning, multi-level variant
+//!    generation, per-variant key creation and sealing of `{second-stage
+//!    manifest, variant bundle}` payloads — the artifacts a real
+//!    deployment would bake into container images.
+//! 2. **Online**: the untrusted orchestrator (simulated inline) places
+//!    variant TEEs loaded only with the public init-variant; the monitor
+//!    attests each one (Fig 6), releases the variant keys, verifies the
+//!    one-time second-stage manifest installation, binds the variants, and
+//!    wires the encrypted data plane.
+//!
+//! The resulting [`Deployment`] serves [`Deployment::infer`] (sequential)
+//! and [`Deployment::infer_stream`] (pipelined) and supports partial/full
+//! variant updates.
+
+use crate::config::{MvxConfig, PartitionMvx, ResponsePolicy};
+use crate::events::{EventLog, MonitorEvent};
+use crate::link::DataLink;
+use crate::messages::{
+    bootstrap_session_secret, bootstrap_transcript_hash, decode, encode, BootstrapRequest,
+    BootstrapResponse, InstallEvidence, KeyRelease,
+};
+use crate::pipeline::{
+    spawn_pipeline, spawn_rx_thread, CoordMsg, PipelineHandles, RxEvent, StageJob, StagePolicy,
+    StageRuntime, VariantLink,
+};
+use crate::variant_host::{spawn_variant, SealedVariantPayload, VariantHandle, VariantLaunch};
+use crate::{MvxError, Result};
+use crossbeam::channel::unbounded;
+use mvtee_crypto::channel::{memory_pair, FrameTransport, MemoryTransport, Role};
+use mvtee_crypto::gcm::AesGcm;
+use mvtee_crypto::sha256::sha256;
+use mvtee_crypto::x25519::EphemeralKeypair;
+use mvtee_crypto::{random_array, random_bytes};
+use mvtee_diversify::spec::spread_specs;
+use mvtee_diversify::{VariantGenerator, VariantId, VariantSpec};
+use mvtee_faults::{Attack, FrameFlip};
+use mvtee_graph::zoo::Model;
+use mvtee_graph::{Graph, ValueId};
+use mvtee_partition::{PartitionPool, PartitionSet, Partitioner, PoolConfig};
+use mvtee_runtime::{EngineConfig, EngineKind};
+use mvtee_tee::{
+    compute_measurement, AttestationReport, CodeIdentity, Enclave, Manifest, Platform,
+    ProtectedFs, TeeKind,
+};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// A partial override of one variant's spec (builder-level control used
+/// by experiments: defender hardening, ASLR seeds, engine swaps).
+#[derive(Debug, Clone, Default)]
+pub struct SpecPatch {
+    /// Replace the engine configuration.
+    pub engine: Option<EngineConfig>,
+    /// Replace the hardening capability list.
+    pub hardening: Option<Vec<String>>,
+    /// Replace the ASLR seed.
+    pub aslr_seed: Option<u64>,
+    /// Replace the graph-transform list.
+    pub transforms: Option<Vec<mvtee_diversify::TransformKind>>,
+}
+
+impl SpecPatch {
+    /// A patch that only swaps the engine configuration.
+    pub fn engine(engine: EngineConfig) -> Self {
+        SpecPatch { engine: Some(engine), ..Default::default() }
+    }
+
+    /// Applies the patch to a spec.
+    pub fn apply(&self, spec: &mut VariantSpec) {
+        if let Some(e) = &self.engine {
+            spec.engine = e.clone();
+        }
+        if let Some(h) = &self.hardening {
+            spec.hardening = h.clone();
+        }
+        if let Some(a) = self.aslr_seed {
+            spec.aslr_seed = a;
+        }
+        if let Some(t) = &self.transforms {
+            spec.transforms = t.clone();
+        }
+    }
+}
+
+/// One variant's offline artifacts.
+#[derive(Clone)]
+pub struct VariantArtifact {
+    /// The full spec (monitor-side knowledge).
+    pub spec: VariantSpec,
+    /// Sealed payload as placed on host storage.
+    pub sealed: ([u8; 16], Vec<u8>),
+    /// Host path of the sealed payload.
+    pub bundle_path: String,
+    /// The variant-specific key-derivation key (released after
+    /// attestation).
+    pub variant_key: [u8; 32],
+    /// Expected hash of the second-stage manifest.
+    pub expected_manifest_hash: [u8; 32],
+    /// First-stage (public) manifest.
+    pub init_manifest: Manifest,
+}
+
+/// All artifacts produced by the offline tool for one deployment.
+pub struct OfflinePhase {
+    /// Model graph (with weights).
+    pub graph: Graph,
+    /// The chosen partition set.
+    pub partition_set: PartitionSet,
+    /// Extracted per-stage subgraphs.
+    pub subgraphs: Vec<Graph>,
+    /// Artifacts per partition, per variant.
+    pub artifacts: Vec<Vec<VariantArtifact>>,
+    /// The public init-variant "binary".
+    pub init_code: Vec<u8>,
+}
+
+impl OfflinePhase {
+    /// Runs the offline phase: partitioning, variant generation, sealing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning and variant-generation failures.
+    pub fn run(
+        graph: &Graph,
+        config: &MvxConfig,
+        variant_seed: u64,
+        overrides: &HashMap<(usize, usize), SpecPatch>,
+    ) -> Result<Self> {
+        Self::run_with_pool(graph, config, variant_seed, overrides, None)
+    }
+
+    /// [`OfflinePhase::run`] selecting the partition set from a
+    /// pre-established [`PartitionPool`] ("the variants are dynamically
+    /// initialized from the pre-established variant pool", §3.1). The pool
+    /// must contain a set with `config.partitions` stages; selection is
+    /// randomized by `config.partition_seed`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pool lacks a matching set, plus all [`OfflinePhase::run`]
+    /// failure modes.
+    pub fn run_with_pool(
+        graph: &Graph,
+        config: &MvxConfig,
+        variant_seed: u64,
+        overrides: &HashMap<(usize, usize), SpecPatch>,
+        pool: Option<&PartitionPool>,
+    ) -> Result<Self> {
+        config.validate()?;
+        let set = if let Some(pool) = pool {
+            pool.select_random(config.partitions, config.partition_seed)
+                .cloned()
+                .ok_or_else(|| {
+                    MvxError::InvalidConfig(format!(
+                        "partition pool has no {}-stage set",
+                        config.partitions
+                    ))
+                })?
+        } else {
+            select_partition_set(graph, config.partitions, config.partition_seed)?
+        };
+        set.verify(graph)?;
+        let subgraphs = set.extract_subgraphs(graph)?;
+        let generator = VariantGenerator::new(variant_seed);
+        let init_code = b"mvtee init-variant binary v1.0".to_vec();
+
+        let mut artifacts = Vec::with_capacity(config.partitions);
+        for (p, claim) in config.claims.iter().enumerate() {
+            let specs = build_specs(p, claim, variant_seed, overrides);
+            let mut row = Vec::with_capacity(specs.len());
+            for (v, spec) in specs.into_iter().enumerate() {
+                row.push(seal_artifact(
+                    &init_code,
+                    &subgraphs[p],
+                    &generator,
+                    p,
+                    &spec,
+                    format!("/enc/p{p}/v{v}"),
+                    &format!("p{p}-v{v}"),
+                )?);
+            }
+            artifacts.push(row);
+        }
+        Ok(OfflinePhase {
+            graph: graph.clone(),
+            partition_set: set,
+            subgraphs,
+            artifacts,
+            init_code,
+        })
+    }
+}
+
+/// Selects (or trivially constructs, for one partition) a random-balanced
+/// partition set — the canonical selection shared by the deployment and
+/// the benchmark harness.
+pub fn select_partition_set(
+    graph: &Graph,
+    partitions: usize,
+    seed: u64,
+) -> Result<PartitionSet> {
+    if partitions == 1 {
+        let all: Vec<mvtee_graph::NodeId> = graph.nodes().iter().map(|n| n.id).collect();
+        return Ok(PartitionSet::from_groups(graph, vec![all], seed)?);
+    }
+    Ok(Partitioner::new(partitions).partition_best_of(graph, seed, 4)?)
+}
+
+/// Seals one variant's payload (second-stage manifest + bundle) under a
+/// fresh variant key and assembles its artifact — the single construction
+/// path used by the offline phase, partial updates and key rotation.
+fn seal_artifact(
+    init_code: &[u8],
+    subgraph: &Graph,
+    generator: &VariantGenerator,
+    partition: usize,
+    spec: &VariantSpec,
+    bundle_path: String,
+    manifest_tag: &str,
+) -> Result<VariantArtifact> {
+    let bundle = generator.materialize(subgraph, partition, spec)?;
+    let mut second = Manifest::main_variant(format!("variant-{manifest_tag}"));
+    second.encrypt_file(bundle_path.clone());
+    let payload = SealedVariantPayload { manifest: second.clone(), bundle: bundle.to_bytes() };
+    let payload_bytes = encode(&payload)?;
+    let variant_key: [u8; 32] = random_array();
+    let mut sealer = ProtectedFs::new();
+    sealer.write(&variant_key, &bundle_path, &payload_bytes);
+    let sealed = sealer.export(&bundle_path).expect("just written");
+    let mut init_manifest = Manifest::init_variant(format!("init-{manifest_tag}"));
+    init_manifest.trust_file("/bin/init-variant", init_code);
+    init_manifest.encrypt_file(bundle_path.clone());
+    Ok(VariantArtifact {
+        spec: spec.clone(),
+        sealed,
+        bundle_path,
+        variant_key,
+        expected_manifest_hash: second.hash(),
+        init_manifest,
+    })
+}
+
+/// Builds the variant specs for one partition claim — the canonical
+/// construction shared by the deployment and the benchmark harness.
+pub fn build_specs(
+    partition: usize,
+    claim: &PartitionMvx,
+    seed: u64,
+    overrides: &HashMap<(usize, usize), SpecPatch>,
+) -> Vec<VariantSpec> {
+    let mut specs = if claim.replicated {
+        (0..claim.variants)
+            .map(|v| VariantSpec::replicated((partition * 1000 + v) as u64, EngineKind::OrtLike))
+            .collect::<Vec<_>>()
+    } else {
+        let mut s = spread_specs(claim.variants, seed.wrapping_add(partition as u64 * 0x77));
+        for (v, spec) in s.iter_mut().enumerate() {
+            spec.id = VariantId((partition * 1000 + v) as u64);
+        }
+        s
+    };
+    for (v, spec) in specs.iter_mut().enumerate() {
+        if let Some(patch) = overrides.get(&(partition, v)) {
+            patch.apply(spec);
+        }
+    }
+    specs
+}
+
+/// A bound variant's registry entry (anti-fork secure binding, §6.5).
+#[derive(Debug, Clone)]
+pub struct BindingRecord {
+    /// Deployment generation (incremented on every update/relaunch; the
+    /// anti-fork uniqueness check applies within one generation).
+    pub generation: u64,
+    /// Partition index.
+    pub partition: usize,
+    /// Variant index.
+    pub variant: usize,
+    /// Assigned variant id.
+    pub variant_id: u64,
+    /// Post-exec measurement from install evidence.
+    pub measurement: [u8; 32],
+}
+
+/// Builder for [`Deployment`].
+pub struct DeploymentBuilder {
+    model: Model,
+    config: MvxConfig,
+    variant_seed: u64,
+    overrides: HashMap<(usize, usize), SpecPatch>,
+    attack: Option<Attack>,
+    frameflip: Option<FrameFlip>,
+    tee_kind_default: TeeKind,
+    pool_config: Option<PoolConfig>,
+    slow_tvm_partitions: Vec<usize>,
+}
+
+impl DeploymentBuilder {
+    fn new(model: Model) -> Self {
+        DeploymentBuilder {
+            model,
+            config: MvxConfig::fast_path(2),
+            variant_seed: 0xd1ce,
+            overrides: HashMap::new(),
+            attack: None,
+            frameflip: None,
+            tee_kind_default: TeeKind::Sgx,
+            pool_config: None,
+            slow_tvm_partitions: Vec::new(),
+        }
+    }
+
+    /// Sets the partition count (claims reset to single-variant).
+    pub fn partitions(mut self, n: usize) -> Self {
+        let mut cfg = MvxConfig::fast_path(n);
+        cfg.path = self.config.path;
+        cfg.exec = self.config.exec;
+        cfg.voting = self.config.voting;
+        cfg.response = self.config.response;
+        cfg.encrypt = self.config.encrypt;
+        cfg.partition_seed = self.config.partition_seed;
+        self.config = cfg;
+        self
+    }
+
+    /// Replaces the entire configuration.
+    pub fn config(mut self, config: MvxConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Enables replicated MVX on a partition.
+    pub fn mvx_on_partition(mut self, partition: usize, variants: usize) -> Self {
+        if partition < self.config.claims.len() {
+            self.config.claims[partition] = PartitionMvx::replicated(variants);
+        }
+        self
+    }
+
+    /// Enables diversified MVX on a partition.
+    pub fn diversified_mvx(mut self, partition: usize, variants: usize) -> Self {
+        if partition < self.config.claims.len() {
+            self.config.claims[partition] = PartitionMvx::diversified(variants);
+        }
+        self
+    }
+
+    /// Forces the last variant of `partition` to the heavyweight
+    /// complex-schedule TVM configuration (the Fig 13 lagging variant).
+    /// Resolved against the final claims at [`DeploymentBuilder::build`]
+    /// time, so ordering relative to `mvx_on_partition` does not matter.
+    pub fn slow_tvm_on(mut self, partition: usize) -> Self {
+        self.slow_tvm_partitions.push(partition);
+        self
+    }
+
+    /// Overrides one variant's engine configuration.
+    pub fn engine_override(mut self, partition: usize, variant: usize, engine: EngineConfig) -> Self {
+        self.overrides.insert((partition, variant), SpecPatch::engine(engine));
+        self
+    }
+
+    /// Applies a full spec patch to one variant (hardening, ASLR seed,
+    /// transforms, engine).
+    pub fn spec_patch(mut self, partition: usize, variant: usize, patch: SpecPatch) -> Self {
+        self.overrides.insert((partition, variant), patch);
+        self
+    }
+
+    /// Sets the execution mode.
+    pub fn exec_mode(mut self, exec: crate::config::ExecMode) -> Self {
+        self.config.exec = exec;
+        self
+    }
+
+    /// Sets the path mode.
+    pub fn path_mode(mut self, path: crate::config::PathMode) -> Self {
+        self.config.path = path;
+        self
+    }
+
+    /// Sets the voting policy.
+    pub fn voting(mut self, voting: crate::config::VotingPolicy) -> Self {
+        self.config.voting = voting;
+        self
+    }
+
+    /// Sets the response policy.
+    pub fn response(mut self, response: ResponsePolicy) -> Self {
+        self.config.response = response;
+        self
+    }
+
+    /// Toggles data-plane encryption (Fig 10 baseline).
+    pub fn encrypt(mut self, encrypt: bool) -> Self {
+        self.config.encrypt = encrypt;
+        self
+    }
+
+    /// Sets the partition-selection seed.
+    pub fn partition_seed(mut self, seed: u64) -> Self {
+        self.config.partition_seed = seed;
+        self
+    }
+
+    /// Sets the variant-generation seed.
+    pub fn variant_seed(mut self, seed: u64) -> Self {
+        self.variant_seed = seed;
+        self
+    }
+
+    /// Injects a simulated CVE attack on every variant host.
+    pub fn attack(mut self, attack: Attack) -> Self {
+        self.attack = Some(attack);
+        self
+    }
+
+    /// Injects a simulated platform-wide FrameFlip.
+    pub fn frameflip(mut self, frameflip: FrameFlip) -> Self {
+        self.frameflip = Some(frameflip);
+        self
+    }
+
+    /// Builds the offline partition-set pool first and selects from it
+    /// (full updates then reshuffle within the pool, as in §4.3). The pool
+    /// config's targets must include the deployment's partition count.
+    pub fn partition_pool(mut self, pool_config: PoolConfig) -> Self {
+        self.pool_config = Some(pool_config);
+        self
+    }
+
+    /// Runs the offline phase and brings the deployment online.
+    ///
+    /// # Errors
+    ///
+    /// Propagates offline-phase and bootstrap failures.
+    pub fn build(mut self) -> Result<Deployment> {
+        // Resolve deferred lagging-variant overrides against the final
+        // claims.
+        for partition in std::mem::take(&mut self.slow_tvm_partitions) {
+            let variants =
+                self.config.claims.get(partition).map(|c| c.variants).unwrap_or(0);
+            if variants > 0 {
+                self.overrides.insert(
+                    (partition, variants - 1),
+                    SpecPatch::engine(EngineConfig::tvm_complex()),
+                );
+            }
+        }
+        let pool = match &self.pool_config {
+            Some(cfg) => Some(
+                PartitionPool::build(&self.model.graph, cfg, self.config.partition_seed)
+                    .map_err(MvxError::from)?,
+            ),
+            None => None,
+        };
+        let offline = OfflinePhase::run_with_pool(
+            &self.model.graph,
+            &self.config,
+            self.variant_seed,
+            &self.overrides,
+            pool.as_ref(),
+        )?;
+        let mut deployment = Deployment::bring_online(
+            self.model,
+            self.config,
+            offline,
+            self.attack,
+            self.frameflip,
+            self.tee_kind_default,
+        )?;
+        deployment.pool = pool;
+        Ok(deployment)
+    }
+}
+
+/// A live MVTEE deployment.
+pub struct Deployment {
+    model: Model,
+    config: MvxConfig,
+    offline: OfflinePhase,
+    platform: Platform,
+    monitor: Enclave,
+    events: EventLog,
+    handles: Option<PipelineHandles>,
+    variant_threads: Vec<VariantHandle>,
+    bindings: Vec<BindingRecord>,
+    generation: u64,
+    update_log: Vec<String>,
+    next_batch: u64,
+    input_value: ValueId,
+    output_value: ValueId,
+    attack: Option<Attack>,
+    frameflip: Option<FrameFlip>,
+    tee_kind_default: TeeKind,
+    pool: Option<PartitionPool>,
+}
+
+/// Per-stream timing statistics (used by the benchmark harness).
+#[derive(Debug, Clone)]
+pub struct StreamStats {
+    /// Per-batch results (output tensor or failure description).
+    pub outputs: Vec<std::result::Result<mvtee_tensor::Tensor, String>>,
+    /// Wall-clock duration of the whole stream.
+    pub total: Duration,
+    /// Per-batch latency (submission → completion).
+    pub latencies: Vec<Duration>,
+}
+
+impl StreamStats {
+    /// Throughput in batches per second.
+    pub fn throughput(&self) -> f64 {
+        if self.total.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.outputs.len() as f64 / self.total.as_secs_f64()
+    }
+
+    /// Mean latency in seconds.
+    pub fn mean_latency(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        self.latencies.iter().map(Duration::as_secs_f64).sum::<f64>()
+            / self.latencies.len() as f64
+    }
+
+    /// Number of failed batches.
+    pub fn failures(&self) -> usize {
+        self.outputs.iter().filter(|o| o.is_err()).count()
+    }
+}
+
+impl Deployment {
+    /// Starts building a deployment for a zoo model.
+    pub fn builder(model: Model) -> DeploymentBuilder {
+        DeploymentBuilder::new(model)
+    }
+
+    fn bring_online(
+        model: Model,
+        config: MvxConfig,
+        offline: OfflinePhase,
+        attack: Option<Attack>,
+        frameflip: Option<FrameFlip>,
+        tee_kind_default: TeeKind,
+    ) -> Result<Deployment> {
+        let platform = Platform::new();
+        let monitor = Enclave::launch(
+            TeeKind::Sgx,
+            CodeIdentity::from_content("mvtee-monitor", "1.0", b"mvtee monitor binary v1.0"),
+            Manifest::main_variant("monitor"),
+            platform.clone(),
+        );
+        let events = EventLog::new();
+        // The public infer API is single-input/single-output; reject other
+        // interfaces up front instead of silently using the first values.
+        if offline.graph.inputs().len() != 1 || offline.graph.outputs().len() != 1 {
+            return Err(MvxError::InvalidConfig(format!(
+                "deployment requires a single-input/single-output model, got {}/{}",
+                offline.graph.inputs().len(),
+                offline.graph.outputs().len()
+            )));
+        }
+        let input_value = offline.graph.inputs()[0];
+        let output_value = offline.graph.outputs()[0];
+
+        let mut deployment = Deployment {
+            model,
+            config,
+            offline,
+            platform,
+            monitor,
+            events,
+            handles: None,
+            variant_threads: Vec::new(),
+            bindings: Vec::new(),
+            generation: 0,
+            update_log: Vec::new(),
+            next_batch: 0,
+            input_value,
+            output_value,
+            attack,
+            frameflip,
+            tee_kind_default,
+            pool: None,
+        };
+        deployment.launch_all()?;
+        Ok(deployment)
+    }
+
+    /// Spawns and bootstraps every variant TEE and wires the pipeline.
+    fn launch_all(&mut self) -> Result<()> {
+        let mut runtimes = Vec::with_capacity(self.config.partitions);
+        let mut metrics = Vec::with_capacity(self.config.partitions);
+        // Values needed downstream of each stage.
+        let mut needed_suffix: Vec<HashSet<ValueId>> =
+            vec![HashSet::new(); self.config.partitions + 1];
+        for &out in self.offline.graph.outputs() {
+            needed_suffix[self.config.partitions].insert(out);
+        }
+        for p in (0..self.config.partitions).rev() {
+            let mut needed = needed_suffix[p + 1].clone();
+            for v in &self.offline.partition_set.stages[p].inputs {
+                needed.insert(*v);
+            }
+            needed_suffix[p] = needed;
+        }
+
+        let claims = self.config.claims.clone();
+        for (p, claim) in claims.iter().enumerate() {
+            let stage = self.offline.partition_set.stages[p].clone();
+            let (merged_tx, merged_rx) = unbounded::<RxEvent>();
+            let mut links = Vec::with_capacity(claim.variants);
+            let mut rx_threads = Vec::with_capacity(claim.variants);
+            for v in 0..claim.variants {
+                let artifact = self.offline.artifacts[p][v].clone();
+                let tee_kind = if artifact.spec.tee == mvtee_diversify::TeeBackend::Tdx {
+                    TeeKind::Tdx
+                } else {
+                    self.tee_kind_default
+                };
+                let (boot_monitor, boot_variant) = memory_pair();
+                let (req_monitor, req_variant) = memory_pair();
+                let (resp_variant, resp_monitor) = memory_pair();
+                let launch = VariantLaunch {
+                    partition: p,
+                    variant_index: v,
+                    tee_kind,
+                    platform: self.platform.clone(),
+                    init_code: self.offline.init_code.clone(),
+                    init_manifest: artifact.init_manifest.clone(),
+                    bundle_path: artifact.bundle_path.clone(),
+                    sealed_blob: artifact.sealed.clone(),
+                    encrypt: self.config.encrypt,
+                    attack: self.attack,
+                    frameflip: self.frameflip.clone(),
+                    bootstrap: boot_variant,
+                    request: req_variant,
+                    response: resp_variant,
+                };
+                self.variant_threads.push(spawn_variant(launch));
+
+                let session_secret = self.bootstrap_variant(
+                    p,
+                    v,
+                    &artifact,
+                    tee_kind,
+                    &boot_monitor,
+                )?;
+                let tx = DataLink::from_transport(
+                    req_monitor,
+                    self.config.encrypt,
+                    &session_secret,
+                    Role::Initiator,
+                    0,
+                );
+                let rx = DataLink::from_transport(
+                    resp_monitor,
+                    self.config.encrypt,
+                    &session_secret,
+                    Role::Initiator,
+                    1,
+                );
+                rx_threads.push(spawn_rx_thread(v, rx, merged_tx.clone()));
+                links.push(VariantLink { tx, description: artifact.spec.describe() });
+            }
+            drop(merged_tx);
+            runtimes.push(StageRuntime {
+                partition: p,
+                links,
+                responses: merged_rx,
+                rx_threads,
+                inputs: stage.inputs.clone(),
+                outputs: stage.outputs.clone(),
+                needed_downstream: needed_suffix[p + 1].clone(),
+                slow: self.config.slow_path(p),
+            });
+            metrics.push(claim.metric);
+        }
+        let policy = StagePolicy {
+            exec: self.config.exec,
+            voting: self.config.voting,
+            response: self.config.response,
+        };
+        self.handles = Some(spawn_pipeline(runtimes, policy, metrics, self.events.clone()));
+        Ok(())
+    }
+
+    /// Monitor-side bootstrap of one variant (Fig 6 steps ②–⑦).
+    fn bootstrap_variant(
+        &mut self,
+        partition: usize,
+        variant: usize,
+        artifact: &VariantArtifact,
+        tee_kind: TeeKind,
+        transport: &MemoryTransport,
+    ) -> Result<[u8; 32]> {
+        // Challenge with a fresh nonce (anti-replay).
+        let mut nonce = [0u8; 32];
+        random_bytes(&mut nonce);
+        let keypair = EphemeralKeypair::generate();
+        transport
+            .send_frame(encode(&BootstrapRequest::Challenge {
+                nonce,
+                monitor_dh_public: keypair.public,
+            })?)
+            .map_err(|e| MvxError::Transport(e.to_string()))?;
+
+        // Verify the evidence.
+        let evidence_bytes = transport
+            .recv_frame()
+            .map_err(|e| MvxError::Transport(e.to_string()))?;
+        let BootstrapResponse::Evidence { report, variant_dh_public } =
+            decode::<BootstrapResponse>(&evidence_bytes)?
+        else {
+            return Err(MvxError::Tee("variant failed before evidence".into()));
+        };
+        let init_identity =
+            CodeIdentity::from_content("mvtee-init-variant", "1.0", &self.offline.init_code);
+        let expected_measurement =
+            compute_measurement(tee_kind, &init_identity, &artifact.init_manifest.hash());
+        let transcript_hash = bootstrap_transcript_hash(&keypair.public, &variant_dh_public);
+        let mut expected_data = Vec::with_capacity(64);
+        expected_data.extend_from_slice(&sha256(&nonce));
+        expected_data.extend_from_slice(&transcript_hash);
+        mvtee_tee::verify_report(
+            &self.platform,
+            &report,
+            Some(expected_measurement),
+            &expected_data,
+        )?;
+
+        // Session keys and sealed key release.
+        let shared = keypair.diffie_hellman(&variant_dh_public);
+        let session_secret = bootstrap_session_secret(&shared, &nonce);
+        let session_cipher = AesGcm::new_256(&session_secret);
+        let release = KeyRelease {
+            variant_key: artifact.variant_key,
+            variant_id: artifact.spec.id.0,
+            bundle_path: artifact.bundle_path.clone(),
+            expected_manifest_hash: artifact.expected_manifest_hash,
+        };
+        let sealed = session_cipher.seal(&[0u8; 12], &encode(&release)?, b"key-release");
+        transport
+            .send_frame(encode(&BootstrapRequest::SealedKeyRelease { payload: sealed })?)
+            .map_err(|e| MvxError::Transport(e.to_string()))?;
+
+        // Install evidence: the enforced second-stage manifest must match.
+        let install_bytes = transport
+            .recv_frame()
+            .map_err(|e| MvxError::Transport(e.to_string()))?;
+        let BootstrapResponse::SealedInstallEvidence { payload } =
+            decode::<BootstrapResponse>(&install_bytes)?
+        else {
+            return Err(MvxError::Tee("variant failed before install evidence".into()));
+        };
+        let plain = session_cipher
+            .open(&[1u8; 12], &payload, b"install-evidence")
+            .map_err(MvxError::from)?;
+        let evidence: InstallEvidence = decode(&plain)?;
+        if evidence.manifest_hash != artifact.expected_manifest_hash {
+            return Err(MvxError::Tee(format!(
+                "variant p{partition}v{variant} enforced an unexpected second-stage manifest"
+            )));
+        }
+        if evidence.variant_id != artifact.spec.id.0 {
+            return Err(MvxError::Tee("variant id mismatch in install evidence".into()));
+        }
+        let expected_main =
+            compute_measurement(tee_kind, &init_identity, &artifact.expected_manifest_hash);
+        if evidence.measurement != expected_main {
+            return Err(MvxError::Tee("unexpected post-exec measurement".into()));
+        }
+        // Bind (anti-fork: one live binding per variant id; older
+        // generations remain in the append-only log).
+        if self
+            .bindings
+            .iter()
+            .any(|b| b.generation == self.generation && b.variant_id == evidence.variant_id)
+        {
+            return Err(MvxError::Tee(format!(
+                "fork detected: variant id {} already bound",
+                evidence.variant_id
+            )));
+        }
+        self.bindings.push(BindingRecord {
+            generation: self.generation,
+            partition,
+            variant,
+            variant_id: evidence.variant_id,
+            measurement: evidence.measurement,
+        });
+        self.events.record(MonitorEvent::VariantBound {
+            partition,
+            variant,
+            measurement: evidence.measurement,
+        });
+        Ok(session_secret)
+    }
+
+    /// The deployed model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The audit event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MvxConfig {
+        &self.config
+    }
+
+    /// The chosen partition set.
+    pub fn partition_set(&self) -> &PartitionSet {
+        &self.offline.partition_set
+    }
+
+    /// Current secure bindings.
+    pub fn bindings(&self) -> &[BindingRecord] {
+        &self.bindings
+    }
+
+    /// The append-only update log.
+    pub fn update_log(&self) -> &[String] {
+        &self.update_log
+    }
+
+    /// Model-owner attestation of the monitor TEE (step ② of Fig 6): a
+    /// hardware-signed report binding the caller's nonce.
+    pub fn attest_monitor(&self, nonce: &[u8]) -> AttestationReport {
+        self.monitor.report(&sha256(nonce))
+    }
+
+    /// Verifies a monitor report produced by [`Deployment::attest_monitor`]
+    /// (the model-owner side).
+    ///
+    /// # Errors
+    ///
+    /// Returns an attestation error on any mismatch.
+    pub fn verify_monitor_report(&self, report: &AttestationReport, nonce: &[u8]) -> Result<()> {
+        mvtee_tee::verify_report(
+            &self.platform,
+            report,
+            Some(self.monitor.measurement()),
+            &sha256(nonce),
+        )?;
+        Ok(())
+    }
+
+    fn submit(&mut self, input: &mvtee_tensor::Tensor) -> Result<u64> {
+        let handles = self
+            .handles
+            .as_ref()
+            .ok_or_else(|| MvxError::BadState("deployment is shut down".into()))?;
+        let batch = self.next_batch;
+        self.next_batch += 1;
+        let mut env = HashMap::new();
+        env.insert(self.input_value, input.clone());
+        handles
+            .first_stage
+            .send(CoordMsg::Job(StageJob {
+                batch,
+                env,
+                poisoned: None,
+                submitted: Instant::now(),
+            }))
+            .map_err(|_| MvxError::Transport("pipeline input closed".into()))?;
+        Ok(batch)
+    }
+
+    /// Collects the result for `batch`, discarding any stale results a
+    /// previous failed collection may have left in the pipeline.
+    fn collect_batch(&self, batch: u64) -> Result<StageJob> {
+        let handles = self
+            .handles
+            .as_ref()
+            .ok_or_else(|| MvxError::BadState("deployment is shut down".into()))?;
+        loop {
+            let job = handles
+                .results
+                .recv_timeout(Duration::from_secs(120))
+                .map_err(|_| MvxError::Transport("pipeline results closed".into()))?;
+            if job.batch == batch {
+                return Ok(job);
+            }
+            // Stale result from an abandoned earlier collection: drop it.
+        }
+    }
+
+    fn job_output(&self, job: StageJob) -> std::result::Result<mvtee_tensor::Tensor, String> {
+        if let Some(poison) = job.poisoned {
+            return Err(poison);
+        }
+        job.env
+            .get(&self.output_value)
+            .cloned()
+            .ok_or_else(|| "model output missing from final environment".to_string())
+    }
+
+    /// Sequential inference: the batch traverses all stages before the
+    /// call returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvxError::DivergenceHalt`] (or a crash error) when a
+    /// checkpoint halted this batch.
+    pub fn infer(&mut self, input: &mvtee_tensor::Tensor) -> Result<mvtee_tensor::Tensor> {
+        let batch = self.submit(input)?;
+        let job = self.collect_batch(batch)?;
+        self.job_output(job).map_err(|detail| MvxError::DivergenceHalt {
+            partition: usize::MAX,
+            detail,
+        })
+    }
+
+    /// Pipelined inference over a stream of batches: all batches are
+    /// submitted up front so stages overlap.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on infrastructure loss; per-batch failures are reported
+    /// inside [`StreamStats::outputs`].
+    pub fn infer_stream(&mut self, inputs: &[mvtee_tensor::Tensor]) -> Result<StreamStats> {
+        let start = Instant::now();
+        let mut first_batch = self.next_batch;
+        for input in inputs {
+            let b = self.submit(input)?;
+            first_batch = first_batch.min(b);
+        }
+        self.collect_stream(first_batch, inputs.len(), start)
+    }
+
+    /// Sequential inference over a stream (each batch completes before the
+    /// next is submitted) with the same statistics envelope.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on infrastructure loss.
+    pub fn infer_sequential(&mut self, inputs: &[mvtee_tensor::Tensor]) -> Result<StreamStats> {
+        let start = Instant::now();
+        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut latencies = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let t0 = Instant::now();
+            let batch = self.submit(input)?;
+            let job = self.collect_batch(batch)?;
+            latencies.push(t0.elapsed());
+            outputs.push(self.job_output(job));
+        }
+        Ok(StreamStats { outputs, total: start.elapsed(), latencies })
+    }
+
+    fn collect_stream(&mut self, first_batch: u64, n: usize, start: Instant) -> Result<StreamStats> {
+        let mut outputs = Vec::with_capacity(n);
+        let mut latencies = Vec::with_capacity(n);
+        for k in 0..n {
+            let job = self.collect_batch(first_batch + k as u64)?;
+            latencies.push(job.submitted.elapsed());
+            outputs.push(self.job_output(job));
+        }
+        Ok(StreamStats { outputs, total: start.elapsed(), latencies })
+    }
+
+    /// Partial variant update (§4.3): replaces the variants of one
+    /// partition with a fresh claim, re-attesting and re-binding; bindings
+    /// are appended, never rewritten.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bootstrap failures; the deployment is rebuilt.
+    pub fn partial_update(&mut self, partition: usize, claim: PartitionMvx) -> Result<()> {
+        if partition >= self.config.partitions {
+            return Err(MvxError::InvalidConfig(format!(
+                "partition {partition} out of range"
+            )));
+        }
+        self.stop_pipeline();
+        // Regenerate artifacts for the updated partition only (fresh keys,
+        // fresh variant ids per the no-TEE-reuse policy). Nothing is
+        // committed until regeneration fully succeeds.
+        // Seed diversification from the update generation, not the
+        // (workload-dependent) batch counter.
+        let fresh_seed = (self.generation + 1).wrapping_mul(0x9e37_79b9);
+        let overrides = HashMap::new();
+        let generator = VariantGenerator::new(fresh_seed);
+        let specs = build_specs(partition, &claim, fresh_seed, &overrides);
+        let mut row = Vec::with_capacity(specs.len());
+        for (v, mut spec) in specs.into_iter().enumerate() {
+            // Generation-scoped ids: unique across updates and partitions.
+            spec.id = VariantId(
+                (self.generation + 1) * 1_000_000 + (partition * 1000 + v) as u64,
+            );
+            row.push(seal_artifact(
+                &self.offline.init_code,
+                &self.offline.subgraphs[partition],
+                &generator,
+                partition,
+                &spec,
+                format!("/enc/p{partition}/v{v}/u{fresh_seed}"),
+                &format!("p{partition}-v{v}-updated"),
+            )?);
+        }
+        self.config.claims[partition] = claim.clone();
+        self.offline.artifacts[partition] = row;
+        self.update_log.push(format!(
+            "partial update: partition {partition} -> {} variants",
+            claim.variants
+        ));
+        self.events.record(MonitorEvent::BindingUpdated {
+            partition,
+            description: format!("partial update to {} variants", claim.variants),
+        });
+        self.launch_all()
+    }
+
+    /// Full variant update: reshuffles the partition set (new seed) and
+    /// reconstructs every binding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates offline-phase and bootstrap failures.
+    pub fn full_update(&mut self, new_partition_seed: u64) -> Result<()> {
+        self.stop_pipeline();
+        self.config.partition_seed = new_partition_seed;
+        let overrides = HashMap::new();
+        self.offline = OfflinePhase::run_with_pool(
+            &self.offline.graph,
+            &self.config,
+            new_partition_seed ^ 0xfeed,
+            &overrides,
+            self.pool.as_ref(),
+        )?;
+        self.update_log.push(format!(
+            "full update: reshuffled partition set with seed {new_partition_seed}"
+        ));
+        self.events.record(MonitorEvent::BindingUpdated {
+            partition: usize::MAX,
+            description: "full update".into(),
+        });
+        self.launch_all()
+    }
+
+    /// Rotates every variant-specific key (§6.5's proactive key rotation):
+    /// re-seals each variant payload under a fresh key-derivation key and
+    /// re-bootstraps the deployment (no TEE reuse).
+    ///
+    /// # Errors
+    ///
+    /// Propagates re-sealing and bootstrap failures.
+    pub fn rotate_keys(&mut self) -> Result<()> {
+        self.stop_pipeline();
+        for row in &mut self.offline.artifacts {
+            for artifact in row {
+                let mut old = ProtectedFs::new();
+                old.import(
+                    &artifact.bundle_path,
+                    artifact.sealed.0,
+                    artifact.sealed.1.clone(),
+                );
+                let plain = old.read(&artifact.variant_key, &artifact.bundle_path)?;
+                // Re-seal the same plaintext under a fresh key (the payload
+                // and manifests are unchanged; only the key rotates).
+                let new_key: [u8; 32] = random_array();
+                let mut sealer = ProtectedFs::new();
+                sealer.write(&new_key, &artifact.bundle_path, &plain);
+                artifact.sealed = sealer.export(&artifact.bundle_path).expect("just written");
+                artifact.variant_key = new_key;
+            }
+        }
+        self.update_log.push("key rotation: all variant keys re-sealed".into());
+        self.events.record(MonitorEvent::BindingUpdated {
+            partition: usize::MAX,
+            description: "proactive key rotation".into(),
+        });
+        self.launch_all()
+    }
+
+    fn stop_pipeline(&mut self) {
+        self.generation += 1;
+        if let Some(handles) = self.handles.take() {
+            for tx in &handles.all_stages {
+                let _ = tx.send(CoordMsg::Stop);
+            }
+            for t in handles.threads {
+                let _ = t.join();
+            }
+        }
+        // Variant threads exit on Shutdown/link loss.
+        for handle in self.variant_threads.drain(..) {
+            handle.join();
+        }
+    }
+
+    /// Shuts the deployment down, joining every thread.
+    pub fn shutdown(&mut self) {
+        self.stop_pipeline();
+    }
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        self.stop_pipeline();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExecMode, PathMode, VotingPolicy};
+    use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+    use mvtee_tensor::Tensor;
+
+    fn model() -> Model {
+        zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 77).unwrap()
+    }
+
+    fn test_input() -> Tensor {
+        let n = 3 * 32 * 32;
+        Tensor::from_vec(
+            (0..n).map(|i| ((i % 61) as f32 - 30.0) / 30.0).collect(),
+            &[1, 3, 32, 32],
+        )
+        .unwrap()
+    }
+
+    fn reference_output(m: &Model, input: &Tensor) -> Tensor {
+        use mvtee_runtime::{Engine, EngineConfig, EngineKind};
+        Engine::new(EngineConfig::of_kind(EngineKind::OrtLike))
+            .prepare(&m.graph)
+            .unwrap()
+            .run(std::slice::from_ref(input))
+            .unwrap()
+            .remove(0)
+    }
+
+    #[test]
+    fn fast_path_deployment_matches_reference() {
+        let m = model();
+        let input = test_input();
+        let expected = reference_output(&m, &input);
+        let mut d = Deployment::builder(m).partitions(3).build().unwrap();
+        let out = d.infer(&input).unwrap();
+        assert!(
+            mvtee_tensor::metrics::allclose(&out, &expected, 1e-3, 1e-4),
+            "max diff {}",
+            mvtee_tensor::metrics::max_abs_diff(&out, &expected)
+        );
+        assert_eq!(d.bindings().len(), 3);
+        d.shutdown();
+    }
+
+    #[test]
+    fn replicated_mvx_agrees() {
+        let m = model();
+        let input = test_input();
+        let expected = reference_output(&m, &input);
+        let mut d = Deployment::builder(m)
+            .partitions(3)
+            .mvx_on_partition(1, 3)
+            .build()
+            .unwrap();
+        let out = d.infer(&input).unwrap();
+        assert!(mvtee_tensor::metrics::allclose(&out, &expected, 1e-3, 1e-4));
+        assert_eq!(d.events().detection_count(), 0, "no divergence expected");
+        assert_eq!(d.bindings().len(), 5);
+        d.shutdown();
+    }
+
+    #[test]
+    fn pipelined_stream_preserves_order_and_results() {
+        let m = model();
+        let inputs: Vec<Tensor> = (0..6)
+            .map(|i| {
+                let mut t = test_input();
+                t.data_mut()[0] = i as f32;
+                t
+            })
+            .collect();
+        let mut d = Deployment::builder(m).partitions(3).build().unwrap();
+        let seq = d.infer_sequential(&inputs).unwrap();
+        let pipe = d.infer_stream(&inputs).unwrap();
+        assert_eq!(seq.failures(), 0);
+        assert_eq!(pipe.failures(), 0);
+        for (a, b) in seq.outputs.iter().zip(pipe.outputs.iter()) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert!(mvtee_tensor::metrics::allclose(a, b, 1e-4, 1e-5));
+        }
+        d.shutdown();
+    }
+
+    #[test]
+    fn monitor_attestation_round_trip() {
+        let m = model();
+        let mut d = Deployment::builder(m).partitions(2).build().unwrap();
+        let report = d.attest_monitor(b"owner-nonce");
+        d.verify_monitor_report(&report, b"owner-nonce").unwrap();
+        assert!(d.verify_monitor_report(&report, b"wrong-nonce").is_err());
+        d.shutdown();
+    }
+
+    #[test]
+    fn diversified_mvx_with_relaxed_metric_agrees() {
+        let m = model();
+        let input = test_input();
+        let mut d = Deployment::builder(m)
+            .partitions(3)
+            .diversified_mvx(1, 3)
+            .build()
+            .unwrap();
+        let out = d.infer(&input).unwrap();
+        assert_eq!(out.dims()[0], 1);
+        assert_eq!(
+            d.events().detection_count(),
+            0,
+            "benign diversified variants must agree under the relaxed metric: {:?}",
+            d.events().events()
+        );
+        d.shutdown();
+    }
+
+    #[test]
+    fn async_mode_executes() {
+        let m = model();
+        let input = test_input();
+        let mut d = Deployment::builder(m)
+            .partitions(3)
+            .mvx_on_partition(1, 3)
+            .exec_mode(ExecMode::AsyncCrossValidation)
+            .voting(VotingPolicy::Majority)
+            .build()
+            .unwrap();
+        let stats = d.infer_stream(&[input.clone(), input.clone(), input]).unwrap();
+        assert_eq!(stats.failures(), 0);
+        assert_eq!(d.events().detection_count(), 0);
+        d.shutdown();
+    }
+
+    #[test]
+    fn unencrypted_baseline_works() {
+        let m = model();
+        let input = test_input();
+        let expected = reference_output(&m, &input);
+        let mut d = Deployment::builder(m)
+            .partitions(2)
+            .encrypt(false)
+            .build()
+            .unwrap();
+        let out = d.infer(&input).unwrap();
+        assert!(mvtee_tensor::metrics::allclose(&out, &expected, 1e-3, 1e-4));
+        d.shutdown();
+    }
+
+    #[test]
+    fn force_slow_path_single_variants() {
+        let m = model();
+        let input = test_input();
+        let mut d = Deployment::builder(m)
+            .partitions(3)
+            .path_mode(PathMode::ForceSlow)
+            .build()
+            .unwrap();
+        let out = d.infer(&input).unwrap();
+        assert!(out.data().iter().all(|v| v.is_finite()));
+        d.shutdown();
+    }
+
+    #[test]
+    fn partial_update_rebinds() {
+        let m = model();
+        let input = test_input();
+        let mut d = Deployment::builder(m).partitions(2).build().unwrap();
+        let before = d.infer(&input).unwrap();
+        let bound_before = d.bindings().len();
+        d.partial_update(1, PartitionMvx::replicated(2)).unwrap();
+        let after = d.infer(&input).unwrap();
+        assert!(mvtee_tensor::metrics::allclose(&before, &after, 1e-3, 1e-4));
+        assert!(d.bindings().len() > bound_before, "bindings are append-only");
+        assert_eq!(d.update_log().len(), 1);
+        d.shutdown();
+    }
+
+    #[test]
+    fn full_update_reshuffles() {
+        let m = model();
+        let input = test_input();
+        let mut d = Deployment::builder(m).partitions(3).build().unwrap();
+        let before = d.infer(&input).unwrap();
+        let old_stages = d.partition_set().stages.clone();
+        d.full_update(0xabcdef).unwrap();
+        let after = d.infer(&input).unwrap();
+        assert!(mvtee_tensor::metrics::allclose(&before, &after, 1e-3, 1e-4));
+        assert_ne!(&old_stages, &d.partition_set().stages, "partition set reshuffled");
+        d.shutdown();
+    }
+
+    #[test]
+    fn single_partition_full_model() {
+        let m = model();
+        let input = test_input();
+        let expected = reference_output(&m, &input);
+        let mut d = Deployment::builder(m).partitions(1).build().unwrap();
+        let out = d.infer(&input).unwrap();
+        assert!(mvtee_tensor::metrics::allclose(&out, &expected, 1e-3, 1e-4));
+        d.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::*;
+    use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+    use mvtee_tensor::Tensor;
+
+    #[test]
+    fn pool_backed_deployment_selects_and_reshuffles() {
+        let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 99).unwrap();
+        let input = Tensor::ones(&[1, 3, 32, 32]);
+        let pool_cfg = PoolConfig { targets: vec![3], sets_per_target: 3, runs_per_set: 1 };
+        let mut d = Deployment::builder(model)
+            .partitions(3)
+            .partition_pool(pool_cfg)
+            .build()
+            .unwrap();
+        let before = d.infer(&input).unwrap();
+        let first_set = d.partition_set().clone();
+        // Full updates reshuffle within the pool; with 3 pooled sets a few
+        // seeds are enough to land on a different one.
+        let mut reshuffled = false;
+        for seed in 0..8u64 {
+            d.full_update(seed).unwrap();
+            if d.partition_set().stages != first_set.stages {
+                reshuffled = true;
+                break;
+            }
+        }
+        assert!(reshuffled, "full update never reshuffled within the pool");
+        let after = d.infer(&input).unwrap();
+        assert!(mvtee_tensor::metrics::allclose(&before, &after, 1e-3, 1e-4));
+        d.shutdown();
+    }
+
+    #[test]
+    fn pool_without_matching_target_fails_clearly() {
+        let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 99).unwrap();
+        let pool_cfg = PoolConfig { targets: vec![4], sets_per_target: 1, runs_per_set: 1 };
+        let result = Deployment::builder(model)
+            .partitions(3)
+            .partition_pool(pool_cfg)
+            .build();
+        match result {
+            Err(MvxError::InvalidConfig(msg)) => assert!(msg.contains("pool")),
+            Err(other) => panic!("unexpected error kind: {other}"),
+            Ok(_) => panic!("build must fail without a matching pooled set"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod rotation_tests {
+    use super::*;
+    use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+    use mvtee_tensor::Tensor;
+
+    #[test]
+    fn key_rotation_preserves_service_and_changes_keys() {
+        let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 71).unwrap();
+        let input = Tensor::ones(&[1, 3, 32, 32]);
+        let mut d = Deployment::builder(model).partitions(2).build().unwrap();
+        let before = d.infer(&input).unwrap();
+        let old_keys: Vec<[u8; 32]> = d
+            .offline
+            .artifacts
+            .iter()
+            .flatten()
+            .map(|a| a.variant_key)
+            .collect();
+        d.rotate_keys().unwrap();
+        let new_keys: Vec<[u8; 32]> = d
+            .offline
+            .artifacts
+            .iter()
+            .flatten()
+            .map(|a| a.variant_key)
+            .collect();
+        assert!(old_keys.iter().zip(new_keys.iter()).all(|(a, b)| a != b));
+        let after = d.infer(&input).unwrap();
+        assert!(mvtee_tensor::metrics::allclose(&before, &after, 1e-4, 1e-5));
+        assert!(d.update_log().iter().any(|e| e.contains("key rotation")));
+        d.shutdown();
+    }
+}

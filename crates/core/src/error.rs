@@ -1,0 +1,133 @@
+use std::fmt;
+
+/// Errors produced by the MVX system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MvxError {
+    /// Partitioning failed.
+    Partition(String),
+    /// Variant generation failed.
+    Diversify(String),
+    /// TEE-substrate failure (attestation, manifests, sealing).
+    Tee(String),
+    /// Runtime failure inside a variant.
+    Runtime(String),
+    /// A protocol message could not be encoded or decoded.
+    Codec(String),
+    /// A channel/transport failed (peer gone).
+    Transport(String),
+    /// The MVX configuration is invalid.
+    InvalidConfig(String),
+    /// Divergence was detected and the response policy halted execution.
+    DivergenceHalt {
+        /// Partition where the divergence surfaced.
+        partition: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A variant crashed and the response policy halted execution.
+    VariantCrashed {
+        /// Partition of the crashed variant.
+        partition: usize,
+        /// Variant index within the partition.
+        variant: usize,
+        /// Crash reason as reported.
+        reason: String,
+    },
+    /// The deployment is not in a state to serve the request.
+    BadState(String),
+}
+
+impl fmt::Display for MvxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MvxError::Partition(e) => write!(f, "partitioning failed: {e}"),
+            MvxError::Diversify(e) => write!(f, "variant generation failed: {e}"),
+            MvxError::Tee(e) => write!(f, "tee failure: {e}"),
+            MvxError::Runtime(e) => write!(f, "runtime failure: {e}"),
+            MvxError::Codec(e) => write!(f, "codec failure: {e}"),
+            MvxError::Transport(e) => write!(f, "transport failure: {e}"),
+            MvxError::InvalidConfig(e) => write!(f, "invalid mvx configuration: {e}"),
+            MvxError::DivergenceHalt { partition, detail } => {
+                if *partition == usize::MAX {
+                    write!(f, "inference halted: {detail}")
+                } else {
+                    write!(f, "halted on divergence at partition {partition}: {detail}")
+                }
+            }
+            MvxError::VariantCrashed { partition, variant, reason } => {
+                write!(f, "variant {variant} of partition {partition} crashed: {reason}")
+            }
+            MvxError::BadState(e) => write!(f, "bad deployment state: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MvxError {}
+
+impl From<mvtee_partition::PartitionError> for MvxError {
+    fn from(e: mvtee_partition::PartitionError) -> Self {
+        MvxError::Partition(e.to_string())
+    }
+}
+
+impl From<mvtee_diversify::DiversifyError> for MvxError {
+    fn from(e: mvtee_diversify::DiversifyError) -> Self {
+        MvxError::Diversify(e.to_string())
+    }
+}
+
+impl From<mvtee_tee::TeeError> for MvxError {
+    fn from(e: mvtee_tee::TeeError) -> Self {
+        MvxError::Tee(e.to_string())
+    }
+}
+
+impl From<mvtee_runtime::RuntimeError> for MvxError {
+    fn from(e: mvtee_runtime::RuntimeError) -> Self {
+        MvxError::Runtime(e.to_string())
+    }
+}
+
+impl From<mvtee_crypto::CryptoError> for MvxError {
+    fn from(e: mvtee_crypto::CryptoError) -> Self {
+        MvxError::Transport(e.to_string())
+    }
+}
+
+impl From<mvtee_graph::GraphError> for MvxError {
+    fn from(e: mvtee_graph::GraphError) -> Self {
+        MvxError::Runtime(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            MvxError::Partition("p".into()),
+            MvxError::Diversify("d".into()),
+            MvxError::Tee("t".into()),
+            MvxError::Runtime("r".into()),
+            MvxError::Codec("c".into()),
+            MvxError::Transport("x".into()),
+            MvxError::InvalidConfig("i".into()),
+            MvxError::DivergenceHalt { partition: 2, detail: "mismatch".into() },
+            MvxError::VariantCrashed { partition: 1, variant: 0, reason: "oob".into() },
+            MvxError::BadState("b".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let e: MvxError = mvtee_tee::TeeError::ReplayDetected("n".into()).into();
+        assert!(matches!(e, MvxError::Tee(_)));
+        let e: MvxError = mvtee_crypto::CryptoError::AuthenticationFailed.into();
+        assert!(matches!(e, MvxError::Transport(_)));
+    }
+}

@@ -1,0 +1,226 @@
+//! The monitor's audit event log.
+//!
+//! Every security-relevant observation — checkpoint divergences, crashes,
+//! late dissent in async mode, responses taken, binding updates — is
+//! appended here. The update log is append-only "for auditing purposes"
+//! (§4.3); experiments and tests assert detection through this log.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A security- or lifecycle-relevant monitor observation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorEvent {
+    /// A variant TEE completed attested bootstrap and was bound.
+    VariantBound {
+        /// Partition index.
+        partition: usize,
+        /// Variant index within the partition.
+        variant: usize,
+        /// Post-exec measurement.
+        measurement: [u8; 32],
+    },
+    /// Checkpoint divergence detected by the slow path.
+    DivergenceDetected {
+        /// Partition whose checkpoint fired.
+        partition: usize,
+        /// Batch id.
+        batch: u64,
+        /// Dissenting variant indices.
+        dissenting: Vec<usize>,
+        /// Detail string from the voting verdict.
+        detail: String,
+    },
+    /// A variant crashed (DoS-class exploit, fault, or channel loss).
+    VariantCrashed {
+        /// Partition index.
+        partition: usize,
+        /// Variant index.
+        variant: usize,
+        /// Batch id being processed.
+        batch: u64,
+        /// Reason.
+        reason: String,
+    },
+    /// A straggler's late output dissented in async cross-validation
+    /// mode; the reaction happens at the next checkpoint.
+    LateDissent {
+        /// Partition index.
+        partition: usize,
+        /// Batch id the late output belonged to.
+        batch: u64,
+        /// The late variant index.
+        variant: usize,
+    },
+    /// A response action was taken.
+    ResponseTaken {
+        /// Partition index.
+        partition: usize,
+        /// Action description (halt, continue-with-majority, drop).
+        action: String,
+    },
+    /// A partial or full variant update was applied (append-only).
+    BindingUpdated {
+        /// Partition index.
+        partition: usize,
+        /// Description of the update.
+        description: String,
+    },
+}
+
+impl fmt::Display for MonitorEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorEvent::VariantBound { partition, variant, .. } => {
+                write!(f, "bound variant {variant} of partition {partition}")
+            }
+            MonitorEvent::DivergenceDetected { partition, batch, dissenting, .. } => write!(
+                f,
+                "divergence at partition {partition} batch {batch}: dissenting {dissenting:?}"
+            ),
+            MonitorEvent::VariantCrashed { partition, variant, batch, reason } => write!(
+                f,
+                "variant {variant} of partition {partition} crashed at batch {batch}: {reason}"
+            ),
+            MonitorEvent::LateDissent { partition, batch, variant } => write!(
+                f,
+                "late dissent from variant {variant} of partition {partition} at batch {batch}"
+            ),
+            MonitorEvent::ResponseTaken { partition, action } => {
+                write!(f, "response at partition {partition}: {action}")
+            }
+            MonitorEvent::BindingUpdated { partition, description } => {
+                write!(f, "binding update at partition {partition}: {description}")
+            }
+        }
+    }
+}
+
+/// Thread-safe, append-only event log shared between the monitor's stage
+/// coordinators.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    inner: Arc<Mutex<Vec<(f64, MonitorEvent)>>>,
+    start: Option<Instant>,
+}
+
+impl EventLog {
+    /// Creates an empty log with a fresh epoch.
+    pub fn new() -> Self {
+        EventLog { inner: Arc::new(Mutex::new(Vec::new())), start: Some(Instant::now()) }
+    }
+
+    /// Appends an event.
+    pub fn record(&self, event: MonitorEvent) {
+        let t = self.start.map(|s| s.elapsed().as_secs_f64()).unwrap_or(0.0);
+        self.inner.lock().push((t, event));
+    }
+
+    /// Snapshot of all events (timestamp seconds, event).
+    pub fn snapshot(&self) -> Vec<(f64, MonitorEvent)> {
+        self.inner.lock().clone()
+    }
+
+    /// All events without timestamps.
+    pub fn events(&self) -> Vec<MonitorEvent> {
+        self.inner.lock().iter().map(|(_, e)| e.clone()).collect()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Count of divergence-class events (divergences + crashes + late
+    /// dissent) — the detection signal asserted by the security tests.
+    pub fn detection_count(&self) -> usize {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|(_, e)| {
+                matches!(
+                    e,
+                    MonitorEvent::DivergenceDetected { .. }
+                        | MonitorEvent::VariantCrashed { .. }
+                        | MonitorEvent::LateDissent { .. }
+                )
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_records_and_counts() {
+        let log = EventLog::new();
+        assert!(log.is_empty());
+        log.record(MonitorEvent::ResponseTaken { partition: 0, action: "halt".into() });
+        log.record(MonitorEvent::DivergenceDetected {
+            partition: 1,
+            batch: 3,
+            dissenting: vec![2],
+            detail: "x".into(),
+        });
+        log.record(MonitorEvent::VariantCrashed {
+            partition: 1,
+            variant: 2,
+            batch: 3,
+            reason: "oob".into(),
+        });
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.detection_count(), 2);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn log_is_shared_across_clones() {
+        let log = EventLog::new();
+        let clone = log.clone();
+        clone.record(MonitorEvent::LateDissent { partition: 0, batch: 1, variant: 2 });
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn events_display() {
+        let events = [
+            MonitorEvent::VariantBound { partition: 0, variant: 1, measurement: [0; 32] },
+            MonitorEvent::DivergenceDetected {
+                partition: 0,
+                batch: 0,
+                dissenting: vec![],
+                detail: "d".into(),
+            },
+            MonitorEvent::VariantCrashed {
+                partition: 0,
+                variant: 0,
+                batch: 0,
+                reason: "r".into(),
+            },
+            MonitorEvent::LateDissent { partition: 0, batch: 0, variant: 0 },
+            MonitorEvent::ResponseTaken { partition: 0, action: "a".into() },
+            MonitorEvent::BindingUpdated { partition: 0, description: "d".into() },
+        ];
+        for e in events {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn timestamps_monotone() {
+        let log = EventLog::new();
+        log.record(MonitorEvent::ResponseTaken { partition: 0, action: "a".into() });
+        log.record(MonitorEvent::ResponseTaken { partition: 0, action: "b".into() });
+        let snap = log.snapshot();
+        assert!(snap[0].0 <= snap[1].0);
+    }
+}

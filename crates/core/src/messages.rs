@@ -1,0 +1,183 @@
+//! Wire protocol between the monitor TEE and variant TEEs.
+//!
+//! Two phases share the transports: the bootstrap/attestation protocol of
+//! Fig 6 (plaintext transport + report-bound DH handshake) and the data
+//! plane (encrypted, sequence-numbered frames carrying checkpoint
+//! tensors). All messages are encoded with `mvtee-codec`.
+
+use mvtee_tee::AttestationReport;
+use mvtee_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Monitor → init-variant bootstrap messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BootstrapRequest {
+    /// Step ②/⑤ of Fig 6: challenge with a fresh nonce.
+    Challenge {
+        /// Anti-replay nonce the report must bind.
+        nonce: [u8; 32],
+        /// The monitor's ephemeral X25519 public key.
+        monitor_dh_public: [u8; 32],
+    },
+    /// Step ⑤: key + identity release, sealed under the session key
+    /// (`payload = seal(KeyRelease)`).
+    SealedKeyRelease {
+        /// AES-GCM-256-sealed [`KeyRelease`] (nonce ‖ ciphertext ‖ tag).
+        payload: Vec<u8>,
+    },
+}
+
+/// The plaintext of the sealed key-release message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KeyRelease {
+    /// The variant-specific key-derivation key.
+    pub variant_key: [u8; 32],
+    /// The assigned variant identifier.
+    pub variant_id: u64,
+    /// Path of the sealed bundle on the variant's host storage.
+    pub bundle_path: String,
+    /// Expected hash of the second-stage manifest the variant must
+    /// install (from the offline tool).
+    pub expected_manifest_hash: [u8; 32],
+}
+
+/// Init-variant → monitor bootstrap messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BootstrapResponse {
+    /// Reply to a challenge: attestation report binding
+    /// `H(nonce) ‖ H(dh_publics)` plus the variant's DH public key.
+    Evidence {
+        /// The hardware-signed report.
+        report: AttestationReport,
+        /// The variant's ephemeral X25519 public key.
+        variant_dh_public: [u8; 32],
+    },
+    /// Step ⑥: manifest installed, exec'd; evidence of the enforced
+    /// second-stage manifest, sealed under the session key.
+    SealedInstallEvidence {
+        /// AES-GCM-256-sealed [`InstallEvidence`].
+        payload: Vec<u8>,
+    },
+    /// Bootstrap failed on the variant side.
+    Failed {
+        /// Reason.
+        reason: String,
+    },
+}
+
+/// The plaintext of the sealed install-evidence message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstallEvidence {
+    /// Variant id echoed back.
+    pub variant_id: u64,
+    /// Hash of the now-enforced second-stage manifest.
+    pub manifest_hash: [u8; 32],
+    /// Post-exec enclave measurement.
+    pub measurement: [u8; 32],
+}
+
+/// Data-plane message from a stage coordinator to a variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StageRequest {
+    /// Run inference on one batch.
+    Input {
+        /// Monotone batch id.
+        batch: u64,
+        /// Input tensors in the partition subgraph's input order.
+        tensors: Vec<Tensor>,
+    },
+    /// Terminate the variant TEE.
+    Shutdown,
+}
+
+/// Data-plane message from a variant back to its stage coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StageResponse {
+    /// Inference result for a batch.
+    Output {
+        /// Batch id echoed back.
+        batch: u64,
+        /// Output tensors in the subgraph's output order.
+        tensors: Vec<Tensor>,
+    },
+    /// The variant crashed while processing a batch (the process would be
+    /// dead; the message models the monitor's crash observation).
+    Crashed {
+        /// Batch id that triggered the crash.
+        batch: u64,
+        /// Reason string.
+        reason: String,
+    },
+}
+
+/// Derives the bootstrap session secret from the DH shared secret and the
+/// challenge nonce. Both protocol sides call this one function so the
+/// derivation can never drift apart.
+pub fn bootstrap_session_secret(shared: &[u8; 32], nonce: &[u8; 32]) -> [u8; 32] {
+    let mut ikm = Vec::with_capacity(64);
+    ikm.extend_from_slice(shared);
+    ikm.extend_from_slice(nonce);
+    mvtee_crypto::sha256::derive_key32(&ikm, "mvtee-bootstrap-session")
+}
+
+/// The handshake transcript hash binding both DH public keys
+/// (monitor-first order), mirrored by both protocol sides.
+pub fn bootstrap_transcript_hash(monitor_pub: &[u8; 32], variant_pub: &[u8; 32]) -> [u8; 32] {
+    let mut transcript = Vec::with_capacity(64);
+    transcript.extend_from_slice(monitor_pub);
+    transcript.extend_from_slice(variant_pub);
+    mvtee_crypto::sha256::sha256(&transcript)
+}
+
+/// Encodes any protocol message.
+pub fn encode<T: Serialize>(msg: &T) -> crate::Result<Vec<u8>> {
+    mvtee_codec::to_bytes(msg).map_err(|e| crate::MvxError::Codec(e.to_string()))
+}
+
+/// Decodes any protocol message.
+pub fn decode<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> crate::Result<T> {
+    mvtee_codec::from_bytes(bytes).map_err(|e| crate::MvxError::Codec(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_messages_round_trip() {
+        let req = BootstrapRequest::Challenge {
+            nonce: [7u8; 32],
+            monitor_dh_public: [9u8; 32],
+        };
+        let bytes = encode(&req).unwrap();
+        assert_eq!(decode::<BootstrapRequest>(&bytes).unwrap(), req);
+
+        let release = KeyRelease {
+            variant_key: [1u8; 32],
+            variant_id: 42,
+            bundle_path: "/enc/p2/v1".into(),
+            expected_manifest_hash: [3u8; 32],
+        };
+        let bytes = encode(&release).unwrap();
+        assert_eq!(decode::<KeyRelease>(&bytes).unwrap(), release);
+    }
+
+    #[test]
+    fn stage_messages_round_trip() {
+        let msg = StageRequest::Input {
+            batch: 9,
+            tensors: vec![Tensor::ones(&[2, 3]), Tensor::zeros(&[1])],
+        };
+        let bytes = encode(&msg).unwrap();
+        assert_eq!(decode::<StageRequest>(&bytes).unwrap(), msg);
+
+        let resp = StageResponse::Crashed { batch: 9, reason: "CVE".into() };
+        let bytes = encode(&resp).unwrap();
+        assert_eq!(decode::<StageResponse>(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode::<StageRequest>(b"nope").is_err());
+    }
+}

@@ -1,0 +1,997 @@
+//! Stage coordinators: the monitor's data plane.
+//!
+//! Variant TEEs are organised into a pipeline mirroring the partition
+//! order. One coordinator thread per partition (all "inside" the monitor
+//! TEE — the cross-process monitor is multithreaded) dispatches batches to
+//! that partition's variant TEEs, gathers their encrypted outputs,
+//! evaluates checkpoints (slow path) or falls through (fast path), and
+//! forwards the selected result to the next stage. Sequential and
+//! pipelined execution use the same plumbing: sequential submits one batch
+//! and waits; pipelined streams batches so stages overlap
+//! (compute-communication overlapping, §4.1).
+
+use crate::config::{ExecMode, ResponsePolicy, VotingPolicy};
+use crate::events::{EventLog, MonitorEvent};
+use crate::link::DataLink;
+use crate::messages::{decode, encode, StageRequest, StageResponse};
+use crate::voting::{evaluate, has_quorum, VariantOutput, Verdict};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use mvtee_graph::ValueId;
+use mvtee_tensor::metrics::Metric;
+use mvtee_tensor::Tensor;
+use std::collections::{HashMap, HashSet};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a coordinator waits for a variant response before declaring
+/// the variant dead (simulation safety net; real MVTEE uses liveness
+/// monitoring).
+pub const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A unit of work flowing through the pipeline.
+#[derive(Debug, Clone)]
+pub struct StageJob {
+    /// Monotone batch id.
+    pub batch: u64,
+    /// Live boundary values (parent-graph value id → tensor).
+    pub env: HashMap<ValueId, Tensor>,
+    /// Set when an upstream stage failed this batch; downstream stages
+    /// pass it through untouched.
+    pub poisoned: Option<String>,
+    /// Submission timestamp (for latency accounting).
+    pub submitted: Instant,
+}
+
+/// Events from the per-variant receiver threads, merged into one queue.
+#[derive(Debug)]
+pub enum RxEvent {
+    /// A decoded stage response from variant `idx`.
+    Msg(usize, StageResponse),
+    /// Variant `idx`'s response channel died.
+    Disconnected(usize),
+}
+
+/// Monitor-side state for one variant TEE's data plane.
+pub struct VariantLink {
+    /// Request link (coordinator → variant).
+    pub tx: DataLink,
+    /// Human-readable description (for events).
+    pub description: String,
+}
+
+/// Everything a coordinator needs for its partition.
+pub struct StageRuntime {
+    /// Partition index.
+    pub partition: usize,
+    /// Request links to this partition's variants.
+    pub links: Vec<VariantLink>,
+    /// Merged response queue.
+    pub responses: Receiver<RxEvent>,
+    /// Receiver threads feeding `responses` (joined on drop).
+    pub rx_threads: Vec<JoinHandle<()>>,
+    /// Subgraph boundary inputs (parent value ids, in input order).
+    pub inputs: Vec<ValueId>,
+    /// Subgraph boundary outputs (parent value ids, in output order).
+    pub outputs: Vec<ValueId>,
+    /// Values still needed by later stages (env garbage collection).
+    pub needed_downstream: HashSet<ValueId>,
+    /// Whether this checkpoint takes the slow path.
+    pub slow: bool,
+}
+
+/// Per-stage copy of the execution-relevant configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StagePolicy {
+    /// Sync vs async cross-validation.
+    pub exec: ExecMode,
+    /// Voting policy.
+    pub voting: VotingPolicy,
+    /// Response policy.
+    pub response: ResponsePolicy,
+}
+
+/// Control messages into a coordinator.
+pub enum CoordMsg {
+    /// Process a job.
+    Job(StageJob),
+    /// Shut down (variants get [`StageRequest::Shutdown`]).
+    Stop,
+}
+
+/// Spawns the receiver thread for one variant's response link.
+pub fn spawn_rx_thread(
+    variant_idx: usize,
+    mut link: DataLink,
+    merged: Sender<RxEvent>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("rx-v{variant_idx}"))
+        .spawn(move || loop {
+            match link.recv() {
+                Ok(frame) => match decode::<StageResponse>(&frame) {
+                    Ok(resp) => {
+                        if merged.send(RxEvent::Msg(variant_idx, resp)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        let _ = merged.send(RxEvent::Disconnected(variant_idx));
+                        break;
+                    }
+                },
+                Err(_) => {
+                    let _ = merged.send(RxEvent::Disconnected(variant_idx));
+                    break;
+                }
+            }
+        })
+        .expect("thread spawn cannot fail")
+}
+
+struct Outstanding {
+    chosen: Vec<Tensor>,
+    remaining: HashSet<usize>,
+}
+
+/// The coordinator loop for one stage. Returns the runtime when stopped so
+/// the deployment can reuse or update it.
+pub fn run_stage(
+    mut runtime: StageRuntime,
+    policy: StagePolicy,
+    metric: Metric,
+    in_rx: Receiver<CoordMsg>,
+    out_tx: Sender<StageJob>,
+    events: EventLog,
+) -> StageRuntime {
+    let partition = runtime.partition;
+    let mut dead: Vec<bool> = vec![false; runtime.links.len()];
+    let mut outstanding: HashMap<u64, Outstanding> = HashMap::new();
+    let mut pending_reaction: Option<String> = None;
+
+    'jobs: while let Ok(msg) = in_rx.recv() {
+        let mut job = match msg {
+            CoordMsg::Stop => break,
+            CoordMsg::Job(job) => job,
+        };
+        if job.poisoned.is_some() {
+            let _ = out_tx.send(job);
+            continue;
+        }
+        // Async-mode reaction deferred to "the earliest next checkpoint".
+        if let Some(detail) = pending_reaction.take() {
+            events.record(MonitorEvent::ResponseTaken {
+                partition,
+                action: format!("late-dissent reaction: {detail}"),
+            });
+            if policy.response == ResponsePolicy::Halt {
+                job.poisoned = Some(format!("halted after late dissent: {detail}"));
+                let _ = out_tx.send(job);
+                continue;
+            }
+        }
+
+        // Gather this stage's inputs from the job environment.
+        let mut tensors = Vec::with_capacity(runtime.inputs.len());
+        for v in &runtime.inputs {
+            match job.env.get(v) {
+                Some(t) => tensors.push(t.clone()),
+                None => {
+                    job.poisoned = Some(format!("missing boundary value {v}"));
+                    let _ = out_tx.send(job);
+                    continue 'jobs;
+                }
+            }
+        }
+
+        // Dispatch to all live variants.
+        let request = StageRequest::Input { batch: job.batch, tensors };
+        let frame = match encode(&request) {
+            Ok(f) => f,
+            Err(e) => {
+                job.poisoned = Some(e.to_string());
+                let _ = out_tx.send(job);
+                continue;
+            }
+        };
+        for (i, link) in runtime.links.iter_mut().enumerate() {
+            if dead[i] {
+                continue;
+            }
+            if link.tx.send(&frame).is_err() {
+                dead[i] = true;
+                events.record(MonitorEvent::VariantCrashed {
+                    partition,
+                    variant: i,
+                    batch: job.batch,
+                    reason: format!("request channel closed ({})", link.description),
+                });
+            }
+        }
+        let live: Vec<usize> = (0..dead.len()).filter(|&i| !dead[i]).collect();
+        if live.is_empty() {
+            job.poisoned = Some("all variants dead".into());
+            events.record(MonitorEvent::ResponseTaken {
+                partition,
+                action: "halt: no live variants".into(),
+            });
+            let _ = out_tx.send(job);
+            continue;
+        }
+
+        // Collect responses for this batch.
+        let mut arrived: HashMap<usize, VariantOutput> = HashMap::new();
+        let selected: Option<Vec<Tensor>>;
+        let total_live = live.len();
+        let use_async =
+            policy.exec == ExecMode::AsyncCrossValidation && runtime.slow && total_live > 1;
+
+        loop {
+            // Async fast-exit: forward on majority quorum of the panel.
+            if use_async {
+                let arrived_ids: Vec<usize> =
+                    live.iter().copied().filter(|i| arrived.contains_key(i)).collect();
+                let arrived_vec: Vec<VariantOutput> =
+                    arrived_ids.iter().map(|i| arrived[i].clone()).collect();
+                if arrived_vec.len() < total_live {
+                    if let Some(q) = has_quorum(&arrived_vec, total_live, metric) {
+                        // A dissenter that already arrived is outvoted but
+                        // must still be detected and reacted to — quorum
+                        // forwarding never swallows a divergence.
+                        let dissenting: Vec<usize> = arrived_ids
+                            .iter()
+                            .copied()
+                            .filter(|i| match &arrived[i] {
+                                VariantOutput::Crashed(_) => true,
+                                VariantOutput::Ok(t) => {
+                                    t.len() != q.len()
+                                        || t.iter()
+                                            .zip(q.iter())
+                                            .any(|(a, b)| !metric.check(a, b))
+                                }
+                            })
+                            .collect();
+                        // A crashed arrival is dead now, not at the next
+                        // batch's dispatch: mark and attribute it here.
+                        for &v in &dissenting {
+                            if let VariantOutput::Crashed(reason) = &arrived[&v] {
+                                if !dead[v] {
+                                    dead[v] = true;
+                                    events.record(MonitorEvent::VariantCrashed {
+                                        partition,
+                                        variant: v,
+                                        batch: job.batch,
+                                        reason: reason.clone(),
+                                    });
+                                }
+                            }
+                        }
+                        if !dissenting.is_empty() {
+                            events.record(MonitorEvent::DivergenceDetected {
+                                partition,
+                                batch: job.batch,
+                                dissenting: dissenting.clone(),
+                                detail: "outvoted at async quorum".into(),
+                            });
+                            pending_reaction = Some(format!(
+                                "variants {dissenting:?} dissented at quorum on batch {}",
+                                job.batch
+                            ));
+                        }
+                        // Remember the stragglers for late cross-validation.
+                        let remaining: HashSet<usize> = live
+                            .iter()
+                            .copied()
+                            .filter(|i| !arrived.contains_key(i))
+                            .collect();
+                        outstanding.insert(
+                            job.batch,
+                            Outstanding { chosen: q.clone(), remaining },
+                        );
+                        // Bound the late-validation window: a straggler
+                        // that never answers must not grow state forever.
+                        if outstanding.len() > 256 {
+                            let oldest = *outstanding.keys().min().expect("non-empty");
+                            outstanding.remove(&oldest);
+                            events.record(MonitorEvent::ResponseTaken {
+                                partition,
+                                action: format!(
+                                    "dropped late-validation state for batch {oldest} (window full)"
+                                ),
+                            });
+                        }
+                        selected = Some(q);
+                        break;
+                    }
+                }
+            }
+            // Sync completion: all live responses in.
+            if live.iter().all(|i| arrived.contains_key(i)) {
+                let outputs: Vec<VariantOutput> =
+                    live.iter().map(|i| arrived[i].clone()).collect();
+                if !runtime.slow && outputs.len() == 1 {
+                    // Fast path: fall through without evaluation (crashes
+                    // still surface).
+                    match &outputs[0] {
+                        VariantOutput::Ok(t) => {
+                            selected = Some(t.clone());
+                        }
+                        VariantOutput::Crashed(reason) => {
+                            events.record(MonitorEvent::VariantCrashed {
+                                partition,
+                                variant: live[0],
+                                batch: job.batch,
+                                reason: reason.clone(),
+                            });
+                            selected = None;
+                        }
+                    }
+                    break;
+                }
+                if !runtime.slow {
+                    // Forced fast path with multiple variants: take the
+                    // first healthy output, no checks.
+                    selected = outputs.iter().find_map(|o| match o {
+                        VariantOutput::Ok(t) => Some(t.clone()),
+                        _ => None,
+                    });
+                    break;
+                }
+                // Slow path: full evaluation + voting.
+                for (pos, o) in outputs.iter().enumerate() {
+                    if let VariantOutput::Crashed(reason) = o {
+                        let v = live[pos];
+                        if !dead[v] {
+                            dead[v] = true;
+                            events.record(MonitorEvent::VariantCrashed {
+                                partition,
+                                variant: v,
+                                batch: job.batch,
+                                reason: reason.clone(),
+                            });
+                        }
+                    }
+                }
+                match evaluate(&outputs, metric, policy.voting) {
+                    Verdict::Agree { selected: s, .. } => {
+                        selected = Some(s);
+                    }
+                    Verdict::Diverged { majority, dissenting, detail } => {
+                        let dissenting_variants: Vec<usize> =
+                            dissenting.iter().map(|&p| live[p]).collect();
+                        events.record(MonitorEvent::DivergenceDetected {
+                            partition,
+                            batch: job.batch,
+                            dissenting: dissenting_variants,
+                            detail: detail.clone(),
+                        });
+                        match policy.response {
+                            ResponsePolicy::Halt => {
+                                events.record(MonitorEvent::ResponseTaken {
+                                    partition,
+                                    action: "halt".into(),
+                                });
+                                selected = None;
+                            }
+                            ResponsePolicy::ContinueWithMajority => {
+                                events.record(MonitorEvent::ResponseTaken {
+                                    partition,
+                                    action: "continue-with-majority".into(),
+                                });
+                                selected = majority;
+                            }
+                        }
+                    }
+                }
+                break;
+            }
+            // Pull the next response event.
+            match runtime.responses.recv_timeout(RESPONSE_TIMEOUT) {
+                Ok(RxEvent::Msg(v, StageResponse::Output { batch, tensors })) => {
+                    if batch == job.batch {
+                        arrived.insert(v, VariantOutput::Ok(tensors));
+                    } else {
+                        late_cross_validate(
+                            &mut outstanding,
+                            &mut pending_reaction,
+                            &events,
+                            partition,
+                            metric,
+                            batch,
+                            v,
+                            VariantOutput::Ok(tensors),
+                        );
+                    }
+                }
+                Ok(RxEvent::Msg(v, StageResponse::Crashed { batch, reason })) => {
+                    if batch == job.batch {
+                        arrived.insert(v, VariantOutput::Crashed(reason));
+                    } else {
+                        late_cross_validate(
+                            &mut outstanding,
+                            &mut pending_reaction,
+                            &events,
+                            partition,
+                            metric,
+                            batch,
+                            v,
+                            VariantOutput::Crashed(reason),
+                        );
+                    }
+                }
+                Ok(RxEvent::Disconnected(v)) => {
+                    if !dead[v] {
+                        dead[v] = true;
+                        events.record(MonitorEvent::VariantCrashed {
+                            partition,
+                            variant: v,
+                            batch: job.batch,
+                            reason: "response channel closed".into(),
+                        });
+                    }
+                    arrived
+                        .entry(v)
+                        .or_insert_with(|| VariantOutput::Crashed("disconnected".into()));
+                    // A disconnected straggler will never deliver its late
+                    // answers: resolve every outstanding async validation
+                    // it still owed as a crash-dissent.
+                    let owed: Vec<u64> = outstanding
+                        .iter()
+                        .filter(|(_, o)| o.remaining.contains(&v))
+                        .map(|(&b, _)| b)
+                        .collect();
+                    for b in owed {
+                        late_cross_validate(
+                            &mut outstanding,
+                            &mut pending_reaction,
+                            &events,
+                            partition,
+                            metric,
+                            b,
+                            v,
+                            VariantOutput::Crashed("disconnected".into()),
+                        );
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    for &v in &live {
+                        arrived
+                            .entry(v)
+                            .or_insert_with(|| VariantOutput::Crashed("timeout".into()));
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    job.poisoned = Some("response plane disconnected".into());
+                    let _ = out_tx.send(job);
+                    continue 'jobs;
+                }
+            }
+        }
+
+        match selected {
+            Some(outputs) if outputs.len() == runtime.outputs.len() => {
+                for (v, t) in runtime.outputs.iter().zip(outputs) {
+                    job.env.insert(*v, t);
+                }
+                job.env.retain(|v, _| runtime.needed_downstream.contains(v));
+            }
+            Some(outputs) => {
+                job.poisoned = Some(format!(
+                    "variant returned {} outputs, stage expects {}",
+                    outputs.len(),
+                    runtime.outputs.len()
+                ));
+            }
+            None => {
+                job.poisoned = Some(format!("checkpoint at partition {partition} failed"));
+            }
+        }
+        if out_tx.send(job).is_err() {
+            break;
+        }
+    }
+
+    // Drain outstanding stragglers briefly, then shut variants down.
+    let drain_deadline = Instant::now() + Duration::from_millis(500);
+    while !outstanding.is_empty() && Instant::now() < drain_deadline {
+        match runtime.responses.recv_timeout(Duration::from_millis(50)) {
+            Ok(RxEvent::Msg(v, StageResponse::Output { batch, tensors })) => {
+                late_cross_validate(
+                    &mut outstanding,
+                    &mut pending_reaction,
+                    &events,
+                    partition,
+                    metric,
+                    batch,
+                    v,
+                    VariantOutput::Ok(tensors),
+                );
+            }
+            Ok(RxEvent::Msg(v, StageResponse::Crashed { batch, reason })) => {
+                late_cross_validate(
+                    &mut outstanding,
+                    &mut pending_reaction,
+                    &events,
+                    partition,
+                    metric,
+                    batch,
+                    v,
+                    VariantOutput::Crashed(reason),
+                );
+            }
+            Ok(RxEvent::Disconnected(_)) => break,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    if let Some(detail) = pending_reaction.take() {
+        events.record(MonitorEvent::ResponseTaken {
+            partition,
+            action: format!("late-dissent reaction at shutdown: {detail}"),
+        });
+    }
+    let shutdown = encode(&StageRequest::Shutdown).expect("static message encodes");
+    for (i, link) in runtime.links.iter_mut().enumerate() {
+        if !dead[i] {
+            let _ = link.tx.send(&shutdown);
+        }
+    }
+    runtime
+}
+
+/// Validates a straggler's late output against the already-forwarded
+/// choice (async cross-validation, Fig 8).
+#[allow(clippy::too_many_arguments)]
+fn late_cross_validate(
+    outstanding: &mut HashMap<u64, Outstanding>,
+    pending_reaction: &mut Option<String>,
+    events: &EventLog,
+    partition: usize,
+    metric: Metric,
+    batch: u64,
+    variant: usize,
+    output: VariantOutput,
+) {
+    let Some(entry) = outstanding.get_mut(&batch) else {
+        return; // unknown batch (already fully validated or pre-crash noise)
+    };
+    if !entry.remaining.remove(&variant) {
+        return;
+    }
+    let consistent = match &output {
+        VariantOutput::Crashed(_) => false,
+        VariantOutput::Ok(tensors) => {
+            tensors.len() == entry.chosen.len()
+                && tensors
+                    .iter()
+                    .zip(entry.chosen.iter())
+                    .all(|(a, b)| metric.check(a, b))
+        }
+    };
+    if !consistent {
+        events.record(MonitorEvent::LateDissent { partition, batch, variant });
+        *pending_reaction =
+            Some(format!("variant {variant} dissented late on batch {batch}"));
+    }
+    if entry.remaining.is_empty() {
+        outstanding.remove(&batch);
+    }
+}
+
+/// A handle to the running pipeline: per-stage input senders plus the
+/// final results receiver.
+pub struct PipelineHandles {
+    /// Sender into the first stage.
+    pub first_stage: Sender<CoordMsg>,
+    /// Senders into every stage (for Stop broadcasts), first included.
+    pub all_stages: Vec<Sender<CoordMsg>>,
+    /// Completed jobs out of the last stage.
+    pub results: Receiver<StageJob>,
+    /// Coordinator join handles (return their runtimes).
+    pub threads: Vec<JoinHandle<StageRuntime>>,
+}
+
+/// Wires coordinators into a linear pipeline and spawns them.
+///
+/// Stage `i`'s output feeds stage `i + 1`'s input through a small
+/// forwarder thread (the bridging keeps coordinator shutdown independent:
+/// forwarders exit when their upstream coordinator drops its sender).
+pub fn spawn_pipeline(
+    runtimes: Vec<StageRuntime>,
+    policy: StagePolicy,
+    metrics: Vec<Metric>,
+    events: EventLog,
+) -> PipelineHandles {
+    let n = runtimes.len();
+    assert!(n > 0, "pipeline needs at least one stage");
+    assert_eq!(metrics.len(), n, "one metric per stage");
+    let mut stage_inputs: Vec<Sender<CoordMsg>> = Vec::with_capacity(n);
+    let mut stage_rxs: Vec<Receiver<CoordMsg>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = bounded::<CoordMsg>(1024);
+        stage_inputs.push(tx);
+        stage_rxs.push(rx);
+    }
+    let (final_tx, results) = unbounded::<StageJob>();
+    let mut threads = Vec::with_capacity(n);
+    for (i, (runtime, rx)) in runtimes.into_iter().zip(stage_rxs).enumerate() {
+        let out: Sender<StageJob> = if i + 1 < n {
+            let (btx, brx) = unbounded::<StageJob>();
+            let downstream = stage_inputs[i + 1].clone();
+            std::thread::Builder::new()
+                .name(format!("fwd-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = brx.recv() {
+                        if downstream.send(CoordMsg::Job(job)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("thread spawn cannot fail");
+            btx
+        } else {
+            final_tx.clone()
+        };
+        let ev = events.clone();
+        let metric = metrics[i];
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("stage-{i}"))
+                .spawn(move || run_stage(runtime, policy, metric, rx, out, ev))
+                .expect("thread spawn cannot fail"),
+        );
+    }
+    drop(final_tx);
+    PipelineHandles {
+        first_stage: stage_inputs[0].clone(),
+        all_stages: stage_inputs,
+        results,
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExecMode, ResponsePolicy, VotingPolicy};
+    use crate::link::link_pair;
+    use mvtee_graph::ValueId;
+    use std::time::Duration;
+
+    /// Scripted fake variant behaviours.
+    #[derive(Clone, Copy)]
+    enum Behaviour {
+        /// Return the input unchanged.
+        Echo,
+        /// Return the input with every element shifted by the offset.
+        Corrupt(f32),
+        /// Crash on the given batch id, echo otherwise.
+        CrashOn(u64),
+        /// Echo after sleeping (the lagging variant).
+        SlowEcho(u64),
+    }
+
+    /// Spawns a fake variant thread and returns the monitor-side links.
+    fn fake_variant(behaviour: Behaviour) -> (DataLink, DataLink) {
+        let (req_monitor, req_variant) = link_pair(false, b"", 0);
+        let (resp_variant, resp_monitor) = link_pair(false, b"", 1);
+        std::thread::spawn(move || {
+            let mut rx = req_variant;
+            let mut tx = resp_variant;
+            while let Ok(frame) = rx.recv() {
+                let Ok(msg) = decode::<StageRequest>(&frame) else { break };
+                match msg {
+                    StageRequest::Shutdown => break,
+                    StageRequest::Input { batch, tensors } => {
+                        let resp = match behaviour {
+                            Behaviour::Echo => StageResponse::Output { batch, tensors },
+                            Behaviour::Corrupt(delta) => StageResponse::Output {
+                                batch,
+                                tensors: tensors
+                                    .iter()
+                                    .map(|t| t.map(|v| v + delta))
+                                    .collect(),
+                            },
+                            Behaviour::CrashOn(b) if b == batch => {
+                                let _ = tx.send(
+                                    &encode(&StageResponse::Crashed {
+                                        batch,
+                                        reason: "scripted crash".into(),
+                                    })
+                                    .expect("encodes"),
+                                );
+                                break;
+                            }
+                            Behaviour::CrashOn(_) => StageResponse::Output { batch, tensors },
+                            Behaviour::SlowEcho(ms) => {
+                                std::thread::sleep(Duration::from_millis(ms));
+                                StageResponse::Output { batch, tensors }
+                            }
+                        };
+                        if tx.send(&encode(&resp).expect("encodes")).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        (req_monitor, resp_monitor)
+    }
+
+    fn fake_stage(behaviours: &[Behaviour], slow: bool) -> StageRuntime {
+        let (merged_tx, merged_rx) = unbounded::<RxEvent>();
+        let mut links = Vec::new();
+        let mut rx_threads = Vec::new();
+        for (i, &b) in behaviours.iter().enumerate() {
+            let (tx, rx) = fake_variant(b);
+            rx_threads.push(spawn_rx_thread(i, rx, merged_tx.clone()));
+            links.push(VariantLink { tx, description: format!("fake-{i}") });
+        }
+        let mut needed = HashSet::new();
+        needed.insert(ValueId(1));
+        StageRuntime {
+            partition: 0,
+            links,
+            responses: merged_rx,
+            rx_threads,
+            inputs: vec![ValueId(0)],
+            outputs: vec![ValueId(1)],
+            needed_downstream: needed,
+            slow,
+        }
+    }
+
+    fn job(batch: u64, value: f32) -> StageJob {
+        let mut env = HashMap::new();
+        env.insert(
+            ValueId(0),
+            Tensor::from_vec(vec![value; 4], &[4]).expect("static shape"),
+        );
+        StageJob { batch, env, poisoned: None, submitted: Instant::now() }
+    }
+
+    fn policy(exec: ExecMode, response: ResponsePolicy) -> StagePolicy {
+        StagePolicy { exec, voting: VotingPolicy::Unanimous, response }
+    }
+
+    /// Runs jobs through one coordinator; returns the results, the event
+    /// log, and the time until the *last result* was received (excluding
+    /// shutdown/drain).
+    fn drive(
+        runtime: StageRuntime,
+        p: StagePolicy,
+        jobs: Vec<StageJob>,
+    ) -> (Vec<StageJob>, EventLog, Duration) {
+        let metric = Metric::strict();
+        let (in_tx, in_rx) = bounded::<CoordMsg>(64);
+        let (out_tx, out_rx) = unbounded::<StageJob>();
+        let events = EventLog::new();
+        let ev = events.clone();
+        let n = jobs.len();
+        let start = Instant::now();
+        let handle =
+            std::thread::spawn(move || run_stage(runtime, p, metric, in_rx, out_tx, ev));
+        for j in jobs {
+            in_tx.send(CoordMsg::Job(j)).expect("sends");
+        }
+        let mut results = Vec::with_capacity(n);
+        for _ in 0..n {
+            results.push(out_rx.recv_timeout(Duration::from_secs(10)).expect("result"));
+        }
+        let results_elapsed = start.elapsed();
+        in_tx.send(CoordMsg::Stop).expect("stops");
+        let _ = handle.join().expect("joins");
+        (results, events, results_elapsed)
+    }
+
+    #[test]
+    fn fast_path_forwards_single_variant_output() {
+        let runtime = fake_stage(&[Behaviour::Echo], false);
+        let (results, events, _) =
+            drive(runtime, policy(ExecMode::Sync, ResponsePolicy::Halt), vec![job(0, 2.0)]);
+        assert!(results[0].poisoned.is_none());
+        assert_eq!(results[0].env[&ValueId(1)].data(), &[2.0; 4]);
+        assert_eq!(events.detection_count(), 0);
+    }
+
+    #[test]
+    fn slow_path_detects_corrupt_variant_and_halts() {
+        let runtime =
+            fake_stage(&[Behaviour::Echo, Behaviour::Corrupt(5.0), Behaviour::Echo], true);
+        let (results, events, _) =
+            drive(runtime, policy(ExecMode::Sync, ResponsePolicy::Halt), vec![job(0, 1.0)]);
+        assert!(results[0].poisoned.is_some());
+        assert!(events.detection_count() > 0);
+        let dissent = events.events().iter().any(|e| {
+            matches!(e, MonitorEvent::DivergenceDetected { dissenting, .. } if dissenting == &vec![1])
+        });
+        assert!(dissent, "variant 1 must be identified: {:?}", events.events());
+    }
+
+    #[test]
+    fn slow_path_continue_with_majority_adopts_healthy_output() {
+        let runtime =
+            fake_stage(&[Behaviour::Echo, Behaviour::Corrupt(9.0), Behaviour::Echo], true);
+        let (results, events, _) = drive(
+            runtime,
+            policy(ExecMode::Sync, ResponsePolicy::ContinueWithMajority),
+            vec![job(0, 3.0)],
+        );
+        assert!(results[0].poisoned.is_none());
+        assert_eq!(results[0].env[&ValueId(1)].data(), &[3.0; 4]);
+        assert!(events.detection_count() > 0);
+    }
+
+    #[test]
+    fn crash_is_reported_and_subsequent_batches_continue_with_survivors() {
+        let runtime = fake_stage(&[Behaviour::CrashOn(1), Behaviour::Echo], true);
+        let p = policy(ExecMode::Sync, ResponsePolicy::ContinueWithMajority);
+        let (results, events, _) =
+            drive(runtime, p, vec![job(0, 1.0), job(1, 2.0), job(2, 3.0)]);
+        assert!(results[0].poisoned.is_none(), "batch 0 healthy");
+        // Batch 1: variant 0 crashed; majority-of-panel fails with 1 of 2,
+        // but continue policy adopts the surviving output when present.
+        let crashes = events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, MonitorEvent::VariantCrashed { .. }))
+            .count();
+        assert!(crashes >= 1, "crash must be recorded: {:?}", events.events());
+        // Batch 2 still produces output from the survivor.
+        assert!(results[2].env.contains_key(&ValueId(1)) || results[2].poisoned.is_some());
+    }
+
+    #[test]
+    fn async_mode_forwards_on_quorum_before_the_laggard() {
+        let runtime = fake_stage(
+            &[Behaviour::Echo, Behaviour::Echo, Behaviour::SlowEcho(300)],
+            true,
+        );
+        let p = StagePolicy {
+            exec: ExecMode::AsyncCrossValidation,
+            voting: VotingPolicy::Majority,
+            response: ResponsePolicy::ContinueWithMajority,
+        };
+        let (results, events, elapsed) = drive(runtime, p, vec![job(0, 4.0)]);
+        assert!(results[0].poisoned.is_none());
+        assert_eq!(results[0].env[&ValueId(1)].data(), &[4.0; 4]);
+        // Forwarded well before the 300 ms laggard (allow wide margins for
+        // CI noise; the laggard's reply is validated during drain).
+        assert!(
+            elapsed < Duration::from_millis(280),
+            "async mode waited for the laggard: {elapsed:?}"
+        );
+        assert_eq!(events.detection_count(), 0, "benign laggard must not alarm");
+    }
+
+    #[test]
+    fn async_mode_flags_late_dissent() {
+        let runtime = fake_stage(
+            &[Behaviour::Echo, Behaviour::Echo, Behaviour::SlowEcho(150)],
+            true,
+        );
+        // The laggard echoes (agrees); now use a corrupt laggard instead.
+        drop(runtime);
+        struct SlowCorrupt;
+        let (req_monitor, req_variant) = link_pair(false, b"", 0);
+        let (resp_variant, resp_monitor) = link_pair(false, b"", 1);
+        std::thread::spawn(move || {
+            let _marker = SlowCorrupt;
+            let mut rx = req_variant;
+            let mut tx = resp_variant;
+            while let Ok(frame) = rx.recv() {
+                let Ok(msg) = decode::<StageRequest>(&frame) else { break };
+                match msg {
+                    StageRequest::Shutdown => break,
+                    StageRequest::Input { batch, tensors } => {
+                        std::thread::sleep(Duration::from_millis(150));
+                        let resp = StageResponse::Output {
+                            batch,
+                            tensors: tensors.iter().map(|t| t.map(|v| v + 7.0)).collect(),
+                        };
+                        if tx.send(&encode(&resp).expect("encodes")).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        let (merged_tx, merged_rx) = unbounded::<RxEvent>();
+        let mut links = Vec::new();
+        let mut rx_threads = Vec::new();
+        for (i, b) in [Behaviour::Echo, Behaviour::Echo].into_iter().enumerate() {
+            let (tx, rx) = fake_variant(b);
+            rx_threads.push(spawn_rx_thread(i, rx, merged_tx.clone()));
+            links.push(VariantLink { tx, description: format!("fake-{i}") });
+        }
+        rx_threads.push(spawn_rx_thread(2, resp_monitor, merged_tx.clone()));
+        links.push(VariantLink { tx: req_monitor, description: "slow-corrupt".into() });
+        drop(merged_tx);
+        let mut needed = HashSet::new();
+        needed.insert(ValueId(1));
+        let runtime = StageRuntime {
+            partition: 0,
+            links,
+            responses: merged_rx,
+            rx_threads,
+            inputs: vec![ValueId(0)],
+            outputs: vec![ValueId(1)],
+            needed_downstream: needed,
+            slow: true,
+        };
+        let p = StagePolicy {
+            exec: ExecMode::AsyncCrossValidation,
+            voting: VotingPolicy::Majority,
+            response: ResponsePolicy::ContinueWithMajority,
+        };
+        let (results, events, _) = drive(runtime, p, vec![job(0, 1.0), job(1, 2.0)]);
+        assert!(results[0].poisoned.is_none(), "quorum output forwarded");
+        let late = events
+            .events()
+            .iter()
+            .any(|e| matches!(e, MonitorEvent::LateDissent { variant: 2, .. }));
+        assert!(late, "late dissent must be flagged: {:?}", events.events());
+    }
+
+    #[test]
+    fn poisoned_jobs_pass_through_untouched() {
+        let runtime = fake_stage(&[Behaviour::Echo], false);
+        let mut j = job(0, 1.0);
+        j.poisoned = Some("upstream failure".into());
+        let (results, events, _) =
+            drive(runtime, policy(ExecMode::Sync, ResponsePolicy::Halt), vec![j]);
+        assert_eq!(results[0].poisoned.as_deref(), Some("upstream failure"));
+        assert_eq!(events.len(), 0);
+    }
+
+    #[test]
+    fn missing_boundary_value_poisons_the_job() {
+        let runtime = fake_stage(&[Behaviour::Echo], false);
+        let j = StageJob {
+            batch: 0,
+            env: HashMap::new(), // ValueId(0) missing
+            poisoned: None,
+            submitted: Instant::now(),
+        };
+        let (results, _, _) =
+            drive(runtime, policy(ExecMode::Sync, ResponsePolicy::Halt), vec![j]);
+        assert!(results[0].poisoned.as_deref().unwrap_or("").contains("missing"));
+    }
+
+    #[test]
+    fn pipeline_of_two_stages_chains_jobs() {
+        let s0 = fake_stage(&[Behaviour::Echo], false);
+        // Second stage consumes ValueId(1) and emits ValueId(2).
+        let (merged_tx, merged_rx) = unbounded::<RxEvent>();
+        let (tx, rx) = fake_variant(Behaviour::Echo);
+        let rx_threads = vec![spawn_rx_thread(0, rx, merged_tx.clone())];
+        drop(merged_tx);
+        let mut needed = HashSet::new();
+        needed.insert(ValueId(2));
+        let s1 = StageRuntime {
+            partition: 1,
+            links: vec![VariantLink { tx, description: "fake".into() }],
+            responses: merged_rx,
+            rx_threads,
+            inputs: vec![ValueId(1)],
+            outputs: vec![ValueId(2)],
+            needed_downstream: needed,
+            slow: false,
+        };
+        let handles = spawn_pipeline(
+            vec![s0, s1],
+            policy(ExecMode::Sync, ResponsePolicy::Halt),
+            vec![Metric::strict(), Metric::strict()],
+            EventLog::new(),
+        );
+        handles.first_stage.send(CoordMsg::Job(job(0, 6.0))).expect("sends");
+        let result = handles.results.recv_timeout(Duration::from_secs(10)).expect("result");
+        assert!(result.poisoned.is_none());
+        assert_eq!(result.env[&ValueId(2)].data(), &[6.0; 4]);
+        for tx in &handles.all_stages {
+            let _ = tx.send(CoordMsg::Stop);
+        }
+        for t in handles.threads {
+            let _ = t.join();
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The variant TEE host: one thread per (partition, variant) simulating a
+//! separate enclave process.
+//!
+//! The host runs the variant side of the two-stage bootstrap (Fig 5/6):
+//!
+//! 1. launch with only the public *init-variant* (code + first-stage
+//!    manifest) — the untrusted orchestrator knows nothing else,
+//! 2. answer the monitor's challenge with an attestation report binding
+//!    the nonce and the ephemeral DH public keys,
+//! 3. receive the sealed key release; install the variant key into the
+//!    TEE OS,
+//! 4. read and decrypt the sealed variant payload from host storage,
+//!    install the one-time second-stage manifest, `exec()`,
+//! 5. prepare the inference engine from the decrypted bundle and send
+//!    sealed install evidence,
+//! 6. serve encrypted checkpoint batches until shutdown or crash.
+//!
+//! Simulated platform-level attacks (CVE exploits, FrameFlip) are injected
+//! here because that is where they live in reality: inside the variant's
+//! own software stack, invisible to the monitor except through outputs.
+
+use crate::link::DataLink;
+use crate::messages::{
+    bootstrap_session_secret, bootstrap_transcript_hash, decode, encode, BootstrapRequest,
+    BootstrapResponse, InstallEvidence, KeyRelease, StageRequest, StageResponse,
+};
+use crate::{MvxError, Result};
+use mvtee_crypto::channel::{FrameTransport, MemoryTransport, Role};
+use mvtee_crypto::gcm::AesGcm;
+use mvtee_crypto::x25519::EphemeralKeypair;
+use mvtee_diversify::VariantBundle;
+use mvtee_faults::{Attack, FrameFlip};
+use mvtee_runtime::{Engine, PreparedModel, RuntimeError};
+use mvtee_tee::{CodeIdentity, Enclave, Manifest, Platform, Syscall, TeeKind};
+use serde::{Deserialize, Serialize};
+use std::thread::JoinHandle;
+
+/// The sealed payload the offline tool places (encrypted) on the variant's
+/// host storage: the second-stage manifest plus the variant bundle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SealedVariantPayload {
+    /// The second-stage manifest the init-variant must install.
+    pub manifest: Manifest,
+    /// Encoded [`VariantBundle`] bytes.
+    pub bundle: Vec<u8>,
+}
+
+/// Everything the *untrusted orchestrator* needs to place one variant TEE.
+///
+/// Note what is absent: the variant spec, the transformed subgraph, the
+/// second-stage manifest — all sealed inside `sealed_blob`.
+pub struct VariantLaunch {
+    /// Partition index (public placement information).
+    pub partition: usize,
+    /// Variant index within the partition.
+    pub variant_index: usize,
+    /// TEE flavour to launch.
+    pub tee_kind: TeeKind,
+    /// Platform handle.
+    pub platform: Platform,
+    /// Public init-variant code bytes.
+    pub init_code: Vec<u8>,
+    /// Public first-stage manifest.
+    pub init_manifest: Manifest,
+    /// Host-storage path of the sealed payload.
+    pub bundle_path: String,
+    /// The sealed payload `(salt, blob)` as exported by the offline tool.
+    pub sealed_blob: ([u8; 16], Vec<u8>),
+    /// Whether data-plane traffic is encrypted.
+    pub encrypt: bool,
+    /// Simulated CVE attack present on this host (instrumentation applies
+    /// only if the variant is susceptible).
+    pub attack: Option<Attack>,
+    /// Simulated platform-wide FrameFlip (corrupts matching BLAS).
+    pub frameflip: Option<FrameFlip>,
+    /// Bootstrap transport (plaintext; protected by the attested DH
+    /// handshake).
+    pub bootstrap: MemoryTransport,
+    /// Transport for stage requests (monitor → variant).
+    pub request: MemoryTransport,
+    /// Transport for stage responses (variant → monitor).
+    pub response: MemoryTransport,
+}
+
+/// Handle to a running variant TEE thread.
+#[derive(Debug)]
+pub struct VariantHandle {
+    /// Partition index.
+    pub partition: usize,
+    /// Variant index.
+    pub variant_index: usize,
+    join: Option<JoinHandle<()>>,
+}
+
+impl VariantHandle {
+    /// Waits for the variant thread to exit.
+    pub fn join(mut self) {
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for VariantHandle {
+    fn drop(&mut self) {
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Spawns the variant TEE thread.
+pub fn spawn_variant(launch: VariantLaunch) -> VariantHandle {
+    let partition = launch.partition;
+    let variant_index = launch.variant_index;
+    let join = std::thread::Builder::new()
+        .name(format!("variant-p{partition}-v{variant_index}"))
+        .spawn(move || {
+            // Failures during bootstrap are reported to the monitor when
+            // possible; afterwards the thread simply exits (the "process"
+            // died).
+            if let Err(e) = variant_main(launch) {
+                // Best effort: nothing to report to if channels are gone.
+                let _ = e;
+            }
+        })
+        .expect("thread spawn cannot fail");
+    VariantHandle { partition, variant_index, join: Some(join) }
+}
+
+fn variant_main(launch: VariantLaunch) -> Result<()> {
+    // Stage 0: enclave launch with the public init-variant.
+    let identity = CodeIdentity::from_content("mvtee-init-variant", "1.0", &launch.init_code);
+    let mut enclave = Enclave::launch(
+        launch.tee_kind,
+        identity,
+        launch.init_manifest,
+        launch.platform.clone(),
+    );
+
+    // Bootstrap step ②-⑤: challenge-response attestation with DH binding.
+    enclave.os().syscall(Syscall::Connect)?;
+    let challenge_bytes = launch
+        .bootstrap
+        .recv_frame()
+        .map_err(|e| MvxError::Transport(e.to_string()))?;
+    let BootstrapRequest::Challenge { nonce, monitor_dh_public } =
+        decode::<BootstrapRequest>(&challenge_bytes)?
+    else {
+        return Err(MvxError::BadState("expected challenge".into()));
+    };
+    let keypair = EphemeralKeypair::generate();
+    let shared = keypair.diffie_hellman(&monitor_dh_public);
+    let transcript_hash = bootstrap_transcript_hash(&monitor_dh_public, &keypair.public);
+    let session_secret = bootstrap_session_secret(&shared, &nonce);
+
+    let report = enclave.report_for_channel(&nonce, &transcript_hash);
+    let evidence =
+        BootstrapResponse::Evidence { report, variant_dh_public: keypair.public };
+    launch
+        .bootstrap
+        .send_frame(encode(&evidence)?)
+        .map_err(|e| MvxError::Transport(e.to_string()))?;
+
+    // Step ⑤ continued: sealed key release.
+    let release_bytes = launch
+        .bootstrap
+        .recv_frame()
+        .map_err(|e| MvxError::Transport(e.to_string()))?;
+    let BootstrapRequest::SealedKeyRelease { payload } =
+        decode::<BootstrapRequest>(&release_bytes)?
+    else {
+        return Err(MvxError::BadState("expected key release".into()));
+    };
+    let session_cipher = AesGcm::new_256(&session_secret);
+    let release_plain = session_cipher
+        .open(&[0u8; 12], &payload, b"key-release")
+        .map_err(MvxError::from)?;
+    let release: KeyRelease = decode(&release_plain)?;
+
+    // Install the variant key and decrypt the sealed payload.
+    enclave.os().install_key(release.variant_key)?;
+    enclave
+        .os()
+        .fs_mut()
+        .import(&release.bundle_path, launch.sealed_blob.0, launch.sealed_blob.1);
+    let payload_bytes = enclave.os().read_encrypted(&release.bundle_path)?;
+    let payload: SealedVariantPayload =
+        decode(&payload_bytes).map_err(|e| MvxError::Codec(e.to_string()))?;
+
+    // One-time second-stage manifest + exec.
+    enclave.os().install_second_stage(payload.manifest)?;
+    enclave.os().exec()?;
+
+    // Prepare the engine from the decrypted bundle, applying any simulated
+    // platform-level compromises.
+    let bundle = VariantBundle::from_bytes(&payload.bundle)
+        .map_err(|e| MvxError::Diversify(e.to_string()))?;
+    let engine = match &launch.frameflip {
+        Some(ff) => Engine::with_custom_blas(
+            bundle.spec.engine.clone(),
+            ff.resolve(bundle.spec.engine.blas),
+        ),
+        None => Engine::new(bundle.spec.engine.clone()),
+    };
+    let mut prepared: Box<dyn PreparedModel> = engine.prepare(&bundle.graph)?;
+    if let Some(attack) = &launch.attack {
+        prepared = attack.instrument(prepared, &bundle.spec);
+    }
+
+    // Step ⑥: sealed install evidence.
+    let evidence = InstallEvidence {
+        variant_id: release.variant_id,
+        manifest_hash: enclave.os_ref().manifest_hash(),
+        measurement: enclave.measurement(),
+    };
+    let sealed = session_cipher.seal(&[1u8; 12], &encode(&evidence)?, b"install-evidence");
+    launch
+        .bootstrap
+        .send_frame(encode(&BootstrapResponse::SealedInstallEvidence { payload: sealed })?)
+        .map_err(|e| MvxError::Transport(e.to_string()))?;
+
+    // Data plane: serve checkpoint batches.
+    let mut rx = DataLink::from_transport(
+        launch.request,
+        launch.encrypt,
+        &session_secret,
+        Role::Responder,
+        0,
+    );
+    let mut tx = DataLink::from_transport(
+        launch.response,
+        launch.encrypt,
+        &session_secret,
+        Role::Responder,
+        1,
+    );
+    // (recv errors mean the monitor is gone: stop serving.)
+    loop {
+        // Every data-plane read/write passes the TEE OS syscall policy —
+        // a main-variant manifest that forbids reads would stop serving.
+        enclave.os().syscall(Syscall::Read)?;
+        let Ok(frame) = rx.recv() else { break };
+        match decode::<StageRequest>(&frame)? {
+            StageRequest::Shutdown => break,
+            StageRequest::Input { batch, tensors } => {
+                match prepared.run(&tensors) {
+                    Ok(outputs) => {
+                        enclave.os().syscall(Syscall::Write)?;
+                        let resp = StageResponse::Output { batch, tensors: outputs };
+                        if tx.send(&encode(&resp)?).is_err() {
+                            break;
+                        }
+                    }
+                    Err(RuntimeError::Crashed { reason }) => {
+                        // The "process" dies: report (the monitor would
+                        // observe the exit) and stop serving.
+                        let resp = StageResponse::Crashed { batch, reason };
+                        let _ = tx.send(&encode(&resp)?);
+                        break;
+                    }
+                    Err(other) => {
+                        let resp =
+                            StageResponse::Crashed { batch, reason: other.to_string() };
+                        let _ = tx.send(&encode(&resp)?);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sealed_payload_round_trips() {
+        let payload = SealedVariantPayload {
+            manifest: Manifest::main_variant("m"),
+            bundle: vec![1, 2, 3],
+        };
+        let bytes = encode(&payload).unwrap();
+        let back: SealedVariantPayload = decode(&bytes).unwrap();
+        assert_eq!(back.manifest, payload.manifest);
+        assert_eq!(back.bundle, payload.bundle);
+    }
+}

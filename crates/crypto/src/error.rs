@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Errors produced by cryptographic operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// AEAD authentication failed (ciphertext or AAD was tampered with).
+    AuthenticationFailed,
+    /// A ciphertext was too short to contain the authentication tag.
+    CiphertextTooShort {
+        /// Actual ciphertext length.
+        len: usize,
+    },
+    /// A key had an unsupported length.
+    InvalidKeyLength {
+        /// Supplied key length.
+        len: usize,
+    },
+    /// A nonce had an unsupported length (GCM here requires 96-bit nonces).
+    InvalidNonceLength {
+        /// Supplied nonce length.
+        len: usize,
+    },
+    /// A received frame was malformed.
+    MalformedFrame,
+    /// A frame arrived with an unexpected sequence number (replay or drop).
+    SequenceMismatch {
+        /// Sequence number the receiver expected.
+        expected: u64,
+        /// Sequence number carried by the frame.
+        actual: u64,
+    },
+    /// The channel handshake failed.
+    HandshakeFailed(String),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => write!(f, "aead authentication failed"),
+            CryptoError::CiphertextTooShort { len } => {
+                write!(f, "ciphertext of {len} bytes is too short to hold a tag")
+            }
+            CryptoError::InvalidKeyLength { len } => {
+                write!(f, "invalid key length {len}")
+            }
+            CryptoError::InvalidNonceLength { len } => {
+                write!(f, "invalid nonce length {len}, expected 12")
+            }
+            CryptoError::MalformedFrame => write!(f, "malformed channel frame"),
+            CryptoError::SequenceMismatch { expected, actual } => {
+                write!(f, "sequence mismatch: expected {expected}, got {actual}")
+            }
+            CryptoError::HandshakeFailed(why) => write!(f, "handshake failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            CryptoError::AuthenticationFailed,
+            CryptoError::CiphertextTooShort { len: 3 },
+            CryptoError::InvalidKeyLength { len: 7 },
+            CryptoError::InvalidNonceLength { len: 8 },
+            CryptoError::MalformedFrame,
+            CryptoError::SequenceMismatch { expected: 1, actual: 9 },
+            CryptoError::HandshakeFailed("nope".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

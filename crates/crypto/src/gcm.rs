@@ -1,0 +1,385 @@
+//! AES-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! All inter-TEE traffic in MVTEE — checkpoint tensors, bootstrap keys,
+//! encrypted variant bundles — is sealed with AES-GCM-256. The 16-byte tag
+//! is appended to the ciphertext, mirroring common wire formats.
+//!
+//! Nonces are fixed at 96 bits (the GCM fast path); the secure channel layer
+//! derives them from per-direction counters so they never repeat under a key.
+
+use crate::aes::{Aes, BLOCK_LEN};
+use crate::{ct_eq, CryptoError, Result};
+
+/// Length of the GCM authentication tag in bytes.
+pub const TAG_LEN: usize = 16;
+/// Length of the GCM nonce in bytes (96-bit fast path only).
+pub const NONCE_LEN: usize = 12;
+
+/// Precomputed Shoup byte tables for multiplication by a fixed `H`:
+/// `table[i][b]` is the product of `H` with the field element whose byte
+/// `i` (most-significant first) equals `b`. Built once per key; makes
+/// GHASH run at a few cycles per byte, the throughput class of real
+/// software GHASH.
+struct HTable {
+    table: Box<[[u128; 256]; 16]>,
+}
+
+/// Multiplies a field element by `x` (one-bit shift with reduction).
+fn mul_x(a: u128) -> u128 {
+    const R: u128 = 0xe1000000_00000000_00000000_00000000;
+    let out = a >> 1;
+    if a & 1 == 1 {
+        out ^ R
+    } else {
+        out
+    }
+}
+
+impl HTable {
+    fn new(h: [u8; 16]) -> Self {
+        let h = u128::from_be_bytes(h);
+        // e[j] = H · x^j.
+        let mut e = [0u128; 128];
+        let mut cur = h;
+        for entry in e.iter_mut() {
+            *entry = cur;
+            cur = mul_x(cur);
+        }
+        let mut table = Box::new([[0u128; 256]; 16]);
+        for i in 0..16 {
+            for b in 0..256usize {
+                let mut acc = 0u128;
+                for k in 0..8 {
+                    if b & (0x80 >> k) != 0 {
+                        acc ^= e[8 * i + k];
+                    }
+                }
+                table[i][b] = acc;
+            }
+        }
+        HTable { table }
+    }
+
+    /// Computes `y · H`.
+    fn mul(&self, y: u128) -> u128 {
+        let mut z = 0u128;
+        for i in 0..16 {
+            let byte = (y >> (8 * (15 - i))) as u8;
+            z ^= self.table[i][byte as usize];
+        }
+        z
+    }
+}
+
+impl std::fmt::Debug for HTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HTable {{ .. }}") // never print key-derived material
+    }
+}
+
+/// GHASH state over a precomputed [`HTable`].
+struct GHash<'a> {
+    h: &'a HTable,
+    acc: u128,
+}
+
+impl<'a> GHash<'a> {
+    fn new(h: &'a HTable) -> Self {
+        GHash { h, acc: 0 }
+    }
+
+    /// Reference bitwise multiplication in GF(2^128) modulo
+    /// x^128 + x^7 + x^2 + x + 1 with GCM's bit order (kept for
+    /// cross-validation in tests).
+    #[cfg(test)]
+    fn gf_mul(x: u128, y: u128) -> u128 {
+        const R: u128 = 0xe1000000_00000000_00000000_00000000;
+        let mut z = 0u128;
+        let mut v = x;
+        for i in 0..128 {
+            if (y >> (127 - i)) & 1 == 1 {
+                z ^= v;
+            }
+            let lsb = v & 1;
+            v >>= 1;
+            if lsb == 1 {
+                v ^= R;
+            }
+        }
+        z
+    }
+
+    fn update_block(&mut self, block: &[u8; 16]) {
+        self.acc ^= u128::from_be_bytes(*block);
+        self.acc = self.h.mul(self.acc);
+    }
+
+    /// Absorbs `data`, zero-padding the trailing partial block.
+    fn update_padded(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(16);
+        for c in chunks.by_ref() {
+            let mut b = [0u8; 16];
+            b.copy_from_slice(c);
+            self.update_block(&b);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut b = [0u8; 16];
+            b[..rem.len()].copy_from_slice(rem);
+            self.update_block(&b);
+        }
+    }
+
+    fn finalize(mut self, aad_len: usize, ct_len: usize) -> [u8; 16] {
+        let mut lens = [0u8; 16];
+        lens[..8].copy_from_slice(&((aad_len as u64) * 8).to_be_bytes());
+        lens[8..].copy_from_slice(&((ct_len as u64) * 8).to_be_bytes());
+        self.update_block(&lens);
+        self.acc.to_be_bytes()
+    }
+}
+
+/// An AES-GCM AEAD cipher bound to one key.
+///
+/// # Example
+///
+/// ```
+/// use mvtee_crypto::gcm::AesGcm;
+///
+/// let cipher = AesGcm::new_256(&[0u8; 32]);
+/// let sealed = cipher.seal(&[0u8; 12], b"secret", b"");
+/// assert_eq!(cipher.open(&[0u8; 12], &sealed, b"").unwrap(), b"secret");
+/// assert!(cipher.open(&[1u8; 12], &sealed, b"").is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesGcm {
+    aes: Aes,
+    h: std::sync::Arc<HTable>,
+}
+
+impl AesGcm {
+    /// Creates a cipher from a 256-bit key.
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        Self::from_aes(Aes::new_256(key))
+    }
+
+    /// Creates a cipher from a 128-bit key.
+    pub fn new_128(key: &[u8; 16]) -> Self {
+        Self::from_aes(Aes::new_128(key))
+    }
+
+    /// Creates a cipher from a 16- or 32-byte key slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeyLength`] for other lengths.
+    pub fn new(key: &[u8]) -> Result<Self> {
+        Ok(Self::from_aes(Aes::new(key)?))
+    }
+
+    fn from_aes(aes: Aes) -> Self {
+        let h = aes.encrypt(&[0u8; 16]);
+        AesGcm { aes, h: std::sync::Arc::new(HTable::new(h)) }
+    }
+
+    fn counter_block(nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; 16] {
+        let mut block = [0u8; 16];
+        block[..NONCE_LEN].copy_from_slice(nonce);
+        block[12..].copy_from_slice(&counter.to_be_bytes());
+        block
+    }
+
+    /// Maximum GCM payload under one nonce: (2^32 − 2) 16-byte blocks
+    /// (SP 800-38D); beyond it the 32-bit counter would wrap and reuse
+    /// keystream.
+    const MAX_PAYLOAD: usize = ((u32::MAX as usize) - 2) * BLOCK_LEN;
+
+    fn ctr_xor(&self, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+        assert!(
+            data.len() <= Self::MAX_PAYLOAD,
+            "gcm payload exceeds the single-nonce limit"
+        );
+        let mut counter = 2u32; // counter 1 is reserved for the tag mask
+        for chunk in data.chunks_mut(BLOCK_LEN) {
+            let ks = self.aes.encrypt(&Self::counter_block(nonce, counter));
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+
+    fn compute_tag(&self, nonce: &[u8; NONCE_LEN], ciphertext: &[u8], aad: &[u8]) -> [u8; TAG_LEN] {
+        let mut ghash = GHash::new(&self.h);
+        ghash.update_padded(aad);
+        ghash.update_padded(ciphertext);
+        let s = ghash.finalize(aad.len(), ciphertext.len());
+        let mask = self.aes.encrypt(&Self::counter_block(nonce, 1));
+        let mut tag = [0u8; TAG_LEN];
+        for i in 0..TAG_LEN {
+            tag[i] = s[i] ^ mask[i];
+        }
+        tag
+    }
+
+    /// Encrypts `plaintext` with associated data `aad`, returning
+    /// `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        self.ctr_xor(nonce, &mut out);
+        let tag = self.compute_tag(nonce, &out, aad);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts and authenticates `ciphertext || tag`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::CiphertextTooShort`] when the input cannot contain a
+    ///   tag.
+    /// * [`CryptoError::AuthenticationFailed`] when the tag does not verify
+    ///   (tampered ciphertext, AAD or nonce).
+    pub fn open(&self, nonce: &[u8; NONCE_LEN], sealed: &[u8], aad: &[u8]) -> Result<Vec<u8>> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::CiphertextTooShort { len: sealed.len() });
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expected = self.compute_tag(nonce, ct, aad);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut out = ct.to_vec();
+        self.ctr_xor(nonce, &mut out);
+        Ok(out)
+    }
+}
+
+/// Builds a deterministic 96-bit nonce from a 4-byte channel id and a
+/// 64-bit sequence number. Unique per (key, direction, sequence).
+pub fn nonce_from_sequence(channel_id: u32, sequence: u64) -> [u8; NONCE_LEN] {
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce[..4].copy_from_slice(&channel_id.to_be_bytes());
+    nonce[4..].copy_from_slice(&sequence.to_be_bytes());
+    nonce
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let cipher = AesGcm::new_256(&[3u8; 32]);
+        let nonce = [5u8; NONCE_LEN];
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let sealed = cipher.seal(&nonce, &pt, b"aad");
+            assert_eq!(sealed.len(), len + TAG_LEN);
+            assert_eq!(cipher.open(&nonce, &sealed, b"aad").unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn tamper_detection_every_byte() {
+        let cipher = AesGcm::new_128(&[9u8; 16]);
+        let nonce = [0u8; NONCE_LEN];
+        let sealed = cipher.seal(&nonce, b"the checkpoint tensor bytes", b"hdr");
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                matches!(cipher.open(&nonce, &bad, b"hdr"), Err(CryptoError::AuthenticationFailed)),
+                "flip at byte {i} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn aad_is_authenticated() {
+        let cipher = AesGcm::new_256(&[1u8; 32]);
+        let nonce = [2u8; NONCE_LEN];
+        let sealed = cipher.seal(&nonce, b"payload", b"seq=1");
+        assert!(cipher.open(&nonce, &sealed, b"seq=2").is_err());
+        assert!(cipher.open(&nonce, &sealed, b"seq=1").is_ok());
+    }
+
+    #[test]
+    fn wrong_key_or_nonce_fails() {
+        let a = AesGcm::new_256(&[1u8; 32]);
+        let b = AesGcm::new_256(&[2u8; 32]);
+        let sealed = a.seal(&[0u8; 12], b"x", b"");
+        assert!(b.open(&[0u8; 12], &sealed, b"").is_err());
+        assert!(a.open(&[1u8; 12], &sealed, b"").is_err());
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        let cipher = AesGcm::new_128(&[0u8; 16]);
+        assert!(matches!(
+            cipher.open(&[0u8; 12], &[0u8; 8], b""),
+            Err(CryptoError::CiphertextTooShort { len: 8 })
+        ));
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let cipher = AesGcm::new_256(&[4u8; 32]);
+        let pt = vec![0u8; 64];
+        let sealed = cipher.seal(&[7u8; 12], &pt, b"");
+        assert_ne!(&sealed[..64], &pt[..]);
+    }
+
+    #[test]
+    fn nonce_uniqueness_changes_ciphertext() {
+        let cipher = AesGcm::new_256(&[4u8; 32]);
+        let s1 = cipher.seal(&nonce_from_sequence(1, 1), b"msg", b"");
+        let s2 = cipher.seal(&nonce_from_sequence(1, 2), b"msg", b"");
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn nonce_from_sequence_layout() {
+        let n = nonce_from_sequence(0x01020304, 0x05060708090a0b0c);
+        assert_eq!(n, [1, 2, 3, 4, 5, 6, 7, 8, 9, 0x0a, 0x0b, 0x0c]);
+    }
+
+    #[test]
+    fn table_mul_matches_bitwise_mul() {
+        for h_val in [1u128 << 127, 0xdeadbeefu128, u128::MAX, 0x0123_4567_89ab_cdefu128 << 64] {
+            let table = HTable::new(h_val.to_be_bytes());
+            for y in [0u128, 1, 1 << 127, 0xffff, u128::MAX, 0x5555_aaaa << 32] {
+                assert_eq!(table.mul(y), GHash::gf_mul(y, h_val), "h={h_val:x} y={y:x}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf_mul_identity_and_commutativity() {
+        // The GCM "1" element is the reflected MSB-first 1: 0x80...0.
+        let one: u128 = 1u128 << 127;
+        for x in [0x1234u128, u128::MAX, 1u128 << 127, 0x0f0f0f0fu128] {
+            assert_eq!(GHash::gf_mul(x, one), x);
+            assert_eq!(GHash::gf_mul(one, x), x);
+        }
+        let (a, b) = (0xdeadbeefu128, 0xc0ffeeu128 << 64);
+        assert_eq!(GHash::gf_mul(a, b), GHash::gf_mul(b, a));
+    }
+
+    #[test]
+    fn gf_mul_distributes_over_xor() {
+        let (a, b, c) = (0x1111u128, 0x2222u128 << 32, 0xff00ff00u128 << 90);
+        assert_eq!(
+            GHash::gf_mul(a ^ b, c),
+            GHash::gf_mul(a, c) ^ GHash::gf_mul(b, c)
+        );
+    }
+
+    #[test]
+    fn empty_plaintext_produces_tag_only() {
+        let cipher = AesGcm::new_128(&[0u8; 16]);
+        let sealed = cipher.seal(&[0u8; 12], b"", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(cipher.open(&[0u8; 12], &sealed, b"").unwrap(), b"");
+    }
+}

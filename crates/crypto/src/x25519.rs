@@ -1,0 +1,419 @@
+//! X25519 Diffie-Hellman (RFC 7748) over Curve25519.
+//!
+//! The attested secure channels of the TEE substrate perform an ephemeral
+//! X25519 handshake whose public keys are bound into the attestation
+//! evidence (the RA-TLS pattern of Knauth et al., which the paper implements
+//! "at the socket level"). Field arithmetic uses ten 25.5-bit limbs held in
+//! `u64`s with `u128` products, a standard safe-Rust formulation.
+
+/// A Curve25519 field element in 10 limbs, radix 2^25.5.
+#[derive(Clone, Copy, Debug)]
+struct Fe([u64; 10]);
+
+const MASK26: u64 = (1 << 26) - 1;
+const MASK25: u64 = (1 << 25) - 1;
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 10]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load32 = |i: usize| -> u64 {
+            u32::from_le_bytes(bytes[i..i + 4].try_into().expect("sliced")) as u64
+        };
+        let mut h = [0u64; 10];
+        h[0] = load32(0) & MASK26;
+        h[1] = (load32(3) >> 2) & MASK25;
+        h[2] = (load32(6) >> 3) & MASK26;
+        h[3] = (load32(9) >> 5) & MASK25;
+        h[4] = (load32(12) >> 6) & MASK26;
+        h[5] = load32(16) & MASK25;
+        h[6] = (load32(19) >> 1) & MASK26;
+        h[7] = (load32(22) >> 3) & MASK25;
+        h[8] = (load32(25) >> 4) & MASK26;
+        h[9] = (load32(28) >> 6) & MASK25;
+        Fe(h)
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        let mut h = self.reduce_full();
+        let mut out = [0u8; 32];
+        let mut bits = 0usize;
+        let mut byte = 0usize;
+        let mut acc = 0u64;
+        for (i, limb) in h.0.iter_mut().enumerate() {
+            let width = if i % 2 == 0 { 26 } else { 25 };
+            acc |= *limb << bits;
+            bits += width;
+            while bits >= 8 {
+                out[byte] = (acc & 0xff) as u8;
+                acc >>= 8;
+                bits -= 8;
+                byte += 1;
+            }
+        }
+        if byte < 32 {
+            out[byte] = (acc & 0xff) as u8;
+        }
+        out
+    }
+
+    /// Carries all limbs into canonical ranges (not yet fully reduced mod p).
+    fn carry(mut self) -> Fe {
+        for _ in 0..2 {
+            for i in 0..9 {
+                let width = if i % 2 == 0 { 26 } else { 25 };
+                let mask = if i % 2 == 0 { MASK26 } else { MASK25 };
+                let c = self.0[i] >> width;
+                self.0[i] &= mask;
+                self.0[i + 1] += c;
+            }
+            let c = self.0[9] >> 25;
+            self.0[9] &= MASK25;
+            self.0[0] += 19 * c;
+        }
+        self
+    }
+
+    /// Full reduction to the canonical representative in [0, p).
+    fn reduce_full(self) -> Fe {
+        let mut h = self.carry();
+        // h is now < 2^255 + small. Conditionally subtract p = 2^255 - 19:
+        // add 19 and check whether bit 255 sets; if so the original was >= p
+        // and the overflowed form (top bit cleared) is the reduced value.
+        let mut t = h.0;
+        t[0] += 19;
+        for i in 0..9 {
+            let width = if i % 2 == 0 { 26 } else { 25 };
+            let mask = if i % 2 == 0 { MASK26 } else { MASK25 };
+            let c = t[i] >> width;
+            t[i] &= mask;
+            t[i + 1] += c;
+        }
+        let q = t[9] >> 25;
+        if q != 0 {
+            // h >= p: result is t with top bit cleared.
+            t[9] &= MASK25;
+            h = Fe(t);
+        }
+        h
+    }
+
+    fn add(self, other: Fe) -> Fe {
+        let mut out = [0u64; 10];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a + b;
+        }
+        Fe(out).carry()
+    }
+
+    fn sub(self, other: Fe) -> Fe {
+        // Add 2*p worth of slack before subtracting to keep limbs positive.
+        const SLACK: [u64; 10] = [
+            0x7ffffda, 0x3fffffe, 0x7fffffe, 0x3fffffe, 0x7fffffe, 0x3fffffe, 0x7fffffe,
+            0x3fffffe, 0x7fffffe, 0x3fffffe,
+        ];
+        let mut out = [0u64; 10];
+        for i in 0..10 {
+            out[i] = self.0[i] + SLACK[i] - other.0[i];
+        }
+        Fe(out).carry()
+    }
+
+    #[allow(clippy::needless_range_loop)] // index arithmetic over limb pairs
+    fn mul(self, other: Fe) -> Fe {
+        let a = &self.0;
+        let b = &other.0;
+        let mut t = [0u128; 19];
+        for i in 0..10 {
+            for j in 0..10 {
+                // Odd limbs are radix-25.5; cross products of two odd
+                // positions pick up a factor of 2.
+                let factor = if i % 2 == 1 && j % 2 == 1 { 2 } else { 1 };
+                t[i + j] += (a[i] as u128) * (b[j] as u128) * factor;
+            }
+        }
+        // Fold limbs >= 10 back with the 19 multiplier (2^255 ≡ 19).
+        for i in (10..19).rev() {
+            t[i - 10] += t[i] * 19;
+            t[i] = 0;
+        }
+        // Carry chain from u128 accumulators into u64 limbs.
+        let mut out = [0u64; 10];
+        let mut carry: u128 = 0;
+        for i in 0..10 {
+            let width = if i % 2 == 0 { 26 } else { 25 };
+            let mask = if i % 2 == 0 { MASK26 as u128 } else { MASK25 as u128 };
+            let v = t[i] + carry;
+            out[i] = (v & mask) as u64;
+            carry = v >> width;
+        }
+        let mut fe = Fe(out);
+        fe.0[0] += (carry * 19) as u64;
+        fe.carry()
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    #[allow(clippy::needless_range_loop)] // parallel limb/carry indexing
+    fn mul_small(self, k: u64) -> Fe {
+        let mut t = [0u128; 10];
+        for i in 0..10 {
+            t[i] = (self.0[i] as u128) * (k as u128);
+        }
+        let mut out = [0u64; 10];
+        let mut carry: u128 = 0;
+        for i in 0..10 {
+            let width = if i % 2 == 0 { 26 } else { 25 };
+            let mask = if i % 2 == 0 { MASK26 as u128 } else { MASK25 as u128 };
+            let v = t[i] + carry;
+            out[i] = (v & mask) as u64;
+            carry = v >> width;
+        }
+        let mut fe = Fe(out);
+        fe.0[0] += (carry * 19) as u64;
+        fe.carry()
+    }
+
+    /// Inversion via Fermat's little theorem: a^(p-2).
+    fn invert(self) -> Fe {
+        // p - 2 = 2^255 - 21.
+        let mut acc = Fe::ONE;
+        let mut base = self;
+        // Exponent bits of 2^255 - 21, LSB first: 2^255 - 21 =
+        // ...11111111101011 (low bits 01011, i.e. bits 0,1,3 set; bit 2
+        // clear; bit 4 clear; bits 5.. up to 254 set).
+        // Simpler: iterate over the 255 bits of (p-2) computed on the fly.
+        // p-2 in binary: bit pattern = 2^255 - 21; low 5 bits are 01011,
+        // bits 5..255 are all 1.
+        for i in 0..255 {
+            let bit = match i {
+                0 | 1 | 3 => 1u8,
+                2 | 4 => 0u8,
+                _ => 1u8,
+            };
+            if bit == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.square();
+        }
+        acc
+    }
+
+    fn cswap(a: &mut Fe, b: &mut Fe, swap: u64) {
+        let mask = 0u64.wrapping_sub(swap);
+        for i in 0..10 {
+            let t = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= t;
+            b.0[i] ^= t;
+        }
+    }
+}
+
+/// Length of X25519 keys and shared secrets.
+pub const KEY_LEN: usize = 32;
+
+/// Clamps a 32-byte scalar per RFC 7748.
+fn clamp(mut scalar: [u8; 32]) -> [u8; 32] {
+    scalar[0] &= 248;
+    scalar[31] &= 127;
+    scalar[31] |= 64;
+    scalar
+}
+
+/// The X25519 function: scalar multiplication on Curve25519.
+///
+/// `scalar` is clamped internally. Returns the shared point's u-coordinate.
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(*scalar);
+    // Mask the top bit of u per RFC 7748.
+    let mut u_bytes = *u;
+    u_bytes[31] &= 127;
+    let x1 = Fe::from_bytes(&u_bytes);
+
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = ((k[t / 8] >> (t % 8)) & 1) as u64;
+        swap ^= k_t;
+        Fe::cswap(&mut x2, &mut x3, swap);
+        Fe::cswap(&mut z2, &mut z3, swap);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        let t0 = da.add(cb);
+        x3 = t0.square();
+        let t1 = da.sub(cb);
+        z3 = x1.mul(t1.square());
+        x2 = aa.mul(bb);
+        // z2 = E * (AA + a24 * E), a24 = 121665.
+        z2 = e.mul(aa.add(e.mul_small(121_665)));
+    }
+    Fe::cswap(&mut x2, &mut x3, swap);
+    Fe::cswap(&mut z2, &mut z3, swap);
+
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// The canonical Curve25519 base point (u = 9).
+pub const BASE_POINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// Computes the public key for a secret scalar.
+pub fn public_key(secret: &[u8; 32]) -> [u8; 32] {
+    x25519(secret, &BASE_POINT)
+}
+
+/// An ephemeral X25519 keypair.
+#[derive(Clone)]
+pub struct EphemeralKeypair {
+    secret: [u8; 32],
+    /// The public u-coordinate, safe to transmit.
+    pub public: [u8; 32],
+}
+
+impl std::fmt::Debug for EphemeralKeypair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EphemeralKeypair {{ public: {} }}", crate::sha256::hex(&self.public))
+    }
+}
+
+impl EphemeralKeypair {
+    /// Generates a fresh keypair from the CSPRNG.
+    pub fn generate() -> Self {
+        let secret: [u8; 32] = crate::random_array();
+        let public = public_key(&secret);
+        EphemeralKeypair { secret, public }
+    }
+
+    /// Creates a keypair from a fixed secret (for deterministic tests).
+    pub fn from_secret(secret: [u8; 32]) -> Self {
+        let public = public_key(&secret);
+        EphemeralKeypair { secret, public }
+    }
+
+    /// Computes the shared secret with a peer public key.
+    pub fn diffie_hellman(&self, peer_public: &[u8; 32]) -> [u8; 32] {
+        x25519(&self.secret, peer_public)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::hex;
+
+    fn from_hex(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn rfc7748_vector_1() {
+        let scalar =
+            from_hex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = from_hex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let out = x25519(&scalar, &u);
+        assert_eq!(
+            hex(&out),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    #[test]
+    fn rfc7748_vector_2() {
+        let scalar =
+            from_hex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = from_hex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let out = x25519(&scalar, &u);
+        assert_eq!(
+            hex(&out),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    #[test]
+    fn rfc7748_iterated_once() {
+        // RFC 7748 §5.2: after one iteration of k = X25519(k, u) with
+        // k = u = base point encoding.
+        let mut k = BASE_POINT;
+        let u = BASE_POINT;
+        k = x25519(&k, &u);
+        assert_eq!(
+            hex(&k),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+    }
+
+    #[test]
+    fn rfc7748_iterated_1000() {
+        let mut k = BASE_POINT;
+        let mut u = BASE_POINT;
+        for _ in 0..1000 {
+            let next = x25519(&k, &u);
+            u = k;
+            k = next;
+        }
+        assert_eq!(
+            hex(&k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51"
+        );
+    }
+
+    #[test]
+    fn diffie_hellman_agreement() {
+        let alice = EphemeralKeypair::generate();
+        let bob = EphemeralKeypair::generate();
+        let s1 = alice.diffie_hellman(&bob.public);
+        let s2 = bob.diffie_hellman(&alice.public);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, [0u8; 32]);
+    }
+
+    #[test]
+    fn distinct_keypairs_distinct_secrets() {
+        let a = EphemeralKeypair::generate();
+        let b = EphemeralKeypair::generate();
+        assert_ne!(a.public, b.public);
+        let c = EphemeralKeypair::generate();
+        assert_ne!(a.diffie_hellman(&c.public), b.diffie_hellman(&c.public));
+    }
+
+    #[test]
+    fn debug_hides_secret() {
+        let kp = EphemeralKeypair::from_secret([0x42; 32]);
+        let dbg = format!("{kp:?}");
+        assert!(dbg.contains("public"));
+        assert!(!dbg.contains("4242424242"), "secret must not appear: {dbg}");
+    }
+
+    #[test]
+    fn field_invert() {
+        let a = Fe::from_bytes(&from_hex(
+            "0902000000000000000000000000000000000000000000000000000000000000",
+        ));
+        let inv = a.invert();
+        let prod = a.mul(inv).to_bytes();
+        assert_eq!(hex(&prod), hex(&Fe::ONE.to_bytes()));
+    }
+}

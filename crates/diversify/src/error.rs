@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Errors produced during variant generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiversifyError {
+    /// A graph operation failed.
+    Graph(mvtee_graph::GraphError),
+    /// A runtime operation (optimisation pass) failed.
+    Runtime(String),
+    /// A transform could not be applied to this graph.
+    Inapplicable {
+        /// Transform name.
+        transform: String,
+        /// Why it could not be applied.
+        reason: String,
+    },
+    /// A variant request referenced an unknown pool entry.
+    UnknownVariant {
+        /// Partition index.
+        partition: usize,
+        /// Variant index within the partition.
+        variant: usize,
+    },
+}
+
+impl fmt::Display for DiversifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiversifyError::Graph(e) => write!(f, "graph error: {e}"),
+            DiversifyError::Runtime(e) => write!(f, "runtime error: {e}"),
+            DiversifyError::Inapplicable { transform, reason } => {
+                write!(f, "transform {transform} inapplicable: {reason}")
+            }
+            DiversifyError::UnknownVariant { partition, variant } => {
+                write!(f, "no variant {variant} for partition {partition}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiversifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiversifyError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mvtee_graph::GraphError> for DiversifyError {
+    fn from(e: mvtee_graph::GraphError) -> Self {
+        DiversifyError::Graph(e)
+    }
+}
+
+impl From<mvtee_runtime::RuntimeError> for DiversifyError {
+    fn from(e: mvtee_runtime::RuntimeError) -> Self {
+        DiversifyError::Runtime(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            DiversifyError::Graph(mvtee_graph::GraphError::CyclicGraph),
+            DiversifyError::Runtime("x".into()),
+            DiversifyError::Inapplicable { transform: "t".into(), reason: "r".into() },
+            DiversifyError::UnknownVariant { partition: 1, variant: 2 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

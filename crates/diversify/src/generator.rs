@@ -1,0 +1,313 @@
+//! Variant materialisation and the pre-established variant pool.
+//!
+//! The offline tool of §5.1 produces, for every partition of every
+//! partition set, a collection of encrypted variant bundles. Here a
+//! [`VariantBundle`] is the plaintext artifact (spec + transformed
+//! subgraph); the TEE substrate seals it with the variant-specific key when
+//! the pool is deployed (see `mvtee-tee`).
+
+use crate::spec::{spread_specs, VariantSpec};
+use crate::transforms::apply_all;
+use crate::Result;
+use mvtee_graph::Graph;
+use mvtee_partition::PartitionSet;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A materialised variant: the spec plus the transformed partition
+/// subgraph it executes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariantBundle {
+    /// The variant's full specification.
+    pub spec: VariantSpec,
+    /// Partition index this bundle belongs to.
+    pub partition: usize,
+    /// The (diversified) subgraph to execute.
+    pub graph: Graph,
+}
+
+impl VariantBundle {
+    /// Serialises the bundle for sealing into the encrypted variant store.
+    ///
+    /// Format: a stable, versioned, self-describing byte layout produced by
+    /// `serde` + a compact internal encoding (JSON is avoided to keep the
+    /// dependency set minimal; the encoding is private to MVTEE).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        // A tiny self-framing encoding: spec (postcard-style manual) would
+        // be overkill; we reuse serde's derived Debug-stable structure via
+        // bincode-like packing is unavailable, so we serialise through the
+        // graph/tensor binary helpers plus a JSON-ish spec header encoded
+        // manually. Simplest robust approach within the approved
+        // dependency set: serde + std fmt is not machine-readable, so we
+        // use a length-prefixed custom writer.
+        encode::bundle(self)
+    }
+
+    /// Deserialises a bundle produced by [`VariantBundle::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph deserialisation error for malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        encode::bundle_from(bytes)
+    }
+}
+
+/// Binary encoding for bundles (length-prefixed sections).
+mod encode {
+    use super::*;
+    use crate::DiversifyError;
+
+    fn put_section(out: &mut Vec<u8>, bytes: &[u8]) {
+        out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+
+    fn get_section<'a>(bytes: &mut &'a [u8]) -> Option<&'a [u8]> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let len = u64::from_le_bytes(bytes[..8].try_into().ok()?) as usize;
+        if bytes.len() < 8 + len {
+            return None;
+        }
+        let (section, rest) = bytes[8..].split_at(len);
+        *bytes = rest;
+        Some(section)
+    }
+
+    pub fn bundle(b: &VariantBundle) -> Vec<u8> {
+        let spec = serde_encode(&b.spec);
+        let graph = serde_encode(&b.graph);
+        let mut out = Vec::with_capacity(spec.len() + graph.len() + 32);
+        out.extend_from_slice(b"MVTB1\0");
+        out.extend_from_slice(&(b.partition as u64).to_le_bytes());
+        put_section(&mut out, &spec);
+        put_section(&mut out, &graph);
+        out
+    }
+
+    pub fn bundle_from(mut bytes: &[u8]) -> Result<VariantBundle> {
+        let fail = || DiversifyError::Graph(mvtee_graph::GraphError::Deserialize(
+            "malformed variant bundle".into(),
+        ));
+        if bytes.len() < 14 || &bytes[..6] != b"MVTB1\0" {
+            return Err(fail());
+        }
+        let partition =
+            u64::from_le_bytes(bytes[6..14].try_into().map_err(|_| fail())?) as usize;
+        bytes = &bytes[14..];
+        let spec_bytes = get_section(&mut bytes).ok_or_else(fail)?;
+        let graph_bytes = get_section(&mut bytes).ok_or_else(fail)?;
+        let spec: VariantSpec = serde_decode(spec_bytes).ok_or_else(fail)?;
+        let graph: Graph = serde_decode(graph_bytes).ok_or_else(fail)?;
+        Ok(VariantBundle { spec, partition, graph })
+    }
+
+    /// serde encoding via the `serde_json`-free route: we use the
+    /// `postcard`-style approach of serde's `Serialize` into a compact
+    /// self-made format. To stay within the approved dependency list we
+    /// piggyback on `serde`'s derive through an in-crate minimal writer.
+    fn serde_encode<T: Serialize>(value: &T) -> Vec<u8> {
+        mvtee_codec::to_bytes(value).expect("in-memory encoding cannot fail")
+    }
+
+    fn serde_decode<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Option<T> {
+        mvtee_codec::from_bytes(bytes).ok()
+    }
+}
+
+/// Generates variant bundles for partitions.
+#[derive(Debug, Clone)]
+pub struct VariantGenerator {
+    seed: u64,
+}
+
+impl VariantGenerator {
+    /// Creates a generator with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        VariantGenerator { seed }
+    }
+
+    /// Materialises `spec` against one partition subgraph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transform failures.
+    pub fn materialize(
+        &self,
+        subgraph: &Graph,
+        partition: usize,
+        spec: &VariantSpec,
+    ) -> Result<VariantBundle> {
+        let graph = apply_all(subgraph, &spec.transforms, spec.transform_seed)?;
+        Ok(VariantBundle { spec: spec.clone(), partition, graph })
+    }
+
+    /// Builds a full [`VariantPool`] for a partition set: `variants_per_partition`
+    /// diversified bundles for every stage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction and transform failures.
+    pub fn build_pool(
+        &self,
+        model: &Graph,
+        set: &PartitionSet,
+        variants_per_partition: usize,
+    ) -> Result<VariantPool> {
+        let subgraphs = set
+            .extract_subgraphs(model)
+            .map_err(|e| crate::DiversifyError::Runtime(e.to_string()))?;
+        let mut entries = BTreeMap::new();
+        for (pi, sub) in subgraphs.iter().enumerate() {
+            let specs = spread_specs(
+                variants_per_partition,
+                self.seed.wrapping_add(pi as u64 * 0xABCD),
+            );
+            let mut bundles = Vec::with_capacity(specs.len());
+            for (vi, mut spec) in specs.into_iter().enumerate() {
+                spec.id = crate::VariantId((pi * 1000 + vi) as u64);
+                bundles.push(self.materialize(sub, pi, &spec)?);
+            }
+            entries.insert(pi, bundles);
+        }
+        Ok(VariantPool { model: model.name.clone(), partitions: set.len(), entries })
+    }
+}
+
+/// The pre-established pool of inference variants for one partition set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariantPool {
+    /// Model name.
+    pub model: String,
+    /// Number of partitions in the backing set.
+    pub partitions: usize,
+    entries: BTreeMap<usize, Vec<VariantBundle>>,
+}
+
+impl VariantPool {
+    /// Bundles for one partition.
+    pub fn bundles(&self, partition: usize) -> &[VariantBundle] {
+        self.entries.get(&partition).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Looks up one bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DiversifyError::UnknownVariant`] when absent.
+    pub fn bundle(&self, partition: usize, variant: usize) -> Result<&VariantBundle> {
+        self.entries
+            .get(&partition)
+            .and_then(|v| v.get(variant))
+            .ok_or(crate::DiversifyError::UnknownVariant { partition, variant })
+    }
+
+    /// Total number of bundles in the pool.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// `true` when the pool holds no bundles.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+    use mvtee_partition::slice_by_boundaries;
+    use mvtee_runtime::Engine;
+    use mvtee_tensor::{metrics, Tensor};
+
+    fn model_and_set() -> (mvtee_graph::zoo::Model, PartitionSet) {
+        let m = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 13).unwrap();
+        let set = slice_by_boundaries(&m.graph, &[40, 80]).unwrap();
+        (m, set)
+    }
+
+    #[test]
+    fn pool_builds_bundles_for_every_partition() {
+        let (m, set) = model_and_set();
+        let pool = VariantGenerator::new(1).build_pool(&m.graph, &set, 3).unwrap();
+        assert_eq!(pool.len(), 9);
+        for pi in 0..3 {
+            assert_eq!(pool.bundles(pi).len(), 3);
+        }
+        assert!(pool.bundle(0, 0).is_ok());
+        assert!(pool.bundle(0, 9).is_err());
+        assert!(pool.bundle(7, 0).is_err());
+    }
+
+    #[test]
+    fn bundle_variants_are_equivalent_per_partition() {
+        let (m, set) = model_and_set();
+        let subs = set.extract_subgraphs(&m.graph).unwrap();
+        let pool = VariantGenerator::new(5).build_pool(&m.graph, &set, 3).unwrap();
+        // Execute partition 0's variants on the same input and compare.
+        let sub = &subs[0];
+        let input_shape = sub
+            .value(sub.inputs()[0])
+            .unwrap()
+            .shape
+            .clone()
+            .expect("shape inferred");
+        let n: usize = input_shape.num_elements();
+        let input = Tensor::from_vec(
+            (0..n).map(|i| ((i % 53) as f32 - 26.0) / 26.0).collect(),
+            input_shape.dims(),
+        )
+        .unwrap();
+        let mut outputs = Vec::new();
+        for b in pool.bundles(0) {
+            let engine = Engine::new(b.spec.engine.clone());
+            let p = engine.prepare(&b.graph).unwrap();
+            outputs.push(p.run(std::slice::from_ref(&input)).unwrap().remove(0));
+        }
+        for pair in outputs.windows(2) {
+            assert!(
+                metrics::allclose(&pair[0], &pair[1], 1e-3, 1e-4),
+                "variants diverged: {}",
+                metrics::max_abs_diff(&pair[0], &pair[1])
+            );
+        }
+    }
+
+    #[test]
+    fn bundle_round_trips_through_bytes() {
+        let (m, set) = model_and_set();
+        let pool = VariantGenerator::new(2).build_pool(&m.graph, &set, 2).unwrap();
+        let bundle = pool.bundle(1, 1).unwrap();
+        let bytes = bundle.to_bytes();
+        let back = VariantBundle::from_bytes(&bytes).unwrap();
+        assert_eq!(back.spec, bundle.spec);
+        assert_eq!(back.partition, bundle.partition);
+        assert_eq!(back.graph.node_count(), bundle.graph.node_count());
+        assert_eq!(back.graph.initializers().len(), bundle.graph.initializers().len());
+    }
+
+    #[test]
+    fn bundle_rejects_garbage() {
+        assert!(VariantBundle::from_bytes(b"not a bundle").is_err());
+        assert!(VariantBundle::from_bytes(b"").is_err());
+        let (m, set) = model_and_set();
+        let pool = VariantGenerator::new(2).build_pool(&m.graph, &set, 1).unwrap();
+        let mut bytes = pool.bundle(0, 0).unwrap().to_bytes();
+        bytes.truncate(bytes.len() / 2);
+        assert!(VariantBundle::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let (m, set) = model_and_set();
+        let a = VariantGenerator::new(9).build_pool(&m.graph, &set, 2).unwrap();
+        let b = VariantGenerator::new(9).build_pool(&m.graph, &set, 2).unwrap();
+        assert_eq!(
+            a.bundle(0, 0).unwrap().to_bytes(),
+            b.bundle(0, 0).unwrap().to_bytes()
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Multi-level variant diversification (§4.2 of the paper).
+//!
+//! MVTEE generates functionally equivalent but diversified inference
+//! variants automatically, exploiting the natural heterogeneity of the ML
+//! stack. This crate implements both levels:
+//!
+//! * **Model graph level** ([`transforms`]) — ONNX-to-ONNX-style rewrites:
+//!   dummy operators (identity / add-zero / mul-one), equivalent operator
+//!   replacement (Gemm → MatMul+Add, Relu → (x+|x|)/2), channel
+//!   manipulation (shuffling conv output channels with compensating weight
+//!   permutations downstream), selective optimisation (BN folding /
+//!   identity elimination as a defense toggle) and commutative operator
+//!   reordering. All transforms preserve semantics to floating-point
+//!   tolerance and are property-tested against the reference executor.
+//! * **Inference instance level** ([`spec`]) — executor family, BLAS
+//!   backend, optimisation level, accumulation order, TEE backend and ASLR
+//!   seed, combined into a [`VariantSpec`].
+//!
+//! [`generator`] materialises specs against partitioned subgraphs into a
+//! [`VariantPool`] — the pre-established pool from which the monitor
+//! initialises and updates variant TEEs at runtime.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod spec;
+pub mod transforms;
+
+mod error;
+
+pub use error::DiversifyError;
+pub use generator::{VariantBundle, VariantGenerator, VariantPool};
+pub use spec::{TeeBackend, VariantId, VariantSpec};
+pub use transforms::TransformKind;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DiversifyError>;

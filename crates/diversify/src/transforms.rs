@@ -1,0 +1,575 @@
+//! Model-graph-level diversification: semantic-preserving rewrites.
+//!
+//! Every transform takes a graph and returns a functionally equivalent
+//! graph whose structure (and hence vulnerability/fault surface) differs.
+//! The paper's §4.2 lists the families implemented here; the tests verify
+//! equivalence against the reference executor within FP tolerance.
+
+use crate::{DiversifyError, Result};
+use mvtee_graph::op::ActivationKind;
+use mvtee_graph::{Graph, Op, ValueId};
+use mvtee_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The graph-level transform families of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TransformKind {
+    /// Insert identity operators on random edges (dummy operators).
+    DummyIdentity,
+    /// Insert `Add 0` / `Mul 1` dummy arithmetic on random edges.
+    DummyArithmetic,
+    /// Replace `Gemm` with `MatMul + Add` (operator decomposition).
+    DecomposeGemm,
+    /// Replace `Relu` with `(x + |x|) · 0.5` (operator decomposition).
+    DecomposeRelu,
+    /// Shuffle conv output channels with compensating permutations
+    /// downstream (channel manipulation).
+    ChannelShuffle,
+    /// Apply the BN-folding optimisation pass selectively (selective
+    /// optimisation as a defense).
+    SelectiveOptimize,
+    /// Swap the operands of commutative `Add`/`Mul` nodes (mathematical
+    /// property-based rewriting).
+    CommutativeReorder,
+}
+
+impl TransformKind {
+    /// All transforms.
+    pub const ALL: [TransformKind; 7] = [
+        TransformKind::DummyIdentity,
+        TransformKind::DummyArithmetic,
+        TransformKind::DecomposeGemm,
+        TransformKind::DecomposeRelu,
+        TransformKind::ChannelShuffle,
+        TransformKind::SelectiveOptimize,
+        TransformKind::CommutativeReorder,
+    ];
+
+    /// Applies the transform with the given randomness seed.
+    ///
+    /// Transforms are best-effort: when a pattern does not occur in the
+    /// graph the input is returned unchanged (never an error), so specs can
+    /// apply any transform list to any partition.
+    ///
+    /// # Errors
+    ///
+    /// Only structural failures (graph invariants broken by a bug) error.
+    pub fn apply(self, graph: &Graph, seed: u64) -> Result<Graph> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            TransformKind::DummyIdentity => insert_dummy_identities(graph, &mut rng, 3),
+            TransformKind::DummyArithmetic => insert_dummy_arithmetic(graph, &mut rng, 3),
+            TransformKind::DecomposeGemm => decompose_gemm(graph),
+            TransformKind::DecomposeRelu => decompose_relu(graph, &mut rng, 4),
+            TransformKind::ChannelShuffle => channel_shuffle(graph, &mut rng, 2),
+            TransformKind::SelectiveOptimize => selective_optimize(graph, &mut rng),
+            TransformKind::CommutativeReorder => commutative_reorder(graph, &mut rng),
+        }
+    }
+}
+
+impl fmt::Display for TransformKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TransformKind::DummyIdentity => "dummy-identity",
+            TransformKind::DummyArithmetic => "dummy-arithmetic",
+            TransformKind::DecomposeGemm => "decompose-gemm",
+            TransformKind::DecomposeRelu => "decompose-relu",
+            TransformKind::ChannelShuffle => "channel-shuffle",
+            TransformKind::SelectiveOptimize => "selective-optimize",
+            TransformKind::CommutativeReorder => "commutative-reorder",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Applies a sequence of transforms.
+///
+/// # Errors
+///
+/// Propagates the first transform failure.
+pub fn apply_all(graph: &Graph, transforms: &[TransformKind], seed: u64) -> Result<Graph> {
+    let mut g = graph.clone();
+    for (i, t) in transforms.iter().enumerate() {
+        g = t.apply(&g, seed.wrapping_add(i as u64 * 0x51_7c_c1))?;
+    }
+    Ok(g)
+}
+
+/// Candidate rewiring points: (consumer node index, input slot) pairs for
+/// non-initializer values.
+fn edge_slots(graph: &Graph) -> Vec<(usize, usize)> {
+    let mut slots = Vec::new();
+    for (ni, node) in graph.nodes().iter().enumerate() {
+        for (si, v) in node.inputs.iter().enumerate() {
+            if graph.initializer(*v).is_none() {
+                slots.push((ni, si));
+            }
+        }
+    }
+    slots
+}
+
+/// Inserts `count` Identity nodes on random edges.
+fn insert_dummy_identities(graph: &Graph, rng: &mut StdRng, count: usize) -> Result<Graph> {
+    let mut g = graph.clone();
+    let mut slots = edge_slots(&g);
+    slots.shuffle(rng);
+    for (k, &(ni, si)) in slots.iter().take(count).enumerate() {
+        let orig = g.nodes()[ni].inputs[si];
+        let shape = graph.value(orig).ok().and_then(|i| i.shape.clone());
+        let nv = g.add_value(format!("dummy_id_val_{k}"));
+        if let Some(s) = shape {
+            g.value_mut(nv)?.shape = Some(s);
+        }
+        g.add_node(format!("dummy_id_{k}"), Op::Identity, vec![orig], vec![nv])?;
+        g.node_mut(mvtee_graph::NodeId(ni))?.inputs[si] = nv;
+    }
+    g.validate()?;
+    Ok(g)
+}
+
+/// Inserts `Add 0` or `Mul 1` dummy nodes on random edges.
+fn insert_dummy_arithmetic(graph: &Graph, rng: &mut StdRng, count: usize) -> Result<Graph> {
+    let mut g = graph.clone();
+    let mut slots = edge_slots(&g);
+    slots.shuffle(rng);
+    for (k, &(ni, si)) in slots.iter().take(count).enumerate() {
+        let orig = g.nodes()[ni].inputs[si];
+        let shape = graph.value(orig).ok().and_then(|i| i.shape.clone());
+        let use_add = rng.gen_bool(0.5);
+        let cv = g.add_value(format!("dummy_const_{k}"));
+        g.set_initializer(cv, Tensor::scalar(if use_add { 0.0 } else { 1.0 }));
+        let nv = g.add_value(format!("dummy_arith_val_{k}"));
+        if let Some(s) = shape {
+            g.value_mut(nv)?.shape = Some(s);
+        }
+        let op = if use_add { Op::Add } else { Op::Mul };
+        g.add_node(format!("dummy_arith_{k}"), op, vec![orig, cv], vec![nv])?;
+        g.node_mut(mvtee_graph::NodeId(ni))?.inputs[si] = nv;
+    }
+    g.validate()?;
+    Ok(g)
+}
+
+/// Replaces every `Gemm` with `MatMul(x, wᵀ)` followed by `Add` bias.
+fn decompose_gemm(graph: &Graph) -> Result<Graph> {
+    let mut g = graph.clone();
+    let gemm_ids: Vec<usize> = g
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n.op, Op::Gemm) && n.inputs.len() == 3)
+        .map(|(i, _)| i)
+        .collect();
+    for (k, ni) in gemm_ids.into_iter().enumerate() {
+        let node = g.node(mvtee_graph::NodeId(ni))?.clone();
+        let (x, w, b) = (node.inputs[0], node.inputs[1], node.inputs[2]);
+        let Some(wt) = g.initializer(w) else {
+            continue; // non-initializer weights can't be transposed offline
+        };
+        // Transpose [out, in] -> [in, out].
+        let (o, i) = (wt.dims()[0], wt.dims()[1]);
+        let src = wt.data().to_vec();
+        let mut t = vec![0.0f32; o * i];
+        for r in 0..o {
+            for c in 0..i {
+                t[c * o + r] = src[r * i + c];
+            }
+        }
+        let wt_v = g.add_value(format!("gemm_wt_{k}"));
+        g.set_initializer(wt_v, Tensor::from_vec(t, &[i, o]).expect("transposed weight"));
+        let mm_v = g.add_value(format!("gemm_mm_{k}"));
+        g.add_node(format!("gemm_decomp_mm_{k}"), Op::MatMul, vec![x, wt_v], vec![mm_v])?;
+        // The original node becomes the bias Add, keeping its output id.
+        let node = g.node_mut(mvtee_graph::NodeId(ni))?;
+        node.op = Op::Add;
+        node.inputs = vec![mm_v, b];
+    }
+    g.validate()?;
+    Ok(g)
+}
+
+/// Replaces up to `count` random `Relu` nodes with `(x + |x|) · 0.5`.
+fn decompose_relu(graph: &Graph, rng: &mut StdRng, count: usize) -> Result<Graph> {
+    let mut g = graph.clone();
+    let mut relu_ids: Vec<usize> = g
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n.op, Op::Activation(ActivationKind::Relu)))
+        .map(|(i, _)| i)
+        .collect();
+    relu_ids.shuffle(rng);
+    for (k, ni) in relu_ids.into_iter().take(count).enumerate() {
+        let node = g.node(mvtee_graph::NodeId(ni))?.clone();
+        let x = node.inputs[0];
+        let shape = graph.value(x).ok().and_then(|i| i.shape.clone());
+        let abs_v = g.add_value(format!("relu_abs_{k}"));
+        let sum_v = g.add_value(format!("relu_sum_{k}"));
+        if let Some(s) = &shape {
+            g.value_mut(abs_v)?.shape = Some(s.clone());
+            g.value_mut(sum_v)?.shape = Some(s.clone());
+        }
+        let half_v = g.add_value(format!("relu_half_{k}"));
+        g.set_initializer(half_v, Tensor::scalar(0.5));
+        g.add_node(
+            format!("relu_decomp_abs_{k}"),
+            Op::Activation(ActivationKind::Abs),
+            vec![x],
+            vec![abs_v],
+        )?;
+        g.add_node(format!("relu_decomp_add_{k}"), Op::Add, vec![x, abs_v], vec![sum_v])?;
+        let node = g.node_mut(mvtee_graph::NodeId(ni))?;
+        node.op = Op::Mul;
+        node.inputs = vec![sum_v, half_v];
+    }
+    g.validate()?;
+    Ok(g)
+}
+
+/// Shuffles the output channels of up to `count` Conv nodes, compensating
+/// in the downstream consumer chain.
+///
+/// Pattern: `Conv(g=1) → (BatchNorm | elementwise Activation)* → Conv(g=1)`
+/// where every intermediate value has exactly one consumer and is not a
+/// graph output. The permutation is applied to the first conv's output
+/// channels (weight rows + bias), every BN's per-channel parameters, and
+/// the second conv's input channels (weight columns).
+fn channel_shuffle(graph: &Graph, rng: &mut StdRng, count: usize) -> Result<Graph> {
+    let mut g = graph.clone();
+    let consumers = g.consumers();
+    let mut candidates: Vec<(usize, Vec<usize>, usize)> = Vec::new(); // (conv1, chain bns, conv2)
+
+    'outer: for (ni, node) in g.nodes().iter().enumerate() {
+        let Op::Conv { groups: 1, .. } = node.op else { continue };
+        let mut chain_bns = Vec::new();
+        let mut v = node.outputs[0];
+        loop {
+            if g.outputs().contains(&v) {
+                continue 'outer;
+            }
+            let Some(cs) = consumers.get(&v) else { continue 'outer };
+            if cs.len() != 1 {
+                continue 'outer;
+            }
+            let next = g.node(cs[0]).expect("consumer exists");
+            // The chased value must be the primary data input.
+            if next.inputs[0] != v {
+                continue 'outer;
+            }
+            match &next.op {
+                Op::BatchNorm { .. } => {
+                    chain_bns.push(next.id.0);
+                    v = next.outputs[0];
+                }
+                Op::Activation(_) => {
+                    v = next.outputs[0];
+                }
+                Op::Conv { groups: 1, .. } => {
+                    candidates.push((ni, chain_bns, next.id.0));
+                    continue 'outer;
+                }
+                _ => continue 'outer,
+            }
+        }
+    }
+    candidates.shuffle(rng);
+    for (conv1, bns, conv2) in candidates.into_iter().take(count) {
+        let w1_id = g.node(mvtee_graph::NodeId(conv1))?.inputs[1];
+        let b1_id = g.node(mvtee_graph::NodeId(conv1))?.inputs.get(2).copied();
+        let w2_id = g.node(mvtee_graph::NodeId(conv2))?.inputs[1];
+        let Some(w1) = g.initializer(w1_id).cloned() else { continue };
+        let Some(w2) = g.initializer(w2_id).cloned() else { continue };
+        let oc = w1.dims()[0];
+        if w2.dims()[1] != oc {
+            continue; // defensive: shapes must agree
+        }
+        let mut perm: Vec<usize> = (0..oc).collect();
+        perm.shuffle(rng);
+        // conv1 weight rows + bias.
+        let per_out = w1.len() / oc;
+        let mut new_w1 = vec![0.0f32; w1.len()];
+        for (new_o, &old_o) in perm.iter().enumerate() {
+            new_w1[new_o * per_out..(new_o + 1) * per_out]
+                .copy_from_slice(&w1.data()[old_o * per_out..(old_o + 1) * per_out]);
+        }
+        *g.initializer_mut(w1_id).expect("w1 exists") =
+            Tensor::from_vec(new_w1, w1.dims()).expect("same shape");
+        if let Some(b1) = b1_id {
+            if let Some(bias) = g.initializer(b1).cloned() {
+                let mut nb = vec![0.0f32; oc];
+                for (new_o, &old_o) in perm.iter().enumerate() {
+                    nb[new_o] = bias.data()[old_o];
+                }
+                *g.initializer_mut(b1).expect("b1 exists") =
+                    Tensor::from_vec(nb, &[oc]).expect("same shape");
+            }
+        }
+        // BN params along the chain.
+        for bn in bns {
+            let param_ids: Vec<ValueId> = g.node(mvtee_graph::NodeId(bn))?.inputs[1..5].to_vec();
+            for pid in param_ids {
+                if let Some(p) = g.initializer(pid).cloned() {
+                    let mut np = vec![0.0f32; oc];
+                    for (new_o, &old_o) in perm.iter().enumerate() {
+                        np[new_o] = p.data()[old_o];
+                    }
+                    *g.initializer_mut(pid).expect("bn param exists") =
+                        Tensor::from_vec(np, &[oc]).expect("same shape");
+                }
+            }
+        }
+        // conv2 input channels (dim 1).
+        let d = w2.dims().to_vec();
+        let (o2, _ic, kh, kw) = (d[0], d[1], d[2], d[3]);
+        let ksz = kh * kw;
+        let mut new_w2 = vec![0.0f32; w2.len()];
+        for o in 0..o2 {
+            for (new_i, &old_i) in perm.iter().enumerate() {
+                let src = (o * oc + old_i) * ksz;
+                let dst = (o * oc + new_i) * ksz;
+                new_w2[dst..dst + ksz].copy_from_slice(&w2.data()[src..src + ksz]);
+            }
+        }
+        *g.initializer_mut(w2_id).expect("w2 exists") =
+            Tensor::from_vec(new_w2, &d).expect("same shape");
+    }
+    g.validate()?;
+    Ok(g)
+}
+
+/// Applies one of the optimisation pipelines at random: none, identity
+/// elimination only, or the full standard pipeline.
+fn selective_optimize(graph: &Graph, rng: &mut StdRng) -> Result<Graph> {
+    match rng.gen_range(0..3u8) {
+        0 => Ok(graph.clone()),
+        1 => mvtee_runtime::optimize::eliminate_identities(graph).map_err(DiversifyError::from),
+        _ => mvtee_runtime::optimize::standard_pipeline(graph).map_err(DiversifyError::from),
+    }
+}
+
+/// Swaps the operand order of commutative Add/Mul nodes (50% each).
+fn commutative_reorder(graph: &Graph, rng: &mut StdRng) -> Result<Graph> {
+    let mut g = graph.clone();
+    let ids: Vec<usize> = g
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n.op, Op::Add | Op::Mul))
+        .map(|(i, _)| i)
+        .collect();
+    for ni in ids {
+        if rng.gen_bool(0.5) {
+            let node = g.node_mut(mvtee_graph::NodeId(ni))?;
+            // Only swap when shapes broadcast symmetrically (identical
+            // shapes always do; mixed shapes also commute under ONNX
+            // broadcasting, so a swap is always safe semantically).
+            node.inputs.swap(0, 1);
+        }
+    }
+    g.validate()?;
+    Ok(g)
+}
+
+/// Structural distance between two graphs: 1 − Jaccard similarity of their
+/// (op-name, input-count) multiset. Used to quantify diversification.
+pub fn structural_distance(a: &Graph, b: &Graph) -> f64 {
+    use std::collections::HashMap;
+    let mut counts_a: HashMap<String, i64> = HashMap::new();
+    for n in a.nodes() {
+        *counts_a.entry(format!("{}:{}", n.op.name(), n.inputs.len())).or_insert(0) += 1;
+    }
+    let mut counts_b: HashMap<String, i64> = HashMap::new();
+    for n in b.nodes() {
+        *counts_b.entry(format!("{}:{}", n.op.name(), n.inputs.len())).or_insert(0) += 1;
+    }
+    let mut intersection = 0i64;
+    let mut union = 0i64;
+    let keys: std::collections::HashSet<&String> =
+        counts_a.keys().chain(counts_b.keys()).collect();
+    for k in keys {
+        let x = counts_a.get(k).copied().unwrap_or(0);
+        let y = counts_b.get(k).copied().unwrap_or(0);
+        intersection += x.min(y);
+        union += x.max(y);
+    }
+    if union == 0 {
+        0.0
+    } else {
+        1.0 - intersection as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+    use mvtee_runtime::{Engine, EngineConfig, EngineKind};
+    use mvtee_tensor::metrics;
+
+    fn run_reference(graph: &Graph, input: &Tensor) -> Tensor {
+        Engine::new(EngineConfig::of_kind(EngineKind::Reference))
+            .prepare(graph)
+            .unwrap()
+            .run(std::slice::from_ref(input))
+            .unwrap()
+            .remove(0)
+    }
+
+    fn test_input(dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|i| ((i % 89) as f32 - 44.0) / 44.0).collect(), dims).unwrap()
+    }
+
+    fn check_equivalence(kind: TransformKind, model: ModelKind) {
+        let m = zoo::build(model, ScaleProfile::Test, 21).unwrap();
+        let t = kind.apply(&m.graph, 5).unwrap();
+        t.validate().unwrap();
+        let input = test_input(m.input_shape.dims());
+        let y0 = run_reference(&m.graph, &input);
+        let y1 = run_reference(&t, &input);
+        assert!(
+            metrics::allclose(&y0, &y1, 1e-3, 1e-5),
+            "{kind} broke semantics: max diff {}",
+            metrics::max_abs_diff(&y0, &y1)
+        );
+    }
+
+    #[test]
+    fn dummy_identity_preserves_semantics() {
+        check_equivalence(TransformKind::DummyIdentity, ModelKind::ResNet50);
+    }
+
+    #[test]
+    fn dummy_identity_adds_nodes() {
+        let m = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 21).unwrap();
+        let t = TransformKind::DummyIdentity.apply(&m.graph, 5).unwrap();
+        assert_eq!(t.node_count(), m.graph.node_count() + 3);
+    }
+
+    #[test]
+    fn dummy_arithmetic_preserves_semantics() {
+        check_equivalence(TransformKind::DummyArithmetic, ModelKind::MnasNet);
+    }
+
+    #[test]
+    fn decompose_gemm_preserves_semantics() {
+        check_equivalence(TransformKind::DecomposeGemm, ModelKind::ResNet50);
+    }
+
+    #[test]
+    fn decompose_gemm_removes_gemm_nodes() {
+        let m = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 21).unwrap();
+        let t = TransformKind::DecomposeGemm.apply(&m.graph, 0).unwrap();
+        assert_eq!(t.op_histogram().get("Gemm"), None);
+        assert!(t.op_histogram().get("MatMul").copied().unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn decompose_relu_preserves_semantics() {
+        check_equivalence(TransformKind::DecomposeRelu, ModelKind::GoogleNet);
+    }
+
+    #[test]
+    fn decompose_relu_introduces_abs() {
+        let m = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 21).unwrap();
+        let t = TransformKind::DecomposeRelu.apply(&m.graph, 1).unwrap();
+        assert!(t.op_histogram().get("Abs").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn channel_shuffle_preserves_semantics() {
+        check_equivalence(TransformKind::ChannelShuffle, ModelKind::ResNet50);
+    }
+
+    #[test]
+    fn channel_shuffle_changes_weights() {
+        let m = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 21).unwrap();
+        let t = TransformKind::ChannelShuffle.apply(&m.graph, 3).unwrap();
+        // Some initializer must have changed.
+        let changed = m
+            .graph
+            .initializers()
+            .iter()
+            .any(|(v, tensor)| t.initializer(*v).map(|u| u != tensor).unwrap_or(false));
+        assert!(changed, "channel shuffle was a no-op");
+    }
+
+    #[test]
+    fn selective_optimize_preserves_semantics() {
+        for seed in 0..3 {
+            let m = zoo::build(ModelKind::MobileNetV3, ScaleProfile::Test, 21).unwrap();
+            let t = TransformKind::SelectiveOptimize.apply(&m.graph, seed).unwrap();
+            let input = test_input(m.input_shape.dims());
+            let y0 = run_reference(&m.graph, &input);
+            let y1 = run_reference(&t, &input);
+            assert!(metrics::allclose(&y0, &y1, 1e-3, 1e-5), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn commutative_reorder_preserves_semantics_exactly() {
+        let m = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 21).unwrap();
+        let t = TransformKind::CommutativeReorder.apply(&m.graph, 5).unwrap();
+        let input = test_input(m.input_shape.dims());
+        let y0 = run_reference(&m.graph, &input);
+        let y1 = run_reference(&t, &input);
+        // IEEE addition/multiplication are commutative: bit-exact.
+        assert_eq!(y0, y1);
+    }
+
+    #[test]
+    fn apply_all_stacks_transforms() {
+        let m = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 21).unwrap();
+        let t = apply_all(
+            &m.graph,
+            &[
+                TransformKind::DummyIdentity,
+                TransformKind::DecomposeGemm,
+                TransformKind::CommutativeReorder,
+            ],
+            9,
+        )
+        .unwrap();
+        t.validate().unwrap();
+        let input = test_input(m.input_shape.dims());
+        let y0 = run_reference(&m.graph, &input);
+        let y1 = run_reference(&t, &input);
+        assert!(metrics::allclose(&y0, &y1, 1e-3, 1e-5));
+    }
+
+    #[test]
+    fn transforms_work_on_partition_subgraphs() {
+        use mvtee_partition::slice_by_boundaries;
+        let m = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 21).unwrap();
+        let set = slice_by_boundaries(&m.graph, &[60]).unwrap();
+        let subs = set.extract_subgraphs(&m.graph).unwrap();
+        for sub in &subs {
+            for kind in TransformKind::ALL {
+                let t = kind.apply(sub, 3).unwrap();
+                t.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn structural_distance_properties() {
+        let m = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 21).unwrap();
+        assert_eq!(structural_distance(&m.graph, &m.graph), 0.0);
+        let t = TransformKind::DecomposeGemm.apply(&m.graph, 1).unwrap();
+        let d = structural_distance(&m.graph, &t);
+        assert!(d > 0.0 && d <= 1.0);
+    }
+
+    #[test]
+    fn transform_display_names() {
+        for k in TransformKind::ALL {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

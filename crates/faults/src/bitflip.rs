@@ -1,0 +1,156 @@
+//! Weight-targeted bit-flip faults (Rowhammer / Terminal-Brain-Damage
+//! style).
+//!
+//! Hong et al. showed that flipping the *exponent MSB* of a single FP32
+//! weight can degrade a DNN's accuracy gracelessly; random mantissa flips
+//! are mostly harmless. Both strategies are provided: the targeted one for
+//! attack simulation and the random one for baseline fault studies.
+
+use mvtee_graph::{Graph, ValueId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which bits the injector flips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitFlipStrategy {
+    /// Flip the exponent MSB (bit 30) of the selected weights — the
+    /// high-impact attack bits.
+    ExponentMsb,
+    /// Flip a uniformly random bit of the selected weights.
+    RandomBit,
+}
+
+/// Record of one injected flip, for reporting and reversal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlippedBit {
+    /// Value id of the weight tensor.
+    pub tensor: ValueId,
+    /// Flat element index within the tensor.
+    pub element: usize,
+    /// Bit position flipped (0 = LSB of the FP32 representation).
+    pub bit: u32,
+    /// Weight value before the flip.
+    pub before: f32,
+    /// Weight value after the flip.
+    pub after: f32,
+}
+
+/// Flips `count` weight bits in the graph's initializers in place.
+///
+/// Returns the flip records (empty when the graph has no parameters).
+pub fn flip_weight_bits(
+    graph: &mut Graph,
+    strategy: BitFlipStrategy,
+    count: usize,
+    seed: u64,
+) -> Vec<FlippedBit> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weight_ids: Vec<ValueId> = graph
+        .initializers()
+        .iter()
+        .filter(|(_, t)| !t.is_empty())
+        .map(|(v, _)| *v)
+        .collect();
+    if weight_ids.is_empty() {
+        return Vec::new();
+    }
+    let mut flips = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tensor_id = weight_ids[rng.gen_range(0..weight_ids.len())];
+        let tensor = graph.initializer_mut(tensor_id).expect("listed initializer");
+        let element = rng.gen_range(0..tensor.len());
+        let bit = match strategy {
+            BitFlipStrategy::ExponentMsb => 30,
+            BitFlipStrategy::RandomBit => rng.gen_range(0..32),
+        };
+        let before = tensor.data()[element];
+        let after = f32::from_bits(before.to_bits() ^ (1u32 << bit));
+        tensor.data_mut()[element] = after;
+        flips.push(FlippedBit { tensor: tensor_id, element, bit, before, after });
+    }
+    flips
+}
+
+/// Reverts previously injected flips (test helper).
+pub fn revert_flips(graph: &mut Graph, flips: &[FlippedBit]) {
+    for flip in flips.iter().rev() {
+        if let Some(t) = graph.initializer_mut(flip.tensor) {
+            t.data_mut()[flip.element] = flip.before;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+    use mvtee_runtime::{Engine, EngineConfig, EngineKind};
+    use mvtee_tensor::{metrics, Tensor};
+
+    fn run(graph: &Graph, input: &Tensor) -> Tensor {
+        Engine::new(EngineConfig::of_kind(EngineKind::OrtLike))
+            .prepare(graph)
+            .unwrap()
+            .run(std::slice::from_ref(input))
+            .unwrap()
+            .remove(0)
+    }
+
+    #[test]
+    fn exponent_flip_changes_magnitude_dramatically() {
+        let m = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 17).unwrap();
+        let mut g = m.graph.clone();
+        let flips = flip_weight_bits(&mut g, BitFlipStrategy::ExponentMsb, 1, 3);
+        assert_eq!(flips.len(), 1);
+        let f = &flips[0];
+        // Exponent MSB flip scales the weight by 2^±128-ish.
+        assert_ne!(f.before, f.after);
+        let ratio = (f.after.abs().log2() - f.before.abs().log2()).abs();
+        assert!(ratio > 64.0 || f.after == 0.0 || !f.after.is_finite(), "ratio {ratio}");
+    }
+
+    #[test]
+    fn flips_perturb_model_outputs() {
+        let m = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 17).unwrap();
+        let input = Tensor::ones(m.input_shape.dims());
+        let clean = run(&m.graph, &input);
+        let mut g = m.graph.clone();
+        let flips = flip_weight_bits(&mut g, BitFlipStrategy::ExponentMsb, 4, 11);
+        let faulty = run(&g, &input);
+        // High-impact flips must be visible as output divergence (this is
+        // exactly what MVX checkpoints detect).
+        assert!(
+            !metrics::allclose(&clean, &faulty, 1e-3, 1e-4),
+            "exponent flips were invisible: max diff {}",
+            metrics::max_abs_diff(&clean, &faulty)
+        );
+        assert_eq!(flips.len(), 4);
+    }
+
+    #[test]
+    fn revert_restores_graph() {
+        let m = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 17).unwrap();
+        let mut g = m.graph.clone();
+        let flips = flip_weight_bits(&mut g, BitFlipStrategy::RandomBit, 8, 5);
+        revert_flips(&mut g, &flips);
+        for (v, t) in m.graph.initializers() {
+            assert_eq!(g.initializer(*v).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let m = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 17).unwrap();
+        let mut g1 = m.graph.clone();
+        let mut g2 = m.graph.clone();
+        let f1 = flip_weight_bits(&mut g1, BitFlipStrategy::RandomBit, 3, 9);
+        let f2 = flip_weight_bits(&mut g2, BitFlipStrategy::RandomBit, 3, 9);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_flips() {
+        let mut g = Graph::new("empty");
+        assert!(flip_weight_bits(&mut g, BitFlipStrategy::RandomBit, 3, 1).is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! Fault and vulnerability injection for MVTEE's security evaluation.
+//!
+//! The paper's threat model targets (i) software memory-safety/runtime
+//! errors in ML frameworks (the TensorFlow CVE classes of Table 1) and
+//! (ii) faults in models or framework/library code (bit-flip attacks such
+//! as Terminal Brain Damage and FrameFlip). This crate simulates both so
+//! the security analysis is reproducible end-to-end:
+//!
+//! * [`bitflip`] — weight-targeted bit flips (exponent-MSB strategy for
+//!   maximal accuracy damage, or random bits),
+//! * [`blasfault`] — the FrameFlip analogue: a code-level fault in one
+//!   BLAS backend; variants on other backends are unaffected,
+//! * [`cve`] — six CVE-class simulators (OOB, UNP, FPE, IO, UAF, ACF)
+//!   that fire only on variants whose configuration is susceptible,
+//!   reproducing Table 1's "defending variants" matrix.
+//!
+//! Faults manifest exactly like the real thing at the MVX observation
+//! level: a crash (the variant's run returns
+//! [`mvtee_runtime::RuntimeError::Crashed`]) or a corrupted/divergent
+//! output tensor — which is what the monitor's checkpoints must catch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitflip;
+pub mod blasfault;
+pub mod cve;
+
+pub use bitflip::{flip_weight_bits, BitFlipStrategy, FlippedBit};
+pub use blasfault::{FaultyBlas, FrameFlip};
+pub use cve::{Attack, CveClass, FaultEffect, InputTrigger, VulnerableModel};

@@ -1,0 +1,453 @@
+//! A fluent builder for CNN graphs with automatic weight initialisation and
+//! incremental shape tracking.
+//!
+//! Used by the model zoo and by tests that need ad-hoc models. Weights are
+//! drawn from a caller-seeded RNG so a model is fully determined by
+//! `(architecture, seed)` — every diversified variant of a model therefore
+//! shares bit-identical parameters, as required for MVX equivalence.
+
+use crate::op::{ActivationKind, Op, PoolKind};
+use crate::shape_infer::infer_node;
+use crate::{Graph, GraphError, Node, NodeId, Result, ValueId};
+use mvtee_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Incremental graph builder.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: Graph,
+    rng: StdRng,
+    shapes: HashMap<ValueId, Shape>,
+    counter: usize,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a named model with a deterministic weight seed.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        GraphBuilder {
+            graph: Graph::new(name),
+            rng: StdRng::seed_from_u64(seed),
+            shapes: HashMap::new(),
+            counter: 0,
+        }
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}_{}", self.counter)
+    }
+
+    /// Declares a graph input of the given shape.
+    pub fn input(&mut self, dims: &[usize]) -> ValueId {
+        let name = self.fresh_name("input");
+        let v = self.graph.add_value(name);
+        self.graph.mark_input(v);
+        self.shapes.insert(v, Shape::new(dims));
+        v
+    }
+
+    /// Shape of a previously created value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value was not created through this builder.
+    pub fn shape(&self, v: ValueId) -> &Shape {
+        &self.shapes[&v]
+    }
+
+    /// Registers a caller-supplied initializer tensor (e.g. token-mixing
+    /// matrices) and returns its value id.
+    pub fn emit_initializer(&mut self, prefix: &str, tensor: Tensor) -> ValueId {
+        self.add_initializer(prefix, tensor)
+    }
+
+    fn add_initializer(&mut self, prefix: &str, tensor: Tensor) -> ValueId {
+        let name = self.fresh_name(prefix);
+        let v = self.graph.add_value(name);
+        self.shapes.insert(v, tensor.shape().clone());
+        self.graph.set_initializer(v, tensor);
+        v
+    }
+
+    /// Emits a node, running single-node shape inference to keep the
+    /// builder's shape map current.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arity and shape errors.
+    pub fn emit(&mut self, prefix: &str, op: Op, inputs: Vec<ValueId>) -> Result<ValueId> {
+        let out_name = self.fresh_name(&format!("{prefix}_out"));
+        let out = self.graph.add_value(out_name);
+        let name = self.fresh_name(prefix);
+        let input_shapes: Vec<&Shape> = inputs
+            .iter()
+            .map(|v| {
+                self.shapes
+                    .get(v)
+                    .ok_or(GraphError::UnknownValue { value: v.0 })
+            })
+            .collect::<Result<_>>()?;
+        let probe = Node {
+            id: NodeId(usize::MAX),
+            name: name.clone(),
+            op: op.clone(),
+            inputs: inputs.clone(),
+            outputs: vec![out],
+        };
+        let out_shape = infer_node(&probe, &input_shapes)?;
+        self.shapes.insert(out, out_shape);
+        self.graph.add_node(name, op, inputs, vec![out])?;
+        Ok(out)
+    }
+
+    /// 2-D convolution with freshly initialised weights and bias.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the input is not rank 4 or attributes are inconsistent.
+    pub fn conv(
+        &mut self,
+        x: ValueId,
+        out_channels: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+        groups: usize,
+    ) -> Result<ValueId> {
+        let in_c = self
+            .shapes
+            .get(&x)
+            .and_then(|s| s.dims().get(1).copied())
+            .ok_or(GraphError::UnknownValue { value: x.0 })?;
+        let fan_in = (in_c / groups.max(1)) * kernel.0 * kernel.1;
+        let w = Tensor::kaiming(
+            &mut self.rng,
+            &[out_channels, in_c / groups.max(1), kernel.0, kernel.1],
+            fan_in,
+        );
+        let b = Tensor::random_uniform(&mut self.rng, &[out_channels], 0.05);
+        let wv = self.add_initializer("w", w);
+        let bv = self.add_initializer("b", b);
+        self.emit("conv", Op::Conv { kernel, stride, padding, groups }, vec![x, wv, bv])
+    }
+
+    /// Inference batch-normalisation with randomly initialised statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-rank-4 inputs.
+    pub fn batch_norm(&mut self, x: ValueId) -> Result<ValueId> {
+        let c = self
+            .shapes
+            .get(&x)
+            .and_then(|s| s.dims().get(1).copied())
+            .ok_or(GraphError::UnknownValue { value: x.0 })?;
+        // Scale near 1, bias near 0, mean near 0, variance near 1: keeps
+        // activations in a realistic numeric range through deep stacks.
+        let scale = Tensor::random_uniform(&mut self.rng, &[c], 0.1).map(|v| 1.0 + v);
+        let bias = Tensor::random_uniform(&mut self.rng, &[c], 0.05);
+        let mean = Tensor::random_uniform(&mut self.rng, &[c], 0.05);
+        let var = Tensor::random_uniform(&mut self.rng, &[c], 0.1).map(|v| 1.0 + v.abs());
+        let sv = self.add_initializer("bn_scale", scale);
+        let bv = self.add_initializer("bn_bias", bias);
+        let mv = self.add_initializer("bn_mean", mean);
+        let vv = self.add_initializer("bn_var", var);
+        self.emit("bn", Op::BatchNorm { epsilon: 1e-5 }, vec![x, sv, bv, mv, vv])
+    }
+
+    /// Element-wise activation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emission errors.
+    pub fn activation(&mut self, x: ValueId, kind: ActivationKind) -> Result<ValueId> {
+        self.emit("act", Op::Activation(kind), vec![x])
+    }
+
+    /// Layer normalisation over the last axis (transformer blocks).
+    ///
+    /// # Errors
+    ///
+    /// Fails on rank-0 inputs.
+    pub fn layer_norm(&mut self, x: ValueId) -> Result<ValueId> {
+        let d = *self
+            .shapes
+            .get(&x)
+            .and_then(|s| s.dims().last())
+            .ok_or(GraphError::UnknownValue { value: x.0 })?;
+        let gamma = Tensor::random_uniform(&mut self.rng, &[d], 0.1).map(|v| 1.0 + v);
+        let beta = Tensor::random_uniform(&mut self.rng, &[d], 0.05);
+        let gv = self.add_initializer("ln_gamma", gamma);
+        let bv = self.add_initializer("ln_beta", beta);
+        self.emit("ln", Op::LayerNorm { epsilon: 1e-5 }, vec![x, gv, bv])
+    }
+
+    /// Conv → BN → activation, the ubiquitous CNN building block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv_bn_act(
+        &mut self,
+        x: ValueId,
+        out_channels: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+        groups: usize,
+        act: ActivationKind,
+    ) -> Result<ValueId> {
+        let c = self.conv(x, out_channels, kernel, stride, padding, groups)?;
+        let b = self.batch_norm(c)?;
+        self.activation(b, act)
+    }
+
+    /// Max pooling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emission errors.
+    pub fn max_pool(
+        &mut self,
+        x: ValueId,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+    ) -> Result<ValueId> {
+        self.emit("maxpool", Op::Pool { kind: PoolKind::Max, kernel, stride, padding }, vec![x])
+    }
+
+    /// Average pooling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emission errors.
+    pub fn avg_pool(
+        &mut self,
+        x: ValueId,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+    ) -> Result<ValueId> {
+        self.emit("avgpool", Op::Pool { kind: PoolKind::Average, kernel, stride, padding }, vec![x])
+    }
+
+    /// Global average pooling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emission errors.
+    pub fn global_avg_pool(&mut self, x: ValueId) -> Result<ValueId> {
+        self.emit("gap", Op::GlobalAvgPool, vec![x])
+    }
+
+    /// Local response normalisation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emission errors.
+    pub fn lrn(&mut self, x: ValueId, size: usize) -> Result<ValueId> {
+        self.emit("lrn", Op::Lrn { size, alpha: 1e-4, beta: 0.75, bias: 1.0 }, vec![x])
+    }
+
+    /// Fully connected layer with bias.
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-rank-2 inputs.
+    pub fn gemm(&mut self, x: ValueId, out_features: usize) -> Result<ValueId> {
+        let in_f = self
+            .shapes
+            .get(&x)
+            .and_then(|s| s.dims().get(1).copied())
+            .ok_or(GraphError::UnknownValue { value: x.0 })?;
+        let w = Tensor::kaiming(&mut self.rng, &[out_features, in_f], in_f);
+        let b = Tensor::random_uniform(&mut self.rng, &[out_features], 0.05);
+        let wv = self.add_initializer("fc_w", w);
+        let bv = self.add_initializer("fc_b", b);
+        self.emit("gemm", Op::Gemm, vec![x, wv, bv])
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emission errors.
+    pub fn add(&mut self, a: ValueId, b: ValueId) -> Result<ValueId> {
+        self.emit("add", Op::Add, vec![a, b])
+    }
+
+    /// Element-wise multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emission errors.
+    pub fn mul(&mut self, a: ValueId, b: ValueId) -> Result<ValueId> {
+        self.emit("mul", Op::Mul, vec![a, b])
+    }
+
+    /// Channel concatenation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emission errors.
+    pub fn concat(&mut self, xs: Vec<ValueId>) -> Result<ValueId> {
+        self.emit("concat", Op::Concat { axis: 1 }, xs)
+    }
+
+    /// Flatten from axis 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emission errors.
+    pub fn flatten(&mut self, x: ValueId) -> Result<ValueId> {
+        self.emit("flatten", Op::Flatten { axis: 1 }, vec![x])
+    }
+
+    /// Softmax over the last axis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emission errors.
+    pub fn softmax(&mut self, x: ValueId) -> Result<ValueId> {
+        let axis = self.shapes[&x].rank().saturating_sub(1);
+        self.emit("softmax", Op::Softmax { axis }, vec![x])
+    }
+
+    /// Squeeze-and-excitation block (used by MobileNet V3, MnasNet,
+    /// EfficientNet): GAP → 1x1 reduce → act → 1x1 expand → gate → scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn squeeze_excite(
+        &mut self,
+        x: ValueId,
+        reduction: usize,
+        act: ActivationKind,
+        gate: ActivationKind,
+    ) -> Result<ValueId> {
+        let c = self.shapes[&x].dims()[1];
+        let squeezed = self.global_avg_pool(x)?;
+        let reduced = self.conv(squeezed, (c / reduction).max(1), (1, 1), (1, 1), (0, 0), 1)?;
+        let reduced = self.activation(reduced, act)?;
+        let expanded = self.conv(reduced, c, (1, 1), (1, 1), (0, 0), 1)?;
+        let gated = self.activation(expanded, gate)?;
+        self.mul(x, gated)
+    }
+
+    /// Marks `outputs` and finishes, validating the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures.
+    pub fn finish(mut self, outputs: Vec<ValueId>) -> Result<Graph> {
+        for out in outputs {
+            self.graph.mark_output(out);
+        }
+        // Persist inferred shapes into the graph metadata.
+        for (v, s) in &self.shapes {
+            self.graph.value_mut(*v)?.shape = Some(s.clone());
+        }
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_small_cnn() {
+        let mut b = GraphBuilder::new("small", 1);
+        let x = b.input(&[1, 3, 16, 16]);
+        let c = b.conv_bn_act(x, 8, (3, 3), (1, 1), (1, 1), 1, ActivationKind::Relu).unwrap();
+        let p = b.max_pool(c, (2, 2), (2, 2), (0, 0)).unwrap();
+        let g = b.global_avg_pool(p).unwrap();
+        let f = b.flatten(g).unwrap();
+        let fc = b.gemm(f, 10).unwrap();
+        let s = b.softmax(fc).unwrap();
+        let graph = b.finish(vec![s]).unwrap();
+        assert_eq!(graph.outputs().len(), 1);
+        assert!(graph.node_count() >= 7);
+        assert!(graph.parameter_count() > 0);
+    }
+
+    #[test]
+    fn residual_block_shapes() {
+        let mut b = GraphBuilder::new("res", 2);
+        let x = b.input(&[1, 8, 8, 8]);
+        let c1 = b.conv_bn_act(x, 8, (3, 3), (1, 1), (1, 1), 1, ActivationKind::Relu).unwrap();
+        let c2 = b.conv(c1, 8, (3, 3), (1, 1), (1, 1), 1).unwrap();
+        let c2 = b.batch_norm(c2).unwrap();
+        let sum = b.add(c2, x).unwrap();
+        let out = b.activation(sum, ActivationKind::Relu).unwrap();
+        assert_eq!(b.shape(out).dims(), &[1, 8, 8, 8]);
+        b.finish(vec![out]).unwrap();
+    }
+
+    #[test]
+    fn squeeze_excite_preserves_shape() {
+        let mut b = GraphBuilder::new("se", 3);
+        let x = b.input(&[1, 16, 4, 4]);
+        let se = b
+            .squeeze_excite(x, 4, ActivationKind::Relu, ActivationKind::HardSigmoid)
+            .unwrap();
+        assert_eq!(b.shape(se).dims(), &[1, 16, 4, 4]);
+        b.finish(vec![se]).unwrap();
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let build = || {
+            let mut b = GraphBuilder::new("d", 77);
+            let x = b.input(&[1, 3, 8, 8]);
+            let c = b.conv(x, 4, (3, 3), (1, 1), (1, 1), 1).unwrap();
+            b.finish(vec![c]).unwrap()
+        };
+        let g1 = build();
+        let g2 = build();
+        for (a, b) in g1.initializers().values().zip(g2.initializers().values()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let build = |seed| {
+            let mut b = GraphBuilder::new("d", seed);
+            let x = b.input(&[1, 3, 8, 8]);
+            let c = b.conv(x, 4, (3, 3), (1, 1), (1, 1), 1).unwrap();
+            b.finish(vec![c]).unwrap()
+        };
+        let g1 = build(1);
+        let g2 = build(2);
+        let w1 = g1.initializers().values().next().unwrap();
+        let w2 = g2.initializers().values().next().unwrap();
+        assert_ne!(w1, w2);
+    }
+
+    #[test]
+    fn depthwise_builder() {
+        let mut b = GraphBuilder::new("dw", 5);
+        let x = b.input(&[1, 8, 8, 8]);
+        let dw = b.conv(x, 8, (3, 3), (1, 1), (1, 1), 8).unwrap();
+        assert_eq!(b.shape(dw).dims(), &[1, 8, 8, 8]);
+        b.finish(vec![dw]).unwrap();
+    }
+
+    #[test]
+    fn concat_builder() {
+        let mut b = GraphBuilder::new("cat", 6);
+        let x = b.input(&[1, 4, 8, 8]);
+        let a = b.conv(x, 4, (1, 1), (1, 1), (0, 0), 1).unwrap();
+        let c = b.conv(x, 6, (1, 1), (1, 1), (0, 0), 1).unwrap();
+        let cat = b.concat(vec![a, c]).unwrap();
+        assert_eq!(b.shape(cat).dims(), &[1, 10, 8, 8]);
+        b.finish(vec![cat]).unwrap();
+    }
+}

@@ -1,0 +1,101 @@
+use std::fmt;
+
+/// Errors produced by graph construction, validation and manipulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node referenced a value id that does not exist in the graph.
+    UnknownValue {
+        /// The offending value id (raw index).
+        value: usize,
+    },
+    /// A node id was out of range.
+    UnknownNode {
+        /// The offending node id (raw index).
+        node: usize,
+    },
+    /// A value is produced by more than one node (violates SSA form).
+    MultipleProducers {
+        /// The multiply-produced value id (raw index).
+        value: usize,
+    },
+    /// The graph contains a cycle.
+    CyclicGraph,
+    /// An operator received the wrong number of inputs.
+    ArityMismatch {
+        /// Operator name.
+        op: String,
+        /// Expected input count.
+        expected: usize,
+        /// Actual input count.
+        actual: usize,
+    },
+    /// Shape inference failed for a node.
+    ShapeInference {
+        /// Node name.
+        node: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A graph input/output list was inconsistent.
+    InvalidInterface(String),
+    /// A required initializer (weight tensor) is missing.
+    MissingInitializer {
+        /// The value id whose initializer is absent (raw index).
+        value: usize,
+    },
+    /// A subgraph request was not convex / self-contained.
+    InvalidSubgraph(String),
+    /// Deserialization failed.
+    Deserialize(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownValue { value } => write!(f, "unknown value id {value}"),
+            GraphError::UnknownNode { node } => write!(f, "unknown node id {node}"),
+            GraphError::MultipleProducers { value } => {
+                write!(f, "value {value} has multiple producers")
+            }
+            GraphError::CyclicGraph => write!(f, "graph contains a cycle"),
+            GraphError::ArityMismatch { op, expected, actual } => {
+                write!(f, "operator {op} expects {expected} inputs, got {actual}")
+            }
+            GraphError::ShapeInference { node, reason } => {
+                write!(f, "shape inference failed at node {node}: {reason}")
+            }
+            GraphError::InvalidInterface(why) => write!(f, "invalid graph interface: {why}"),
+            GraphError::MissingInitializer { value } => {
+                write!(f, "missing initializer for value {value}")
+            }
+            GraphError::InvalidSubgraph(why) => write!(f, "invalid subgraph: {why}"),
+            GraphError::Deserialize(why) => write!(f, "deserialization failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            GraphError::UnknownValue { value: 1 },
+            GraphError::UnknownNode { node: 2 },
+            GraphError::MultipleProducers { value: 3 },
+            GraphError::CyclicGraph,
+            GraphError::ArityMismatch { op: "Conv".into(), expected: 2, actual: 1 },
+            GraphError::ShapeInference { node: "n".into(), reason: "r".into() },
+            GraphError::InvalidInterface("x".into()),
+            GraphError::MissingInitializer { value: 4 },
+            GraphError::InvalidSubgraph("y".into()),
+            GraphError::Deserialize("z".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,596 @@
+//! The computational graph: SSA-form DAG of operator nodes over named
+//! values, with initializers (weights), validation, topological ordering
+//! and convex subgraph extraction.
+
+use crate::{GraphError, Op, Result};
+use mvtee_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+/// Identifier of a node within one [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Identifier of a value (tensor edge) within one [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ValueId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Metadata of a value: its name and (optionally inferred) shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValueInfo {
+    /// Human-readable name, unique within the graph.
+    pub name: String,
+    /// Statically known shape, populated by shape inference.
+    pub shape: Option<Shape>,
+}
+
+/// One operator instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// The node's id (its index in the graph's node list).
+    pub id: NodeId,
+    /// Human-readable name, unique within the graph.
+    pub name: String,
+    /// The operator and its attributes.
+    pub op: Op,
+    /// Input value ids, in operator-defined order.
+    pub inputs: Vec<ValueId>,
+    /// Output value ids (every op here produces exactly one).
+    pub outputs: Vec<ValueId>,
+}
+
+/// An SSA-form computational DAG, the IR of the whole system.
+///
+/// Invariants (checked by [`Graph::validate`]):
+///
+/// * every value has at most one producer (node output or initializer or
+///   graph input),
+/// * node inputs reference existing values,
+/// * the node dependency relation is acyclic,
+/// * graph inputs/outputs reference existing values.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    /// Model name (for display).
+    pub name: String,
+    nodes: Vec<Node>,
+    values: Vec<ValueInfo>,
+    /// Weight tensors, keyed by the value they define.
+    initializers: BTreeMap<ValueId, Tensor>,
+    /// Values fed externally at inference time.
+    inputs: Vec<ValueId>,
+    /// Values produced as the model result.
+    outputs: Vec<ValueId>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        Graph { name: name.into(), ..Default::default() }
+    }
+
+    /// Adds a value and returns its id.
+    pub fn add_value(&mut self, name: impl Into<String>) -> ValueId {
+        let id = ValueId(self.values.len());
+        self.values.push(ValueInfo { name: name.into(), shape: None });
+        id
+    }
+
+    /// Adds a node and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an arity or unknown-value error if the node is malformed.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        op: Op,
+        inputs: Vec<ValueId>,
+        outputs: Vec<ValueId>,
+    ) -> Result<NodeId> {
+        let (min, max) = op.arity();
+        if inputs.len() < min || inputs.len() > max {
+            return Err(GraphError::ArityMismatch {
+                op: op.name(),
+                expected: min,
+                actual: inputs.len(),
+            });
+        }
+        for v in inputs.iter().chain(outputs.iter()) {
+            if v.0 >= self.values.len() {
+                return Err(GraphError::UnknownValue { value: v.0 });
+            }
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { id, name: name.into(), op, inputs, outputs });
+        Ok(id)
+    }
+
+    /// Registers a weight tensor for `value`.
+    pub fn set_initializer(&mut self, value: ValueId, tensor: Tensor) {
+        self.initializers.insert(value, tensor);
+    }
+
+    /// Declares a graph input.
+    pub fn mark_input(&mut self, value: ValueId) {
+        self.inputs.push(value);
+    }
+
+    /// Declares a graph output.
+    pub fn mark_output(&mut self, value: ValueId) {
+        self.outputs.push(value);
+    }
+
+    /// Replaces the output list (used by subgraph extraction and rewrites).
+    pub fn set_outputs(&mut self, outputs: Vec<ValueId>) {
+        self.outputs = outputs;
+    }
+
+    /// All nodes in insertion order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] when out of range.
+    pub fn node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes.get(id.0).ok_or(GraphError::UnknownNode { node: id.0 })
+    }
+
+    /// Mutable node lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] when out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> Result<&mut Node> {
+        self.nodes.get_mut(id.0).ok_or(GraphError::UnknownNode { node: id.0 })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Value metadata lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownValue`] when out of range.
+    pub fn value(&self, id: ValueId) -> Result<&ValueInfo> {
+        self.values.get(id.0).ok_or(GraphError::UnknownValue { value: id.0 })
+    }
+
+    /// Mutable value metadata lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownValue`] when out of range.
+    pub fn value_mut(&mut self, id: ValueId) -> Result<&mut ValueInfo> {
+        self.values.get_mut(id.0).ok_or(GraphError::UnknownValue { value: id.0 })
+    }
+
+    /// Number of values.
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Initializer lookup.
+    pub fn initializer(&self, id: ValueId) -> Option<&Tensor> {
+        self.initializers.get(&id)
+    }
+
+    /// Mutable initializer lookup (used by weight-level fault injection).
+    pub fn initializer_mut(&mut self, id: ValueId) -> Option<&mut Tensor> {
+        self.initializers.get_mut(&id)
+    }
+
+    /// All initializers.
+    pub fn initializers(&self) -> &BTreeMap<ValueId, Tensor> {
+        &self.initializers
+    }
+
+    /// Graph inputs.
+    pub fn inputs(&self) -> &[ValueId] {
+        &self.inputs
+    }
+
+    /// Graph outputs.
+    pub fn outputs(&self) -> &[ValueId] {
+        &self.outputs
+    }
+
+    /// Maps each value to the node producing it (initializers and graph
+    /// inputs have no producer).
+    pub fn producers(&self) -> HashMap<ValueId, NodeId> {
+        let mut map = HashMap::new();
+        for node in &self.nodes {
+            for &out in &node.outputs {
+                map.insert(out, node.id);
+            }
+        }
+        map
+    }
+
+    /// Maps each value to the nodes consuming it.
+    pub fn consumers(&self) -> HashMap<ValueId, Vec<NodeId>> {
+        let mut map: HashMap<ValueId, Vec<NodeId>> = HashMap::new();
+        for node in &self.nodes {
+            for &inp in &node.inputs {
+                map.entry(inp).or_default().push(node.id);
+            }
+        }
+        map
+    }
+
+    /// Directed node-level edges `(producer, consumer)`, deduplicated.
+    pub fn node_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let producers = self.producers();
+        let mut edges = BTreeSet::new();
+        for node in &self.nodes {
+            for &inp in &node.inputs {
+                if let Some(&src) = producers.get(&inp) {
+                    edges.insert((src, node.id));
+                }
+            }
+        }
+        edges.into_iter().collect()
+    }
+
+    /// Validates all graph invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<()> {
+        // Unique producers.
+        let mut produced: BTreeSet<ValueId> = BTreeSet::new();
+        for node in &self.nodes {
+            for &out in &node.outputs {
+                if out.0 >= self.values.len() {
+                    return Err(GraphError::UnknownValue { value: out.0 });
+                }
+                if !produced.insert(out) {
+                    return Err(GraphError::MultipleProducers { value: out.0 });
+                }
+            }
+        }
+        for v in produced.iter() {
+            if self.initializers.contains_key(v) {
+                return Err(GraphError::MultipleProducers { value: v.0 });
+            }
+            if self.inputs.contains(v) {
+                return Err(GraphError::MultipleProducers { value: v.0 });
+            }
+        }
+        // All node inputs must be defined by someone.
+        for node in &self.nodes {
+            for &inp in &node.inputs {
+                if inp.0 >= self.values.len() {
+                    return Err(GraphError::UnknownValue { value: inp.0 });
+                }
+                let defined = produced.contains(&inp)
+                    || self.initializers.contains_key(&inp)
+                    || self.inputs.contains(&inp);
+                if !defined {
+                    return Err(GraphError::InvalidInterface(format!(
+                        "value {} consumed by {} has no definition",
+                        inp.0, node.name
+                    )));
+                }
+            }
+        }
+        // Interface sanity.
+        for v in self.inputs.iter().chain(self.outputs.iter()) {
+            if v.0 >= self.values.len() {
+                return Err(GraphError::UnknownValue { value: v.0 });
+            }
+        }
+        for out in &self.outputs {
+            if !produced.contains(out) && !self.inputs.contains(out) {
+                return Err(GraphError::InvalidInterface(format!(
+                    "graph output {} is never produced",
+                    out.0
+                )));
+            }
+        }
+        // Acyclicity via topological sort.
+        self.topological_order()?;
+        Ok(())
+    }
+
+    /// Kahn topological order of the nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CyclicGraph`] when a cycle exists.
+    pub fn topological_order(&self) -> Result<Vec<NodeId>> {
+        let edges = self.node_edges();
+        let mut indegree = vec![0usize; self.nodes.len()];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (a, b) in &edges {
+            adj[a.0].push(b.0);
+            indegree[b.0] += 1;
+        }
+        let mut queue: VecDeque<usize> =
+            (0..self.nodes.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(i) = queue.pop_front() {
+            order.push(NodeId(i));
+            for &j in &adj[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    queue.push_back(j);
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            return Err(GraphError::CyclicGraph);
+        }
+        Ok(order)
+    }
+
+    /// Extracts the convex subgraph induced by `node_ids` as a standalone
+    /// [`Graph`].
+    ///
+    /// Boundary values consumed from outside become subgraph inputs (in
+    /// ascending value order); values consumed outside or listed in the
+    /// parent's outputs become subgraph outputs. Initializers used by member
+    /// nodes are copied in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSubgraph`] if `node_ids` references
+    /// unknown nodes or is empty.
+    pub fn subgraph(&self, node_ids: &[NodeId], name: impl Into<String>) -> Result<Graph> {
+        if node_ids.is_empty() {
+            return Err(GraphError::InvalidSubgraph("empty node set".into()));
+        }
+        let member: BTreeSet<NodeId> = node_ids.iter().copied().collect();
+        for id in &member {
+            if id.0 >= self.nodes.len() {
+                return Err(GraphError::InvalidSubgraph(format!("unknown node {}", id.0)));
+            }
+        }
+        let producers = self.producers();
+        let consumers = self.consumers();
+
+        let mut sub = Graph::new(name);
+        let mut value_map: HashMap<ValueId, ValueId> = HashMap::new();
+        let map_value = |g: &mut Graph, vmap: &mut HashMap<ValueId, ValueId>, v: ValueId| {
+            *vmap.entry(v).or_insert_with(|| {
+                let name = self.values[v.0].name.clone();
+                let nv = g.add_value(name);
+                g.values[nv.0].shape = self.values[v.0].shape.clone();
+                nv
+            })
+        };
+
+        // Emit member nodes in the parent's topological order.
+        let order = self.topological_order()?;
+        let mut boundary_inputs: Vec<ValueId> = Vec::new();
+        let mut boundary_outputs: Vec<ValueId> = Vec::new();
+        for nid in order.iter().filter(|n| member.contains(n)) {
+            let node = &self.nodes[nid.0];
+            let mut new_inputs = Vec::with_capacity(node.inputs.len());
+            for &inp in &node.inputs {
+                let mapped = map_value(&mut sub, &mut value_map, inp);
+                if let Some(t) = self.initializers.get(&inp) {
+                    if sub.initializer(mapped).is_none() {
+                        sub.set_initializer(mapped, t.clone());
+                    }
+                } else {
+                    let produced_inside =
+                        producers.get(&inp).map(|p| member.contains(p)).unwrap_or(false);
+                    if !produced_inside && !boundary_inputs.contains(&inp) {
+                        boundary_inputs.push(inp);
+                    }
+                }
+                new_inputs.push(mapped);
+            }
+            let mut new_outputs = Vec::with_capacity(node.outputs.len());
+            for &out in &node.outputs {
+                let mapped = map_value(&mut sub, &mut value_map, out);
+                new_outputs.push(mapped);
+                let consumed_outside = consumers
+                    .get(&out)
+                    .map(|cs| cs.iter().any(|c| !member.contains(c)))
+                    .unwrap_or(false);
+                let is_graph_output = self.outputs.contains(&out);
+                if (consumed_outside || is_graph_output) && !boundary_outputs.contains(&out) {
+                    boundary_outputs.push(out);
+                }
+            }
+            sub.add_node(node.name.clone(), node.op.clone(), new_inputs, new_outputs)?;
+        }
+        boundary_inputs.sort();
+        boundary_outputs.sort();
+        for v in boundary_inputs {
+            let mapped = value_map[&v];
+            sub.mark_input(mapped);
+        }
+        for v in boundary_outputs {
+            let mapped = value_map[&v];
+            sub.mark_output(mapped);
+        }
+        Ok(sub)
+    }
+
+    /// Total number of weight parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.initializers.values().map(Tensor::len).sum()
+    }
+
+    /// Per-operator-name node counts (for model statistics and docs).
+    pub fn op_histogram(&self) -> BTreeMap<String, usize> {
+        let mut hist = BTreeMap::new();
+        for node in &self.nodes {
+            *hist.entry(node.op.name()).or_insert(0) += 1;
+        }
+        hist
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph '{}' ({} nodes, {} values, {} params)",
+            self.name,
+            self.node_count(),
+            self.value_count(),
+            self.parameter_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::ActivationKind;
+
+    /// Builds x -> Relu -> Identity -> out with a side initializer add.
+    fn tiny_graph() -> Graph {
+        let mut g = Graph::new("tiny");
+        let x = g.add_value("x");
+        let w = g.add_value("w");
+        let a = g.add_value("a");
+        let b = g.add_value("b");
+        let y = g.add_value("y");
+        g.mark_input(x);
+        g.set_initializer(w, Tensor::ones(&[4]));
+        g.add_node("relu", Op::Activation(ActivationKind::Relu), vec![x], vec![a]).unwrap();
+        g.add_node("add", Op::Add, vec![a, w], vec![b]).unwrap();
+        g.add_node("id", Op::Identity, vec![b], vec![y]).unwrap();
+        g.mark_output(y);
+        g
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        tiny_graph().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_multiple_producers() {
+        let mut g = tiny_graph();
+        let a = ValueId(2);
+        g.add_node("dup", Op::Identity, vec![ValueId(0)], vec![a]).unwrap();
+        assert!(matches!(g.validate(), Err(GraphError::MultipleProducers { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_undefined_consumption() {
+        let mut g = Graph::new("bad");
+        let x = g.add_value("x");
+        let y = g.add_value("y");
+        g.add_node("id", Op::Identity, vec![x], vec![y]).unwrap();
+        g.mark_output(y);
+        // x is neither input nor initializer nor produced.
+        assert!(matches!(g.validate(), Err(GraphError::InvalidInterface(_))));
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let mut g = Graph::new("bad");
+        let x = g.add_value("x");
+        let y = g.add_value("y");
+        assert!(matches!(
+            g.add_node("add", Op::Add, vec![x], vec![y]),
+            Err(GraphError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn topological_order_is_valid() {
+        let g = tiny_graph();
+        let order = g.topological_order().unwrap();
+        assert_eq!(order.len(), 3);
+        let pos: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for (a, b) in g.node_edges() {
+            assert!(pos[&a] < pos[&b]);
+        }
+    }
+
+    #[test]
+    fn cyclic_graph_detected() {
+        let mut g = Graph::new("cycle");
+        let a = g.add_value("a");
+        let b = g.add_value("b");
+        g.add_node("n1", Op::Identity, vec![a], vec![b]).unwrap();
+        g.add_node("n2", Op::Identity, vec![b], vec![a]).unwrap();
+        assert!(matches!(g.topological_order(), Err(GraphError::CyclicGraph)));
+    }
+
+    #[test]
+    fn subgraph_boundary_detection() {
+        let g = tiny_graph();
+        // Take only the middle "add" node.
+        let sub = g.subgraph(&[NodeId(1)], "mid").unwrap();
+        sub.validate().unwrap();
+        assert_eq!(sub.node_count(), 1);
+        // "a" comes from outside -> input; "b" consumed outside -> output.
+        assert_eq!(sub.inputs().len(), 1);
+        assert_eq!(sub.outputs().len(), 1);
+        // The weight must have been copied, not turned into an input.
+        assert_eq!(sub.initializers().len(), 1);
+    }
+
+    #[test]
+    fn subgraph_of_everything_matches_interface() {
+        let g = tiny_graph();
+        let all: Vec<NodeId> = g.nodes().iter().map(|n| n.id).collect();
+        let sub = g.subgraph(&all, "full").unwrap();
+        sub.validate().unwrap();
+        assert_eq!(sub.inputs().len(), g.inputs().len());
+        assert_eq!(sub.outputs().len(), g.outputs().len());
+        assert_eq!(sub.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn subgraph_rejects_empty() {
+        let g = tiny_graph();
+        assert!(g.subgraph(&[], "e").is_err());
+    }
+
+    #[test]
+    fn histogram_and_params() {
+        let g = tiny_graph();
+        let h = g.op_histogram();
+        assert_eq!(h["Relu"], 1);
+        assert_eq!(h["Add"], 1);
+        assert_eq!(h["Identity"], 1);
+        assert_eq!(g.parameter_count(), 4);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(tiny_graph().to_string().contains("tiny"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = tiny_graph();
+        // serde via a self-describing format isn't in deps; use the
+        // serialize trait through a JSON-like in-memory check with
+        // bincode-style manual: here we just ensure Clone + PartialEq of
+        // nodes hold after a clone (serde derives compile-time checked).
+        let g2 = g.clone();
+        assert_eq!(g.nodes(), g2.nodes());
+    }
+}

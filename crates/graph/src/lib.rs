@@ -1,0 +1,44 @@
+//! ONNX-like computational-graph IR for the MVTEE reproduction.
+//!
+//! The paper manipulates DNN models as ONNX graphs: it inspects them,
+//! partitions them with random contraction (§4.1), rewrites them into
+//! functionally equivalent diversified variants (§4.2) and feeds them to
+//! heterogeneous inference runtimes. This crate supplies that substrate:
+//!
+//! * [`Op`] — a typed operator set covering the seven evaluation models
+//!   (convolutions with groups/strides, Gemm, BatchNorm, poolings, the
+//!   MobileNet/EfficientNet activation family, Concat, Softmax, LRN, …),
+//! * [`Graph`] — a DAG of [`Node`]s over named values with initializers
+//!   (weights), topological ordering, validation, and convex **subgraph
+//!   extraction** (the basis of partition-as-checkpoint),
+//! * [`shape_infer`] — static shape inference for every operator,
+//! * [`zoo`] — structurally faithful, channel-scaled builders for the
+//!   models evaluated in §6.1: EfficientNet-b7, GoogleNet, Inception V3,
+//!   MnasNet, MobileNet V3, ResNet-152 and ResNet-50.
+//!
+//! # Example
+//!
+//! ```
+//! use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+//!
+//! let model = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 42).unwrap();
+//! assert!(model.graph.node_count() > 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+pub mod op;
+pub mod shape_infer;
+pub mod zoo;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{Graph, Node, NodeId, ValueId, ValueInfo};
+pub use op::{ActivationKind, Op, PoolKind};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

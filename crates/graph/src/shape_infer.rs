@@ -1,0 +1,399 @@
+//! Static shape inference for every operator in the IR.
+//!
+//! Mirrors the model-inspection module of the paper's offline tool: given
+//! graph input shapes, propagates through the DAG and annotates every
+//! [`crate::ValueInfo`]. The partitioner uses the inferred boundary shapes
+//! to estimate checkpoint payload sizes, and the runtime uses them to
+//! pre-validate execution plans.
+
+use crate::{Graph, GraphError, Node, Op, Result};
+use mvtee_tensor::Shape;
+use std::collections::HashMap;
+
+/// Computes the spatial output size of a conv/pool window.
+fn window_out(input: usize, kernel: usize, stride: usize, pad: usize) -> Result<usize> {
+    let padded = input + 2 * pad;
+    if padded < kernel || stride == 0 {
+        return Err(GraphError::ShapeInference {
+            node: String::new(),
+            reason: format!("window {kernel} does not fit input {input} with pad {pad}"),
+        });
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+/// Infers the output shape of a single node given its input shapes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::ShapeInference`] when shapes are incompatible with
+/// the operator's requirements.
+pub fn infer_node(node: &Node, input_shapes: &[&Shape]) -> Result<Shape> {
+    let fail = |reason: String| GraphError::ShapeInference { node: node.name.clone(), reason };
+    let rank4 = |s: &Shape| -> Result<(usize, usize, usize, usize)> {
+        s.as_nchw().map_err(|_| fail(format!("expected rank-4 input, got {s}")))
+    };
+    match &node.op {
+        Op::Conv { kernel, stride, padding, groups } => {
+            let (n, c, h, w) = rank4(input_shapes[0])?;
+            let wt = input_shapes[1];
+            if wt.rank() != 4 {
+                return Err(fail(format!("conv weight must be rank 4, got {wt}")));
+            }
+            let (oc, ic_per_group, kh, kw) =
+                (wt.dims()[0], wt.dims()[1], wt.dims()[2], wt.dims()[3]);
+            if (kh, kw) != *kernel {
+                return Err(fail(format!(
+                    "kernel attribute {kernel:?} mismatches weight {kh}x{kw}"
+                )));
+            }
+            if *groups == 0 || c % groups != 0 || oc % groups != 0 {
+                return Err(fail(format!("groups {groups} incompatible with channels {c}->{oc}")));
+            }
+            if ic_per_group != c / groups {
+                return Err(fail(format!(
+                    "weight expects {ic_per_group} channels/group, input has {}",
+                    c / groups
+                )));
+            }
+            if let Some(b) = input_shapes.get(2) {
+                if b.dims() != [oc] {
+                    return Err(fail(format!("bias shape {b} must be [{oc}]")));
+                }
+            }
+            let oh = window_out(h, kernel.0, stride.0, padding.0)
+                .map_err(|_| fail(format!("spatial h: {h} k{} s{} p{}", kernel.0, stride.0, padding.0)))?;
+            let ow = window_out(w, kernel.1, stride.1, padding.1)
+                .map_err(|_| fail(format!("spatial w: {w} k{} s{} p{}", kernel.1, stride.1, padding.1)))?;
+            Ok(Shape::new(&[n, oc, oh, ow]))
+        }
+        Op::Gemm => {
+            let x = input_shapes[0];
+            let w = input_shapes[1];
+            if x.rank() != 2 || w.rank() != 2 {
+                return Err(fail(format!("gemm needs rank-2 inputs, got {x} and {w}")));
+            }
+            let (n, k) = (x.dims()[0], x.dims()[1]);
+            let (m, k2) = (w.dims()[0], w.dims()[1]);
+            if k != k2 {
+                return Err(fail(format!("gemm inner dims differ: {k} vs {k2}")));
+            }
+            if let Some(b) = input_shapes.get(2) {
+                if b.dims() != [m] {
+                    return Err(fail(format!("gemm bias shape {b} must be [{m}]")));
+                }
+            }
+            Ok(Shape::new(&[n, m]))
+        }
+        Op::MatMul => {
+            let a = input_shapes[0];
+            let b = input_shapes[1];
+            if a.rank() != 2 || b.rank() != 2 || a.dims()[1] != b.dims()[0] {
+                return Err(fail(format!("matmul shapes incompatible: {a} x {b}")));
+            }
+            Ok(Shape::new(&[a.dims()[0], b.dims()[1]]))
+        }
+        Op::BatchNorm { .. } => {
+            let (_, c, _, _) = rank4(input_shapes[0])?;
+            for (i, s) in input_shapes[1..5].iter().enumerate() {
+                if s.dims() != [c] {
+                    return Err(fail(format!("bn param {i} shape {s} must be [{c}]")));
+                }
+            }
+            Ok(input_shapes[0].clone())
+        }
+        Op::Activation(_) | Op::Identity | Op::Lrn { .. } => Ok(input_shapes[0].clone()),
+        Op::LayerNorm { .. } => {
+            let x = input_shapes[0];
+            if x.rank() == 0 {
+                return Err(fail("layernorm needs at least rank 1".into()));
+            }
+            let d = *x.dims().last().expect("rank checked");
+            for (i, s) in input_shapes[1..3].iter().enumerate() {
+                if s.dims() != [d] {
+                    return Err(fail(format!("layernorm param {i} shape {s} must be [{d}]")));
+                }
+            }
+            Ok(x.clone())
+        }
+        Op::Pool { kernel, stride, padding, .. } => {
+            let (n, c, h, w) = rank4(input_shapes[0])?;
+            let oh = window_out(h, kernel.0, stride.0, padding.0)
+                .map_err(|_| fail(format!("pool h: {h}")))?;
+            let ow = window_out(w, kernel.1, stride.1, padding.1)
+                .map_err(|_| fail(format!("pool w: {w}")))?;
+            Ok(Shape::new(&[n, c, oh, ow]))
+        }
+        Op::GlobalAvgPool => {
+            let (n, c, _, _) = rank4(input_shapes[0])?;
+            Ok(Shape::new(&[n, c, 1, 1]))
+        }
+        Op::Add | Op::Mul => input_shapes[0]
+            .broadcast(input_shapes[1])
+            .map_err(|e| fail(e.to_string())),
+        Op::Concat { axis } => {
+            let first = input_shapes[0];
+            if *axis >= first.rank() {
+                return Err(fail(format!("concat axis {axis} out of range for {first}")));
+            }
+            let mut out = first.dims().to_vec();
+            for s in &input_shapes[1..] {
+                if s.rank() != first.rank() {
+                    return Err(fail(format!("concat rank mismatch: {first} vs {s}")));
+                }
+                for (d, (&a, &b)) in first.dims().iter().zip(s.dims()).enumerate() {
+                    if d != *axis && a != b {
+                        return Err(fail(format!("concat dim {d} mismatch: {a} vs {b}")));
+                    }
+                }
+                out[*axis] += s.dims()[*axis];
+            }
+            Ok(Shape::new(&out))
+        }
+        Op::Softmax { axis } => {
+            if *axis >= input_shapes[0].rank() {
+                return Err(fail(format!("softmax axis {axis} out of range")));
+            }
+            Ok(input_shapes[0].clone())
+        }
+        Op::Flatten { axis } => {
+            let dims = input_shapes[0].dims();
+            if *axis > dims.len() {
+                return Err(fail(format!("flatten axis {axis} out of range")));
+            }
+            let keep: usize = dims[..*axis].iter().product();
+            let flat: usize = dims[*axis..].iter().product();
+            Ok(Shape::new(&[keep.max(1), flat]))
+        }
+        Op::Reshape { target } => {
+            let n: usize = input_shapes[0].num_elements();
+            let m: usize = target.iter().product();
+            if n != m {
+                return Err(fail(format!("reshape {n} elements into {m}")));
+            }
+            Ok(Shape::new(target))
+        }
+    }
+}
+
+/// Runs whole-graph shape inference, writing inferred shapes into the
+/// graph's value metadata.
+///
+/// `input_shapes` maps graph-input value ids to concrete shapes.
+///
+/// # Errors
+///
+/// Fails when an input shape is missing, the graph is cyclic, or any node's
+/// shapes are inconsistent.
+pub fn infer_graph(graph: &mut Graph, input_shapes: &HashMap<crate::ValueId, Shape>) -> Result<()> {
+    let mut known: HashMap<crate::ValueId, Shape> = HashMap::new();
+    for &inp in graph.inputs() {
+        let shape = input_shapes.get(&inp).ok_or_else(|| {
+            GraphError::InvalidInterface(format!("no shape supplied for input {}", inp.0))
+        })?;
+        known.insert(inp, shape.clone());
+    }
+    for (&v, t) in graph.initializers() {
+        known.insert(v, t.shape().clone());
+    }
+    let order = graph.topological_order()?;
+    for nid in order {
+        let node = graph.node(nid)?.clone();
+        let mut shapes: Vec<&Shape> = Vec::with_capacity(node.inputs.len());
+        for inp in &node.inputs {
+            shapes.push(known.get(inp).ok_or_else(|| GraphError::ShapeInference {
+                node: node.name.clone(),
+                reason: format!("input {} shape unknown", inp.0),
+            })?);
+        }
+        let out_shape = infer_node(&node, &shapes)?;
+        for &out in &node.outputs {
+            known.insert(out, out_shape.clone());
+        }
+    }
+    for (v, s) in known {
+        graph.value_mut(v)?.shape = Some(s);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{ActivationKind, PoolKind};
+    use crate::{Graph, Op};
+    use mvtee_tensor::Tensor;
+
+    fn shape(dims: &[usize]) -> Shape {
+        Shape::new(dims)
+    }
+
+    fn node_with(op: Op, n_inputs: usize) -> Node {
+        Node {
+            id: crate::NodeId(0),
+            name: "t".into(),
+            op,
+            inputs: (0..n_inputs).map(crate::ValueId).collect(),
+            outputs: vec![crate::ValueId(99)],
+        }
+    }
+
+    #[test]
+    fn conv_shapes() {
+        let op = Op::Conv { kernel: (3, 3), stride: (2, 2), padding: (1, 1), groups: 1 };
+        let n = node_with(op, 2);
+        let x = shape(&[1, 3, 224, 224]);
+        let w = shape(&[64, 3, 3, 3]);
+        let out = infer_node(&n, &[&x, &w]).unwrap();
+        assert_eq!(out.dims(), &[1, 64, 112, 112]);
+    }
+
+    #[test]
+    fn depthwise_conv_shapes() {
+        let op = Op::Conv { kernel: (3, 3), stride: (1, 1), padding: (1, 1), groups: 32 };
+        let n = node_with(op, 2);
+        let x = shape(&[1, 32, 56, 56]);
+        let w = shape(&[32, 1, 3, 3]);
+        let out = infer_node(&n, &[&x, &w]).unwrap();
+        assert_eq!(out.dims(), &[1, 32, 56, 56]);
+    }
+
+    #[test]
+    fn conv_rejects_bad_weight() {
+        let op = Op::Conv { kernel: (3, 3), stride: (1, 1), padding: (1, 1), groups: 1 };
+        let n = node_with(op, 2);
+        let x = shape(&[1, 3, 8, 8]);
+        let w = shape(&[64, 4, 3, 3]); // expects 4 in-channels, input has 3
+        assert!(infer_node(&n, &[&x, &w]).is_err());
+    }
+
+    #[test]
+    fn conv_rejects_kernel_attr_mismatch() {
+        let op = Op::Conv { kernel: (5, 5), stride: (1, 1), padding: (0, 0), groups: 1 };
+        let n = node_with(op, 2);
+        let x = shape(&[1, 3, 8, 8]);
+        let w = shape(&[8, 3, 3, 3]);
+        assert!(infer_node(&n, &[&x, &w]).is_err());
+    }
+
+    #[test]
+    fn gemm_and_matmul() {
+        let n = node_with(Op::Gemm, 3);
+        let x = shape(&[2, 512]);
+        let w = shape(&[1000, 512]);
+        let b = shape(&[1000]);
+        assert_eq!(infer_node(&n, &[&x, &w, &b]).unwrap().dims(), &[2, 1000]);
+
+        let m = node_with(Op::MatMul, 2);
+        let a = shape(&[3, 4]);
+        let c = shape(&[4, 5]);
+        assert_eq!(infer_node(&m, &[&a, &c]).unwrap().dims(), &[3, 5]);
+        assert!(infer_node(&m, &[&a, &shape(&[3, 5])]).is_err());
+    }
+
+    #[test]
+    fn pool_shapes() {
+        let op = Op::Pool { kind: PoolKind::Max, kernel: (3, 3), stride: (2, 2), padding: (1, 1) };
+        let n = node_with(op, 1);
+        let x = shape(&[1, 64, 112, 112]);
+        assert_eq!(infer_node(&n, &[&x]).unwrap().dims(), &[1, 64, 56, 56]);
+    }
+
+    #[test]
+    fn global_avg_pool() {
+        let n = node_with(Op::GlobalAvgPool, 1);
+        let x = shape(&[2, 128, 7, 7]);
+        assert_eq!(infer_node(&n, &[&x]).unwrap().dims(), &[2, 128, 1, 1]);
+    }
+
+    #[test]
+    fn batchnorm_validates_params() {
+        let n = node_with(Op::BatchNorm { epsilon: 1e-5 }, 5);
+        let x = shape(&[1, 16, 8, 8]);
+        let p = shape(&[16]);
+        assert_eq!(
+            infer_node(&n, &[&x, &p, &p, &p, &p]).unwrap().dims(),
+            &[1, 16, 8, 8]
+        );
+        let bad = shape(&[8]);
+        assert!(infer_node(&n, &[&x, &p, &p, &bad, &p]).is_err());
+    }
+
+    #[test]
+    fn concat_shapes() {
+        let n = node_with(Op::Concat { axis: 1 }, 3);
+        let a = shape(&[1, 64, 28, 28]);
+        let b = shape(&[1, 96, 28, 28]);
+        let c = shape(&[1, 32, 28, 28]);
+        assert_eq!(infer_node(&n, &[&a, &b, &c]).unwrap().dims(), &[1, 192, 28, 28]);
+        let bad = shape(&[1, 64, 14, 14]);
+        assert!(infer_node(&n, &[&a, &bad]).is_err());
+    }
+
+    #[test]
+    fn flatten_and_reshape() {
+        let n = node_with(Op::Flatten { axis: 1 }, 1);
+        let x = shape(&[2, 128, 7, 7]);
+        assert_eq!(infer_node(&n, &[&x]).unwrap().dims(), &[2, 128 * 49]);
+
+        let r = node_with(Op::Reshape { target: vec![2, 49, 128] }, 1);
+        assert_eq!(infer_node(&r, &[&x]).unwrap().dims(), &[2, 49, 128]);
+        let bad = node_with(Op::Reshape { target: vec![7] }, 1);
+        assert!(infer_node(&bad, &[&x]).is_err());
+    }
+
+    #[test]
+    fn add_broadcasts() {
+        let n = node_with(Op::Add, 2);
+        let a = shape(&[1, 16, 8, 8]);
+        let b = shape(&[16, 1, 1]);
+        assert_eq!(infer_node(&n, &[&a, &b]).unwrap().dims(), &[1, 16, 8, 8]);
+    }
+
+    #[test]
+    fn whole_graph_inference() {
+        let mut g = Graph::new("t");
+        let x = g.add_value("x");
+        let w = g.add_value("w");
+        let c1 = g.add_value("c1");
+        let r1 = g.add_value("r1");
+        let p1 = g.add_value("p1");
+        g.mark_input(x);
+        g.set_initializer(w, Tensor::zeros(&[8, 3, 3, 3]));
+        g.add_node(
+            "conv",
+            Op::Conv { kernel: (3, 3), stride: (1, 1), padding: (1, 1), groups: 1 },
+            vec![x, w],
+            vec![c1],
+        )
+        .unwrap();
+        g.add_node("relu", Op::Activation(ActivationKind::Relu), vec![c1], vec![r1]).unwrap();
+        g.add_node("gap", Op::GlobalAvgPool, vec![r1], vec![p1]).unwrap();
+        g.mark_output(p1);
+
+        let mut shapes = HashMap::new();
+        shapes.insert(x, Shape::new(&[1, 3, 16, 16]));
+        infer_graph(&mut g, &shapes).unwrap();
+        assert_eq!(g.value(p1).unwrap().shape.as_ref().unwrap().dims(), &[1, 8, 1, 1]);
+        assert_eq!(g.value(c1).unwrap().shape.as_ref().unwrap().dims(), &[1, 8, 16, 16]);
+    }
+
+    #[test]
+    fn whole_graph_requires_input_shapes() {
+        let mut g = Graph::new("t");
+        let x = g.add_value("x");
+        let y = g.add_value("y");
+        g.mark_input(x);
+        g.add_node("id", Op::Identity, vec![x], vec![y]).unwrap();
+        g.mark_output(y);
+        assert!(infer_graph(&mut g, &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn window_out_edge_cases() {
+        assert_eq!(window_out(224, 7, 2, 3).unwrap(), 112);
+        assert_eq!(window_out(4, 4, 1, 0).unwrap(), 1);
+        assert!(window_out(3, 4, 1, 0).is_err());
+        assert!(window_out(8, 2, 0, 0).is_err());
+    }
+}

@@ -1,0 +1,577 @@
+//! Algorithm 1: random contraction for model partitioning.
+//!
+//! ```text
+//! par, parSize <- {n : n}, {n : 1}
+//! edges <- {(i, j) for i, j in G if i outputs to j}
+//! ComputeWeights(edges, par, parSize)
+//! while number of partitions > t:
+//!     (i, j) <- RandEdgeByWeight(edges, par, parSize)
+//!     if CheckConstraints(par[i], par[j]):
+//!         MergePartitions(i, j, par, parSize)
+//!         UpdateWeights(edges, par, parSize)
+//! return partitions formed by nodes sharing the same par
+//! ```
+//!
+//! On top of the paper's soft preferences and hard constraints the
+//! implementation always enforces *quotient acyclicity*: an edge is only
+//! contracted when no alternative directed path connects its endpoints, so
+//! every produced partition set is a valid pipeline (the paper's execution
+//! model organises partitions into a DAG mirroring the model topology).
+
+use crate::plan::{compute_costs, PartitionSet};
+use crate::{PartitionError, Result};
+use mvtee_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Context handed to weight and constraint callbacks for one candidate
+/// contraction.
+#[derive(Debug, Clone, Copy)]
+pub struct ContractionCtx {
+    /// Node count of the source partition.
+    pub size_a: usize,
+    /// Node count of the destination partition.
+    pub size_b: usize,
+    /// Compute cost of the source partition.
+    pub cost_a: f64,
+    /// Compute cost of the destination partition.
+    pub cost_b: f64,
+    /// Total graph cost (for normalisation).
+    pub total_cost: f64,
+    /// Current number of partitions.
+    pub current_partitions: usize,
+    /// Target number of partitions.
+    pub target: usize,
+}
+
+/// Soft preference: returns a non-negative weight; higher weights are
+/// contracted more often.
+pub type WeightFn = Box<dyn Fn(&ContractionCtx) -> f64>;
+
+/// Hard constraint: returning `false` vetoes the contraction.
+pub type ConstraintFn = Box<dyn Fn(&ContractionCtx) -> bool>;
+
+/// The random-balanced partitioner.
+pub struct Partitioner {
+    target: usize,
+    weight_fn: WeightFn,
+    constraint_fn: ConstraintFn,
+    /// Retries when a run gets stuck before reaching the target.
+    max_restarts: usize,
+}
+
+impl std::fmt::Debug for Partitioner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Partitioner {{ target: {} }}", self.target)
+    }
+}
+
+impl Partitioner {
+    /// Creates a partitioner with the default balance-biased weight
+    /// function and a permissive size constraint.
+    pub fn new(target: usize) -> Self {
+        Partitioner {
+            target,
+            weight_fn: Box::new(default_weight),
+            constraint_fn: Box::new(|_| true),
+            max_restarts: 16,
+        }
+    }
+
+    /// Replaces the soft preference ("customized and extensible weight
+    /// function", §4.1).
+    pub fn with_weight_fn(mut self, f: WeightFn) -> Self {
+        self.weight_fn = f;
+        self
+    }
+
+    /// Replaces the hard constraint function.
+    pub fn with_constraint_fn(mut self, f: ConstraintFn) -> Self {
+        self.constraint_fn = f;
+        self
+    }
+
+    /// Sets the restart budget for stuck runs.
+    pub fn with_max_restarts(mut self, restarts: usize) -> Self {
+        self.max_restarts = restarts;
+        self
+    }
+
+    /// Runs the contraction to produce a [`PartitionSet`].
+    ///
+    /// # Errors
+    ///
+    /// * [`PartitionError::InvalidTarget`] when `target` is 0 or exceeds the
+    ///   node count,
+    /// * [`PartitionError::Stuck`] when constraints prevent reaching the
+    ///   target after all restarts.
+    pub fn partition(&self, graph: &Graph, seed: u64) -> Result<PartitionSet> {
+        if self.target == 0 || self.target > graph.node_count() {
+            return Err(PartitionError::InvalidTarget {
+                requested: self.target,
+                nodes: graph.node_count(),
+            });
+        }
+        let mut last_err = None;
+        for attempt in 0..=self.max_restarts {
+            let attempt_seed = seed.wrapping_add(attempt as u64 * 0x9e37_79b9);
+            match self.try_partition(graph, attempt_seed) {
+                Ok(groups) => return PartitionSet::from_groups(graph, groups, seed),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
+    }
+
+    /// Runs the partitioner `runs` times and keeps the most balanced result
+    /// — the paper's "run multiple times to identify correct and globally
+    /// optimal configurations".
+    ///
+    /// # Errors
+    ///
+    /// Fails if every run fails.
+    pub fn partition_best_of(&self, graph: &Graph, seed: u64, runs: usize) -> Result<PartitionSet> {
+        let mut best: Option<PartitionSet> = None;
+        let mut last_err = None;
+        for r in 0..runs.max(1) {
+            match self.partition(graph, seed.wrapping_add(r as u64 * 7919)) {
+                Ok(set) => {
+                    let better = best
+                        .as_ref()
+                        .map(|b| set.imbalance() < b.imbalance())
+                        .unwrap_or(true);
+                    if better {
+                        best = Some(set);
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        best.ok_or_else(|| last_err.expect("no successes and no errors is impossible"))
+    }
+
+    fn try_partition(&self, graph: &Graph, seed: u64) -> Result<Vec<Vec<NodeId>>> {
+        let n = graph.node_count();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let costs = compute_costs(graph);
+        let total_cost: f64 = costs.iter().sum();
+
+        // Union-find over nodes.
+        let mut uf = UnionFind::new(n);
+        let mut part_size: Vec<usize> = vec![1; n];
+        let mut part_cost: Vec<f64> = costs.clone();
+        let mut partitions = n;
+
+        // Node-level DAG adjacency for path checks.
+        let edges = graph.node_edges();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (a, b) in &edges {
+            succ[a.0].push(b.0);
+        }
+
+        // Candidate edge list (deduplicated per quotient pair lazily).
+        let mut candidates: Vec<(usize, usize)> =
+            edges.iter().map(|(a, b)| (a.0, b.0)).collect();
+
+        while partitions > self.target {
+            // Collect live candidate edges (endpoints in different
+            // partitions) with weights.
+            let mut live: Vec<(usize, f64)> = Vec::new();
+            let mut seen_pairs: HashSet<(usize, usize)> = HashSet::new();
+            for (idx, &(a, b)) in candidates.iter().enumerate() {
+                let (ra, rb) = (uf.find(a), uf.find(b));
+                if ra == rb || !seen_pairs.insert((ra.min(rb), ra.max(rb))) {
+                    continue;
+                }
+                let ctx = ContractionCtx {
+                    size_a: part_size[ra],
+                    size_b: part_size[rb],
+                    cost_a: part_cost[ra],
+                    cost_b: part_cost[rb],
+                    total_cost,
+                    current_partitions: partitions,
+                    target: self.target,
+                };
+                if !(self.constraint_fn)(&ctx) {
+                    continue;
+                }
+                let w = (self.weight_fn)(&ctx);
+                if w > 0.0 && w.is_finite() {
+                    live.push((idx, w));
+                }
+            }
+            if live.is_empty() {
+                // No contractible edge spans two partitions. This happens
+                // for graphs whose node-edge relation is disconnected —
+                // e.g. a node fed only by the graph input whose output is
+                // never consumed is an isolated vertex. Merge a pair of
+                // partitions with no directed path in either direction
+                // (always acyclicity-safe) and continue.
+                if merge_unrelated_pair(
+                    &succ,
+                    &mut uf,
+                    &mut part_size,
+                    &mut part_cost,
+                    n,
+                    &self.constraint_fn,
+                    total_cost,
+                    partitions,
+                    self.target,
+                ) {
+                    partitions -= 1;
+                    continue;
+                }
+                return Err(PartitionError::Stuck { remaining: partitions, target: self.target });
+            }
+            // Weighted random choice without replacement until one passes
+            // the acyclicity check.
+            let mut contracted = false;
+            while !live.is_empty() {
+                let total_w: f64 = live.iter().map(|(_, w)| w).sum();
+                let mut pick = rng.gen_range(0.0..total_w);
+                let mut chosen = live.len() - 1;
+                for (i, (_, w)) in live.iter().enumerate() {
+                    if pick < *w {
+                        chosen = i;
+                        break;
+                    }
+                    pick -= w;
+                }
+                let (edge_idx, _) = live.swap_remove(chosen);
+                let (a, b) = candidates[edge_idx];
+                let (ra, rb) = (uf.find(a), uf.find(b));
+                if ra == rb {
+                    continue;
+                }
+                if quotient_path_exists(&succ, &mut uf, ra, rb) {
+                    // Contracting would create a quotient cycle; veto.
+                    continue;
+                }
+                // Merge rb into ra.
+                let (size_a, size_b) = (part_size[ra], part_size[rb]);
+                let (cost_a, cost_b) = (part_cost[ra], part_cost[rb]);
+                let root = uf.union(ra, rb);
+                part_size[root] = size_a + size_b;
+                part_cost[root] = cost_a + cost_b;
+                partitions -= 1;
+                contracted = true;
+                break;
+            }
+            if !contracted {
+                if merge_unrelated_pair(
+                    &succ,
+                    &mut uf,
+                    &mut part_size,
+                    &mut part_cost,
+                    n,
+                    &self.constraint_fn,
+                    total_cost,
+                    partitions,
+                    self.target,
+                ) {
+                    partitions -= 1;
+                    continue;
+                }
+                return Err(PartitionError::Stuck { remaining: partitions, target: self.target });
+            }
+            // Periodically drop dead candidate edges to bound rescans.
+            if candidates.len() > 4 * n {
+                candidates.retain(|&(a, b)| uf.find(a) != uf.find(b));
+            }
+        }
+        // Gather groups.
+        let mut groups: HashMap<usize, Vec<NodeId>> = HashMap::new();
+        for i in 0..n {
+            groups.entry(uf.find(i)).or_default().push(NodeId(i));
+        }
+        Ok(groups.into_values().collect())
+    }
+}
+
+/// Default soft preference: strongly favours merging the pair with the
+/// smallest combined cost, biasing towards balanced partitions.
+fn default_weight(ctx: &ContractionCtx) -> f64 {
+    let combined = (ctx.cost_a + ctx.cost_b) / ctx.total_cost.max(1.0);
+    1.0 / (combined * combined + 1e-9)
+}
+
+/// Merges one pair of partitions with *no* directed path between them in
+/// either direction (such a merge can never create a quotient cycle).
+/// Returns `false` when every remaining pair is path-related.
+#[allow(clippy::too_many_arguments)]
+fn merge_unrelated_pair(
+    succ: &[Vec<usize>],
+    uf: &mut UnionFind,
+    part_size: &mut [usize],
+    part_cost: &mut [f64],
+    n: usize,
+    constraint_fn: &ConstraintFn,
+    total_cost: f64,
+    partitions: usize,
+    target: usize,
+) -> bool {
+    let mut roots: Vec<usize> = (0..n).map(|i| uf.find(i)).collect();
+    roots.sort_unstable();
+    roots.dedup();
+    // Prefer merging the cheapest pair (keeps the balance bias).
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+    for (ai, &a) in roots.iter().enumerate() {
+        for &b in roots.iter().skip(ai + 1) {
+            pairs.push((part_cost[a] + part_cost[b], a, b));
+        }
+    }
+    pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite costs"));
+    for (_, a, b) in pairs {
+        let ctx = ContractionCtx {
+            size_a: part_size[a],
+            size_b: part_size[b],
+            cost_a: part_cost[a],
+            cost_b: part_cost[b],
+            total_cost,
+            current_partitions: partitions,
+            target,
+        };
+        if !constraint_fn(&ctx) {
+            continue;
+        }
+        if !quotient_path_exists(succ, uf, a, b) && !quotient_path_exists(succ, uf, b, a) {
+            let (sa, sb) = (part_size[a], part_size[b]);
+            let (ca, cb) = (part_cost[a], part_cost[b]);
+            let root = uf.union(a, b);
+            part_size[root] = sa + sb;
+            part_cost[root] = ca + cb;
+            return true;
+        }
+    }
+    false
+}
+
+/// Is there a directed path from partition `from` to partition `to` in the
+/// quotient graph that uses at least one intermediate partition?
+///
+/// Contracting an edge `(from, to)` is safe iff no such path exists (the
+/// direct edge itself is fine).
+fn quotient_path_exists(succ: &[Vec<usize>], uf: &mut UnionFind, from: usize, to: usize) -> bool {
+    // BFS over quotient reachability, skipping the direct from->to hop.
+    let mut visited: HashSet<usize> = HashSet::new();
+    let mut stack: Vec<usize> = vec![from];
+    while let Some(p) = stack.pop() {
+        if !visited.insert(p) {
+            continue;
+        }
+        // Expand all nodes currently in partition p. For efficiency we scan
+        // node-level successors of all nodes (amortised fine at model
+        // scale).
+        for (node, node_succ) in succ.iter().enumerate() {
+            if uf.find(node) != p {
+                continue;
+            }
+            for &s in node_succ {
+                let q = uf.find(s);
+                if q == p {
+                    continue;
+                }
+                if q == to {
+                    if p != from {
+                        return true; // reached via an intermediate partition
+                    }
+                    continue; // the direct edge itself is the one contracted
+                }
+                if !visited.contains(&q) {
+                    stack.push(q);
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Path-compressed, union-by-size union-find.
+#[derive(Debug, Clone)]
+struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n] }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Unions two roots; returns the surviving root.
+    fn union(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        if self.rank[ra] < self.rank[rb] {
+            self.parent[ra] = rb;
+            rb
+        } else if self.rank[ra] > self.rank[rb] {
+            self.parent[rb] = ra;
+            ra
+        } else {
+            self.parent[rb] = ra;
+            self.rank[ra] += 1;
+            ra
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+
+    #[test]
+    fn partitions_resnet_into_target_counts() {
+        let m = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 1).unwrap();
+        for target in [2usize, 5, 8, 10] {
+            let set = Partitioner::new(target).partition(&m.graph, 99).unwrap();
+            assert_eq!(set.len(), target);
+            set.verify(&m.graph).unwrap();
+        }
+    }
+
+    #[test]
+    fn partitions_branchy_models() {
+        for kind in [ModelKind::GoogleNet, ModelKind::InceptionV3] {
+            let m = zoo::build(kind, ScaleProfile::Test, 2).unwrap();
+            let set = Partitioner::new(5).partition(&m.graph, 7).unwrap();
+            assert_eq!(set.len(), 5, "{kind}");
+            set.verify(&m.graph).unwrap();
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let m = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 1).unwrap();
+        let a = Partitioner::new(5).partition(&m.graph, 1).unwrap();
+        let b = Partitioner::new(5).partition(&m.graph, 2).unwrap();
+        // Randomised: overwhelmingly likely to differ in stage boundaries.
+        assert_ne!(a.stages, b.stages);
+    }
+
+    #[test]
+    fn same_seed_reproducible() {
+        let m = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 1).unwrap();
+        let a = Partitioner::new(4).partition(&m.graph, 5).unwrap();
+        let b = Partitioner::new(4).partition(&m.graph, 5).unwrap();
+        assert_eq!(a.stages, b.stages);
+    }
+
+    #[test]
+    fn default_weight_produces_reasonable_balance() {
+        let m = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 1).unwrap();
+        let set = Partitioner::new(5).partition_best_of(&m.graph, 3, 8).unwrap();
+        // "Balanced" is best-effort on a heterogeneous DAG: assert the
+        // best-of-8 run is within a generous factor.
+        assert!(set.imbalance() < 50.0, "imbalance {}", set.imbalance());
+    }
+
+    #[test]
+    fn invalid_targets_rejected() {
+        let m = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 1).unwrap();
+        assert!(matches!(
+            Partitioner::new(0).partition(&m.graph, 1),
+            Err(PartitionError::InvalidTarget { .. })
+        ));
+        assert!(matches!(
+            Partitioner::new(100_000).partition(&m.graph, 1),
+            Err(PartitionError::InvalidTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn target_equal_to_node_count() {
+        let m = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 1).unwrap();
+        let n = m.graph.node_count();
+        let set = Partitioner::new(n).partition(&m.graph, 1).unwrap();
+        assert_eq!(set.len(), n);
+        set.verify(&m.graph).unwrap();
+    }
+
+    #[test]
+    fn hard_constraints_are_respected() {
+        let m = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 1).unwrap();
+        let n = m.graph.node_count();
+        let cap = n / 3; // no partition may exceed a third of the graph
+        let p = Partitioner::new(5)
+            .with_constraint_fn(Box::new(move |ctx| ctx.size_a + ctx.size_b <= cap));
+        let set = p.partition(&m.graph, 3).unwrap();
+        for s in &set.stages {
+            assert!(s.nodes.len() <= cap, "stage {} has {} nodes", s.index, s.nodes.len());
+        }
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_unrelated_merges_only() {
+        // A weight function that zeroes every edge disables edge
+        // contraction; the unrelated-pair fallback still merges what it
+        // safely can, and the run either reaches the target or reports
+        // Stuck — never panics, never produces an invalid set.
+        let m = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 1).unwrap();
+        let p = Partitioner::new(2)
+            .with_weight_fn(Box::new(|_| 0.0))
+            .with_max_restarts(0);
+        match p.partition(&m.graph, 1) {
+            Ok(set) => set.verify(&m.graph).unwrap(),
+            Err(PartitionError::Stuck { .. }) => {}
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn always_false_constraint_reports_stuck() {
+        let m = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 1).unwrap();
+        let p = Partitioner::new(2)
+            .with_constraint_fn(Box::new(|_| false))
+            .with_max_restarts(0);
+        assert!(matches!(p.partition(&m.graph, 1), Err(PartitionError::Stuck { .. })));
+    }
+
+    #[test]
+    fn disconnected_node_components_still_partition() {
+        // A node fed only by the graph input whose output is unused is an
+        // isolated vertex in the node-edge relation; the partitioner must
+        // still reach any target (regression for a proptest-found case).
+        use mvtee_graph::op::ActivationKind;
+        use mvtee_graph::GraphBuilder;
+        let mut b = GraphBuilder::new("isolated", 1);
+        let x = b.input(&[1, 4, 4, 4]);
+        // Two dangling branches straight off the input.
+        let _dangle1 = b.activation(x, ActivationKind::Relu).unwrap();
+        let _dangle2 = b.activation(x, ActivationKind::Tanh).unwrap();
+        // A main chain.
+        let a = b.activation(x, ActivationKind::Sigmoid).unwrap();
+        let c = b.activation(a, ActivationKind::Relu).unwrap();
+        let d = b.activation(c, ActivationKind::Relu).unwrap();
+        let g = b.finish(vec![d]).unwrap();
+        for target in [1usize, 2, 3] {
+            let set = Partitioner::new(target).partition(&g, 7).unwrap();
+            assert_eq!(set.len(), target, "target {target}");
+            set.verify(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn union_find_behaviour() {
+        let mut uf = UnionFind::new(4);
+        assert_ne!(uf.find(0), uf.find(1));
+        let r = uf.union(0, 1);
+        assert_eq!(uf.find(0), r);
+        assert_eq!(uf.find(1), r);
+        uf.union(2, 3);
+        uf.union(0, 2);
+        assert_eq!(uf.find(3), uf.find(1));
+    }
+}

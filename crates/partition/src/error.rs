@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Errors produced by the partitioner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionError {
+    /// The requested partition count is impossible for this graph.
+    InvalidTarget {
+        /// Requested partitions.
+        requested: usize,
+        /// Number of nodes available.
+        nodes: usize,
+    },
+    /// Contraction could not reach the target without violating constraints.
+    Stuck {
+        /// Number of partitions remaining when no contractible edge was left.
+        remaining: usize,
+        /// The target.
+        target: usize,
+    },
+    /// A graph operation failed.
+    Graph(mvtee_graph::GraphError),
+    /// A produced partition set failed verification.
+    Verification(String),
+    /// Manual slicing boundaries were invalid.
+    InvalidBoundaries(String),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::InvalidTarget { requested, nodes } => {
+                write!(f, "cannot form {requested} partitions from {nodes} nodes")
+            }
+            PartitionError::Stuck { remaining, target } => write!(
+                f,
+                "contraction stuck at {remaining} partitions before reaching target {target}"
+            ),
+            PartitionError::Graph(e) => write!(f, "graph error: {e}"),
+            PartitionError::Verification(why) => write!(f, "partition verification failed: {why}"),
+            PartitionError::InvalidBoundaries(why) => write!(f, "invalid boundaries: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PartitionError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mvtee_graph::GraphError> for PartitionError {
+    fn from(e: mvtee_graph::GraphError) -> Self {
+        PartitionError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            PartitionError::InvalidTarget { requested: 9, nodes: 3 },
+            PartitionError::Stuck { remaining: 7, target: 5 },
+            PartitionError::Graph(mvtee_graph::GraphError::CyclicGraph),
+            PartitionError::Verification("x".into()),
+            PartitionError::InvalidBoundaries("y".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Random-balanced model partitioning — Algorithm 1 of the paper (§4.1).
+//!
+//! MVTEE divides a model's computational graph into smaller subgraphs whose
+//! connections form the MVX **checkpoints**. The partitioner implements the
+//! paper's randomized contraction (a Karger-style global-min-cut bias) with:
+//!
+//! * **soft preferences** — a customizable [`WeightFn`] biases the random
+//!   edge choice; the default prefers merging small partitions, yielding
+//!   balanced sizes,
+//! * **hard constraints** — a [`ConstraintFn`] rejects contractions (size
+//!   caps, custom policies); on top of user constraints the partitioner
+//!   always preserves *quotient acyclicity* so the partitions form valid
+//!   pipeline stages,
+//! * **manual mode** — [`slice_by_boundaries`] for model owners with expert
+//!   knowledge of effective checkpoint locations,
+//! * **pools** — [`PartitionPool`] repeats partitioning over multiple
+//!   targets/seeds, producing "a diverse range of partition sets and
+//!   checkpoint configurations" for runtime selection.
+//!
+//! # Example
+//!
+//! ```
+//! use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+//! use mvtee_partition::Partitioner;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 1)?;
+//! let set = Partitioner::new(5).partition(&model.graph, 42)?;
+//! assert_eq!(set.len(), 5);
+//! set.verify(&model.graph)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod contraction;
+mod error;
+mod plan;
+mod pool;
+
+pub use contraction::{ContractionCtx, ConstraintFn, Partitioner, WeightFn};
+pub use error::PartitionError;
+pub use plan::{slice_by_boundaries, PartitionSet, StagePlan};
+pub use pool::{PartitionPool, PoolConfig};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PartitionError>;

@@ -1,0 +1,433 @@
+//! Partition sets and per-stage plans.
+
+use crate::{PartitionError, Result};
+use mvtee_graph::{Graph, NodeId, ValueId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// One pipeline stage: a convex set of nodes plus its boundary interface in
+/// *parent-graph* value ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagePlan {
+    /// Stage index in pipeline order.
+    pub index: usize,
+    /// Member nodes (parent ids).
+    pub nodes: Vec<NodeId>,
+    /// Boundary inputs in ascending parent value order: values this stage
+    /// consumes that are produced outside it (graph inputs or earlier
+    /// stages). Matches the extracted subgraph's input order.
+    pub inputs: Vec<ValueId>,
+    /// Boundary outputs in ascending parent value order. Matches the
+    /// extracted subgraph's output order.
+    pub outputs: Vec<ValueId>,
+    /// Estimated compute cost (arbitrary FLOP-ish units) for balance
+    /// statistics.
+    pub cost: f64,
+}
+
+/// A complete partitioning of a model into pipeline stages.
+///
+/// Invariants (checked by [`PartitionSet::verify`]):
+/// * stages cover every node exactly once,
+/// * stage order is topological for the quotient graph (a stage only
+///   consumes values produced by strictly earlier stages or graph inputs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSet {
+    /// Identifier (seed used to generate it, for reproducibility).
+    pub seed: u64,
+    /// Stages in pipeline order.
+    pub stages: Vec<StagePlan>,
+}
+
+impl PartitionSet {
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `true` when there are no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Number of checkpoints (stage boundaries).
+    pub fn checkpoint_count(&self) -> usize {
+        self.stages.len().saturating_sub(1)
+    }
+
+    /// Builds a `PartitionSet` from groups of node ids (in any order); the
+    /// stage order is derived topologically and boundary interfaces are
+    /// computed from the parent graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::Verification`] when groups do not cover
+    /// the graph exactly or the quotient graph is cyclic.
+    pub fn from_groups(graph: &Graph, groups: Vec<Vec<NodeId>>, seed: u64) -> Result<Self> {
+        // Coverage check.
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        for g in &groups {
+            for &n in g {
+                if n.0 >= graph.node_count() {
+                    return Err(PartitionError::Verification(format!("unknown node {}", n.0)));
+                }
+                if !seen.insert(n) {
+                    return Err(PartitionError::Verification(format!(
+                        "node {} in multiple partitions",
+                        n.0
+                    )));
+                }
+            }
+        }
+        if seen.len() != graph.node_count() {
+            return Err(PartitionError::Verification(format!(
+                "groups cover {} of {} nodes",
+                seen.len(),
+                graph.node_count()
+            )));
+        }
+        // Map node -> group.
+        let mut group_of: HashMap<NodeId, usize> = HashMap::new();
+        for (gi, g) in groups.iter().enumerate() {
+            for &n in g {
+                group_of.insert(n, gi);
+            }
+        }
+        // Quotient topological order.
+        let k = groups.len();
+        let mut adj = vec![BTreeSet::<usize>::new(); k];
+        let mut indeg = vec![0usize; k];
+        for (a, b) in graph.node_edges() {
+            let (ga, gb) = (group_of[&a], group_of[&b]);
+            if ga != gb && adj[ga].insert(gb) {
+                indeg[gb] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..k).filter(|&i| indeg[i] == 0).collect();
+        queue.sort();
+        let mut order = Vec::with_capacity(k);
+        let mut head = 0;
+        while head < queue.len() {
+            let g = queue[head];
+            head += 1;
+            order.push(g);
+            let mut newly = Vec::new();
+            for &n in &adj[g] {
+                indeg[n] -= 1;
+                if indeg[n] == 0 {
+                    newly.push(n);
+                }
+            }
+            newly.sort();
+            queue.extend(newly);
+        }
+        if order.len() != k {
+            return Err(PartitionError::Verification("quotient graph is cyclic".into()));
+        }
+        // Build stage plans with boundary interfaces.
+        let producers = graph.producers();
+        let consumers = graph.consumers();
+        let node_cost = compute_costs(graph);
+        let mut stages = Vec::with_capacity(k);
+        for (index, &gi) in order.iter().enumerate() {
+            let member: BTreeSet<NodeId> = groups[gi].iter().copied().collect();
+            let mut inputs: BTreeSet<ValueId> = BTreeSet::new();
+            let mut outputs: BTreeSet<ValueId> = BTreeSet::new();
+            for &nid in &member {
+                let node = graph.node(nid)?;
+                for &i in &node.inputs {
+                    if graph.initializer(i).is_some() {
+                        continue;
+                    }
+                    let produced_inside =
+                        producers.get(&i).map(|p| member.contains(p)).unwrap_or(false);
+                    if !produced_inside {
+                        inputs.insert(i);
+                    }
+                }
+                for &o in &node.outputs {
+                    let consumed_outside = consumers
+                        .get(&o)
+                        .map(|cs| cs.iter().any(|c| !member.contains(c)))
+                        .unwrap_or(false);
+                    if consumed_outside || graph.outputs().contains(&o) {
+                        outputs.insert(o);
+                    }
+                }
+            }
+            let cost = member.iter().map(|n| node_cost[n.0]).sum();
+            let mut nodes: Vec<NodeId> = member.into_iter().collect();
+            nodes.sort();
+            stages.push(StagePlan {
+                index,
+                nodes,
+                inputs: inputs.into_iter().collect(),
+                outputs: outputs.into_iter().collect(),
+                cost,
+            });
+        }
+        let set = PartitionSet { seed, stages };
+        set.verify(graph)?;
+        Ok(set)
+    }
+
+    /// Verifies coverage, disjointness and topological stage order against
+    /// the parent graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::Verification`] describing the violation.
+    pub fn verify(&self, graph: &Graph) -> Result<()> {
+        let mut stage_of: HashMap<NodeId, usize> = HashMap::new();
+        for stage in &self.stages {
+            for &n in &stage.nodes {
+                if stage_of.insert(n, stage.index).is_some() {
+                    return Err(PartitionError::Verification(format!(
+                        "node {} appears twice",
+                        n.0
+                    )));
+                }
+            }
+        }
+        if stage_of.len() != graph.node_count() {
+            return Err(PartitionError::Verification(format!(
+                "stages cover {} of {} nodes",
+                stage_of.len(),
+                graph.node_count()
+            )));
+        }
+        for (a, b) in graph.node_edges() {
+            let (sa, sb) = (stage_of[&a], stage_of[&b]);
+            if sa > sb {
+                return Err(PartitionError::Verification(format!(
+                    "edge {}->{} goes backwards (stage {sa} -> {sb})",
+                    a.0, b.0
+                )));
+            }
+        }
+        for (i, stage) in self.stages.iter().enumerate() {
+            if stage.index != i {
+                return Err(PartitionError::Verification("stage indices out of order".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts each stage as a standalone executable subgraph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph extraction failures.
+    pub fn extract_subgraphs(&self, graph: &Graph) -> Result<Vec<Graph>> {
+        self.stages
+            .iter()
+            .map(|s| {
+                graph
+                    .subgraph(&s.nodes, format!("{}_p{}", graph.name, s.index))
+                    .map_err(PartitionError::from)
+            })
+            .collect()
+    }
+
+    /// Balance statistic: ratio of the largest to the smallest stage cost.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.stages.iter().map(|s| s.cost).fold(f64::MIN, f64::max);
+        let min = self.stages.iter().map(|s| s.cost).fold(f64::MAX, f64::min);
+        if min <= 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+
+    /// Total checkpoint payload estimate: the number of elements crossing
+    /// each stage boundary (drives the Fig 10 encryption-overhead shape).
+    /// The final stage's outputs are the model result, not a checkpoint,
+    /// and are excluded.
+    pub fn boundary_elements(&self, graph: &Graph) -> usize {
+        let n = self.stages.len();
+        self.stages
+            .iter()
+            .take(n.saturating_sub(1))
+            .flat_map(|s| s.outputs.iter())
+            .filter_map(|v| graph.value(*v).ok())
+            .filter_map(|info| info.shape.as_ref())
+            .map(|s| s.num_elements())
+            .sum()
+    }
+}
+
+/// Per-node compute cost estimates (FLOP-ish units) based on inferred
+/// output shapes.
+pub(crate) fn compute_costs(graph: &Graph) -> Vec<f64> {
+    let mut costs = vec![1.0f64; graph.node_count()];
+    for node in graph.nodes() {
+        let out_elems = node
+            .outputs
+            .first()
+            .and_then(|v| graph.value(*v).ok())
+            .and_then(|i| i.shape.as_ref())
+            .map(|s| s.num_elements())
+            .unwrap_or(1);
+        let in_channels = node
+            .inputs
+            .first()
+            .and_then(|v| graph.value(*v).ok())
+            .and_then(|i| i.shape.as_ref())
+            .and_then(|s| s.dims().get(1).copied())
+            .unwrap_or(1);
+        costs[node.id.0] = (out_elems * node.op.flops_per_output(in_channels)).max(1) as f64;
+    }
+    costs
+}
+
+/// Manual partitioning: splits the topological node order at the given
+/// boundary positions (the paper's "graph slicer" mode for expert model
+/// owners).
+///
+/// `boundaries` are cut positions in `1..node_count`, strictly increasing;
+/// `k` boundaries produce `k + 1` stages.
+///
+/// # Errors
+///
+/// Returns [`PartitionError::InvalidBoundaries`] for out-of-range or
+/// non-increasing positions.
+pub fn slice_by_boundaries(graph: &Graph, boundaries: &[usize]) -> Result<PartitionSet> {
+    let order = graph.topological_order()?;
+    let n = order.len();
+    let mut prev = 0usize;
+    let mut groups = Vec::with_capacity(boundaries.len() + 1);
+    for &b in boundaries {
+        if b <= prev || b >= n {
+            return Err(PartitionError::InvalidBoundaries(format!(
+                "boundary {b} invalid after {prev} (graph has {n} nodes)"
+            )));
+        }
+        groups.push(order[prev..b].to_vec());
+        prev = b;
+    }
+    groups.push(order[prev..].to_vec());
+    PartitionSet::from_groups(graph, groups, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvtee_graph::op::ActivationKind;
+    use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+    use mvtee_graph::GraphBuilder;
+
+    fn chain_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new("chain", 1);
+        let x = b.input(&[1, 4, 8, 8]);
+        let mut cur = x;
+        for _ in 0..n {
+            cur = b.activation(cur, ActivationKind::Relu).unwrap();
+        }
+        b.finish(vec![cur]).unwrap()
+    }
+
+    #[test]
+    fn from_groups_linear_chain() {
+        let g = chain_graph(6);
+        let order = g.topological_order().unwrap();
+        let groups =
+            vec![order[0..2].to_vec(), order[2..4].to_vec(), order[4..6].to_vec()];
+        let set = PartitionSet::from_groups(&g, groups, 7).unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.checkpoint_count(), 2);
+        set.verify(&g).unwrap();
+        // Each stage's boundary: 1 input, 1 output.
+        for s in &set.stages {
+            assert_eq!(s.inputs.len(), 1, "stage {}", s.index);
+            assert_eq!(s.outputs.len(), 1);
+        }
+    }
+
+    #[test]
+    fn from_groups_rejects_partial_cover() {
+        let g = chain_graph(4);
+        let order = g.topological_order().unwrap();
+        let groups = vec![order[0..2].to_vec()];
+        assert!(matches!(
+            PartitionSet::from_groups(&g, groups, 0),
+            Err(PartitionError::Verification(_))
+        ));
+    }
+
+    #[test]
+    fn from_groups_rejects_duplicates() {
+        let g = chain_graph(3);
+        let order = g.topological_order().unwrap();
+        let groups = vec![order.clone(), vec![order[0]]];
+        assert!(PartitionSet::from_groups(&g, groups, 0).is_err());
+    }
+
+    #[test]
+    fn from_groups_rejects_cyclic_quotient() {
+        // Diamond: a -> b, a -> c, b -> d, c -> d. Grouping {a, d} and
+        // {b}, {c} creates a cyclic quotient.
+        let mut b = GraphBuilder::new("diamond", 1);
+        let x = b.input(&[1, 4, 4, 4]);
+        let a = b.activation(x, ActivationKind::Relu).unwrap();
+        let p = b.activation(a, ActivationKind::Sigmoid).unwrap();
+        let q = b.activation(a, ActivationKind::Tanh).unwrap();
+        let d = b.add(p, q).unwrap();
+        let g = b.finish(vec![d]).unwrap();
+        let nodes: Vec<NodeId> = g.nodes().iter().map(|n| n.id).collect();
+        // nodes: [relu, sigmoid, tanh, add]
+        let groups = vec![vec![nodes[0], nodes[3]], vec![nodes[1]], vec![nodes[2]]];
+        assert!(matches!(
+            PartitionSet::from_groups(&g, groups, 0),
+            Err(PartitionError::Verification(_))
+        ));
+    }
+
+    #[test]
+    fn slice_by_boundaries_basic() {
+        let g = chain_graph(10);
+        let set = slice_by_boundaries(&g, &[3, 7]).unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.stages[0].nodes.len(), 3);
+        assert_eq!(set.stages[1].nodes.len(), 4);
+        assert_eq!(set.stages[2].nodes.len(), 3);
+    }
+
+    #[test]
+    fn slice_rejects_bad_boundaries() {
+        let g = chain_graph(5);
+        assert!(slice_by_boundaries(&g, &[0]).is_err());
+        assert!(slice_by_boundaries(&g, &[5]).is_err());
+        assert!(slice_by_boundaries(&g, &[3, 3]).is_err());
+        assert!(slice_by_boundaries(&g, &[4, 2]).is_err());
+    }
+
+    #[test]
+    fn subgraph_extraction_round_trip() {
+        let m = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 3).unwrap();
+        let set = slice_by_boundaries(&m.graph, &[40, 80, 120]).unwrap();
+        let subs = set.extract_subgraphs(&m.graph).unwrap();
+        assert_eq!(subs.len(), 4);
+        for (s, plan) in subs.iter().zip(set.stages.iter()) {
+            s.validate().unwrap();
+            assert_eq!(s.inputs().len(), plan.inputs.len());
+            assert_eq!(s.outputs().len(), plan.outputs.len());
+        }
+        let total: usize = subs.iter().map(|s| s.node_count()).sum();
+        assert_eq!(total, m.graph.node_count());
+    }
+
+    #[test]
+    fn boundary_elements_positive_on_zoo() {
+        let m = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 3).unwrap();
+        let set = slice_by_boundaries(&m.graph, &[30, 60]).unwrap();
+        assert!(set.boundary_elements(&m.graph) > 0);
+    }
+
+    #[test]
+    fn imbalance_of_even_chain() {
+        let g = chain_graph(9);
+        let set = slice_by_boundaries(&g, &[3, 6]).unwrap();
+        assert!((set.imbalance() - 1.0).abs() < 1e-9);
+    }
+}

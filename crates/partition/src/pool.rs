@@ -1,0 +1,134 @@
+//! Partition-set pools: "we repeat this model partitioning with different
+//! target numbers, creating a diverse range of partition sets and
+//! checkpoint configurations" (§4.1).
+//!
+//! The pool is built offline and consulted by the monitor when an MVX
+//! configuration requests a partition set (deterministically by id or
+//! randomly), including during full variant updates which "reshuffle
+//! partition sets".
+
+use crate::{PartitionSet, Partitioner, Result};
+use mvtee_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for pool construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Partition-count targets to generate sets for.
+    pub targets: Vec<usize>,
+    /// Sets generated per target (different seeds).
+    pub sets_per_target: usize,
+    /// Best-of runs per set (the optional global-optimisation loop).
+    pub runs_per_set: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { targets: vec![2, 5, 8], sets_per_target: 2, runs_per_set: 3 }
+    }
+}
+
+/// A pool of pre-generated partition sets for one model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionPool {
+    /// Model name the pool belongs to.
+    pub model: String,
+    sets: Vec<PartitionSet>,
+}
+
+impl PartitionPool {
+    /// Builds a pool per `config` using the default partitioner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner failures.
+    pub fn build(graph: &Graph, config: &PoolConfig, seed: u64) -> Result<Self> {
+        let mut sets = Vec::new();
+        for (ti, &target) in config.targets.iter().enumerate() {
+            for si in 0..config.sets_per_target {
+                let set_seed = seed
+                    .wrapping_add(ti as u64 * 1_000_003)
+                    .wrapping_add(si as u64 * 7_001);
+                let set = Partitioner::new(target).partition_best_of(
+                    graph,
+                    set_seed,
+                    config.runs_per_set,
+                )?;
+                set.verify(graph)?;
+                sets.push(set);
+            }
+        }
+        Ok(PartitionPool { model: graph.name.clone(), sets })
+    }
+
+    /// All sets.
+    pub fn sets(&self) -> &[PartitionSet] {
+        &self.sets
+    }
+
+    /// Number of pooled sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Deterministic selection: the first pooled set with exactly
+    /// `partitions` stages.
+    pub fn select_by_count(&self, partitions: usize) -> Option<&PartitionSet> {
+        self.sets.iter().find(|s| s.len() == partitions)
+    }
+
+    /// Random selection among sets with the requested count (used by the
+    /// monitor's "deterministically or randomly" selection and full
+    /// updates).
+    pub fn select_random(&self, partitions: usize, seed: u64) -> Option<&PartitionSet> {
+        let matching: Vec<&PartitionSet> =
+            self.sets.iter().filter(|s| s.len() == partitions).collect();
+        if matching.is_empty() {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        Some(matching[rng.gen_range(0..matching.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+
+    #[test]
+    fn pool_builds_all_targets() {
+        let m = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 1).unwrap();
+        let cfg = PoolConfig { targets: vec![2, 5], sets_per_target: 2, runs_per_set: 1 };
+        let pool = PartitionPool::build(&m.graph, &cfg, 9).unwrap();
+        assert_eq!(pool.len(), 4);
+        assert!(pool.select_by_count(2).is_some());
+        assert!(pool.select_by_count(5).is_some());
+        assert!(pool.select_by_count(3).is_none());
+    }
+
+    #[test]
+    fn random_selection_is_seeded() {
+        let m = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 1).unwrap();
+        let cfg = PoolConfig { targets: vec![4], sets_per_target: 3, runs_per_set: 1 };
+        let pool = PartitionPool::build(&m.graph, &cfg, 3).unwrap();
+        let a = pool.select_random(4, 11).unwrap();
+        let b = pool.select_random(4, 11).unwrap();
+        assert_eq!(a, b);
+        assert!(pool.select_random(9, 0).is_none());
+    }
+
+    #[test]
+    fn default_config_reasonable() {
+        let cfg = PoolConfig::default();
+        assert!(cfg.targets.contains(&5));
+        assert!(cfg.sets_per_target >= 1);
+    }
+}

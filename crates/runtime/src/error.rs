@@ -1,0 +1,98 @@
+use std::fmt;
+
+/// Errors produced during model preparation or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The graph failed validation or a graph operation failed.
+    Graph(mvtee_graph::GraphError),
+    /// A tensor operation failed.
+    Tensor(mvtee_tensor::TensorError),
+    /// The caller supplied the wrong number of inputs.
+    InputArity {
+        /// Expected input count.
+        expected: usize,
+        /// Supplied input count.
+        actual: usize,
+    },
+    /// An input tensor had an unexpected shape.
+    InputShape {
+        /// Input position.
+        index: usize,
+        /// Human-readable expectation.
+        expected: String,
+        /// Human-readable actual shape.
+        actual: String,
+    },
+    /// An operator hit an unrecoverable numeric or structural problem.
+    Kernel {
+        /// Node name.
+        node: String,
+        /// Reason.
+        reason: String,
+    },
+    /// A simulated fault or vulnerability crashed this execution.
+    ///
+    /// In a real deployment this is the variant process dying (SIGSEGV,
+    /// abort, uncaught exception); the monitor observes it as a missing
+    /// checkpoint response. The fault-injection crate raises this.
+    Crashed {
+        /// Description of the simulated crash.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Graph(e) => write!(f, "graph error: {e}"),
+            RuntimeError::Tensor(e) => write!(f, "tensor error: {e}"),
+            RuntimeError::InputArity { expected, actual } => {
+                write!(f, "expected {expected} inputs, got {actual}")
+            }
+            RuntimeError::InputShape { index, expected, actual } => {
+                write!(f, "input {index} has shape {actual}, expected {expected}")
+            }
+            RuntimeError::Kernel { node, reason } => {
+                write!(f, "kernel failure at {node}: {reason}")
+            }
+            RuntimeError::Crashed { reason } => write!(f, "variant crashed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Graph(e) => Some(e),
+            RuntimeError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mvtee_graph::GraphError> for RuntimeError {
+    fn from(e: mvtee_graph::GraphError) -> Self {
+        RuntimeError::Graph(e)
+    }
+}
+
+impl From<mvtee_tensor::TensorError> for RuntimeError {
+    fn from(e: mvtee_tensor::TensorError) -> Self {
+        RuntimeError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RuntimeError::Graph(mvtee_graph::GraphError::CyclicGraph);
+        assert!(e.to_string().contains("cycle"));
+        assert!(std::error::Error::source(&e).is_some());
+        let k = RuntimeError::Kernel { node: "conv1".into(), reason: "nan".into() };
+        assert!(k.to_string().contains("conv1"));
+        assert!(std::error::Error::source(&k).is_none());
+    }
+}

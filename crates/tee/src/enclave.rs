@@ -1,0 +1,300 @@
+//! Enclave identity and report generation.
+//!
+//! An [`Enclave`] ties together a TEE flavour, a code identity, a booted
+//! [`TeeOs`] and the [`Platform`] it runs on. Its *measurement* covers the
+//! code identity and the enforced manifest, so "TEE reports that include
+//! measurements of the entire software stack" (§6.5) detect malformed
+//! manifests or tampered code. Reports carry caller data (nonce ‖ channel
+//! transcript hash) for RA-TLS-style channel binding.
+
+use crate::manifest::Manifest;
+use crate::platform::{AttestationReport, Platform};
+use crate::teeos::TeeOs;
+use crate::Result;
+use mvtee_crypto::sha256::{sha256, Sha256};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The TEE flavour an enclave runs under (SGX-style process enclave or
+/// TDX-style trust domain). TEE-level variant diversification selects
+/// different kinds per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TeeKind {
+    /// Process-based enclave (Intel SGX analogue).
+    Sgx,
+    /// VM-based trust domain (Intel TDX analogue).
+    Tdx,
+}
+
+impl fmt::Display for TeeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TeeKind::Sgx => write!(f, "SGX"),
+            TeeKind::Tdx => write!(f, "TDX"),
+        }
+    }
+}
+
+/// The identity of the code loaded into an enclave.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodeIdentity {
+    /// Component name (e.g. `mvtee-monitor`, `init-variant`).
+    pub name: String,
+    /// Version string.
+    pub version: String,
+    /// SHA-256 of the (simulated) binary content.
+    pub code_hash: [u8; 32],
+}
+
+impl CodeIdentity {
+    /// Builds an identity by hashing the component's byte content.
+    pub fn from_content(name: impl Into<String>, version: impl Into<String>, content: &[u8]) -> Self {
+        CodeIdentity { name: name.into(), version: version.into(), code_hash: sha256(content) }
+    }
+}
+
+/// A simulated enclave: TEE OS + identity + platform binding.
+#[derive(Debug)]
+pub struct Enclave {
+    kind: TeeKind,
+    identity: CodeIdentity,
+    os: TeeOs,
+    platform: Platform,
+}
+
+impl Enclave {
+    /// Launches an enclave with a first-stage manifest.
+    pub fn launch(
+        kind: TeeKind,
+        identity: CodeIdentity,
+        manifest: Manifest,
+        platform: Platform,
+    ) -> Self {
+        Enclave { kind, identity, os: TeeOs::new(manifest), platform }
+    }
+
+    /// The enclave's TEE flavour.
+    pub fn kind(&self) -> TeeKind {
+        self.kind
+    }
+
+    /// The loaded code identity.
+    pub fn identity(&self) -> &CodeIdentity {
+        &self.identity
+    }
+
+    /// Access to the TEE OS (syscalls, encrypted fs, stage machine).
+    pub fn os(&mut self) -> &mut TeeOs {
+        &mut self.os
+    }
+
+    /// Read-only access to the TEE OS.
+    pub fn os_ref(&self) -> &TeeOs {
+        &self.os
+    }
+
+    /// The enclave measurement: `H(kind ‖ code identity ‖ active manifest
+    /// hash)`. Changes whenever the manifest or code changes.
+    pub fn measurement(&self) -> [u8; 32] {
+        compute_measurement(self.kind, &self.identity, &self.os.manifest_hash())
+    }
+
+    /// Produces a hardware-signed report binding `report_data`.
+    pub fn report(&self, report_data: &[u8]) -> AttestationReport {
+        self.platform.sign_report(
+            self.kind,
+            self.measurement(),
+            self.os.manifest_hash(),
+            report_data,
+        )
+    }
+
+    /// Convenience: a report binding a nonce and a channel transcript (the
+    /// RA-TLS pattern). `report_data = H(nonce) ‖ transcript_hash`.
+    pub fn report_for_channel(&self, nonce: &[u8], transcript_hash: &[u8; 32]) -> AttestationReport {
+        let mut data = Vec::with_capacity(64);
+        data.extend_from_slice(&sha256(nonce));
+        data.extend_from_slice(transcript_hash);
+        self.report(&data)
+    }
+
+    /// Verifies a peer report against this enclave's platform, an expected
+    /// measurement and the expected binding data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TeeError::AttestationFailed`] describing the first
+    /// mismatch.
+    pub fn verify_peer(
+        &self,
+        report: &AttestationReport,
+        expected_measurement: Option<[u8; 32]>,
+        expected_data: &[u8],
+    ) -> Result<()> {
+        verify_report(&self.platform, report, expected_measurement, expected_data)
+    }
+}
+
+/// Computes the measurement an enclave of this kind/identity/manifest
+/// would have — used by verifiers (the monitor) to derive *expected*
+/// measurements from deployment artifacts without launching anything.
+pub fn compute_measurement(
+    kind: TeeKind,
+    identity: &CodeIdentity,
+    manifest_hash: &[u8; 32],
+) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(&[match kind {
+        TeeKind::Sgx => 1u8,
+        TeeKind::Tdx => 2u8,
+    }]);
+    // Length-prefix the variable-length fields: without this,
+    // ("ab", "c") and ("a", "bc") would measure identically.
+    h.update(&(identity.name.len() as u64).to_le_bytes());
+    h.update(identity.name.as_bytes());
+    h.update(&(identity.version.len() as u64).to_le_bytes());
+    h.update(identity.version.as_bytes());
+    h.update(&identity.code_hash);
+    h.update(manifest_hash);
+    h.finalize()
+}
+
+/// Standalone report verification (used by the model owner / monitor,
+/// which hold a platform handle rather than an enclave).
+///
+/// # Errors
+///
+/// Returns [`crate::TeeError::AttestationFailed`] describing the first
+/// mismatch: bad MAC, unexpected measurement, or binding-data mismatch.
+pub fn verify_report(
+    platform: &Platform,
+    report: &AttestationReport,
+    expected_measurement: Option<[u8; 32]>,
+    expected_data: &[u8],
+) -> Result<()> {
+    if !platform.verify_report(report) {
+        return Err(crate::TeeError::AttestationFailed("invalid platform mac".into()));
+    }
+    if let Some(expected) = expected_measurement {
+        if report.measurement != expected {
+            return Err(crate::TeeError::AttestationFailed(format!(
+                "unexpected measurement {}",
+                mvtee_crypto::sha256::hex(&report.measurement)
+            )));
+        }
+    }
+    if report.report_data != expected_data {
+        return Err(crate::TeeError::AttestationFailed("report data mismatch".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Manifest;
+
+    fn enclave(platform: &Platform) -> Enclave {
+        Enclave::launch(
+            TeeKind::Sgx,
+            CodeIdentity::from_content("init-variant", "1.0", b"init code"),
+            Manifest::init_variant("init"),
+            platform.clone(),
+        )
+    }
+
+    #[test]
+    fn measurement_covers_manifest() {
+        let p = Platform::new();
+        let mut e = enclave(&p);
+        let m1 = e.measurement();
+        e.os().install_second_stage(Manifest::main_variant("m")).unwrap();
+        // Not yet active: measurement unchanged.
+        assert_eq!(e.measurement(), m1);
+        e.os().exec().unwrap();
+        assert_ne!(e.measurement(), m1, "stage transition must change the measurement");
+    }
+
+    #[test]
+    fn measurement_covers_code() {
+        let p = Platform::new();
+        let a = enclave(&p);
+        let b = Enclave::launch(
+            TeeKind::Sgx,
+            CodeIdentity::from_content("init-variant", "1.0", b"EVIL code"),
+            Manifest::init_variant("init"),
+            p.clone(),
+        );
+        assert_ne!(a.measurement(), b.measurement());
+    }
+
+    #[test]
+    fn measurement_field_boundaries_are_unambiguous() {
+        let p = Platform::new();
+        let a = Enclave::launch(
+            TeeKind::Sgx,
+            CodeIdentity { name: "ab".into(), version: "c".into(), code_hash: [0; 32] },
+            Manifest::new("m"),
+            p.clone(),
+        );
+        let b = Enclave::launch(
+            TeeKind::Sgx,
+            CodeIdentity { name: "a".into(), version: "bc".into(), code_hash: [0; 32] },
+            Manifest::new("m"),
+            p.clone(),
+        );
+        assert_ne!(a.measurement(), b.measurement());
+    }
+
+    #[test]
+    fn measurement_covers_tee_kind() {
+        let p = Platform::new();
+        let id = CodeIdentity::from_content("v", "1", b"c");
+        let sgx = Enclave::launch(TeeKind::Sgx, id.clone(), Manifest::new("m"), p.clone());
+        let tdx = Enclave::launch(TeeKind::Tdx, id, Manifest::new("m"), p.clone());
+        assert_ne!(sgx.measurement(), tdx.measurement());
+    }
+
+    #[test]
+    fn report_round_trip_with_binding() {
+        let p = Platform::new();
+        let e = enclave(&p);
+        let transcript = [7u8; 32];
+        let report = e.report_for_channel(b"nonce-123", &transcript);
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&sha256(b"nonce-123"));
+        expected.extend_from_slice(&transcript);
+        verify_report(&p, &report, Some(e.measurement()), &expected).unwrap();
+        // Wrong nonce: rejected.
+        let mut wrong = Vec::new();
+        wrong.extend_from_slice(&sha256(b"nonce-999"));
+        wrong.extend_from_slice(&transcript);
+        assert!(verify_report(&p, &report, Some(e.measurement()), &wrong).is_err());
+        // Wrong measurement: rejected.
+        assert!(verify_report(&p, &report, Some([0u8; 32]), &expected).is_err());
+    }
+
+    #[test]
+    fn cross_platform_reports_rejected() {
+        let p1 = Platform::new();
+        let p2 = Platform::new();
+        let e = enclave(&p1);
+        let r = e.report(b"data");
+        assert!(verify_report(&p2, &r, None, b"data").is_err());
+        verify_report(&p1, &r, None, b"data").unwrap();
+    }
+
+    #[test]
+    fn enclaves_verify_each_other() {
+        let p = Platform::new();
+        let monitor = Enclave::launch(
+            TeeKind::Sgx,
+            CodeIdentity::from_content("monitor", "1.0", b"monitor code"),
+            Manifest::main_variant("monitor"),
+            p.clone(),
+        );
+        let variant = enclave(&p);
+        let r = variant.report(b"hello");
+        monitor.verify_peer(&r, Some(variant.measurement()), b"hello").unwrap();
+    }
+}

@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// Errors produced by the simulated TEE substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TeeError {
+    /// An attestation report failed verification.
+    AttestationFailed(String),
+    /// A syscall was denied by the active manifest.
+    SyscallDenied {
+        /// The denied syscall name.
+        syscall: String,
+        /// Current stage description.
+        stage: String,
+    },
+    /// A file access violated the manifest (untrusted, hash mismatch, or
+    /// not in the encrypted set).
+    FileAccessDenied {
+        /// Path.
+        path: String,
+        /// Reason.
+        reason: String,
+    },
+    /// Second-stage manifest installation was attempted more than once or
+    /// from the wrong stage.
+    ManifestInstallDenied(String),
+    /// Key manipulation attempted in the main-variant stage.
+    KeyInstallDenied(String),
+    /// Decryption or integrity verification failed.
+    Crypto(mvtee_crypto::CryptoError),
+    /// The requested file does not exist.
+    FileNotFound {
+        /// Path.
+        path: String,
+    },
+    /// Replay detected (stale nonce or repeated message).
+    ReplayDetected(String),
+    /// A serialization round-trip failed.
+    Codec(String),
+}
+
+impl fmt::Display for TeeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TeeError::AttestationFailed(why) => write!(f, "attestation failed: {why}"),
+            TeeError::SyscallDenied { syscall, stage } => {
+                write!(f, "syscall {syscall} denied in stage {stage}")
+            }
+            TeeError::FileAccessDenied { path, reason } => {
+                write!(f, "file access to {path} denied: {reason}")
+            }
+            TeeError::ManifestInstallDenied(why) => {
+                write!(f, "second-stage manifest install denied: {why}")
+            }
+            TeeError::KeyInstallDenied(why) => write!(f, "key install denied: {why}"),
+            TeeError::Crypto(e) => write!(f, "crypto failure: {e}"),
+            TeeError::FileNotFound { path } => write!(f, "file not found: {path}"),
+            TeeError::ReplayDetected(why) => write!(f, "replay detected: {why}"),
+            TeeError::Codec(why) => write!(f, "codec failure: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TeeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TeeError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mvtee_crypto::CryptoError> for TeeError {
+    fn from(e: mvtee_crypto::CryptoError) -> Self {
+        TeeError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs: Vec<TeeError> = vec![
+            TeeError::AttestationFailed("bad mac".into()),
+            TeeError::SyscallDenied { syscall: "exec".into(), stage: "main".into() },
+            TeeError::FileAccessDenied { path: "/x".into(), reason: "hash".into() },
+            TeeError::ManifestInstallDenied("twice".into()),
+            TeeError::KeyInstallDenied("stage".into()),
+            TeeError::Crypto(mvtee_crypto::CryptoError::AuthenticationFailed),
+            TeeError::FileNotFound { path: "/y".into() },
+            TeeError::ReplayDetected("nonce".into()),
+            TeeError::Codec("truncated".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

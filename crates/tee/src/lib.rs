@@ -1,0 +1,47 @@
+//! Simulated TEE substrate for the MVTEE reproduction.
+//!
+//! The paper's runtime is built on Gramine-SGX/TDX: enclaves with
+//! hardware-rooted attestation, a library OS enforcing a manifest
+//! (trusted/encrypted files, syscall restrictions), an encrypted
+//! filesystem, and the two-stage manifest extension MVTEE adds (§5.2).
+//! No TEE hardware is available here, so this crate re-implements those
+//! mechanisms as faithful *protocol- and state-machine-level* simulations:
+//!
+//! * [`platform`] — the "hardware": per-platform attestation keys,
+//!   HMAC-signed [`platform::AttestationReport`]s over enclave
+//!   measurements with nonce/report-data binding (the SGX/TDX quote
+//!   analogue),
+//! * [`manifest`] — Gramine-style manifests: trusted-file hashes,
+//!   encrypted-file set, syscall and environment allow-lists,
+//! * [`teeos`] — the library OS: manifest enforcement, the **one-time
+//!   second-stage manifest installation** with one-way `exec()` transition
+//!   and state reset, and the key-protected [`teeos::ProtectedFs`]
+//!   (per-file keys derived from the variant key-derivation key),
+//! * [`enclave`] — enclave identity: code measurement × manifest hash ×
+//!   TEE kind, plus report generation bound to secure-channel transcripts
+//!   (RA-TLS binding).
+//!
+//! Security properties preserved by the simulation (and exercised by the
+//! tests): attestation unforgeability without the platform key, manifest
+//! tamper-evidence, one-time/one-way stage transition, stage-2 key
+//! manipulation lockout, encrypted-file confidentiality and integrity,
+//! nonce freshness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enclave;
+pub mod manifest;
+pub mod platform;
+pub mod teeos;
+
+mod error;
+
+pub use enclave::{compute_measurement, verify_report, CodeIdentity, Enclave, TeeKind};
+pub use error::TeeError;
+pub use manifest::{Manifest, Syscall};
+pub use platform::{AttestationReport, Platform};
+pub use teeos::{ProtectedFs, Stage, TeeOs};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TeeError>;

@@ -1,0 +1,121 @@
+use std::fmt;
+
+/// Errors produced by tensor construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The element count implied by the shape does not match the data length.
+    ShapeDataMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two shapes that were required to match do not.
+    ShapeMismatch {
+        /// Left-hand shape (as dims).
+        left: Vec<usize>,
+        /// Right-hand shape (as dims).
+        right: Vec<usize>,
+    },
+    /// The tensor does not have the required rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// An index was out of bounds for the given dimension.
+    IndexOutOfBounds {
+        /// Offending axis.
+        axis: usize,
+        /// Offending index.
+        index: usize,
+        /// Size of the axis.
+        size: usize,
+    },
+    /// The requested axis does not exist.
+    InvalidAxis {
+        /// Offending axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// A reshape target has a different element count than the source.
+    ReshapeMismatch {
+        /// Source element count.
+        from: usize,
+        /// Target element count.
+        to: usize,
+    },
+    /// Broadcasting two shapes failed.
+    BroadcastError {
+        /// Left-hand shape (as dims).
+        left: Vec<usize>,
+        /// Right-hand shape (as dims).
+        right: Vec<usize>,
+    },
+    /// A dimension of size zero was encountered where it is not allowed.
+    EmptyTensor,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "shape implies {expected} elements but {actual} were supplied"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::IndexOutOfBounds { axis, index, size } => {
+                write!(f, "index {index} out of bounds for axis {axis} of size {size}")
+            }
+            TensorError::InvalidAxis { axis, rank } => {
+                write!(f, "axis {axis} is invalid for tensor of rank {rank}")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from} elements into {to} elements")
+            }
+            TensorError::BroadcastError { left, right } => {
+                write!(f, "cannot broadcast shapes {left:?} and {right:?}")
+            }
+            TensorError::EmptyTensor => write!(f, "tensor must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TensorError::ShapeDataMismatch { expected: 4, actual: 3 },
+            TensorError::ShapeMismatch { left: vec![1], right: vec![2] },
+            TensorError::RankMismatch { expected: 4, actual: 2 },
+            TensorError::IndexOutOfBounds { axis: 0, index: 5, size: 3 },
+            TensorError::InvalidAxis { axis: 7, rank: 2 },
+            TensorError::ReshapeMismatch { from: 6, to: 8 },
+            TensorError::BroadcastError { left: vec![2], right: vec![3] },
+            TensorError::EmptyTensor,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

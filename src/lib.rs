@@ -1,0 +1,15 @@
+//! Facade crate for the MVTEE reproduction workspace.
+//!
+//! Re-exports the public crates so integration tests and examples can use a
+//! single dependency root. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the system inventory.
+
+pub use mvtee;
+pub use mvtee_crypto as crypto;
+pub use mvtee_diversify as diversify;
+pub use mvtee_faults as faults;
+pub use mvtee_graph as graph;
+pub use mvtee_partition as partition;
+pub use mvtee_runtime as runtime;
+pub use mvtee_tee as tee;
+pub use mvtee_tensor as tensor;

@@ -1,0 +1,125 @@
+//! Property-based tests for variant diversification: any sequence of
+//! graph-level transforms, applied with any seed, must preserve model
+//! semantics within floating-point tolerance — the core MVX equivalence
+//! requirement.
+
+use mvtee_diversify::transforms::{apply_all, structural_distance};
+use mvtee_diversify::TransformKind;
+use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+use mvtee_runtime::{Accumulation, BlasKind, ConvStrategy, Engine, EngineConfig, EngineKind};
+use mvtee_tensor::{metrics, Tensor};
+use proptest::prelude::*;
+
+fn transform_strategy() -> impl Strategy<Value = Vec<TransformKind>> {
+    proptest::collection::vec(
+        proptest::sample::select(TransformKind::ALL.to_vec()),
+        1..4,
+    )
+}
+
+fn small_model() -> mvtee_graph::Graph {
+    zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 61).expect("builds").graph
+}
+
+fn test_input() -> Tensor {
+    let n = 3 * 32 * 32;
+    Tensor::from_vec(
+        (0..n).map(|i| ((i % 59) as f32 - 29.0) / 29.0).collect(),
+        &[1, 3, 32, 32],
+    )
+    .expect("static shape")
+}
+
+fn run(graph: &mvtee_graph::Graph, config: EngineConfig, input: &Tensor) -> Tensor {
+    Engine::new(config)
+        .prepare(graph)
+        .expect("prepares")
+        .run(std::slice::from_ref(input))
+        .expect("runs")
+        .remove(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn transform_sequences_preserve_semantics(
+        transforms in transform_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let graph = small_model();
+        let diversified = apply_all(&graph, &transforms, seed).expect("applies");
+        diversified.validate().expect("still valid");
+        let input = test_input();
+        let original = run(&graph, EngineConfig::of_kind(EngineKind::Reference), &input);
+        let variant = run(&diversified, EngineConfig::of_kind(EngineKind::Reference), &input);
+        prop_assert!(
+            metrics::allclose(&original, &variant, 1e-3, 1e-4),
+            "transforms {transforms:?} seed {seed} diverged by {}",
+            metrics::max_abs_diff(&original, &variant)
+        );
+    }
+
+    #[test]
+    fn transformed_graphs_run_on_every_engine_family(
+        transforms in transform_strategy(),
+        seed in any::<u64>(),
+        blas in proptest::sample::select(BlasKind::ALL.to_vec()),
+    ) {
+        let graph = small_model();
+        let diversified = apply_all(&graph, &transforms, seed).expect("applies");
+        let input = test_input();
+        let reference = run(&graph, EngineConfig::of_kind(EngineKind::Reference), &input);
+        for kind in [EngineKind::OrtLike, EngineKind::TvmLike] {
+            let cfg = EngineConfig::of_kind(kind).with_blas(blas);
+            let out = run(&diversified, cfg, &input);
+            prop_assert!(
+                metrics::allclose(&reference, &out, 1e-3, 1e-4),
+                "{kind} x {blas} diverged by {}",
+                metrics::max_abs_diff(&reference, &out)
+            );
+        }
+    }
+
+    #[test]
+    fn engine_axes_preserve_semantics(
+        accumulation in proptest::sample::select(vec![Accumulation::Sequential, Accumulation::Tree]),
+        conv in proptest::sample::select(vec![
+            ConvStrategy::Direct,
+            ConvStrategy::Im2col,
+            ConvStrategy::NhwcDirect,
+        ]),
+        blas in proptest::sample::select(BlasKind::ALL.to_vec()),
+        optimize in any::<bool>(),
+    ) {
+        let graph = small_model();
+        let input = test_input();
+        let reference = run(&graph, EngineConfig::of_kind(EngineKind::Reference), &input);
+        let mut cfg = EngineConfig::of_kind(EngineKind::OrtLike).with_blas(blas);
+        cfg.accumulation = accumulation;
+        cfg.conv_strategy = conv;
+        cfg.optimize = optimize;
+        let out = run(&graph, cfg, &input);
+        prop_assert!(
+            metrics::allclose(&reference, &out, 1e-3, 1e-4),
+            "engine axis combination diverged by {}",
+            metrics::max_abs_diff(&reference, &out)
+        );
+    }
+
+    #[test]
+    fn structural_distance_is_a_semimetric(
+        ta in transform_strategy(),
+        tb in transform_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let graph = small_model();
+        let a = apply_all(&graph, &ta, seed).expect("applies");
+        let b = apply_all(&graph, &tb, seed.wrapping_add(1)).expect("applies");
+        let dab = structural_distance(&a, &b);
+        let dba = structural_distance(&b, &a);
+        prop_assert!((dab - dba).abs() < 1e-12, "symmetry violated");
+        prop_assert!((0.0..=1.0).contains(&dab));
+        prop_assert_eq!(structural_distance(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the convolution kernels: the three lowering
+//! strategies (direct NCHW, im2col+GEMM, direct NHWC) must agree on
+//! random shapes, strides, paddings and group counts — this is the
+//! numeric-equivalence bedrock under variant diversification.
+
+use mvtee_runtime::kernels::{
+    conv2d_direct, conv2d_im2col, conv2d_nhwc_direct, gemm_fc, pool2d, softmax, ConvAttrs,
+};
+use mvtee_runtime::{Accumulation, BlasKind};
+use mvtee_graph::op::PoolKind;
+use mvtee_tensor::{metrics, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Debug, Clone)]
+struct ConvCase {
+    n: usize,
+    c_per_group: usize,
+    groups: usize,
+    oc_per_group: usize,
+    h: usize,
+    w: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+    seed: u64,
+}
+
+fn conv_case() -> impl Strategy<Value = ConvCase> {
+    (
+        1usize..3,     // n
+        1usize..5,     // c_per_group
+        1usize..4,     // groups
+        1usize..5,     // oc_per_group
+        3usize..12,    // h
+        3usize..12,    // w
+        (1usize..4, 1usize..4),
+        (1usize..3, 1usize..3),
+        (0usize..3, 0usize..3),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(n, c_per_group, groups, oc_per_group, h, w, kernel, stride, padding, seed)| {
+                ConvCase { n, c_per_group, groups, oc_per_group, h, w, kernel, stride, padding, seed }
+            },
+        )
+        .prop_filter("window must fit", |c| {
+            c.h + 2 * c.padding.0 >= c.kernel.0 && c.w + 2 * c.padding.1 >= c.kernel.1
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conv_lowerings_agree(case in conv_case()) {
+        let mut rng = StdRng::seed_from_u64(case.seed);
+        let c = case.c_per_group * case.groups;
+        let oc = case.oc_per_group * case.groups;
+        let x = Tensor::random_uniform(&mut rng, &[case.n, c, case.h, case.w], 1.0);
+        let w = Tensor::random_uniform(
+            &mut rng,
+            &[oc, case.c_per_group, case.kernel.0, case.kernel.1],
+            0.5,
+        );
+        let b = Tensor::random_uniform(&mut rng, &[oc], 0.5);
+        let attrs = ConvAttrs {
+            kernel: case.kernel,
+            stride: case.stride,
+            padding: case.padding,
+            groups: case.groups,
+        };
+        let direct = conv2d_direct(&x, &w, Some(&b), &attrs).expect("direct runs");
+        for blas in BlasKind::ALL {
+            let im2col = conv2d_im2col(&x, &w, Some(&b), &attrs, blas.instantiate().as_ref())
+                .expect("im2col runs");
+            prop_assert!(
+                metrics::allclose(&direct, &im2col, 1e-4, 1e-5),
+                "im2col({blas}) diverged by {} on {case:?}",
+                metrics::max_abs_diff(&direct, &im2col)
+            );
+        }
+        let nhwc = conv2d_nhwc_direct(&x.to_nhwc().expect("rank 4"), &w, Some(&b), &attrs)
+            .expect("nhwc runs")
+            .from_nhwc()
+            .expect("rank 4");
+        prop_assert!(
+            metrics::allclose(&direct, &nhwc, 1e-4, 1e-5),
+            "nhwc diverged by {} on {case:?}",
+            metrics::max_abs_diff(&direct, &nhwc)
+        );
+    }
+
+    #[test]
+    fn gemm_backends_agree(
+        m in 1usize..8,
+        n in 1usize..8,
+        k in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::random_uniform(&mut rng, &[m, k], 1.0);
+        let w = Tensor::random_uniform(&mut rng, &[n, k], 1.0);
+        let b = Tensor::random_uniform(&mut rng, &[n], 1.0);
+        let mut outputs = Vec::new();
+        for blas in BlasKind::ALL {
+            outputs.push(
+                gemm_fc(&x, &w, Some(&b), blas.instantiate().as_ref()).expect("gemm runs"),
+            );
+        }
+        for pair in outputs.windows(2) {
+            prop_assert!(metrics::allclose(&pair[0], &pair[1], 1e-4, 1e-5));
+        }
+    }
+
+    #[test]
+    fn pooling_accumulation_orders_agree(
+        h in 2usize..10,
+        w in 2usize..10,
+        k in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(h >= k && w >= k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::random_uniform(&mut rng, &[1, 3, h, w], 10.0);
+        for kind in [PoolKind::Max, PoolKind::Average] {
+            let a = pool2d(&x, kind, (k, k), (1, 1), (0, 0), Accumulation::Sequential)
+                .expect("pools");
+            let b = pool2d(&x, kind, (k, k), (1, 1), (0, 0), Accumulation::Tree)
+                .expect("pools");
+            prop_assert!(metrics::allclose(&a, &b, 1e-5, 1e-6));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(
+        rows in 1usize..5,
+        cols in 1usize..40,
+        scale in 0.1f32..100.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::random_uniform(&mut rng, &[rows, cols], scale);
+        for acc in [Accumulation::Sequential, Accumulation::Tree] {
+            let y = softmax(&x, 1, acc).expect("softmax runs");
+            for row in y.data().chunks(cols) {
+                let sum: f32 = row.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4, "row sum {sum}");
+                prop_assert!(row.iter().all(|v| (0.0..=1.0).contains(v) && v.is_finite()));
+            }
+        }
+    }
+}

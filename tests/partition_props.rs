@@ -1,0 +1,163 @@
+//! Property-based tests for the partitioner: on randomly generated DAGs
+//! and random targets, every produced partition set must cover the graph
+//! exactly, keep the quotient acyclic, and execute identically to the
+//! unpartitioned model.
+
+use mvtee_graph::op::ActivationKind;
+use mvtee_graph::{Graph, GraphBuilder, ValueId};
+use mvtee_partition::{slice_by_boundaries, PartitionSet, Partitioner};
+use mvtee_runtime::{Engine, EngineConfig, EngineKind};
+use mvtee_tensor::{metrics, Tensor};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Builds a random branchy CNN-ish DAG from a compact genome: a sequence
+/// of layer choices plus skip connections.
+fn random_model(genome: &[u8]) -> Graph {
+    let mut b = GraphBuilder::new("prop", 7);
+    let x = b.input(&[1, 4, 8, 8]);
+    let mut frontier: Vec<ValueId> = vec![x];
+    for (i, &gene) in genome.iter().enumerate() {
+        let src = frontier[gene as usize % frontier.len()];
+        let out = match gene % 5 {
+            0 => b.conv(src, 4, (3, 3), (1, 1), (1, 1), 1).expect("conv"),
+            1 => b.activation(src, ActivationKind::Relu).expect("act"),
+            2 => b.batch_norm(src).expect("bn"),
+            3 => {
+                let other = frontier[(gene as usize / 2) % frontier.len()];
+                // Element-wise ops need matching channel counts; conv both
+                // to 4 channels first if needed (the builder keeps channels
+                // at 4 throughout this generator).
+                b.add(src, other).expect("add")
+            }
+            _ => b.activation(src, ActivationKind::Sigmoid).expect("act"),
+        };
+        frontier.push(out);
+        if i % 3 == 0 && frontier.len() > 4 {
+            frontier.remove(0);
+        }
+    }
+    // Join all frontier leaves that are dangling into a final output chain
+    // so the graph has exactly one output.
+    let mut out = *frontier.last().expect("nonempty");
+    // Consume every unconsumed value to keep the DAG connected.
+    let consumers = {
+        let g_outputs: Vec<ValueId> = frontier.clone();
+        g_outputs
+    };
+    for v in consumers {
+        if v != out {
+            out = b.add(out, v).expect("join");
+        }
+    }
+    let g = b.global_avg_pool(out).expect("gap");
+    b.finish(vec![g]).expect("valid graph")
+}
+
+fn run_graph(graph: &Graph, input: &Tensor) -> Tensor {
+    Engine::new(EngineConfig::of_kind(EngineKind::Reference))
+        .prepare(graph)
+        .expect("prepares")
+        .run(std::slice::from_ref(input))
+        .expect("runs")
+        .remove(0)
+}
+
+/// Executes the partitioned model stage by stage and compares with the
+/// whole-graph execution.
+fn chained_execution_matches(graph: &Graph, set: &PartitionSet, input: &Tensor) {
+    let subgraphs = set.extract_subgraphs(graph).expect("extracts");
+    let engine = Engine::new(EngineConfig::of_kind(EngineKind::Reference));
+    let mut env: HashMap<ValueId, Tensor> = HashMap::new();
+    env.insert(graph.inputs()[0], input.clone());
+    for (plan, sub) in set.stages.iter().zip(subgraphs.iter()) {
+        let inputs: Vec<Tensor> = plan.inputs.iter().map(|v| env[v].clone()).collect();
+        let outputs = engine
+            .prepare(sub)
+            .expect("stage prepares")
+            .run(&inputs)
+            .expect("stage runs");
+        for (v, t) in plan.outputs.iter().zip(outputs) {
+            env.insert(*v, t);
+        }
+    }
+    let chained = &env[&graph.outputs()[0]];
+    let whole = run_graph(graph, input);
+    prop_assert_is_close(&whole, chained);
+}
+
+fn prop_assert_is_close(a: &Tensor, b: &Tensor) {
+    assert!(
+        metrics::allclose(a, b, 1e-4, 1e-5),
+        "chained execution diverged: {}",
+        metrics::max_abs_diff(a, b)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_contraction_is_always_valid(
+        genome in proptest::collection::vec(any::<u8>(), 6..24),
+        target in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let graph = random_model(&genome);
+        prop_assume!(graph.node_count() >= target);
+        let set = Partitioner::new(target).partition(&graph, seed).expect("partitions");
+        prop_assert_eq!(set.len(), target);
+        set.verify(&graph).expect("verifies");
+        // Stage plans must reference only real nodes, exactly once.
+        let total: usize = set.stages.iter().map(|s| s.nodes.len()).sum();
+        prop_assert_eq!(total, graph.node_count());
+    }
+
+    #[test]
+    fn partitioned_execution_equals_whole_execution(
+        genome in proptest::collection::vec(any::<u8>(), 6..20),
+        target in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let graph = random_model(&genome);
+        prop_assume!(graph.node_count() >= target);
+        let set = Partitioner::new(target).partition(&graph, seed).expect("partitions");
+        let input = Tensor::from_vec(
+            (0..256).map(|i| ((i % 13) as f32 - 6.0) / 6.0).collect(),
+            &[1, 4, 8, 8],
+        ).expect("static shape");
+        chained_execution_matches(&graph, &set, &input);
+    }
+
+    #[test]
+    fn manual_slicing_equals_whole_execution(
+        genome in proptest::collection::vec(any::<u8>(), 8..20),
+        cut_fraction in 0.2f64..0.8,
+    ) {
+        let graph = random_model(&genome);
+        let n = graph.node_count();
+        let cut = ((n as f64 * cut_fraction) as usize).clamp(1, n - 1);
+        let set = slice_by_boundaries(&graph, &[cut]).expect("slices");
+        let input = Tensor::from_vec(
+            (0..256).map(|i| ((i % 17) as f32 - 8.0) / 8.0).collect(),
+            &[1, 4, 8, 8],
+        ).expect("static shape");
+        chained_execution_matches(&graph, &set, &input);
+    }
+
+    #[test]
+    fn boundary_shapes_are_known_after_inference(
+        genome in proptest::collection::vec(any::<u8>(), 6..16),
+        seed in any::<u64>(),
+    ) {
+        let graph = random_model(&genome);
+        prop_assume!(graph.node_count() >= 3);
+        let set = Partitioner::new(3).partition(&graph, seed).expect("partitions");
+        for stage in &set.stages {
+            for v in stage.outputs.iter().chain(stage.inputs.iter()) {
+                let info = graph.value(*v).expect("value exists");
+                prop_assert!(info.shape.is_some(), "boundary {v} lacks a shape");
+            }
+        }
+    }
+}

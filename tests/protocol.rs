@@ -1,0 +1,183 @@
+//! Protocol-level integration tests: the two-stage bootstrap state
+//! machine, attested channels, sealed-storage properties, and codec
+//! round-trips across the crates' boundaries.
+
+use mvtee_crypto::channel::{memory_pair, Role, SecureChannel};
+use mvtee_crypto::gcm::AesGcm;
+use mvtee_crypto::sha256::sha256;
+use mvtee_tee::{CodeIdentity, Enclave, Manifest, Platform, Stage, Syscall, TeeKind};
+use proptest::prelude::*;
+
+/// Full init-variant lifecycle against the TEE substrate, as the variant
+/// host drives it.
+#[test]
+fn two_stage_bootstrap_lifecycle() {
+    let platform = Platform::new();
+    let mut init_manifest = Manifest::init_variant("init");
+    init_manifest.encrypt_file("/enc/bundle");
+    let mut enclave = Enclave::launch(
+        TeeKind::Sgx,
+        CodeIdentity::from_content("init", "1.0", b"init code"),
+        init_manifest,
+        platform.clone(),
+    );
+    let init_measurement = enclave.measurement();
+    assert_eq!(enclave.os_ref().stage(), Stage::Init);
+
+    // Key release and sealed payload.
+    let kdk = [3u8; 32];
+    enclave.os().install_key(kdk).unwrap();
+    enclave.os().write_encrypted("/enc/bundle", b"the variant payload").unwrap();
+
+    // Second-stage manifest, one-time install, exec.
+    let mut second = Manifest::main_variant("main");
+    second.encrypt_file("/enc/bundle");
+    enclave.os().install_second_stage(second.clone()).unwrap();
+    enclave.os().exec().unwrap();
+    assert_eq!(enclave.os_ref().stage(), Stage::Main);
+
+    // Post-exec invariants: measurement changed, exec and installs locked,
+    // key manipulation prohibited, payload still readable.
+    assert_ne!(enclave.measurement(), init_measurement);
+    assert!(enclave.os().exec().is_err());
+    assert!(enclave.os().install_second_stage(Manifest::main_variant("x")).is_err());
+    assert!(enclave.os().install_key([9u8; 32]).is_err());
+    assert_eq!(enclave.os().read_encrypted("/enc/bundle").unwrap(), b"the variant payload");
+
+    // The report now attests the second-stage manifest.
+    let report = enclave.report(b"data");
+    assert_eq!(report.manifest_hash, second.hash());
+    mvtee_tee::verify_report(&platform, &report, Some(enclave.measurement()), b"data").unwrap();
+}
+
+#[test]
+fn syscall_surface_shrinks_after_exec() {
+    let mut init_manifest = Manifest::init_variant("init");
+    init_manifest.encrypt_file("/enc/b");
+    let mut os = mvtee_tee::TeeOs::new(init_manifest);
+    assert!(os.syscall(Syscall::Open).is_ok());
+    os.install_second_stage(Manifest::main_variant("main")).unwrap();
+    os.exec().unwrap();
+    // The main-variant manifest drops open/exec/ioctl.
+    assert!(os.syscall(Syscall::Open).is_err());
+    assert!(os.syscall(Syscall::Ioctl).is_err());
+    assert!(os.syscall(Syscall::Read).is_ok());
+    assert!(os.syscall(Syscall::Connect).is_ok());
+}
+
+#[test]
+fn attested_channel_binding_detects_mitm() {
+    // A MITM replacing DH keys changes the transcript; the report binding
+    // no longer matches what the verifier expects.
+    let platform = Platform::new();
+    let enclave = Enclave::launch(
+        TeeKind::Sgx,
+        CodeIdentity::from_content("v", "1", b"code"),
+        Manifest::init_variant("init"),
+        platform.clone(),
+    );
+    let nonce = b"monitor-nonce";
+    let genuine_transcript = sha256(b"monitor-pk||variant-pk");
+    let report = enclave.report_for_channel(nonce, &genuine_transcript);
+
+    let mut expected = Vec::new();
+    expected.extend_from_slice(&sha256(nonce));
+    expected.extend_from_slice(&genuine_transcript);
+    mvtee_tee::verify_report(&platform, &report, Some(enclave.measurement()), &expected).unwrap();
+
+    // MITM substitutes its own key: different transcript, same report.
+    let mitm_transcript = sha256(b"monitor-pk||mitm-pk");
+    let mut mitm_expected = Vec::new();
+    mitm_expected.extend_from_slice(&sha256(nonce));
+    mitm_expected.extend_from_slice(&mitm_transcript);
+    assert!(mvtee_tee::verify_report(
+        &platform,
+        &report,
+        Some(enclave.measurement()),
+        &mitm_expected
+    )
+    .is_err());
+}
+
+#[test]
+fn secure_channels_full_duplex_under_load() {
+    let (a, b) = memory_pair();
+    let handle =
+        std::thread::spawn(move || SecureChannel::establish(Role::Responder, b, 3).unwrap());
+    let mut ca = SecureChannel::establish(Role::Initiator, a, 3).unwrap();
+    let mut cb = handle.join().unwrap();
+    let payload: Vec<u8> = (0..10_000).map(|i| i as u8).collect();
+    for i in 0..50u32 {
+        let mut msg = payload.clone();
+        msg[0] = i as u8;
+        ca.send(&msg).unwrap();
+        let got = cb.recv().unwrap();
+        assert_eq!(got[0], i as u8);
+        cb.send(&got).unwrap();
+        assert_eq!(ca.recv().unwrap()[0], i as u8);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gcm_round_trips_arbitrary_payloads(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let cipher = AesGcm::new_256(&key);
+        let sealed = cipher.seal(&nonce, &payload, &aad);
+        prop_assert_eq!(cipher.open(&nonce, &sealed, &aad).unwrap(), payload);
+    }
+
+    #[test]
+    fn gcm_rejects_any_single_bit_flip(
+        key in proptest::array::uniform32(any::<u8>()),
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        flip_byte in any::<proptest::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let cipher = AesGcm::new_256(&key);
+        let nonce = [0u8; 12];
+        let mut sealed = cipher.seal(&nonce, &payload, b"aad");
+        let idx = flip_byte.index(sealed.len());
+        sealed[idx] ^= 1 << flip_bit;
+        prop_assert!(cipher.open(&nonce, &sealed, b"aad").is_err());
+    }
+
+    #[test]
+    fn codec_round_trips_protocol_messages(
+        batch in any::<u64>(),
+        dims in proptest::collection::vec(1usize..5, 1..4),
+        seedval in any::<u32>(),
+    ) {
+        use mvtee::messages::{decode, encode, StageRequest};
+        let n: usize = dims.iter().product();
+        let tensor = mvtee_tensor::Tensor::from_vec(
+            (0..n).map(|i| (i as f32) * 0.5 + seedval as f32).collect(),
+            &dims,
+        ).expect("consistent");
+        let msg = StageRequest::Input { batch, tensors: vec![tensor] };
+        let bytes = encode(&msg).expect("encodes");
+        prop_assert_eq!(decode::<StageRequest>(&bytes).expect("decodes"), msg);
+    }
+
+    #[test]
+    fn protected_fs_round_trips_and_rejects_cross_paths(
+        kdk in proptest::array::uniform32(any::<u8>()),
+        content in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut fs = mvtee_tee::ProtectedFs::new();
+        fs.write(&kdk, "/enc/a", &content);
+        prop_assert_eq!(fs.read(&kdk, "/enc/a").unwrap(), content);
+        // Serving a blob under a different path must fail (path is AAD and
+        // key-derivation input).
+        let (salt, blob) = fs.export("/enc/a").unwrap();
+        let mut other = mvtee_tee::ProtectedFs::new();
+        other.import("/enc/b", salt, blob);
+        prop_assert!(other.read(&kdk, "/enc/b").is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the tensor substrate: serialization, layout
+//! round-trips, broadcasting algebra and the consistency metrics the
+//! monitor relies on.
+
+use mvtee_tensor::{metrics, Tensor};
+use proptest::prelude::*;
+
+fn arb_dims() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..6, 0..4)
+}
+
+fn arb_tensor() -> impl Strategy<Value = Tensor> {
+    arb_dims().prop_flat_map(|dims| {
+        let n: usize = dims.iter().product();
+        proptest::collection::vec(-100.0f32..100.0, n..=n)
+            .prop_map(move |data| Tensor::from_vec(data, &dims).expect("consistent"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bytes_round_trip(t in arb_tensor()) {
+        let back = Tensor::from_bytes(&t.to_bytes()).expect("round-trips");
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn bytes_truncation_always_errors(t in arb_tensor(), cut in any::<proptest::sample::Index>()) {
+        let bytes = t.to_bytes();
+        let cut = cut.index(bytes.len().max(1));
+        if cut < bytes.len() {
+            prop_assert!(Tensor::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn nhwc_round_trip(
+        n in 1usize..3, c in 1usize..5, h in 1usize..5, w in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = Tensor::random_uniform(&mut rng, &[n, c, h, w], 10.0);
+        let back = t.to_nhwc().expect("rank 4").from_nhwc().expect("rank 4");
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn broadcast_add_commutes(a in arb_tensor(), b in arb_tensor()) {
+        let ab = a.broadcast_with(&b, |x, y| x + y);
+        let ba = b.broadcast_with(&a, |x, y| x + y);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {} // incompatible both ways — consistent
+            (x, y) => prop_assert!(false, "asymmetric broadcast: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_are_reflexive_and_symmetric(a in arb_tensor(), b in arb_tensor()) {
+        // Reflexivity on finite tensors.
+        prop_assert!(metrics::allclose(&a, &a, 0.0, 0.0));
+        prop_assert_eq!(metrics::max_abs_diff(&a, &a), 0.0);
+        // Symmetry of the symmetric metrics.
+        prop_assert_eq!(metrics::max_abs_diff(&a, &b), metrics::max_abs_diff(&b, &a));
+        let mab = metrics::mse(&a, &b);
+        let mba = metrics::mse(&b, &a);
+        prop_assert!((mab - mba).abs() <= 1e-6 * (1.0 + mab.abs()));
+    }
+
+    #[test]
+    fn cosine_bounded(a in arb_tensor(), b in arb_tensor()) {
+        let c = metrics::cosine_similarity(&a, &b);
+        prop_assert!((-1.0001..=1.0001).contains(&c), "cosine {c}");
+        prop_assert!(!c.is_nan());
+    }
+
+    #[test]
+    fn allclose_respects_perturbation_scale(
+        t in arb_tensor(),
+        eps in 1e-8f32..1e-6,
+    ) {
+        prop_assume!(!t.is_empty());
+        let perturbed = t.map(|v| v + eps * (1.0 + v.abs()));
+        // A sub-tolerance perturbation passes the relaxed metric...
+        prop_assert!(metrics::allclose(&t, &perturbed, 1e-3, 1e-4));
+        // ...and a gross corruption never does.
+        let corrupted = t.map(|v| v + 10.0);
+        prop_assert!(!metrics::allclose(&t, &corrupted, 1e-3, 1e-4));
+    }
+}

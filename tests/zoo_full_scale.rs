@@ -1,0 +1,66 @@
+//! Full-scale zoo sanity: the paper-sized model variants must build,
+//! validate, and land in the right parameter-count ballpark.
+//!
+//! (Execution at full scale is deliberately not tested here — a 224×224
+//! EfficientNet-b7 inference takes minutes on the naive kernels; the
+//! experiments use the channel-scaled profiles.)
+
+use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+
+#[test]
+fn resnet50_full_scale_matches_reference_parameter_ballpark() {
+    let m = zoo::build(ModelKind::ResNet50, ScaleProfile::Full, 1).expect("builds");
+    m.graph.validate().expect("valid");
+    assert_eq!(m.input_shape.dims(), &[1, 3, 224, 224]);
+    // torchvision's ResNet-50 has ~25.6 M parameters. Ours adds separate
+    // conv biases (folded into BN in the original), so allow a band.
+    let params = m.graph.parameter_count();
+    assert!(
+        (20_000_000..32_000_000).contains(&params),
+        "ResNet-50 full-scale params {params}"
+    );
+}
+
+#[test]
+fn mobilenet_v3_full_scale_parameter_ballpark() {
+    let m = zoo::build(ModelKind::MobileNetV3, ScaleProfile::Full, 1).expect("builds");
+    m.graph.validate().expect("valid");
+    // MobileNetV3-Large reference: ~5.4 M parameters.
+    let params = m.graph.parameter_count();
+    assert!(
+        (3_500_000..9_000_000).contains(&params),
+        "MobileNet V3 full-scale params {params}"
+    );
+}
+
+#[test]
+fn full_scale_shapes_survive_inference_metadata() {
+    // Shape inference must succeed at 224×224 for every architecture —
+    // catches padding/stride mistakes that only appear at full resolution.
+    for kind in [
+        ModelKind::GoogleNet,
+        ModelKind::MnasNet,
+        ModelKind::ResNet152,
+        ModelKind::InceptionV3,
+        ModelKind::EfficientNetB7,
+    ] {
+        let m = zoo::build(kind, ScaleProfile::Full, 1)
+            .unwrap_or_else(|e| panic!("{kind} failed to build at full scale: {e}"));
+        let out = m.graph.outputs()[0];
+        let shape = m.graph.value(out).expect("output value").shape.clone();
+        assert_eq!(
+            shape.expect("inferred").dims(),
+            &[1, 1000],
+            "{kind} classifier head shape"
+        );
+    }
+}
+
+#[test]
+fn depth_scaling_is_visible_in_parameters() {
+    let r50 = zoo::build(ModelKind::ResNet50, ScaleProfile::Full, 1).unwrap();
+    let r152 = zoo::build(ModelKind::ResNet152, ScaleProfile::Full, 1).unwrap();
+    // ResNet-152 (~60 M) has roughly 2–3× the parameters of ResNet-50.
+    let ratio = r152.graph.parameter_count() as f64 / r50.graph.parameter_count() as f64;
+    assert!((1.8..3.2).contains(&ratio), "152/50 parameter ratio {ratio:.2}");
+}
