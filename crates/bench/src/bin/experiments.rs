@@ -11,7 +11,7 @@
 
 use mvtee_bench::experiments::{
     ablation_metric, ablation_weight_fn, fig10, fig11, fig12, fig13, fig14, fig9,
-    security_faults, table1, Settings,
+    security_faults, table1, telemetry_report, Settings,
 };
 use mvtee_bench::table::Table;
 
@@ -96,4 +96,6 @@ fn main() {
             println!("{}", t.render());
         }
     }
+    // What the instrumented pipeline recorded while the experiments ran.
+    println!("{}", telemetry_report());
 }

@@ -617,6 +617,14 @@ pub fn ablation_metric(s: &Settings) -> Table {
     t
 }
 
+/// Renders everything the instrumented crates recorded into the global
+/// telemetry registry while the experiments ran: per-partition checkpoint
+/// latency quantiles, voting path counts, divergence/crash counters and
+/// crypto channel byte totals.
+pub fn telemetry_report() -> String {
+    mvtee_telemetry::snapshot().render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

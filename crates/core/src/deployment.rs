@@ -647,6 +647,8 @@ impl Deployment {
                 };
                 self.variant_threads.push(spawn_variant(launch));
 
+                let bootstrap_timer =
+                    mvtee_telemetry::histogram("core.deployment.bootstrap_ns").start();
                 let session_secret = self.bootstrap_variant(
                     p,
                     v,
@@ -654,6 +656,7 @@ impl Deployment {
                     tee_kind,
                     &boot_monitor,
                 )?;
+                bootstrap_timer.finish();
                 let tx = DataLink::from_transport(
                     req_monitor,
                     self.config.encrypt,

@@ -98,6 +98,22 @@ impl fmt::Display for MonitorEvent {
     }
 }
 
+/// One log entry: an event plus the wall-clock offset (seconds since the
+/// monitor's epoch) at which it was recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Seconds elapsed since [`EventLog::new`] when the event fired.
+    pub elapsed_secs: f64,
+    /// The event itself.
+    pub event: MonitorEvent,
+}
+
+impl fmt::Display for TimedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[+{:>9.3}s] {}", self.elapsed_secs, self.event)
+    }
+}
+
 /// Thread-safe, append-only event log shared between the monitor's stage
 /// coordinators.
 #[derive(Debug, Clone, Default)]
@@ -112,8 +128,22 @@ impl EventLog {
         EventLog { inner: Arc::new(Mutex::new(Vec::new())), start: Some(Instant::now()) }
     }
 
-    /// Appends an event.
+    /// Appends an event, stamped with the offset from the log's epoch.
+    /// Divergence-class events are mirrored onto the global telemetry
+    /// counters (`core.events.{divergence,crash,late_dissent}`).
     pub fn record(&self, event: MonitorEvent) {
+        match &event {
+            MonitorEvent::DivergenceDetected { .. } => {
+                mvtee_telemetry::counter("core.events.divergence").inc();
+            }
+            MonitorEvent::VariantCrashed { .. } => {
+                mvtee_telemetry::counter("core.events.crash").inc();
+            }
+            MonitorEvent::LateDissent { .. } => {
+                mvtee_telemetry::counter("core.events.late_dissent").inc();
+            }
+            _ => {}
+        }
         let t = self.start.map(|s| s.elapsed().as_secs_f64()).unwrap_or(0.0);
         self.inner.lock().push((t, event));
     }
@@ -121,6 +151,20 @@ impl EventLog {
     /// Snapshot of all events (timestamp seconds, event).
     pub fn snapshot(&self) -> Vec<(f64, MonitorEvent)> {
         self.inner.lock().clone()
+    }
+
+    /// All entries as [`TimedEvent`]s, in recording order.
+    pub fn entries(&self) -> Vec<TimedEvent> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(t, e)| TimedEvent { elapsed_secs: *t, event: e.clone() })
+            .collect()
+    }
+
+    /// Renders the log as one `[+N.NNNs] message` line per entry.
+    pub fn render(&self) -> String {
+        self.entries().iter().map(|e| format!("{e}\n")).collect()
     }
 
     /// All events without timestamps.
@@ -222,5 +266,55 @@ mod tests {
         log.record(MonitorEvent::ResponseTaken { partition: 0, action: "b".into() });
         let snap = log.snapshot();
         assert!(snap[0].0 <= snap[1].0);
+    }
+
+    #[test]
+    fn entries_carry_wall_clock_offsets() {
+        let log = EventLog::new();
+        log.record(MonitorEvent::ResponseTaken { partition: 3, action: "halt".into() });
+        let entries = log.entries();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].elapsed_secs >= 0.0);
+        let line = entries[0].to_string();
+        assert!(line.starts_with("[+"), "missing timestamp prefix: {line}");
+        assert!(line.contains("s] response at partition 3: halt"), "bad line: {line}");
+    }
+
+    #[test]
+    fn render_emits_one_line_per_event() {
+        let log = EventLog::new();
+        log.record(MonitorEvent::ResponseTaken { partition: 0, action: "a".into() });
+        log.record(MonitorEvent::BindingUpdated { partition: 1, description: "d".into() });
+        let rendered = log.render();
+        assert_eq!(rendered.lines().count(), 2);
+        assert!(rendered.lines().all(|l| l.starts_with("[+")));
+    }
+
+    #[test]
+    fn detections_mirror_to_telemetry_counters() {
+        let before = mvtee_telemetry::snapshot();
+        let log = EventLog::new();
+        log.record(MonitorEvent::DivergenceDetected {
+            partition: 0,
+            batch: 0,
+            dissenting: vec![1],
+            detail: "d".into(),
+        });
+        log.record(MonitorEvent::VariantCrashed {
+            partition: 0,
+            variant: 1,
+            batch: 0,
+            reason: "r".into(),
+        });
+        log.record(MonitorEvent::LateDissent { partition: 0, batch: 0, variant: 1 });
+        log.record(MonitorEvent::ResponseTaken { partition: 0, action: "halt".into() });
+        let after = mvtee_telemetry::snapshot();
+        let delta = |name: &str| {
+            after.counters.get(name).copied().unwrap_or(0)
+                - before.counters.get(name).copied().unwrap_or(0)
+        };
+        assert_eq!(delta("core.events.divergence"), 1);
+        assert_eq!(delta("core.events.crash"), 1);
+        assert_eq!(delta("core.events.late_dissent"), 1);
     }
 }

@@ -13,8 +13,9 @@ use crate::Result;
 
 /// One endpoint of a protected (or deliberately unprotected) link.
 pub enum DataLink {
-    /// AES-GCM-256 with sequence numbers.
-    Encrypted(SecureChannel<MemoryTransport>),
+    /// AES-GCM-256 with sequence numbers. Boxed: the cipher state (round
+    /// keys + GHASH tables) dwarfs the plaintext variant.
+    Encrypted(Box<SecureChannel<MemoryTransport>>),
     /// Plaintext frames (overhead-measurement baseline only).
     Plain(MemoryTransport),
 }
@@ -65,7 +66,7 @@ impl DataLink {
         channel_id: u32,
     ) -> Self {
         let hs = Handshake::from_pre_shared(secret, role);
-        DataLink::Encrypted(SecureChannel::new(transport, &hs, channel_id))
+        DataLink::Encrypted(Box::new(SecureChannel::new(transport, &hs, channel_id)))
     }
 
     /// Builds a plaintext link (Fig 10 no-encryption baseline only).
@@ -100,8 +101,8 @@ pub fn link_pair(encrypt: bool, session_secret: &[u8], channel_id: u32) -> (Data
         let hs_a = Handshake::from_pre_shared(session_secret, Role::Initiator);
         let hs_b = Handshake::from_pre_shared(session_secret, Role::Responder);
         (
-            DataLink::Encrypted(SecureChannel::new(a, &hs_a, channel_id)),
-            DataLink::Encrypted(SecureChannel::new(b, &hs_b, channel_id)),
+            DataLink::Encrypted(Box::new(SecureChannel::new(a, &hs_a, channel_id))),
+            DataLink::Encrypted(Box::new(SecureChannel::new(b, &hs_b, channel_id))),
         )
     } else {
         (DataLink::Plain(a), DataLink::Plain(b))

@@ -148,11 +148,21 @@ pub fn run_stage(
     let mut outstanding: HashMap<u64, Outstanding> = HashMap::new();
     let mut pending_reaction: Option<String> = None;
 
+    // Telemetry handles fetched once; recording is lock-free after this.
+    let checkpoint_latency = mvtee_telemetry::histogram(&format!(
+        "core.pipeline.p{partition}.checkpoint_latency_ns"
+    ));
+    let queue_depth =
+        mvtee_telemetry::gauge(&format!("core.pipeline.p{partition}.queue_depth"));
+    let fast_path = mvtee_telemetry::counter("core.voting.fast_path");
+    let slow_path = mvtee_telemetry::counter("core.voting.slow_path");
+
     'jobs: while let Ok(msg) = in_rx.recv() {
         let mut job = match msg {
             CoordMsg::Stop => break,
             CoordMsg::Job(job) => job,
         };
+        queue_depth.set(in_rx.len() as i64);
         if job.poisoned.is_some() {
             let _ = out_tx.send(job);
             continue;
@@ -183,11 +193,14 @@ pub fn run_stage(
             }
         }
 
-        // Dispatch to all live variants.
+        // Dispatch to all live variants. The checkpoint latency covers
+        // dispatch through selection (the paper's per-partition cost).
+        let checkpoint_timer = checkpoint_latency.start();
         let request = StageRequest::Input { batch: job.batch, tensors };
         let frame = match encode(&request) {
             Ok(f) => f,
             Err(e) => {
+                checkpoint_timer.cancel();
                 job.poisoned = Some(e.to_string());
                 let _ = out_tx.send(job);
                 continue;
@@ -209,6 +222,7 @@ pub fn run_stage(
         }
         let live: Vec<usize> = (0..dead.len()).filter(|&i| !dead[i]).collect();
         if live.is_empty() {
+            checkpoint_timer.cancel();
             job.poisoned = Some("all variants dead".into());
             events.record(MonitorEvent::ResponseTaken {
                 partition,
@@ -299,6 +313,7 @@ pub fn run_stage(
                                 ),
                             });
                         }
+                        slow_path.inc();
                         selected = Some(q);
                         break;
                     }
@@ -311,6 +326,7 @@ pub fn run_stage(
                 if !runtime.slow && outputs.len() == 1 {
                     // Fast path: fall through without evaluation (crashes
                     // still surface).
+                    fast_path.inc();
                     match &outputs[0] {
                         VariantOutput::Ok(t) => {
                             selected = Some(t.clone());
@@ -330,6 +346,7 @@ pub fn run_stage(
                 if !runtime.slow {
                     // Forced fast path with multiple variants: take the
                     // first healthy output, no checks.
+                    fast_path.inc();
                     selected = outputs.iter().find_map(|o| match o {
                         VariantOutput::Ok(t) => Some(t.clone()),
                         _ => None,
@@ -337,6 +354,7 @@ pub fn run_stage(
                     break;
                 }
                 // Slow path: full evaluation + voting.
+                slow_path.inc();
                 for (pos, o) in outputs.iter().enumerate() {
                     if let VariantOutput::Crashed(reason) = o {
                         let v = live[pos];
@@ -460,12 +478,14 @@ pub fn run_stage(
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
+                    checkpoint_timer.cancel();
                     job.poisoned = Some("response plane disconnected".into());
                     let _ = out_tx.send(job);
                     continue 'jobs;
                 }
             }
         }
+        checkpoint_timer.finish();
 
         match selected {
             Some(outputs) if outputs.len() == runtime.outputs.len() => {

@@ -236,6 +236,7 @@ fn variant_main(launch: VariantLaunch) -> Result<()> {
         1,
     );
     // (recv errors mean the monitor is gone: stop serving.)
+    let batches_served = mvtee_telemetry::counter("core.variant_host.batches_served");
     loop {
         // Every data-plane read/write passes the TEE OS syscall policy —
         // a main-variant manifest that forbids reads would stop serving.
@@ -246,6 +247,7 @@ fn variant_main(launch: VariantLaunch) -> Result<()> {
             StageRequest::Input { batch, tensors } => {
                 match prepared.run(&tensors) {
                     Ok(outputs) => {
+                        batches_served.inc();
                         enclave.os().syscall(Syscall::Write)?;
                         let resp = StageResponse::Output { batch, tensors: outputs };
                         if tx.send(&encode(&resp)?).is_err() {

@@ -97,6 +97,17 @@ impl Handshake {
     /// Returns [`CryptoError::HandshakeFailed`] on malformed peer messages
     /// or transport failure.
     pub fn run<T: FrameTransport>(role: Role, transport: &T) -> Result<Handshake> {
+        let timer = mvtee_telemetry::histogram("crypto.channel.handshake_ns").start();
+        let result = Self::run_inner(role, transport);
+        if result.is_ok() {
+            timer.finish();
+        } else {
+            timer.cancel();
+        }
+        result
+    }
+
+    fn run_inner<T: FrameTransport>(role: Role, transport: &T) -> Result<Handshake> {
         let keypair = EphemeralKeypair::generate();
         transport
             .send_frame(keypair.public.to_vec())
@@ -165,6 +176,27 @@ pub struct SecureChannel<T> {
     /// Running count of payload bytes sent (for overhead accounting in the
     /// Fig 10 experiments).
     pub bytes_sent: u64,
+    telemetry: ChannelTelemetry,
+}
+
+/// Global telemetry handles shared by every secure channel, fetched once
+/// per channel so the send/recv paths record lock-free.
+struct ChannelTelemetry {
+    bytes_out: mvtee_telemetry::Counter,
+    bytes_in: mvtee_telemetry::Counter,
+    seal_ns: mvtee_telemetry::Histogram,
+    open_ns: mvtee_telemetry::Histogram,
+}
+
+impl ChannelTelemetry {
+    fn new() -> Self {
+        ChannelTelemetry {
+            bytes_out: mvtee_telemetry::counter("crypto.channel.bytes_out"),
+            bytes_in: mvtee_telemetry::counter("crypto.channel.bytes_in"),
+            seal_ns: mvtee_telemetry::histogram("crypto.channel.seal_ns"),
+            open_ns: mvtee_telemetry::histogram("crypto.channel.open_ns"),
+        }
+    }
 }
 
 impl<T: std::fmt::Debug> std::fmt::Debug for SecureChannel<T> {
@@ -188,6 +220,7 @@ impl<T: FrameTransport> SecureChannel<T> {
             recv_seq: 0,
             channel_id,
             bytes_sent: 0,
+            telemetry: ChannelTelemetry::new(),
         }
     }
 
@@ -213,11 +246,14 @@ impl<T: FrameTransport> SecureChannel<T> {
         let mut aad = [0u8; 12];
         aad[..4].copy_from_slice(&self.channel_id.to_be_bytes());
         aad[4..].copy_from_slice(&seq.to_be_bytes());
+        let seal_timer = self.telemetry.seal_ns.start();
         let sealed = self.send_cipher.seal(&nonce, payload, &aad);
+        seal_timer.finish();
         let mut frame = Vec::with_capacity(8 + sealed.len());
         frame.extend_from_slice(&seq.to_be_bytes());
         frame.extend_from_slice(&sealed);
         self.bytes_sent += payload.len() as u64;
+        self.telemetry.bytes_out.add(payload.len() as u64);
         self.transport.send_frame(frame)
     }
 
@@ -241,9 +277,20 @@ impl<T: FrameTransport> SecureChannel<T> {
         let mut aad = [0u8; 12];
         aad[..4].copy_from_slice(&self.channel_id.to_be_bytes());
         aad[4..].copy_from_slice(&seq.to_be_bytes());
-        let payload = self.recv_cipher.open(&nonce, &frame[8..], &aad)?;
-        self.recv_seq += 1;
-        Ok(payload)
+        let open_timer = self.telemetry.open_ns.start();
+        let opened = self.recv_cipher.open(&nonce, &frame[8..], &aad);
+        match opened {
+            Ok(payload) => {
+                open_timer.finish();
+                self.recv_seq += 1;
+                self.telemetry.bytes_in.add(payload.len() as u64);
+                Ok(payload)
+            }
+            Err(e) => {
+                open_timer.cancel();
+                Err(e)
+            }
+        }
     }
 
     /// The transcript-independent channel id.

@@ -205,12 +205,20 @@ impl Engine {
         for &o in compiled.outputs() {
             use_counts[o.0] += 1;
         }
+        // Per-family telemetry handles, fetched once at prepare time so the
+        // dispatch loop records without name lookups.
+        let op_latency =
+            mvtee_telemetry::histogram(&format!("runtime.{}.op_ns", self.config.kind));
+        let gemm_calls =
+            mvtee_telemetry::counter(&format!("runtime.{}.gemm_calls", self.config.kind));
         Ok(Box::new(Interpreter {
             graph: compiled,
             order,
             use_counts,
             blas: Arc::clone(&self.blas),
             config: self.config.clone(),
+            op_latency,
+            gemm_calls,
         }))
     }
 }
@@ -221,6 +229,8 @@ struct Interpreter {
     use_counts: Vec<u32>,
     blas: Arc<dyn Blas>,
     config: EngineConfig,
+    op_latency: mvtee_telemetry::Histogram,
+    gemm_calls: mvtee_telemetry::Counter,
 }
 
 impl Interpreter {
@@ -237,13 +247,16 @@ impl Interpreter {
                 let bias = inputs.get(2).copied();
                 match self.config.conv_strategy {
                     ConvStrategy::Direct => kernels::conv2d_direct(inputs[0], inputs[1], bias, &attrs),
-                    ConvStrategy::Im2col => kernels::conv2d_im2col(
-                        inputs[0],
-                        inputs[1],
-                        bias,
-                        &attrs,
-                        self.blas.as_ref(),
-                    ),
+                    ConvStrategy::Im2col => {
+                        self.gemm_calls.inc();
+                        kernels::conv2d_im2col(
+                            inputs[0],
+                            inputs[1],
+                            bias,
+                            &attrs,
+                            self.blas.as_ref(),
+                        )
+                    }
                     ConvStrategy::NhwcDirect => {
                         let nhwc = inputs[0].to_nhwc()?;
                         let out = kernels::conv2d_nhwc_direct(&nhwc, inputs[1], bias, &attrs)?;
@@ -251,13 +264,19 @@ impl Interpreter {
                     }
                 }
             }
-            Op::Gemm => kernels::gemm_fc(
-                inputs[0],
-                inputs[1],
-                inputs.get(2).copied(),
-                self.blas.as_ref(),
-            ),
-            Op::MatMul => kernels::matmul(inputs[0], inputs[1], self.blas.as_ref()),
+            Op::Gemm => {
+                self.gemm_calls.inc();
+                kernels::gemm_fc(
+                    inputs[0],
+                    inputs[1],
+                    inputs.get(2).copied(),
+                    self.blas.as_ref(),
+                )
+            }
+            Op::MatMul => {
+                self.gemm_calls.inc();
+                kernels::matmul(inputs[0], inputs[1], self.blas.as_ref())
+            }
             Op::BatchNorm { epsilon } => kernels::batch_norm(
                 inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], *epsilon,
             ),
@@ -324,8 +343,10 @@ impl PreparedModel for Interpreter {
                     })?;
                 in_refs.push(t);
             }
-            let out = self
-                .compute(node, &in_refs)
+            let out = {
+                let _op_span = self.op_latency.start();
+                self.compute(node, &in_refs)
+            }
                 .map_err(|e| match e {
                     RuntimeError::Kernel { reason, .. } => {
                         RuntimeError::Kernel { node: node.name.clone(), reason }

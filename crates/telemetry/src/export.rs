@@ -1,0 +1,284 @@
+//! JSONL export/import for [`Snapshot`]s.
+//!
+//! One JSON object per line, three shapes:
+//!
+//! ```text
+//! {"kind":"counter","name":"crypto.channel.bytes_out","value":4096}
+//! {"kind":"gauge","name":"core.pipeline.p0.queue_depth","value":3}
+//! {"kind":"histogram","name":"core.pipeline.p0.checkpoint_latency_ns",
+//!  "count":32,"sum":123456,"min":800,"max":9000,"p50":3100,"p95":8200,"p99":9000}
+//! ```
+//!
+//! The importer accepts exactly this schema (any key order) so exported
+//! snapshots round-trip; it is not a general JSON parser.
+
+use crate::registry::{HistogramSummary, Snapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+impl Snapshot {
+    /// Serialises the snapshot as JSON lines.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"counter\",\"name\":{},\"value\":{value}}}",
+                json_string(name)
+            );
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"gauge\",\"name\":{},\"value\":{value}}}",
+                json_string(name)
+            );
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                json_string(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p95,
+                h.p99
+            );
+        }
+        out
+    }
+
+    /// Parses a snapshot back from [`Snapshot::to_jsonl`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_jsonl(text: &str) -> Result<Snapshot, String> {
+        let mut snap = Snapshot::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields = parse_object(line)
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let kind = fields
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("line {}: missing kind", lineno + 1))?;
+            let name = fields
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("line {}: missing name", lineno + 1))?
+                .to_owned();
+            let int = |key: &str| -> Result<i128, String> {
+                fields
+                    .get(key)
+                    .and_then(JsonValue::as_int)
+                    .ok_or_else(|| format!("line {}: missing {key}", lineno + 1))
+            };
+            match kind {
+                "counter" => {
+                    snap.counters.insert(name, int("value")? as u64);
+                }
+                "gauge" => {
+                    snap.gauges.insert(name, int("value")? as i64);
+                }
+                "histogram" => {
+                    snap.histograms.insert(
+                        name,
+                        HistogramSummary::from_parts(
+                            int("count")? as u64,
+                            int("sum")? as u64,
+                            int("min")? as u64,
+                            int("max")? as u64,
+                            int("p50")? as u64,
+                            int("p95")? as u64,
+                            int("p99")? as u64,
+                        ),
+                    );
+                }
+                other => return Err(format!("line {}: unknown kind {other:?}", lineno + 1)),
+            }
+        }
+        Ok(snap)
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[derive(Debug)]
+enum JsonValue {
+    Str(String),
+    Int(i128),
+}
+
+impl JsonValue {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            JsonValue::Int(_) => None,
+        }
+    }
+
+    fn as_int(&self) -> Option<i128> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            JsonValue::Str(_) => None,
+        }
+    }
+}
+
+/// Parses one flat `{"key":value,...}` object with string/integer values.
+fn parse_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut chars = line.chars().peekable();
+    let mut fields = BTreeMap::new();
+    skip_ws(&mut chars);
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => JsonValue::Str(parse_string(&mut chars)?),
+            Some(c) if *c == '-' || c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == '-' || c.is_ascii_digit() {
+                        num.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                JsonValue::Int(num.parse().map_err(|_| format!("bad number {num:?}"))?)
+            }
+            other => return Err(format!("unexpected value start {other:?}")),
+        };
+        fields.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    want: char,
+) -> Result<(), String> {
+    match chars.next() {
+        Some(c) if c == want => Ok(()),
+        other => Err(format!("expected {want:?}, got {other:?}")),
+    }
+}
+
+fn parse_string(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<String, String> {
+    expect(chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4)
+                        .map(|_| chars.next().unwrap_or('\u{0}'))
+                        .collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                    out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let r = Registry::new();
+        r.counter("a.count").add(42);
+        r.gauge("b.depth").set(-7);
+        let h = r.histogram("c.latency_ns");
+        for v in [100u64, 200, 300, 4000, 50_000] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let text = snap.to_jsonl();
+        let back = Snapshot::from_jsonl(&text).expect("parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn escaped_names_survive() {
+        let r = Registry::new();
+        r.counter("weird \"name\"\\with\tescapes").add(1);
+        let snap = r.snapshot();
+        let back = Snapshot::from_jsonl(&snap.to_jsonl()).expect("parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot::default();
+        assert_eq!(Snapshot::from_jsonl(&snap.to_jsonl()).expect("parses"), snap);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Snapshot::from_jsonl("{\"kind\":\"counter\"}").is_err());
+        assert!(Snapshot::from_jsonl("not json").is_err());
+        assert!(
+            Snapshot::from_jsonl("{\"kind\":\"rate\",\"name\":\"x\",\"value\":1}").is_err()
+        );
+    }
+}

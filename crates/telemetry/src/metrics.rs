@@ -1,0 +1,369 @@
+//! The metric primitives: counters, gauges, histograms and span timers.
+//!
+//! All handles are cheap clones over `Arc`'d atomics; recording never
+//! takes a lock. Every handle carries the owning registry's enabled
+//! flag so a disabled registry costs exactly one relaxed load per
+//! record call.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sub-buckets per power of two in the HDR-style layout: values 16..32
+/// land one per bucket, and every later octave is split 16 ways, which
+/// bounds the relative quantile error at ~3%.
+const HDR_SUB_BUCKETS: u64 = 16;
+/// Bucket count covering the full `u64` domain in the HDR layout.
+const HDR_BUCKETS: usize = (HDR_SUB_BUCKETS as usize) * 61;
+
+/// Monotone event counter.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    pub(crate) enabled: Arc<AtomicBool>,
+    pub(crate) value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1)
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time signed value (queue depths, live-variant counts).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    pub(crate) enabled: Arc<AtomicBool>,
+    pub(crate) value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta`.
+    pub fn add(&self, delta: i64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// How recorded values map onto bucket indices.
+#[derive(Debug)]
+pub(crate) enum Bucketing {
+    /// Log-linear HDR-style layout covering all of `u64`.
+    Hdr,
+    /// Explicit inclusive upper bounds, ascending; one overflow bucket.
+    Fixed(Vec<u64>),
+}
+
+impl Bucketing {
+    pub(crate) fn bucket_count(&self) -> usize {
+        match self {
+            Bucketing::Hdr => HDR_BUCKETS,
+            Bucketing::Fixed(bounds) => bounds.len() + 1,
+        }
+    }
+
+    pub(crate) fn index_of(&self, v: u64) -> usize {
+        match self {
+            Bucketing::Hdr => hdr_index(v),
+            Bucketing::Fixed(bounds) => bounds
+                .iter()
+                .position(|&b| v <= b)
+                .unwrap_or(bounds.len()),
+        }
+    }
+
+    /// A representative value for the bucket (used for quantiles).
+    pub(crate) fn representative(&self, index: usize) -> u64 {
+        match self {
+            Bucketing::Hdr => hdr_representative(index),
+            Bucketing::Fixed(bounds) => {
+                bounds.get(index).copied().unwrap_or(u64::MAX)
+            }
+        }
+    }
+}
+
+/// HDR layout: identity below 16, then 16 sub-buckets per octave.
+pub(crate) fn hdr_index(v: u64) -> usize {
+    if v < HDR_SUB_BUCKETS {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros() as u64; // >= 4
+    let sub = (v >> (exp - 4)) & (HDR_SUB_BUCKETS - 1);
+    (HDR_SUB_BUCKETS * (exp - 3) + sub) as usize
+}
+
+/// Inclusive lower bound of HDR bucket `index` (saturating above the
+/// final bucket, whose upper edge sits past `u64::MAX`).
+pub(crate) fn hdr_lower_bound(index: usize) -> u64 {
+    let index = index as u64;
+    if index < 2 * HDR_SUB_BUCKETS {
+        return index;
+    }
+    let block = index / HDR_SUB_BUCKETS;
+    let sub = index % HDR_SUB_BUCKETS;
+    let exp = block + 3;
+    let wide = u128::from(HDR_SUB_BUCKETS + sub) << (exp - 4);
+    u64::try_from(wide).unwrap_or(u64::MAX)
+}
+
+fn hdr_representative(index: usize) -> u64 {
+    let lower = hdr_lower_bound(index);
+    if (index as u64) < 2 * HDR_SUB_BUCKETS {
+        return lower; // exact buckets
+    }
+    let width = hdr_lower_bound(index + 1).saturating_sub(lower);
+    lower + width / 2
+}
+
+#[derive(Debug)]
+pub(crate) struct HistInner {
+    pub(crate) bucketing: Bucketing,
+    pub(crate) counts: Vec<AtomicU64>,
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) min: AtomicU64,
+    pub(crate) max: AtomicU64,
+}
+
+impl HistInner {
+    pub(crate) fn new(bucketing: Bucketing) -> Self {
+        let n = bucketing.bucket_count();
+        HistInner {
+            bucketing,
+            counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, v: u64) {
+        self.counts[self.bucketing.index_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Quantile estimate from the bucket counts, clamped to the observed
+    /// min/max so exact extremes are never overshot.
+    pub(crate) fn quantile(&self, q: f64) -> u64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                let rep = self.bucketing.representative(i);
+                let min = self.min.load(Ordering::Relaxed);
+                let max = self.max.load(Ordering::Relaxed);
+                return rep.clamp(min, max);
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Latency histogram with p50/p95/p99 summaries.
+///
+/// Values are plain `u64`s; the instrumented crates record nanoseconds.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub(crate) enabled: Arc<AtomicBool>,
+    pub(crate) inner: Arc<HistInner>,
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.inner.record(v);
+    }
+
+    /// Records a duration as nanoseconds (saturating).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Starts a scoped timer that records into this histogram on drop.
+    ///
+    /// When the registry is disabled this is a single relaxed load — the
+    /// clock is never read.
+    pub fn start(&self) -> Span {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return Span { target: None };
+        }
+        Span { target: Some((Arc::clone(&self.inner), Instant::now())) }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Quantile estimate in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.inner.quantile(q)
+    }
+}
+
+/// Scoped timer: measures from [`Histogram::start`] until drop.
+#[derive(Debug)]
+pub struct Span {
+    target: Option<(Arc<HistInner>, Instant)>,
+}
+
+impl Span {
+    /// Stops the timer early and records; the drop becomes a no-op.
+    pub fn finish(mut self) {
+        self.record_now();
+    }
+
+    /// Abandons the span without recording.
+    pub fn cancel(mut self) {
+        self.target = None;
+    }
+
+    fn record_now(&mut self) {
+        if let Some((inner, start)) = self.target.take() {
+            inner.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdr_index_is_monotone_and_exact_below_32() {
+        for v in 0..32u64 {
+            assert_eq!(hdr_index(v), v as usize);
+        }
+        let mut last = 0;
+        for v in [32u64, 33, 63, 64, 100, 1000, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let i = hdr_index(v);
+            assert!(i >= last, "index not monotone at {v}");
+            last = i;
+            assert!(i < HDR_BUCKETS);
+            // The representative stays within ~1/16 of the value.
+            let lower = hdr_lower_bound(i);
+            assert!(lower <= v, "lower bound {lower} above value {v}");
+        }
+    }
+
+    #[test]
+    fn fixed_buckets_route_by_upper_bound() {
+        let b = Bucketing::Fixed(vec![10, 100, 1000]);
+        assert_eq!(b.index_of(0), 0);
+        assert_eq!(b.index_of(10), 0);
+        assert_eq!(b.index_of(11), 1);
+        assert_eq!(b.index_of(1000), 2);
+        assert_eq!(b.index_of(1001), 3);
+        assert_eq!(b.bucket_count(), 4);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn hdr_bucket_contains_its_value(v in proptest::arbitrary::any::<u64>()) {
+            let i = hdr_index(v);
+            proptest::prop_assert!(hdr_lower_bound(i) <= v, "lower bound above value");
+            if i + 1 < HDR_BUCKETS {
+                let next = hdr_lower_bound(i + 1);
+                proptest::prop_assert!(
+                    next == u64::MAX || v < next,
+                    "value {v} at or past next bucket's lower bound {next}"
+                );
+            }
+        }
+
+        #[test]
+        fn hdr_index_is_monotone(a in proptest::arbitrary::any::<u64>(),
+                                 b in proptest::arbitrary::any::<u64>()) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            proptest::prop_assert!(hdr_index(lo) <= hdr_index(hi));
+        }
+
+        #[test]
+        fn hdr_representative_within_relative_error(v in 0u64..u64::MAX / 2) {
+            let rep = hdr_representative(hdr_index(v));
+            let err = rep.abs_diff(v);
+            // Exact below 32; 16 sub-buckets per octave above that bounds
+            // the error at one bucket width (≤ v/16).
+            proptest::prop_assert!(
+                err <= v / 16 + u64::from(v >= 32),
+                "representative {rep} too far from {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let enabled = Arc::new(AtomicBool::new(true));
+        let h = Histogram {
+            enabled,
+            inner: Arc::new(HistInner::new(Bucketing::Hdr)),
+        };
+        {
+            let _span = h.start();
+        }
+        assert_eq!(h.count(), 1);
+        h.start().cancel();
+        assert_eq!(h.count(), 1);
+        h.start().finish();
+        assert_eq!(h.count(), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Human-readable report rendering for [`Snapshot`]s.
+
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+
+/// Formats a nanosecond quantity with an adaptive unit.
+pub fn format_nanos(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+impl Snapshot {
+    /// Renders the snapshot as an aligned plain-text report.
+    ///
+    /// Histogram columns are formatted as durations because every
+    /// instrumented histogram in this workspace records nanoseconds.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== telemetry report ==");
+        if self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        {
+            let _ = writeln!(out, "(no metrics recorded)");
+            return out;
+        }
+        let name_width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<name_width$}  {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges:");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<name_width$}  {v:>12}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "\nhistograms:");
+            let _ = writeln!(
+                out,
+                "  {:<name_width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+                "name", "count", "p50", "p95", "p99", "max", "mean"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<name_width$}  {:>8}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+                    name,
+                    h.count,
+                    format_nanos(h.p50),
+                    format_nanos(h.p95),
+                    format_nanos(h.p99),
+                    format_nanos(h.max),
+                    format_nanos(h.mean as u64),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn adaptive_units() {
+        assert_eq!(format_nanos(12), "12 ns");
+        assert_eq!(format_nanos(1_500), "1.5 us");
+        assert_eq!(format_nanos(2_500_000), "2.50 ms");
+        assert_eq!(format_nanos(3_200_000_000), "3.200 s");
+    }
+
+    #[test]
+    fn report_mentions_every_metric() {
+        let r = Registry::new();
+        r.counter("events.divergence").add(2);
+        r.gauge("queue.depth").set(5);
+        r.histogram("checkpoint_ns").record(1_000_000);
+        let rendered = r.snapshot().render();
+        assert!(rendered.contains("events.divergence"));
+        assert!(rendered.contains("queue.depth"));
+        assert!(rendered.contains("checkpoint_ns"));
+        assert!(rendered.contains("p95"));
+    }
+
+    #[test]
+    fn empty_report_is_explicit() {
+        assert!(Registry::new().snapshot().render().contains("no metrics"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Proves the disabled-mode contract: once handles exist, record calls on
+//! a disabled registry never touch the allocator (they are a single
+//! relaxed atomic load). Kept as the only test in this binary so no
+//! parallel test can allocate during the measured window.
+
+use mvtee_telemetry::Registry;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the counter is a relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_record_paths_do_not_allocate() {
+    let registry = Registry::disabled();
+    let counter = registry.counter("c");
+    let gauge = registry.gauge("g");
+    let histogram = registry.histogram("h");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000 {
+        counter.inc();
+        counter.add(i);
+        gauge.set(i as i64);
+        gauge.add(-1);
+        histogram.record(i);
+        histogram.start().finish();
+        drop(histogram.start());
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after, before, "disabled record path allocated");
+
+    // And nothing was recorded.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters["c"], 0);
+    assert_eq!(snap.gauges["g"], 0);
+    assert_eq!(snap.histograms["h"].count, 0);
+}

@@ -1,0 +1,150 @@
+//! Behavioural tests for the registry through its public API only:
+//! quantile math, concurrency, and the disabled-mode contract.
+
+use mvtee_telemetry::Registry;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Quantile estimates stay within the HDR layout's relative-error
+    /// bound of the true (sorted-rank) percentile.
+    #[test]
+    fn quantiles_track_true_percentiles(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        q_raw in 0u32..=100,
+    ) {
+        let q = f64::from(q_raw) / 100.0;
+        let r = Registry::new();
+        let h = r.histogram("q");
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = h.quantile(q);
+        prop_assert!(
+            est.abs_diff(truth) <= truth / 16 + u64::from(truth >= 32),
+            "quantile({q}) = {est}, true percentile {truth}"
+        );
+    }
+
+    /// Quantiles are monotone in `q` and clamped to the observed range.
+    #[test]
+    fn quantiles_monotone_and_clamped(
+        values in proptest::collection::vec(0u64..u64::MAX / 2, 1..100),
+    ) {
+        let r = Registry::new();
+        let h = r.histogram("m");
+        for &v in &values {
+            h.record(v);
+        }
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        let mut last = 0u64;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+            let est = h.quantile(q);
+            prop_assert!(est >= last, "quantile({q}) regressed: {est} < {last}");
+            prop_assert!((min..=max).contains(&est), "quantile({q}) = {est} outside [{min}, {max}]");
+            last = est;
+        }
+    }
+
+    /// Fixed-bucket histograms clamp the top quantile to the exact max,
+    /// and the bottom quantile lands on the min's bucket bound.
+    #[test]
+    fn fixed_buckets_pin_extremes(
+        values in proptest::collection::vec(0u64..5_000, 1..50),
+    ) {
+        const BOUNDS: [u64; 4] = [10, 100, 1_000, 10_000];
+        let r = Registry::new();
+        let h = r.histogram_with_bounds("f", &BOUNDS);
+        for &v in &values {
+            h.record(v);
+        }
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        prop_assert_eq!(h.quantile(1.0), max);
+        // The bottom quantile reports the min's bucket upper bound,
+        // clamped into the observed range.
+        let min_bound = *BOUNDS.iter().find(|&&b| min <= b).expect("in range");
+        prop_assert_eq!(h.quantile(0.0), min_bound.clamp(min, max));
+    }
+}
+
+/// Eight threads hammering cloned handles of the same counter and
+/// histogram lose no increments.
+#[test]
+fn concurrent_increments_from_eight_threads() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let r = Registry::new();
+    let c = r.counter("hits");
+    let h = r.histogram("lat");
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let c = c.clone();
+            let h = h.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record(t as u64 * PER_THREAD + i);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("thread");
+    }
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+    let snap = r.snapshot();
+    assert_eq!(snap.counters["hits"], THREADS as u64 * PER_THREAD);
+    assert_eq!(snap.histograms["lat"].count, THREADS as u64 * PER_THREAD);
+}
+
+/// A disabled registry records nothing, but every call site still works.
+#[test]
+fn disabled_registry_records_nothing() {
+    let r = Registry::disabled();
+    assert!(!r.is_enabled());
+    let c = r.counter("c");
+    let g = r.gauge("g");
+    let h = r.histogram("h");
+    c.inc();
+    c.add(100);
+    g.set(7);
+    g.add(-3);
+    h.record(42);
+    h.record_duration(std::time::Duration::from_millis(5));
+    h.start().finish();
+    drop(h.start());
+    let snap = r.snapshot();
+    assert_eq!(snap.counters["c"], 0);
+    assert_eq!(snap.gauges["g"], 0);
+    assert_eq!(snap.histograms["h"].count, 0);
+
+    // Re-enabling the same registry makes the SAME handles live.
+    r.set_enabled(true);
+    c.inc();
+    h.record(1);
+    let snap = r.snapshot();
+    assert_eq!(snap.counters["c"], 1);
+    assert_eq!(snap.histograms["h"].count, 1);
+}
+
+/// Reset zeroes values but keeps registrations and handles valid.
+#[test]
+fn reset_keeps_registrations() {
+    let r = Registry::new();
+    let c = r.counter("x");
+    c.add(9);
+    r.histogram("y").record(5);
+    r.reset();
+    let snap = r.snapshot();
+    assert_eq!(snap.counters["x"], 0);
+    assert_eq!(snap.histograms["y"].count, 0);
+    c.inc();
+    assert_eq!(r.snapshot().counters["x"], 1);
+}

@@ -1,0 +1,127 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngCore;
+use std::marker::PhantomData;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-domain generator for primitives.
+pub struct AnyPrimitive<T>(PhantomData<T>);
+
+impl<T> Default for AnyPrimitive<T> {
+    fn default() -> Self {
+        AnyPrimitive(PhantomData)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive::default()
+            }
+        }
+    )+};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive::default()
+    }
+}
+
+// Floats generate from raw bits, so infinities and NaNs appear with
+// their natural (tiny) probability — just like upstream proptest
+// exercises the full representable domain.
+impl Strategy for AnyPrimitive<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u32())
+    }
+}
+
+impl Arbitrary for f32 {
+    type Strategy = AnyPrimitive<f32>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive::default()
+    }
+}
+
+impl Strategy for AnyPrimitive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyPrimitive<f64>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive::default()
+    }
+}
+
+impl Strategy for AnyPrimitive<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        // Bias towards ASCII but exercise the full scalar-value space.
+        if rng.next_u64() & 3 == 0 {
+            loop {
+                if let Some(c) = char::from_u32(rng.next_u32() % 0x11_0000) {
+                    return c;
+                }
+            }
+        } else {
+            (b' ' + (rng.next_u64() % 95) as u8) as char
+        }
+    }
+}
+
+impl Arbitrary for char {
+    type Strategy = AnyPrimitive<char>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive::default()
+    }
+}
+
+impl Strategy for AnyPrimitive<crate::sample::Index> {
+    type Value = crate::sample::Index;
+    fn generate(&self, rng: &mut TestRng) -> crate::sample::Index {
+        crate::sample::Index::from_raw(rng.next_u64())
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    type Strategy = AnyPrimitive<crate::sample::Index>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive::default()
+    }
+}

@@ -1,0 +1,39 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct UniformArray<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        let values: Vec<S::Value> = (0..N).map(|_| self.0.generate(rng)).collect();
+        match values.try_into() {
+            Ok(array) => array,
+            Err(_) => unreachable!("generated exactly N values"),
+        }
+    }
+}
+
+/// `[S::Value; N]` with every element from `element`.
+pub fn uniform<S: Strategy, const N: usize>(element: S) -> UniformArray<S, N> {
+    UniformArray(element)
+}
+
+macro_rules! uniform_fn {
+    ($($name:ident => $n:literal),+ $(,)?) => {$(
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray(element)
+        }
+    )+};
+}
+
+uniform_fn!(
+    uniform4 => 4,
+    uniform8 => 8,
+    uniform12 => 12,
+    uniform16 => 16,
+    uniform24 => 24,
+    uniform32 => 32,
+);

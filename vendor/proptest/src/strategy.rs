@@ -1,0 +1,232 @@
+//! The `Strategy` trait and its combinators.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a
+/// strategy is just a generator.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence: whence.into(), f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        // Local rejection sampling. A pathological filter that almost
+        // never passes aborts the test instead of hanging.
+        for _ in 0..10_000 {
+            let candidate = self.inner.generate(rng);
+            if (self.f)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("prop_filter({:?}) rejected 10000 candidates in a row", self.whence);
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Weighted choice over same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        Self::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        let total_weight = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union { options, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for (weight, strategy) in &self.options {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick beyond total weight");
+    }
+}
+
+// ------------------------------------------------------ ranges as strategies
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// -------------------------------------------------- strings from mini-regex
+
+/// String literals are strategies generating matching strings; see
+/// [`crate::string::generate_from_pattern`] for the supported subset.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_from_pattern(self, rng)
+    }
+}
+
+// ------------------------------------------------------ tuples of strategies
+
+macro_rules! tuple_strategy {
+    ($(($t:ident $idx:tt)),+) => {
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!((T0 0));
+tuple_strategy!((T0 0), (T1 1));
+tuple_strategy!((T0 0), (T1 1), (T2 2));
+tuple_strategy!((T0 0), (T1 1), (T2 2), (T3 3));
+tuple_strategy!((T0 0), (T1 1), (T2 2), (T3 3), (T4 4));
+tuple_strategy!((T0 0), (T1 1), (T2 2), (T3 3), (T4 4), (T5 5));
+tuple_strategy!((T0 0), (T1 1), (T2 2), (T3 3), (T4 4), (T5 5), (T6 6));
+tuple_strategy!((T0 0), (T1 1), (T2 2), (T3 3), (T4 4), (T5 5), (T6 6), (T7 7));
+tuple_strategy!(
+    (T0 0), (T1 1), (T2 2), (T3 3), (T4 4), (T5 5), (T6 6), (T7 7), (T8 8)
+);
+tuple_strategy!(
+    (T0 0), (T1 1), (T2 2), (T3 3), (T4 4), (T5 5), (T6 6), (T7 7), (T8 8), (T9 9)
+);
+tuple_strategy!(
+    (T0 0), (T1 1), (T2 2), (T3 3), (T4 4), (T5 5), (T6 6), (T7 7), (T8 8), (T9 9),
+    (T10 10)
+);
+tuple_strategy!(
+    (T0 0), (T1 1), (T2 2), (T3 3), (T4 4), (T5 5), (T6 6), (T7 7), (T8 8), (T9 9),
+    (T10 10), (T11 11)
+);

@@ -1,0 +1,193 @@
+//! Tiny regex-subset string generator backing `"pattern"` strategies.
+//!
+//! Supported syntax — the subset the workspace's tests use, plus a
+//! little headroom: literal characters, `.` (any printable char, with
+//! occasional non-ASCII to exercise UTF-8 paths), character classes
+//! like `[a-z0-9_]`, and the quantifiers `*`, `+`, `?`, `{m}`, `{m,n}`,
+//! `{m,}` applied to the preceding atom. Unsupported constructs panic
+//! so a typo fails loudly instead of generating garbage.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+const UNBOUNDED_CAP: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// `.` — any printable character.
+    Any,
+    /// `[...]` — inclusive char ranges and singletons.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"))
+                    + i;
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                match c {
+                    'd' => Atom::Class(vec![('0', '9')]),
+                    'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    other => Atom::Literal(other),
+                }
+            }
+            '(' | ')' | '|' => {
+                panic!("unsupported regex construct {:?} in pattern {pattern:?}", chars[i])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                let parts: Vec<&str> = body.split(',').collect();
+                match parts.as_slice() {
+                    [exact] => {
+                        let n = exact.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                    [lo, hi] if hi.trim().is_empty() => {
+                        let lo: usize = lo.trim().parse().expect("repetition lower bound");
+                        (lo, lo + UNBOUNDED_CAP)
+                    }
+                    [lo, hi] => (
+                        lo.trim().parse().expect("repetition lower bound"),
+                        hi.trim().parse().expect("repetition upper bound"),
+                    ),
+                    _ => panic!("malformed repetition in pattern {pattern:?}"),
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Any => {
+            // Mostly printable ASCII; occasionally multi-byte to keep
+            // UTF-8 handling honest.
+            match rng.gen_range(0..10u8) {
+                0 => ['λ', 'é', '中', '🦀', 'Ж'][rng.gen_range(0..5usize)],
+                _ => (b' ' + rng.gen_range(0..95u8)) as char,
+            }
+        }
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+            char::from_u32(rng.gen_range(lo as u32..=hi as u32))
+                .expect("class range stays in scalar space")
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..count {
+            out.push(generate_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn dot_star_generates_valid_utf8() {
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = generate_from_pattern(".*", &mut rng);
+            assert!(s.chars().count() <= 8);
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = generate_from_pattern("ab\\.c", &mut rng);
+        assert_eq!(s, "ab.c");
+        let d = generate_from_pattern("\\d{3}", &mut rng);
+        assert_eq!(d.len(), 3);
+        assert!(d.chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,98 @@
+//! Deterministic case runner behind the `proptest!` macro.
+
+use std::fmt;
+
+pub use rand::rngs::StdRng as TestRng;
+
+/// Per-test configuration; only `cases` matters to this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The case was discarded by `prop_assume!` (not counted).
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            TestCaseError::Reject(msg) => write!(f, "rejected: {msg}"),
+        }
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Runs `config.cases` cases of `property`, each with an RNG seeded from
+/// the test name and case index — failures reproduce deterministically.
+pub fn run<F>(config: &ProptestConfig, name: &str, property: F)
+where
+    F: Fn(&mut TestRng) -> TestCaseResult,
+{
+    use rand::SeedableRng;
+    let base_seed = fnv1a(name.as_bytes());
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let mut case = 0u64;
+    while passed < config.cases {
+        let seed = base_seed.wrapping_add(case);
+        let mut rng = TestRng::seed_from_u64(seed);
+        case += 1;
+        match property(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                let limit = u64::from(config.cases) * 32 + 1024;
+                assert!(
+                    rejected <= limit,
+                    "proptest '{name}': too many rejected cases ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{name}' failed at case {} (seed {seed:#x}):\n{msg}",
+                    case - 1
+                );
+            }
+        }
+    }
+}

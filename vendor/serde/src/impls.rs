@@ -1,0 +1,525 @@
+//! `Serialize`/`Deserialize` impls for the std types the workspace
+//! actually serializes.
+
+use crate::de::{self, Deserialize, Deserializer, MapAccess, SeqAccess, Visitor};
+use crate::ser::{
+    Serialize, SerializeMap, SerializeSeq, SerializeTuple, Serializer,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::marker::PhantomData;
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! primitive_impl {
+    ($ty:ty, $ser:ident, $de:ident, $visit:ident, $expect:literal) => {
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$ser(*self)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct PrimitiveVisitor;
+                impl<'de> Visitor<'de> for PrimitiveVisitor {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str($expect)
+                    }
+                    fn $visit<E: de::Error>(self, v: $ty) -> Result<$ty, E> {
+                        Ok(v)
+                    }
+                }
+                deserializer.$de(PrimitiveVisitor)
+            }
+        }
+    };
+}
+
+primitive_impl!(bool, serialize_bool, deserialize_bool, visit_bool, "a bool");
+primitive_impl!(i8, serialize_i8, deserialize_i8, visit_i8, "an i8");
+primitive_impl!(i16, serialize_i16, deserialize_i16, visit_i16, "an i16");
+primitive_impl!(i32, serialize_i32, deserialize_i32, visit_i32, "an i32");
+primitive_impl!(i64, serialize_i64, deserialize_i64, visit_i64, "an i64");
+primitive_impl!(u8, serialize_u8, deserialize_u8, visit_u8, "a u8");
+primitive_impl!(u16, serialize_u16, deserialize_u16, visit_u16, "a u16");
+primitive_impl!(u32, serialize_u32, deserialize_u32, visit_u32, "a u32");
+primitive_impl!(u64, serialize_u64, deserialize_u64, visit_u64, "a u64");
+primitive_impl!(f32, serialize_f32, deserialize_f32, visit_f32, "an f32");
+primitive_impl!(f64, serialize_f64, deserialize_f64, visit_f64, "an f64");
+primitive_impl!(char, serialize_char, deserialize_char, visit_char, "a char");
+
+// usize/isize travel as u64/i64 on the wire, like upstream serde.
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UsizeVisitor;
+        impl<'de> Visitor<'de> for UsizeVisitor {
+            type Value = usize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a usize")
+            }
+            fn visit_u64<E: de::Error>(self, v: u64) -> Result<usize, E> {
+                usize::try_from(v).map_err(|_| E::custom("u64 out of usize range"))
+            }
+        }
+        deserializer.deserialize_u64(UsizeVisitor)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct IsizeVisitor;
+        impl<'de> Visitor<'de> for IsizeVisitor {
+            type Value = isize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an isize")
+            }
+            fn visit_i64<E: de::Error>(self, v: i64) -> Result<isize, E> {
+                isize::try_from(v).map_err(|_| E::custom("i64 out of isize range"))
+            }
+        }
+        deserializer.deserialize_i64(IsizeVisitor)
+    }
+}
+
+// ------------------------------------------------------------------- strings
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: de::Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+// ---------------------------------------------------------------- references
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(std::sync::Arc::new)
+    }
+}
+
+// -------------------------------------------------------------------- option
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(value) => serializer.serialize_some(value),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: de::Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Self::Value, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+// ---------------------------------------------------------------------- unit
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitVisitor;
+        impl<'de> Visitor<'de> for UnitVisitor {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+// ----------------------------------------------------------------- sequences
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for element in self {
+            seq.serialize_element(element)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                // Cap the pre-allocation so hostile length prefixes
+                // cannot trigger huge allocations before any element
+                // has actually been read.
+                let mut values = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(value) = seq.next_element()? {
+                    values.push(value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(PhantomData))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut tuple = serializer.serialize_tuple(N)?;
+        for element in self {
+            tuple.serialize_element(element)?;
+        }
+        tuple.end()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct ArrayVisitor<T, const N: usize>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>, const N: usize> Visitor<'de> for ArrayVisitor<T, N> {
+            type Value = [T; N];
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an array of length {N}")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<[T; N], A::Error> {
+                let mut values = Vec::with_capacity(N);
+                for i in 0..N {
+                    match seq.next_element()? {
+                        Some(value) => values.push(value),
+                        None => {
+                            return Err(de::Error::invalid_length(i, "more array elements"))
+                        }
+                    }
+                }
+                values
+                    .try_into()
+                    .map_err(|_| de::Error::custom("array length mismatch"))
+            }
+        }
+        deserializer.deserialize_tuple(N, ArrayVisitor::<T, N>(PhantomData))
+    }
+}
+
+// -------------------------------------------------------------------- tuples
+
+macro_rules! tuple_impl {
+    ($len:expr => $(($idx:tt $t:ident $v:ident)),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut tuple = serializer.serialize_tuple($len)?;
+                $(tuple.serialize_element(&self.$idx)?;)+
+                tuple.end()
+            }
+        }
+
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct TupleVisitor<$($t),+>(PhantomData<($($t,)+)>);
+                impl<'de, $($t: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($t),+> {
+                    type Value = ($($t,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, "a tuple of length {}", $len)
+                    }
+                    fn visit_seq<A: SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        $(
+                            let $v = seq
+                                .next_element()?
+                                .ok_or_else(|| {
+                                    de::Error::invalid_length($idx, "more tuple elements")
+                                })?;
+                        )+
+                        Ok(($($v,)+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, TupleVisitor(PhantomData))
+            }
+        }
+    };
+}
+
+tuple_impl!(1 => (0 T0 v0));
+tuple_impl!(2 => (0 T0 v0), (1 T1 v1));
+tuple_impl!(3 => (0 T0 v0), (1 T1 v1), (2 T2 v2));
+tuple_impl!(4 => (0 T0 v0), (1 T1 v1), (2 T2 v2), (3 T3 v3));
+tuple_impl!(5 => (0 T0 v0), (1 T1 v1), (2 T2 v2), (3 T3 v3), (4 T4 v4));
+tuple_impl!(6 => (0 T0 v0), (1 T1 v1), (2 T2 v2), (3 T3 v3), (4 T4 v4), (5 T5 v5));
+tuple_impl!(7 => (0 T0 v0), (1 T1 v1), (2 T2 v2), (3 T3 v3), (4 T4 v4), (5 T5 v5), (6 T6 v6));
+tuple_impl!(8 => (0 T0 v0), (1 T1 v1), (2 T2 v2), (3 T3 v3), (4 T4 v4), (5 T5 v5), (6 T6 v6), (7 T7 v7));
+
+// ---------------------------------------------------------------------- maps
+
+macro_rules! map_serialize_body {
+    ($self:ident, $serializer:ident) => {{
+        let mut map = $serializer.serialize_map(Some($self.len()))?;
+        for (key, value) in $self {
+            map.serialize_entry(key, value)?;
+        }
+        map.end()
+    }};
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        map_serialize_body!(self, serializer)
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BTreeMapVisitor<K, V>(PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Visitor<'de>
+            for BTreeMapVisitor<K, V>
+        {
+            type Value = BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut values = BTreeMap::new();
+                while let Some((key, value)) = map.next_entry()? {
+                    values.insert(key, value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_map(BTreeMapVisitor(PhantomData))
+    }
+}
+
+impl<K: Serialize, V: Serialize, H: BuildHasher> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        map_serialize_body!(self, serializer)
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct HashMapVisitor<K, V, H>(PhantomData<(K, V, H)>);
+        impl<'de, K, V, H> Visitor<'de> for HashMapVisitor<K, V, H>
+        where
+            K: Deserialize<'de> + Eq + Hash,
+            V: Deserialize<'de>,
+            H: BuildHasher + Default,
+        {
+            type Value = HashMap<K, V, H>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut values = HashMap::with_hasher(H::default());
+                while let Some((key, value)) = map.next_entry()? {
+                    values.insert(key, value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_map(HashMapVisitor(PhantomData))
+    }
+}
+
+// ---------------------------------------------------------------------- sets
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for element in self {
+            seq.serialize_element(element)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BTreeSetVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de> + Ord> Visitor<'de> for BTreeSetVisitor<T> {
+            type Value = BTreeSet<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut values = BTreeSet::new();
+                while let Some(value) = seq.next_element()? {
+                    values.insert(value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_seq(BTreeSetVisitor(PhantomData))
+    }
+}
+
+impl<T: Serialize, H: BuildHasher> Serialize for HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for element in self {
+            seq.serialize_element(element)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for HashSet<T, H>
+where
+    T: Deserialize<'de> + Eq + Hash,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct HashSetVisitor<T, H>(PhantomData<(T, H)>);
+        impl<'de, T, H> Visitor<'de> for HashSetVisitor<T, H>
+        where
+            T: Deserialize<'de> + Eq + Hash,
+            H: BuildHasher + Default,
+        {
+            type Value = HashSet<T, H>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut values = HashSet::with_hasher(H::default());
+                while let Some(value) = seq.next_element()? {
+                    values.insert(value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_seq(HashSetVisitor(PhantomData))
+    }
+}
+
+// ----------------------------------------------------------------- PhantomData
+
+impl<T> Serialize for PhantomData<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit_struct("PhantomData")
+    }
+}
+
+impl<'de, T> Deserialize<'de> for PhantomData<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct PhantomVisitor<T>(PhantomData<T>);
+        impl<'de, T> Visitor<'de> for PhantomVisitor<T> {
+            type Value = PhantomData<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<Self::Value, E> {
+                Ok(PhantomData)
+            }
+        }
+        deserializer.deserialize_unit_struct("PhantomData", PhantomVisitor(PhantomData))
+    }
+}

@@ -1,0 +1,22 @@
+//! Minimal in-tree stand-in for the `serde` crate so the workspace builds
+//! without network access to a cargo registry.
+//!
+//! Implements the serde data model exactly as far as `mvtee-codec` (the
+//! workspace's only format) and the workspace's derived types exercise it:
+//! the full `Serializer`/`Deserializer` method sets, the seven
+//! `Serialize*` sub-traits, `Visitor`/`SeqAccess`/`MapAccess`/
+//! `EnumAccess`/`VariantAccess`/`DeserializeSeed`,
+//! `de::value::U32Deserializer`, and `Serialize`/`Deserialize` impls for
+//! the std types the workspace serializes. The `derive` feature re-exports
+//! the in-tree `serde_derive` proc macros.
+
+pub mod ser;
+pub mod de;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;

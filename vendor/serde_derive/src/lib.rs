@@ -1,0 +1,523 @@
+//! Minimal in-tree stand-in for `serde_derive` so the workspace builds
+//! without network access to a cargo registry.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes the workspace actually derives on: non-generic named structs,
+//! tuple/newtype/unit structs, and enums whose variants are unit,
+//! newtype, tuple or struct-like. No `#[serde(...)]` attributes are
+//! supported (none exist in the workspace). The implementation parses
+//! the raw `TokenStream` by hand and emits code through `format!` —
+//! no `syn`/`quote`, keeping the crate dependency-free.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Unnamed(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skips `#[...]` attributes (including doc comments) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(i) {
+        if ident.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits `tokens` on commas that sit outside any `<...>` nesting.
+/// (Delimiter groups are single token trees, so only angle brackets —
+/// which are plain puncts — need explicit depth tracking.)
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for token in tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(token.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extracts field names from the token stream of a `{ ... }` fields group.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(tokens)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let i = skip_vis(chunk, skip_attrs(chunk, 0));
+            match chunk.get(i) {
+                Some(TokenTree::Ident(ident)) => ident.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_unnamed_fields(tokens: &[TokenTree]) -> usize {
+    split_top_level_commas(tokens).iter().filter(|chunk| !chunk.is_empty()).count()
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    split_top_level_commas(tokens)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let i = skip_attrs(chunk, 0);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(ident)) => ident.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let fields = match chunk.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Unnamed(count_unnamed_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&inner))
+                }
+                // `None` or an explicit `= discriminant`.
+                _ => Fields::Unit,
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Unnamed(count_unnamed_fields(&inner))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unsupported struct body: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    parse_variants(&inner)
+                }
+                other => panic!("unsupported enum body: {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive serde traits for `{other}` items (generics unsupported)"),
+    }
+}
+
+// ------------------------------------------------------------- Serialize
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item {
+        Item::Struct { name, fields } => serialize_struct(&name, &fields),
+        Item::Enum { name, variants } => serialize_enum(&name, &variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let mut body = format!(
+                "let mut __state = serde::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                names.len()
+            );
+            for field in names {
+                let _ = writeln!(
+                    body,
+                    "serde::ser::SerializeStruct::serialize_field(&mut __state, \"{field}\", &self.{field})?;"
+                );
+            }
+            body.push_str("serde::ser::SerializeStruct::end(__state)");
+            body
+        }
+        Fields::Unnamed(1) => {
+            format!("serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)")
+        }
+        Fields::Unnamed(n) => {
+            let mut body = format!(
+                "let mut __state = serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {n})?;\n"
+            );
+            for i in 0..*n {
+                let _ = writeln!(
+                    body,
+                    "serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{i})?;"
+                );
+            }
+            body.push_str("serde::ser::SerializeTupleStruct::end(__state)");
+            body
+        }
+        Fields::Unit => {
+            format!("serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    if variants.is_empty() {
+        return format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn serialize<__S: serde::Serializer>(&self, __serializer: __S)\n\
+                     -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                     match *self {{}}\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let mut arms = String::new();
+    for (index, variant) in variants.iter().enumerate() {
+        let v = &variant.name;
+        match &variant.fields {
+            Fields::Unit => {
+                let _ = writeln!(
+                    arms,
+                    "{name}::{v} => serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {index}u32, \"{v}\"),"
+                );
+            }
+            Fields::Unnamed(1) => {
+                let _ = writeln!(
+                    arms,
+                    "{name}::{v}(__f0) => serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {index}u32, \"{v}\", __f0),"
+                );
+            }
+            Fields::Unnamed(n) => {
+                let bindings: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let mut arm = format!(
+                    "{name}::{v}({}) => {{\n\
+                     let mut __state = serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {index}u32, \"{v}\", {n})?;\n",
+                    bindings.join(", ")
+                );
+                for binding in &bindings {
+                    let _ = writeln!(
+                        arm,
+                        "serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {binding})?;"
+                    );
+                }
+                arm.push_str("serde::ser::SerializeTupleVariant::end(__state)\n},\n");
+                arms.push_str(&arm);
+            }
+            Fields::Named(fields) => {
+                let bindings: Vec<String> = fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| format!("{f}: __f{i}"))
+                    .collect();
+                let mut arm = format!(
+                    "{name}::{v} {{ {} }} => {{\n\
+                     let mut __state = serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {index}u32, \"{v}\", {})?;\n",
+                    bindings.join(", "),
+                    fields.len()
+                );
+                for (i, field) in fields.iter().enumerate() {
+                    let _ = writeln!(
+                        arm,
+                        "serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{field}\", __f{i})?;"
+                    );
+                }
+                arm.push_str("serde::ser::SerializeStructVariant::end(__state)\n},\n");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 match self {{\n{arms}\n}}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ----------------------------------------------------------- Deserialize
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item {
+        Item::Struct { name, fields } => deserialize_struct(&name, &fields),
+        Item::Enum { name, variants } => deserialize_enum(&name, &variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+/// `let __f{i} = …next_element…` lines for a positional visitor body.
+fn seq_field_lets(count: usize, expected: &str) -> String {
+    let mut lets = String::new();
+    for i in 0..count {
+        let _ = writeln!(
+            lets,
+            "let __f{i} = match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                 Some(__value) => __value,\n\
+                 None => return ::core::result::Result::Err(serde::de::Error::invalid_length({i}, \"{expected}\")),\n\
+             }};"
+        );
+    }
+    lets
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let (visitor_body, entry) = match fields {
+        Fields::Named(names) => {
+            let lets = seq_field_lets(names.len(), &format!("struct {name}"));
+            let constructor: Vec<String> = names
+                .iter()
+                .enumerate()
+                .map(|(i, f)| format!("{f}: __f{i}"))
+                .collect();
+            let field_list: Vec<String> = names.iter().map(|f| format!("\"{f}\"")).collect();
+            (
+                format!(
+                    "fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         {lets}\n\
+                         ::core::result::Result::Ok({name} {{ {} }})\n\
+                     }}",
+                    constructor.join(", ")
+                ),
+                format!(
+                    "serde::Deserializer::deserialize_struct(__deserializer, \"{name}\", &[{}], __MvteeVisitor)",
+                    field_list.join(", ")
+                ),
+            )
+        }
+        Fields::Unnamed(1) => (
+            format!(
+                "fn visit_newtype_struct<__D: serde::Deserializer<'de>>(self, __deserializer: __D)\n\
+                     -> ::core::result::Result<Self::Value, __D::Error> {{\n\
+                     ::core::result::Result::Ok({name}(serde::Deserialize::deserialize(__deserializer)?))\n\
+                 }}"
+            ),
+            format!(
+                "serde::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", __MvteeVisitor)"
+            ),
+        ),
+        Fields::Unnamed(n) => {
+            let lets = seq_field_lets(*n, &format!("tuple struct {name}"));
+            let bindings: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            (
+                format!(
+                    "fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         {lets}\n\
+                         ::core::result::Result::Ok({name}({}))\n\
+                     }}",
+                    bindings.join(", ")
+                ),
+                format!(
+                    "serde::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", {n}, __MvteeVisitor)"
+                ),
+            )
+        }
+        Fields::Unit => (
+            format!(
+                "fn visit_unit<__E: serde::de::Error>(self) -> ::core::result::Result<Self::Value, __E> {{\n\
+                     ::core::result::Result::Ok({name})\n\
+                 }}"
+            ),
+            format!(
+                "serde::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __MvteeVisitor)"
+            ),
+        ),
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 struct __MvteeVisitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __MvteeVisitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"struct {name}\")\n\
+                     }}\n\
+                     {visitor_body}\n\
+                 }}\n\
+                 {entry}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (index, variant) in variants.iter().enumerate() {
+        let v = &variant.name;
+        match &variant.fields {
+            Fields::Unit => {
+                let _ = writeln!(
+                    arms,
+                    "{index}u32 => {{\n\
+                         serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                         ::core::result::Result::Ok({name}::{v})\n\
+                     }},"
+                );
+            }
+            Fields::Unnamed(1) => {
+                let _ = writeln!(
+                    arms,
+                    "{index}u32 => ::core::result::Result::Ok({name}::{v}(serde::de::VariantAccess::newtype_variant(__variant)?)),"
+                );
+            }
+            Fields::Unnamed(n) => {
+                let lets = seq_field_lets(*n, &format!("tuple variant {name}::{v}"));
+                let bindings: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let _ = writeln!(
+                    arms,
+                    "{index}u32 => {{\n\
+                         struct __MvteeVariant{index};\n\
+                         impl<'de> serde::de::Visitor<'de> for __MvteeVariant{index} {{\n\
+                             type Value = {name};\n\
+                             fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                                 __f.write_str(\"tuple variant {name}::{v}\")\n\
+                             }}\n\
+                             fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                                 -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                                 {lets}\n\
+                                 ::core::result::Result::Ok({name}::{v}({bindings}))\n\
+                             }}\n\
+                         }}\n\
+                         serde::de::VariantAccess::tuple_variant(__variant, {n}, __MvteeVariant{index})\n\
+                     }},",
+                    bindings = bindings.join(", ")
+                );
+            }
+            Fields::Named(fields) => {
+                let lets = seq_field_lets(fields.len(), &format!("struct variant {name}::{v}"));
+                let constructor: Vec<String> = fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| format!("{f}: __f{i}"))
+                    .collect();
+                let field_list: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+                let _ = writeln!(
+                    arms,
+                    "{index}u32 => {{\n\
+                         struct __MvteeVariant{index};\n\
+                         impl<'de> serde::de::Visitor<'de> for __MvteeVariant{index} {{\n\
+                             type Value = {name};\n\
+                             fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                                 __f.write_str(\"struct variant {name}::{v}\")\n\
+                             }}\n\
+                             fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+                                 -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                                 {lets}\n\
+                                 ::core::result::Result::Ok({name}::{v} {{ {constructor} }})\n\
+                             }}\n\
+                         }}\n\
+                         serde::de::VariantAccess::struct_variant(__variant, &[{field_list}], __MvteeVariant{index})\n\
+                     }},",
+                    constructor = constructor.join(", "),
+                    field_list = field_list.join(", ")
+                );
+            }
+        }
+    }
+    let variant_list: Vec<String> = variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 struct __MvteeVisitor;\n\
+                 impl<'de> serde::de::Visitor<'de> for __MvteeVisitor {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                         __f.write_str(\"enum {name}\")\n\
+                     }}\n\
+                     fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                         let (__index, __variant) = serde::de::EnumAccess::variant::<u32>(__data)?;\n\
+                         match __index {{\n\
+                             {arms}\n\
+                             _ => ::core::result::Result::Err(serde::de::Error::custom(\n\
+                                 ::std::format!(\"invalid variant index {{}} for enum {name}\", __index))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 serde::Deserializer::deserialize_enum(__deserializer, \"{name}\", &[{variant_list}], __MvteeVisitor)\n\
+             }}\n\
+         }}",
+        variant_list = variant_list.join(", ")
+    )
+}
