@@ -3,11 +3,17 @@
 //!
 //! ```text
 //! experiments [--quick] [--markdown] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]
+//! experiments campaign [--seed N] [--count N] [--no-shrink]
 //! ```
 //!
 //! * `--quick` — Test-scale models and a subset (CI smoke).
 //! * `--markdown` — emit GitHub-markdown tables (for `EXPERIMENTS.md`).
 //! * default experiment selection: `all`.
+//!
+//! The `campaign` subcommand runs the seeded fault-injection campaign
+//! (`mvtee-campaign`): prints the detection-coverage matrix plus the
+//! machine-readable JSON report, and exits non-zero when any scenario
+//! violates the detection invariant (MISSED).
 
 use mvtee_bench::experiments::{
     ablation_metric, ablation_weight_fn, fig10, fig11, fig12, fig13, fig14, fig9,
@@ -15,13 +21,52 @@ use mvtee_bench::experiments::{
 };
 use mvtee_bench::table::Table;
 
+/// Parses `--flag N` from the argument list; exits with a usage error on a
+/// malformed value.
+fn flag_value(args: &[String], flag: &str, default: u64) -> u64 {
+    match args.iter().position(|a| a == flag) {
+        None => default,
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<u64>()) {
+            Some(Ok(v)) => v,
+            _ => {
+                eprintln!("error: {flag} requires an unsigned integer value");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// The `campaign` subcommand: runs the fault-injection campaign and exits
+/// non-zero on any MISSED scenario.
+fn run_campaign_command(args: &[String]) -> ! {
+    let seed = flag_value(args, "--seed", 7);
+    let count = flag_value(args, "--count", 64);
+    let mut cfg = mvtee_campaign::CampaignConfig::new(seed, count);
+    cfg.shrink = !args.iter().any(|a| a == "--no-shrink");
+    eprintln!("# running fault-injection campaign (seed={seed}, count={count}) …");
+    let report = mvtee_campaign::run_campaign(&cfg);
+    println!("{}", report.render_text());
+    println!("{}", report.render_json());
+    if report.matrix.total_missed() > 0 {
+        eprintln!(
+            "error: {} scenario(s) violated the detection invariant",
+            report.matrix.total_missed()
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments [--quick] [--markdown] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]"
+            "usage: experiments [--quick] [--markdown] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]\n       experiments campaign [--seed N] [--count N] [--no-shrink]"
         );
         return;
+    }
+    if args.first().map(String::as_str) == Some("campaign") {
+        run_campaign_command(&args[1..]);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");

@@ -1,0 +1,38 @@
+//! `mvtee-campaign`: a seeded, deterministic fault-injection campaign
+//! engine for MVTEE's security evaluation.
+//!
+//! MVTEE's security claim is that *any* fault or exploit hitting one
+//! variant is caught at the next checkpoint. This crate tests that claim
+//! systematically instead of anecdotally: it enumerates scenarios (zoo
+//! model × partition plan × MVX panel with a defending-variant family ×
+//! one fault from `mvtee-faults`), runs each through the real threaded
+//! `mvtee-core` pipeline, and asserts the **detection invariant** per
+//! scenario — the fault is either
+//!
+//! 1. **detected** at the first slow-path checkpoint at-or-after the
+//!    injected partition,
+//! 2. **crashed**: the faulted variant died and the monitor recorded it, or
+//! 3. **masked**: provably without effect — the faulted variant's
+//!    standalone re-execution is bit-identical to its clean run.
+//!
+//! Anything else is **MISSED** — a security finding. Outcomes aggregate
+//! into a deterministic [`CoverageMatrix`] (fault class ×
+//! defending-variant family, the paper's Table 1 shape), feed the
+//! `campaign.*` telemetry counters, and any MISSED scenario is greedily
+//! [shrunk](shrink_missed) to a minimal one-line repro spec that
+//! [`Scenario::from_spec`] replays exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod matrix;
+pub mod runner;
+pub mod scenario;
+pub mod shrink;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, ScenarioRecord};
+pub use matrix::{Counts, CoverageMatrix};
+pub use runner::{run_scenario, trigger_input, Outcome};
+pub use scenario::{generate_scenario, Defender, Scenario, CAMPAIGN_MODELS};
+pub use shrink::{shrink_missed, ShrinkResult};

@@ -1,0 +1,164 @@
+//! The detection-coverage matrix: fault class × defending-variant family
+//! → outcome counts, the campaign's reproduction of Table 1's shape.
+//!
+//! Rendering is deterministic (sorted keys, hand-rolled JSON), so the
+//! same campaign seed always produces byte-identical output.
+
+use crate::runner::Outcome;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Outcome counts of one matrix cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Divergence detected at the expected checkpoint.
+    pub detected: usize,
+    /// Faulted variant crashed; monitor recorded it.
+    pub crashed: usize,
+    /// Provably masked (bit-identical standalone re-execution).
+    pub masked: usize,
+    /// Detection invariant violated.
+    pub missed: usize,
+}
+
+impl Counts {
+    fn add(&mut self, outcome: &Outcome) {
+        match outcome {
+            Outcome::Detected { .. } => self.detected += 1,
+            Outcome::Crashed { .. } => self.crashed += 1,
+            Outcome::Masked => self.masked += 1,
+            Outcome::Missed { .. } => self.missed += 1,
+        }
+    }
+
+    /// Total scenarios in the cell.
+    pub fn total(&self) -> usize {
+        self.detected + self.crashed + self.masked + self.missed
+    }
+}
+
+/// Fault class × defender family → [`Counts`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMatrix {
+    cells: BTreeMap<(String, String), Counts>,
+}
+
+impl CoverageMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts one scenario outcome.
+    pub fn add(&mut self, class: &str, family: &str, outcome: &Outcome) {
+        self.cells
+            .entry((class.to_string(), family.to_string()))
+            .or_default()
+            .add(outcome);
+    }
+
+    /// All cells in deterministic (sorted) order.
+    pub fn cells(&self) -> impl Iterator<Item = (&(String, String), &Counts)> {
+        self.cells.iter()
+    }
+
+    /// Aggregated counts for one fault class across all defenders.
+    pub fn class_totals(&self, class: &str) -> Counts {
+        let mut total = Counts::default();
+        for ((c, _), counts) in &self.cells {
+            if c == class {
+                total.detected += counts.detected;
+                total.crashed += counts.crashed;
+                total.masked += counts.masked;
+                total.missed += counts.missed;
+            }
+        }
+        total
+    }
+
+    /// The fault classes present, sorted.
+    pub fn classes(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.cells.keys().map(|(c, _)| c.clone()).collect();
+        v.dedup();
+        v
+    }
+
+    /// Total MISSED count across the matrix.
+    pub fn total_missed(&self) -> usize {
+        self.cells.values().map(|c| c.missed).sum()
+    }
+
+    /// Machine-readable JSON rows, sorted by (class, defender) —
+    /// byte-identical across runs with the same inputs.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, ((class, family), c)) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"class\":\"{class}\",\"defender\":\"{family}\",\"detected\":{},\"crashed\":{},\"masked\":{},\"missed\":{}}}",
+                c.detected, c.crashed, c.masked, c.missed
+            );
+        }
+        out.push(']');
+        out
+    }
+
+    /// Human-readable fixed-width table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:<26} {:>8} {:>8} {:>8} {:>8}",
+            "class", "defender", "detected", "crashed", "masked", "MISSED"
+        );
+        for ((class, family), c) in &self.cells {
+            let _ = writeln!(
+                out,
+                "{:<10} {:<26} {:>8} {:>8} {:>8} {:>8}",
+                class, family, c.detected, c.crashed, c.masked, c.missed
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_by_outcome() {
+        let mut m = CoverageMatrix::new();
+        m.add("OOB", "aslr", &Outcome::Detected { partition: 1 });
+        m.add("OOB", "aslr", &Outcome::Crashed { partition: 1, variant: 0 });
+        m.add("OOB", "aslr", &Outcome::Masked);
+        m.add("UNP", "different-rt-tvm", &Outcome::Missed { reason: "x".into() });
+        let oob = m.class_totals("OOB");
+        assert_eq!((oob.detected, oob.crashed, oob.masked, oob.missed), (1, 1, 1, 0));
+        assert_eq!(m.total_missed(), 1);
+        assert_eq!(m.classes(), vec!["OOB".to_string(), "UNP".to_string()]);
+    }
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let mut a = CoverageMatrix::new();
+        a.add("UNP", "x", &Outcome::Masked);
+        a.add("OOB", "y", &Outcome::Masked);
+        let mut b = CoverageMatrix::new();
+        b.add("OOB", "y", &Outcome::Masked);
+        b.add("UNP", "x", &Outcome::Masked);
+        assert_eq!(a.render_json(), b.render_json());
+        assert!(a.render_json().starts_with("[{\"class\":\"OOB\""));
+    }
+
+    #[test]
+    fn table_renders_one_row_per_cell() {
+        let mut m = CoverageMatrix::new();
+        m.add("bitflip", "replica", &Outcome::Detected { partition: 0 });
+        m.add("frameflip", "different-blas", &Outcome::Detected { partition: 0 });
+        assert_eq!(m.render_table().lines().count(), 3); // header + 2 rows
+    }
+}

@@ -1,0 +1,146 @@
+//! Greedy shrinking of MISSED scenarios to a minimal reproduction.
+//!
+//! When a scenario violates the detection invariant, the campaign does
+//! what a property-testing framework would: it searches for the smallest
+//! scenario that still misses, so the printed one-line repro spec is as
+//! easy to debug as possible. Candidate reductions, tried in order until
+//! a fixpoint: drop panel variants, drop a partition, shrink the model to
+//! the smallest zoo member, move the panel (checkpoint) earlier, reduce
+//! the flip count to one.
+
+use crate::runner::{run_scenario, Outcome};
+use crate::scenario::Scenario;
+use mvtee_faults::FaultDescriptor;
+use mvtee_graph::zoo::{ModelKind, ScaleProfile};
+
+/// The shrink result: the minimal still-missing scenario plus how many
+/// candidate runs the search spent.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimal scenario that still produces a MISSED outcome.
+    pub minimal: Scenario,
+    /// The MISSED outcome of the minimal scenario.
+    pub outcome: Outcome,
+    /// Number of scenario executions the search performed.
+    pub runs: usize,
+}
+
+impl ShrinkResult {
+    /// The one-line replayable repro spec.
+    pub fn repro_spec(&self) -> String {
+        self.minimal.to_spec()
+    }
+}
+
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    if sc.panel_size > 2 {
+        let mut c = sc.clone();
+        c.panel_size = 2;
+        out.push(c);
+    }
+    if sc.partitions > 2 {
+        let mut c = sc.clone();
+        c.partitions = 2;
+        c.mvx_partition = c.mvx_partition.min(1);
+        out.push(c);
+    }
+    if sc.model != ModelKind::MnasNet {
+        let mut c = sc.clone();
+        c.model = ModelKind::MnasNet;
+        out.push(c);
+    }
+    if sc.mvx_partition > 0 {
+        let mut c = sc.clone();
+        c.mvx_partition = 0;
+        out.push(c);
+    }
+    if let FaultDescriptor::WeightBitFlip(fault) = &sc.fault {
+        if fault.count > 1 {
+            let mut f = *fault;
+            f.count = 1;
+            let mut c = sc.clone();
+            c.fault = FaultDescriptor::WeightBitFlip(f);
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Greedily shrinks a MISSED scenario. Every accepted reduction strictly
+/// decreases a bounded quantity, so the search terminates; each candidate
+/// is re-run through the real pipeline and kept only if it still misses.
+pub fn shrink_missed(sc: &Scenario, profile: ScaleProfile) -> ShrinkResult {
+    let mut runs = 0;
+    let mut current = sc.clone();
+    let mut outcome = match run_scenario(&current, profile) {
+        Ok(o) => o,
+        Err(e) => Outcome::Missed { reason: format!("runner error: {e}") },
+    };
+    runs += 1;
+    loop {
+        let mut progressed = false;
+        for cand in candidates(&current) {
+            runs += 1;
+            let cand_outcome = match run_scenario(&cand, profile) {
+                Ok(o) => o,
+                Err(_) => continue, // infra failure: not a valid reduction
+            };
+            if cand_outcome.is_missed() {
+                current = cand;
+                outcome = cand_outcome;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    ShrinkResult { minimal: current, outcome, runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Defender;
+    use mvtee_faults::{BitFlipFault, BitFlipStrategy};
+
+    #[test]
+    fn shrink_reduces_a_forced_miss_to_the_minimum() {
+        // A deliberately oversized scenario with checkpoints disabled:
+        // the bit flip manifests, nothing evaluates, outcome is MISSED.
+        let big = Scenario {
+            seed: 21,
+            model: ModelKind::ResNet50,
+            partitions: 3,
+            partition_seed: 9,
+            mvx_partition: 2,
+            panel_size: 3,
+            defender: Defender::Replica,
+            immune: false,
+            fault: FaultDescriptor::WeightBitFlip(BitFlipFault {
+                strategy: BitFlipStrategy::ExponentMsb,
+                count: 3,
+                seed: 77,
+            }),
+            force_fast: true,
+        };
+        let shrunk = shrink_missed(&big, ScaleProfile::Test);
+        assert!(shrunk.outcome.is_missed());
+        let m = &shrunk.minimal;
+        assert_eq!(m.panel_size, 2, "panel not shrunk");
+        assert_eq!(m.partitions, 2, "partitions not shrunk");
+        assert_eq!(m.model, ModelKind::MnasNet, "model not shrunk");
+        assert_eq!(m.mvx_partition, 0, "checkpoint not moved earlier");
+        match &m.fault {
+            FaultDescriptor::WeightBitFlip(f) => assert_eq!(f.count, 1, "flip count not shrunk"),
+            other => panic!("fault changed shape: {other:?}"),
+        }
+        // The printed spec replays to the same verdict.
+        let replayed = Scenario::from_spec(&shrunk.repro_spec()).unwrap();
+        assert_eq!(&replayed, m);
+        let again = run_scenario(&replayed, ScaleProfile::Test).unwrap();
+        assert!(again.is_missed(), "replay verdict changed: {again}");
+    }
+}

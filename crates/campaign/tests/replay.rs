@@ -1,0 +1,50 @@
+//! The repro-spec contract: every scenario the generator can produce must
+//! round-trip through its one-line spec, and replaying a spec must
+//! reproduce the original run's verdict exactly.
+
+use mvtee_campaign::{generate_scenario, run_scenario, Scenario};
+use mvtee_graph::zoo::ScaleProfile;
+
+#[test]
+fn every_generated_scenario_round_trips_through_its_spec() {
+    for i in 0..128 {
+        let sc = generate_scenario(42, i);
+        let spec = sc.to_spec();
+        assert_eq!(spec.lines().count(), 1, "spec must be one line: {spec:?}");
+        let back = Scenario::from_spec(&spec)
+            .unwrap_or_else(|e| panic!("spec {spec:?} failed to parse: {e}"));
+        assert_eq!(back, sc, "round trip changed scenario for spec {spec:?}");
+    }
+}
+
+#[test]
+fn replaying_a_spec_reproduces_the_verdict() {
+    // One scenario per fault family (generator slots: 0 = CVE, 6 = bit
+    // flip, 7 = FrameFlip).
+    for i in [0u64, 6, 7] {
+        let sc = generate_scenario(5, i);
+        let original = run_scenario(&sc, ScaleProfile::Test).expect("runs");
+        let replayed = Scenario::from_spec(&sc.to_spec()).expect("parses");
+        let verdict = run_scenario(&replayed, ScaleProfile::Test).expect("replays");
+        assert_eq!(
+            verdict, original,
+            "replay diverged for spec {}: {verdict} vs {original}",
+            sc.to_spec()
+        );
+    }
+}
+
+#[test]
+fn malformed_specs_are_rejected() {
+    for bad in [
+        "",
+        "campaign/v2 seed=1",
+        "campaign/v1",
+        "campaign/v1 seed=notanumber model=mnasnet parts=2 pseed=1 mvx=0 panel=2 defender=replica immune=0 fault=bitflip:exp:1:1 path=hybrid",
+        "campaign/v1 seed=1 model=unknown-model parts=2 pseed=1 mvx=0 panel=2 defender=replica immune=0 fault=bitflip:exp:1:1 path=hybrid",
+        "campaign/v1 seed=1 model=mnasnet parts=2 pseed=1 mvx=0 panel=2 defender=replica immune=0 fault=bogus:spec path=hybrid",
+        "campaign/v1 seed=1 model=mnasnet parts=2 pseed=1 mvx=0 panel=2 defender=replica immune=0 fault=bitflip:exp:1:1 path=warp",
+    ] {
+        assert!(Scenario::from_spec(bad).is_err(), "spec {bad:?} should be rejected");
+    }
+}

@@ -38,7 +38,7 @@ use mvtee_crypto::x25519::EphemeralKeypair;
 use mvtee_crypto::{random_array, random_bytes};
 use mvtee_diversify::spec::spread_specs;
 use mvtee_diversify::{VariantGenerator, VariantId, VariantSpec};
-use mvtee_faults::{Attack, FrameFlip};
+use mvtee_faults::{flip_weight_bits, Attack, BitFlipFault, FrameFlip};
 use mvtee_graph::zoo::Model;
 use mvtee_graph::{Graph, ValueId};
 use mvtee_partition::{PartitionPool, PartitionSet, Partitioner, PoolConfig};
@@ -151,6 +151,28 @@ impl OfflinePhase {
         overrides: &HashMap<(usize, usize), SpecPatch>,
         pool: Option<&PartitionPool>,
     ) -> Result<Self> {
+        Self::run_with_options(graph, config, variant_seed, overrides, pool, &HashMap::new())
+    }
+
+    /// [`OfflinePhase::run_with_pool`] additionally sealing weight
+    /// bit-flip faults into selected variants' payloads: the fault-injection
+    /// path of the campaign engine. A `(partition, variant) → BitFlipFault`
+    /// entry corrupts that one variant's subgraph copy *before* variant
+    /// generation, modelling a Rowhammer/Terminal-Brain-Damage flip in one
+    /// TEE's sealed model memory; all other variants seal the clean
+    /// subgraph.
+    ///
+    /// # Errors
+    ///
+    /// All [`OfflinePhase::run_with_pool`] failure modes.
+    pub fn run_with_options(
+        graph: &Graph,
+        config: &MvxConfig,
+        variant_seed: u64,
+        overrides: &HashMap<(usize, usize), SpecPatch>,
+        pool: Option<&PartitionPool>,
+        weight_faults: &HashMap<(usize, usize), BitFlipFault>,
+    ) -> Result<Self> {
         config.validate()?;
         let set = if let Some(pool) = pool {
             pool.select_random(config.partitions, config.partition_seed)
@@ -174,9 +196,14 @@ impl OfflinePhase {
             let specs = build_specs(p, claim, variant_seed, overrides);
             let mut row = Vec::with_capacity(specs.len());
             for (v, spec) in specs.into_iter().enumerate() {
+                let faulted: Option<Graph> = weight_faults.get(&(p, v)).map(|fault| {
+                    let mut g = subgraphs[p].clone();
+                    let _ = flip_weight_bits(&mut g, fault.strategy, fault.count, fault.seed);
+                    g
+                });
                 row.push(seal_artifact(
                     &init_code,
-                    &subgraphs[p],
+                    faulted.as_ref().unwrap_or(&subgraphs[p]),
                     &generator,
                     p,
                     &spec,
@@ -294,6 +321,7 @@ pub struct DeploymentBuilder {
     config: MvxConfig,
     variant_seed: u64,
     overrides: HashMap<(usize, usize), SpecPatch>,
+    weight_faults: HashMap<(usize, usize), BitFlipFault>,
     attack: Option<Attack>,
     frameflip: Option<FrameFlip>,
     tee_kind_default: TeeKind,
@@ -308,6 +336,7 @@ impl DeploymentBuilder {
             config: MvxConfig::fast_path(2),
             variant_seed: 0xd1ce,
             overrides: HashMap::new(),
+            weight_faults: HashMap::new(),
             attack: None,
             frameflip: None,
             tee_kind_default: TeeKind::Sgx,
@@ -415,6 +444,13 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Seals weight bit flips into one variant's payload (a model-memory
+    /// fault local to that TEE; see [`OfflinePhase::run_with_options`]).
+    pub fn weight_fault(mut self, partition: usize, variant: usize, fault: BitFlipFault) -> Self {
+        self.weight_faults.insert((partition, variant), fault);
+        self
+    }
+
     /// Injects a simulated CVE attack on every variant host.
     pub fn attack(mut self, attack: Attack) -> Self {
         self.attack = Some(attack);
@@ -460,12 +496,13 @@ impl DeploymentBuilder {
             ),
             None => None,
         };
-        let offline = OfflinePhase::run_with_pool(
+        let offline = OfflinePhase::run_with_options(
             &self.model.graph,
             &self.config,
             self.variant_seed,
             &self.overrides,
             pool.as_ref(),
+            &self.weight_faults,
         )?;
         let mut deployment = Deployment::bring_online(
             self.model,

@@ -22,6 +22,19 @@ pub enum MonitorEvent {
         /// Post-exec measurement.
         measurement: [u8; 32],
     },
+    /// A slow-path checkpoint evaluated the panel and every live variant
+    /// agreed — the per-checkpoint "all clear" verdict. Recorded so
+    /// campaign/invariant checkers can prove a checkpoint actually ran
+    /// (absence of an alarm alone cannot distinguish "checked and passed"
+    /// from "never checked").
+    CheckpointPassed {
+        /// Partition whose checkpoint evaluated.
+        partition: usize,
+        /// Batch id.
+        batch: u64,
+        /// Number of agreeing variants.
+        agreeing: usize,
+    },
     /// Checkpoint divergence detected by the slow path.
     DivergenceDetected {
         /// Partition whose checkpoint fired.
@@ -76,6 +89,10 @@ impl fmt::Display for MonitorEvent {
             MonitorEvent::VariantBound { partition, variant, .. } => {
                 write!(f, "bound variant {variant} of partition {partition}")
             }
+            MonitorEvent::CheckpointPassed { partition, batch, agreeing } => write!(
+                f,
+                "checkpoint passed at partition {partition} batch {batch}: {agreeing} agreeing"
+            ),
             MonitorEvent::DivergenceDetected { partition, batch, dissenting, .. } => write!(
                 f,
                 "divergence at partition {partition} batch {batch}: dissenting {dissenting:?}"
@@ -133,6 +150,9 @@ impl EventLog {
     /// counters (`core.events.{divergence,crash,late_dissent}`).
     pub fn record(&self, event: MonitorEvent) {
         match &event {
+            MonitorEvent::CheckpointPassed { .. } => {
+                mvtee_telemetry::counter("core.events.checkpoint_pass").inc();
+            }
             MonitorEvent::DivergenceDetected { .. } => {
                 mvtee_telemetry::counter("core.events.divergence").inc();
             }
@@ -180,6 +200,71 @@ impl EventLog {
     /// `true` when nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.inner.lock().is_empty()
+    }
+
+    /// Checkpoint verdicts that passed: `(partition, batch, agreeing)`
+    /// per slow-path checkpoint whose panel agreed.
+    pub fn checkpoint_passes(&self) -> Vec<(usize, u64, usize)> {
+        self.inner
+            .lock()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                MonitorEvent::CheckpointPassed { partition, batch, agreeing } => {
+                    Some((*partition, *batch, *agreeing))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Divergence detections: `(partition, batch, dissenting variants)`.
+    /// Late dissent counts as a divergence at its partition.
+    pub fn divergences(&self) -> Vec<(usize, u64, Vec<usize>)> {
+        self.inner
+            .lock()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                MonitorEvent::DivergenceDetected { partition, batch, dissenting, .. } => {
+                    Some((*partition, *batch, dissenting.clone()))
+                }
+                MonitorEvent::LateDissent { partition, batch, variant } => {
+                    Some((*partition, *batch, vec![*variant]))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Recorded variant crashes: `(partition, variant, batch)`.
+    pub fn crashes(&self) -> Vec<(usize, usize, u64)> {
+        self.inner
+            .lock()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                MonitorEvent::VariantCrashed { partition, variant, batch, .. } => {
+                    Some((*partition, *variant, *batch))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The earliest partition ≥ `partition` at which a detection-class
+    /// event (divergence, crash, or late dissent) fired — the signal the
+    /// campaign's detection invariant checks against the first checkpoint
+    /// at-or-after the injection point.
+    pub fn first_detection_at_or_after(&self, partition: usize) -> Option<usize> {
+        self.inner
+            .lock()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                MonitorEvent::DivergenceDetected { partition: p, .. }
+                | MonitorEvent::VariantCrashed { partition: p, .. }
+                | MonitorEvent::LateDissent { partition: p, .. } => Some(*p),
+                _ => None,
+            })
+            .filter(|&p| p >= partition)
+            .min()
     }
 
     /// Count of divergence-class events (divergences + crashes + late
@@ -288,6 +373,36 @@ mod tests {
         let rendered = log.render();
         assert_eq!(rendered.lines().count(), 2);
         assert!(rendered.lines().all(|l| l.starts_with("[+")));
+    }
+
+    #[test]
+    fn checkpoint_introspection_helpers() {
+        let log = EventLog::new();
+        log.record(MonitorEvent::CheckpointPassed { partition: 0, batch: 0, agreeing: 3 });
+        log.record(MonitorEvent::VariantCrashed {
+            partition: 1,
+            variant: 2,
+            batch: 0,
+            reason: "boom".into(),
+        });
+        log.record(MonitorEvent::DivergenceDetected {
+            partition: 2,
+            batch: 0,
+            dissenting: vec![1],
+            detail: "d".into(),
+        });
+        log.record(MonitorEvent::LateDissent { partition: 3, batch: 1, variant: 0 });
+        assert_eq!(log.checkpoint_passes(), vec![(0, 0, 3)]);
+        assert_eq!(log.crashes(), vec![(1, 2, 0)]);
+        assert_eq!(
+            log.divergences(),
+            vec![(2, 0, vec![1]), (3, 1, vec![0])]
+        );
+        assert_eq!(log.first_detection_at_or_after(0), Some(1));
+        assert_eq!(log.first_detection_at_or_after(2), Some(2));
+        assert_eq!(log.first_detection_at_or_after(4), None);
+        // A passed checkpoint is not a detection.
+        assert_eq!(log.detection_count(), 3);
     }
 
     #[test]

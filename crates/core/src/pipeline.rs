@@ -290,6 +290,15 @@ pub fn run_stage(
                                 "variants {dissenting:?} dissented at quorum on batch {}",
                                 job.batch
                             ));
+                        } else {
+                            // Quorum with no dissent among the arrived
+                            // outputs: the checkpoint evaluated and passed
+                            // (stragglers are still cross-validated late).
+                            events.record(MonitorEvent::CheckpointPassed {
+                                partition,
+                                batch: job.batch,
+                                agreeing: arrived_ids.len() - dissenting.len(),
+                            });
                         }
                         // Remember the stragglers for late cross-validation.
                         let remaining: HashSet<usize> = live
@@ -370,7 +379,12 @@ pub fn run_stage(
                     }
                 }
                 match evaluate(&outputs, metric, policy.voting) {
-                    Verdict::Agree { selected: s, .. } => {
+                    Verdict::Agree { selected: s, agreeing } => {
+                        events.record(MonitorEvent::CheckpointPassed {
+                            partition,
+                            batch: job.batch,
+                            agreeing: agreeing.len(),
+                        });
                         selected = Some(s);
                     }
                     Verdict::Diverged { majority, dissenting, detail } => {

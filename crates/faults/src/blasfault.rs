@@ -74,7 +74,7 @@ impl Blas for FaultyBlas {
 }
 
 /// A platform-wide FrameFlip attack instance targeting one backend.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrameFlip {
     /// The backend whose code pages the attack flipped.
     pub target: BlasKind,

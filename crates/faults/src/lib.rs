@@ -25,7 +25,9 @@
 pub mod bitflip;
 pub mod blasfault;
 pub mod cve;
+pub mod descriptor;
 
 pub use bitflip::{flip_weight_bits, BitFlipStrategy, FlippedBit};
-pub use blasfault::{FaultyBlas, FrameFlip};
+pub use blasfault::{FaultyBlas, FrameFlip, GemmCorruption};
 pub use cve::{Attack, CveClass, FaultEffect, InputTrigger, VulnerableModel};
+pub use descriptor::{BitFlipFault, FaultDescriptor};

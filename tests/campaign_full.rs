@@ -1,0 +1,88 @@
+//! Acceptance test for the fault-injection campaign harness (the repo's
+//! systematic security evaluation): a fixed-seed 64-scenario campaign
+//! across all three fault families must complete deterministically with
+//! zero MISSED scenarios, and forcing a MISSED must shrink to a one-line
+//! repro spec that replays to the same verdict.
+
+use mvtee_campaign::{
+    generate_scenario, run_campaign, run_scenario, shrink_missed, CampaignConfig, Scenario,
+};
+use mvtee_faults::FaultDescriptor;
+use mvtee_graph::zoo::ScaleProfile;
+
+const CAMPAIGN_SEED: u64 = 7;
+const CAMPAIGN_COUNT: u64 = 64;
+const CVE_CLASSES: [&str; 6] = ["OOB", "UNP", "FPE", "IO", "UAF", "ACF"];
+
+#[test]
+fn full_campaign_meets_the_detection_invariant() {
+    let cfg = CampaignConfig::new(CAMPAIGN_SEED, CAMPAIGN_COUNT);
+    let report = run_campaign(&cfg);
+
+    // Zero MISSED: every scenario was detected, crashed, or provably
+    // masked.
+    assert_eq!(
+        report.matrix.total_missed(),
+        0,
+        "detection invariant violated:\n{}",
+        report.render_text()
+    );
+
+    // All three fault families ran.
+    let classes = report.matrix.classes();
+    assert!(classes.iter().any(|c| c == "bitflip"), "no bit-flip scenarios in {classes:?}");
+    assert!(classes.iter().any(|c| c == "frameflip"), "no FrameFlip scenarios in {classes:?}");
+
+    // Every CVE class appeared and scored at least one detection or crash
+    // against a susceptible variant set (masked-only coverage would mean
+    // the class never actually fired).
+    for class in CVE_CLASSES {
+        let totals = report.matrix.class_totals(class);
+        assert!(totals.total() > 0, "CVE class {class} never appeared:\n{}", report.render_text());
+        assert!(
+            totals.detected + totals.crashed >= 1,
+            "CVE class {class} was never detected or crashed:\n{}",
+            report.render_text()
+        );
+    }
+
+    // Determinism: the same seed reproduces the coverage matrix and the
+    // full report byte-for-byte.
+    let again = run_campaign(&cfg);
+    assert_eq!(
+        report.matrix.render_json(),
+        again.matrix.render_json(),
+        "coverage matrix is not deterministic"
+    );
+    assert_eq!(report.render_json(), again.render_json(), "report is not deterministic");
+}
+
+#[test]
+fn forcing_a_miss_shrinks_to_a_replayable_one_line_spec() {
+    // Find a campaign bit-flip scenario and disable every checkpoint: the
+    // fault still manifests but nothing evaluates — a guaranteed MISSED.
+    let mut sc = (0..CAMPAIGN_COUNT)
+        .map(|i| generate_scenario(CAMPAIGN_SEED, i))
+        .find(|s| matches!(s.fault, FaultDescriptor::WeightBitFlip(_)))
+        .expect("campaign generates bit-flip scenarios");
+    sc.force_fast = true;
+
+    let outcome = run_scenario(&sc, ScaleProfile::Test).expect("runs");
+    assert!(outcome.is_missed(), "disabling checkpoints must produce MISSED, got {outcome}");
+
+    let shrunk = shrink_missed(&sc, ScaleProfile::Test);
+    assert!(shrunk.outcome.is_missed());
+    let spec = shrunk.repro_spec();
+    assert_eq!(spec.lines().count(), 1, "repro spec must be one line: {spec:?}");
+
+    // The spec replays exactly: parse → identical scenario → same verdict.
+    let replayed = Scenario::from_spec(&spec).expect("spec parses");
+    assert_eq!(replayed, shrunk.minimal, "spec round-trip changed the scenario");
+    let verdict = run_scenario(&replayed, ScaleProfile::Test).expect("replays");
+    assert_eq!(
+        verdict.label(),
+        shrunk.outcome.label(),
+        "replayed verdict differs: {verdict} vs {}",
+        shrunk.outcome
+    );
+}

@@ -1,0 +1,83 @@
+//! Cross-engine differential testing: the three runtime families
+//! (Reference, ORT-like, TVM-like) implement the same operator semantics
+//! with different compilation pipelines (BN folding, im2col + blocked
+//! GEMM, layout tiling). On any model they must agree within the relaxed
+//! consistency metric — the same tolerance heterogeneous MVX panels are
+//! checked with, so a regression here would surface as checkpoint
+//! false-positives in production.
+
+use mvtee_graph::zoo::{self, Model, ModelKind, ScaleProfile};
+use mvtee_runtime::{Engine, EngineConfig, EngineKind};
+use mvtee_tensor::metrics::{max_abs_diff, Metric};
+use mvtee_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ENGINES: [EngineKind; 3] = [EngineKind::Reference, EngineKind::OrtLike, EngineKind::TvmLike];
+
+/// Seeded random input in the same range the campaign harness uses.
+fn random_input(model: &Model, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f32> =
+        (0..model.input_shape.num_elements()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Tensor::from_vec(data, model.input_shape.dims()).expect("static input shape")
+}
+
+fn run(kind: EngineKind, model: &Model, input: &Tensor) -> Vec<Tensor> {
+    Engine::new(EngineConfig::of_kind(kind))
+        .prepare(&model.graph)
+        .expect("prepares")
+        .run(std::slice::from_ref(input))
+        .expect("runs")
+}
+
+#[test]
+fn engines_agree_on_seeded_small_zoo_models() {
+    // 8 seeded cases: two small zoo families × four weight/input seeds.
+    let cases: [(ModelKind, u64); 8] = [
+        (ModelKind::MnasNet, 11),
+        (ModelKind::MnasNet, 23),
+        (ModelKind::MnasNet, 47),
+        (ModelKind::MnasNet, 91),
+        (ModelKind::MobileNetV3, 13),
+        (ModelKind::MobileNetV3, 29),
+        (ModelKind::MobileNetV3, 53),
+        (ModelKind::MobileNetV3, 97),
+    ];
+    let metric = Metric::relaxed();
+    for (kind, seed) in cases {
+        let model = zoo::build(kind, ScaleProfile::Test, seed).expect("builds");
+        let input = random_input(&model, seed ^ 0xd1ff);
+        let outputs: Vec<Vec<Tensor>> = ENGINES.iter().map(|e| run(*e, &model, &input)).collect();
+        for i in 0..ENGINES.len() {
+            for j in (i + 1)..ENGINES.len() {
+                assert_eq!(outputs[i].len(), outputs[j].len());
+                for (a, b) in outputs[i].iter().zip(outputs[j].iter()) {
+                    assert!(
+                        metric.check(a, b),
+                        "{:?} vs {:?} diverged on {:?} seed {}: max |Δ| = {}",
+                        ENGINES[i],
+                        ENGINES[j],
+                        kind,
+                        seed,
+                        max_abs_diff(a, b)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_under_checkpoint_self_validity() {
+    // Every engine's output must also pass the metric against itself (no
+    // NaN/Inf), the same self-check a single-variant checkpoint applies.
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 71).expect("builds");
+    let input = random_input(&model, 3);
+    let metric = Metric::relaxed();
+    for e in ENGINES {
+        for t in run(e, &model, &input) {
+            assert!(metric.check(&t, &t), "{e:?} produced non-finite output");
+        }
+    }
+}

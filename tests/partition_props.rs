@@ -94,6 +94,33 @@ fn prop_assert_is_close(a: &Tensor, b: &Tensor) {
     );
 }
 
+/// Explicit replay of the checked-in proptest regression
+/// (`partition_props.proptest-regressions`): this genome/target/seed once
+/// produced a failing partition. Keeping it as a plain test means the case
+/// runs even if the regression file is lost, and failures print eagerly.
+#[test]
+fn regression_genome_shrunk_by_proptest() {
+    let genome: [u8; 16] = [0, 44, 0, 4, 4, 24, 10, 15, 10, 35, 104, 210, 146, 4, 161, 175];
+    let target = 2usize;
+    let seed = 4789535714483036397u64;
+
+    let graph = random_model(&genome);
+    assert!(graph.node_count() >= target);
+    let set = Partitioner::new(target).partition(&graph, seed).expect("partitions");
+    assert_eq!(set.len(), target);
+    set.verify(&graph).expect("verifies");
+    let total: usize = set.stages.iter().map(|s| s.nodes.len()).sum();
+    assert_eq!(total, graph.node_count(), "stage plans must cover every node exactly once");
+
+    // And the partitioned execution must equal the whole-graph execution.
+    let input = Tensor::from_vec(
+        (0..256).map(|i| ((i % 13) as f32 - 6.0) / 6.0).collect(),
+        &[1, 4, 8, 8],
+    )
+    .expect("static shape");
+    chained_execution_matches(&graph, &set, &input);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -1,0 +1,110 @@
+//! Negative-path coverage for checkpoint voting (§4.3): the degenerate
+//! inputs a monitor can see when variants die or straggle — empty panels,
+//! all-crashed panels, and the async 2-of-3 quorum followed by a late
+//! dissenter.
+
+use mvtee::voting::{evaluate, has_quorum, VariantOutput, Verdict};
+use mvtee::VotingPolicy;
+use mvtee_tensor::metrics::Metric;
+use mvtee_tensor::Tensor;
+
+fn ok(v: &[f32]) -> VariantOutput {
+    VariantOutput::Ok(vec![Tensor::from_vec(v.to_vec(), &[v.len()]).unwrap()])
+}
+
+fn crashed(reason: &str) -> VariantOutput {
+    VariantOutput::Crashed(reason.to_string())
+}
+
+#[test]
+fn empty_panel_is_divergence_not_agreement() {
+    // A checkpoint with zero outputs must never report consensus: there is
+    // nothing to replicate downstream.
+    for policy in [VotingPolicy::Unanimous, VotingPolicy::Majority] {
+        let v = evaluate(&[], Metric::strict(), policy);
+        match v {
+            Verdict::Diverged { majority, dissenting, .. } => {
+                assert!(majority.is_none(), "no output can be selected from an empty panel");
+                assert!(dissenting.is_empty());
+            }
+            other => panic!("empty panel must diverge, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn all_crashed_panel_reports_every_variant_as_dissenting() {
+    let outs = [crashed("sigsegv"), crashed("sigbus"), crashed("oom")];
+    for policy in [VotingPolicy::Unanimous, VotingPolicy::Majority] {
+        let v = evaluate(&outs, Metric::strict(), policy);
+        match v {
+            Verdict::Diverged { majority, dissenting, detail } => {
+                assert!(majority.is_none());
+                assert_eq!(dissenting, vec![0, 1, 2]);
+                assert!(detail.contains("crashed"), "detail: {detail}");
+            }
+            other => panic!("all-crashed panel must diverge, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn all_crashed_panel_has_no_quorum() {
+    let outs = [crashed("a"), crashed("b")];
+    assert!(has_quorum(&outs, 3, Metric::strict()).is_none());
+}
+
+#[test]
+fn empty_arrival_has_no_quorum() {
+    assert!(has_quorum(&[], 3, Metric::strict()).is_none());
+}
+
+#[test]
+fn two_of_three_quorum_then_late_dissent() {
+    // Async cross-validation: the first two arrivals agree and form a
+    // 2-of-3 quorum — the pipeline releases their output downstream.
+    let early = [ok(&[1.0, 2.0]), ok(&[1.0, 2.0])];
+    let quorum = has_quorum(&early, 3, Metric::strict());
+    assert!(quorum.is_some(), "2 agreeing of 3 is a strict majority");
+    assert_eq!(quorum.unwrap()[0].data(), &[1.0, 2.0]);
+
+    // The straggler then arrives with a different answer. The full-panel
+    // evaluation must flag exactly the late variant — this is the
+    // LateDissent signal (detected after release, but still detected).
+    let full = [ok(&[1.0, 2.0]), ok(&[1.0, 2.0]), ok(&[9.0, 9.0])];
+    match evaluate(&full, Metric::strict(), VotingPolicy::Majority) {
+        Verdict::Diverged { majority: Some(sel), dissenting, .. } => {
+            assert_eq!(sel[0].data(), &[1.0, 2.0]);
+            assert_eq!(dissenting, vec![2]);
+        }
+        other => panic!("late dissent must be flagged, got {other:?}"),
+    }
+}
+
+#[test]
+fn two_of_three_quorum_then_late_crash() {
+    // Same release point, but the straggler dies instead of dissenting.
+    let early = [ok(&[4.0]), ok(&[4.0])];
+    assert!(has_quorum(&early, 3, Metric::strict()).is_some());
+
+    let full = [ok(&[4.0]), ok(&[4.0]), crashed("late sigsegv")];
+    match evaluate(&full, Metric::strict(), VotingPolicy::Majority) {
+        Verdict::Diverged { majority: Some(_), dissenting, .. } => {
+            assert_eq!(dissenting, vec![2]);
+        }
+        other => panic!("late crash must be flagged, got {other:?}"),
+    }
+}
+
+#[test]
+fn minority_arrivals_never_release_early() {
+    // 1 arrival of a 4-panel (or a 2-2 split) is not a strict majority:
+    // the async path must keep waiting rather than release.
+    assert!(has_quorum(&[ok(&[1.0])], 4, Metric::strict()).is_none());
+    let split = [ok(&[1.0]), ok(&[2.0])];
+    assert!(has_quorum(&split, 4, Metric::strict()).is_none());
+    // Even unanimous arrivals are not a quorum of the *full* panel when
+    // too few have arrived.
+    let two = [ok(&[1.0]), ok(&[1.0])];
+    assert!(has_quorum(&two, 5, Metric::strict()).is_none());
+}
