@@ -4,6 +4,7 @@
 //! ```text
 //! experiments [--quick] [--markdown] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]
 //! experiments campaign [--seed N] [--count N] [--no-shrink]
+//! experiments chaos [--seed N] [--scenarios N] [--quick]
 //! ```
 //!
 //! * `--quick` — Test-scale models and a subset (CI smoke).
@@ -14,7 +15,14 @@
 //! (`mvtee-campaign`): prints the detection-coverage matrix plus the
 //! machine-readable JSON report, and exits non-zero when any scenario
 //! violates the detection invariant (MISSED).
+//!
+//! The `chaos` subcommand runs the self-healing storm campaign
+//! (`mvtee_bench::chaos`): every seeded scenario injects a weight bit
+//! flip, a hung variant, and a lossy channel into one deployment at
+//! once, and the run exits non-zero unless every storm heals back to
+//! full panel strength with oracle-identical outputs.
 
+use mvtee_bench::chaos::{run_chaos, ChaosConfig};
 use mvtee_bench::experiments::{
     ablation_metric, ablation_weight_fn, fig10, fig11, fig12, fig13, fig14, fig9,
     security_faults, table1, telemetry_report, Settings,
@@ -47,6 +55,10 @@ fn run_campaign_command(args: &[String]) -> ! {
     let report = mvtee_campaign::run_campaign(&cfg);
     println!("{}", report.render_text());
     println!("{}", report.render_json());
+    // What the instrumented pipeline recorded while the campaign ran —
+    // including the `core.recovery.*` metrics, zero-valued when recovery
+    // never fired (registered eagerly so absence is visible).
+    println!("{}", telemetry_report());
     if report.matrix.total_missed() > 0 {
         eprintln!(
             "error: {} scenario(s) violated the detection invariant",
@@ -57,16 +69,43 @@ fn run_campaign_command(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// The `chaos` subcommand: runs the self-healing storm campaign and exits
+/// non-zero when any storm fails to heal.
+fn run_chaos_command(args: &[String]) -> ! {
+    let seed = flag_value(args, "--seed", 7);
+    let mut cfg = ChaosConfig::new(seed);
+    if args.iter().any(|a| a == "--quick") {
+        cfg.scenarios = 4; // CI smoke
+    }
+    cfg.scenarios = flag_value(args, "--scenarios", cfg.scenarios);
+    eprintln!(
+        "# running chaos storm campaign (seed={seed}, scenarios={}) …",
+        cfg.scenarios
+    );
+    let report = run_chaos(&cfg);
+    println!("{}", report.render_text());
+    println!("{}", telemetry_report());
+    let failed = report.failures().len();
+    if failed > 0 {
+        eprintln!("error: {failed} storm(s) failed to heal");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments [--quick] [--markdown] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]\n       experiments campaign [--seed N] [--count N] [--no-shrink]"
+            "usage: experiments [--quick] [--markdown] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]\n       experiments campaign [--seed N] [--count N] [--no-shrink]\n       experiments chaos [--seed N] [--scenarios N] [--quick]"
         );
         return;
     }
     if args.first().map(String::as_str) == Some("campaign") {
         run_campaign_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("chaos") {
+        run_chaos_command(&args[1..]);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");

@@ -119,6 +119,24 @@ impl CampaignReport {
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let scenarios_ctr = mvtee_telemetry::counter("campaign.scenarios");
     let latency = mvtee_telemetry::histogram("campaign.scenario_nanos");
+    // Register every outcome counter and the recovery metrics up front so
+    // the telemetry report shows explicit zeros — "no recoveries happened"
+    // and "recovery was never exercised" must read differently.
+    for name in [
+        "campaign.detected",
+        "campaign.crashed",
+        "campaign.masked",
+        "campaign.recovered",
+        "campaign.degraded",
+        "campaign.missed",
+        "core.recovery.quarantined",
+        "core.recovery.started",
+        "core.recovery.recovered",
+        "core.recovery.failed",
+    ] {
+        mvtee_telemetry::counter(name);
+    }
+    mvtee_telemetry::histogram("core.recovery.time_to_recovery_ns");
     let mut matrix = CoverageMatrix::new();
     let mut records = Vec::with_capacity(cfg.count as usize);
     for i in 0..cfg.count {
@@ -134,6 +152,8 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             Outcome::Detected { .. } => "campaign.detected",
             Outcome::Crashed { .. } => "campaign.crashed",
             Outcome::Masked => "campaign.masked",
+            Outcome::Recovered { .. } => "campaign.recovered",
+            Outcome::DegradedButCorrect => "campaign.degraded",
             Outcome::Missed { .. } => "campaign.missed",
         })
         .inc();
@@ -154,7 +174,9 @@ mod tests {
 
     #[test]
     fn small_campaign_has_zero_missed_and_is_deterministic() {
-        let cfg = CampaignConfig::new(7, 8);
+        // 10 scenarios span the full family cycle, including both
+        // liveness slots (stall-hang and lossy-channel).
+        let cfg = CampaignConfig::new(7, 10);
         let a = run_campaign(&cfg);
         assert_eq!(a.missed().len(), 0, "MISSED scenarios:\n{}", a.render_text());
         let b = run_campaign(&cfg);
@@ -174,8 +196,27 @@ mod tests {
         let outcomes = delta("campaign.detected")
             + delta("campaign.crashed")
             + delta("campaign.masked")
+            + delta("campaign.recovered")
+            + delta("campaign.degraded")
             + delta("campaign.missed");
         assert_eq!(outcomes, 2);
         assert_eq!(report.records.len(), 2);
+    }
+
+    #[test]
+    fn recovery_metrics_are_registered_even_when_untouched() {
+        run_campaign(&CampaignConfig::new(23, 1));
+        let snap = mvtee_telemetry::snapshot();
+        for name in [
+            "campaign.recovered",
+            "campaign.degraded",
+            "core.recovery.quarantined",
+            "core.recovery.started",
+            "core.recovery.recovered",
+            "core.recovery.failed",
+        ] {
+            assert!(snap.counters.contains_key(name), "counter {name} not registered");
+        }
+        assert!(snap.histograms.contains_key("core.recovery.time_to_recovery_ns"));
     }
 }

@@ -17,6 +17,10 @@ pub struct Counts {
     pub crashed: usize,
     /// Provably masked (bit-identical standalone re-execution).
     pub masked: usize,
+    /// Quarantined and re-provisioned; panel returned to full strength.
+    pub recovered: usize,
+    /// Served correct results at reduced panel strength.
+    pub degraded: usize,
     /// Detection invariant violated.
     pub missed: usize,
 }
@@ -27,13 +31,15 @@ impl Counts {
             Outcome::Detected { .. } => self.detected += 1,
             Outcome::Crashed { .. } => self.crashed += 1,
             Outcome::Masked => self.masked += 1,
+            Outcome::Recovered { .. } => self.recovered += 1,
+            Outcome::DegradedButCorrect => self.degraded += 1,
             Outcome::Missed { .. } => self.missed += 1,
         }
     }
 
     /// Total scenarios in the cell.
     pub fn total(&self) -> usize {
-        self.detected + self.crashed + self.masked + self.missed
+        self.detected + self.crashed + self.masked + self.recovered + self.degraded + self.missed
     }
 }
 
@@ -70,6 +76,8 @@ impl CoverageMatrix {
                 total.detected += counts.detected;
                 total.crashed += counts.crashed;
                 total.masked += counts.masked;
+                total.recovered += counts.recovered;
+                total.degraded += counts.degraded;
                 total.missed += counts.missed;
             }
         }
@@ -98,8 +106,8 @@ impl CoverageMatrix {
             }
             let _ = write!(
                 out,
-                "{{\"class\":\"{class}\",\"defender\":\"{family}\",\"detected\":{},\"crashed\":{},\"masked\":{},\"missed\":{}}}",
-                c.detected, c.crashed, c.masked, c.missed
+                "{{\"class\":\"{class}\",\"defender\":\"{family}\",\"detected\":{},\"crashed\":{},\"masked\":{},\"recovered\":{},\"degraded\":{},\"missed\":{}}}",
+                c.detected, c.crashed, c.masked, c.recovered, c.degraded, c.missed
             );
         }
         out.push(']');
@@ -111,14 +119,14 @@ impl CoverageMatrix {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<10} {:<26} {:>8} {:>8} {:>8} {:>8}",
-            "class", "defender", "detected", "crashed", "masked", "MISSED"
+            "{:<10} {:<26} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8}",
+            "class", "defender", "detected", "crashed", "masked", "recovered", "degraded", "MISSED"
         );
         for ((class, family), c) in &self.cells {
             let _ = writeln!(
                 out,
-                "{:<10} {:<26} {:>8} {:>8} {:>8} {:>8}",
-                class, family, c.detected, c.crashed, c.masked, c.missed
+                "{:<10} {:<26} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8}",
+                class, family, c.detected, c.crashed, c.masked, c.recovered, c.degraded, c.missed
             );
         }
         out
@@ -136,10 +144,18 @@ mod tests {
         m.add("OOB", "aslr", &Outcome::Crashed { partition: 1, variant: 0 });
         m.add("OOB", "aslr", &Outcome::Masked);
         m.add("UNP", "different-rt-tvm", &Outcome::Missed { reason: "x".into() });
+        m.add("stall", "replica", &Outcome::Recovered { partition: 1, variant: 0 });
+        m.add("chan", "replica", &Outcome::DegradedButCorrect);
         let oob = m.class_totals("OOB");
         assert_eq!((oob.detected, oob.crashed, oob.masked, oob.missed), (1, 1, 1, 0));
+        assert_eq!(m.class_totals("stall").recovered, 1);
+        assert_eq!(m.class_totals("chan").degraded, 1);
+        assert_eq!(m.class_totals("stall").total(), 1);
         assert_eq!(m.total_missed(), 1);
-        assert_eq!(m.classes(), vec!["OOB".to_string(), "UNP".to_string()]);
+        assert_eq!(
+            m.classes(),
+            vec!["OOB".to_string(), "UNP".to_string(), "chan".to_string(), "stall".to_string()]
+        );
     }
 
     #[test]

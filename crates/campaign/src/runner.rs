@@ -16,11 +16,11 @@
 
 use crate::scenario::{Defender, Scenario};
 use mvtee::{
-    build_specs, select_partition_set, Deployment, EventLog, MvxConfig, PartitionMvx, PathMode,
-    SpecPatch,
+    build_specs, select_partition_set, DegradationPolicy, Deployment, EventLog, MvxConfig,
+    PartitionMvx, PathMode, RecoveryPolicy, ResponsePolicy, SpecPatch,
 };
 use mvtee_faults::cve::InputTrigger;
-use mvtee_faults::{flip_weight_bits, Attack, FaultDescriptor};
+use mvtee_faults::{flip_weight_bits, Attack, FaultDescriptor, LivenessFault};
 use mvtee_graph::zoo::{self, Model, ScaleProfile};
 use mvtee_graph::ValueId;
 use mvtee_runtime::{Engine, EngineConfig, EngineKind};
@@ -49,6 +49,19 @@ pub enum Outcome {
     /// Provably masked: the faulted variant's standalone output is
     /// bit-identical to its clean run.
     Masked,
+    /// The watchdog quarantined the faulted variant, the recovery manager
+    /// re-provisioned it, and the panel returned to full strength — every
+    /// forwarded output stayed correct throughout.
+    Recovered {
+        /// Partition of the recovered panel.
+        partition: usize,
+        /// The variant index that was quarantined and replaced.
+        variant: usize,
+    },
+    /// A liveness fault knocked a variant out with recovery disabled: the
+    /// stream completed on the surviving quorum with every checkpoint
+    /// passing and every forwarded output correct.
+    DegradedButCorrect,
     /// The detection invariant failed.
     Missed {
         /// Why the scenario counts as missed.
@@ -63,6 +76,8 @@ impl Outcome {
             Outcome::Detected { .. } => "detected",
             Outcome::Crashed { .. } => "crashed",
             Outcome::Masked => "masked",
+            Outcome::Recovered { .. } => "recovered",
+            Outcome::DegradedButCorrect => "degraded",
             Outcome::Missed { .. } => "missed",
         }
     }
@@ -79,6 +94,10 @@ impl fmt::Display for Outcome {
             Outcome::Detected { partition } => write!(f, "detected@p{partition}"),
             Outcome::Crashed { partition, variant } => write!(f, "crashed@p{partition}v{variant}"),
             Outcome::Masked => write!(f, "masked"),
+            Outcome::Recovered { partition, variant } => {
+                write!(f, "recovered@p{partition}v{variant}")
+            }
+            Outcome::DegradedButCorrect => write!(f, "degraded-but-correct"),
             Outcome::Missed { reason } => write!(f, "MISSED ({reason})"),
         }
     }
@@ -111,6 +130,11 @@ fn nonpanel_engine(sc: &Scenario) -> EngineConfig {
         }
         // Bit flips are sealed into one panel variant only.
         FaultDescriptor::WeightBitFlip(_) => EngineConfig::of_kind(EngineKind::OrtLike),
+        // Liveness faults live in one panel host's scheduling/transport
+        // stack; non-panel partitions are untouched by construction.
+        FaultDescriptor::Stall(_) | FaultDescriptor::Channel(_) => {
+            EngineConfig::of_kind(EngineKind::OrtLike)
+        }
     }
 }
 
@@ -177,6 +201,9 @@ pub fn scenario_overrides(sc: &Scenario) -> HashMap<(usize, usize), SpecPatch> {
             // else: the replicated default (plain ORT-like) is susceptible.
         }
         FaultDescriptor::WeightBitFlip(_) => {}
+        // The liveness cycle pairs with Replica: variant 0 keeps the
+        // default spec and the fault is injected into its host instead.
+        FaultDescriptor::Stall(_) | FaultDescriptor::Channel(_) => {}
     }
     for v in 1..sc.panel_size {
         if let Some(patch) = defender_patch(sc) {
@@ -185,6 +212,11 @@ pub fn scenario_overrides(sc: &Scenario) -> HashMap<(usize, usize), SpecPatch> {
     }
     map
 }
+
+/// Checkpoint deadline of the liveness scenarios, in ms: tight enough
+/// that a hung variant is escalated within one batch of CI time, wide
+/// enough that a healthy Test-scale batch never trips it.
+const LIVENESS_DEADLINE_MS: u64 = 300;
 
 /// The scenario's MVX configuration.
 pub fn scenario_config(sc: &Scenario) -> MvxConfig {
@@ -196,6 +228,26 @@ pub fn scenario_config(sc: &Scenario) -> MvxConfig {
         replicated: true,
         metric: if sc.defender.homogeneous() { Metric::strict() } else { Metric::relaxed() },
     };
+    match &sc.fault {
+        // Stall scenarios exercise the full detect → quarantine →
+        // re-provision → rejoin loop: watchdog deadline tight, recovery
+        // on, service continues on the surviving quorum meanwhile.
+        FaultDescriptor::Stall(_) => {
+            cfg.checkpoint_deadline_ms = LIVENESS_DEADLINE_MS;
+            cfg.response = ResponsePolicy::ContinueWithMajority;
+            cfg.degradation = DegradationPolicy::Degrade;
+            cfg.recovery = RecoveryPolicy::enabled();
+        }
+        // Channel scenarios exercise graceful degradation without
+        // recovery: the panel drops to survivors for the rest of the
+        // stream.
+        FaultDescriptor::Channel(_) => {
+            cfg.checkpoint_deadline_ms = LIVENESS_DEADLINE_MS;
+            cfg.response = ResponsePolicy::ContinueWithMajority;
+            cfg.degradation = DegradationPolicy::Degrade;
+        }
+        _ => {}
+    }
     cfg
 }
 
@@ -207,6 +259,12 @@ pub fn scenario_config(sc: &Scenario) -> MvxConfig {
 /// Returns `Err` only for infrastructure failures (model build or
 /// deployment bootstrap); fault effects never error.
 pub fn run_scenario(sc: &Scenario, profile: ScaleProfile) -> Result<Outcome, String> {
+    // Liveness faults attack progress, not values: they need a
+    // multi-batch stream (so the panel can re-form mid-stream) and their
+    // own classifier.
+    if matches!(sc.fault, FaultDescriptor::Stall(_) | FaultDescriptor::Channel(_)) {
+        return run_liveness_scenario(sc, profile);
+    }
     let model = zoo::build(sc.model, profile, sc.seed).map_err(|e| e.to_string())?;
     let input = trigger_input(sc, &model);
     let cfg = scenario_config(sc);
@@ -222,6 +280,12 @@ pub fn run_scenario(sc: &Scenario, profile: ScaleProfile) -> Result<Outcome, Str
         FaultDescriptor::WeightBitFlip(fault) => {
             builder.weight_fault(sc.mvx_partition, 0, *fault)
         }
+        FaultDescriptor::Stall(f) => {
+            builder.liveness_fault(sc.mvx_partition, 0, LivenessFault::Stall(*f))
+        }
+        FaultDescriptor::Channel(f) => {
+            builder.liveness_fault(sc.mvx_partition, 0, LivenessFault::Channel(*f))
+        }
     };
     let mut d = builder.build().map_err(|e| e.to_string())?;
     // One batch: the campaign asserts detection at the first checkpoint,
@@ -234,6 +298,146 @@ pub fn run_scenario(sc: &Scenario, profile: ScaleProfile) -> Result<Outcome, Str
     d.shutdown();
 
     Ok(classify(sc, &cfg, &crashes, &divergences, &passes, profile))
+}
+
+/// Batches every liveness scenario streams before classification starts
+/// — enough for the fault to fire and the panel to react.
+const LIVENESS_BATCHES: u64 = 6;
+/// Hard cap on extra batches streamed while waiting for a recovered
+/// variant to rejoin at full strength (bounds scenario wall-clock; a
+/// recovery that has not landed by then is a finding, not a wait).
+const LIVENESS_BATCH_CAP: u64 = 40;
+/// Inputs cycle with this period so consecutive batches are
+/// distinguishable (a stale frame cannot impersonate a fresh one) while
+/// the clean oracle stays a constant-size prefix.
+const LIVENESS_INPUT_PERIOD: u64 = 3;
+
+/// The deterministic input of liveness batch `batch`.
+fn liveness_input(sc: &Scenario, model: &Model, batch: u64) -> Tensor {
+    let n = model.input_shape.num_elements();
+    let mut rng =
+        StdRng::seed_from_u64(sc.seed ^ 0x17_19_u64 ^ (batch % LIVENESS_INPUT_PERIOD));
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Tensor::from_vec(data, model.input_shape.dims()).expect("static input shape")
+}
+
+/// Runs a liveness (stall / lossy-channel) scenario: streams batches
+/// through the real pipeline with the fault injected into panel variant
+/// 0's host, checks every forwarded output bit-for-bit against an
+/// unfaulted oracle deployment, and classifies against the self-healing
+/// invariant — the watchdog resolves the fault within its deadline and
+/// the panel either returns to full strength ([`Outcome::Recovered`]) or
+/// degrades gracefully ([`Outcome::DegradedButCorrect`]).
+fn run_liveness_scenario(sc: &Scenario, profile: ScaleProfile) -> Result<Outcome, String> {
+    let fault = match &sc.fault {
+        FaultDescriptor::Stall(f) => LivenessFault::Stall(*f),
+        FaultDescriptor::Channel(f) => LivenessFault::Channel(*f),
+        other => return Err(format!("not a liveness fault: {other}")),
+    };
+    let cfg = scenario_config(sc);
+    let overrides = scenario_overrides(sc);
+    let build = |model| {
+        let mut builder = Deployment::builder(model).config(cfg.clone());
+        for ((p, v), patch) in &overrides {
+            builder = builder.spec_patch(*p, *v, patch.clone());
+        }
+        builder
+    };
+
+    let model = zoo::build(sc.model, profile, sc.seed).map_err(|e| e.to_string())?;
+    let inputs: Vec<Tensor> =
+        (0..LIVENESS_INPUT_PERIOD).map(|b| liveness_input(sc, &model, b)).collect();
+
+    // The correctness oracle: the identical deployment without the fault.
+    let mut clean = build(model).build().map_err(|e| e.to_string())?;
+    let mut expected = Vec::with_capacity(inputs.len());
+    for input in &inputs {
+        expected.push(clean.infer(input).map_err(|e| format!("oracle run failed: {e}"))?);
+    }
+    clean.shutdown();
+
+    let faulted_model = zoo::build(sc.model, profile, sc.seed).map_err(|e| e.to_string())?;
+    let mut d = build(faulted_model)
+        .liveness_fault(sc.mvx_partition, 0, fault)
+        .build()
+        .map_err(|e| e.to_string())?;
+
+    let p = sc.mvx_partition;
+    let mut verdict: Option<Outcome> = None;
+    for b in 0..LIVENESS_BATCH_CAP {
+        let idx = (b % LIVENESS_INPUT_PERIOD) as usize;
+        match d.infer(&inputs[idx]) {
+            Ok(out) => {
+                if !bits_equal(std::slice::from_ref(&out), std::slice::from_ref(&expected[idx]))
+                {
+                    verdict = Some(Outcome::Missed {
+                        reason: format!("liveness fault corrupted the output of batch {b}"),
+                    });
+                    break;
+                }
+            }
+            Err(e) => {
+                verdict = Some(Outcome::Missed {
+                    reason: format!("stream failed at batch {b}: {e}"),
+                });
+                break;
+            }
+        }
+        if b + 1 < LIVENESS_BATCHES {
+            continue;
+        }
+        // Terminal-state check: stop streaming once the invariant holds.
+        let events = d.events();
+        match &sc.fault {
+            FaultDescriptor::Stall(_) => {
+                if let Some(&(qp, qv, qb)) = events.quarantines().first() {
+                    let rejoined = events.recoveries().contains(&(qp, qv))
+                        && events.checkpoint_passes().iter().any(|&(pp, pb, agreeing)| {
+                            pp == qp && pb > qb && agreeing == sc.panel_size
+                        });
+                    if rejoined {
+                        verdict =
+                            Some(Outcome::Recovered { partition: qp, variant: qv });
+                        break;
+                    }
+                    // Recovery is asynchronous: give the manager a beat
+                    // before the next batch dispatches.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                } else {
+                    // The watchdog never fired and every output matched:
+                    // a sub-deadline delay, provably without effect.
+                    verdict = Some(Outcome::Masked);
+                    break;
+                }
+            }
+            FaultDescriptor::Channel(_) => {
+                // Without a recovery manager no Quarantined event exists;
+                // the degradation signature is a checkpoint that passed
+                // on the surviving quorum after a detection.
+                let degraded_pass = events
+                    .checkpoint_passes()
+                    .iter()
+                    .any(|&(pp, _, agreeing)| pp == p && agreeing == sc.panel_size - 1);
+                if degraded_pass {
+                    verdict = Some(Outcome::DegradedButCorrect);
+                    break;
+                }
+                if events.detection_count() == 0 {
+                    verdict = Some(Outcome::Masked);
+                    break;
+                }
+            }
+            // run_liveness_scenario is only entered for liveness faults.
+            _ => unreachable!("non-liveness fault in liveness runner"),
+        }
+    }
+    let verdict = verdict.unwrap_or_else(|| Outcome::Missed {
+        reason: format!(
+            "panel never reached a terminal state within {LIVENESS_BATCH_CAP} batches"
+        ),
+    });
+    d.shutdown();
+    Ok(verdict)
 }
 
 fn classify(
@@ -378,6 +582,11 @@ fn standalone_masked(sc: &Scenario, profile: ScaleProfile) -> Result<bool, Strin
                 .run(&stage_inputs)
                 .map_err(|e| e.to_string())?
         }
+        // Liveness faults are value-preserving by construction: a stalled
+        // or frame-dropping host computes the same tensors (or none).
+        // They are classified by the dedicated liveness runner, never by
+        // the standalone masked-check.
+        FaultDescriptor::Stall(_) | FaultDescriptor::Channel(_) => clean.clone(),
     };
 
     Ok(bits_equal(&clean, &faulted))

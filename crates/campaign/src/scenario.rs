@@ -9,7 +9,10 @@
 //! can be replayed exactly from its printed line.
 
 use mvtee_faults::cve::InputTrigger;
-use mvtee_faults::{Attack, BitFlipFault, BitFlipStrategy, CveClass, FaultDescriptor, FrameFlip};
+use mvtee_faults::{
+    Attack, BitFlipFault, BitFlipStrategy, ChannelFault, ChannelFaultMode, CveClass,
+    FaultDescriptor, FrameFlip, StallFault, StallMode,
+};
 use mvtee_graph::zoo::ModelKind;
 use mvtee_runtime::BlasKind;
 use rand::rngs::StdRng;
@@ -244,9 +247,12 @@ pub const CAMPAIGN_MODELS: [ModelKind; 4] =
     [ModelKind::MnasNet, ModelKind::MobileNetV3, ModelKind::ResNet50, ModelKind::GoogleNet];
 
 /// The family schedule cycled by scenario index, guaranteeing that every
-/// CVE class and both fault families appear in any campaign of ≥ 8
-/// scenarios.
-const FAMILY_CYCLE: usize = 8;
+/// CVE class and every fault family — the six CVE classes, weight bit
+/// flips, FrameFlip, and both liveness families (stall and lossy channel)
+/// — appears in any campaign of ≥ 10 scenarios. Slots 0–7 are unchanged
+/// from the original value-fault cycle so historical pinned scenarios
+/// stay valid; the liveness slots are appended.
+const FAMILY_CYCLE: usize = 10;
 
 /// Generates the `index`-th scenario of the campaign with master seed
 /// `campaign_seed`. Deterministic: the same `(campaign_seed, index)`
@@ -281,7 +287,7 @@ pub fn generate_scenario(campaign_seed: u64, index: u64) -> Scenario {
     let immune = rng.gen_range(0..5) == 0;
 
     let (fault, defender) = match (index as usize) % FAMILY_CYCLE {
-        // Six CVE classes, then bitflip, then frameflip.
+        // Six CVE classes, then bitflip, frameflip, stall, channel.
         slot @ 0..=5 => {
             let class = CveClass::ALL[slot];
             // Crafted-marker triggers are only observable where the raw
@@ -309,7 +315,7 @@ pub fn generate_scenario(campaign_seed: u64, index: u64) -> Scenario {
             };
             (FaultDescriptor::WeightBitFlip(fault), Defender::Replica)
         }
-        _ => {
+        7 => {
             let target = BlasKind::ALL[rng.gen_range(0..BlasKind::ALL.len())];
             let others: Vec<BlasKind> =
                 BlasKind::ALL.iter().copied().filter(|b| *b != target).collect();
@@ -317,11 +323,49 @@ pub fn generate_scenario(campaign_seed: u64, index: u64) -> Scenario {
             let ff = FrameFlip::against(target);
             (FaultDescriptor::BlasFault(ff), Defender::Blas(defender_blas))
         }
+        8 => {
+            // A full hang after a verified checkpoint exists: the
+            // straggler watchdog must quarantine it and the recovery
+            // manager re-provision it, so the expected outcome is
+            // Recovered. (Sub-deadline delays classify as Masked and are
+            // exercised by hand-written specs, not the cycle.)
+            let fault = StallFault { from_batch: rng.gen_range(1..=2), mode: StallMode::Hang };
+            (FaultDescriptor::Stall(fault), Defender::Replica)
+        }
+        _ => {
+            // A lossy response channel without recovery: the panel drops
+            // to survivors and the expected outcome is DegradedButCorrect.
+            let mode = if rng.gen_bool(0.5) {
+                ChannelFaultMode::Drop
+            } else {
+                ChannelFaultMode::Truncate
+            };
+            let fault = ChannelFault { on_batch: rng.gen_range(1..=2), mode };
+            (FaultDescriptor::Channel(fault), Defender::Replica)
+        }
+    };
+
+    // Continuing service after a knocked-out member needs a strict
+    // majority of the *full* panel among the survivors, so liveness
+    // scenarios always run a panel of three (2-of-3 keeps voting).
+    let panel_size = if matches!(fault, FaultDescriptor::Stall(_) | FaultDescriptor::Channel(_))
+    {
+        3
+    } else {
+        panel_size
     };
 
     // Bit flips hit one replica's sealed weights: an "immune" panel would
     // simply be an unfaulted deployment, so the flag is meaningless there.
-    let immune = immune && !matches!(fault, FaultDescriptor::WeightBitFlip(_));
+    // Liveness faults live in one host's scheduling/transport stack, so
+    // the same reasoning applies.
+    let immune = immune
+        && !matches!(
+            fault,
+            FaultDescriptor::WeightBitFlip(_)
+                | FaultDescriptor::Stall(_)
+                | FaultDescriptor::Channel(_)
+        );
 
     // Marker-triggered attacks only fire at partition 0.
     let mvx_partition = match &fault {
@@ -368,7 +412,7 @@ mod tests {
     #[test]
     fn cycle_covers_all_families_and_classes() {
         let mut classes = std::collections::HashSet::new();
-        for i in 0..8 {
+        for i in 0..10 {
             classes.insert(generate_scenario(7, i).fault.class_name());
         }
         for class in CveClass::ALL {
@@ -376,6 +420,31 @@ mod tests {
         }
         assert!(classes.contains("bitflip"));
         assert!(classes.contains("frameflip"));
+        assert!(classes.contains("stall"));
+        assert!(classes.contains("chan"));
+    }
+
+    #[test]
+    fn liveness_slots_are_never_immune_and_fire_after_a_checkpoint() {
+        for i in 0..256 {
+            let sc = generate_scenario(5, i);
+            match &sc.fault {
+                FaultDescriptor::Stall(f) => {
+                    assert!(!sc.immune, "immune stall is meaningless: {sc}");
+                    assert_eq!(f.mode, StallMode::Hang);
+                    // Batch 0 must complete so a verified resync point
+                    // exists before the watchdog fires.
+                    assert!(f.from_batch >= 1, "{sc}");
+                    assert_eq!(sc.panel_size, 3, "{sc}");
+                }
+                FaultDescriptor::Channel(f) => {
+                    assert!(!sc.immune, "immune channel fault is meaningless: {sc}");
+                    assert!(f.on_batch >= 1, "{sc}");
+                    assert_eq!(sc.panel_size, 3, "{sc}");
+                }
+                _ => {}
+            }
+        }
     }
 
     #[test]

@@ -91,6 +91,59 @@ pub enum ResponsePolicy {
     ContinueWithMajority,
 }
 
+/// What voting does while a panel is *below strength* — one or more
+/// variants quarantined or crashed and not yet recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DegradationPolicy {
+    /// Fail the batch outright: a below-strength panel is treated as a
+    /// divergence so the response policy fires (halt by default).
+    Strict,
+    /// Vote with the reduced quorum of survivors (the historical
+    /// behaviour, so it stays the default).
+    #[default]
+    Degrade,
+    /// Fall through the checkpoint flagged: take the first healthy
+    /// output without voting and record a `ResponseTaken` marker so the
+    /// degraded span is auditable.
+    FastPathFallback,
+}
+
+/// Retry budget and pacing for automatic variant recovery.
+///
+/// Durations are stored in milliseconds so the config stays plainly
+/// serialisable; accessors expose [`std::time::Duration`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Master switch: when `false` (the default) quarantined variants
+    /// are dropped for the rest of the stream, matching the historical
+    /// continue-with-survivors behaviour.
+    pub enabled: bool,
+    /// Re-provision attempts after the first (attempt 0) fails.
+    pub max_retries: u32,
+    /// Base of the exponential backoff between attempts, in ms: attempt
+    /// `k` sleeps `backoff_base_ms * 2^k` before retrying.
+    pub backoff_base_ms: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy { enabled: false, max_retries: 3, backoff_base_ms: 25 }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Recovery switched on with the default retry budget.
+    pub fn enabled() -> Self {
+        RecoveryPolicy { enabled: true, ..Self::default() }
+    }
+
+    /// Backoff before retry attempt `k` (attempt 0 waits one base unit).
+    pub fn backoff(&self, attempt: u32) -> std::time::Duration {
+        let factor = 1u64 << attempt.min(16);
+        std::time::Duration::from_millis(self.backoff_base_ms.saturating_mul(factor))
+    }
+}
+
 /// The complete MVX configuration provisioned by the model owner.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MvxConfig {
@@ -111,6 +164,20 @@ pub struct MvxConfig {
     /// Whether inter-TEE traffic is encrypted (disabled only by the
     /// overhead-measurement baseline of Fig 10).
     pub encrypt: bool,
+    /// Per-partition checkpoint deadline in ms: how long a stage
+    /// coordinator waits for panel outputs before the straggler watchdog
+    /// escalates (timeout → late dissent → quarantine). Replaces the old
+    /// hardcoded 30 s `RESPONSE_TIMEOUT`.
+    pub checkpoint_deadline_ms: u64,
+    /// Total window in ms spent draining straggler responses after a
+    /// quorum was forwarded in async cross-validation mode.
+    pub drain_window_ms: u64,
+    /// Poll interval in ms within the drain window.
+    pub drain_poll_ms: u64,
+    /// Voting behaviour while a panel is below strength.
+    pub degradation: DegradationPolicy,
+    /// Automatic quarantine-and-recover policy.
+    pub recovery: RecoveryPolicy,
 }
 
 impl MvxConfig {
@@ -125,7 +192,27 @@ impl MvxConfig {
             voting: VotingPolicy::Unanimous,
             response: ResponsePolicy::Halt,
             encrypt: true,
+            checkpoint_deadline_ms: 30_000,
+            drain_window_ms: 500,
+            drain_poll_ms: 50,
+            degradation: DegradationPolicy::default(),
+            recovery: RecoveryPolicy::default(),
         }
+    }
+
+    /// The checkpoint deadline as a [`std::time::Duration`].
+    pub fn checkpoint_deadline(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.checkpoint_deadline_ms)
+    }
+
+    /// The async straggler drain window as a [`std::time::Duration`].
+    pub fn drain_window(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.drain_window_ms)
+    }
+
+    /// The drain poll interval as a [`std::time::Duration`].
+    pub fn drain_poll(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.drain_poll_ms)
     }
 
     /// Selective MVX: `variants` replicas on the partitions listed in
@@ -182,6 +269,14 @@ impl MvxConfig {
         }
         if self.claims.iter().any(|c| c.variants == 0) {
             return Err(crate::MvxError::InvalidConfig("a partition claims zero variants".into()));
+        }
+        if self.checkpoint_deadline_ms == 0 {
+            return Err(crate::MvxError::InvalidConfig("zero checkpoint deadline".into()));
+        }
+        if self.drain_poll_ms == 0 || self.drain_poll_ms > self.drain_window_ms {
+            return Err(crate::MvxError::InvalidConfig(
+                "drain poll must be non-zero and no longer than the drain window".into(),
+            ));
         }
         if self.exec == ExecMode::AsyncCrossValidation && self.partitions == 1 {
             // "This mode is inherently inapplicable for full MVX without
@@ -242,6 +337,39 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = MvxConfig::fast_path(1);
         c.exec = ExecMode::AsyncCrossValidation;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn timeouts_default_to_historical_values() {
+        let c = MvxConfig::fast_path(2);
+        assert_eq!(c.checkpoint_deadline(), std::time::Duration::from_secs(30));
+        assert_eq!(c.drain_window(), std::time::Duration::from_millis(500));
+        assert_eq!(c.drain_poll(), std::time::Duration::from_millis(50));
+        assert_eq!(c.degradation, DegradationPolicy::Degrade);
+        assert!(!c.recovery.enabled);
+    }
+
+    #[test]
+    fn recovery_backoff_is_exponential() {
+        let p = RecoveryPolicy { enabled: true, max_retries: 3, backoff_base_ms: 25 };
+        assert_eq!(p.backoff(0), std::time::Duration::from_millis(25));
+        assert_eq!(p.backoff(1), std::time::Duration::from_millis(50));
+        assert_eq!(p.backoff(2), std::time::Duration::from_millis(100));
+        // Saturates rather than overflowing for absurd attempt counts.
+        assert!(p.backoff(63) >= p.backoff(16));
+    }
+
+    #[test]
+    fn validation_rejects_bad_timeouts() {
+        let mut c = MvxConfig::fast_path(2);
+        c.checkpoint_deadline_ms = 0;
+        assert!(c.validate().is_err());
+        let mut c = MvxConfig::fast_path(2);
+        c.drain_poll_ms = 0;
+        assert!(c.validate().is_err());
+        let mut c = MvxConfig::fast_path(2);
+        c.drain_poll_ms = c.drain_window_ms + 1;
         assert!(c.validate().is_err());
     }
 

@@ -28,9 +28,10 @@ use crate::pipeline::{
     spawn_pipeline, spawn_rx_thread, CoordMsg, PipelineHandles, RxEvent, StageJob, StagePolicy,
     StageRuntime, VariantLink,
 };
+use crate::recovery::{spawn_recovery_manager, RecoveryContext, RecoveryRequest};
 use crate::variant_host::{spawn_variant, SealedVariantPayload, VariantHandle, VariantLaunch};
 use crate::{MvxError, Result};
-use crossbeam::channel::unbounded;
+use crossbeam::channel::{unbounded, Sender};
 use mvtee_crypto::channel::{memory_pair, FrameTransport, MemoryTransport, Role};
 use mvtee_crypto::gcm::AesGcm;
 use mvtee_crypto::sha256::sha256;
@@ -38,7 +39,7 @@ use mvtee_crypto::x25519::EphemeralKeypair;
 use mvtee_crypto::{random_array, random_bytes};
 use mvtee_diversify::spec::spread_specs;
 use mvtee_diversify::{VariantGenerator, VariantId, VariantSpec};
-use mvtee_faults::{flip_weight_bits, Attack, BitFlipFault, FrameFlip};
+use mvtee_faults::{flip_weight_bits, Attack, BitFlipFault, FrameFlip, LivenessFault};
 use mvtee_graph::zoo::Model;
 use mvtee_graph::{Graph, ValueId};
 use mvtee_partition::{PartitionPool, PartitionSet, Partitioner, PoolConfig};
@@ -48,6 +49,8 @@ use mvtee_tee::{
     ProtectedFs, TeeKind,
 };
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// A partial override of one variant's spec (builder-level control used
@@ -240,8 +243,9 @@ pub fn select_partition_set(
 
 /// Seals one variant's payload (second-stage manifest + bundle) under a
 /// fresh variant key and assembles its artifact — the single construction
-/// path used by the offline phase, partial updates and key rotation.
-fn seal_artifact(
+/// path used by the offline phase, partial updates, key rotation and the
+/// recovery manager.
+pub(crate) fn seal_artifact(
     init_code: &[u8],
     subgraph: &Graph,
     generator: &VariantGenerator,
@@ -270,6 +274,137 @@ fn seal_artifact(
         expected_manifest_hash: second.hash(),
         init_manifest,
     })
+}
+
+/// The monitor-side state a bootstrap needs — borrowed from the
+/// deployment at launch time, or from the recovery manager's snapshot
+/// when a replacement variant re-attests mid-stream.
+pub(crate) struct BootstrapCtx<'a> {
+    /// Simulated hardware platform (report verification).
+    pub platform: &'a Platform,
+    /// Public init-variant code (expected first-stage measurement).
+    pub init_code: &'a [u8],
+    /// Generation the anti-fork uniqueness check is scoped to.
+    pub generation: u64,
+    /// Shared append-only binding registry.
+    pub bindings: &'a Mutex<Vec<BindingRecord>>,
+    /// Audit event log.
+    pub events: &'a EventLog,
+}
+
+/// Monitor-side bootstrap of one variant (Fig 6 steps ②–⑦): challenge,
+/// evidence verification, sealed key release, install-evidence check and
+/// secure binding. Returns the session secret for the data-plane links.
+pub(crate) fn bootstrap_variant(
+    ctx: &BootstrapCtx<'_>,
+    partition: usize,
+    variant: usize,
+    artifact: &VariantArtifact,
+    tee_kind: TeeKind,
+    transport: &MemoryTransport,
+) -> Result<[u8; 32]> {
+    // Challenge with a fresh nonce (anti-replay).
+    let mut nonce = [0u8; 32];
+    random_bytes(&mut nonce);
+    let keypair = EphemeralKeypair::generate();
+    transport
+        .send_frame(encode(&BootstrapRequest::Challenge {
+            nonce,
+            monitor_dh_public: keypair.public,
+        })?)
+        .map_err(|e| MvxError::Transport(e.to_string()))?;
+
+    // Verify the evidence.
+    let evidence_bytes = transport
+        .recv_frame()
+        .map_err(|e| MvxError::Transport(e.to_string()))?;
+    let BootstrapResponse::Evidence { report, variant_dh_public } =
+        decode::<BootstrapResponse>(&evidence_bytes)?
+    else {
+        return Err(MvxError::Tee("variant failed before evidence".into()));
+    };
+    let init_identity =
+        CodeIdentity::from_content("mvtee-init-variant", "1.0", ctx.init_code);
+    let expected_measurement =
+        compute_measurement(tee_kind, &init_identity, &artifact.init_manifest.hash());
+    let transcript_hash = bootstrap_transcript_hash(&keypair.public, &variant_dh_public);
+    let mut expected_data = Vec::with_capacity(64);
+    expected_data.extend_from_slice(&sha256(&nonce));
+    expected_data.extend_from_slice(&transcript_hash);
+    mvtee_tee::verify_report(
+        ctx.platform,
+        &report,
+        Some(expected_measurement),
+        &expected_data,
+    )?;
+
+    // Session keys and sealed key release.
+    let shared = keypair.diffie_hellman(&variant_dh_public);
+    let session_secret = bootstrap_session_secret(&shared, &nonce);
+    let session_cipher = AesGcm::new_256(&session_secret);
+    let release = KeyRelease {
+        variant_key: artifact.variant_key,
+        variant_id: artifact.spec.id.0,
+        bundle_path: artifact.bundle_path.clone(),
+        expected_manifest_hash: artifact.expected_manifest_hash,
+    };
+    let sealed = session_cipher.seal(&[0u8; 12], &encode(&release)?, b"key-release");
+    transport
+        .send_frame(encode(&BootstrapRequest::SealedKeyRelease { payload: sealed })?)
+        .map_err(|e| MvxError::Transport(e.to_string()))?;
+
+    // Install evidence: the enforced second-stage manifest must match.
+    let install_bytes = transport
+        .recv_frame()
+        .map_err(|e| MvxError::Transport(e.to_string()))?;
+    let BootstrapResponse::SealedInstallEvidence { payload } =
+        decode::<BootstrapResponse>(&install_bytes)?
+    else {
+        return Err(MvxError::Tee("variant failed before install evidence".into()));
+    };
+    let plain = session_cipher
+        .open(&[1u8; 12], &payload, b"install-evidence")
+        .map_err(MvxError::from)?;
+    let evidence: InstallEvidence = decode(&plain)?;
+    if evidence.manifest_hash != artifact.expected_manifest_hash {
+        return Err(MvxError::Tee(format!(
+            "variant p{partition}v{variant} enforced an unexpected second-stage manifest"
+        )));
+    }
+    if evidence.variant_id != artifact.spec.id.0 {
+        return Err(MvxError::Tee("variant id mismatch in install evidence".into()));
+    }
+    let expected_main =
+        compute_measurement(tee_kind, &init_identity, &artifact.expected_manifest_hash);
+    if evidence.measurement != expected_main {
+        return Err(MvxError::Tee("unexpected post-exec measurement".into()));
+    }
+    // Bind (anti-fork: one live binding per variant id; older
+    // generations remain in the append-only log).
+    let mut bindings = ctx.bindings.lock().expect("binding registry poisoned");
+    if bindings
+        .iter()
+        .any(|b| b.generation == ctx.generation && b.variant_id == evidence.variant_id)
+    {
+        return Err(MvxError::Tee(format!(
+            "fork detected: variant id {} already bound",
+            evidence.variant_id
+        )));
+    }
+    bindings.push(BindingRecord {
+        generation: ctx.generation,
+        partition,
+        variant,
+        variant_id: evidence.variant_id,
+        measurement: evidence.measurement,
+    });
+    drop(bindings);
+    ctx.events.record(MonitorEvent::VariantBound {
+        partition,
+        variant,
+        measurement: evidence.measurement,
+    });
+    Ok(session_secret)
 }
 
 /// Builds the variant specs for one partition claim — the canonical
@@ -322,6 +457,7 @@ pub struct DeploymentBuilder {
     variant_seed: u64,
     overrides: HashMap<(usize, usize), SpecPatch>,
     weight_faults: HashMap<(usize, usize), BitFlipFault>,
+    liveness_faults: HashMap<(usize, usize), LivenessFault>,
     attack: Option<Attack>,
     frameflip: Option<FrameFlip>,
     tee_kind_default: TeeKind,
@@ -337,6 +473,7 @@ impl DeploymentBuilder {
             variant_seed: 0xd1ce,
             overrides: HashMap::new(),
             weight_faults: HashMap::new(),
+            liveness_faults: HashMap::new(),
             attack: None,
             frameflip: None,
             tee_kind_default: TeeKind::Sgx,
@@ -354,6 +491,11 @@ impl DeploymentBuilder {
         cfg.response = self.config.response;
         cfg.encrypt = self.config.encrypt;
         cfg.partition_seed = self.config.partition_seed;
+        cfg.checkpoint_deadline_ms = self.config.checkpoint_deadline_ms;
+        cfg.drain_window_ms = self.config.drain_window_ms;
+        cfg.drain_poll_ms = self.config.drain_poll_ms;
+        cfg.degradation = self.config.degradation;
+        cfg.recovery = self.config.recovery;
         self.config = cfg;
         self
     }
@@ -451,6 +593,13 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Injects a liveness fault (stall or lossy channel) into one variant
+    /// host — the straggler-watchdog and recovery exercise path.
+    pub fn liveness_fault(mut self, partition: usize, variant: usize, fault: LivenessFault) -> Self {
+        self.liveness_faults.insert((partition, variant), fault);
+        self
+    }
+
     /// Injects a simulated CVE attack on every variant host.
     pub fn attack(mut self, attack: Attack) -> Self {
         self.attack = Some(attack);
@@ -510,6 +659,7 @@ impl DeploymentBuilder {
             offline,
             self.attack,
             self.frameflip,
+            self.liveness_faults,
             self.tee_kind_default,
         )?;
         deployment.pool = pool;
@@ -527,7 +677,7 @@ pub struct Deployment {
     events: EventLog,
     handles: Option<PipelineHandles>,
     variant_threads: Vec<VariantHandle>,
-    bindings: Vec<BindingRecord>,
+    bindings: Arc<Mutex<Vec<BindingRecord>>>,
     generation: u64,
     update_log: Vec<String>,
     next_batch: u64,
@@ -535,8 +685,11 @@ pub struct Deployment {
     output_value: ValueId,
     attack: Option<Attack>,
     frameflip: Option<FrameFlip>,
+    liveness_faults: HashMap<(usize, usize), LivenessFault>,
     tee_kind_default: TeeKind,
     pool: Option<PartitionPool>,
+    recovery_tx: Option<Sender<RecoveryRequest>>,
+    recovery_manager: Option<JoinHandle<()>>,
 }
 
 /// Per-stream timing statistics (used by the benchmark harness).
@@ -580,12 +733,14 @@ impl Deployment {
         DeploymentBuilder::new(model)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn bring_online(
         model: Model,
         config: MvxConfig,
         offline: OfflinePhase,
         attack: Option<Attack>,
         frameflip: Option<FrameFlip>,
+        liveness_faults: HashMap<(usize, usize), LivenessFault>,
         tee_kind_default: TeeKind,
     ) -> Result<Deployment> {
         let platform = Platform::new();
@@ -617,7 +772,7 @@ impl Deployment {
             events,
             handles: None,
             variant_threads: Vec::new(),
-            bindings: Vec::new(),
+            bindings: Arc::new(Mutex::new(Vec::new())),
             generation: 0,
             update_log: Vec::new(),
             next_batch: 0,
@@ -625,8 +780,11 @@ impl Deployment {
             output_value,
             attack,
             frameflip,
+            liveness_faults,
             tee_kind_default,
             pool: None,
+            recovery_tx: None,
+            recovery_manager: None,
         };
         deployment.launch_all()?;
         Ok(deployment)
@@ -650,6 +808,45 @@ impl Deployment {
             needed_suffix[p] = needed;
         }
 
+        // The recovery manager (when enabled) gets a provisioning snapshot
+        // and a request channel; every coordinator gets a sender clone so
+        // quarantines turn into re-provisioning requests.
+        let recovery_tx: Option<Sender<RecoveryRequest>> = if self.config.recovery.enabled {
+            let (tx, rx) = unbounded::<RecoveryRequest>();
+            let ctx = RecoveryContext {
+                platform: self.platform.clone(),
+                init_code: self.offline.init_code.clone(),
+                subgraphs: self.offline.subgraphs.clone(),
+                specs: self
+                    .offline
+                    .artifacts
+                    .iter()
+                    .map(|row| row.iter().map(|a| a.spec.clone()).collect())
+                    .collect(),
+                metrics: self.config.claims.iter().map(|c| c.metric).collect(),
+                encrypt: self.config.encrypt,
+                attack: self.attack,
+                frameflip: self.frameflip.clone(),
+                tee_kind_default: self.tee_kind_default,
+                bindings: self.bindings.clone(),
+                generation: self.generation,
+                events: self.events.clone(),
+                policy: self.config.recovery,
+            };
+            self.recovery_manager = Some(spawn_recovery_manager(ctx, rx));
+            Some(tx)
+        } else {
+            None
+        };
+        self.recovery_tx = recovery_tx.clone();
+
+        let boot_ctx = BootstrapCtx {
+            platform: &self.platform,
+            init_code: &self.offline.init_code,
+            generation: self.generation,
+            bindings: self.bindings.as_ref(),
+            events: &self.events,
+        };
         let claims = self.config.claims.clone();
         for (p, claim) in claims.iter().enumerate() {
             let stage = self.offline.partition_set.stages[p].clone();
@@ -678,6 +875,7 @@ impl Deployment {
                     encrypt: self.config.encrypt,
                     attack: self.attack,
                     frameflip: self.frameflip.clone(),
+                    liveness: self.liveness_faults.get(&(p, v)).cloned(),
                     bootstrap: boot_variant,
                     request: req_variant,
                     response: resp_variant,
@@ -686,13 +884,8 @@ impl Deployment {
 
                 let bootstrap_timer =
                     mvtee_telemetry::histogram("core.deployment.bootstrap_ns").start();
-                let session_secret = self.bootstrap_variant(
-                    p,
-                    v,
-                    &artifact,
-                    tee_kind,
-                    &boot_monitor,
-                )?;
+                let session_secret =
+                    bootstrap_variant(&boot_ctx, p, v, &artifact, tee_kind, &boot_monitor)?;
                 bootstrap_timer.finish();
                 let tx = DataLink::from_transport(
                     req_monitor,
@@ -708,141 +901,26 @@ impl Deployment {
                     Role::Initiator,
                     1,
                 );
-                rx_threads.push(spawn_rx_thread(v, rx, merged_tx.clone()));
+                rx_threads.push(spawn_rx_thread(v, 0, rx, merged_tx.clone()));
                 links.push(VariantLink { tx, description: artifact.spec.describe() });
             }
-            drop(merged_tx);
             runtimes.push(StageRuntime {
                 partition: p,
                 links,
                 responses: merged_rx,
+                merged_tx,
                 rx_threads,
                 inputs: stage.inputs.clone(),
                 outputs: stage.outputs.clone(),
                 needed_downstream: needed_suffix[p + 1].clone(),
                 slow: self.config.slow_path(p),
+                recovery: recovery_tx.clone(),
             });
             metrics.push(claim.metric);
         }
-        let policy = StagePolicy {
-            exec: self.config.exec,
-            voting: self.config.voting,
-            response: self.config.response,
-        };
+        let policy = StagePolicy::from_config(&self.config);
         self.handles = Some(spawn_pipeline(runtimes, policy, metrics, self.events.clone()));
         Ok(())
-    }
-
-    /// Monitor-side bootstrap of one variant (Fig 6 steps ②–⑦).
-    fn bootstrap_variant(
-        &mut self,
-        partition: usize,
-        variant: usize,
-        artifact: &VariantArtifact,
-        tee_kind: TeeKind,
-        transport: &MemoryTransport,
-    ) -> Result<[u8; 32]> {
-        // Challenge with a fresh nonce (anti-replay).
-        let mut nonce = [0u8; 32];
-        random_bytes(&mut nonce);
-        let keypair = EphemeralKeypair::generate();
-        transport
-            .send_frame(encode(&BootstrapRequest::Challenge {
-                nonce,
-                monitor_dh_public: keypair.public,
-            })?)
-            .map_err(|e| MvxError::Transport(e.to_string()))?;
-
-        // Verify the evidence.
-        let evidence_bytes = transport
-            .recv_frame()
-            .map_err(|e| MvxError::Transport(e.to_string()))?;
-        let BootstrapResponse::Evidence { report, variant_dh_public } =
-            decode::<BootstrapResponse>(&evidence_bytes)?
-        else {
-            return Err(MvxError::Tee("variant failed before evidence".into()));
-        };
-        let init_identity =
-            CodeIdentity::from_content("mvtee-init-variant", "1.0", &self.offline.init_code);
-        let expected_measurement =
-            compute_measurement(tee_kind, &init_identity, &artifact.init_manifest.hash());
-        let transcript_hash = bootstrap_transcript_hash(&keypair.public, &variant_dh_public);
-        let mut expected_data = Vec::with_capacity(64);
-        expected_data.extend_from_slice(&sha256(&nonce));
-        expected_data.extend_from_slice(&transcript_hash);
-        mvtee_tee::verify_report(
-            &self.platform,
-            &report,
-            Some(expected_measurement),
-            &expected_data,
-        )?;
-
-        // Session keys and sealed key release.
-        let shared = keypair.diffie_hellman(&variant_dh_public);
-        let session_secret = bootstrap_session_secret(&shared, &nonce);
-        let session_cipher = AesGcm::new_256(&session_secret);
-        let release = KeyRelease {
-            variant_key: artifact.variant_key,
-            variant_id: artifact.spec.id.0,
-            bundle_path: artifact.bundle_path.clone(),
-            expected_manifest_hash: artifact.expected_manifest_hash,
-        };
-        let sealed = session_cipher.seal(&[0u8; 12], &encode(&release)?, b"key-release");
-        transport
-            .send_frame(encode(&BootstrapRequest::SealedKeyRelease { payload: sealed })?)
-            .map_err(|e| MvxError::Transport(e.to_string()))?;
-
-        // Install evidence: the enforced second-stage manifest must match.
-        let install_bytes = transport
-            .recv_frame()
-            .map_err(|e| MvxError::Transport(e.to_string()))?;
-        let BootstrapResponse::SealedInstallEvidence { payload } =
-            decode::<BootstrapResponse>(&install_bytes)?
-        else {
-            return Err(MvxError::Tee("variant failed before install evidence".into()));
-        };
-        let plain = session_cipher
-            .open(&[1u8; 12], &payload, b"install-evidence")
-            .map_err(MvxError::from)?;
-        let evidence: InstallEvidence = decode(&plain)?;
-        if evidence.manifest_hash != artifact.expected_manifest_hash {
-            return Err(MvxError::Tee(format!(
-                "variant p{partition}v{variant} enforced an unexpected second-stage manifest"
-            )));
-        }
-        if evidence.variant_id != artifact.spec.id.0 {
-            return Err(MvxError::Tee("variant id mismatch in install evidence".into()));
-        }
-        let expected_main =
-            compute_measurement(tee_kind, &init_identity, &artifact.expected_manifest_hash);
-        if evidence.measurement != expected_main {
-            return Err(MvxError::Tee("unexpected post-exec measurement".into()));
-        }
-        // Bind (anti-fork: one live binding per variant id; older
-        // generations remain in the append-only log).
-        if self
-            .bindings
-            .iter()
-            .any(|b| b.generation == self.generation && b.variant_id == evidence.variant_id)
-        {
-            return Err(MvxError::Tee(format!(
-                "fork detected: variant id {} already bound",
-                evidence.variant_id
-            )));
-        }
-        self.bindings.push(BindingRecord {
-            generation: self.generation,
-            partition,
-            variant,
-            variant_id: evidence.variant_id,
-            measurement: evidence.measurement,
-        });
-        self.events.record(MonitorEvent::VariantBound {
-            partition,
-            variant,
-            measurement: evidence.measurement,
-        });
-        Ok(session_secret)
     }
 
     /// The deployed model.
@@ -865,9 +943,10 @@ impl Deployment {
         &self.offline.partition_set
     }
 
-    /// Current secure bindings.
-    pub fn bindings(&self) -> &[BindingRecord] {
-        &self.bindings
+    /// Current secure bindings (a snapshot — the recovery manager appends
+    /// concurrently while the pipeline runs).
+    pub fn bindings(&self) -> Vec<BindingRecord> {
+        self.bindings.lock().expect("binding registry poisoned").clone()
     }
 
     /// The append-only update log.
@@ -1131,9 +1210,20 @@ impl Deployment {
             for tx in &handles.all_stages {
                 let _ = tx.send(CoordMsg::Stop);
             }
+            // Joining drops each returned StageRuntime: its recovery
+            // sender (so the manager's request channel drains closed) and
+            // its links (so replacement variants still parked in the
+            // merged queue lose their channels and exit).
             for t in handles.threads {
                 let _ = t.join();
             }
+        }
+        // Drop the deployment's own request sender, then wait for the
+        // manager to finish any in-flight recovery and join its
+        // replacement variant threads.
+        self.recovery_tx = None;
+        if let Some(manager) = self.recovery_manager.take() {
+            let _ = manager.join();
         }
         // Variant threads exit on Shutdown/link loss.
         for handle in self.variant_threads.drain(..) {

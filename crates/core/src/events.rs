@@ -81,6 +81,49 @@ pub enum MonitorEvent {
         /// Description of the update.
         description: String,
     },
+    /// A variant was quarantined after a detection (divergence, crash,
+    /// or watchdog escalation): its channel is abandoned and stale frames
+    /// from its pre-quarantine epoch are discarded.
+    Quarantined {
+        /// Partition index.
+        partition: usize,
+        /// Variant index.
+        variant: usize,
+        /// Batch id being processed when the quarantine fired.
+        batch: u64,
+        /// Why the variant was quarantined.
+        reason: String,
+    },
+    /// The recovery manager began re-provisioning a quarantined variant
+    /// (fresh enclave, re-attestation, re-keying, re-sealed bundle).
+    RecoveryStarted {
+        /// Partition index.
+        partition: usize,
+        /// Variant index.
+        variant: usize,
+        /// Zero-based attempt number within the retry budget.
+        attempt: u32,
+    },
+    /// A quarantined variant passed probation against the last verified
+    /// checkpoint payload and rejoined its panel.
+    Recovered {
+        /// Partition index.
+        partition: usize,
+        /// Variant index.
+        variant: usize,
+    },
+    /// The retry budget was exhausted without a successful rejoin; the
+    /// panel stays below strength under the degradation policy.
+    RecoveryFailed {
+        /// Partition index.
+        partition: usize,
+        /// Variant index.
+        variant: usize,
+        /// Attempts made (initial try + retries).
+        attempts: u32,
+        /// Last failure reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MonitorEvent {
@@ -111,6 +154,21 @@ impl fmt::Display for MonitorEvent {
             MonitorEvent::BindingUpdated { partition, description } => {
                 write!(f, "binding update at partition {partition}: {description}")
             }
+            MonitorEvent::Quarantined { partition, variant, batch, reason } => write!(
+                f,
+                "quarantined variant {variant} of partition {partition} at batch {batch}: {reason}"
+            ),
+            MonitorEvent::RecoveryStarted { partition, variant, attempt } => write!(
+                f,
+                "recovery attempt {attempt} for variant {variant} of partition {partition}"
+            ),
+            MonitorEvent::Recovered { partition, variant } => {
+                write!(f, "variant {variant} of partition {partition} recovered and rejoined")
+            }
+            MonitorEvent::RecoveryFailed { partition, variant, attempts, reason } => write!(
+                f,
+                "recovery failed for variant {variant} of partition {partition} after {attempts} attempts: {reason}"
+            ),
         }
     }
 }
@@ -161,6 +219,18 @@ impl EventLog {
             }
             MonitorEvent::LateDissent { .. } => {
                 mvtee_telemetry::counter("core.events.late_dissent").inc();
+            }
+            MonitorEvent::Quarantined { .. } => {
+                mvtee_telemetry::counter("core.recovery.quarantined").inc();
+            }
+            MonitorEvent::RecoveryStarted { .. } => {
+                mvtee_telemetry::counter("core.recovery.started").inc();
+            }
+            MonitorEvent::Recovered { .. } => {
+                mvtee_telemetry::counter("core.recovery.recovered").inc();
+            }
+            MonitorEvent::RecoveryFailed { .. } => {
+                mvtee_telemetry::counter("core.recovery.failed").inc();
             }
             _ => {}
         }
@@ -244,6 +314,32 @@ impl EventLog {
                 MonitorEvent::VariantCrashed { partition, variant, batch, .. } => {
                     Some((*partition, *variant, *batch))
                 }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Quarantine events: `(partition, variant, batch)`.
+    pub fn quarantines(&self) -> Vec<(usize, usize, u64)> {
+        self.inner
+            .lock()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                MonitorEvent::Quarantined { partition, variant, batch, .. } => {
+                    Some((*partition, *variant, *batch))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Successful recoveries: `(partition, variant)` per rejoined variant.
+    pub fn recoveries(&self) -> Vec<(usize, usize)> {
+        self.inner
+            .lock()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                MonitorEvent::Recovered { partition, variant } => Some((*partition, *variant)),
                 _ => None,
             })
             .collect()
@@ -338,10 +434,82 @@ mod tests {
             MonitorEvent::LateDissent { partition: 0, batch: 0, variant: 0 },
             MonitorEvent::ResponseTaken { partition: 0, action: "a".into() },
             MonitorEvent::BindingUpdated { partition: 0, description: "d".into() },
+            MonitorEvent::Quarantined { partition: 0, variant: 0, batch: 0, reason: "q".into() },
+            MonitorEvent::RecoveryStarted { partition: 0, variant: 0, attempt: 0 },
+            MonitorEvent::Recovered { partition: 0, variant: 0 },
+            MonitorEvent::RecoveryFailed {
+                partition: 0,
+                variant: 0,
+                attempts: 4,
+                reason: "probation".into(),
+            },
         ];
         for e in events {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn recovery_events_render_and_do_not_count_as_detections() {
+        let log = EventLog::new();
+        log.record(MonitorEvent::Quarantined {
+            partition: 1,
+            variant: 2,
+            batch: 5,
+            reason: "divergence".into(),
+        });
+        log.record(MonitorEvent::RecoveryStarted { partition: 1, variant: 2, attempt: 0 });
+        log.record(MonitorEvent::Recovered { partition: 1, variant: 2 });
+        log.record(MonitorEvent::RecoveryFailed {
+            partition: 3,
+            variant: 0,
+            attempts: 4,
+            reason: "probation mismatch".into(),
+        });
+        let rendered = log.render();
+        assert!(rendered.contains("quarantined variant 2 of partition 1 at batch 5"));
+        assert!(rendered.contains("recovery attempt 0 for variant 2 of partition 1"));
+        assert!(rendered.contains("variant 2 of partition 1 recovered and rejoined"));
+        assert!(rendered
+            .contains("recovery failed for variant 0 of partition 3 after 4 attempts"));
+        // Recovery lifecycle events are *reactions*, not detections:
+        // `RecoveryFailed` at partition 3 must not register as a
+        // detection there, and none of the four inflate the count.
+        assert_eq!(log.first_detection_at_or_after(0), None);
+        assert_eq!(log.first_detection_at_or_after(3), None);
+        assert_eq!(log.detection_count(), 0);
+        assert_eq!(log.quarantines(), vec![(1, 2, 5)]);
+        assert_eq!(log.recoveries(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn recovery_events_mirror_to_telemetry_counters() {
+        let before = mvtee_telemetry::snapshot();
+        let log = EventLog::new();
+        log.record(MonitorEvent::Quarantined {
+            partition: 0,
+            variant: 1,
+            batch: 0,
+            reason: "crash".into(),
+        });
+        log.record(MonitorEvent::RecoveryStarted { partition: 0, variant: 1, attempt: 0 });
+        log.record(MonitorEvent::RecoveryStarted { partition: 0, variant: 1, attempt: 1 });
+        log.record(MonitorEvent::Recovered { partition: 0, variant: 1 });
+        log.record(MonitorEvent::RecoveryFailed {
+            partition: 0,
+            variant: 1,
+            attempts: 4,
+            reason: "r".into(),
+        });
+        let after = mvtee_telemetry::snapshot();
+        let delta = |name: &str| {
+            after.counters.get(name).copied().unwrap_or(0)
+                - before.counters.get(name).copied().unwrap_or(0)
+        };
+        assert_eq!(delta("core.recovery.quarantined"), 1);
+        assert_eq!(delta("core.recovery.started"), 2);
+        assert_eq!(delta("core.recovery.recovered"), 1);
+        assert_eq!(delta("core.recovery.failed"), 1);
     }
 
     #[test]

@@ -56,15 +56,20 @@ pub mod events;
 pub mod link;
 pub mod messages;
 pub mod pipeline;
+pub mod recovery;
 pub mod variant_host;
 pub mod voting;
 
 mod error;
 
-pub use config::{ExecMode, MvxConfig, PartitionMvx, PathMode, ResponsePolicy, VotingPolicy};
+pub use config::{
+    DegradationPolicy, ExecMode, MvxConfig, PartitionMvx, PathMode, RecoveryPolicy,
+    ResponsePolicy, VotingPolicy,
+};
 pub use deployment::{build_specs, select_partition_set, Deployment, DeploymentBuilder, OfflinePhase, SpecPatch};
 pub use error::MvxError;
 pub use events::{EventLog, MonitorEvent};
+pub use recovery::{RecoveryRequest, ResyncPoint};
 pub use voting::Verdict;
 
 /// Crate-wide result alias.
@@ -72,7 +77,10 @@ pub type Result<T> = std::result::Result<T, MvxError>;
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
-    pub use crate::config::{ExecMode, MvxConfig, PathMode, ResponsePolicy, VotingPolicy};
+    pub use crate::config::{
+        DegradationPolicy, ExecMode, MvxConfig, PathMode, RecoveryPolicy, ResponsePolicy,
+        VotingPolicy,
+    };
     pub use crate::deployment::{Deployment, DeploymentBuilder};
     pub use crate::events::MonitorEvent;
     pub use crate::MvxError;

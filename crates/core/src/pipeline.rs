@@ -10,10 +10,11 @@
 //! and waits; pipelined streams batches so stages overlap
 //! (compute-communication overlapping, §4.1).
 
-use crate::config::{ExecMode, ResponsePolicy, VotingPolicy};
+use crate::config::{DegradationPolicy, ExecMode, MvxConfig, ResponsePolicy, VotingPolicy};
 use crate::events::{EventLog, MonitorEvent};
 use crate::link::DataLink;
 use crate::messages::{decode, encode, StageRequest, StageResponse};
+use crate::recovery::{RecoveryRequest, ResyncPoint};
 use crate::voting::{evaluate, has_quorum, VariantOutput, Verdict};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use mvtee_graph::ValueId;
@@ -22,11 +23,6 @@ use mvtee_tensor::Tensor;
 use std::collections::{HashMap, HashSet};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-/// How long a coordinator waits for a variant response before declaring
-/// the variant dead (simulation safety net; real MVTEE uses liveness
-/// monitoring).
-pub const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A unit of work flowing through the pipeline.
 #[derive(Debug, Clone)]
@@ -43,15 +39,47 @@ pub struct StageJob {
 }
 
 /// Events from the per-variant receiver threads, merged into one queue.
+///
+/// Every event carries the sender's *channel epoch*: quarantining a
+/// variant bumps its epoch, so frames still in flight from the abandoned
+/// pre-quarantine channel are recognisably stale and discarded instead of
+/// being attributed to the recovered replacement.
 #[derive(Debug)]
 pub enum RxEvent {
-    /// A decoded stage response from variant `idx`.
-    Msg(usize, StageResponse),
-    /// Variant `idx`'s response channel died.
-    Disconnected(usize),
+    /// A decoded stage response from a variant.
+    Msg {
+        /// Variant index within the partition.
+        variant: usize,
+        /// Channel epoch the frame was received under.
+        epoch: u64,
+        /// The decoded response.
+        response: StageResponse,
+    },
+    /// A variant's response channel died.
+    Disconnected {
+        /// Variant index within the partition.
+        variant: usize,
+        /// Channel epoch of the dead channel.
+        epoch: u64,
+    },
+    /// The recovery manager re-provisioned a quarantined variant: it
+    /// passed probation against the last verified checkpoint payload and
+    /// is ready to rejoin the panel on the next batch.
+    Recovered {
+        /// Variant index within the partition.
+        variant: usize,
+        /// The post-quarantine epoch assigned at quarantine time.
+        epoch: u64,
+        /// Fresh request link to the replacement variant.
+        link: VariantLink,
+        /// Receiver thread already feeding this merged queue under the
+        /// new epoch.
+        rx_thread: JoinHandle<()>,
+    },
 }
 
 /// Monitor-side state for one variant TEE's data plane.
+#[derive(Debug)]
 pub struct VariantLink {
     /// Request link (coordinator → variant).
     pub tx: DataLink,
@@ -67,6 +95,9 @@ pub struct StageRuntime {
     pub links: Vec<VariantLink>,
     /// Merged response queue.
     pub responses: Receiver<RxEvent>,
+    /// Sender side of `responses` — cloned into recovery requests so the
+    /// manager can feed a replacement variant's frames back in.
+    pub merged_tx: Sender<RxEvent>,
     /// Receiver threads feeding `responses` (joined on drop).
     pub rx_threads: Vec<JoinHandle<()>>,
     /// Subgraph boundary inputs (parent value ids, in input order).
@@ -77,6 +108,10 @@ pub struct StageRuntime {
     pub needed_downstream: HashSet<ValueId>,
     /// Whether this checkpoint takes the slow path.
     pub slow: bool,
+    /// Channel to the recovery manager; `None` disables quarantine-and-
+    /// recover (quarantined variants are dropped for good, the historical
+    /// behaviour).
+    pub recovery: Option<Sender<RecoveryRequest>>,
 }
 
 /// Per-stage copy of the execution-relevant configuration.
@@ -88,6 +123,29 @@ pub struct StagePolicy {
     pub voting: VotingPolicy,
     /// Response policy.
     pub response: ResponsePolicy,
+    /// Voting behaviour while the panel is below strength.
+    pub degradation: DegradationPolicy,
+    /// Straggler watchdog: checkpoint deadline before escalation.
+    pub deadline: Duration,
+    /// Shutdown drain window for outstanding async stragglers.
+    pub drain_window: Duration,
+    /// Poll interval within the drain window.
+    pub drain_poll: Duration,
+}
+
+impl StagePolicy {
+    /// Extracts the per-stage policy from a deployment configuration.
+    pub fn from_config(cfg: &MvxConfig) -> Self {
+        StagePolicy {
+            exec: cfg.exec,
+            voting: cfg.voting,
+            response: cfg.response,
+            degradation: cfg.degradation,
+            deadline: cfg.checkpoint_deadline(),
+            drain_window: cfg.drain_window(),
+            drain_poll: cfg.drain_poll(),
+        }
+    }
 }
 
 /// Control messages into a coordinator.
@@ -98,29 +156,36 @@ pub enum CoordMsg {
     Stop,
 }
 
-/// Spawns the receiver thread for one variant's response link.
+/// Spawns the receiver thread for one variant's response link. Every
+/// event it emits is stamped with `epoch` so the coordinator can discard
+/// frames from channels abandoned by a quarantine.
 pub fn spawn_rx_thread(
     variant_idx: usize,
+    epoch: u64,
     mut link: DataLink,
     merged: Sender<RxEvent>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
-        .name(format!("rx-v{variant_idx}"))
+        .name(format!("rx-v{variant_idx}e{epoch}"))
         .spawn(move || loop {
             match link.recv() {
                 Ok(frame) => match decode::<StageResponse>(&frame) {
-                    Ok(resp) => {
-                        if merged.send(RxEvent::Msg(variant_idx, resp)).is_err() {
+                    Ok(response) => {
+                        if merged
+                            .send(RxEvent::Msg { variant: variant_idx, epoch, response })
+                            .is_err()
+                        {
                             break;
                         }
                     }
                     Err(_) => {
-                        let _ = merged.send(RxEvent::Disconnected(variant_idx));
+                        let _ =
+                            merged.send(RxEvent::Disconnected { variant: variant_idx, epoch });
                         break;
                     }
                 },
                 Err(_) => {
-                    let _ = merged.send(RxEvent::Disconnected(variant_idx));
+                    let _ = merged.send(RxEvent::Disconnected { variant: variant_idx, epoch });
                     break;
                 }
             }
@@ -131,6 +196,45 @@ pub fn spawn_rx_thread(
 struct Outstanding {
     chosen: Vec<Tensor>,
     remaining: HashSet<usize>,
+}
+
+/// Quarantines a variant: marks it dead, bumps its channel epoch (so
+/// stale pre-quarantine frames are discarded) and, when a recovery
+/// manager is wired, emits [`MonitorEvent::Quarantined`] and files a
+/// re-provisioning request carrying the last verified checkpoint payload.
+#[allow(clippy::too_many_arguments)]
+fn quarantine(
+    dead: &mut [bool],
+    epochs: &mut [u64],
+    events: &EventLog,
+    recovery: Option<&Sender<RecoveryRequest>>,
+    merged_tx: &Sender<RxEvent>,
+    last_verified: &Option<ResyncPoint>,
+    partition: usize,
+    variant: usize,
+    batch: u64,
+    reason: &str,
+) {
+    if dead[variant] {
+        return;
+    }
+    dead[variant] = true;
+    epochs[variant] += 1;
+    let Some(tx) = recovery else { return };
+    events.record(MonitorEvent::Quarantined {
+        partition,
+        variant,
+        batch,
+        reason: reason.to_string(),
+    });
+    let _ = tx.send(RecoveryRequest {
+        partition,
+        variant,
+        epoch: epochs[variant],
+        reason: reason.to_string(),
+        resync: last_verified.clone(),
+        merged_tx: merged_tx.clone(),
+    });
 }
 
 /// The coordinator loop for one stage. Returns the runtime when stopped so
@@ -144,9 +248,15 @@ pub fn run_stage(
     events: EventLog,
 ) -> StageRuntime {
     let partition = runtime.partition;
-    let mut dead: Vec<bool> = vec![false; runtime.links.len()];
+    let full_strength = runtime.links.len();
+    let mut dead: Vec<bool> = vec![false; full_strength];
+    let mut epochs: Vec<u64> = vec![0; full_strength];
     let mut outstanding: HashMap<u64, Outstanding> = HashMap::new();
     let mut pending_reaction: Option<String> = None;
+    // Inputs + outputs of the newest checkpoint that verified — the
+    // resynchronisation payload a recovered variant must reproduce
+    // during probation before rejoining mid-stream.
+    let mut last_verified: Option<ResyncPoint> = None;
 
     // Telemetry handles fetched once; recording is lock-free after this.
     let checkpoint_latency = mvtee_telemetry::histogram(&format!(
@@ -163,6 +273,72 @@ pub fn run_stage(
             CoordMsg::Job(job) => job,
         };
         queue_depth.set(in_rx.len() as i64);
+
+        // Drain events that arrived between batches — recovered variants
+        // rejoining, stragglers' late answers, disconnects — before this
+        // dispatch, so a variant that recovered between batches votes on
+        // this very batch.
+        while let Ok(ev) = runtime.responses.try_recv() {
+            match ev {
+                RxEvent::Recovered { variant, epoch, link, rx_thread } => {
+                    if epoch == epochs[variant] && dead[variant] {
+                        runtime.links[variant] = link;
+                        runtime.rx_threads.push(rx_thread);
+                        dead[variant] = false;
+                    }
+                }
+                RxEvent::Msg { variant, epoch, response } => {
+                    if epoch != epochs[variant] {
+                        continue; // stale pre-quarantine frame
+                    }
+                    let (batch, output) = split_response(response);
+                    late_cross_validate(
+                        &mut outstanding,
+                        &mut pending_reaction,
+                        &events,
+                        partition,
+                        metric,
+                        batch,
+                        variant,
+                        output,
+                    );
+                }
+                RxEvent::Disconnected { variant, epoch } => {
+                    if epoch != epochs[variant] {
+                        continue;
+                    }
+                    if !dead[variant] {
+                        events.record(MonitorEvent::VariantCrashed {
+                            partition,
+                            variant,
+                            batch: job.batch,
+                            reason: "response channel closed".into(),
+                        });
+                        quarantine(
+                            &mut dead,
+                            &mut epochs,
+                            &events,
+                            runtime.recovery.as_ref(),
+                            &runtime.merged_tx,
+                            &last_verified,
+                            partition,
+                            variant,
+                            job.batch,
+                            "response channel closed",
+                        );
+                    }
+                    resolve_owed_as_crash(
+                        &mut outstanding,
+                        &mut pending_reaction,
+                        &events,
+                        partition,
+                        metric,
+                        variant,
+                    );
+                }
+            }
+        }
+
         if job.poisoned.is_some() {
             let _ = out_tx.send(job);
             continue;
@@ -193,9 +369,47 @@ pub fn run_stage(
             }
         }
 
+        // Degradation policy: a panel is below strength while any member
+        // is quarantined and not yet recovered.
+        let live_now = dead.iter().filter(|d| !**d).count();
+        let mut fallthrough_flagged = false;
+        if runtime.slow && full_strength > 1 && live_now > 0 && live_now < full_strength {
+            match policy.degradation {
+                DegradationPolicy::Strict => {
+                    events.record(MonitorEvent::ResponseTaken {
+                        partition,
+                        action: format!(
+                            "strict degradation: failing batch {} with panel below strength ({live_now}/{full_strength})",
+                            job.batch
+                        ),
+                    });
+                    job.poisoned = Some(format!(
+                        "panel below strength at partition {partition} ({live_now}/{full_strength})"
+                    ));
+                    let _ = out_tx.send(job);
+                    continue;
+                }
+                DegradationPolicy::Degrade => {}
+                DegradationPolicy::FastPathFallback => {
+                    fallthrough_flagged = true;
+                    events.record(MonitorEvent::ResponseTaken {
+                        partition,
+                        action: format!(
+                            "fast-path fallback: batch {} forwarded unvoted with panel below strength ({live_now}/{full_strength})",
+                            job.batch
+                        ),
+                    });
+                }
+            }
+        }
+
         // Dispatch to all live variants. The checkpoint latency covers
         // dispatch through selection (the paper's per-partition cost).
         let checkpoint_timer = checkpoint_latency.start();
+        // The dispatched inputs are retained (only when recovery is on)
+        // so a verified checkpoint can become a resynchronisation point.
+        let resync_inputs: Option<Vec<Tensor>> =
+            runtime.recovery.as_ref().map(|_| tensors.clone());
         let request = StageRequest::Input { batch: job.batch, tensors };
         let frame = match encode(&request) {
             Ok(f) => f,
@@ -211,13 +425,24 @@ pub fn run_stage(
                 continue;
             }
             if link.tx.send(&frame).is_err() {
-                dead[i] = true;
                 events.record(MonitorEvent::VariantCrashed {
                     partition,
                     variant: i,
                     batch: job.batch,
                     reason: format!("request channel closed ({})", link.description),
                 });
+                quarantine(
+                    &mut dead,
+                    &mut epochs,
+                    &events,
+                    runtime.recovery.as_ref(),
+                    &runtime.merged_tx,
+                    &last_verified,
+                    partition,
+                    i,
+                    job.batch,
+                    "request channel closed",
+                );
             }
         }
         let live: Vec<usize> = (0..dead.len()).filter(|&i| !dead[i]).collect();
@@ -236,10 +461,29 @@ pub fn run_stage(
         let mut arrived: HashMap<usize, VariantOutput> = HashMap::new();
         let selected: Option<Vec<Tensor>>;
         let total_live = live.len();
-        let use_async =
-            policy.exec == ExecMode::AsyncCrossValidation && runtime.slow && total_live > 1;
+        let use_async = policy.exec == ExecMode::AsyncCrossValidation
+            && runtime.slow
+            && total_live > 1
+            && !fallthrough_flagged;
 
         loop {
+            // Degraded fall-through: the first healthy output wins, no
+            // vote (the span is flagged via the ResponseTaken above).
+            if fallthrough_flagged {
+                if let Some(t) = live.iter().find_map(|i| match arrived.get(i) {
+                    Some(VariantOutput::Ok(t)) => Some(t.clone()),
+                    _ => None,
+                }) {
+                    fast_path.inc();
+                    selected = Some(t);
+                    break;
+                }
+                if live.iter().all(|i| arrived.contains_key(i)) {
+                    fast_path.inc();
+                    selected = None;
+                    break;
+                }
+            }
             // Async fast-exit: forward on majority quorum of the panel.
             if use_async {
                 let arrived_ids: Vec<usize> =
@@ -269,13 +513,24 @@ pub fn run_stage(
                         for &v in &dissenting {
                             if let VariantOutput::Crashed(reason) = &arrived[&v] {
                                 if !dead[v] {
-                                    dead[v] = true;
                                     events.record(MonitorEvent::VariantCrashed {
                                         partition,
                                         variant: v,
                                         batch: job.batch,
                                         reason: reason.clone(),
                                     });
+                                    quarantine(
+                                        &mut dead,
+                                        &mut epochs,
+                                        &events,
+                                        runtime.recovery.as_ref(),
+                                        &runtime.merged_tx,
+                                        &last_verified,
+                                        partition,
+                                        v,
+                                        job.batch,
+                                        reason.clone().as_str(),
+                                    );
                                 }
                             }
                         }
@@ -286,6 +541,25 @@ pub fn run_stage(
                                 dissenting: dissenting.clone(),
                                 detail: "outvoted at async quorum".into(),
                             });
+                            // With a recovery manager wired, an outvoted
+                            // dissenter is quarantined and re-provisioned
+                            // rather than left in the panel.
+                            if runtime.recovery.is_some() {
+                                for &v in &dissenting {
+                                    quarantine(
+                                        &mut dead,
+                                        &mut epochs,
+                                        &events,
+                                        runtime.recovery.as_ref(),
+                                        &runtime.merged_tx,
+                                        &last_verified,
+                                        partition,
+                                        v,
+                                        job.batch,
+                                        "outvoted at async quorum",
+                                    );
+                                }
+                            }
                             pending_reaction = Some(format!(
                                 "variants {dissenting:?} dissented at quorum on batch {}",
                                 job.batch
@@ -323,6 +597,15 @@ pub fn run_stage(
                             });
                         }
                         slow_path.inc();
+                        if let Some(inputs) = &resync_inputs {
+                            // The quorum output is majority-verified: it
+                            // becomes the resynchronisation point.
+                            last_verified = Some(ResyncPoint {
+                                batch: job.batch,
+                                inputs: inputs.clone(),
+                                outputs: q.clone(),
+                            });
+                        }
                         selected = Some(q);
                         break;
                     }
@@ -338,15 +621,39 @@ pub fn run_stage(
                     fast_path.inc();
                     match &outputs[0] {
                         VariantOutput::Ok(t) => {
+                            if let Some(inputs) = &resync_inputs {
+                                // A fast-path partition has no vote; its
+                                // successful output is still the best
+                                // resync point a replacement can get.
+                                last_verified = Some(ResyncPoint {
+                                    batch: job.batch,
+                                    inputs: inputs.clone(),
+                                    outputs: t.clone(),
+                                });
+                            }
                             selected = Some(t.clone());
                         }
                         VariantOutput::Crashed(reason) => {
-                            events.record(MonitorEvent::VariantCrashed {
-                                partition,
-                                variant: live[0],
-                                batch: job.batch,
-                                reason: reason.clone(),
-                            });
+                            if !dead[live[0]] {
+                                events.record(MonitorEvent::VariantCrashed {
+                                    partition,
+                                    variant: live[0],
+                                    batch: job.batch,
+                                    reason: reason.clone(),
+                                });
+                                quarantine(
+                                    &mut dead,
+                                    &mut epochs,
+                                    &events,
+                                    runtime.recovery.as_ref(),
+                                    &runtime.merged_tx,
+                                    &last_verified,
+                                    partition,
+                                    live[0],
+                                    job.batch,
+                                    reason.clone().as_str(),
+                                );
+                            }
                             selected = None;
                         }
                     }
@@ -368,13 +675,24 @@ pub fn run_stage(
                     if let VariantOutput::Crashed(reason) = o {
                         let v = live[pos];
                         if !dead[v] {
-                            dead[v] = true;
                             events.record(MonitorEvent::VariantCrashed {
                                 partition,
                                 variant: v,
                                 batch: job.batch,
                                 reason: reason.clone(),
                             });
+                            quarantine(
+                                &mut dead,
+                                &mut epochs,
+                                &events,
+                                runtime.recovery.as_ref(),
+                                &runtime.merged_tx,
+                                &last_verified,
+                                partition,
+                                v,
+                                job.batch,
+                                reason.clone().as_str(),
+                            );
                         }
                     }
                 }
@@ -385,6 +703,13 @@ pub fn run_stage(
                             batch: job.batch,
                             agreeing: agreeing.len(),
                         });
+                        if let Some(inputs) = &resync_inputs {
+                            last_verified = Some(ResyncPoint {
+                                batch: job.batch,
+                                inputs: inputs.clone(),
+                                outputs: s.clone(),
+                            });
+                        }
                         selected = Some(s);
                     }
                     Verdict::Diverged { majority, dissenting, detail } => {
@@ -393,9 +718,30 @@ pub fn run_stage(
                         events.record(MonitorEvent::DivergenceDetected {
                             partition,
                             batch: job.batch,
-                            dissenting: dissenting_variants,
+                            dissenting: dissenting_variants.clone(),
                             detail: detail.clone(),
                         });
+                        // Divergent (not merely crashed) variants are
+                        // quarantined for re-provisioning when a recovery
+                        // manager is wired; without one the historical
+                        // behaviour — dissenter stays in the panel — is
+                        // preserved.
+                        if runtime.recovery.is_some() {
+                            for &v in &dissenting_variants {
+                                quarantine(
+                                    &mut dead,
+                                    &mut epochs,
+                                    &events,
+                                    runtime.recovery.as_ref(),
+                                    &runtime.merged_tx,
+                                    &last_verified,
+                                    partition,
+                                    v,
+                                    job.batch,
+                                    "checkpoint divergence",
+                                );
+                            }
+                        }
                         match policy.response {
                             ResponsePolicy::Halt => {
                                 events.record(MonitorEvent::ResponseTaken {
@@ -417,10 +763,16 @@ pub fn run_stage(
                 break;
             }
             // Pull the next response event.
-            match runtime.responses.recv_timeout(RESPONSE_TIMEOUT) {
-                Ok(RxEvent::Msg(v, StageResponse::Output { batch, tensors })) => {
+            match runtime.responses.recv_timeout(policy.deadline) {
+                Ok(RxEvent::Msg { variant: v, epoch, response }) => {
+                    if epoch != epochs[v] {
+                        // Stale frame from a pre-quarantine channel: a
+                        // recovered variant must never inherit it.
+                        continue;
+                    }
+                    let (batch, output) = split_response(response);
                     if batch == job.batch {
-                        arrived.insert(v, VariantOutput::Ok(tensors));
+                        arrived.insert(v, output);
                     } else {
                         late_cross_validate(
                             &mut outstanding,
@@ -430,35 +782,33 @@ pub fn run_stage(
                             metric,
                             batch,
                             v,
-                            VariantOutput::Ok(tensors),
+                            output,
                         );
                     }
                 }
-                Ok(RxEvent::Msg(v, StageResponse::Crashed { batch, reason })) => {
-                    if batch == job.batch {
-                        arrived.insert(v, VariantOutput::Crashed(reason));
-                    } else {
-                        late_cross_validate(
-                            &mut outstanding,
-                            &mut pending_reaction,
-                            &events,
-                            partition,
-                            metric,
-                            batch,
-                            v,
-                            VariantOutput::Crashed(reason),
-                        );
+                Ok(RxEvent::Disconnected { variant: v, epoch }) => {
+                    if epoch != epochs[v] {
+                        continue; // the abandoned channel died, as expected
                     }
-                }
-                Ok(RxEvent::Disconnected(v)) => {
                     if !dead[v] {
-                        dead[v] = true;
                         events.record(MonitorEvent::VariantCrashed {
                             partition,
                             variant: v,
                             batch: job.batch,
                             reason: "response channel closed".into(),
                         });
+                        quarantine(
+                            &mut dead,
+                            &mut epochs,
+                            &events,
+                            runtime.recovery.as_ref(),
+                            &runtime.merged_tx,
+                            &last_verified,
+                            partition,
+                            v,
+                            job.batch,
+                            "response channel closed",
+                        );
                     }
                     arrived
                         .entry(v)
@@ -466,29 +816,53 @@ pub fn run_stage(
                     // A disconnected straggler will never deliver its late
                     // answers: resolve every outstanding async validation
                     // it still owed as a crash-dissent.
-                    let owed: Vec<u64> = outstanding
-                        .iter()
-                        .filter(|(_, o)| o.remaining.contains(&v))
-                        .map(|(&b, _)| b)
-                        .collect();
-                    for b in owed {
-                        late_cross_validate(
-                            &mut outstanding,
-                            &mut pending_reaction,
-                            &events,
-                            partition,
-                            metric,
-                            b,
-                            v,
-                            VariantOutput::Crashed("disconnected".into()),
-                        );
+                    resolve_owed_as_crash(
+                        &mut outstanding,
+                        &mut pending_reaction,
+                        &events,
+                        partition,
+                        metric,
+                        v,
+                    );
+                }
+                Ok(RxEvent::Recovered { variant, epoch, link, rx_thread }) => {
+                    // The replacement rejoins from the next dispatched
+                    // batch; this one already went out without it.
+                    if epoch == epochs[variant] && dead[variant] {
+                        runtime.links[variant] = link;
+                        runtime.rx_threads.push(rx_thread);
+                        dead[variant] = false;
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    // Straggler watchdog: the checkpoint deadline passed.
+                    // Escalate each hung variant — timeout → late dissent
+                    // → quarantine — and count its vote as a crash.
                     for &v in &live {
-                        arrived
-                            .entry(v)
-                            .or_insert_with(|| VariantOutput::Crashed("timeout".into()));
+                        if arrived.contains_key(&v) {
+                            continue;
+                        }
+                        events.record(MonitorEvent::LateDissent {
+                            partition,
+                            batch: job.batch,
+                            variant: v,
+                        });
+                        quarantine(
+                            &mut dead,
+                            &mut epochs,
+                            &events,
+                            runtime.recovery.as_ref(),
+                            &runtime.merged_tx,
+                            &last_verified,
+                            partition,
+                            v,
+                            job.batch,
+                            "checkpoint deadline exceeded",
+                        );
+                        arrived.insert(
+                            v,
+                            VariantOutput::Crashed("checkpoint deadline exceeded".into()),
+                        );
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
@@ -525,10 +899,14 @@ pub fn run_stage(
     }
 
     // Drain outstanding stragglers briefly, then shut variants down.
-    let drain_deadline = Instant::now() + Duration::from_millis(500);
+    let drain_deadline = Instant::now() + policy.drain_window;
     while !outstanding.is_empty() && Instant::now() < drain_deadline {
-        match runtime.responses.recv_timeout(Duration::from_millis(50)) {
-            Ok(RxEvent::Msg(v, StageResponse::Output { batch, tensors })) => {
+        match runtime.responses.recv_timeout(policy.drain_poll) {
+            Ok(RxEvent::Msg { variant, epoch, response }) => {
+                if epoch != epochs[variant] {
+                    continue;
+                }
+                let (batch, output) = split_response(response);
                 late_cross_validate(
                     &mut outstanding,
                     &mut pending_reaction,
@@ -536,23 +914,26 @@ pub fn run_stage(
                     partition,
                     metric,
                     batch,
-                    v,
-                    VariantOutput::Ok(tensors),
+                    variant,
+                    output,
                 );
             }
-            Ok(RxEvent::Msg(v, StageResponse::Crashed { batch, reason })) => {
-                late_cross_validate(
+            Ok(RxEvent::Disconnected { variant, epoch }) => {
+                if epoch != epochs[variant] {
+                    continue;
+                }
+                resolve_owed_as_crash(
                     &mut outstanding,
                     &mut pending_reaction,
                     &events,
                     partition,
                     metric,
-                    batch,
-                    v,
-                    VariantOutput::Crashed(reason),
+                    variant,
                 );
             }
-            Ok(RxEvent::Disconnected(_)) => break,
+            // Too late to rejoin: the replacement's link is dropped and
+            // the fresh variant exits on its closed request channel.
+            Ok(RxEvent::Recovered { .. }) => continue,
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -570,6 +951,43 @@ pub fn run_stage(
         }
     }
     runtime
+}
+
+/// Splits a decoded stage response into its batch id and voting output.
+fn split_response(response: StageResponse) -> (u64, VariantOutput) {
+    match response {
+        StageResponse::Output { batch, tensors } => (batch, VariantOutput::Ok(tensors)),
+        StageResponse::Crashed { batch, reason } => (batch, VariantOutput::Crashed(reason)),
+    }
+}
+
+/// Resolves every outstanding async validation a disconnected variant
+/// still owed as a crash-dissent (it will never deliver them).
+fn resolve_owed_as_crash(
+    outstanding: &mut HashMap<u64, Outstanding>,
+    pending_reaction: &mut Option<String>,
+    events: &EventLog,
+    partition: usize,
+    metric: Metric,
+    variant: usize,
+) {
+    let owed: Vec<u64> = outstanding
+        .iter()
+        .filter(|(_, o)| o.remaining.contains(&variant))
+        .map(|(&b, _)| b)
+        .collect();
+    for b in owed {
+        late_cross_validate(
+            outstanding,
+            pending_reaction,
+            events,
+            partition,
+            metric,
+            b,
+            variant,
+            VariantOutput::Crashed("disconnected".into()),
+        );
+    }
 }
 
 /// Validates a straggler's late output against the already-forwarded
@@ -702,6 +1120,9 @@ mod tests {
         CrashOn(u64),
         /// Echo after sleeping (the lagging variant).
         SlowEcho(u64),
+        /// From the given batch on, keep reading but never respond (a
+        /// hung-but-alive variant: the channel stays open).
+        HangFrom(u64),
     }
 
     /// Spawns a fake variant thread and returns the monitor-side links.
@@ -740,6 +1161,8 @@ mod tests {
                                 std::thread::sleep(Duration::from_millis(ms));
                                 StageResponse::Output { batch, tensors }
                             }
+                            Behaviour::HangFrom(b) if batch >= b => continue,
+                            Behaviour::HangFrom(_) => StageResponse::Output { batch, tensors },
                         };
                         if tx.send(&encode(&resp).expect("encodes")).is_err() {
                             break;
@@ -757,7 +1180,7 @@ mod tests {
         let mut rx_threads = Vec::new();
         for (i, &b) in behaviours.iter().enumerate() {
             let (tx, rx) = fake_variant(b);
-            rx_threads.push(spawn_rx_thread(i, rx, merged_tx.clone()));
+            rx_threads.push(spawn_rx_thread(i, 0, rx, merged_tx.clone()));
             links.push(VariantLink { tx, description: format!("fake-{i}") });
         }
         let mut needed = HashSet::new();
@@ -766,11 +1189,13 @@ mod tests {
             partition: 0,
             links,
             responses: merged_rx,
+            merged_tx,
             rx_threads,
             inputs: vec![ValueId(0)],
             outputs: vec![ValueId(1)],
             needed_downstream: needed,
             slow,
+            recovery: None,
         }
     }
 
@@ -784,7 +1209,15 @@ mod tests {
     }
 
     fn policy(exec: ExecMode, response: ResponsePolicy) -> StagePolicy {
-        StagePolicy { exec, voting: VotingPolicy::Unanimous, response }
+        StagePolicy {
+            exec,
+            voting: VotingPolicy::Unanimous,
+            response,
+            degradation: crate::config::DegradationPolicy::Degrade,
+            deadline: Duration::from_secs(30),
+            drain_window: Duration::from_millis(500),
+            drain_poll: Duration::from_millis(50),
+        }
     }
 
     /// Runs jobs through one coordinator; returns the results, the event
@@ -881,9 +1314,8 @@ mod tests {
             true,
         );
         let p = StagePolicy {
-            exec: ExecMode::AsyncCrossValidation,
             voting: VotingPolicy::Majority,
-            response: ResponsePolicy::ContinueWithMajority,
+            ..policy(ExecMode::AsyncCrossValidation, ResponsePolicy::ContinueWithMajority)
         };
         let (results, events, elapsed) = drive(runtime, p, vec![job(0, 4.0)]);
         assert!(results[0].poisoned.is_none());
@@ -934,28 +1366,28 @@ mod tests {
         let mut rx_threads = Vec::new();
         for (i, b) in [Behaviour::Echo, Behaviour::Echo].into_iter().enumerate() {
             let (tx, rx) = fake_variant(b);
-            rx_threads.push(spawn_rx_thread(i, rx, merged_tx.clone()));
+            rx_threads.push(spawn_rx_thread(i, 0, rx, merged_tx.clone()));
             links.push(VariantLink { tx, description: format!("fake-{i}") });
         }
-        rx_threads.push(spawn_rx_thread(2, resp_monitor, merged_tx.clone()));
+        rx_threads.push(spawn_rx_thread(2, 0, resp_monitor, merged_tx.clone()));
         links.push(VariantLink { tx: req_monitor, description: "slow-corrupt".into() });
-        drop(merged_tx);
         let mut needed = HashSet::new();
         needed.insert(ValueId(1));
         let runtime = StageRuntime {
             partition: 0,
             links,
             responses: merged_rx,
+            merged_tx,
             rx_threads,
             inputs: vec![ValueId(0)],
             outputs: vec![ValueId(1)],
             needed_downstream: needed,
             slow: true,
+            recovery: None,
         };
         let p = StagePolicy {
-            exec: ExecMode::AsyncCrossValidation,
             voting: VotingPolicy::Majority,
-            response: ResponsePolicy::ContinueWithMajority,
+            ..policy(ExecMode::AsyncCrossValidation, ResponsePolicy::ContinueWithMajority)
         };
         let (results, events, _) = drive(runtime, p, vec![job(0, 1.0), job(1, 2.0)]);
         assert!(results[0].poisoned.is_none(), "quorum output forwarded");
@@ -964,6 +1396,79 @@ mod tests {
             .iter()
             .any(|e| matches!(e, MonitorEvent::LateDissent { variant: 2, .. }));
         assert!(late, "late dissent must be flagged: {:?}", events.events());
+    }
+
+    #[test]
+    fn watchdog_escalates_hung_variant_within_deadline() {
+        let runtime = fake_stage(
+            &[Behaviour::Echo, Behaviour::Echo, Behaviour::HangFrom(1)],
+            true,
+        );
+        let p = StagePolicy {
+            deadline: Duration::from_millis(150),
+            ..policy(ExecMode::Sync, ResponsePolicy::ContinueWithMajority)
+        };
+        let start = Instant::now();
+        let (results, events, _) =
+            drive(runtime, p, vec![job(0, 1.0), job(1, 2.0), job(2, 3.0)]);
+        // Batch 0 is healthy; batch 1 hits the watchdog deadline, which
+        // escalates the hung variant (late dissent) and continues with
+        // the majority of survivors; batch 2 runs on the reduced panel.
+        assert!(results[0].poisoned.is_none());
+        assert_eq!(results[1].env[&ValueId(1)].data(), &[2.0; 4]);
+        assert_eq!(results[2].env[&ValueId(1)].data(), &[3.0; 4]);
+        let escalated = events.events().iter().any(
+            |e| matches!(e, MonitorEvent::LateDissent { variant: 2, batch: 1, .. }),
+        );
+        assert!(escalated, "watchdog must flag the hung variant: {:?}", events.events());
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "watchdog must not wait out the old 30 s timeout"
+        );
+    }
+
+    #[test]
+    fn strict_degradation_fails_batches_while_below_strength() {
+        let runtime = fake_stage(&[Behaviour::CrashOn(0), Behaviour::Echo], true);
+        let p = StagePolicy {
+            degradation: crate::config::DegradationPolicy::Strict,
+            ..policy(ExecMode::Sync, ResponsePolicy::ContinueWithMajority)
+        };
+        let (results, events, _) = drive(runtime, p, vec![job(0, 1.0), job(1, 2.0)]);
+        // The crash surfaces mid-batch 0; batch 1 then sees the panel
+        // below strength and fails outright under Strict.
+        assert!(
+            results[1].poisoned.as_deref().unwrap_or("").contains("below strength"),
+            "strict policy must fail the batch: {:?}",
+            results[1].poisoned
+        );
+        let flagged = events.events().iter().any(|e| {
+            matches!(e, MonitorEvent::ResponseTaken { action, .. } if action.contains("strict degradation"))
+        });
+        assert!(flagged, "strict degradation must be audited: {:?}", events.events());
+    }
+
+    #[test]
+    fn fast_path_fallback_forwards_flagged_while_below_strength() {
+        let runtime =
+            fake_stage(&[Behaviour::CrashOn(0), Behaviour::Echo, Behaviour::Echo], true);
+        let p = StagePolicy {
+            degradation: crate::config::DegradationPolicy::FastPathFallback,
+            ..policy(ExecMode::Sync, ResponsePolicy::ContinueWithMajority)
+        };
+        let (results, events, _) = drive(runtime, p, vec![job(0, 1.0), job(1, 2.0)]);
+        // Batch 1 falls through unvoted but flagged.
+        assert!(results[1].poisoned.is_none());
+        assert_eq!(results[1].env[&ValueId(1)].data(), &[2.0; 4]);
+        let flagged = events.events().iter().any(|e| {
+            matches!(e, MonitorEvent::ResponseTaken { action, .. } if action.contains("fast-path fallback"))
+        });
+        assert!(flagged, "fallback must be audited: {:?}", events.events());
+        // No checkpoint-pass claim for the unvoted batch.
+        assert!(
+            !events.checkpoint_passes().iter().any(|&(_, b, _)| b == 1),
+            "an unvoted batch must not claim a passed checkpoint"
+        );
     }
 
     #[test]
@@ -997,19 +1502,20 @@ mod tests {
         // Second stage consumes ValueId(1) and emits ValueId(2).
         let (merged_tx, merged_rx) = unbounded::<RxEvent>();
         let (tx, rx) = fake_variant(Behaviour::Echo);
-        let rx_threads = vec![spawn_rx_thread(0, rx, merged_tx.clone())];
-        drop(merged_tx);
+        let rx_threads = vec![spawn_rx_thread(0, 0, rx, merged_tx.clone())];
         let mut needed = HashSet::new();
         needed.insert(ValueId(2));
         let s1 = StageRuntime {
             partition: 1,
             links: vec![VariantLink { tx, description: "fake".into() }],
             responses: merged_rx,
+            merged_tx,
             rx_threads,
             inputs: vec![ValueId(1)],
             outputs: vec![ValueId(2)],
             needed_downstream: needed,
             slow: false,
+            recovery: None,
         };
         let handles = spawn_pipeline(
             vec![s0, s1],

@@ -29,7 +29,7 @@ use mvtee_crypto::channel::{FrameTransport, MemoryTransport, Role};
 use mvtee_crypto::gcm::AesGcm;
 use mvtee_crypto::x25519::EphemeralKeypair;
 use mvtee_diversify::VariantBundle;
-use mvtee_faults::{Attack, FrameFlip};
+use mvtee_faults::{Attack, FrameFlip, LivenessFault};
 use mvtee_runtime::{Engine, PreparedModel, RuntimeError};
 use mvtee_tee::{CodeIdentity, Enclave, Manifest, Platform, Syscall, TeeKind};
 use serde::{Deserialize, Serialize};
@@ -73,6 +73,10 @@ pub struct VariantLaunch {
     pub attack: Option<Attack>,
     /// Simulated platform-wide FrameFlip (corrupts matching BLAS).
     pub frameflip: Option<FrameFlip>,
+    /// Simulated liveness fault (stall/hang or lossy response channel) in
+    /// this host's scheduling/transport stack. Transient: replacements
+    /// provisioned by the recovery manager do not inherit it.
+    pub liveness: Option<LivenessFault>,
     /// Bootstrap transport (plaintext; protected by the attested DH
     /// handshake).
     pub bootstrap: MemoryTransport,
@@ -245,11 +249,34 @@ fn variant_main(launch: VariantLaunch) -> Result<()> {
         match decode::<StageRequest>(&frame)? {
             StageRequest::Shutdown => break,
             StageRequest::Input { batch, tensors } => {
+                if let Some(fault) = &launch.liveness {
+                    // A hung variant's "process" is alive and its channel
+                    // open — it keeps consuming requests but never
+                    // answers, the worst case for a deadline-less
+                    // monitor.
+                    if fault.hangs_on(batch) {
+                        continue;
+                    }
+                    let delay = fault.delay_for(batch);
+                    if delay > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(delay));
+                    }
+                }
                 match prepared.run(&tensors) {
                     Ok(outputs) => {
                         batches_served.inc();
                         enclave.os().syscall(Syscall::Write)?;
                         let resp = StageResponse::Output { batch, tensors: outputs };
+                        if let Some(fault) = &launch.liveness {
+                            if fault.drops_on(batch) {
+                                continue; // frame silently lost in transit
+                            }
+                            if fault.truncates_on(batch) {
+                                let bytes = encode(&resp)?;
+                                let _ = tx.send(&bytes[..bytes.len() / 2]);
+                                continue;
+                            }
+                        }
                         if tx.send(&encode(&resp)?).is_err() {
                             break;
                         }

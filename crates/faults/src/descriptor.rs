@@ -16,6 +16,7 @@
 use crate::bitflip::BitFlipStrategy;
 use crate::blasfault::{FrameFlip, GemmCorruption};
 use crate::cve::{Attack, CveClass, InputTrigger};
+use crate::liveness::{ChannelFault, ChannelFaultMode, StallFault, StallMode};
 use mvtee_runtime::BlasKind;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -43,12 +44,20 @@ pub enum FaultDescriptor {
     BlasFault(FrameFlip),
     /// A CVE-class exploit present on the variant hosts.
     Cve(Attack),
+    /// A scheduling stall (delay or hang) on one variant host.
+    Stall(StallFault),
+    /// A lossy response channel (drop or truncation) on one variant host.
+    Channel(ChannelFault),
 }
 
-/// The three fault families of the campaign matrix.
+/// Bit-flip family row label.
 pub const FAMILY_BITFLIP: &str = "bitflip";
 /// FrameFlip family row label.
 pub const FAMILY_FRAMEFLIP: &str = "frameflip";
+/// Stall (liveness) family row label.
+pub const FAMILY_STALL: &str = "stall";
+/// Channel-fault (liveness) family row label.
+pub const FAMILY_CHANNEL: &str = "chan";
 
 impl FaultDescriptor {
     /// Matrix row label: the fault class. CVE faults use the Table 1 class
@@ -58,24 +67,30 @@ impl FaultDescriptor {
             FaultDescriptor::WeightBitFlip(_) => FAMILY_BITFLIP.to_string(),
             FaultDescriptor::BlasFault(_) => FAMILY_FRAMEFLIP.to_string(),
             FaultDescriptor::Cve(a) => a.class.to_string(),
+            FaultDescriptor::Stall(_) => FAMILY_STALL.to_string(),
+            FaultDescriptor::Channel(_) => FAMILY_CHANNEL.to_string(),
         }
     }
 
-    /// Coarse family name (`bitflip`, `frameflip`, `cve`).
+    /// Coarse family name (`bitflip`, `frameflip`, `cve`, `stall`, `chan`).
     pub fn family(&self) -> &'static str {
         match self {
             FaultDescriptor::WeightBitFlip(_) => FAMILY_BITFLIP,
             FaultDescriptor::BlasFault(_) => FAMILY_FRAMEFLIP,
             FaultDescriptor::Cve(_) => "cve",
+            FaultDescriptor::Stall(_) => FAMILY_STALL,
+            FaultDescriptor::Channel(_) => FAMILY_CHANNEL,
         }
     }
 
     /// Draws a descriptor uniformly from the full fault space
     /// (`Arbitrary`-style; deterministic given the RNG state).
     pub fn arbitrary(rng: &mut StdRng) -> Self {
-        match rng.gen_range(0..3) {
+        match rng.gen_range(0..5) {
             0 => FaultDescriptor::WeightBitFlip(BitFlipFault::arbitrary(rng)),
             1 => FaultDescriptor::BlasFault(arbitrary_frameflip(rng)),
+            2 => FaultDescriptor::Stall(arbitrary_stall(rng)),
+            3 => FaultDescriptor::Channel(arbitrary_channel(rng)),
             _ => FaultDescriptor::Cve(arbitrary_attack(rng)),
         }
     }
@@ -106,6 +121,26 @@ fn arbitrary_frameflip(rng: &mut StdRng) -> FrameFlip {
         GemmCorruption::BitFlipStride { stride: rng.gen_range(1..=4) }
     };
     FrameFlip { target, corruption }
+}
+
+fn arbitrary_stall(rng: &mut StdRng) -> StallFault {
+    let from_batch = rng.gen_range(0..4);
+    let mode = if rng.gen_bool(0.5) {
+        StallMode::Hang
+    } else {
+        StallMode::Delay { delay_ms: rng.gen_range(1u64..=8) * 25 }
+    };
+    StallFault { from_batch, mode }
+}
+
+fn arbitrary_channel(rng: &mut StdRng) -> ChannelFault {
+    let on_batch = rng.gen_range(0..4);
+    let mode = if rng.gen_bool(0.5) {
+        ChannelFaultMode::Drop
+    } else {
+        ChannelFaultMode::Truncate
+    };
+    ChannelFault { on_batch, mode }
 }
 
 fn arbitrary_attack(rng: &mut StdRng) -> Attack {
@@ -164,7 +199,8 @@ pub fn cve_class_from_token(token: &str) -> Result<CveClass, String> {
 
 impl fmt::Display for FaultDescriptor {
     /// One-token spec, e.g. `bitflip:exp:2:13`, `frameflip:blocked:zero:0.3`,
-    /// `cve:oob:always`, `cve:acf:marker:1337`.
+    /// `cve:oob:always`, `cve:acf:marker:1337`, `stall:3:hang`,
+    /// `stall:0:delay:50`, `chan:2:drop`, `chan:1:trunc`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FaultDescriptor::WeightBitFlip(b) => {
@@ -188,6 +224,16 @@ impl fmt::Display for FaultDescriptor {
                     InputTrigger::MagicMarker(m) => write!(f, "marker:{m}"),
                 }
             }
+            FaultDescriptor::Stall(s) => match s.mode {
+                StallMode::Hang => write!(f, "stall:{}:hang", s.from_batch),
+                StallMode::Delay { delay_ms } => {
+                    write!(f, "stall:{}:delay:{delay_ms}", s.from_batch)
+                }
+            },
+            FaultDescriptor::Channel(c) => match c.mode {
+                ChannelFaultMode::Drop => write!(f, "chan:{}:drop", c.on_batch),
+                ChannelFaultMode::Truncate => write!(f, "chan:{}:trunc", c.on_batch),
+            },
         }
     }
 }
@@ -231,6 +277,32 @@ impl FromStr for FaultDescriptor {
                 let marker = m.parse().map_err(|_| bad("bad marker"))?;
                 Ok(FaultDescriptor::Cve(Attack::with_marker(class, marker)))
             }
+            ["stall", from, "hang"] => {
+                let from_batch = from.parse().map_err(|_| bad("bad batch"))?;
+                Ok(FaultDescriptor::Stall(StallFault { from_batch, mode: StallMode::Hang }))
+            }
+            ["stall", from, "delay", ms] => {
+                let from_batch = from.parse().map_err(|_| bad("bad batch"))?;
+                let delay_ms = ms.parse().map_err(|_| bad("bad delay"))?;
+                Ok(FaultDescriptor::Stall(StallFault {
+                    from_batch,
+                    mode: StallMode::Delay { delay_ms },
+                }))
+            }
+            ["chan", on, "drop"] => {
+                let on_batch = on.parse().map_err(|_| bad("bad batch"))?;
+                Ok(FaultDescriptor::Channel(ChannelFault {
+                    on_batch,
+                    mode: ChannelFaultMode::Drop,
+                }))
+            }
+            ["chan", on, "trunc"] => {
+                let on_batch = on.parse().map_err(|_| bad("bad batch"))?;
+                Ok(FaultDescriptor::Channel(ChannelFault {
+                    on_batch,
+                    mode: ChannelFaultMode::Truncate,
+                }))
+            }
             _ => Err(bad("unrecognised shape")),
         }
     }
@@ -249,6 +321,10 @@ mod tests {
             "frameflip:naive:stride:2",
             "cve:oob:always",
             "cve:acf:marker:1337",
+            "stall:3:hang",
+            "stall:0:delay:50",
+            "chan:2:drop",
+            "chan:1:trunc",
         ];
         for s in samples {
             let d: FaultDescriptor = s.parse().unwrap();
@@ -273,12 +349,14 @@ mod tests {
     fn arbitrary_covers_every_family() {
         let mut rng = StdRng::seed_from_u64(7);
         let mut seen = std::collections::HashSet::new();
-        for _ in 0..64 {
+        for _ in 0..128 {
             seen.insert(FaultDescriptor::arbitrary(&mut rng).family());
         }
         assert!(seen.contains("bitflip"));
         assert!(seen.contains("frameflip"));
         assert!(seen.contains("cve"));
+        assert!(seen.contains("stall"));
+        assert!(seen.contains("chan"));
     }
 
     #[test]
@@ -292,7 +370,16 @@ mod tests {
 
     #[test]
     fn bad_specs_are_rejected() {
-        for s in ["", "bitflip:exp:2", "frameflip:eigen:zero:0.3", "cve:xyz:always", "x:y"] {
+        for s in [
+            "",
+            "bitflip:exp:2",
+            "frameflip:eigen:zero:0.3",
+            "cve:xyz:always",
+            "x:y",
+            "stall:x:hang",
+            "stall:1:freeze",
+            "chan:2:corrupt",
+        ] {
             assert!(s.parse::<FaultDescriptor>().is_err(), "accepted bad spec '{s}'");
         }
     }

@@ -12,7 +12,10 @@
 //!   BLAS backend; variants on other backends are unaffected,
 //! * [`cve`] — six CVE-class simulators (OOB, UNP, FPE, IO, UAF, ACF)
 //!   that fire only on variants whose configuration is susceptible,
-//!   reproducing Table 1's "defending variants" matrix.
+//!   reproducing Table 1's "defending variants" matrix,
+//! * [`liveness`] — progress faults (deterministic stalls/hangs, lossy
+//!   response channels) that never corrupt a value but starve a
+//!   checkpoint, exercising the straggler watchdog and recovery manager.
 //!
 //! Faults manifest exactly like the real thing at the MVX observation
 //! level: a crash (the variant's run returns
@@ -26,8 +29,10 @@ pub mod bitflip;
 pub mod blasfault;
 pub mod cve;
 pub mod descriptor;
+pub mod liveness;
 
 pub use bitflip::{flip_weight_bits, BitFlipStrategy, FlippedBit};
 pub use blasfault::{FaultyBlas, FrameFlip, GemmCorruption};
 pub use cve::{Attack, CveClass, FaultEffect, InputTrigger, VulnerableModel};
 pub use descriptor::{BitFlipFault, FaultDescriptor};
+pub use liveness::{ChannelFault, ChannelFaultMode, LivenessFault, StallFault, StallMode};

@@ -1,0 +1,216 @@
+//! Self-healing integration: the scripted crash-then-recover loop.
+//!
+//! A deployment with recovery enabled must close the detect→react loop
+//! end to end: a faulted panel member diverges (or hangs), the monitor
+//! quarantines it, the recovery manager re-provisions a replacement
+//! through the full attested bootstrap (fresh enclave, fresh variant key,
+//! new secure binding), the replacement resynchronises from the last
+//! *verified* checkpoint, and the panel returns to full strength — all
+//! visible in the [`mvtee::EventLog`] and the `core.recovery.*` metrics.
+
+use mvtee::config::{MvxConfig, PartitionMvx, RecoveryPolicy, ResponsePolicy};
+use mvtee::deployment::Deployment;
+use mvtee::MonitorEvent;
+use mvtee_faults::{
+    BitFlipFault, BitFlipStrategy, LivenessFault, StallFault, StallMode,
+};
+use mvtee_graph::zoo::{self, Model, ModelKind, ScaleProfile};
+use mvtee_tensor::Tensor;
+
+const PANEL: usize = 3;
+const MVX_PARTITION: usize = 1;
+/// Bound on batches streamed while waiting for the asynchronous recovery
+/// to land; healing later than this is a failure, not a wait.
+const BATCH_CAP: u64 = 40;
+
+fn model_input(model: &Model, salt: u64) -> Tensor {
+    let n = model.input_shape.num_elements();
+    Tensor::from_vec(
+        (0..n).map(|i| (((i as u64 + 13 * salt) % 83) as f32 - 41.0) / 41.0).collect(),
+        model.input_shape.dims(),
+    )
+    .expect("static shape")
+}
+
+fn bits_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.dims() == b.dims()
+        && a.data().iter().zip(b.data().iter()).all(|(p, q)| p.to_bits() == q.to_bits())
+}
+
+fn recovery_config() -> MvxConfig {
+    let mut cfg = MvxConfig::fast_path(2);
+    cfg.claims[MVX_PARTITION] = PartitionMvx::replicated(PANEL);
+    cfg.response = ResponsePolicy::ContinueWithMajority;
+    cfg.recovery = RecoveryPolicy::enabled();
+    cfg.checkpoint_deadline_ms = 300;
+    cfg
+}
+
+/// Streams batches until the quarantined variant has rejoined and a
+/// later checkpoint passed at full panel strength; panics with the event
+/// log when the cap is exhausted. Returns the quarantine `(variant,
+/// batch)`.
+fn stream_until_healed(d: &mut Deployment, inputs: &[Tensor]) -> (usize, u64) {
+    for b in 0..BATCH_CAP {
+        let idx = (b % inputs.len() as u64) as usize;
+        let _ = d.infer(&inputs[idx]).expect("degraded service must continue");
+        let events = d.events();
+        if let Some(&(qp, qv, qb)) = events.quarantines().first() {
+            assert_eq!(qp, MVX_PARTITION, "quarantine at the wrong partition");
+            let healed = events.recoveries().contains(&(qp, qv))
+                && events
+                    .checkpoint_passes()
+                    .iter()
+                    .any(|&(pp, pb, agreeing)| pp == qp && pb > qb && agreeing == PANEL);
+            if healed {
+                return (qv, qb);
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    panic!("panel never healed within {BATCH_CAP} batches:\n{}", d.events().render());
+}
+
+/// The full scripted loop for a *value* fault: sealed weight bit flips
+/// make one replica dissent, the checkpoint quarantines it, and the
+/// recovery manager's replacement (resealed from the clean subgraph)
+/// rejoins and votes again.
+#[test]
+fn divergent_variant_is_quarantined_reprovisioned_and_rejoins() {
+    let before = mvtee_telemetry::snapshot();
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 7).expect("builds");
+    let inputs: Vec<Tensor> = (0..3).map(|s| model_input(&model, s)).collect();
+
+    // The unfaulted oracle fixes the expected outputs.
+    let mut clean = Deployment::builder(
+        zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 7).expect("builds"),
+    )
+    .config(recovery_config())
+    .build()
+    .expect("oracle deploys");
+    let expected: Vec<Tensor> =
+        inputs.iter().map(|i| clean.infer(i).expect("oracle runs")).collect();
+    clean.shutdown();
+
+    let mut d = Deployment::builder(model)
+        .config(recovery_config())
+        .weight_fault(
+            MVX_PARTITION,
+            0,
+            BitFlipFault { strategy: BitFlipStrategy::ExponentMsb, count: 3, seed: 2 },
+        )
+        .build()
+        .expect("deploys");
+    let launch_bindings = d.bindings().len();
+
+    let mut healed = None;
+    for b in 0..BATCH_CAP {
+        let idx = (b % inputs.len() as u64) as usize;
+        let out = d.infer(&inputs[idx]).expect("majority must keep serving");
+        assert!(
+            bits_equal(&out, &expected[idx]),
+            "batch {b}: degraded/recovered output diverged from the oracle"
+        );
+        let events = d.events();
+        if let Some(&(qp, qv, qb)) = events.quarantines().first() {
+            assert_eq!(qp, MVX_PARTITION);
+            if events.recoveries().contains(&(qp, qv))
+                && events
+                    .checkpoint_passes()
+                    .iter()
+                    .any(|&(pp, pb, agreeing)| pp == qp && pb > qb && agreeing == PANEL)
+            {
+                healed = Some((qv, qb));
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let (qv, _) =
+        healed.unwrap_or_else(|| panic!("never healed:\n{}", d.events().render()));
+    assert_eq!(qv, 0, "the flipped replica must be the one quarantined");
+
+    // The event log tells the whole story, in order: detect → quarantine
+    // → re-provision → rejoin.
+    let events = d.events().events();
+    let pos = |pred: &dyn Fn(&MonitorEvent) -> bool| events.iter().position(pred);
+    let quarantined = pos(&|e| {
+        matches!(e, MonitorEvent::Quarantined { partition, variant, .. }
+            if *partition == MVX_PARTITION && *variant == 0)
+    })
+    .expect("Quarantined event");
+    let started = pos(&|e| {
+        matches!(e, MonitorEvent::RecoveryStarted { partition, variant, .. }
+            if *partition == MVX_PARTITION && *variant == 0)
+    })
+    .expect("RecoveryStarted event");
+    let recovered = pos(&|e| {
+        matches!(e, MonitorEvent::Recovered { partition, variant }
+            if *partition == MVX_PARTITION && *variant == 0)
+    })
+    .expect("Recovered event");
+    assert!(quarantined < started && started < recovered, "events out of order");
+
+    // Re-provisioning runs the full attested bootstrap: the replacement
+    // appended a fresh secure binding in the recovery id space.
+    let bindings = d.bindings();
+    assert!(bindings.len() > launch_bindings, "no new binding recorded");
+    assert!(
+        bindings.iter().any(|r| r.partition == MVX_PARTITION
+            && r.variant == 0
+            && r.variant_id >= 900_000_000),
+        "replacement binding missing its recovery-scoped id"
+    );
+    d.shutdown();
+
+    // The whole loop is visible in telemetry.
+    let after = mvtee_telemetry::snapshot();
+    let delta = |name: &str| {
+        after.counters.get(name).copied().unwrap_or(0)
+            - before.counters.get(name).copied().unwrap_or(0)
+    };
+    assert!(delta("core.recovery.quarantined") >= 1);
+    assert!(delta("core.recovery.started") >= 1);
+    assert!(delta("core.recovery.recovered") >= 1);
+    let histogram_count = |snap: &mvtee_telemetry::Snapshot| {
+        snap.histograms.get("core.recovery.time_to_recovery_ns").map_or(0, |h| h.count)
+    };
+    assert!(
+        histogram_count(&after) > histogram_count(&before),
+        "time-to-recovery histogram never recorded"
+    );
+}
+
+/// The full scripted loop for a *liveness* fault: a variant that hangs
+/// after two verified checkpoints trips the straggler watchdog, and the
+/// replacement must pass probation against the last verified checkpoint
+/// payload (the resync point exists by construction) before rejoining.
+#[test]
+fn hung_variant_recovers_via_resync_from_last_verified_checkpoint() {
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 11).expect("builds");
+    let inputs: Vec<Tensor> = (0..3).map(|s| model_input(&model, s)).collect();
+
+    let mut d = Deployment::builder(model)
+        .config(recovery_config())
+        .liveness_fault(
+            MVX_PARTITION,
+            1,
+            LivenessFault::Stall(StallFault { from_batch: 2, mode: StallMode::Hang }),
+        )
+        .build()
+        .expect("deploys");
+
+    let (qv, qb) = stream_until_healed(&mut d, &inputs);
+    assert_eq!(qv, 1, "the hung replica must be the one quarantined");
+    assert!(qb >= 2, "batches before the stall must have verified");
+    let events = d.events();
+    // Two verified checkpoints preceded the hang — the recovery manager
+    // had a genuine resync point to probation the replacement against.
+    assert!(
+        events.checkpoint_passes().iter().any(|&(p, b, _)| p == MVX_PARTITION && b < qb),
+        "no verified checkpoint before the quarantine:\n{}",
+        events.render()
+    );
+    assert!(events.recoveries().contains(&(MVX_PARTITION, 1)));
+    d.shutdown();
+}

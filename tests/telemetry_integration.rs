@@ -6,7 +6,7 @@
 //! events, keeping the exactly-once assertion of the bit-flip test sound.
 
 use crossbeam::channel::{bounded, unbounded};
-use mvtee::config::{ExecMode, ResponsePolicy, VotingPolicy};
+use mvtee::config::{DegradationPolicy, ExecMode, ResponsePolicy, VotingPolicy};
 use mvtee::events::{EventLog, MonitorEvent};
 use mvtee::link::{link_pair, DataLink};
 use mvtee::messages::{decode, encode, StageRequest, StageResponse};
@@ -129,7 +129,7 @@ fn bitflip_divergence_increments_counter_exactly_once() {
     let mut rx_threads = Vec::new();
     for (i, prepared) in [clean, corrupted].into_iter().enumerate() {
         let (tx, rx) = spawn_model_variant(prepared);
-        rx_threads.push(spawn_rx_thread(i, rx, merged_tx.clone()));
+        rx_threads.push(spawn_rx_thread(i, 0, rx, merged_tx.clone()));
         links.push(VariantLink { tx, description: format!("variant-{i}") });
     }
     let output_id = *model.graph.outputs().first().expect("one output");
@@ -137,16 +137,22 @@ fn bitflip_divergence_increments_counter_exactly_once() {
         partition: 0,
         links,
         responses: merged_rx,
+        merged_tx,
         rx_threads,
         inputs: vec![*model.graph.inputs().first().expect("one input")],
         outputs: vec![output_id],
         needed_downstream: HashSet::from([output_id]),
         slow: true,
+        recovery: None,
     };
     let policy = StagePolicy {
         exec: ExecMode::Sync,
         voting: VotingPolicy::Unanimous,
         response: ResponsePolicy::Halt,
+        degradation: DegradationPolicy::Degrade,
+        deadline: std::time::Duration::from_secs(30),
+        drain_window: std::time::Duration::from_millis(500),
+        drain_poll: std::time::Duration::from_millis(50),
     };
 
     let before = mvtee_telemetry::snapshot();

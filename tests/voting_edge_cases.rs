@@ -1,10 +1,16 @@
 //! Negative-path coverage for checkpoint voting (§4.3): the degenerate
 //! inputs a monitor can see when variants die or straggle — empty panels,
-//! all-crashed panels, and the async 2-of-3 quorum followed by a late
-//! dissenter.
+//! all-crashed panels, the async 2-of-3 quorum followed by a late
+//! dissenter, and the panel-rejoin cases a recovered variant introduces
+//! (its vote counts again on the next covered checkpoint; its stale
+//! pre-quarantine frames never do).
 
+use mvtee::config::{MvxConfig, PartitionMvx, RecoveryPolicy, ResponsePolicy};
+use mvtee::deployment::Deployment;
 use mvtee::voting::{evaluate, has_quorum, VariantOutput, Verdict};
-use mvtee::VotingPolicy;
+use mvtee::{MonitorEvent, VotingPolicy};
+use mvtee_faults::{LivenessFault, StallFault, StallMode};
+use mvtee_graph::zoo::{self, Model, ModelKind, ScaleProfile};
 use mvtee_tensor::metrics::Metric;
 use mvtee_tensor::Tensor;
 
@@ -94,6 +100,164 @@ fn two_of_three_quorum_then_late_crash() {
         }
         other => panic!("late crash must be flagged, got {other:?}"),
     }
+}
+
+// ---------------------------------------------------------------------
+// Panel rejoin: the voting edges only a live recovered deployment has.
+// ---------------------------------------------------------------------
+
+const PANEL: usize = 3;
+const MVX_PARTITION: usize = 1;
+const BATCH_CAP: u64 = 40;
+
+fn rejoin_config() -> MvxConfig {
+    let mut cfg = MvxConfig::fast_path(2);
+    cfg.claims[MVX_PARTITION] = PartitionMvx::replicated(PANEL);
+    cfg.response = ResponsePolicy::ContinueWithMajority;
+    cfg.recovery = RecoveryPolicy::enabled();
+    cfg.checkpoint_deadline_ms = 300;
+    cfg
+}
+
+fn rejoin_input(model: &Model, salt: u64) -> Tensor {
+    let n = model.input_shape.num_elements();
+    Tensor::from_vec(
+        (0..n).map(|i| (((i as u64 + 29 * salt) % 97) as f32 - 48.0) / 48.0).collect(),
+        model.input_shape.dims(),
+    )
+    .expect("static shape")
+}
+
+fn bits_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.dims() == b.dims()
+        && a.data().iter().zip(b.data().iter()).all(|(p, q)| p.to_bits() == q.to_bits())
+}
+
+#[test]
+fn recovered_variant_votes_again_on_the_next_covered_checkpoint() {
+    // A replica hangs, is quarantined by the watchdog, and is replaced.
+    // The proof that the replacement genuinely *votes* — rather than the
+    // panel limping on with survivors — is a later CheckpointPassed whose
+    // `agreeing` count is back to the full panel size.
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 3).expect("builds");
+    let inputs: Vec<Tensor> = (0..3).map(|s| rejoin_input(&model, s)).collect();
+    let mut d = Deployment::builder(model)
+        .config(rejoin_config())
+        .liveness_fault(
+            MVX_PARTITION,
+            2,
+            LivenessFault::Stall(StallFault { from_batch: 1, mode: StallMode::Hang }),
+        )
+        .build()
+        .expect("deploys");
+
+    let mut full_strength_pass = None;
+    for b in 0..BATCH_CAP {
+        let idx = (b % inputs.len() as u64) as usize;
+        d.infer(&inputs[idx]).expect("majority must keep serving");
+        let events = d.events();
+        if let Some(&(qp, qv, qb)) = events.quarantines().first() {
+            full_strength_pass = events
+                .checkpoint_passes()
+                .iter()
+                .find(|&&(pp, pb, agreeing)| pp == qp && pb > qb && agreeing == PANEL)
+                .copied();
+            if full_strength_pass.is_some() {
+                assert_eq!((qp, qv), (MVX_PARTITION, 2));
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let (_, pass_batch, agreeing) = full_strength_pass
+        .unwrap_or_else(|| panic!("no full-strength pass:\n{}", d.events().render()));
+    assert_eq!(agreeing, PANEL, "recovered variant's vote missing from the tally");
+    // Between the quarantine and the rejoin, passes tallied only the
+    // survivors — never more than the panel, never fewer than a majority.
+    for &(p, b, a) in &d.events().checkpoint_passes() {
+        if p == MVX_PARTITION && b < pass_batch {
+            assert!(a * 2 > PANEL && a <= PANEL, "impossible tally {a} at batch {b}");
+        }
+    }
+    d.shutdown();
+}
+
+#[test]
+fn stale_pre_quarantine_frame_is_ignored_not_revoted() {
+    // A delayed replica answers *after* the watchdog quarantined it: its
+    // response frame carries the pre-quarantine channel epoch and must be
+    // dropped, not counted as a fresh vote. Inputs cycle, so if the stale
+    // frame were accepted for a later batch it would dissent and surface
+    // as a DivergenceDetected — the absence of any divergence after the
+    // quarantine, plus oracle-identical outputs, is the proof.
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 5).expect("builds");
+    let inputs: Vec<Tensor> = (0..3).map(|s| rejoin_input(&model, s)).collect();
+
+    let mut clean = Deployment::builder(
+        zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 5).expect("builds"),
+    )
+    .config(rejoin_config())
+    .build()
+    .expect("oracle deploys");
+    let expected: Vec<Tensor> =
+        inputs.iter().map(|i| clean.infer(i).expect("oracle runs")).collect();
+    clean.shutdown();
+
+    let mut d = Deployment::builder(
+        zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 5).expect("builds"),
+    )
+    .config(rejoin_config())
+    .liveness_fault(
+        MVX_PARTITION,
+        0,
+        // Three times the checkpoint deadline: the answer always lands
+        // well after the quarantine bumped the epoch.
+        LivenessFault::Stall(StallFault {
+            from_batch: 1,
+            mode: StallMode::Delay { delay_ms: 900 },
+        }),
+    )
+    .build()
+    .expect("deploys");
+
+    let mut healed = false;
+    for b in 0..BATCH_CAP {
+        let idx = (b % inputs.len() as u64) as usize;
+        let out = d.infer(&inputs[idx]).expect("majority must keep serving");
+        assert!(
+            bits_equal(&out, &expected[idx]),
+            "batch {b}: stale frame corrupted the forwarded output"
+        );
+        let events = d.events();
+        if let Some(&(qp, qv, qb)) = events.quarantines().first() {
+            healed = events.recoveries().contains(&(qp, qv))
+                && events
+                    .checkpoint_passes()
+                    .iter()
+                    .any(|&(pp, pb, agreeing)| pp == qp && pb > qb && agreeing == PANEL);
+            if healed {
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(healed, "panel never healed:\n{}", d.events().render());
+
+    // The only detection is the watchdog's own late-dissent/quarantine:
+    // the stale frame itself must never have been evaluated as a vote.
+    let quarantine_batch = d.events().quarantines()[0].2;
+    let spurious: Vec<_> = d
+        .events()
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(e, MonitorEvent::DivergenceDetected { partition, batch, .. }
+                if *partition == MVX_PARTITION && *batch > quarantine_batch)
+        })
+        .cloned()
+        .collect();
+    assert!(spurious.is_empty(), "stale frame was counted as a vote: {spurious:?}");
+    d.shutdown();
 }
 
 #[test]
