@@ -5,6 +5,7 @@
 //! experiments [--quick] [--markdown] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]
 //! experiments campaign [--seed N] [--count N] [--no-shrink]
 //! experiments chaos [--seed N] [--scenarios N] [--quick]
+//! experiments perf [--quick] [--out PATH]
 //! ```
 //!
 //! * `--quick` — Test-scale models and a subset (CI smoke).
@@ -21,12 +22,19 @@
 //! flip, a hung variant, and a lossy channel into one deployment at
 //! once, and the run exits non-zero unless every storm heals back to
 //! full panel strength with oracle-identical outputs.
+//!
+//! The `perf` subcommand sweeps zoo model × engine family × intra-op
+//! thread count through the deterministic runtime pool, writes
+//! `BENCH_runtime.json` (p50/p95 + speedup vs threads=1), and exits
+//! non-zero if any thread count produced output bytes different from
+//! the single-thread baseline.
 
 use mvtee_bench::chaos::{run_chaos, ChaosConfig};
 use mvtee_bench::experiments::{
     ablation_metric, ablation_weight_fn, fig10, fig11, fig12, fig13, fig14, fig9,
     security_faults, table1, telemetry_report, Settings,
 };
+use mvtee_bench::perf::{run_perf, PerfSettings};
 use mvtee_bench::table::Table;
 
 /// Parses `--flag N` from the argument list; exits with a usage error on a
@@ -93,11 +101,52 @@ fn run_chaos_command(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// The `perf` subcommand: runs the intra-op parallelism sweep, writes the
+/// JSON report and exits non-zero on any cross-thread-count mismatch.
+fn run_perf_command(args: &[String]) -> ! {
+    let settings = if args.iter().any(|a| a == "--quick") {
+        PerfSettings::quick()
+    } else {
+        PerfSettings::full()
+    };
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("error: --out requires a path");
+                std::process::exit(2);
+            }
+        },
+        None => "BENCH_runtime.json".to_string(),
+    };
+    eprintln!(
+        "# running runtime perf sweep (threads {:?}, models {:?}) …",
+        settings.threads,
+        settings.models.iter().map(|m| m.display_name()).collect::<Vec<_>>(),
+    );
+    let report = run_perf(&settings);
+    println!("{}", report.render_text());
+    if let Err(e) = std::fs::write(&out_path, report.render_json()) {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {out_path}");
+    println!("{}", telemetry_report());
+    if report.has_mismatch() {
+        eprintln!(
+            "error: {} cross-thread-count output mismatch(es) — the deterministic pool invariant is broken",
+            report.mismatches.len()
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments [--quick] [--markdown] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]\n       experiments campaign [--seed N] [--count N] [--no-shrink]\n       experiments chaos [--seed N] [--scenarios N] [--quick]"
+            "usage: experiments [--quick] [--markdown] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]\n       experiments campaign [--seed N] [--count N] [--no-shrink]\n       experiments chaos [--seed N] [--scenarios N] [--quick]\n       experiments perf [--quick] [--out PATH]"
         );
         return;
     }
@@ -106,6 +155,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("chaos") {
         run_chaos_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("perf") {
+        run_perf_command(&args[1..]);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");

@@ -598,7 +598,8 @@ pub fn ablation_metric(s: &Settings) -> Table {
         let model = zoo::build(model_kind, ScaleProfile::Test, 42).expect("builds");
         let input = crate::costs::model_input(&model);
         let mut cfg = MvxConfig::fast_path(2);
-        cfg.claims[1] = PartitionMvx { variants: 3, replicated: false, metric };
+        cfg.claims[1] =
+            PartitionMvx { variants: 3, replicated: false, metric, intra_op_threads: 1 };
         let mut d = Deployment::builder(model)
             .config(cfg)
             .response(ResponsePolicy::ContinueWithMajority)
@@ -622,6 +623,10 @@ pub fn ablation_metric(s: &Settings) -> Table {
 /// latency quantiles, voting path counts, divergence/crash counters and
 /// crypto channel byte totals.
 pub fn telemetry_report() -> String {
+    // Register the runtime pool/cache metrics up front (PR 3 pattern):
+    // "the pool never went parallel" and "the cache was never exercised"
+    // must appear as explicit zeros, not as missing rows.
+    mvtee_runtime::register_runtime_metrics();
     mvtee_telemetry::snapshot().render()
 }
 

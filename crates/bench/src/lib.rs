@@ -30,5 +30,6 @@
 pub mod chaos;
 pub mod costs;
 pub mod experiments;
+pub mod perf;
 pub mod sim;
 pub mod table;

@@ -227,6 +227,7 @@ pub fn scenario_config(sc: &Scenario) -> MvxConfig {
         variants: sc.panel_size,
         replicated: true,
         metric: if sc.defender.homogeneous() { Metric::strict() } else { Metric::relaxed() },
+        intra_op_threads: 1,
     };
     match &sc.fault {
         // Stall scenarios exercise the full detect → quarantine →

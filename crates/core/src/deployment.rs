@@ -65,12 +65,21 @@ pub struct SpecPatch {
     pub aslr_seed: Option<u64>,
     /// Replace the graph-transform list.
     pub transforms: Option<Vec<mvtee_diversify::TransformKind>>,
+    /// Replace this variant's intra-op thread count (applied after any
+    /// engine swap, so it composes with `engine`). Thread counts are
+    /// freely diversifiable: the runtime pool is bit-deterministic.
+    pub intra_op_threads: Option<usize>,
 }
 
 impl SpecPatch {
     /// A patch that only swaps the engine configuration.
     pub fn engine(engine: EngineConfig) -> Self {
         SpecPatch { engine: Some(engine), ..Default::default() }
+    }
+
+    /// A patch that only sets the intra-op thread count.
+    pub fn threads(threads: usize) -> Self {
+        SpecPatch { intra_op_threads: Some(threads), ..Default::default() }
     }
 
     /// Applies the patch to a spec.
@@ -86,6 +95,9 @@ impl SpecPatch {
         }
         if let Some(t) = &self.transforms {
             spec.transforms = t.clone();
+        }
+        if let Some(n) = self.intra_op_threads {
+            spec.engine.intra_op_threads = n.max(1);
         }
     }
 }
@@ -427,6 +439,9 @@ pub fn build_specs(
         s
     };
     for (v, spec) in specs.iter_mut().enumerate() {
+        // Partition-wide thread default first, then per-variant patches so
+        // an explicit `intra_op_threads` override wins.
+        spec.engine.intra_op_threads = claim.intra_op_threads.max(1);
         if let Some(patch) = overrides.get(&(partition, v)) {
             patch.apply(spec);
         }
@@ -541,6 +556,24 @@ impl DeploymentBuilder {
     /// transforms, engine).
     pub fn spec_patch(mut self, partition: usize, variant: usize, patch: SpecPatch) -> Self {
         self.overrides.insert((partition, variant), patch);
+        self
+    }
+
+    /// Sets the default intra-op thread count for every variant on one
+    /// partition. Safe at any value: kernel outputs are byte-identical
+    /// regardless of thread count.
+    pub fn partition_threads(mut self, partition: usize, threads: usize) -> Self {
+        if let Some(claim) = self.config.claims.get_mut(partition) {
+            claim.intra_op_threads = threads.max(1);
+        }
+        self
+    }
+
+    /// Overrides one variant's intra-op thread count (composes with an
+    /// earlier `engine_override` for the same variant).
+    pub fn variant_threads(mut self, partition: usize, variant: usize, threads: usize) -> Self {
+        let patch = self.overrides.entry((partition, variant)).or_default();
+        patch.intra_op_threads = Some(threads.max(1));
         self
     }
 

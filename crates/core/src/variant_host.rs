@@ -200,14 +200,24 @@ fn variant_main(launch: VariantLaunch) -> Result<()> {
     // platform-level compromises.
     let bundle = VariantBundle::from_bytes(&payload.bundle)
         .map_err(|e| MvxError::Diversify(e.to_string()))?;
-    let engine = match &launch.frameflip {
-        Some(ff) => Engine::with_custom_blas(
-            bundle.spec.engine.clone(),
-            ff.resolve(bundle.spec.engine.blas),
-        ),
-        None => Engine::new(bundle.spec.engine.clone()),
+    // Clean engines prepare through the session-wide cache (weight
+    // pre-packing amortised across relaunches of the same spec + graph);
+    // FrameFlip'd engines carry per-launch fault state and bypass it.
+    let mut prepared: Box<dyn PreparedModel> = match &launch.frameflip {
+        Some(ff) => {
+            let engine = Engine::with_custom_blas(
+                bundle.spec.engine.clone(),
+                ff.resolve(bundle.spec.engine.blas),
+            );
+            engine.prepare(&bundle.graph)?
+        }
+        None => {
+            let engine = Engine::new(bundle.spec.engine.clone());
+            Box::new(mvtee_runtime::SharedModel(
+                mvtee_runtime::session_cache().prepare(&engine, &bundle.graph)?,
+            ))
+        }
     };
-    let mut prepared: Box<dyn PreparedModel> = engine.prepare(&bundle.graph)?;
     if let Some(attack) = &launch.attack {
         prepared = attack.instrument(prepared, &bundle.spec);
     }

@@ -10,11 +10,14 @@
 //! are `Send` so each variant TEE can own one on its own thread.
 
 use crate::blas::{Blas, BlasKind};
+use crate::cache::{KernelCtx, PackedGemm};
 use crate::kernels::{self, Accumulation, ConvAttrs};
 use crate::optimize;
+use crate::pool::{RuntimeConfig, ThreadPool};
 use crate::{Result, RuntimeError};
 use mvtee_graph::{Graph, Node, NodeId, Op};
 use mvtee_tensor::Tensor;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -54,7 +57,7 @@ pub enum ConvStrategy {
 
 /// Full engine configuration: one point in the diversification space of
 /// §4.2's inference-instance level.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct EngineConfig {
     /// Executor family.
     pub kind: EngineKind,
@@ -66,6 +69,11 @@ pub struct EngineConfig {
     pub accumulation: Accumulation,
     /// Convolution lowering.
     pub conv_strategy: ConvStrategy,
+    /// Intra-op thread count for the deterministic kernel pool. Any value
+    /// produces byte-identical outputs (chunking is a pure function of
+    /// problem size, never of this count), so it is freely diversifiable
+    /// per variant.
+    pub intra_op_threads: usize,
 }
 
 impl EngineConfig {
@@ -78,6 +86,7 @@ impl EngineConfig {
                 optimize: false,
                 accumulation: Accumulation::Sequential,
                 conv_strategy: ConvStrategy::Direct,
+                intra_op_threads: 1,
             },
             EngineKind::OrtLike => EngineConfig {
                 kind,
@@ -85,6 +94,7 @@ impl EngineConfig {
                 optimize: true,
                 accumulation: Accumulation::Sequential,
                 conv_strategy: ConvStrategy::Im2col,
+                intra_op_threads: 1,
             },
             EngineKind::TvmLike => EngineConfig {
                 kind,
@@ -92,6 +102,7 @@ impl EngineConfig {
                 optimize: true,
                 accumulation: Accumulation::Tree,
                 conv_strategy: ConvStrategy::Im2col,
+                intra_op_threads: 1,
             },
         }
     }
@@ -118,10 +129,16 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the intra-op thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.intra_op_threads = threads.max(1);
+        self
+    }
+
     /// A short human-readable descriptor (for logs and variant metadata).
     pub fn describe(&self) -> String {
         format!(
-            "{}/{}/{}{}",
+            "{}/{}/{}{}{}",
             self.kind,
             self.blas,
             match self.conv_strategy {
@@ -129,7 +146,12 @@ impl EngineConfig {
                 ConvStrategy::Im2col => "im2col",
                 ConvStrategy::NhwcDirect => "nhwc",
             },
-            if self.optimize { "/opt" } else { "" }
+            if self.optimize { "/opt" } else { "" },
+            if self.intra_op_threads > 1 {
+                format!("/t{}", self.intra_op_threads)
+            } else {
+                String::new()
+            }
         )
     }
 }
@@ -156,6 +178,8 @@ pub trait PreparedModel: Send + Sync {
 pub struct Engine {
     config: EngineConfig,
     blas: Arc<dyn Blas>,
+    pool: Arc<ThreadPool>,
+    custom_blas: bool,
 }
 
 impl fmt::Debug for dyn Blas {
@@ -168,18 +192,35 @@ impl Engine {
     /// Creates an engine from a configuration with a built-in BLAS backend.
     pub fn new(config: EngineConfig) -> Self {
         let blas = config.blas.instantiate();
-        Engine { config, blas }
+        let pool = ThreadPool::new(RuntimeConfig::with_threads(config.intra_op_threads));
+        Engine { config, blas, pool, custom_blas: false }
     }
 
     /// Creates an engine with a custom BLAS implementation (used by the
     /// fault-injection crate to model code-level faults in one backend).
+    ///
+    /// Custom backends get a passthrough (single-chunk, inline) pool:
+    /// fault models like `FrameFlip` corrupt outputs as a function of the
+    /// per-call GEMM shape, so the call shapes must stay exactly those of
+    /// the sequential runtime.
     pub fn with_custom_blas(config: EngineConfig, blas: Arc<dyn Blas>) -> Self {
-        Engine { config, blas }
+        Engine { config, blas, pool: ThreadPool::passthrough(), custom_blas: true }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Whether this engine wraps a caller-supplied BLAS backend (such
+    /// engines bypass the prepared-model cache and weight pre-packing).
+    pub fn has_custom_blas(&self) -> bool {
+        self.custom_blas
+    }
+
+    /// The engine's deterministic intra-op pool.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
     }
 
     /// Compiles `graph` into an executable model.
@@ -211,12 +252,32 @@ impl Engine {
             mvtee_telemetry::histogram(&format!("runtime.{}.op_ns", self.config.kind));
         let gemm_calls =
             mvtee_telemetry::counter(&format!("runtime.{}.gemm_calls", self.config.kind));
+        // Pre-pack FC weights once per prepare: transpose + column panels
+        // keyed by the weight initializer's value id. Skipped for custom
+        // BLAS backends, whose call shapes must match the sequential path.
+        let mut packed: HashMap<usize, Arc<PackedGemm>> = HashMap::new();
+        if !self.custom_blas {
+            for node in compiled.nodes() {
+                if !matches!(node.op, Op::Gemm) {
+                    continue;
+                }
+                let Some(&wid) = node.inputs.get(1) else { continue };
+                let Some(w) = compiled.initializer(wid) else { continue };
+                if w.rank() == 2 {
+                    packed
+                        .entry(wid.0)
+                        .or_insert_with(|| Arc::new(PackedGemm::pack(w, &self.pool)));
+                }
+            }
+        }
         Ok(Box::new(Interpreter {
             graph: compiled,
             order,
             use_counts,
             blas: Arc::clone(&self.blas),
             config: self.config.clone(),
+            ctx: KernelCtx::new(Arc::clone(&self.pool)),
+            packed,
             op_latency,
             gemm_calls,
         }))
@@ -229,6 +290,8 @@ struct Interpreter {
     use_counts: Vec<u32>,
     blas: Arc<dyn Blas>,
     config: EngineConfig,
+    ctx: KernelCtx,
+    packed: HashMap<usize, Arc<PackedGemm>>,
     op_latency: mvtee_telemetry::Histogram,
     gemm_calls: mvtee_telemetry::Counter,
 }
@@ -249,7 +312,8 @@ impl Interpreter {
                     ConvStrategy::Direct => kernels::conv2d_direct(inputs[0], inputs[1], bias, &attrs),
                     ConvStrategy::Im2col => {
                         self.gemm_calls.inc();
-                        kernels::conv2d_im2col(
+                        kernels::conv2d_im2col_with(
+                            &self.ctx,
                             inputs[0],
                             inputs[1],
                             bias,
@@ -259,39 +323,48 @@ impl Interpreter {
                     }
                     ConvStrategy::NhwcDirect => {
                         let nhwc = inputs[0].to_nhwc()?;
-                        let out = kernels::conv2d_nhwc_direct(&nhwc, inputs[1], bias, &attrs)?;
+                        let out = kernels::conv2d_nhwc_direct_with(
+                            &self.ctx, &nhwc, inputs[1], bias, &attrs,
+                        )?;
                         Ok(out.from_nhwc()?)
                     }
                 }
             }
             Op::Gemm => {
                 self.gemm_calls.inc();
-                kernels::gemm_fc(
+                let packed = node
+                    .inputs
+                    .get(1)
+                    .and_then(|wid| self.packed.get(&wid.0))
+                    .map(Arc::as_ref);
+                kernels::gemm_fc_with(
+                    &self.ctx,
                     inputs[0],
                     inputs[1],
                     inputs.get(2).copied(),
                     self.blas.as_ref(),
+                    packed,
                 )
             }
             Op::MatMul => {
                 self.gemm_calls.inc();
-                kernels::matmul(inputs[0], inputs[1], self.blas.as_ref())
+                kernels::matmul_with(&self.ctx, inputs[0], inputs[1], self.blas.as_ref())
             }
-            Op::BatchNorm { epsilon } => kernels::batch_norm(
-                inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], *epsilon,
+            Op::BatchNorm { epsilon } => kernels::batch_norm_with(
+                &self.ctx, inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], *epsilon,
             ),
             Op::Activation(kind) => Ok(kernels::activation(inputs[0], *kind)),
             Op::Pool { kind, kernel, stride, padding } => {
-                kernels::pool2d(inputs[0], *kind, *kernel, *stride, *padding, acc)
+                kernels::pool2d_with(&self.ctx, inputs[0], *kind, *kernel, *stride, *padding, acc)
             }
-            Op::GlobalAvgPool => kernels::global_avg_pool(inputs[0], acc),
+            Op::GlobalAvgPool => kernels::global_avg_pool_with(&self.ctx, inputs[0], acc),
             Op::Lrn { size, alpha, beta, bias } => {
                 kernels::lrn(inputs[0], *size, *alpha, *beta, *bias)
             }
             Op::Add => Ok(inputs[0].broadcast_with(inputs[1], |a, b| a + b)?),
             Op::Mul => Ok(inputs[0].broadcast_with(inputs[1], |a, b| a * b)?),
             Op::Concat { axis } => kernels::concat(inputs, *axis),
-            Op::Softmax { axis } => kernels::softmax(inputs[0], *axis, acc),
+            Op::Softmax { axis } => kernels::softmax_with(&self.ctx, inputs[0], *axis, acc),
             Op::Flatten { axis } => {
                 let dims = inputs[0].dims();
                 let keep: usize = dims[..(*axis).min(dims.len())].iter().product();
@@ -301,7 +374,7 @@ impl Interpreter {
             Op::Reshape { target } => Ok(inputs[0].reshape(target)?),
             Op::Identity => Ok(inputs[0].clone()),
             Op::LayerNorm { epsilon } => {
-                kernels::layer_norm(inputs[0], inputs[1], inputs[2], *epsilon, acc)
+                kernels::layer_norm_with(&self.ctx, inputs[0], inputs[1], inputs[2], *epsilon, acc)
             }
         }
     }

@@ -6,6 +6,7 @@
 //! inference stacks.
 
 use crate::blas::Blas;
+use crate::cache::{pack_hits, pack_misses, KernelCtx, PackedGemm};
 use crate::{Result, RuntimeError};
 use mvtee_graph::op::{ActivationKind, PoolKind};
 use mvtee_tensor::Tensor;
@@ -27,7 +28,11 @@ pub fn reduce_sum(values: &[f32], acc: Accumulation) -> f32 {
     }
 }
 
-fn tree_sum(values: &[f32]) -> f32 {
+/// Fixed-shape pairwise summation: the recursion splits at `n / 2`
+/// regardless of how the values were produced, so the reduction tree —
+/// and therefore the rounding — is a pure function of the slice length.
+/// The deterministic pool leans on this to combine per-chunk partials.
+pub fn tree_sum(values: &[f32]) -> f32 {
     match values.len() {
         0 => 0.0,
         1 => values[0],
@@ -129,6 +134,24 @@ pub fn conv2d_im2col(
     a: &ConvAttrs,
     blas: &dyn Blas,
 ) -> Result<Tensor> {
+    conv2d_im2col_with(KernelCtx::sequential(), x, w, bias, a, blas)
+}
+
+/// [`conv2d_im2col`] drawing scratch space from `ctx`'s arena and
+/// splitting the im2col fill, the filter GEMM (over output channels)
+/// and the bias epilogue over `ctx`'s deterministic pool.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Kernel`] on shape inconsistencies.
+pub fn conv2d_im2col_with(
+    ctx: &KernelCtx,
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    a: &ConvAttrs,
+    blas: &dyn Blas,
+) -> Result<Tensor> {
     let (n, c, h, wd) = x.shape().as_nchw()?;
     let (oc, icg, kh, kw) = w.shape().as_nchw()?;
     if (kh, kw) != a.kernel || c % a.groups != 0 || oc % a.groups != 0 || icg != c / a.groups {
@@ -144,38 +167,47 @@ pub fn conv2d_im2col(
     let xs = x.data();
     let ws = w.data();
     let mut out = vec![0.0f32; n * oc * oh * ow];
-    let mut col = vec![0.0f32; patch * cols];
-    let mut prod = vec![0.0f32; oc_per_group * cols];
+    let mut col = ctx.arena.take(patch * cols);
+    let mut prod = ctx.arena.take(oc_per_group * cols);
+    // One im2col row block per input channel: `kh·kw` patch rows.
+    let ic_rows = kh * kw * cols;
     for b_i in 0..n {
         for g in 0..a.groups {
-            // im2col for this batch/group.
-            col.fill(0.0);
-            for ic in 0..icg {
-                let c_in = g * icg + ic;
-                for ky in 0..kh {
-                    for kx in 0..kw {
-                        let row = (ic * kh + ky) * kw + kx;
-                        for oy in 0..oh {
-                            let iy = (oy * a.stride.0 + ky) as isize - a.padding.0 as isize;
-                            if iy < 0 || iy as usize >= h {
-                                continue;
-                            }
-                            let x_base = ((b_i * c + c_in) * h + iy as usize) * wd;
-                            let col_base = row * cols + oy * ow;
-                            for ox in 0..ow {
-                                let ix = (ox * a.stride.1 + kx) as isize - a.padding.1 as isize;
-                                if ix < 0 || ix as usize >= wd {
+            // im2col for this batch/group — input channels are disjoint
+            // row blocks of the patch matrix, so they chunk freely.
+            ctx.pool.for_each_chunk(icg, ic_rows, &mut col, |_, ic0, _, block| {
+                block.fill(0.0);
+                for (local, rows) in block.chunks_mut(ic_rows).enumerate() {
+                    let c_in = g * icg + ic0 + local;
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let row = ky * kw + kx;
+                            for oy in 0..oh {
+                                let iy =
+                                    (oy * a.stride.0 + ky) as isize - a.padding.0 as isize;
+                                if iy < 0 || iy as usize >= h {
                                     continue;
                                 }
-                                col[col_base + ox] = xs[x_base + ix as usize];
+                                let x_base = ((b_i * c + c_in) * h + iy as usize) * wd;
+                                let row_base = row * cols + oy * ow;
+                                for ox in 0..ow {
+                                    let ix = (ox * a.stride.1 + kx) as isize
+                                        - a.padding.1 as isize;
+                                    if ix < 0 || ix as usize >= wd {
+                                        continue;
+                                    }
+                                    rows[row_base + ox] = xs[x_base + ix as usize];
+                                }
                             }
                         }
                     }
                 }
-            }
-            // filters[oc/g, patch] · col[patch, cols]
+            });
+            // filters[oc/g, patch] · col[patch, cols], row-panelled over
+            // output channels.
             let w_base = g * oc_per_group * patch;
-            blas.gemm(
+            ctx.pool.par_gemm(
+                blas,
                 oc_per_group,
                 cols,
                 patch,
@@ -183,17 +215,30 @@ pub fn conv2d_im2col(
                 &col,
                 &mut prod,
             );
-            for ocg in 0..oc_per_group {
-                let o = g * oc_per_group + ocg;
-                let bias_v = bias.map(|t| t.data()[o]).unwrap_or(0.0);
-                let dst = &mut out[((b_i * oc + o) * oh) * ow..((b_i * oc + o) * oh + oh) * ow];
-                let src = &prod[ocg * cols..(ocg + 1) * cols];
-                for (d, &s) in dst.iter_mut().zip(src.iter()) {
-                    *d = s + bias_v;
-                }
-            }
+            // Bias epilogue, again parallel over output channels (the
+            // group's channels are contiguous in the output).
+            let out_base = (b_i * oc + g * oc_per_group) * cols;
+            let prod_ref = &prod;
+            ctx.pool.for_each_chunk(
+                oc_per_group,
+                cols,
+                &mut out[out_base..out_base + oc_per_group * cols],
+                |_, o0, o1, block| {
+                    for ocg in o0..o1 {
+                        let o = g * oc_per_group + ocg;
+                        let bias_v = bias.map(|t| t.data()[o]).unwrap_or(0.0);
+                        let src = &prod_ref[ocg * cols..(ocg + 1) * cols];
+                        let dst = &mut block[(ocg - o0) * cols..(ocg - o0 + 1) * cols];
+                        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                            *d = s + bias_v;
+                        }
+                    }
+                },
+            );
         }
     }
+    ctx.arena.give(col);
+    ctx.arena.give(prod);
     Ok(Tensor::from_vec(out, &[n, oc, oh, ow])?)
 }
 
@@ -204,6 +249,23 @@ pub fn conv2d_im2col(
 ///
 /// Returns [`RuntimeError::Kernel`] on shape inconsistencies.
 pub fn conv2d_nhwc_direct(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    a: &ConvAttrs,
+) -> Result<Tensor> {
+    conv2d_nhwc_direct_with(KernelCtx::sequential(), x, w, bias, a)
+}
+
+/// [`conv2d_nhwc_direct`] with the `(batch, output-row)` loop split over
+/// `ctx`'s deterministic pool. Every output element is a lane-local
+/// accumulation, so chunking the rows cannot change any value.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Kernel`] on shape inconsistencies.
+pub fn conv2d_nhwc_direct_with(
+    ctx: &KernelCtx,
     x: &Tensor,
     w: &Tensor,
     bias: Option<&Tensor>,
@@ -229,8 +291,11 @@ pub fn conv2d_nhwc_direct(
     let xs = x.data();
     let ws = w.data();
     let mut out = vec![0.0f32; n * oh * ow * oc];
-    for b_i in 0..n {
-        for oy in 0..oh {
+    ctx.pool.for_each_chunk(n * oh, ow * oc, &mut out, |_, r0, r1, block| {
+        for r in r0..r1 {
+            let b_i = r / oh;
+            let oy = r % oh;
+            let row_base = (r - r0) * ow * oc;
             for ox in 0..ow {
                 for g in 0..a.groups {
                     for ocg in 0..oc_per_group {
@@ -254,12 +319,12 @@ pub fn conv2d_nhwc_direct(
                                 }
                             }
                         }
-                        out[((b_i * oh + oy) * ow + ox) * oc + o] = acc;
+                        block[row_base + ox * oc + o] = acc;
                     }
                 }
             }
         }
-    }
+    });
     Ok(Tensor::from_vec(out, &[n, oh, ow, oc])?)
 }
 
@@ -276,14 +341,34 @@ pub fn pool2d(
     padding: (usize, usize),
     acc: Accumulation,
 ) -> Result<Tensor> {
+    pool2d_with(KernelCtx::sequential(), x, kind, kernel, stride, padding, acc)
+}
+
+/// [`pool2d`] with the `(batch, channel)` plane loop split over `ctx`'s
+/// deterministic pool. Each window reduction stays whole inside its
+/// plane, so chunking cannot change any value.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Kernel`] on rank problems.
+pub fn pool2d_with(
+    ctx: &KernelCtx,
+    x: &Tensor,
+    kind: PoolKind,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    padding: (usize, usize),
+    acc: Accumulation,
+) -> Result<Tensor> {
     let (n, c, h, w) = x.shape().as_nchw()?;
     let oh = (h + 2 * padding.0 - kernel.0) / stride.0 + 1;
     let ow = (w + 2 * padding.1 - kernel.1) / stride.1 + 1;
     let xs = x.data();
     let mut out = vec![0.0f32; n * c * oh * ow];
-    let mut window: Vec<f32> = Vec::with_capacity(kernel.0 * kernel.1);
-    for b_i in 0..n {
-        for ch in 0..c {
+    ctx.pool.for_each_chunk(n * c, oh * ow, &mut out, |_, p0, p1, block| {
+        let mut window: Vec<f32> = Vec::with_capacity(kernel.0 * kernel.1);
+        for p in p0..p1 {
+            let plane_base = (p - p0) * oh * ow;
             for oy in 0..oh {
                 for ox in 0..ow {
                     window.clear();
@@ -297,8 +382,7 @@ pub fn pool2d(
                             if ix < 0 || ix as usize >= w {
                                 continue;
                             }
-                            window
-                                .push(xs[((b_i * c + ch) * h + iy as usize) * w + ix as usize]);
+                            window.push(xs[(p * h + iy as usize) * w + ix as usize]);
                         }
                     }
                     let v = match kind {
@@ -313,11 +397,11 @@ pub fn pool2d(
                             }
                         }
                     };
-                    out[((b_i * c + ch) * oh + oy) * ow + ox] = v;
+                    block[plane_base + oy * ow + ox] = v;
                 }
             }
         }
-    }
+    });
     Ok(Tensor::from_vec(out, &[n, c, oh, ow])?)
 }
 
@@ -327,15 +411,28 @@ pub fn pool2d(
 ///
 /// Returns rank errors for non-rank-4 input.
 pub fn global_avg_pool(x: &Tensor, acc: Accumulation) -> Result<Tensor> {
+    global_avg_pool_with(KernelCtx::sequential(), x, acc)
+}
+
+/// [`global_avg_pool`] reducing each large plane through
+/// [`ThreadPool::reduce_slice`]: per-chunk partials in the caller's
+/// accumulation order, combined by the fixed-shape [`tree_sum`]. The
+/// split is a pure function of the plane size, so every thread count
+/// (including 1) computes identical bytes.
+///
+/// [`ThreadPool::reduce_slice`]: crate::pool::ThreadPool::reduce_slice
+///
+/// # Errors
+///
+/// Returns rank errors for non-rank-4 input.
+pub fn global_avg_pool_with(ctx: &KernelCtx, x: &Tensor, acc: Accumulation) -> Result<Tensor> {
     let (n, c, h, w) = x.shape().as_nchw()?;
     let plane = h * w;
     let xs = x.data();
     let mut out = vec![0.0f32; n * c];
-    for b_i in 0..n {
-        for ch in 0..c {
-            let base = (b_i * c + ch) * plane;
-            out[b_i * c + ch] = reduce_sum(&xs[base..base + plane], acc) / plane as f32;
-        }
+    for (p, slot) in out.iter_mut().enumerate() {
+        let base = p * plane;
+        *slot = ctx.pool.reduce_slice(&xs[base..base + plane], acc) / plane as f32;
     }
     Ok(Tensor::from_vec(out, &[n, c, 1, 1])?)
 }
@@ -353,21 +450,42 @@ pub fn batch_norm(
     var: &Tensor,
     epsilon: f32,
 ) -> Result<Tensor> {
+    batch_norm_with(KernelCtx::sequential(), x, scale, bias, mean, var, epsilon)
+}
+
+/// [`batch_norm`] with the `(batch, channel)` plane loop split over
+/// `ctx`'s deterministic pool. The transform is element-wise per plane,
+/// so iteration order is irrelevant to the result.
+///
+/// # Errors
+///
+/// Returns rank errors for non-rank-4 input.
+pub fn batch_norm_with(
+    ctx: &KernelCtx,
+    x: &Tensor,
+    scale: &Tensor,
+    bias: &Tensor,
+    mean: &Tensor,
+    var: &Tensor,
+    epsilon: f32,
+) -> Result<Tensor> {
     let (n, c, h, w) = x.shape().as_nchw()?;
     let plane = h * w;
     let xs = x.data();
     let mut out = vec![0.0f32; xs.len()];
-    for ch in 0..c {
-        let inv_std = 1.0 / (var.data()[ch] + epsilon).sqrt();
-        let a = scale.data()[ch] * inv_std;
-        let b = bias.data()[ch] - mean.data()[ch] * a;
-        for b_i in 0..n {
-            let base = (b_i * c + ch) * plane;
-            for i in 0..plane {
-                out[base + i] = xs[base + i] * a + b;
+    ctx.pool.for_each_chunk(n * c, plane, &mut out, |_, p0, p1, block| {
+        for p in p0..p1 {
+            let ch = p % c;
+            let inv_std = 1.0 / (var.data()[ch] + epsilon).sqrt();
+            let a = scale.data()[ch] * inv_std;
+            let b = bias.data()[ch] - mean.data()[ch] * a;
+            let src = &xs[p * plane..(p + 1) * plane];
+            let dst = &mut block[(p - p0) * plane..(p - p0 + 1) * plane];
+            for (d, &v) in dst.iter_mut().zip(src.iter()) {
+                *d = v * a + b;
             }
         }
-    }
+    });
     Ok(Tensor::from_vec(out, x.dims())?)
 }
 
@@ -380,6 +498,26 @@ pub fn batch_norm(
 ///
 /// Returns [`RuntimeError::Kernel`] on rank-0 input or mismatched params.
 pub fn layer_norm(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    epsilon: f32,
+    acc: Accumulation,
+) -> Result<Tensor> {
+    layer_norm_with(KernelCtx::sequential(), x, gamma, beta, epsilon, acc)
+}
+
+/// [`layer_norm`] splitting the lane loop over `ctx`'s pool with the
+/// per-lane `centered` scratch drawn from the arena once per chunk.
+/// Each lane's statistics are computed whole inside a single chunk in
+/// the caller's accumulation order, so results are bit-identical to
+/// the sequential kernel at every thread count.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Kernel`] on rank-0 input or mismatched params.
+pub fn layer_norm_with(
+    ctx: &KernelCtx,
     x: &Tensor,
     gamma: &Tensor,
     beta: &Tensor,
@@ -406,21 +544,24 @@ pub fn layer_norm(
     let lanes = x.len() / d.max(1);
     let xs = x.data();
     let mut out = vec![0.0f32; xs.len()];
-    let mut centered = vec![0.0f32; d];
-    for lane in 0..lanes {
-        let base = lane * d;
-        let slice = &xs[base..base + d];
-        let mean = reduce_sum(slice, acc) / d as f32;
-        for (c, &v) in centered.iter_mut().zip(slice.iter()) {
-            *c = (v - mean) * (v - mean);
+    ctx.pool.for_each_chunk(lanes, d, &mut out, |_, l0, l1, block| {
+        let mut centered = ctx.arena.take(d);
+        for lane in l0..l1 {
+            let base = lane * d;
+            let slice = &xs[base..base + d];
+            let mean = reduce_sum(slice, acc) / d as f32;
+            for (c, &v) in centered.iter_mut().zip(slice.iter()) {
+                *c = (v - mean) * (v - mean);
+            }
+            let var = reduce_sum(&centered, acc) / d as f32;
+            let inv_std = 1.0 / (var + epsilon).sqrt();
+            let dst = &mut block[(lane - l0) * d..(lane - l0 + 1) * d];
+            for i in 0..d {
+                dst[i] = (slice[i] - mean) * inv_std * gamma.data()[i] + beta.data()[i];
+            }
         }
-        let var = reduce_sum(&centered, acc) / d as f32;
-        let inv_std = 1.0 / (var + epsilon).sqrt();
-        for i in 0..d {
-            out[base + i] =
-                (slice[i] - mean) * inv_std * gamma.data()[i] + beta.data()[i];
-        }
-    }
+        ctx.arena.give(centered);
+    });
     Ok(Tensor::from_vec(out, dims)?)
 }
 
@@ -464,6 +605,31 @@ pub fn activation(x: &Tensor, kind: ActivationKind) -> Tensor {
 ///
 /// Returns [`RuntimeError::Kernel`] on shape problems.
 pub fn gemm_fc(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, blas: &dyn Blas) -> Result<Tensor> {
+    gemm_fc_with(KernelCtx::sequential(), x, w, bias, blas, None)
+}
+
+/// [`gemm_fc`] with an optional pre-packed weight and parallel GEMM.
+///
+/// When `packed` matches the weight shape the per-call `[k, m]`
+/// transpose is skipped entirely (pack-cache hit). Batch-1 inputs —
+/// the common inference case where row-parallelism degenerates — are
+/// multiplied against the pre-split column panels instead, one panel
+/// per deterministic output chunk; batched inputs use row-panel
+/// parallel GEMM over the packed transpose. Both splits preserve the
+/// per-element ascending-`k` accumulation order of every BLAS
+/// backend, so outputs stay byte-identical to the sequential kernel.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Kernel`] on shape problems.
+pub fn gemm_fc_with(
+    ctx: &KernelCtx,
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    blas: &dyn Blas,
+    packed: Option<&PackedGemm>,
+) -> Result<Tensor> {
     if x.rank() != 2 || w.rank() != 2 || x.dims()[1] != w.dims()[1] {
         return Err(RuntimeError::Kernel {
             node: "gemm".into(),
@@ -472,22 +638,47 @@ pub fn gemm_fc(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, blas: &dyn Blas) -
     }
     let (n, k) = (x.dims()[0], x.dims()[1]);
     let m = w.dims()[0];
-    // Transpose w to [k, m] for row-major GEMM.
-    let ws = w.data();
-    let mut wt = vec![0.0f32; k * m];
-    for o in 0..m {
-        for i in 0..k {
-            wt[i * m + o] = ws[o * k + i];
-        }
-    }
     let mut out = vec![0.0f32; n * m];
-    blas.gemm(n, m, k, x.data(), &wt, &mut out);
-    if let Some(b) = bias {
-        for row in out.chunks_mut(m) {
-            for (v, &bv) in row.iter_mut().zip(b.data().iter()) {
-                *v += bv;
+    match packed.filter(|p| p.k == k && p.m == m) {
+        Some(p) => {
+            pack_hits().inc();
+            if n == 1
+                && p.panels.len() > 1
+                && p.panels.len() == ctx.pool.chunk_ranges(m).len()
+            {
+                // Batch-1: row-parallelism degenerates, so split the
+                // single output row into the pre-packed column panels.
+                let xd = x.data();
+                ctx.pool.for_each_chunk(m, 1, &mut out, |cidx, j0, j1, chunk| {
+                    blas.gemm(1, j1 - j0, k, xd, &p.panels[cidx], chunk);
+                });
+            } else {
+                ctx.pool.par_gemm(blas, n, m, k, x.data(), &p.wt, &mut out);
             }
         }
+        None => {
+            pack_misses().inc();
+            // Transpose w to [k, m] for row-major GEMM, via the arena.
+            let ws = w.data();
+            let mut wt = ctx.arena.take(k * m);
+            for o in 0..m {
+                for i in 0..k {
+                    wt[i * m + o] = ws[o * k + i];
+                }
+            }
+            ctx.pool.par_gemm(blas, n, m, k, x.data(), &wt, &mut out);
+            ctx.arena.give(wt);
+        }
+    }
+    if let Some(b) = bias {
+        let bd = b.data();
+        ctx.pool.for_each_chunk(n, m, &mut out, |_, r0, r1, block| {
+            for row in block[..(r1 - r0) * m].chunks_mut(m) {
+                for (v, &bv) in row.iter_mut().zip(bd.iter()) {
+                    *v += bv;
+                }
+            }
+        });
     }
     Ok(Tensor::from_vec(out, &[n, m])?)
 }
@@ -498,6 +689,15 @@ pub fn gemm_fc(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, blas: &dyn Blas) -
 ///
 /// Returns [`RuntimeError::Kernel`] on shape problems.
 pub fn matmul(a: &Tensor, b: &Tensor, blas: &dyn Blas) -> Result<Tensor> {
+    matmul_with(KernelCtx::sequential(), a, b, blas)
+}
+
+/// [`matmul`] through the deterministic row-panel parallel GEMM.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Kernel`] on shape problems.
+pub fn matmul_with(ctx: &KernelCtx, a: &Tensor, b: &Tensor, blas: &dyn Blas) -> Result<Tensor> {
     if a.rank() != 2 || b.rank() != 2 || a.dims()[1] != b.dims()[0] {
         return Err(RuntimeError::Kernel {
             node: "matmul".into(),
@@ -507,7 +707,7 @@ pub fn matmul(a: &Tensor, b: &Tensor, blas: &dyn Blas) -> Result<Tensor> {
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let n = b.dims()[1];
     let mut out = vec![0.0f32; m * n];
-    blas.gemm(m, n, k, a.data(), b.data(), &mut out);
+    ctx.pool.par_gemm(blas, m, n, k, a.data(), b.data(), &mut out);
     Ok(Tensor::from_vec(out, &[m, n])?)
 }
 
@@ -517,6 +717,19 @@ pub fn matmul(a: &Tensor, b: &Tensor, blas: &dyn Blas) -> Result<Tensor> {
 ///
 /// Returns [`RuntimeError::Kernel`] when `axis` is out of range.
 pub fn softmax(x: &Tensor, axis: usize, acc: Accumulation) -> Result<Tensor> {
+    softmax_with(KernelCtx::sequential(), x, axis, acc)
+}
+
+/// [`softmax`] splitting the outer loop over `ctx`'s pool, with the
+/// per-lane gather buffer drawn from the arena once per chunk. Every
+/// softmax lane (max, exp, sum, divide) is computed whole inside one
+/// chunk, so the reduction order — and therefore the bytes — match
+/// the sequential kernel at every thread count.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Kernel`] when `axis` is out of range.
+pub fn softmax_with(ctx: &KernelCtx, x: &Tensor, axis: usize, acc: Accumulation) -> Result<Tensor> {
     let dims = x.dims();
     if axis >= dims.len() {
         return Err(RuntimeError::Kernel {
@@ -529,22 +742,27 @@ pub fn softmax(x: &Tensor, axis: usize, acc: Accumulation) -> Result<Tensor> {
     let outer: usize = dims[..axis].iter().product();
     let xs = x.data();
     let mut out = vec![0.0f32; xs.len()];
-    let mut lane = vec![0.0f32; axis_len];
-    for o in 0..outer {
-        for i in 0..inner {
-            for (j, l) in lane.iter_mut().enumerate() {
-                *l = xs[(o * axis_len + j) * inner + i];
-            }
-            let max = lane.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            for l in lane.iter_mut() {
-                *l = (*l - max).exp();
-            }
-            let denom = reduce_sum(&lane, acc);
-            for (j, &l) in lane.iter().enumerate() {
-                out[(o * axis_len + j) * inner + i] = l / denom;
+    let stride = axis_len * inner;
+    ctx.pool.for_each_chunk(outer, stride, &mut out, |_, o0, o1, block| {
+        let mut lane = ctx.arena.take(axis_len);
+        for o in o0..o1 {
+            let dst = &mut block[(o - o0) * stride..(o - o0 + 1) * stride];
+            for i in 0..inner {
+                for (j, l) in lane.iter_mut().enumerate() {
+                    *l = xs[(o * axis_len + j) * inner + i];
+                }
+                let max = lane.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                for l in lane.iter_mut() {
+                    *l = (*l - max).exp();
+                }
+                let denom = reduce_sum(&lane, acc);
+                for (j, &l) in lane.iter().enumerate() {
+                    dst[j * inner + i] = l / denom;
+                }
             }
         }
-    }
+        ctx.arena.give(lane);
+    });
     Ok(Tensor::from_vec(out, dims)?)
 }
 

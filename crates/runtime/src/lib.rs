@@ -46,15 +46,22 @@
 #![warn(missing_docs)]
 
 pub mod blas;
+pub mod cache;
 pub mod engine;
 mod error;
 pub mod kernels;
 pub mod optimize;
+pub mod pool;
 
 pub use blas::{Blas, BlasKind, BlockedBlas, NaiveBlas, StridedBlas};
+pub use cache::{
+    graph_fingerprint, session_cache, EngineCache, KernelCtx, PackedGemm, ScratchArena,
+    SharedModel,
+};
 pub use engine::{ConvStrategy, Engine, EngineConfig, EngineKind, PreparedModel};
 pub use error::RuntimeError;
 pub use kernels::Accumulation;
+pub use pool::{register_runtime_metrics, RuntimeConfig, ThreadPool};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -69,6 +69,75 @@ fn engines_agree_on_seeded_small_zoo_models() {
 }
 
 #[test]
+fn parallel_path_matches_sequential_reference_exactly() {
+    // Same-family comparison is exact: the intra-op pool's static chunking
+    // must not perturb a single bit of any engine family's output. A
+    // failure here is silent reduction-order drift in a parallel kernel.
+    let cases: [(ModelKind, u64); 4] = [
+        (ModelKind::MnasNet, 11),
+        (ModelKind::MnasNet, 47),
+        (ModelKind::MobileNetV3, 29),
+        (ModelKind::ResNet50, 53),
+    ];
+    for (kind, seed) in cases {
+        let model = zoo::build(kind, ScaleProfile::Test, seed).expect("builds");
+        let input = random_input(&model, seed ^ 0xd1ff);
+        for e in ENGINES {
+            let sequential = run(e, &model, &input);
+            let parallel = Engine::new(EngineConfig::of_kind(e).with_threads(4))
+                .prepare(&model.graph)
+                .expect("prepares")
+                .run(std::slice::from_ref(&input))
+                .expect("runs");
+            assert_eq!(sequential.len(), parallel.len());
+            for (a, b) in sequential.iter().zip(parallel.iter()) {
+                assert_eq!(
+                    a, b,
+                    "{e:?} on {kind:?} seed {seed}: threads=4 output differs from sequential \
+                     (max |Δ| = {})",
+                    max_abs_diff(a, b)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_path_stays_within_cross_family_metric() {
+    // Cross-family comparison stays relaxed: mixing thread counts across
+    // families must not push the panel outside the heterogeneous metric.
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 23).expect("builds");
+    let input = random_input(&model, 0x7e57);
+    let metric = Metric::relaxed();
+    let outputs: Vec<Vec<Tensor>> = ENGINES
+        .iter()
+        .zip([1usize, 4, 8])
+        .map(|(&e, t)| {
+            Engine::new(EngineConfig::of_kind(e).with_threads(t))
+                .prepare(&model.graph)
+                .expect("prepares")
+                .run(std::slice::from_ref(&input))
+                .expect("runs")
+        })
+        .collect();
+    for i in 0..outputs.len() {
+        for j in (i + 1)..outputs.len() {
+            for (a, b) in outputs[i].iter().zip(outputs[j].iter()) {
+                assert!(
+                    metric.check(a, b),
+                    "{:?}(t{}) vs {:?}(t{}): max |Δ| = {}",
+                    ENGINES[i],
+                    [1usize, 4, 8][i],
+                    ENGINES[j],
+                    [1usize, 4, 8][j],
+                    max_abs_diff(a, b)
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn engines_agree_under_checkpoint_self_validity() {
     // Every engine's output must also pass the metric against itself (no
     // NaN/Inf), the same self-check a single-variant checkpoint applies.
