@@ -6,6 +6,7 @@
 //! experiments campaign [--seed N] [--count N] [--no-shrink]
 //! experiments chaos [--seed N] [--scenarios N] [--quick]
 //! experiments perf [--quick] [--out PATH]
+//! experiments serve [--seed N] [--quick] [--out PATH]
 //! ```
 //!
 //! * `--quick` — Test-scale models and a subset (CI smoke).
@@ -28,6 +29,15 @@
 //! `BENCH_runtime.json` (p50/p95 + speedup vs threads=1), and exits
 //! non-zero if any thread count produced output bytes different from
 //! the single-thread baseline.
+//!
+//! The `serve` subcommand drives the multi-tenant serving frontend
+//! (`mvtee-serve`) with closed- and open-loop load while one replica
+//! cycles through quarantine/recovery, writes `BENCH_serve.json`
+//! (throughput, p50/p95/p99 e2e latency, shed/expired counters), and
+//! exits non-zero on any output mismatch vs the serial single-request
+//! reference, any lost or double-served request, an unexercised
+//! replica, a missing recovery — or, under `--quick` smoke load, any
+//! shed request.
 
 use mvtee_bench::chaos::{run_chaos, ChaosConfig};
 use mvtee_bench::experiments::{
@@ -35,6 +45,7 @@ use mvtee_bench::experiments::{
     security_faults, table1, telemetry_report, Settings,
 };
 use mvtee_bench::perf::{run_perf, PerfSettings};
+use mvtee_bench::serve::{run_serve, ServeSettings};
 use mvtee_bench::table::Table;
 
 /// Parses `--flag N` from the argument list; exits with a usage error on a
@@ -142,11 +153,62 @@ fn run_perf_command(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// The `serve` subcommand: runs the multi-tenant serving experiment,
+/// writes the JSON report and exits non-zero when any serving invariant
+/// broke (or anything was shed at smoke load).
+fn run_serve_command(args: &[String]) -> ! {
+    let seed = flag_value(args, "--seed", 7);
+    let quick = args.iter().any(|a| a == "--quick");
+    let settings = if quick {
+        ServeSettings::quick(seed)
+    } else {
+        ServeSettings::full(seed)
+    };
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("error: --out requires a path");
+                std::process::exit(2);
+            }
+        },
+        None => "BENCH_serve.json".to_string(),
+    };
+    eprintln!(
+        "# running serve load experiment (seed={seed}, replicas={}, clients={}, open-loop {} req @ {} req/s) …",
+        settings.replicas, settings.clients, settings.open_loop_requests, settings.open_loop_rate,
+    );
+    let report = run_serve(&settings);
+    println!("{}", report.render_text());
+    if let Err(e) = std::fs::write(&out_path, report.render_json()) {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {out_path}");
+    println!("{}", telemetry_report());
+    let mut failures = report.gate_failures();
+    if quick && report.shed() > 0 {
+        failures.push(format!(
+            "{} request(s) shed at smoke load (queue_full={}, quota={})",
+            report.shed(),
+            report.queue.shed_queue_full,
+            report.queue.shed_quota
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("error: {f}");
+        }
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments [--quick] [--markdown] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]\n       experiments campaign [--seed N] [--count N] [--no-shrink]\n       experiments chaos [--seed N] [--scenarios N] [--quick]\n       experiments perf [--quick] [--out PATH]"
+            "usage: experiments [--quick] [--markdown] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]\n       experiments campaign [--seed N] [--count N] [--no-shrink]\n       experiments chaos [--seed N] [--scenarios N] [--quick]\n       experiments perf [--quick] [--out PATH]\n       experiments serve [--seed N] [--quick] [--out PATH]"
         );
         return;
     }
@@ -158,6 +220,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("perf") {
         run_perf_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        run_serve_command(&args[1..]);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");

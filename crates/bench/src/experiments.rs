@@ -623,10 +623,11 @@ pub fn ablation_metric(s: &Settings) -> Table {
 /// latency quantiles, voting path counts, divergence/crash counters and
 /// crypto channel byte totals.
 pub fn telemetry_report() -> String {
-    // Register the runtime pool/cache metrics up front (PR 3 pattern):
-    // "the pool never went parallel" and "the cache was never exercised"
-    // must appear as explicit zeros, not as missing rows.
+    // Register the runtime pool/cache and serving metrics up front
+    // (PR 3 pattern): "the pool never went parallel" and "nothing was
+    // ever shed" must appear as explicit zeros, not as missing rows.
     mvtee_runtime::register_runtime_metrics();
+    mvtee_serve::register_serve_metrics();
     mvtee_telemetry::snapshot().render()
 }
 

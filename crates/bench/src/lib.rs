@@ -31,5 +31,6 @@ pub mod chaos;
 pub mod costs;
 pub mod experiments;
 pub mod perf;
+pub mod serve;
 pub mod sim;
 pub mod table;

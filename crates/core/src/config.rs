@@ -203,6 +203,20 @@ pub struct MvxConfig {
     pub drain_window_ms: u64,
     /// Poll interval in ms within the drain window.
     pub drain_poll_ms: u64,
+    /// Bound of each stage coordinator's inbound job queue. Submission
+    /// blocks when a stage is this many batches behind — the pipeline's
+    /// backpressure valve under sustained concurrent load. Replaces the
+    /// old hardcoded 1024-slot queue.
+    pub stage_queue_depth: usize,
+    /// Maximum number of batches whose async late-validation state is
+    /// retained while stragglers are outstanding; the oldest entry is
+    /// dropped (and audited) beyond this. Replaces the old hardcoded
+    /// 256-entry window.
+    pub late_validation_window: usize,
+    /// How long in ms a caller waits on the pipeline's result channel
+    /// before declaring the deployment wedged. Replaces the old
+    /// hardcoded 120 s collection timeout.
+    pub result_timeout_ms: u64,
     /// Voting behaviour while a panel is below strength.
     pub degradation: DegradationPolicy,
     /// Automatic quarantine-and-recover policy.
@@ -224,6 +238,9 @@ impl MvxConfig {
             checkpoint_deadline_ms: 30_000,
             drain_window_ms: 500,
             drain_poll_ms: 50,
+            stage_queue_depth: 1024,
+            late_validation_window: 256,
+            result_timeout_ms: 120_000,
             degradation: DegradationPolicy::default(),
             recovery: RecoveryPolicy::default(),
         }
@@ -242,6 +259,11 @@ impl MvxConfig {
     /// The drain poll interval as a [`std::time::Duration`].
     pub fn drain_poll(&self) -> std::time::Duration {
         std::time::Duration::from_millis(self.drain_poll_ms)
+    }
+
+    /// The result-collection timeout as a [`std::time::Duration`].
+    pub fn result_timeout(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.result_timeout_ms)
     }
 
     /// Selective MVX: `variants` replicas on the partitions listed in
@@ -306,6 +328,15 @@ impl MvxConfig {
             return Err(crate::MvxError::InvalidConfig(
                 "drain poll must be non-zero and no longer than the drain window".into(),
             ));
+        }
+        if self.stage_queue_depth == 0 {
+            return Err(crate::MvxError::InvalidConfig("zero stage queue depth".into()));
+        }
+        if self.late_validation_window == 0 {
+            return Err(crate::MvxError::InvalidConfig("zero late-validation window".into()));
+        }
+        if self.result_timeout_ms == 0 {
+            return Err(crate::MvxError::InvalidConfig("zero result timeout".into()));
         }
         if self.exec == ExecMode::AsyncCrossValidation && self.partitions == 1 {
             // "This mode is inherently inapplicable for full MVX without
@@ -375,6 +406,9 @@ mod tests {
         assert_eq!(c.checkpoint_deadline(), std::time::Duration::from_secs(30));
         assert_eq!(c.drain_window(), std::time::Duration::from_millis(500));
         assert_eq!(c.drain_poll(), std::time::Duration::from_millis(50));
+        assert_eq!(c.result_timeout(), std::time::Duration::from_secs(120));
+        assert_eq!(c.stage_queue_depth, 1024);
+        assert_eq!(c.late_validation_window, 256);
         assert_eq!(c.degradation, DegradationPolicy::Degrade);
         assert!(!c.recovery.enabled);
     }
@@ -399,6 +433,15 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = MvxConfig::fast_path(2);
         c.drain_poll_ms = c.drain_window_ms + 1;
+        assert!(c.validate().is_err());
+        let mut c = MvxConfig::fast_path(2);
+        c.stage_queue_depth = 0;
+        assert!(c.validate().is_err());
+        let mut c = MvxConfig::fast_path(2);
+        c.late_validation_window = 0;
+        assert!(c.validate().is_err());
+        let mut c = MvxConfig::fast_path(2);
+        c.result_timeout_ms = 0;
         assert!(c.validate().is_err());
     }
 

@@ -466,6 +466,7 @@ pub struct BindingRecord {
 }
 
 /// Builder for [`Deployment`].
+#[derive(Clone)]
 pub struct DeploymentBuilder {
     model: Model,
     config: MvxConfig,
@@ -697,6 +698,59 @@ impl DeploymentBuilder {
         )?;
         deployment.pool = pool;
         Ok(deployment)
+    }
+
+    /// The variant seed replica `r` of a pool built from `base` uses —
+    /// a deterministic golden-ratio stride, so a whole replica pool is
+    /// reproducible from one base seed (replica 0 keeps the base seed).
+    pub fn replica_variant_seed(base: u64, replica: usize) -> u64 {
+        base.wrapping_add((replica as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Builds `n` independently diversified deployments of this
+    /// configuration — the replica pool a serving frontend drives.
+    ///
+    /// Each replica's variant seed is derived deterministically from the
+    /// base seed ([`DeploymentBuilder::replica_variant_seed`]), so the
+    /// whole pool reproduces from a single `--seed`. The partition seed
+    /// is deliberately **shared** across replicas: a common partition
+    /// set keeps replica outputs bit-identical for replicated claims
+    /// (partition boundaries reassociate float reductions, so different
+    /// sets drift in the last bits) and lets replicas of the same
+    /// engine config reuse the warm session [`EngineCache`] instead of
+    /// re-preparing every subgraph per replica.
+    ///
+    /// [`EngineCache`]: mvtee_runtime::EngineCache
+    ///
+    /// # Errors
+    ///
+    /// Rejects `n == 0`; propagates any replica's build failure.
+    pub fn build_many(self, n: usize) -> Result<Vec<Deployment>> {
+        self.build_many_with(n, |_, b| b)
+    }
+
+    /// [`DeploymentBuilder::build_many`] with a per-replica hook applied
+    /// after seed derivation — the fault-injection path of the serving
+    /// experiments (e.g. a liveness fault sealed into one replica only).
+    ///
+    /// # Errors
+    ///
+    /// Rejects `n == 0`; propagates any replica's build failure.
+    pub fn build_many_with(
+        self,
+        n: usize,
+        customize: impl Fn(usize, DeploymentBuilder) -> DeploymentBuilder,
+    ) -> Result<Vec<Deployment>> {
+        if n == 0 {
+            return Err(MvxError::InvalidConfig("a replica pool needs at least one replica".into()));
+        }
+        let base_seed = self.variant_seed;
+        let mut replicas = Vec::with_capacity(n);
+        for r in 0..n {
+            let b = self.clone().variant_seed(Self::replica_variant_seed(base_seed, r));
+            replicas.push(customize(r, b).build()?);
+        }
+        Ok(replicas)
     }
 }
 
@@ -976,6 +1030,16 @@ impl Deployment {
         &self.offline.partition_set
     }
 
+    /// Every variant's spec, per partition — the monitor-side knowledge
+    /// a replica-pool orchestrator uses to prove pool reproducibility.
+    pub fn variant_specs(&self) -> Vec<Vec<VariantSpec>> {
+        self.offline
+            .artifacts
+            .iter()
+            .map(|row| row.iter().map(|a| a.spec.clone()).collect())
+            .collect()
+    }
+
     /// Current secure bindings (a snapshot — the recovery manager appends
     /// concurrently while the pipeline runs).
     pub fn bindings(&self) -> Vec<BindingRecord> {
@@ -1040,7 +1104,7 @@ impl Deployment {
         loop {
             let job = handles
                 .results
-                .recv_timeout(Duration::from_secs(120))
+                .recv_timeout(self.config.result_timeout())
                 .map_err(|_| MvxError::Transport("pipeline results closed".into()))?;
             if job.batch == batch {
                 return Ok(job);
@@ -1239,25 +1303,50 @@ impl Deployment {
 
     fn stop_pipeline(&mut self) {
         self.generation += 1;
+        let mut runtimes = Vec::new();
         if let Some(handles) = self.handles.take() {
             for tx in &handles.all_stages {
                 let _ = tx.send(CoordMsg::Stop);
             }
-            // Joining drops each returned StageRuntime: its recovery
-            // sender (so the manager's request channel drains closed) and
-            // its links (so replacement variants still parked in the
-            // merged queue lose their channels and exit).
+            // Joining returns each StageRuntime; dropping one releases its
+            // recovery sender (so the manager's request channel drains
+            // closed) and its links (so variants exit on channel loss).
+            // The runtimes are kept alive until the manager has exited —
+            // see below.
             for t in handles.threads {
-                let _ = t.join();
+                if let Ok(runtime) = t.join() {
+                    runtimes.push(runtime);
+                }
             }
         }
         // Drop the deployment's own request sender, then wait for the
         // manager to finish any in-flight recovery and join its
         // replacement variant threads.
         self.recovery_tx = None;
+        // The kept-alive runtimes each hold a recovery sender too; drop
+        // them so the manager's request channel actually drains closed.
+        for runtime in &mut runtimes {
+            runtime.recovery = None;
+        }
         if let Some(manager) = self.recovery_manager.take() {
+            // A rejoin the coordinator never consumed leaves
+            // `RxEvent::Recovered` queued in the merged channel, and the
+            // replacement's own rx thread holds a sender clone that keeps
+            // the queued event — and so the replacement's request link —
+            // alive even after the receiver drops. The replacement then
+            // parks on that link, the manager parks joining the
+            // replacement, and shutdown would park joining the manager.
+            // Drain the merged queues until the manager exits so orphaned
+            // rejoin links drop and the chain unwinds.
+            while !manager.is_finished() {
+                for runtime in &runtimes {
+                    while runtime.responses.try_recv().is_ok() {}
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
             let _ = manager.join();
         }
+        drop(runtimes);
         // Variant threads exit on Shutdown/link loss.
         for handle in self.variant_threads.drain(..) {
             handle.join();

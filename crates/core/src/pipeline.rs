@@ -131,6 +131,11 @@ pub struct StagePolicy {
     pub drain_window: Duration,
     /// Poll interval within the drain window.
     pub drain_poll: Duration,
+    /// Bound of the coordinator's inbound job queue (backpressure under
+    /// sustained load).
+    pub queue_depth: usize,
+    /// Retained late-validation entries before the oldest is dropped.
+    pub late_window: usize,
 }
 
 impl StagePolicy {
@@ -144,6 +149,8 @@ impl StagePolicy {
             deadline: cfg.checkpoint_deadline(),
             drain_window: cfg.drain_window(),
             drain_poll: cfg.drain_poll(),
+            queue_depth: cfg.stage_queue_depth,
+            late_window: cfg.late_validation_window,
         }
     }
 }
@@ -586,7 +593,7 @@ pub fn run_stage(
                         );
                         // Bound the late-validation window: a straggler
                         // that never answers must not grow state forever.
-                        if outstanding.len() > 256 {
+                        if outstanding.len() > policy.late_window {
                             let oldest = *outstanding.keys().min().expect("non-empty");
                             outstanding.remove(&oldest);
                             events.record(MonitorEvent::ResponseTaken {
@@ -1059,7 +1066,7 @@ pub fn spawn_pipeline(
     let mut stage_inputs: Vec<Sender<CoordMsg>> = Vec::with_capacity(n);
     let mut stage_rxs: Vec<Receiver<CoordMsg>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = bounded::<CoordMsg>(1024);
+        let (tx, rx) = bounded::<CoordMsg>(policy.queue_depth.max(1));
         stage_inputs.push(tx);
         stage_rxs.push(rx);
     }
@@ -1217,6 +1224,8 @@ mod tests {
             deadline: Duration::from_secs(30),
             drain_window: Duration::from_millis(500),
             drain_poll: Duration::from_millis(50),
+            queue_depth: 64,
+            late_window: 256,
         }
     }
 

@@ -1,0 +1,300 @@
+//! Dynamic micro-batching: coalesce compatible requests, bounded by
+//! size and age.
+//!
+//! The batcher is pure bookkeeping — no threads, no clocks of its own
+//! (callers pass `Instant`s) — so batching policy is unit-testable
+//! without building deployments.
+
+use crate::request::{InferRequest, RequestOutcome};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Micro-batching policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatcherConfig {
+    /// Flush a key as soon as this many requests are pending for it.
+    pub max_batch: usize,
+    /// Flush a key once its oldest pending request has waited this
+    /// long, even if the batch holds a single request.
+    pub max_wait: Duration,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// A flushed group of same-key requests, dispatched together through
+/// one replica's pipelined stream path. Members keep their own pipeline
+/// batch ids and checkpoint verdicts — the batcher never fuses tensors.
+pub struct MicroBatch {
+    /// The shared model/deployment key.
+    pub key: String,
+    /// Members, in admission order.
+    pub requests: Vec<InferRequest>,
+}
+
+impl MicroBatch {
+    /// Number of member requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the batch holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+struct Pending {
+    requests: VecDeque<InferRequest>,
+    /// When the current oldest member entered the batcher.
+    oldest_since: Instant,
+}
+
+/// Groups requests by model key and decides when each group flushes.
+///
+/// Keys are kept in a `BTreeMap` so flush order is deterministic for a
+/// given arrival sequence.
+pub struct MicroBatcher {
+    cfg: BatcherConfig,
+    pending: BTreeMap<String, Pending>,
+    pending_len: usize,
+}
+
+impl MicroBatcher {
+    /// A batcher with the given policy (`max_batch` clamped to ≥ 1).
+    pub fn new(mut cfg: BatcherConfig) -> Self {
+        cfg.max_batch = cfg.max_batch.max(1);
+        Self {
+            cfg,
+            pending: BTreeMap::new(),
+            pending_len: 0,
+        }
+    }
+
+    /// Adds a request to its key's pending group. Requests whose
+    /// deadline has already passed are resolved as
+    /// [`RequestOutcome::Expired`] instead of queued
+    /// (`serve.expired_total`).
+    pub fn push(&mut self, req: InferRequest, now: Instant) {
+        if req.deadline <= now {
+            mvtee_telemetry::counter("serve.expired_total").inc();
+            req.resolve(None, RequestOutcome::Expired);
+            return;
+        }
+        let entry = self
+            .pending
+            .entry(req.model_key.clone())
+            .or_insert_with(|| Pending {
+                requests: VecDeque::new(),
+                oldest_since: now,
+            });
+        if entry.requests.is_empty() {
+            entry.oldest_since = now;
+        }
+        entry.requests.push_back(req);
+        self.pending_len += 1;
+    }
+
+    /// Flushes every group that is due at `now`: full groups always,
+    /// partial groups once their oldest member has waited `max_wait`.
+    /// A lone queued request therefore still flushes on deadline.
+    pub fn ready(&mut self, now: Instant) -> Vec<MicroBatch> {
+        let mut flushed = Vec::new();
+        let keys: Vec<String> = self.pending.keys().cloned().collect();
+        for key in keys {
+            loop {
+                let due = {
+                    let entry = &self.pending[&key];
+                    entry.requests.len() >= self.cfg.max_batch
+                        || (!entry.requests.is_empty()
+                            && now.saturating_duration_since(entry.oldest_since)
+                                >= self.cfg.max_wait)
+                };
+                if !due {
+                    break;
+                }
+                let entry = self.pending.get_mut(&key).expect("key present");
+                let take = entry.requests.len().min(self.cfg.max_batch);
+                let requests: Vec<InferRequest> =
+                    entry.requests.drain(..take).collect();
+                entry.oldest_since = now;
+                self.pending_len -= requests.len();
+                flushed.push(MicroBatch {
+                    key: key.clone(),
+                    requests,
+                });
+                if self.pending[&key].requests.is_empty() {
+                    self.pending.remove(&key);
+                    break;
+                }
+            }
+        }
+        flushed
+    }
+
+    /// Flushes everything regardless of size or age (shutdown path).
+    pub fn flush_all(&mut self) -> Vec<MicroBatch> {
+        let mut flushed = Vec::new();
+        let pending = std::mem::take(&mut self.pending);
+        for (key, mut entry) in pending {
+            while !entry.requests.is_empty() {
+                let take = entry.requests.len().min(self.cfg.max_batch);
+                let requests: Vec<InferRequest> =
+                    entry.requests.drain(..take).collect();
+                flushed.push(MicroBatch {
+                    key: key.clone(),
+                    requests,
+                });
+            }
+        }
+        self.pending_len = 0;
+        flushed
+    }
+
+    /// When the earliest pending group will flush by age, if any group
+    /// is pending — the dispatcher sleeps no longer than this.
+    pub fn next_flush_at(&self) -> Option<Instant> {
+        self.pending
+            .values()
+            .filter(|p| !p.requests.is_empty())
+            .map(|p| p.oldest_since + self.cfg.max_wait)
+            .min()
+    }
+
+    /// Total requests currently pending across all keys.
+    pub fn pending_len(&self) -> usize {
+        self.pending_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::InferResponse;
+    use crossbeam::channel::{bounded, Receiver};
+    use mvtee_tensor::Tensor;
+
+    fn request(
+        id: u64,
+        key: &str,
+        now: Instant,
+        deadline: Duration,
+    ) -> (InferRequest, Receiver<InferResponse>) {
+        let (tx, rx) = bounded(1);
+        (
+            InferRequest {
+                id,
+                tenant: "t".to_string(),
+                model_key: key.to_string(),
+                input: Tensor::zeros(&[1]),
+                submitted: now,
+                deadline: now + deadline,
+                respond: tx,
+            },
+            rx,
+        )
+    }
+
+    fn cfg(max_batch: usize, max_wait_ms: u64) -> BatcherConfig {
+        BatcherConfig {
+            max_batch,
+            max_wait: Duration::from_millis(max_wait_ms),
+        }
+    }
+
+    #[test]
+    fn flushes_full_batch_immediately() {
+        let mut b = MicroBatcher::new(cfg(2, 1_000));
+        let now = Instant::now();
+        let (r0, _k0) = request(0, "m", now, Duration::from_secs(5));
+        let (r1, _k1) = request(1, "m", now, Duration::from_secs(5));
+        b.push(r0, now);
+        assert!(b.ready(now).is_empty(), "half-full batch must wait");
+        b.push(r1, now);
+        let flushed = b.ready(now);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].len(), 2);
+        assert_eq!(b.pending_len(), 0);
+    }
+
+    #[test]
+    fn single_request_flushes_on_age_deadline() {
+        // The edge case from the issue: one queued request, nobody else
+        // arrives, the batch must still flush once max_wait elapses.
+        let mut b = MicroBatcher::new(cfg(8, 2));
+        let now = Instant::now();
+        let (r0, _k0) = request(0, "m", now, Duration::from_secs(5));
+        b.push(r0, now);
+        assert!(b.ready(now).is_empty());
+        let later = now + Duration::from_millis(3);
+        let flushed = b.ready(later);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].len(), 1);
+        assert_eq!(flushed[0].requests[0].id, 0);
+    }
+
+    #[test]
+    fn keys_never_mix_and_flush_deterministically() {
+        let mut b = MicroBatcher::new(cfg(4, 0));
+        let now = Instant::now();
+        let mut keep = Vec::new();
+        for (id, key) in [(0, "b"), (1, "a"), (2, "b"), (3, "a")] {
+            let (r, k) = request(id, key, now, Duration::from_secs(5));
+            keep.push(k);
+            b.push(r, now);
+        }
+        let flushed = b.ready(now);
+        assert_eq!(flushed.len(), 2);
+        // BTreeMap order: "a" before "b"; members in admission order.
+        assert_eq!(flushed[0].key, "a");
+        assert_eq!(
+            flushed[0].requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        assert_eq!(flushed[1].key, "b");
+        assert_eq!(
+            flushed[1].requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+    }
+
+    #[test]
+    fn oversized_backlog_splits_into_max_batch_chunks() {
+        let mut b = MicroBatcher::new(cfg(3, 1_000));
+        let now = Instant::now();
+        let mut keep = Vec::new();
+        for id in 0..7 {
+            let (r, k) = request(id, "m", now, Duration::from_secs(5));
+            keep.push(k);
+            b.push(r, now);
+        }
+        let flushed = b.ready(now);
+        assert_eq!(
+            flushed.iter().map(MicroBatch::len).collect::<Vec<_>>(),
+            vec![3, 3],
+            "the trailing partial chunk waits for age or peers"
+        );
+        assert_eq!(b.pending_len(), 1);
+        let rest = b.flush_all();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].requests[0].id, 6);
+    }
+
+    #[test]
+    fn expired_requests_resolve_instead_of_queueing() {
+        let mut b = MicroBatcher::new(cfg(8, 2));
+        let now = Instant::now();
+        let (r0, rx) = request(0, "m", now, Duration::from_millis(1));
+        b.push(r0, now + Duration::from_millis(2));
+        assert_eq!(b.pending_len(), 0);
+        let resp = rx.recv().unwrap();
+        assert_eq!(resp.outcome, RequestOutcome::Expired);
+    }
+}

@@ -1,0 +1,247 @@
+//! The serving frontend: one dispatcher thread pumping the admission
+//! queue through the micro-batcher into per-model replica pools.
+
+use crate::batcher::MicroBatcher;
+use crate::config::ServeConfig;
+use crate::pool::{PoolStats, ReplicaPool};
+use crate::queue::{AdmissionQueue, QueueStats, ShedReason};
+use crate::request::{InferRequest, RequestOutcome, Ticket};
+use crossbeam::channel::bounded;
+use mvtee::EventLog;
+use mvtee_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the dispatcher sleeps waiting for work when the batcher is
+/// empty (it wakes immediately on arrival; this only bounds the
+/// shutdown-latency of an idle frontend).
+const IDLE_WAIT: Duration = Duration::from_millis(50);
+
+/// The submission side of the frontend. Cheap to clone; one per client
+/// thread.
+#[derive(Clone)]
+pub struct ServeHandle {
+    queue: Arc<AdmissionQueue>,
+    next_id: Arc<AtomicU64>,
+    default_deadline: Duration,
+}
+
+impl ServeHandle {
+    /// Submits a request under the config's default deadline.
+    ///
+    /// # Errors
+    ///
+    /// The [`ShedReason`] when admission control rejects the request;
+    /// nothing was queued and no ticket exists.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        model_key: &str,
+        input: Tensor,
+    ) -> Result<Ticket, ShedReason> {
+        self.submit_with_deadline(tenant, model_key, input, self.default_deadline)
+    }
+
+    /// Submits a request that expires `deadline` from now.
+    ///
+    /// # Errors
+    ///
+    /// The [`ShedReason`] when admission control rejects the request.
+    pub fn submit_with_deadline(
+        &self,
+        tenant: &str,
+        model_key: &str,
+        input: Tensor,
+        deadline: Duration,
+    ) -> Result<Ticket, ShedReason> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        let now = Instant::now();
+        let req = InferRequest {
+            id,
+            tenant: tenant.to_string(),
+            model_key: model_key.to_string(),
+            input,
+            submitted: now,
+            deadline: now + deadline,
+            respond: tx,
+        };
+        match self.queue.offer(req) {
+            Ok(()) => Ok(Ticket { id, rx }),
+            Err((_req, reason)) => Err(reason),
+        }
+    }
+
+    /// Admission counters.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+}
+
+/// Owns the dispatcher thread and the replica pools.
+pub struct ServeFrontend {
+    handle: ServeHandle,
+    queue: Arc<AdmissionQueue>,
+    pools: Arc<BTreeMap<String, ReplicaPool>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl ServeFrontend {
+    /// Starts a frontend over the given pools (one per model key).
+    pub fn start(pools: Vec<ReplicaPool>, cfg: ServeConfig) -> Self {
+        let queue = Arc::new(AdmissionQueue::new(
+            cfg.max_queue_depth,
+            cfg.per_tenant_quota,
+        ));
+        let pools: Arc<BTreeMap<String, ReplicaPool>> = Arc::new(
+            pools
+                .into_iter()
+                .map(|p| (p.model_key().to_string(), p))
+                .collect(),
+        );
+        let handle = ServeHandle {
+            queue: Arc::clone(&queue),
+            next_id: Arc::new(AtomicU64::new(0)),
+            default_deadline: cfg.default_deadline(),
+        };
+        let dispatcher = {
+            let queue = Arc::clone(&queue);
+            let pools = Arc::clone(&pools);
+            let batcher_cfg = cfg.batcher();
+            std::thread::Builder::new()
+                .name("serve-dispatcher".to_string())
+                .spawn(move || dispatch_loop(&queue, &pools, MicroBatcher::new(batcher_cfg)))
+                .expect("spawn serve dispatcher")
+        };
+        Self {
+            handle,
+            queue,
+            pools,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Admission counters.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// Per-replica counters for one model key's pool.
+    pub fn pool_stats(&self, model_key: &str) -> Option<PoolStats> {
+        self.pools.get(model_key).map(ReplicaPool::stats)
+    }
+
+    /// Replica count for one model key's pool.
+    pub fn pool_replicas(&self, model_key: &str) -> Option<usize> {
+        self.pools.get(model_key).map(ReplicaPool::replicas)
+    }
+
+    /// The monitor event log of one replica — lets callers watch core
+    /// quarantine/recovery activity while the pool serves.
+    pub fn replica_events(&self, model_key: &str, replica: usize) -> Option<EventLog> {
+        self.pools
+            .get(model_key)
+            .filter(|p| replica < p.replicas())
+            .map(|p| p.replica_events(replica).clone())
+    }
+
+    /// Closes intake, drains everything already admitted (every queued
+    /// request is resolved — served, failed, or expired), then stops
+    /// the pools and joins all worker threads.
+    pub fn shutdown(mut self) {
+        self.queue.close();
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+        let pools = Arc::try_unwrap(self.pools)
+            .unwrap_or_else(|_| panic!("pools still shared after dispatcher join"));
+        for (_, pool) in pools {
+            pool.shutdown();
+        }
+    }
+}
+
+fn dispatch_loop(
+    queue: &AdmissionQueue,
+    pools: &BTreeMap<String, ReplicaPool>,
+    mut batcher: MicroBatcher,
+) {
+    let batches_total = mvtee_telemetry::counter("serve.batches_total");
+    let batch_size = mvtee_telemetry::histogram("serve.batch_size");
+    let expired = mvtee_telemetry::counter("serve.expired_total");
+    loop {
+        let now = Instant::now();
+        let wait = batcher
+            .next_flush_at()
+            .map(|at| at.saturating_duration_since(now))
+            .unwrap_or(IDLE_WAIT)
+            .min(IDLE_WAIT);
+        let drained = queue.drain(wait);
+        let now = Instant::now();
+        for req in drained.requests {
+            match pools.get(&req.model_key) {
+                Some(_) => batcher.push(req, now),
+                None => {
+                    let detail = format!("unknown model key {:?}", req.model_key);
+                    req.resolve(None, RequestOutcome::Failed(detail));
+                }
+            }
+        }
+        for batch in batcher.ready(Instant::now()) {
+            dispatch(pools, batch, &batches_total, &batch_size, &expired);
+        }
+        if drained.finished {
+            for batch in batcher.flush_all() {
+                dispatch(pools, batch, &batches_total, &batch_size, &expired);
+            }
+            return;
+        }
+    }
+}
+
+fn dispatch(
+    pools: &BTreeMap<String, ReplicaPool>,
+    batch: crate::batcher::MicroBatch,
+    batches_total: &mvtee_telemetry::Counter,
+    batch_size: &mvtee_telemetry::Histogram,
+    expired: &mvtee_telemetry::Counter,
+) {
+    // Re-check deadlines at dispatch: a request can age out while its
+    // batch waited for peers.
+    let now = Instant::now();
+    let key = batch.key.clone();
+    let mut live = Vec::with_capacity(batch.requests.len());
+    for req in batch.requests {
+        if req.deadline <= now {
+            expired.inc();
+            req.resolve(None, RequestOutcome::Expired);
+        } else {
+            live.push(req);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    batches_total.inc();
+    batch_size.record(live.len() as u64);
+    let pool = pools.get(&key).expect("dispatch only for known keys");
+    if let Err(returned) = pool.submit(crate::batcher::MicroBatch {
+        key,
+        requests: live,
+    }) {
+        for req in returned.requests {
+            req.resolve(
+                None,
+                RequestOutcome::Failed("replica pool shut down".to_string()),
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The MVTEE serving frontend: many concurrent tenants, one MVX fleet.
+//!
+//! The `mvtee` crate serves exactly one caller per [`Deployment`]; the
+//! ROADMAP's north star is heavy concurrent traffic. This crate adds the
+//! layer between the two:
+//!
+//! ```text
+//!  clients ──▶ AdmissionQueue ──▶ MicroBatcher ──▶ ReplicaPool ──▶ clients
+//!             (per-tenant quotas,  (coalesce same-   (N diversified
+//!              bounded depth,       key requests up   Deployments,
+//!              deadline shedding)   to max_batch /    least-outstanding
+//!                                   max_wait_ms)      scheduling)
+//! ```
+//!
+//! * [`AdmissionQueue`] — bounded, quota'd intake. Overload is shed at
+//!   the door (`serve.shed_*`), expired deadlines are dropped at
+//!   dequeue (`serve.expired_total`); both are observable, never silent.
+//! * [`MicroBatcher`] — groups compatible requests (same model key) into
+//!   micro-batches, flushing on size or age. A micro-batch is submitted
+//!   through the deployment's pipelined stream path, so coalescing
+//!   amortises per-dispatch cost **without** fusing tensors: every
+//!   request stays its own pipeline batch with its own checkpoint
+//!   verdict, which is why serving outputs are byte-identical to serial
+//!   single-request runs.
+//! * [`ReplicaPool`] — N independently diversified [`Deployment`]s built
+//!   via [`DeploymentBuilder::build_many`], scheduled by least
+//!   outstanding requests. Replicas heal through the core
+//!   quarantine/recovery path while queued work keeps flowing.
+//! * [`ServeFrontend`] — ties the three together behind a cloneable
+//!   [`ServeHandle`] that client threads submit to.
+//!
+//! [`Deployment`]: mvtee::Deployment
+//! [`DeploymentBuilder::build_many`]: mvtee::DeploymentBuilder::build_many
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batcher;
+mod config;
+mod frontend;
+mod pool;
+mod queue;
+mod request;
+
+pub use batcher::{BatcherConfig, MicroBatch, MicroBatcher};
+pub use config::ServeConfig;
+pub use frontend::{ServeHandle, ServeFrontend};
+pub use pool::{PoolStats, ReplicaPool};
+pub use queue::{AdmissionQueue, QueueStats, ShedReason};
+pub use request::{InferRequest, InferResponse, RequestOutcome, Ticket};
+
+/// Registers every `serve.*` metric on the global telemetry registry so
+/// reports show explicit zeros (the PR-1 eager-registration pattern)
+/// rather than omitting counters that never fired.
+pub fn register_serve_metrics() {
+    for name in [
+        "serve.submitted_total",
+        "serve.admitted_total",
+        "serve.shed_total",
+        "serve.shed_queue_full",
+        "serve.shed_quota",
+        "serve.expired_total",
+        "serve.completed_total",
+        "serve.failed_total",
+        "serve.batches_total",
+        "serve.pool.dispatched_total",
+        "serve.pool.stream_failures",
+    ] {
+        mvtee_telemetry::counter(name);
+    }
+    mvtee_telemetry::gauge("serve.queue_depth");
+    mvtee_telemetry::gauge("serve.pool.outstanding");
+    mvtee_telemetry::histogram("serve.batch_size");
+    mvtee_telemetry::histogram("serve.queue_wait_ns");
+    mvtee_telemetry::histogram("serve.e2e_latency_ns");
+}

@@ -1,0 +1,238 @@
+//! The MVX replica pool: N diversified deployments behind a
+//! least-outstanding-requests scheduler.
+
+use crate::batcher::MicroBatch;
+use crate::request::RequestOutcome;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use mvtee::{Deployment, DeploymentBuilder, EventLog, MvxError};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Point-in-time pool counters, one slot per replica.
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// Requests dispatched to each replica and not yet resolved.
+    pub outstanding: Vec<i64>,
+    /// Micro-batches each replica has served.
+    pub served_batches: Vec<u64>,
+    /// Requests each replica has served (across its batches).
+    pub served_requests: Vec<u64>,
+}
+
+struct ReplicaWorker {
+    tx: Sender<MicroBatch>,
+    outstanding: Arc<AtomicI64>,
+    served_batches: Arc<AtomicU64>,
+    served_requests: Arc<AtomicU64>,
+    events: EventLog,
+    handle: JoinHandle<()>,
+}
+
+/// N independently diversified [`Deployment`]s serving one model key.
+///
+/// Scheduling is least-outstanding-requests with lowest-index
+/// tie-break: a replica wedged in quarantine/recovery keeps its
+/// outstanding count high and naturally stops attracting new work until
+/// the core recovery path brings it back — queued work keeps flowing to
+/// its siblings the whole time.
+pub struct ReplicaPool {
+    model_key: String,
+    workers: Vec<ReplicaWorker>,
+}
+
+impl ReplicaPool {
+    /// Wraps already-built deployments (typically from
+    /// [`DeploymentBuilder::build_many`]) in worker threads.
+    ///
+    /// # Errors
+    ///
+    /// [`MvxError::InvalidConfig`] when `deployments` is empty.
+    pub fn new(
+        model_key: impl Into<String>,
+        deployments: Vec<Deployment>,
+    ) -> Result<Self, MvxError> {
+        if deployments.is_empty() {
+            return Err(MvxError::InvalidConfig(
+                "a replica pool needs at least one deployment".into(),
+            ));
+        }
+        let model_key = model_key.into();
+        let workers = deployments
+            .into_iter()
+            .enumerate()
+            .map(|(index, deployment)| Self::spawn_worker(&model_key, index, deployment))
+            .collect();
+        Ok(Self { model_key, workers })
+    }
+
+    /// Builds `n` replicas via [`DeploymentBuilder::build_many`] and
+    /// wraps them. All replicas share the builder's partition seed (so
+    /// replicated panels answer byte-identically and engine pre-packing
+    /// is reused via the global session cache) while variant seeds are
+    /// derived per replica.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder failures; `n == 0` is rejected.
+    pub fn from_builder(
+        model_key: impl Into<String>,
+        builder: DeploymentBuilder,
+        n: usize,
+    ) -> Result<Self, MvxError> {
+        Self::new(model_key, builder.build_many(n)?)
+    }
+
+    fn spawn_worker(model_key: &str, index: usize, mut deployment: Deployment) -> ReplicaWorker {
+        let (tx, rx): (Sender<MicroBatch>, Receiver<MicroBatch>) = unbounded();
+        let outstanding = Arc::new(AtomicI64::new(0));
+        let served_batches = Arc::new(AtomicU64::new(0));
+        let served_requests = Arc::new(AtomicU64::new(0));
+        let events = deployment.events().clone();
+        let worker_outstanding = Arc::clone(&outstanding);
+        let worker_batches = Arc::clone(&served_batches);
+        let worker_requests = Arc::clone(&served_requests);
+        let name = format!("serve-replica-{model_key}-{index}");
+        let handle = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || {
+                let completed = mvtee_telemetry::counter("serve.completed_total");
+                let failed = mvtee_telemetry::counter("serve.failed_total");
+                let stream_failures = mvtee_telemetry::counter("serve.pool.stream_failures");
+                let outstanding_gauge = mvtee_telemetry::gauge("serve.pool.outstanding");
+                let e2e = mvtee_telemetry::histogram("serve.e2e_latency_ns");
+                while let Ok(batch) = rx.recv() {
+                    let size = batch.len() as i64;
+                    let inputs: Vec<mvtee_tensor::Tensor> =
+                        batch.requests.iter().map(|r| r.input.clone()).collect();
+                    let result = deployment.infer_stream(&inputs);
+                    match result {
+                        Ok(stats) => {
+                            for (req, out) in
+                                batch.requests.into_iter().zip(stats.outputs)
+                            {
+                                e2e.record(req.submitted.elapsed().as_nanos() as u64);
+                                match out {
+                                    Ok(tensor) => {
+                                        completed.inc();
+                                        req.resolve(Some(index), RequestOutcome::Ok(tensor));
+                                    }
+                                    Err(detail) => {
+                                        failed.inc();
+                                        req.resolve(
+                                            Some(index),
+                                            RequestOutcome::Failed(detail),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        Err(err) => {
+                            // Whole-stream infrastructure loss: every
+                            // member still gets a terminal answer, so
+                            // admitted requests are never silently lost.
+                            stream_failures.inc();
+                            let detail = format!("replica {index} stream failed: {err}");
+                            for req in batch.requests {
+                                e2e.record(req.submitted.elapsed().as_nanos() as u64);
+                                failed.inc();
+                                req.resolve(Some(index), RequestOutcome::Failed(detail.clone()));
+                            }
+                        }
+                    }
+                    worker_batches.fetch_add(1, Ordering::Relaxed);
+                    worker_requests.fetch_add(size as u64, Ordering::Relaxed);
+                    worker_outstanding.fetch_sub(size, Ordering::Release);
+                    outstanding_gauge.add(-size);
+                }
+                deployment.shutdown();
+            })
+            .expect("spawn replica worker");
+        ReplicaWorker {
+            tx,
+            outstanding,
+            served_batches,
+            served_requests,
+            events,
+            handle,
+        }
+    }
+
+    /// The model key this pool serves.
+    pub fn model_key(&self) -> &str {
+        &self.model_key
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The monitor event log of one replica (alive even while the
+    /// replica's worker owns the deployment) — how callers observe
+    /// quarantines and recoveries under load.
+    pub fn replica_events(&self, replica: usize) -> &EventLog {
+        &self.workers[replica].events
+    }
+
+    /// Dispatches a micro-batch to the replica with the fewest
+    /// outstanding requests (lowest index wins ties).
+    ///
+    /// # Errors
+    ///
+    /// Hands the batch back if every worker has hung up (pool shut
+    /// down), so the caller can resolve the member tickets.
+    pub fn submit(&self, batch: MicroBatch) -> Result<(), MicroBatch> {
+        let size = batch.len() as i64;
+        let target = self
+            .workers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.outstanding.load(Ordering::Acquire))
+            .map(|(i, _)| i)
+            .expect("pool has at least one replica");
+        let worker = &self.workers[target];
+        worker.outstanding.fetch_add(size, Ordering::AcqRel);
+        mvtee_telemetry::gauge("serve.pool.outstanding").add(size);
+        mvtee_telemetry::counter("serve.pool.dispatched_total").add(size as u64);
+        worker.tx.send(batch).map_err(|e| {
+            worker.outstanding.fetch_sub(size, Ordering::AcqRel);
+            mvtee_telemetry::gauge("serve.pool.outstanding").add(-size);
+            e.0
+        })
+    }
+
+    /// Per-replica counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            outstanding: self
+                .workers
+                .iter()
+                .map(|w| w.outstanding.load(Ordering::Acquire))
+                .collect(),
+            served_batches: self
+                .workers
+                .iter()
+                .map(|w| w.served_batches.load(Ordering::Relaxed))
+                .collect(),
+            served_requests: self
+                .workers
+                .iter()
+                .map(|w| w.served_requests.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Stops intake, drains every replica's queued batches, and joins
+    /// the workers (each shuts its deployment down before exiting).
+    pub fn shutdown(self) {
+        let mut handles = Vec::with_capacity(self.workers.len());
+        for worker in self.workers {
+            drop(worker.tx);
+            handles.push(worker.handle);
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Bounded, quota'd admission queue with observable load shedding.
+
+use crate::request::InferRequest;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a submission was rejected at the door.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The queue already holds `max_queue_depth` requests.
+    QueueFull,
+    /// The tenant already has `per_tenant_quota` requests queued.
+    Quota,
+    /// The frontend is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "admission queue full"),
+            ShedReason::Quota => write!(f, "per-tenant quota exhausted"),
+            ShedReason::ShuttingDown => write!(f, "frontend shutting down"),
+        }
+    }
+}
+
+/// Point-in-time admission counters (cheap snapshot for tests/benches;
+/// the same numbers flow to the global registry as `serve.*`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Requests offered via [`AdmissionQueue::offer`].
+    pub submitted: u64,
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests rejected because the queue was full.
+    pub shed_queue_full: u64,
+    /// Requests rejected because the tenant's quota was exhausted.
+    pub shed_quota: u64,
+    /// Current queue depth.
+    pub depth: usize,
+}
+
+struct QueueInner {
+    queue: VecDeque<InferRequest>,
+    per_tenant: HashMap<String, usize>,
+    stats: QueueStats,
+    closed: bool,
+}
+
+/// What [`AdmissionQueue::drain`] observed.
+pub(crate) struct Drained {
+    pub requests: Vec<InferRequest>,
+    /// True once the queue is closed *and* empty — the dispatcher's
+    /// signal to flush and exit.
+    pub finished: bool,
+}
+
+/// The intake side of the frontend: a bounded MPSC queue with
+/// per-tenant quotas. Producers shed synchronously (the caller learns
+/// the [`ShedReason`] immediately); the single dispatcher drains.
+pub struct AdmissionQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    max_depth: usize,
+    per_tenant_quota: usize,
+}
+
+impl AdmissionQueue {
+    /// A queue bounded at `max_depth` total and `per_tenant_quota`
+    /// queued requests per tenant (both clamped to at least 1).
+    pub fn new(max_depth: usize, per_tenant_quota: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                queue: VecDeque::new(),
+                per_tenant: HashMap::new(),
+                stats: QueueStats::default(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            max_depth: max_depth.max(1),
+            per_tenant_quota: per_tenant_quota.max(1),
+        }
+    }
+
+    /// Offers a request for admission. Rejections hand the request back
+    /// so the caller can resolve its ticket with the shed reason.
+    ///
+    /// # Errors
+    ///
+    /// The request plus a [`ShedReason`] when the queue is full, the
+    /// tenant's quota is exhausted, or the queue is closed.
+    #[allow(clippy::result_large_err)] // the rejected request must travel back
+    pub fn offer(&self, req: InferRequest) -> Result<(), (InferRequest, ShedReason)> {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        inner.stats.submitted += 1;
+        mvtee_telemetry::counter("serve.submitted_total").inc();
+        if inner.closed {
+            return Err((req, ShedReason::ShuttingDown));
+        }
+        if inner.queue.len() >= self.max_depth {
+            inner.stats.shed_queue_full += 1;
+            mvtee_telemetry::counter("serve.shed_total").inc();
+            mvtee_telemetry::counter("serve.shed_queue_full").inc();
+            return Err((req, ShedReason::QueueFull));
+        }
+        let tenant_load = inner.per_tenant.get(&req.tenant).copied().unwrap_or(0);
+        if tenant_load >= self.per_tenant_quota {
+            inner.stats.shed_quota += 1;
+            mvtee_telemetry::counter("serve.shed_total").inc();
+            mvtee_telemetry::counter("serve.shed_quota").inc();
+            return Err((req, ShedReason::Quota));
+        }
+        *inner.per_tenant.entry(req.tenant.clone()).or_insert(0) += 1;
+        inner.queue.push_back(req);
+        inner.stats.admitted += 1;
+        let depth = inner.queue.len();
+        inner.stats.depth = depth;
+        mvtee_telemetry::counter("serve.admitted_total").inc();
+        mvtee_telemetry::gauge("serve.queue_depth").set(depth as i64);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Drains everything currently queued, blocking up to `timeout`
+    /// for the first arrival. Returns immediately once the queue is
+    /// closed and empty.
+    pub(crate) fn drain(&self, timeout: Duration) -> Drained {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        while inner.queue.is_empty() && !inner.closed {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(inner, deadline - now)
+                .expect("admission queue poisoned");
+            inner = guard;
+        }
+        let requests: Vec<InferRequest> = inner.queue.drain(..).collect();
+        for req in &requests {
+            if let Some(count) = inner.per_tenant.get_mut(&req.tenant) {
+                *count = count.saturating_sub(1);
+                if *count == 0 {
+                    inner.per_tenant.remove(&req.tenant);
+                }
+            }
+        }
+        inner.stats.depth = 0;
+        mvtee_telemetry::gauge("serve.queue_depth").set(0);
+        let wait_hist = mvtee_telemetry::histogram("serve.queue_wait_ns");
+        for req in &requests {
+            wait_hist.record(req.submitted.elapsed().as_nanos() as u64);
+        }
+        Drained {
+            finished: inner.closed && requests.is_empty(),
+            requests,
+        }
+    }
+
+    /// Closes the intake; queued requests still drain, new offers shed
+    /// with [`ShedReason::ShuttingDown`].
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Current admission counters.
+    pub fn stats(&self) -> QueueStats {
+        let inner = self.inner.lock().expect("admission queue poisoned");
+        let mut stats = inner.stats.clone();
+        stats.depth = inner.queue.len();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{InferResponse, RequestOutcome};
+    use crossbeam::channel::{bounded, Receiver};
+    use mvtee_tensor::Tensor;
+
+    fn request(id: u64, tenant: &str) -> (InferRequest, Receiver<InferResponse>) {
+        let (tx, rx) = bounded(1);
+        let now = Instant::now();
+        (
+            InferRequest {
+                id,
+                tenant: tenant.to_string(),
+                model_key: "m".to_string(),
+                input: Tensor::zeros(&[1]),
+                submitted: now,
+                deadline: now + Duration::from_secs(5),
+                respond: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn sheds_when_full_and_over_quota() {
+        let q = AdmissionQueue::new(2, 1);
+        let (r0, _k0) = request(0, "a");
+        let (r1, _k1) = request(1, "b");
+        let (r2, _k2) = request(2, "a");
+        let (r3, _k3) = request(3, "c");
+        assert!(q.offer(r0).is_ok());
+        // Tenant "a" already has its one slot.
+        let (_, reason) = q.offer(r2).unwrap_err();
+        assert_eq!(reason, ShedReason::Quota);
+        assert!(q.offer(r1).is_ok());
+        // Queue depth 2 == max: full beats everything.
+        let (_, reason) = q.offer(r3).unwrap_err();
+        assert_eq!(reason, ShedReason::QueueFull);
+        let stats = q.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.shed_quota, 1);
+        assert_eq!(stats.shed_queue_full, 1);
+    }
+
+    #[test]
+    fn quota_frees_after_drain() {
+        let q = AdmissionQueue::new(8, 1);
+        let (r0, _k0) = request(0, "a");
+        assert!(q.offer(r0).is_ok());
+        let drained = q.drain(Duration::from_millis(1));
+        assert_eq!(drained.requests.len(), 1);
+        let (r1, _k1) = request(1, "a");
+        assert!(q.offer(r1).is_ok(), "quota must release once dequeued");
+    }
+
+    #[test]
+    fn close_sheds_new_offers_and_finishes_drain() {
+        let q = AdmissionQueue::new(8, 8);
+        q.close();
+        let (r0, rx) = request(0, "a");
+        let (req, reason) = q.offer(r0).unwrap_err();
+        assert_eq!(reason, ShedReason::ShuttingDown);
+        req.resolve(None, RequestOutcome::Failed(reason.to_string()));
+        assert!(matches!(
+            rx.recv().unwrap().outcome,
+            RequestOutcome::Failed(_)
+        ));
+        let drained = q.drain(Duration::from_millis(1));
+        assert!(drained.finished);
+        assert!(drained.requests.is_empty());
+    }
+}

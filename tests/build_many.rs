@@ -1,0 +1,150 @@
+//! `DeploymentBuilder::build_many`: a replica pool reproducible from a
+//! single seed.
+//!
+//! The contract the serving layer leans on:
+//! * per-replica variant seeds derive deterministically from the base
+//!   seed (same `--seed` → same pool, twice);
+//! * replica 0 is the plain `build()` deployment;
+//! * replicas share the partition seed — so replicated panels answer
+//!   byte-identically across the pool and engine preparation is reused
+//!   through the global session cache — while diversified panels still
+//!   differ replica-to-replica.
+
+use mvtee::config::{MvxConfig, PartitionMvx};
+use mvtee::{Deployment, DeploymentBuilder};
+use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+use mvtee_tensor::Tensor;
+
+const SEED: u64 = 31;
+
+fn model() -> zoo::Model {
+    zoo::build(ModelKind::MnasNet, ScaleProfile::Test, SEED).expect("model builds")
+}
+
+fn diversified_mvx() -> MvxConfig {
+    let mut cfg = MvxConfig::fast_path(2);
+    cfg.claims[1] = PartitionMvx::diversified(3);
+    cfg
+}
+
+fn bits_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.dims() == b.dims()
+        && a.data().iter().zip(b.data().iter()).all(|(p, q)| p.to_bits() == q.to_bits())
+}
+
+fn test_input(model: &zoo::Model) -> Tensor {
+    let n = model.input_shape.num_elements();
+    Tensor::from_vec(
+        (0..n).map(|i| ((i % 67) as f32 - 33.0) / 33.0).collect(),
+        model.input_shape.dims(),
+    )
+    .expect("static shape")
+}
+
+#[test]
+fn pool_is_reproducible_from_one_seed() {
+    let build_pool = || {
+        Deployment::builder(model())
+            .config(diversified_mvx())
+            .partition_seed(SEED)
+            .variant_seed(SEED)
+            .build_many(3)
+            .expect("pool builds")
+    };
+    let mut a = build_pool();
+    let mut b = build_pool();
+    for (da, db) in a.iter().zip(&b) {
+        assert_eq!(
+            da.variant_specs(),
+            db.variant_specs(),
+            "same base seed must reproduce the identical pool"
+        );
+    }
+    for d in a.iter_mut().chain(b.iter_mut()) {
+        d.shutdown();
+    }
+}
+
+#[test]
+fn replica_zero_is_the_plain_build_and_diversified_replicas_differ() {
+    let mut plain = Deployment::builder(model())
+        .config(diversified_mvx())
+        .partition_seed(SEED)
+        .variant_seed(SEED)
+        .build()
+        .expect("plain builds");
+    let mut pool = Deployment::builder(model())
+        .config(diversified_mvx())
+        .partition_seed(SEED)
+        .variant_seed(SEED)
+        .build_many(2)
+        .expect("pool builds");
+    assert_eq!(
+        pool[0].variant_specs(),
+        plain.variant_specs(),
+        "replica 0 must be exactly the single-deployment build"
+    );
+    assert_ne!(
+        pool[0].variant_specs(),
+        pool[1].variant_specs(),
+        "diversified replicas must draw distinct variant seeds"
+    );
+    plain.shutdown();
+    for d in &mut pool {
+        d.shutdown();
+    }
+}
+
+#[test]
+fn replica_variant_seeds_are_distinct_and_anchored_at_base() {
+    assert_eq!(DeploymentBuilder::replica_variant_seed(SEED, 0), SEED);
+    let seeds: Vec<u64> =
+        (0..16).map(|r| DeploymentBuilder::replica_variant_seed(SEED, r)).collect();
+    let mut unique = seeds.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), seeds.len(), "derived seeds must not collide");
+}
+
+#[test]
+fn replicated_pool_answers_byte_identically_and_reuses_warm_engines() {
+    let mut cfg = MvxConfig::fast_path(2);
+    for claim in &mut cfg.claims {
+        *claim = PartitionMvx::replicated(3);
+    }
+    let prepare_hits0 = mvtee_telemetry::counter("runtime.cache.prepare_hits").get();
+    let mut pool = Deployment::builder(model())
+        .config(cfg)
+        .partition_seed(SEED)
+        .variant_seed(SEED)
+        .build_many(3)
+        .expect("pool builds");
+    // Replicas share the partition seed, so later replicas re-prepare
+    // the same (engine config, subgraph) pairs and hit the session
+    // cache instead of re-packing weights.
+    assert!(
+        mvtee_telemetry::counter("runtime.cache.prepare_hits").get() > prepare_hits0,
+        "building sibling replicas must reuse warm engine preparations"
+    );
+    let m = model();
+    let input = test_input(&m);
+    let outputs: Vec<Tensor> = pool
+        .iter_mut()
+        .map(|d| d.infer(&input).expect("replica inference"))
+        .collect();
+    for out in &outputs[1..] {
+        assert!(
+            bits_equal(out, &outputs[0]),
+            "replicated replicas must answer byte-identically"
+        );
+    }
+    for d in &mut pool {
+        d.shutdown();
+    }
+}
+
+#[test]
+fn empty_pool_is_rejected() {
+    let err = Deployment::builder(model()).build_many(0);
+    assert!(err.is_err(), "a zero-replica pool must be an InvalidConfig error");
+}

@@ -153,6 +153,8 @@ fn bitflip_divergence_increments_counter_exactly_once() {
         deadline: std::time::Duration::from_secs(30),
         drain_window: std::time::Duration::from_millis(500),
         drain_poll: std::time::Duration::from_millis(50),
+        queue_depth: 8,
+        late_window: 256,
     };
 
     let before = mvtee_telemetry::snapshot();
