@@ -55,7 +55,7 @@ fn bench_payload_serialization(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10/payload_codec");
     group.sample_size(20);
     let tensor = Tensor::ones(&[1, 64, 32, 32]);
-    let msg = mvtee::messages::StageRequest::Input { batch: 0, tensors: vec![tensor] };
+    let msg = mvtee::messages::StageRequest::Input { batch: 0, trace: (0, 0), tensors: vec![tensor] };
     group.bench_function("encode", |b| {
         b.iter(|| black_box(mvtee::messages::encode(&msg).expect("encodes")))
     });

@@ -2,21 +2,30 @@
 //! paper's evaluation section.
 //!
 //! ```text
-//! experiments [--quick] [--markdown] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]
+//! experiments [--quick] [--markdown] [--quiet] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]
 //! experiments campaign [--seed N] [--count N] [--no-shrink]
 //! experiments chaos [--seed N] [--scenarios N] [--quick]
 //! experiments perf [--quick] [--out PATH]
 //! experiments serve [--seed N] [--quick] [--out PATH]
+//! experiments trace [--seed N] [--quick] [--out PATH] [--trace-out PATH]
+//! experiments audit TRANSCRIPT
 //! ```
 //!
 //! * `--quick` — Test-scale models and a subset (CI smoke).
 //! * `--markdown` — emit GitHub-markdown tables (for `EXPERIMENTS.md`).
+//! * `--quiet` — suppress progress/status chatter (stderr); machine
+//!   payloads (stdout) and errors are never suppressed.
 //! * default experiment selection: `all`.
 //!
+//! Output discipline: stdout carries only the deliverables — JSON
+//! reports, figure tables, the audit summary — via `report!`; all
+//! progress, human summaries, and telemetry chatter go to stderr via
+//! `status!`, which `--quiet` silences. Errors always reach stderr.
+//!
 //! The `campaign` subcommand runs the seeded fault-injection campaign
-//! (`mvtee-campaign`): prints the detection-coverage matrix plus the
-//! machine-readable JSON report, and exits non-zero when any scenario
-//! violates the detection invariant (MISSED).
+//! (`mvtee-campaign`): prints the machine-readable JSON report, and
+//! exits non-zero when any scenario violates the detection invariant
+//! (MISSED).
 //!
 //! The `chaos` subcommand runs the self-healing storm campaign
 //! (`mvtee_bench::chaos`): every seeded scenario injects a weight bit
@@ -38,6 +47,18 @@
 //! reference, any lost or double-served request, an unexercised
 //! replica, a missing recovery — or, under `--quick` smoke load, any
 //! shed request.
+//!
+//! The `trace` subcommand runs the tracing/audit experiment: a traced
+//! fault-free run (transcript byte-identical across builds and with
+//! tracing off; outputs byte-identical traced vs untraced; transcript
+//! self-audits) plus a divergence-injected serve probe whose flight
+//! dump must link the request root to the quarantining verdict. It
+//! writes the Merkle transcript (`--out`, default
+//! `AUDIT_transcript.jsonl`) and the Chrome-trace timeline
+//! (`--trace-out`, default `TRACE_run.json`).
+//!
+//! The `audit` subcommand replays a transcript's hash chain and exits
+//! non-zero on any tamper or gap.
 
 use mvtee_bench::chaos::{run_chaos, ChaosConfig};
 use mvtee_bench::experiments::{
@@ -47,6 +68,26 @@ use mvtee_bench::experiments::{
 use mvtee_bench::perf::{run_perf, PerfSettings};
 use mvtee_bench::serve::{run_serve, ServeSettings};
 use mvtee_bench::table::Table;
+use mvtee_bench::trace::{run_trace, TraceSettings};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set once at startup by `--quiet`; gates every `status!` line.
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// A machine payload or figure table: always printed, always stdout —
+/// never interleaved with chatter.
+macro_rules! report {
+    ($($arg:tt)*) => { println!($($arg)*) };
+}
+
+/// Progress/status chatter: stderr, suppressed by `--quiet`.
+macro_rules! status {
+    ($($arg:tt)*) => {
+        if !QUIET.load(Ordering::Relaxed) {
+            eprintln!($($arg)*);
+        }
+    };
+}
 
 /// Parses `--flag N` from the argument list; exits with a usage error on a
 /// malformed value.
@@ -63,6 +104,21 @@ fn flag_value(args: &[String], flag: &str, default: u64) -> u64 {
     }
 }
 
+/// Parses `--flag PATH` from the argument list; exits with a usage error
+/// when the path is missing.
+fn flag_path(args: &[String], flag: &str, default: &str) -> String {
+    match args.iter().position(|a| a == flag) {
+        None => default.to_string(),
+        Some(i) => match args.get(i + 1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("error: {flag} requires a path");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 /// The `campaign` subcommand: runs the fault-injection campaign and exits
 /// non-zero on any MISSED scenario.
 fn run_campaign_command(args: &[String]) -> ! {
@@ -70,14 +126,14 @@ fn run_campaign_command(args: &[String]) -> ! {
     let count = flag_value(args, "--count", 64);
     let mut cfg = mvtee_campaign::CampaignConfig::new(seed, count);
     cfg.shrink = !args.iter().any(|a| a == "--no-shrink");
-    eprintln!("# running fault-injection campaign (seed={seed}, count={count}) …");
+    status!("# running fault-injection campaign (seed={seed}, count={count}) …");
     let report = mvtee_campaign::run_campaign(&cfg);
-    println!("{}", report.render_text());
-    println!("{}", report.render_json());
+    status!("{}", report.render_text());
+    report!("{}", report.render_json());
     // What the instrumented pipeline recorded while the campaign ran —
     // including the `core.recovery.*` metrics, zero-valued when recovery
     // never fired (registered eagerly so absence is visible).
-    println!("{}", telemetry_report());
+    status!("{}", telemetry_report());
     if report.matrix.total_missed() > 0 {
         eprintln!(
             "error: {} scenario(s) violated the detection invariant",
@@ -97,13 +153,13 @@ fn run_chaos_command(args: &[String]) -> ! {
         cfg.scenarios = 4; // CI smoke
     }
     cfg.scenarios = flag_value(args, "--scenarios", cfg.scenarios);
-    eprintln!(
+    status!(
         "# running chaos storm campaign (seed={seed}, scenarios={}) …",
         cfg.scenarios
     );
     let report = run_chaos(&cfg);
-    println!("{}", report.render_text());
-    println!("{}", telemetry_report());
+    report!("{}", report.render_text());
+    status!("{}", telemetry_report());
     let failed = report.failures().len();
     if failed > 0 {
         eprintln!("error: {failed} storm(s) failed to heal");
@@ -120,29 +176,20 @@ fn run_perf_command(args: &[String]) -> ! {
     } else {
         PerfSettings::full()
     };
-    let out_path = match args.iter().position(|a| a == "--out") {
-        Some(i) => match args.get(i + 1) {
-            Some(p) => p.clone(),
-            None => {
-                eprintln!("error: --out requires a path");
-                std::process::exit(2);
-            }
-        },
-        None => "BENCH_runtime.json".to_string(),
-    };
-    eprintln!(
+    let out_path = flag_path(args, "--out", "BENCH_runtime.json");
+    status!(
         "# running runtime perf sweep (threads {:?}, models {:?}) …",
         settings.threads,
         settings.models.iter().map(|m| m.display_name()).collect::<Vec<_>>(),
     );
     let report = run_perf(&settings);
-    println!("{}", report.render_text());
+    status!("{}", report.render_text());
     if let Err(e) = std::fs::write(&out_path, report.render_json()) {
         eprintln!("error: could not write {out_path}: {e}");
         std::process::exit(1);
     }
-    eprintln!("# wrote {out_path}");
-    println!("{}", telemetry_report());
+    status!("# wrote {out_path}");
+    status!("{}", telemetry_report());
     if report.has_mismatch() {
         eprintln!(
             "error: {} cross-thread-count output mismatch(es) — the deterministic pool invariant is broken",
@@ -164,28 +211,19 @@ fn run_serve_command(args: &[String]) -> ! {
     } else {
         ServeSettings::full(seed)
     };
-    let out_path = match args.iter().position(|a| a == "--out") {
-        Some(i) => match args.get(i + 1) {
-            Some(p) => p.clone(),
-            None => {
-                eprintln!("error: --out requires a path");
-                std::process::exit(2);
-            }
-        },
-        None => "BENCH_serve.json".to_string(),
-    };
-    eprintln!(
+    let out_path = flag_path(args, "--out", "BENCH_serve.json");
+    status!(
         "# running serve load experiment (seed={seed}, replicas={}, clients={}, open-loop {} req @ {} req/s) …",
         settings.replicas, settings.clients, settings.open_loop_requests, settings.open_loop_rate,
     );
     let report = run_serve(&settings);
-    println!("{}", report.render_text());
+    status!("{}", report.render_text());
     if let Err(e) = std::fs::write(&out_path, report.render_json()) {
         eprintln!("error: could not write {out_path}: {e}");
         std::process::exit(1);
     }
-    eprintln!("# wrote {out_path}");
-    println!("{}", telemetry_report());
+    status!("# wrote {out_path}");
+    status!("{}", telemetry_report());
     let mut failures = report.gate_failures();
     if quick && report.shed() > 0 {
         failures.push(format!(
@@ -204,11 +242,93 @@ fn run_serve_command(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// The `trace` subcommand: runs the tracing/audit experiment, writes the
+/// Merkle transcript and the Chrome-trace timeline, and exits non-zero
+/// when any trace gate failed.
+fn run_trace_command(args: &[String]) -> ! {
+    let seed = flag_value(args, "--seed", 7);
+    let quick = args.iter().any(|a| a == "--quick");
+    let settings = if quick {
+        TraceSettings::quick(seed)
+    } else {
+        TraceSettings::full(seed)
+    };
+    let out_path = flag_path(args, "--out", "AUDIT_transcript.jsonl");
+    let trace_path = flag_path(args, "--trace-out", "TRACE_run.json");
+    status!(
+        "# running trace/audit experiment (seed={seed}, batches={}) …",
+        settings.batches
+    );
+    let report = run_trace(&settings);
+    status!("{}", report.render_text());
+    if let Err(e) = std::fs::write(&out_path, &report.transcript) {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    status!("# wrote {out_path}");
+    if let Err(e) = std::fs::write(&trace_path, report.render_chrome_trace()) {
+        eprintln!("error: could not write {trace_path}: {e}");
+        std::process::exit(1);
+    }
+    status!("# wrote {trace_path}");
+    status!("{}", telemetry_report());
+    let failures = report.gate_failures();
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("error: {f}");
+        }
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// The `audit` subcommand: replays a transcript's hash chain; exits
+/// non-zero on any tamper or gap.
+fn run_audit_command(args: &[String]) -> ! {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: experiments audit TRANSCRIPT");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: could not read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match mvtee::transcript::verify_transcript(&text) {
+        Ok(summary) => {
+            status!(
+                "# audit ok: {} entries over {} partition(s), {} pass / {} diverged",
+                summary.entries, summary.partitions, summary.passes, summary.divergences
+            );
+            report!(
+                "{{\"audit\": \"ok\", \"seed\": {}, \"fingerprint\": \"{}\", \
+                 \"entries\": {}, \"partitions\": {}, \"passes\": {}, \
+                 \"divergences\": {}, \"head\": \"{}\"}}",
+                summary.seed,
+                summary.fingerprint,
+                summary.entries,
+                summary.partitions,
+                summary.passes,
+                summary.divergences,
+                summary.head
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: audit failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    QUIET.store(args.iter().any(|a| a == "--quiet"), Ordering::Relaxed);
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments [--quick] [--markdown] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]\n       experiments campaign [--seed N] [--count N] [--no-shrink]\n       experiments chaos [--seed N] [--scenarios N] [--quick]\n       experiments perf [--quick] [--out PATH]\n       experiments serve [--seed N] [--quick] [--out PATH]"
+            "usage: experiments [--quick] [--markdown] [--quiet] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]\n       experiments campaign [--seed N] [--count N] [--no-shrink]\n       experiments chaos [--seed N] [--scenarios N] [--quick]\n       experiments perf [--quick] [--out PATH]\n       experiments serve [--seed N] [--quick] [--out PATH]\n       experiments trace [--seed N] [--quick] [--out PATH] [--trace-out PATH]\n       experiments audit TRANSCRIPT"
         );
         return;
     }
@@ -223,6 +343,12 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("serve") {
         run_serve_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        run_trace_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("audit") {
+        run_audit_command(&args[1..]);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");
@@ -243,60 +369,60 @@ fn main() {
     let run_all = selected.is_empty() || selected.contains(&"all");
     let want = |name: &str| run_all || selected.contains(&name);
 
-    eprintln!(
+    status!(
         "# MVTEE experiments ({} scale, models: {:?}, {} batches/stream)",
         if quick { "test" } else { "bench" },
         settings.models.iter().map(|m| m.display_name()).collect::<Vec<_>>(),
         settings.batches,
     );
-    eprintln!("# methodology: measured component costs composed by a calibrated pipeline model;");
-    eprintln!("# Table 1 and the security experiments run the real threaded system.\n");
+    status!("# methodology: measured component costs composed by a calibrated pipeline model;");
+    status!("# Table 1 and the security experiments run the real threaded system.\n");
 
     let mut tables: Vec<Table> = Vec::new();
     if want("fig9") {
-        eprintln!("running fig9 …");
+        status!("running fig9 …");
         tables.push(fig9(&settings));
     }
     if want("fig10") {
-        eprintln!("running fig10 …");
+        status!("running fig10 …");
         tables.push(fig10(&settings));
     }
     if want("fig11") {
-        eprintln!("running fig11 …");
+        status!("running fig11 …");
         tables.push(fig11(&settings));
     }
     if want("fig12") {
-        eprintln!("running fig12 …");
+        status!("running fig12 …");
         tables.push(fig12(&settings));
     }
     if want("fig13") {
-        eprintln!("running fig13 …");
+        status!("running fig13 …");
         tables.push(fig13(&settings));
     }
     if want("fig14") {
-        eprintln!("running fig14 …");
+        status!("running fig14 …");
         tables.push(fig14(&settings));
     }
     if want("table1") {
-        eprintln!("running table1 …");
+        status!("running table1 …");
         tables.push(table1(&settings));
     }
     if want("security") {
-        eprintln!("running security …");
+        status!("running security …");
         tables.push(security_faults(&settings));
     }
     if want("ablation") {
-        eprintln!("running ablations …");
+        status!("running ablations …");
         tables.push(ablation_weight_fn(&settings));
         tables.push(ablation_metric(&settings));
     }
     for t in &tables {
         if markdown {
-            println!("{}", t.render_markdown());
+            report!("{}", t.render_markdown());
         } else {
-            println!("{}", t.render());
+            report!("{}", t.render());
         }
     }
     // What the instrumented pipeline recorded while the experiments ran.
-    println!("{}", telemetry_report());
+    status!("{}", telemetry_report());
 }

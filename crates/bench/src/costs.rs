@@ -183,7 +183,7 @@ pub fn measure_with_baseline(
         let inputs = &stage_inputs[p];
 
         // Real payload bytes.
-        let in_payload = encode(&StageRequest::Input { batch: 0, tensors: inputs.clone() })
+        let in_payload = encode(&StageRequest::Input { batch: 0, trace: (0, 0), tensors: inputs.clone() })
             .expect("payload encodes");
 
         let mut variant_compute = Vec::with_capacity(specs.len());
@@ -201,6 +201,7 @@ pub fn measure_with_baseline(
             outputs_per_variant.push(prepared.run(inputs).expect("bundle runs"));
         }
         let out_payload = encode(&StageRequest::Input {
+            trace: (0, 0),
             batch: 0,
             tensors: outputs_per_variant[0].clone(),
         })

@@ -628,6 +628,8 @@ pub fn telemetry_report() -> String {
     // ever shed" must appear as explicit zeros, not as missing rows.
     mvtee_runtime::register_runtime_metrics();
     mvtee_serve::register_serve_metrics();
+    mvtee_telemetry::trace::register_trace_metrics();
+    mvtee::transcript::register_audit_metrics();
     mvtee_telemetry::snapshot().render()
 }
 

@@ -34,3 +34,15 @@ pub mod perf;
 pub mod serve;
 pub mod sim;
 pub mod table;
+pub mod trace;
+
+/// The metadata stamp every `BENCH_*`/`TRACE_*` JSON artifact carries —
+/// schema version, master seed, run-configuration fingerprint, and the
+/// host's thread count — rendered as one `"meta"` member line.
+pub fn meta_json_line(schema: &str, seed: u64, fingerprint: &str) -> String {
+    format!(
+        "  \"meta\": {{\"schema\": \"{schema}\", \"seed\": {seed}, \
+         \"fingerprint\": \"{fingerprint}\", \"threads\": {}}},\n",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    )
+}

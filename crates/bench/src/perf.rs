@@ -88,6 +88,10 @@ pub struct PerfCase {
 
 /// Everything the sweep produced.
 pub struct PerfReport {
+    /// The zoo-model seed of the sweep (`PERF_SEED`).
+    pub seed: u64,
+    /// Run-configuration fingerprint (models, scale, thread counts).
+    pub fingerprint: String,
     /// Thread counts swept.
     pub threads: Vec<usize>,
     /// Measured points, in sweep order.
@@ -140,6 +144,11 @@ impl PerfReport {
     /// Renders the machine-readable report (`BENCH_runtime.json`).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n  \"schema\": \"mvtee-bench-runtime-v1\",\n");
+        out.push_str(&crate::meta_json_line(
+            "mvtee-bench-runtime-v1",
+            self.seed,
+            &self.fingerprint,
+        ));
         out.push_str(&format!(
             "  \"threads\": [{}],\n",
             self.threads.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
@@ -327,6 +336,11 @@ pub fn run_perf(s: &PerfSettings) -> PerfReport {
     }
 
     PerfReport {
+        seed: PERF_SEED,
+        fingerprint: format!(
+            "models={:?};scale={:?};threads={:?};gemm={}",
+            s.models, s.scale, s.threads, s.gemm_dim
+        ),
         threads: s.threads.clone(),
         cases,
         mismatches,

@@ -112,6 +112,8 @@ impl ServeSettings {
 pub struct ServeReport {
     /// The master seed.
     pub seed: u64,
+    /// Run-configuration fingerprint (model, graph hash, panel shape).
+    pub fingerprint: String,
     /// Pool size.
     pub replicas: usize,
     /// Requests submitted (admitted + shed).
@@ -228,6 +230,11 @@ impl ServeReport {
             v.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
         };
         let mut out = String::from("{\n  \"schema\": \"mvtee-bench-serve-v1\",\n");
+        out.push_str(&crate::meta_json_line(
+            "mvtee-bench-serve-v1",
+            self.seed,
+            &self.fingerprint,
+        ));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"replicas\": {},\n", self.replicas));
         out.push_str(&format!(
@@ -319,6 +326,13 @@ pub fn run_serve(s: &ServeSettings) -> ServeReport {
     // The serial single-request reference: a clean deployment of the
     // identical configuration answering each distinct input once.
     let model = zoo::build(s.model, s.profile, s.seed).expect("zoo model builds");
+    let fingerprint = format!(
+        "{}-{:016x}-p{}x{}",
+        model.kind.display_name(),
+        mvtee_runtime::graph_fingerprint(&model.graph),
+        PARTITIONS,
+        PANEL
+    );
     let inputs: Vec<Tensor> =
         (0..INPUT_PERIOD).map(|i| serve_input(s.seed, &model, i)).collect();
     let mut reference_dep = Deployment::builder(model)
@@ -514,6 +528,7 @@ pub fn run_serve(s: &ServeSettings) -> ServeReport {
     };
     ServeReport {
         seed: s.seed,
+        fingerprint,
         replicas: s.replicas,
         submitted: queue.submitted,
         completed,

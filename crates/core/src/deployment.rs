@@ -29,6 +29,7 @@ use crate::pipeline::{
     StageRuntime, VariantLink,
 };
 use crate::recovery::{spawn_recovery_manager, RecoveryContext, RecoveryRequest};
+use crate::transcript::TranscriptLog;
 use crate::variant_host::{spawn_variant, SealedVariantPayload, VariantHandle, VariantLaunch};
 use crate::{MvxError, Result};
 use crossbeam::channel::{unbounded, Sender};
@@ -38,6 +39,7 @@ use mvtee_crypto::sha256::sha256;
 use mvtee_crypto::x25519::EphemeralKeypair;
 use mvtee_crypto::{random_array, random_bytes};
 use mvtee_diversify::spec::spread_specs;
+use mvtee_telemetry::trace::TraceCtx;
 use mvtee_diversify::{VariantGenerator, VariantId, VariantSpec};
 use mvtee_faults::{flip_weight_bits, Attack, BitFlipFault, FrameFlip, LivenessFault};
 use mvtee_graph::zoo::Model;
@@ -777,6 +779,7 @@ pub struct Deployment {
     pool: Option<PartitionPool>,
     recovery_tx: Option<Sender<RecoveryRequest>>,
     recovery_manager: Option<JoinHandle<()>>,
+    transcript: TranscriptLog,
 }
 
 /// Per-stream timing statistics (used by the benchmark harness).
@@ -872,6 +875,7 @@ impl Deployment {
             pool: None,
             recovery_tx: None,
             recovery_manager: None,
+            transcript: TranscriptLog::new(),
         };
         deployment.launch_all()?;
         Ok(deployment)
@@ -1002,6 +1006,7 @@ impl Deployment {
                 needed_downstream: needed_suffix[p + 1].clone(),
                 slow: self.config.slow_path(p),
                 recovery: recovery_tx.clone(),
+                transcript: self.transcript.clone(),
             });
             metrics.push(claim.metric);
         }
@@ -1018,6 +1023,12 @@ impl Deployment {
     /// The audit event log.
     pub fn events(&self) -> &EventLog {
         &self.events
+    }
+
+    /// The Merkle-chainable checkpoint transcript: one entry per voted
+    /// verdict, shared with every stage coordinator.
+    pub fn transcript(&self) -> &TranscriptLog {
+        &self.transcript
     }
 
     /// The active configuration.
@@ -1073,13 +1084,16 @@ impl Deployment {
         Ok(())
     }
 
-    fn submit(&mut self, input: &mvtee_tensor::Tensor) -> Result<u64> {
+    fn submit(&mut self, input: &mvtee_tensor::Tensor, trace: TraceCtx) -> Result<u64> {
         let handles = self
             .handles
             .as_ref()
             .ok_or_else(|| MvxError::BadState("deployment is shut down".into()))?;
         let batch = self.next_batch;
         self.next_batch += 1;
+        // Locally submitted batches get a deterministic per-batch root so
+        // pipeline spans always chain to something.
+        let trace = if trace.is_none() { TraceCtx::for_batch(batch) } else { trace };
         let mut env = HashMap::new();
         env.insert(self.input_value, input.clone());
         handles
@@ -1089,6 +1103,7 @@ impl Deployment {
                 env,
                 poisoned: None,
                 submitted: Instant::now(),
+                trace,
             }))
             .map_err(|_| MvxError::Transport("pipeline input closed".into()))?;
         Ok(batch)
@@ -1131,7 +1146,7 @@ impl Deployment {
     /// Returns [`MvxError::DivergenceHalt`] (or a crash error) when a
     /// checkpoint halted this batch.
     pub fn infer(&mut self, input: &mvtee_tensor::Tensor) -> Result<mvtee_tensor::Tensor> {
-        let batch = self.submit(input)?;
+        let batch = self.submit(input, TraceCtx::NONE)?;
         let job = self.collect_batch(batch)?;
         self.job_output(job).map_err(|detail| MvxError::DivergenceHalt {
             partition: usize::MAX,
@@ -1150,7 +1165,38 @@ impl Deployment {
         let start = Instant::now();
         let mut first_batch = self.next_batch;
         for input in inputs {
-            let b = self.submit(input)?;
+            let b = self.submit(input, TraceCtx::NONE)?;
+            first_batch = first_batch.min(b);
+        }
+        self.collect_stream(first_batch, inputs.len(), start)
+    }
+
+    /// [`Deployment::infer_stream`] with a caller-provided trace context
+    /// per batch (e.g. the serving frontend's per-request roots), so
+    /// pipeline, runtime and channel spans chain back to the submitter.
+    /// `traces` must have one entry per input; pass [`TraceCtx::NONE`]
+    /// entries for untraced batches.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on infrastructure loss; per-batch failures are reported
+    /// inside [`StreamStats::outputs`].
+    pub fn infer_stream_traced(
+        &mut self,
+        inputs: &[mvtee_tensor::Tensor],
+        traces: &[TraceCtx],
+    ) -> Result<StreamStats> {
+        if inputs.len() != traces.len() {
+            return Err(MvxError::BadState(format!(
+                "infer_stream_traced: {} inputs but {} trace contexts",
+                inputs.len(),
+                traces.len()
+            )));
+        }
+        let start = Instant::now();
+        let mut first_batch = self.next_batch;
+        for (input, trace) in inputs.iter().zip(traces) {
+            let b = self.submit(input, *trace)?;
             first_batch = first_batch.min(b);
         }
         self.collect_stream(first_batch, inputs.len(), start)
@@ -1168,7 +1214,7 @@ impl Deployment {
         let mut latencies = Vec::with_capacity(inputs.len());
         for input in inputs {
             let t0 = Instant::now();
-            let batch = self.submit(input)?;
+            let batch = self.submit(input, TraceCtx::NONE)?;
             let job = self.collect_batch(batch)?;
             latencies.push(t0.elapsed());
             outputs.push(self.job_output(job));

@@ -205,34 +205,68 @@ impl EventLog {
 
     /// Appends an event, stamped with the offset from the log's epoch.
     /// Divergence-class events are mirrored onto the global telemetry
-    /// counters (`core.events.{divergence,crash,late_dissent}`).
+    /// counters (`core.events.{divergence,crash,late_dissent}`), emitted
+    /// as trace instants under the recording thread's ambient context,
+    /// and — for divergences, crashes and recovery outcomes — trigger a
+    /// flight-recorder dump so the causal chain into the incident is
+    /// preserved.
     pub fn record(&self, event: MonitorEvent) {
+        let mut trace_name: Option<&'static str> = None;
+        let mut dump = false;
         match &event {
             MonitorEvent::CheckpointPassed { .. } => {
                 mvtee_telemetry::counter("core.events.checkpoint_pass").inc();
+                trace_name = Some("core.event.checkpoint_pass");
             }
             MonitorEvent::DivergenceDetected { .. } => {
                 mvtee_telemetry::counter("core.events.divergence").inc();
+                trace_name = Some("core.event.divergence");
+                dump = true;
             }
             MonitorEvent::VariantCrashed { .. } => {
                 mvtee_telemetry::counter("core.events.crash").inc();
+                trace_name = Some("core.event.crash");
+                dump = true;
             }
             MonitorEvent::LateDissent { .. } => {
                 mvtee_telemetry::counter("core.events.late_dissent").inc();
+                trace_name = Some("core.event.late_dissent");
+                dump = true;
             }
             MonitorEvent::Quarantined { .. } => {
                 mvtee_telemetry::counter("core.recovery.quarantined").inc();
+                trace_name = Some("core.event.quarantined");
             }
             MonitorEvent::RecoveryStarted { .. } => {
                 mvtee_telemetry::counter("core.recovery.started").inc();
+                trace_name = Some("core.event.recovery_started");
             }
             MonitorEvent::Recovered { .. } => {
                 mvtee_telemetry::counter("core.recovery.recovered").inc();
+                trace_name = Some("core.event.recovered");
+                dump = true;
             }
             MonitorEvent::RecoveryFailed { .. } => {
                 mvtee_telemetry::counter("core.recovery.failed").inc();
+                trace_name = Some("core.event.recovery_failed");
+                dump = true;
             }
             _ => {}
+        }
+        let tracer = mvtee_telemetry::trace::recorder();
+        if tracer.is_enabled() {
+            if let Some(name) = trace_name {
+                // The instant must land in the ring before a triggered
+                // dump snapshots it.
+                drop(
+                    tracer
+                        .instant(mvtee_telemetry::trace::current(), name, "events")
+                        .arg("detail", &event),
+                );
+            }
+            if dump {
+                tracer.dump(&format!("monitor event: {event}"));
+            }
         }
         let t = self.start.map(|s| s.elapsed().as_secs_f64()).unwrap_or(0.0);
         self.inner.lock().push((t, event));

@@ -57,6 +57,7 @@ pub mod link;
 pub mod messages;
 pub mod pipeline;
 pub mod recovery;
+pub mod transcript;
 pub mod variant_host;
 pub mod voting;
 
@@ -70,6 +71,10 @@ pub use deployment::{build_specs, select_partition_set, Deployment, DeploymentBu
 pub use error::MvxError;
 pub use events::{EventLog, MonitorEvent};
 pub use recovery::{RecoveryRequest, ResyncPoint};
+pub use transcript::{
+    verify_transcript, AuditError, AuditSummary, TranscriptEntry, TranscriptLog,
+    TranscriptVerdict,
+};
 pub use voting::Verdict;
 
 /// Crate-wide result alias.

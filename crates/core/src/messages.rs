@@ -83,6 +83,10 @@ pub enum StageRequest {
     Input {
         /// Monotone batch id.
         batch: u64,
+        /// Propagated trace context as a raw `(trace, span)` pair
+        /// (`(0, 0)` when tracing is off); see
+        /// [`mvtee_telemetry::trace::TraceCtx`].
+        trace: (u64, u64),
         /// Input tensors in the partition subgraph's input order.
         tensors: Vec<Tensor>,
     },
@@ -166,6 +170,7 @@ mod tests {
     fn stage_messages_round_trip() {
         let msg = StageRequest::Input {
             batch: 9,
+            trace: (0xfeed, 0xbeef),
             tensors: vec![Tensor::ones(&[2, 3]), Tensor::zeros(&[1])],
         };
         let bytes = encode(&msg).unwrap();

@@ -15,9 +15,11 @@ use crate::events::{EventLog, MonitorEvent};
 use crate::link::DataLink;
 use crate::messages::{decode, encode, StageRequest, StageResponse};
 use crate::recovery::{RecoveryRequest, ResyncPoint};
+use crate::transcript::{payload_digest, TranscriptEntry, TranscriptLog, TranscriptVerdict};
 use crate::voting::{evaluate, has_quorum, VariantOutput, Verdict};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use mvtee_graph::ValueId;
+use mvtee_telemetry::trace::{self, TraceCtx};
 use mvtee_tensor::metrics::Metric;
 use mvtee_tensor::Tensor;
 use std::collections::{HashMap, HashSet};
@@ -36,6 +38,9 @@ pub struct StageJob {
     pub poisoned: Option<String>,
     /// Submission timestamp (for latency accounting).
     pub submitted: Instant,
+    /// Trace context this batch runs under ([`TraceCtx::NONE`] when the
+    /// caller did not start a trace).
+    pub trace: TraceCtx,
 }
 
 /// Events from the per-variant receiver threads, merged into one queue.
@@ -112,6 +117,9 @@ pub struct StageRuntime {
     /// recover (quarantined variants are dropped for good, the historical
     /// behaviour).
     pub recovery: Option<Sender<RecoveryRequest>>,
+    /// Shared audit transcript; every voted checkpoint verdict appends
+    /// one Merkle-chained entry.
+    pub transcript: TranscriptLog,
 }
 
 /// Per-stage copy of the execution-relevant configuration.
@@ -273,6 +281,11 @@ pub fn run_stage(
         mvtee_telemetry::gauge(&format!("core.pipeline.p{partition}.queue_depth"));
     let fast_path = mvtee_telemetry::counter("core.voting.fast_path");
     let slow_path = mvtee_telemetry::counter("core.voting.slow_path");
+    // Trace names formatted once; a disabled recorder then costs one
+    // relaxed load per batch.
+    let tracer = trace::recorder();
+    let ck_span_name = format!("core.p{partition}.checkpoint");
+    let ck_track = format!("p{partition}");
 
     'jobs: while let Ok(msg) = in_rx.recv() {
         let mut job = match msg {
@@ -280,6 +293,9 @@ pub fn run_stage(
             CoordMsg::Job(job) => job,
         };
         queue_depth.set(in_rx.len() as i64);
+        // Events drained or recorded from here on belong to this batch's
+        // causal chain.
+        trace::set_current(job.trace);
 
         // Drain events that arrived between batches — recovered variants
         // rejoining, stragglers' late answers, disconnects — before this
@@ -413,11 +429,18 @@ pub fn run_stage(
         // Dispatch to all live variants. The checkpoint latency covers
         // dispatch through selection (the paper's per-partition cost).
         let checkpoint_timer = checkpoint_latency.start();
+        let ck_span = tracer
+            .span(job.trace, &ck_span_name, &ck_track)
+            .arg("batch", job.batch)
+            .arg("live", live_now);
+        let ck_ctx = ck_span.ctx();
+        trace::set_current(ck_ctx);
         // The dispatched inputs are retained (only when recovery is on)
         // so a verified checkpoint can become a resynchronisation point.
         let resync_inputs: Option<Vec<Tensor>> =
             runtime.recovery.as_ref().map(|_| tensors.clone());
-        let request = StageRequest::Input { batch: job.batch, tensors };
+        let request =
+            StageRequest::Input { batch: job.batch, trace: ck_ctx.as_pair(), tensors };
         let frame = match encode(&request) {
             Ok(f) => f,
             Err(e) => {
@@ -571,6 +594,15 @@ pub fn run_stage(
                                 "variants {dissenting:?} dissented at quorum on batch {}",
                                 job.batch
                             ));
+                            runtime.transcript.record(TranscriptEntry {
+                                partition,
+                                batch: job.batch,
+                                epoch: epochs.iter().sum(),
+                                verdict: TranscriptVerdict::Diverged {
+                                    dissenting: dissenting.clone(),
+                                },
+                                payload_digest: payload_digest(&q),
+                            });
                         } else {
                             // Quorum with no dissent among the arrived
                             // outputs: the checkpoint evaluated and passed
@@ -579,6 +611,15 @@ pub fn run_stage(
                                 partition,
                                 batch: job.batch,
                                 agreeing: arrived_ids.len() - dissenting.len(),
+                            });
+                            runtime.transcript.record(TranscriptEntry {
+                                partition,
+                                batch: job.batch,
+                                epoch: epochs.iter().sum(),
+                                verdict: TranscriptVerdict::Pass {
+                                    agreeing: arrived_ids.len() - dissenting.len(),
+                                },
+                                payload_digest: payload_digest(&q),
                             });
                         }
                         // Remember the stragglers for late cross-validation.
@@ -710,6 +751,13 @@ pub fn run_stage(
                             batch: job.batch,
                             agreeing: agreeing.len(),
                         });
+                        runtime.transcript.record(TranscriptEntry {
+                            partition,
+                            batch: job.batch,
+                            epoch: epochs.iter().sum(),
+                            verdict: TranscriptVerdict::Pass { agreeing: agreeing.len() },
+                            payload_digest: payload_digest(&s),
+                        });
                         if let Some(inputs) = &resync_inputs {
                             last_verified = Some(ResyncPoint {
                                 batch: job.batch,
@@ -727,6 +775,18 @@ pub fn run_stage(
                             batch: job.batch,
                             dissenting: dissenting_variants.clone(),
                             detail: detail.clone(),
+                        });
+                        runtime.transcript.record(TranscriptEntry {
+                            partition,
+                            batch: job.batch,
+                            epoch: epochs.iter().sum(),
+                            verdict: TranscriptVerdict::Diverged {
+                                dissenting: dissenting_variants.clone(),
+                            },
+                            payload_digest: majority
+                                .as_deref()
+                                .map(payload_digest)
+                                .unwrap_or([0u8; 32]),
                         });
                         // Divergent (not merely crashed) variants are
                         // quarantined for re-provisioning when a recovery
@@ -1143,7 +1203,7 @@ mod tests {
                 let Ok(msg) = decode::<StageRequest>(&frame) else { break };
                 match msg {
                     StageRequest::Shutdown => break,
-                    StageRequest::Input { batch, tensors } => {
+                    StageRequest::Input { batch, tensors, .. } => {
                         let resp = match behaviour {
                             Behaviour::Echo => StageResponse::Output { batch, tensors },
                             Behaviour::Corrupt(delta) => StageResponse::Output {
@@ -1203,6 +1263,7 @@ mod tests {
             needed_downstream: needed,
             slow,
             recovery: None,
+            transcript: TranscriptLog::new(),
         }
     }
 
@@ -1212,7 +1273,7 @@ mod tests {
             ValueId(0),
             Tensor::from_vec(vec![value; 4], &[4]).expect("static shape"),
         );
-        StageJob { batch, env, poisoned: None, submitted: Instant::now() }
+        StageJob { batch, env, poisoned: None, submitted: Instant::now(), trace: TraceCtx::NONE }
     }
 
     fn policy(exec: ExecMode, response: ResponsePolicy) -> StagePolicy {
@@ -1357,7 +1418,7 @@ mod tests {
                 let Ok(msg) = decode::<StageRequest>(&frame) else { break };
                 match msg {
                     StageRequest::Shutdown => break,
-                    StageRequest::Input { batch, tensors } => {
+                    StageRequest::Input { batch, tensors, .. } => {
                         std::thread::sleep(Duration::from_millis(150));
                         let resp = StageResponse::Output {
                             batch,
@@ -1393,6 +1454,7 @@ mod tests {
             needed_downstream: needed,
             slow: true,
             recovery: None,
+            transcript: TranscriptLog::new(),
         };
         let p = StagePolicy {
             voting: VotingPolicy::Majority,
@@ -1499,6 +1561,7 @@ mod tests {
             env: HashMap::new(), // ValueId(0) missing
             poisoned: None,
             submitted: Instant::now(),
+            trace: TraceCtx::NONE,
         };
         let (results, _, _) =
             drive(runtime, policy(ExecMode::Sync, ResponsePolicy::Halt), vec![j]);
@@ -1525,6 +1588,7 @@ mod tests {
             needed_downstream: needed,
             slow: false,
             recovery: None,
+            transcript: TranscriptLog::new(),
         };
         let handles = spawn_pipeline(
             vec![s0, s1],

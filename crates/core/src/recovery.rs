@@ -126,6 +126,19 @@ pub(crate) fn spawn_recovery_manager(
                 mvtee_telemetry::histogram("core.recovery.time_to_recovery_ns");
             while let Ok(req) = requests.recv() {
                 let started = Instant::now();
+                // Recovery work forms its own trace keyed by the
+                // quarantined variant's coordinates and channel epoch;
+                // probation replay spans nest under it via the ambient
+                // context.
+                let tracer = mvtee_telemetry::trace::recorder();
+                let recovery_ctx =
+                    mvtee_telemetry::trace::TraceCtx::for_recovery(req.partition, req.variant, req.epoch);
+                let recovery_span = tracer
+                    .span(recovery_ctx, "core.recovery", "recovery")
+                    .arg("partition", req.partition)
+                    .arg("variant", req.variant)
+                    .arg("epoch", req.epoch);
+                mvtee_telemetry::trace::set_current(recovery_span.ctx());
                 let attempts_allowed = ctx.policy.max_retries.saturating_add(1);
                 let mut last_err = req.reason.clone();
                 let mut recovered = false;
@@ -148,6 +161,7 @@ pub(crate) fn spawn_recovery_manager(
                         Err(e) => last_err = e.to_string(),
                     }
                 }
+                drop(recovery_span);
                 if recovered {
                     time_to_recovery.record_duration(started.elapsed());
                     ctx.events.record(MonitorEvent::Recovered {
@@ -262,6 +276,7 @@ fn provision(
     if let Some(resync) = &req.resync {
         tx.send(&encode(&StageRequest::Input {
             batch: resync.batch,
+            trace: mvtee_telemetry::trace::current().as_pair(),
             tensors: resync.inputs.clone(),
         })?)
         .map_err(|e| MvxError::Transport(e.to_string()))?;

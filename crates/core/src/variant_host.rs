@@ -251,6 +251,10 @@ fn variant_main(launch: VariantLaunch) -> Result<()> {
     );
     // (recv errors mean the monitor is gone: stop serving.)
     let batches_served = mvtee_telemetry::counter("core.variant_host.batches_served");
+    let tracer = mvtee_telemetry::trace::recorder();
+    let run_span_name =
+        format!("core.p{}v{}.variant_run", launch.partition, launch.variant_index);
+    let run_track = format!("p{}v{}", launch.partition, launch.variant_index);
     loop {
         // Every data-plane read/write passes the TEE OS syscall policy —
         // a main-variant manifest that forbids reads would stop serving.
@@ -258,7 +262,16 @@ fn variant_main(launch: VariantLaunch) -> Result<()> {
         let Ok(frame) = rx.recv() else { break };
         match decode::<StageRequest>(&frame)? {
             StageRequest::Shutdown => break,
-            StageRequest::Input { batch, tensors } => {
+            StageRequest::Input { batch, trace, tensors } => {
+                // The coordinator's checkpoint span arrives on the wire;
+                // runtime op spans and channel instants on this thread
+                // parent under the variant-run span.
+                let ctx = mvtee_telemetry::trace::TraceCtx::from_pair(trace);
+                let run_span = tracer
+                    .span(ctx, &run_span_name, &run_track)
+                    .arg("batch", batch)
+                    .arg("variant_id", release.variant_id);
+                mvtee_telemetry::trace::set_current(run_span.ctx());
                 if let Some(fault) = &launch.liveness {
                     // A hung variant's "process" is alive and its channel
                     // open — it keeps consuming requests but never

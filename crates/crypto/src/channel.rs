@@ -254,6 +254,16 @@ impl<T: FrameTransport> SecureChannel<T> {
         frame.extend_from_slice(&sealed);
         self.bytes_sent += payload.len() as u64;
         self.telemetry.bytes_out.add(payload.len() as u64);
+        let tracer = mvtee_telemetry::trace::recorder();
+        if tracer.is_enabled() {
+            drop(
+                tracer
+                    .instant(mvtee_telemetry::trace::current(), "crypto.send", "crypto")
+                    .arg("channel", self.channel_id)
+                    .arg("seq", seq)
+                    .arg("bytes", payload.len()),
+            );
+        }
         self.transport.send_frame(frame)
     }
 
@@ -284,6 +294,16 @@ impl<T: FrameTransport> SecureChannel<T> {
                 open_timer.finish();
                 self.recv_seq += 1;
                 self.telemetry.bytes_in.add(payload.len() as u64);
+                let tracer = mvtee_telemetry::trace::recorder();
+                if tracer.is_enabled() {
+                    drop(
+                        tracer
+                            .instant(mvtee_telemetry::trace::current(), "crypto.recv", "crypto")
+                            .arg("channel", self.channel_id)
+                            .arg("seq", seq)
+                            .arg("bytes", payload.len()),
+                    );
+                }
                 Ok(payload)
             }
             Err(e) => {

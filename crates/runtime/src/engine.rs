@@ -416,6 +416,24 @@ impl PreparedModel for Interpreter {
                     })?;
                 in_refs.push(t);
             }
+            let tracer = mvtee_telemetry::trace::recorder();
+            let _op_trace = if tracer.is_enabled() {
+                // One span per op under the ambient (variant-run) span,
+                // annotated with shape and the intra-op thread count.
+                let shape = in_refs
+                    .first()
+                    .map(|t| format!("{:?}", t.dims()))
+                    .unwrap_or_default();
+                Some(
+                    tracer
+                        .span(mvtee_telemetry::trace::current(), "runtime.op", "runtime")
+                        .arg("node", &node.name)
+                        .arg("shape", shape)
+                        .arg("threads", self.config.intra_op_threads),
+                )
+            } else {
+                None
+            };
             let out = {
                 let _op_span = self.op_latency.start();
                 self.compute(node, &in_refs)

@@ -196,6 +196,7 @@ mod tests {
                 input: Tensor::zeros(&[1]),
                 submitted: now,
                 deadline: now + deadline,
+                trace: mvtee_telemetry::trace::TraceCtx::for_request(id),
                 respond: tx,
             },
             rx,

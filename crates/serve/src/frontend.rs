@@ -8,6 +8,7 @@ use crate::queue::{AdmissionQueue, QueueStats, ShedReason};
 use crate::request::{InferRequest, RequestOutcome, Ticket};
 use crossbeam::channel::bounded;
 use mvtee::EventLog;
+use mvtee_telemetry::trace::TraceCtx;
 use mvtee_tensor::Tensor;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,6 +61,15 @@ impl ServeHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
         let now = Instant::now();
+        let trace = TraceCtx::for_request(id);
+        let tracer = mvtee_telemetry::trace::recorder();
+        if tracer.is_enabled() {
+            tracer
+                .instant(trace, "serve.submit", "serve")
+                .arg("id", id)
+                .arg("tenant", tenant)
+                .arg("model_key", model_key);
+        }
         let req = InferRequest {
             id,
             tenant: tenant.to_string(),
@@ -67,6 +77,7 @@ impl ServeHandle {
             input,
             submitted: now,
             deadline: now + deadline,
+            trace,
             respond: tx,
         };
         match self.queue.offer(req) {
@@ -232,6 +243,15 @@ fn dispatch(
     }
     batches_total.inc();
     batch_size.record(live.len() as u64);
+    let tracer = mvtee_telemetry::trace::recorder();
+    if tracer.is_enabled() {
+        for req in &live {
+            tracer
+                .instant(req.trace, "serve.dispatch", "serve")
+                .arg("id", req.id)
+                .arg("batch_size", live.len());
+        }
+    }
     let pool = pools.get(&key).expect("dispatch only for known keys");
     if let Err(returned) = pool.submit(crate::batcher::MicroBatch {
         key,

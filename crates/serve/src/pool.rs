@@ -105,7 +105,9 @@ impl ReplicaPool {
                     let size = batch.len() as i64;
                     let inputs: Vec<mvtee_tensor::Tensor> =
                         batch.requests.iter().map(|r| r.input.clone()).collect();
-                    let result = deployment.infer_stream(&inputs);
+                    let traces: Vec<mvtee_telemetry::trace::TraceCtx> =
+                        batch.requests.iter().map(|r| r.trace).collect();
+                    let result = deployment.infer_stream_traced(&inputs, &traces);
                     match result {
                         Ok(stats) => {
                             for (req, out) in

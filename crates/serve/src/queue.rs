@@ -103,6 +103,7 @@ impl AdmissionQueue {
             inner.stats.shed_queue_full += 1;
             mvtee_telemetry::counter("serve.shed_total").inc();
             mvtee_telemetry::counter("serve.shed_queue_full").inc();
+            shed_trace(&req, "queue_full");
             return Err((req, ShedReason::QueueFull));
         }
         let tenant_load = inner.per_tenant.get(&req.tenant).copied().unwrap_or(0);
@@ -110,6 +111,7 @@ impl AdmissionQueue {
             inner.stats.shed_quota += 1;
             mvtee_telemetry::counter("serve.shed_total").inc();
             mvtee_telemetry::counter("serve.shed_quota").inc();
+            shed_trace(&req, "quota");
             return Err((req, ShedReason::Quota));
         }
         *inner.per_tenant.entry(req.tenant.clone()).or_insert(0) += 1;
@@ -180,6 +182,22 @@ impl AdmissionQueue {
     }
 }
 
+/// Records a shed as a trace instant and snapshots the flight recorder
+/// — a shed under load is exactly the moment the recent span history
+/// explains why the queue was full.
+fn shed_trace(req: &InferRequest, reason: &str) {
+    let tracer = mvtee_telemetry::trace::recorder();
+    if !tracer.is_enabled() {
+        return;
+    }
+    tracer
+        .instant(req.trace, "serve.shed", "serve")
+        .arg("id", req.id)
+        .arg("tenant", &req.tenant)
+        .arg("reason", reason);
+    tracer.dump(&format!("serve shed: {reason}"));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +216,7 @@ mod tests {
                 input: Tensor::zeros(&[1]),
                 submitted: now,
                 deadline: now + Duration::from_secs(5),
+                trace: mvtee_telemetry::trace::TraceCtx::for_request(id),
                 respond: tx,
             },
             rx,

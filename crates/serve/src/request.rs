@@ -1,6 +1,7 @@
 //! Request/response envelopes for the serving frontend.
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use mvtee_telemetry::trace::TraceCtx;
 use mvtee_tensor::Tensor;
 use std::time::{Duration, Instant};
 
@@ -22,6 +23,9 @@ pub struct InferRequest {
     /// Absolute deadline; the dispatcher drops the request unserved
     /// once this passes (observable as `serve.expired_total`).
     pub deadline: Instant,
+    /// Root trace context for this request, derived deterministically
+    /// from `id`; propagated through batcher → pool → core pipeline.
+    pub trace: TraceCtx,
     /// Response channel back to the caller's ticket.
     pub(crate) respond: Sender<InferResponse>,
 }
@@ -31,6 +35,19 @@ impl InferRequest {
     /// (caller gave up) is not an error.
     pub(crate) fn resolve(self, replica: Option<usize>, outcome: RequestOutcome) {
         let latency = self.submitted.elapsed();
+        let tracer = mvtee_telemetry::trace::recorder();
+        if tracer.is_enabled() {
+            let outcome_tag = match &outcome {
+                RequestOutcome::Ok(_) => "ok",
+                RequestOutcome::Failed(_) => "failed",
+                RequestOutcome::Expired => "expired",
+            };
+            tracer
+                .complete(self.trace, "serve.request", "serve", self.submitted)
+                .arg("id", self.id)
+                .arg("tenant", &self.tenant)
+                .arg("outcome", outcome_tag);
+        }
         let _ = self.respond.send(InferResponse {
             id: self.id,
             tenant: self.tenant,

@@ -274,6 +274,38 @@ mod tests {
     }
 
     #[test]
+    fn rerender_is_byte_identical() {
+        // export -> parse -> re-render must be lossless down to the byte,
+        // independent of registration order.
+        let r = Registry::new();
+        r.gauge("z.depth").set(3);
+        r.counter("m.count").add(9);
+        r.histogram("a.latency_ns").record(1234);
+        r.counter("a.count").add(1);
+        let text = r.snapshot().to_jsonl();
+        let back = Snapshot::from_jsonl(&text).expect("parses");
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn export_order_is_deterministic() {
+        // Two registries fed the same metrics in different orders must
+        // export identical bytes: kinds grouped, names sorted within.
+        let a = Registry::new();
+        a.counter("b").inc();
+        a.counter("a").inc();
+        a.gauge("g2").set(1);
+        a.gauge("g1").set(1);
+        let b = Registry::new();
+        b.gauge("g1").set(1);
+        b.gauge("g2").set(1);
+        b.counter("a").inc();
+        b.counter("b").inc();
+        assert_eq!(a.snapshot().to_jsonl(), b.snapshot().to_jsonl());
+        assert_eq!(a.snapshot().to_jsonl().lines().count(), 4);
+    }
+
+    #[test]
     fn malformed_lines_are_rejected() {
         assert!(Snapshot::from_jsonl("{\"kind\":\"counter\"}").is_err());
         assert!(Snapshot::from_jsonl("not json").is_err());

@@ -13,7 +13,9 @@
 //!   record into,
 //! * scoped [`Span`] timers that record into a histogram on drop,
 //! * a point-in-time [`Snapshot`] with p50/p95/p99 summaries,
-//! * a JSONL exporter/importer and a human-readable report table.
+//! * a JSONL exporter/importer and a human-readable report table,
+//! * a [`trace`] module: trace/span contexts, a bounded flight
+//!   recorder, and a Chrome-trace exporter for per-request timelines.
 //!
 //! # Disabled mode
 //!
@@ -36,9 +38,11 @@ mod export;
 mod metrics;
 mod registry;
 mod report;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, Span};
 pub use registry::{HistogramSummary, Registry, Snapshot};
+pub use trace::{FlightDump, Recorder, SpanId, TraceCtx, TraceEvent, TraceId};
 
 use std::sync::OnceLock;
 

@@ -1,0 +1,71 @@
+//! Proves the trace layer's disabled-mode contract: with tracing off,
+//! every entry point (span open, instant, complete, arg annotation,
+//! flight dump, ambient-context reads) is a single relaxed atomic load
+//! plus trivial `Copy` moves — no clock reads and, asserted here, no
+//! allocator traffic. Kept as the only test in this binary so no
+//! parallel test can allocate during the measured window.
+
+use mvtee_telemetry::trace::{self, Recorder, TraceCtx};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the counter is a relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_trace_paths_do_not_allocate() {
+    // Force one-time initialisation (global recorder, thread-locals,
+    // thread shard assignment) outside the measured window.
+    let global = trace::recorder();
+    assert!(!global.is_enabled(), "tracing must start disabled");
+    let local = Recorder::new(16);
+    let ctx = TraceCtx::for_request(1);
+    trace::set_current(ctx);
+    let epoch = Instant::now();
+    {
+        let warm = local.span(ctx, "warm", "t");
+        drop(warm);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let g = global.span(ctx, "hot.span", "track").arg("i", i);
+        assert_eq!(g.ctx(), ctx); // inert guards pass the ctx through
+        drop(g);
+        drop(global.instant(ctx, "hot.instant", "track"));
+        drop(global.complete(ctx, "hot.complete", "track", epoch));
+        global.dump("never");
+        drop(local.span(trace::current(), "hot.local", "track"));
+        trace::set_current(ctx);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after, before, "disabled trace path allocated");
+
+    // And nothing was recorded anywhere.
+    assert!(global.snapshot().is_empty());
+    assert!(global.dumps().is_empty());
+    assert!(local.snapshot().is_empty());
+}

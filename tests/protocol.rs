@@ -160,7 +160,7 @@ proptest! {
             (0..n).map(|i| (i as f32) * 0.5 + seedval as f32).collect(),
             &dims,
         ).expect("consistent");
-        let msg = StageRequest::Input { batch, tensors: vec![tensor] };
+        let msg = StageRequest::Input { batch, trace: (0, 0), tensors: vec![tensor] };
         let bytes = encode(&msg).expect("encodes");
         prop_assert_eq!(decode::<StageRequest>(&bytes).expect("decodes"), msg);
     }

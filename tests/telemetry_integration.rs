@@ -79,7 +79,7 @@ fn spawn_model_variant(prepared: Box<dyn PreparedModel>) -> (DataLink, DataLink)
             let Ok(msg) = decode::<StageRequest>(&frame) else { break };
             match msg {
                 StageRequest::Shutdown => break,
-                StageRequest::Input { batch, tensors } => {
+                StageRequest::Input { batch, tensors, .. } => {
                     let resp = match prepared.run(&tensors) {
                         Ok(outputs) => StageResponse::Output { batch, tensors: outputs },
                         Err(e) => StageResponse::Crashed { batch, reason: e.to_string() },
@@ -144,6 +144,7 @@ fn bitflip_divergence_increments_counter_exactly_once() {
         needed_downstream: HashSet::from([output_id]),
         slow: true,
         recovery: None,
+        transcript: mvtee::transcript::TranscriptLog::new(),
     };
     let policy = StagePolicy {
         exec: ExecMode::Sync,
@@ -169,7 +170,7 @@ fn bitflip_divergence_increments_counter_exactly_once() {
     let mut env = HashMap::new();
     env.insert(*runtime_input_id(&model), input);
     in_tx
-        .send(CoordMsg::Job(StageJob { batch: 0, env, poisoned: None, submitted: Instant::now() }))
+        .send(CoordMsg::Job(StageJob { batch: 0, env, poisoned: None, submitted: Instant::now(), trace: mvtee_telemetry::trace::TraceCtx::NONE }))
         .expect("sends");
     let result = out_rx
         .recv_timeout(std::time::Duration::from_secs(30))
