@@ -8,6 +8,7 @@
 //! experiments perf [--quick] [--out PATH]
 //! experiments serve [--seed N] [--quick] [--out PATH]
 //! experiments trace [--seed N] [--quick] [--out PATH] [--trace-out PATH]
+//! experiments dist [--seed N] [--quick] [--out PATH]
 //! experiments audit TRANSCRIPT
 //! ```
 //!
@@ -57,10 +58,21 @@
 //! `AUDIT_transcript.jsonl`) and the Chrome-trace timeline
 //! (`--trace-out`, default `TRACE_run.json`).
 //!
+//! The `dist` subcommand runs the distributed-MVX experiment: the same
+//! panel all-in-process and with two variants hosted by real
+//! `mvtee-variantd` worker processes over attested loopback TCP (the
+//! workspace must be built so the worker binary exists, or
+//! `MVTEE_VARIANTD` must point at it). It writes `BENCH_dist.json`
+//! (per-batch wire bytes, round-trip p50/p95, heal-after-kill latency)
+//! and exits non-zero on any byte mismatch between placements, any lost
+//! batch after a worker kill, or a panel that fails to heal to full
+//! strength.
+//!
 //! The `audit` subcommand replays a transcript's hash chain and exits
 //! non-zero on any tamper or gap.
 
 use mvtee_bench::chaos::{run_chaos, ChaosConfig};
+use mvtee_bench::dist::{run_dist, DistSettings};
 use mvtee_bench::experiments::{
     ablation_metric, ablation_weight_fn, fig10, fig11, fig12, fig13, fig14, fig9,
     security_faults, table1, telemetry_report, Settings,
@@ -282,6 +294,39 @@ fn run_trace_command(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// The `dist` subcommand: runs the distributed-MVX conformance and heal
+/// experiment, writes the JSON report and exits non-zero on any byte
+/// mismatch across placements, lost batch, or failed heal.
+fn run_dist_command(args: &[String]) -> ! {
+    let seed = flag_value(args, "--seed", 7);
+    let settings = if args.iter().any(|a| a == "--quick") {
+        DistSettings::quick(seed)
+    } else {
+        DistSettings::full(seed)
+    };
+    let out_path = flag_path(args, "--out", "BENCH_dist.json");
+    status!(
+        "# running distributed-MVX experiment (seed={seed}, batches={}, 2 worker processes + kill/heal probe) …",
+        settings.batches
+    );
+    let report = run_dist(&settings);
+    status!("{}", report.render_text());
+    if let Err(e) = std::fs::write(&out_path, report.render_json()) {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    status!("# wrote {out_path}");
+    status!("{}", telemetry_report());
+    let failures = report.gate_failures();
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("error: {f}");
+        }
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 /// The `audit` subcommand: replays a transcript's hash chain; exits
 /// non-zero on any tamper or gap.
 fn run_audit_command(args: &[String]) -> ! {
@@ -328,7 +373,7 @@ fn main() {
     QUIET.store(args.iter().any(|a| a == "--quiet"), Ordering::Relaxed);
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments [--quick] [--markdown] [--quiet] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]\n       experiments campaign [--seed N] [--count N] [--no-shrink]\n       experiments chaos [--seed N] [--scenarios N] [--quick]\n       experiments perf [--quick] [--out PATH]\n       experiments serve [--seed N] [--quick] [--out PATH]\n       experiments trace [--seed N] [--quick] [--out PATH] [--trace-out PATH]\n       experiments audit TRANSCRIPT"
+            "usage: experiments [--quick] [--markdown] [--quiet] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]\n       experiments campaign [--seed N] [--count N] [--no-shrink]\n       experiments chaos [--seed N] [--scenarios N] [--quick]\n       experiments perf [--quick] [--out PATH]\n       experiments serve [--seed N] [--quick] [--out PATH]\n       experiments trace [--seed N] [--quick] [--out PATH] [--trace-out PATH]\n       experiments dist [--seed N] [--quick] [--out PATH]\n       experiments audit TRANSCRIPT"
         );
         return;
     }
@@ -346,6 +391,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("trace") {
         run_trace_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("dist") {
+        run_dist_command(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("audit") {
         run_audit_command(&args[1..]);

@@ -29,6 +29,7 @@
 
 pub mod chaos;
 pub mod costs;
+pub mod dist;
 pub mod experiments;
 pub mod perf;
 pub mod serve;

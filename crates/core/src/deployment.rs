@@ -30,10 +30,11 @@ use crate::pipeline::{
 };
 use crate::recovery::{spawn_recovery_manager, RecoveryContext, RecoveryRequest};
 use crate::transcript::TranscriptLog;
-use crate::variant_host::{spawn_variant, SealedVariantPayload, VariantHandle, VariantLaunch};
+use crate::variant_host::{SealedVariantPayload, VariantHandle};
+use crate::worker::{place_variant, HostFaults, VariantPlacement};
 use crate::{MvxError, Result};
 use crossbeam::channel::{unbounded, Sender};
-use mvtee_crypto::channel::{memory_pair, FrameTransport, MemoryTransport, Role};
+use mvtee_crypto::channel::{FrameTransport, Role};
 use mvtee_crypto::gcm::AesGcm;
 use mvtee_crypto::sha256::sha256;
 use mvtee_crypto::x25519::EphemeralKeypair;
@@ -51,6 +52,7 @@ use mvtee_tee::{
     ProtectedFs, TeeKind,
 };
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -315,7 +317,7 @@ pub(crate) fn bootstrap_variant(
     variant: usize,
     artifact: &VariantArtifact,
     tee_kind: TeeKind,
-    transport: &MemoryTransport,
+    transport: &dyn FrameTransport,
 ) -> Result<[u8; 32]> {
     // Challenge with a fresh nonce (anti-replay).
     let mut nonce = [0u8; 32];
@@ -481,6 +483,8 @@ pub struct DeploymentBuilder {
     tee_kind_default: TeeKind,
     pool_config: Option<PoolConfig>,
     slow_tvm_partitions: Vec<usize>,
+    placements: HashMap<(usize, usize), VariantPlacement>,
+    worker_bin: Option<PathBuf>,
 }
 
 impl DeploymentBuilder {
@@ -497,6 +501,8 @@ impl DeploymentBuilder {
             tee_kind_default: TeeKind::Sgx,
             pool_config: None,
             slow_tvm_partitions: Vec::new(),
+            placements: HashMap::new(),
+            worker_bin: None,
         }
     }
 
@@ -648,6 +654,24 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Places one variant out-of-process: it runs as a spawned
+    /// `mvtee-variantd` OS process connected over multiplexed loopback
+    /// TCP instead of an in-process thread. Bootstrap, encryption and the
+    /// wire format are identical either way (the distributed-MVX
+    /// conformance property).
+    pub fn out_of_process(mut self, partition: usize, variant: usize) -> Self {
+        self.placements.insert((partition, variant), VariantPlacement::OutOfProcess);
+        self
+    }
+
+    /// Overrides the `mvtee-variantd` binary path for out-of-process
+    /// variants (defaults to the `MVTEE_VARIANTD` environment variable,
+    /// then a search next to the current executable).
+    pub fn worker_binary(mut self, path: impl Into<PathBuf>) -> Self {
+        self.worker_bin = Some(path.into());
+        self
+    }
+
     /// Builds the offline partition-set pool first and selects from it
     /// (full updates then reshuffle within the pool, as in §4.3). The pool
     /// config's targets must include the deployment's partition count.
@@ -697,6 +721,8 @@ impl DeploymentBuilder {
             self.frameflip,
             self.liveness_faults,
             self.tee_kind_default,
+            self.placements,
+            self.worker_bin,
         )?;
         deployment.pool = pool;
         Ok(deployment)
@@ -776,6 +802,8 @@ pub struct Deployment {
     frameflip: Option<FrameFlip>,
     liveness_faults: HashMap<(usize, usize), LivenessFault>,
     tee_kind_default: TeeKind,
+    placements: HashMap<(usize, usize), VariantPlacement>,
+    worker_bin: Option<PathBuf>,
     pool: Option<PartitionPool>,
     recovery_tx: Option<Sender<RecoveryRequest>>,
     recovery_manager: Option<JoinHandle<()>>,
@@ -832,6 +860,8 @@ impl Deployment {
         frameflip: Option<FrameFlip>,
         liveness_faults: HashMap<(usize, usize), LivenessFault>,
         tee_kind_default: TeeKind,
+        placements: HashMap<(usize, usize), VariantPlacement>,
+        worker_bin: Option<PathBuf>,
     ) -> Result<Deployment> {
         let platform = Platform::new();
         let monitor = Enclave::launch(
@@ -872,6 +902,8 @@ impl Deployment {
             frameflip,
             liveness_faults,
             tee_kind_default,
+            placements,
+            worker_bin,
             pool: None,
             recovery_tx: None,
             recovery_manager: None,
@@ -919,6 +951,8 @@ impl Deployment {
                 attack: self.attack,
                 frameflip: self.frameflip.clone(),
                 tee_kind_default: self.tee_kind_default,
+                placements: self.placements.clone(),
+                worker_bin: self.worker_bin.clone(),
                 bindings: self.bindings.clone(),
                 generation: self.generation,
                 events: self.events.clone(),
@@ -951,42 +985,40 @@ impl Deployment {
                 } else {
                     self.tee_kind_default
                 };
-                let (boot_monitor, boot_variant) = memory_pair();
-                let (req_monitor, req_variant) = memory_pair();
-                let (resp_variant, resp_monitor) = memory_pair();
-                let launch = VariantLaunch {
-                    partition: p,
-                    variant_index: v,
+                let placement =
+                    self.placements.get(&(p, v)).copied().unwrap_or_default();
+                let placed = place_variant(
+                    placement,
+                    self.worker_bin.as_deref(),
+                    p,
+                    v,
                     tee_kind,
-                    platform: self.platform.clone(),
-                    init_code: self.offline.init_code.clone(),
-                    init_manifest: artifact.init_manifest.clone(),
-                    bundle_path: artifact.bundle_path.clone(),
-                    sealed_blob: artifact.sealed.clone(),
-                    encrypt: self.config.encrypt,
-                    attack: self.attack,
-                    frameflip: self.frameflip.clone(),
-                    liveness: self.liveness_faults.get(&(p, v)).cloned(),
-                    bootstrap: boot_variant,
-                    request: req_variant,
-                    response: resp_variant,
-                };
-                self.variant_threads.push(spawn_variant(launch));
+                    &self.platform,
+                    &self.offline.init_code,
+                    &artifact,
+                    self.config.encrypt,
+                    HostFaults {
+                        attack: self.attack,
+                        frameflip: self.frameflip.clone(),
+                        liveness: self.liveness_faults.get(&(p, v)).cloned(),
+                    },
+                )?;
+                self.variant_threads.push(placed.handle);
 
                 let bootstrap_timer =
                     mvtee_telemetry::histogram("core.deployment.bootstrap_ns").start();
                 let session_secret =
-                    bootstrap_variant(&boot_ctx, p, v, &artifact, tee_kind, &boot_monitor)?;
+                    bootstrap_variant(&boot_ctx, p, v, &artifact, tee_kind, placed.boot.as_ref())?;
                 bootstrap_timer.finish();
                 let tx = DataLink::from_transport(
-                    req_monitor,
+                    placed.request,
                     self.config.encrypt,
                     &session_secret,
                     Role::Initiator,
                     0,
                 );
                 let rx = DataLink::from_transport(
-                    resp_monitor,
+                    placed.response,
                     self.config.encrypt,
                     &session_secret,
                     Role::Initiator,
@@ -1060,6 +1092,28 @@ impl Deployment {
     /// The append-only update log.
     pub fn update_log(&self) -> &[String] {
         &self.update_log
+    }
+
+    /// Process ids of the out-of-process variant hosts, keyed by
+    /// `(partition, variant)` — empty for an all-in-process deployment.
+    pub fn worker_pids(&self) -> Vec<((usize, usize), u32)> {
+        self.variant_threads
+            .iter()
+            .filter_map(|h| h.pid().map(|pid| ((h.partition, h.variant_index), pid)))
+            .collect()
+    }
+
+    /// Kills the out-of-process host of `(partition, variant)` — the
+    /// crash-fault injection of the distributed experiments. The monitor
+    /// observes the connection loss as a variant crash, quarantines the
+    /// variant, and (with recovery enabled) heals by respawning and
+    /// re-attesting a replacement worker. Returns `false` when the
+    /// variant is in-process or unknown.
+    pub fn kill_worker(&mut self, partition: usize, variant: usize) -> bool {
+        self.variant_threads
+            .iter_mut()
+            .find(|h| h.partition == partition && h.variant_index == variant && h.is_process())
+            .is_some_and(|h| h.kill())
     }
 
     /// Model-owner attestation of the monitor TEE (step ② of Fig 6): a

@@ -60,6 +60,7 @@ pub mod recovery;
 pub mod transcript;
 pub mod variant_host;
 pub mod voting;
+pub mod worker;
 
 mod error;
 
@@ -76,6 +77,7 @@ pub use transcript::{
     TranscriptVerdict,
 };
 pub use voting::Verdict;
+pub use worker::{run_worker, worker_binary, VariantPlacement, WorkerPlacement};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, MvxError>;

@@ -7,23 +7,32 @@
 //! deployment creates separate request and response links per variant so
 //! the stage coordinator and its receiver thread never share a cipher
 //! state.
+//!
+//! The transport underneath is dynamic: an in-memory pair for co-located
+//! variant threads, or a lane of a multiplexed TCP connection for a
+//! variant running as a separate OS process. The protection layer — and
+//! therefore every byte on the wire — is identical either way, which is
+//! what makes in-process and out-of-process panels conformance-testable
+//! against each other.
 
-use mvtee_crypto::channel::{memory_pair, FrameTransport, Handshake, MemoryTransport, Role, SecureChannel};
+use mvtee_crypto::channel::{memory_pair, FrameTransport, Handshake, Role, SecureChannel};
 use crate::Result;
 
 /// One endpoint of a protected (or deliberately unprotected) link.
 pub enum DataLink {
     /// AES-GCM-256 with sequence numbers. Boxed: the cipher state (round
     /// keys + GHASH tables) dwarfs the plaintext variant.
-    Encrypted(Box<SecureChannel<MemoryTransport>>),
+    Encrypted(Box<SecureChannel<Box<dyn FrameTransport>>>),
     /// Plaintext frames (overhead-measurement baseline only).
-    Plain(MemoryTransport),
+    Plain(Box<dyn FrameTransport>),
 }
 
 impl std::fmt::Debug for DataLink {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DataLink::Encrypted(c) => write!(f, "DataLink::Encrypted({c:?})"),
+            DataLink::Encrypted(c) => {
+                write!(f, "DataLink::Encrypted(id={})", c.channel_id())
+            }
             DataLink::Plain(_) => write!(f, "DataLink::Plain"),
         }
     }
@@ -60,23 +69,24 @@ impl DataLink {
     /// a session secret agreed during bootstrap. Both endpoints must use
     /// the same `channel_id` and opposite [`Role`]s.
     pub fn encrypted_from_secret(
-        transport: MemoryTransport,
+        transport: impl FrameTransport + 'static,
         secret: &[u8],
         role: Role,
         channel_id: u32,
     ) -> Self {
         let hs = Handshake::from_pre_shared(secret, role);
-        DataLink::Encrypted(Box::new(SecureChannel::new(transport, &hs, channel_id)))
+        let boxed: Box<dyn FrameTransport> = Box::new(transport);
+        DataLink::Encrypted(Box::new(SecureChannel::new(boxed, &hs, channel_id)))
     }
 
     /// Builds a plaintext link (Fig 10 no-encryption baseline only).
-    pub fn plain(transport: MemoryTransport) -> Self {
-        DataLink::Plain(transport)
+    pub fn plain(transport: impl FrameTransport + 'static) -> Self {
+        DataLink::Plain(Box::new(transport))
     }
 
     /// Builds a link per the `encrypt` flag.
     pub fn from_transport(
-        transport: MemoryTransport,
+        transport: impl FrameTransport + 'static,
         encrypt: bool,
         secret: &[u8],
         role: Role,
@@ -97,16 +107,10 @@ impl DataLink {
 /// from (partition, variant, direction).
 pub fn link_pair(encrypt: bool, session_secret: &[u8], channel_id: u32) -> (DataLink, DataLink) {
     let (a, b) = memory_pair();
-    if encrypt {
-        let hs_a = Handshake::from_pre_shared(session_secret, Role::Initiator);
-        let hs_b = Handshake::from_pre_shared(session_secret, Role::Responder);
-        (
-            DataLink::Encrypted(Box::new(SecureChannel::new(a, &hs_a, channel_id))),
-            DataLink::Encrypted(Box::new(SecureChannel::new(b, &hs_b, channel_id))),
-        )
-    } else {
-        (DataLink::Plain(a), DataLink::Plain(b))
-    }
+    (
+        DataLink::from_transport(a, encrypt, session_secret, Role::Initiator, channel_id),
+        DataLink::from_transport(b, encrypt, session_secret, Role::Responder, channel_id),
+    )
 }
 
 #[cfg(test)]
@@ -151,5 +155,16 @@ mod tests {
         a2.send(b"two").unwrap();
         assert_eq!(b1.recv().unwrap(), b"one");
         assert_eq!(b2.recv().unwrap(), b"two");
+    }
+
+    #[test]
+    fn links_over_tcp_interoperate_with_memory_links() {
+        // The same session secret and channel id produce the same wire
+        // protection regardless of the transport underneath.
+        let (client, server) = mvtee_crypto::tcp::loopback_pair().unwrap();
+        let mut a = DataLink::from_transport(client, true, b"s", Role::Initiator, 5);
+        let mut b = DataLink::from_transport(server, true, b"s", Role::Responder, 5);
+        a.send(b"over real sockets").unwrap();
+        assert_eq!(b.recv().unwrap(), b"over real sockets");
     }
 }

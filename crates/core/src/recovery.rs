@@ -33,14 +33,17 @@ use crate::events::{EventLog, MonitorEvent};
 use crate::link::DataLink;
 use crate::messages::{decode, encode, StageRequest, StageResponse};
 use crate::pipeline::{spawn_rx_thread, RxEvent, VariantLink};
-use crate::variant_host::{spawn_variant, VariantHandle, VariantLaunch};
+use crate::variant_host::VariantHandle;
+use crate::worker::{place_variant, HostFaults, VariantPlacement};
 use crate::{MvxError, Result};
 use crossbeam::channel::{Receiver, Sender};
-use mvtee_crypto::channel::{memory_pair, Role};
+use mvtee_crypto::channel::{FrameTransport, Role};
 use mvtee_diversify::{VariantGenerator, VariantId, VariantSpec};
 use mvtee_faults::{Attack, FrameFlip};
 use mvtee_graph::Graph;
 use mvtee_tee::{Platform, TeeKind};
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -99,6 +102,12 @@ pub(crate) struct RecoveryContext {
     pub frameflip: Option<FrameFlip>,
     /// Default TEE flavour.
     pub tee_kind_default: TeeKind,
+    /// Per-(partition, variant) placements: a replacement runs where its
+    /// predecessor ran — a killed worker process heals back into a fresh
+    /// worker process, re-attested from scratch.
+    pub placements: HashMap<(usize, usize), VariantPlacement>,
+    /// Override path of the `mvtee-variantd` binary.
+    pub worker_bin: Option<PathBuf>,
     /// Shared append-only binding registry.
     pub bindings: Arc<Mutex<Vec<BindingRecord>>>,
     /// Deployment generation the pipeline is running under.
@@ -213,35 +222,39 @@ fn attempt_recovery(
     } else {
         ctx.tee_kind_default
     };
-    let (boot_monitor, boot_variant) = memory_pair();
-    let (req_monitor, req_variant) = memory_pair();
-    let (resp_variant, resp_monitor) = memory_pair();
-    let launch = VariantLaunch {
-        partition: p,
-        variant_index: v,
-        tee_kind,
-        platform: ctx.platform.clone(),
-        init_code: ctx.init_code.clone(),
-        init_manifest: artifact.init_manifest.clone(),
-        bundle_path: artifact.bundle_path.clone(),
-        sealed_blob: artifact.sealed.clone(),
-        encrypt: ctx.encrypt,
-        attack: ctx.attack,
-        frameflip: ctx.frameflip.clone(),
-        // Liveness faults are transient (scheduler stalls, lossy
-        // channels): a fresh enclave gets a fresh channel and does not
-        // re-inherit them.
-        liveness: None,
-        bootstrap: boot_variant,
-        request: req_variant,
-        response: resp_variant,
+    let placement = ctx.placements.get(&(p, v)).copied().unwrap_or_default();
+    // Simulated platform faults persist across re-provisioning (the host
+    // software stack does not change when an enclave restarts); liveness
+    // faults are transient (scheduler stalls, lossy channels) — a fresh
+    // enclave gets a fresh channel and does not re-inherit them. An
+    // out-of-process replacement carries no simulated faults at all
+    // (`place_variant` enforces it): the fresh worker is a fresh stack.
+    let faults = match placement {
+        VariantPlacement::InProcess => HostFaults {
+            attack: ctx.attack,
+            frameflip: ctx.frameflip.clone(),
+            liveness: None,
+        },
+        VariantPlacement::OutOfProcess => HostFaults::default(),
     };
-    let handle = spawn_variant(launch);
+    let placed = place_variant(
+        placement,
+        ctx.worker_bin.as_deref(),
+        p,
+        v,
+        tee_kind,
+        &ctx.platform,
+        &ctx.init_code,
+        &artifact,
+        ctx.encrypt,
+        faults,
+    )?;
+    let handle = placed.handle;
     // `provision` owns every monitor-side transport: any failure inside
     // drops them, which closes the variant's channels, which lets the
-    // replacement thread exit — so dropping `handle` on the error path
+    // replacement host exit — so dropping `handle` on the error path
     // joins promptly instead of deadlocking on a half-bootstrapped TEE.
-    provision(ctx, req, &artifact, tee_kind, boot_monitor, req_monitor, resp_monitor)?;
+    provision(ctx, req, &artifact, tee_kind, placed.boot, placed.request, placed.response)?;
     Ok(handle)
 }
 
@@ -252,9 +265,9 @@ fn provision(
     req: &RecoveryRequest,
     artifact: &VariantArtifact,
     tee_kind: TeeKind,
-    boot_monitor: mvtee_crypto::channel::MemoryTransport,
-    req_monitor: mvtee_crypto::channel::MemoryTransport,
-    resp_monitor: mvtee_crypto::channel::MemoryTransport,
+    boot_monitor: Box<dyn FrameTransport>,
+    req_monitor: Box<dyn FrameTransport>,
+    resp_monitor: Box<dyn FrameTransport>,
 ) -> Result<()> {
     let (p, v) = (req.partition, req.variant);
     let boot_ctx = BootstrapCtx {
@@ -264,7 +277,8 @@ fn provision(
         bindings: &ctx.bindings,
         events: &ctx.events,
     };
-    let session_secret = bootstrap_variant(&boot_ctx, p, v, artifact, tee_kind, &boot_monitor)?;
+    let session_secret =
+        bootstrap_variant(&boot_ctx, p, v, artifact, tee_kind, boot_monitor.as_ref())?;
     let mut tx =
         DataLink::from_transport(req_monitor, ctx.encrypt, &session_secret, Role::Initiator, 0);
     let mut rx =

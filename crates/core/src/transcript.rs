@@ -692,6 +692,66 @@ mod tests {
     }
 
     #[test]
+    fn empty_string_is_a_parse_error() {
+        // An empty *file* is not an empty *transcript*: even a zero-entry
+        // run renders a header and footer, so nothing at all is a missing
+        // transcript, rejected at line 1.
+        match verify_transcript("") {
+            Err(AuditError::Parse { line: 1, detail }) => {
+                assert!(detail.contains("empty transcript"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected line-1 parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn footer_only_file_is_rejected() {
+        // A file holding only the footer (header and entries stripped —
+        // e.g. a log scraper that kept the last line) must not pass as an
+        // empty-but-valid transcript: the first line is not a header.
+        let text = sample_log().render(7, "cfg");
+        let footer = text.lines().last().expect("footer line");
+        assert!(footer.contains("\"footer\""), "render must end with the footer");
+        let footer_only = format!("{footer}\n");
+        assert!(matches!(verify_transcript(&footer_only), Err(AuditError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn truncated_final_line_is_rejected() {
+        // Cut the transcript mid-way through its final line (a partial
+        // write / torn tail). Every cut point must be rejected — either
+        // the mangled footer fails to parse or the missing footer is a
+        // gap; it must never verify.
+        let text = sample_log().render(7, "cfg");
+        let last_line_start = text.trim_end().rfind('\n').expect("multi-line") + 1;
+        for cut in [last_line_start + 1, last_line_start + 10, text.len() - 2] {
+            let torn = &text[..cut];
+            assert!(
+                verify_transcript(torn).is_err(),
+                "transcript cut at byte {cut} (mid final line) went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_entries_are_a_tamper() {
+        // Two verdicts for the same (batch, partition) — a replayed
+        // checkpoint — survive the canonical sort as adjacent equal keys
+        // and must be rejected as a tamper, even though every chain link
+        // replays correctly.
+        let log = sample_log();
+        let dup = log.entries()[0].clone();
+        log.record(dup);
+        let text = log.render(7, "cfg");
+        match verify_transcript(&text) {
+            Err(AuditError::Tamper { detail, .. }) => {
+                assert!(detail.contains("canonical order"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected tamper on duplicate entry, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn payload_digest_tracks_shape_and_bits() {
         let a = payload_digest(&[Tensor::ones(&[2, 3])]);
         let b = payload_digest(&[Tensor::ones(&[3, 2])]);

@@ -25,7 +25,7 @@ use crate::messages::{
     BootstrapResponse, InstallEvidence, KeyRelease, StageRequest, StageResponse,
 };
 use crate::{MvxError, Result};
-use mvtee_crypto::channel::{FrameTransport, MemoryTransport, Role};
+use mvtee_crypto::channel::{FrameTransport, Role};
 use mvtee_crypto::gcm::AesGcm;
 use mvtee_crypto::x25519::EphemeralKeypair;
 use mvtee_diversify::VariantBundle;
@@ -78,38 +78,91 @@ pub struct VariantLaunch {
     /// provisioned by the recovery manager do not inherit it.
     pub liveness: Option<LivenessFault>,
     /// Bootstrap transport (plaintext; protected by the attested DH
-    /// handshake).
-    pub bootstrap: MemoryTransport,
+    /// handshake). In-memory for a variant thread, a mux lane of the
+    /// worker's TCP connection for a variant process.
+    pub bootstrap: Box<dyn FrameTransport>,
     /// Transport for stage requests (monitor → variant).
-    pub request: MemoryTransport,
+    pub request: Box<dyn FrameTransport>,
     /// Transport for stage responses (variant → monitor).
-    pub response: MemoryTransport,
+    pub response: Box<dyn FrameTransport>,
 }
 
-/// Handle to a running variant TEE thread.
+/// What actually runs the variant: a thread in this process or a
+/// `mvtee-variantd` worker process.
+#[derive(Debug)]
+enum HostKind {
+    Thread(JoinHandle<()>),
+    Process(std::process::Child),
+}
+
+/// Handle to a running variant TEE host (thread or OS process).
 #[derive(Debug)]
 pub struct VariantHandle {
     /// Partition index.
     pub partition: usize,
     /// Variant index.
     pub variant_index: usize,
-    join: Option<JoinHandle<()>>,
+    host: Option<HostKind>,
 }
 
 impl VariantHandle {
-    /// Waits for the variant thread to exit.
+    /// Wraps a spawned `mvtee-variantd` worker process.
+    pub fn from_process(partition: usize, variant_index: usize, child: std::process::Child) -> Self {
+        VariantHandle { partition, variant_index, host: Some(HostKind::Process(child)) }
+    }
+
+    /// Whether this variant runs as a separate OS process.
+    pub fn is_process(&self) -> bool {
+        matches!(self.host, Some(HostKind::Process(_)))
+    }
+
+    /// The worker process id, when out-of-process.
+    pub fn pid(&self) -> Option<u32> {
+        match &self.host {
+            Some(HostKind::Process(child)) => Some(child.id()),
+            _ => None,
+        }
+    }
+
+    /// Kills an out-of-process variant host and reaps it — the fault
+    /// injection a distributed deployment must heal from. Returns `false`
+    /// for in-process variants (a thread cannot be killed from outside;
+    /// use liveness faults to simulate a wedged thread instead).
+    pub fn kill(&mut self) -> bool {
+        match self.host.take() {
+            Some(HostKind::Process(mut child)) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                true
+            }
+            other => {
+                self.host = other;
+                false
+            }
+        }
+    }
+
+    /// Waits for the variant host to exit.
     pub fn join(mut self) {
-        if let Some(j) = self.join.take() {
-            let _ = j.join();
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        match self.host.take() {
+            Some(HostKind::Thread(j)) => {
+                let _ = j.join();
+            }
+            Some(HostKind::Process(mut child)) => {
+                let _ = child.wait();
+            }
+            None => {}
         }
     }
 }
 
 impl Drop for VariantHandle {
     fn drop(&mut self) {
-        if let Some(j) = self.join.take() {
-            let _ = j.join();
-        }
+        self.join_inner();
     }
 }
 
@@ -129,10 +182,15 @@ pub fn spawn_variant(launch: VariantLaunch) -> VariantHandle {
             }
         })
         .expect("thread spawn cannot fail");
-    VariantHandle { partition, variant_index, join: Some(join) }
+    VariantHandle { partition, variant_index, host: Some(HostKind::Thread(join)) }
 }
 
-fn variant_main(launch: VariantLaunch) -> Result<()> {
+/// The variant TEE host's main loop: bootstrap, engine preparation, then
+/// the data-plane serve loop. Shared verbatim between the in-process
+/// thread host ([`spawn_variant`]) and the `mvtee-variantd` worker
+/// process, so the two placements are behaviourally indistinguishable to
+/// the monitor.
+pub(crate) fn variant_main(launch: VariantLaunch) -> Result<()> {
     // Stage 0: enclave launch with the public init-variant.
     let identity = CodeIdentity::from_content("mvtee-init-variant", "1.0", &launch.init_code);
     let mut enclave = Enclave::launch(

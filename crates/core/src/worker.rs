@@ -1,0 +1,403 @@
+//! Out-of-process variant hosts: placement, spawning and the
+//! `mvtee-variantd` entry point.
+//!
+//! A deployment can place any variant either **in-process** (a thread,
+//! the co-located setting) or **out-of-process** (a `mvtee-variantd`
+//! worker the untrusted orchestrator spawns, the distributed setting).
+//! The worker connects back to the monitor over loopback TCP; the single
+//! connection is lane-multiplexed ([`mvtee_crypto::mux`]) into the
+//! bootstrap transport plus the two data-plane transports, and from there
+//! the *identical* variant-host code runs: Fig 5/6 two-stage attestation,
+//! AES-GCM channels with per-direction keys, checkpoint serving. The
+//! monitor cannot tell the placements apart except through the transport
+//! handle — which is exactly the conformance property
+//! `tests/dist_conformance.rs` pins down.
+//!
+//! What crosses the process boundary in the clear is only what the
+//! untrusted orchestrator legitimately holds: public init-variant code,
+//! the public first-stage manifest, the *sealed* payload blob, and the
+//! platform root. The platform root models hardware provisioning (in
+//! reality each machine's attestation key is fused silicon and the
+//! verifier trusts the vendor's PKI; the simulation spans one platform
+//! across host processes by sharing the root) — the variant key and
+//! session secrets still only ever travel inside the attested key
+//! release.
+
+use crate::deployment::VariantArtifact;
+use crate::variant_host::{spawn_variant, variant_main, VariantHandle, VariantLaunch};
+use crate::{MvxError, Result};
+use mvtee_crypto::channel::{memory_pair, FrameTransport};
+use mvtee_faults::{Attack, FrameFlip, LivenessFault};
+use mvtee_crypto::mux::{self, MuxLane, LANE_BOOTSTRAP, LANE_REQUEST, LANE_RESPONSE};
+use mvtee_crypto::tcp::{bind_loopback, TcpTransport};
+use mvtee_tee::{Manifest, Platform, TeeKind};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Where a variant host runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VariantPlacement {
+    /// A thread inside the monitor's process (the co-located default).
+    #[default]
+    InProcess,
+    /// A spawned `mvtee-variantd` worker process over attested TCP.
+    OutOfProcess,
+}
+
+/// Everything the untrusted orchestrator ships to a worker process —
+/// the exact out-of-process analogue of [`VariantLaunch`] minus the
+/// simulated platform faults (those model compromises of *this*
+/// process's software stack and stay in-process).
+///
+/// [`VariantLaunch`]: crate::variant_host::VariantLaunch
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerPlacement {
+    /// Partition index (public placement information).
+    pub partition: usize,
+    /// Variant index within the partition.
+    pub variant_index: usize,
+    /// TEE flavour to launch.
+    pub tee_kind: TeeKind,
+    /// Exported platform root ([`Platform::export_root`]).
+    pub platform_root: [u8; 32],
+    /// Public init-variant code bytes.
+    pub init_code: Vec<u8>,
+    /// Public first-stage manifest.
+    pub init_manifest: Manifest,
+    /// Host-storage path of the sealed payload.
+    pub bundle_path: String,
+    /// Salt of the sealed payload.
+    pub sealed_salt: [u8; 16],
+    /// Ciphertext of the sealed payload.
+    pub sealed_blob: Vec<u8>,
+    /// Whether data-plane traffic is encrypted.
+    pub encrypt: bool,
+}
+
+/// Locates the `mvtee-variantd` worker binary: the `MVTEE_VARIANTD`
+/// environment variable wins, otherwise the directories around the
+/// current executable are searched (`target/<profile>/deps` for test
+/// binaries, `target/<profile>` for the experiments binary — both
+/// resolve to the sibling `target/<profile>/mvtee-variantd` that a
+/// workspace build produces).
+pub fn worker_binary() -> Option<PathBuf> {
+    if let Ok(path) = std::env::var("MVTEE_VARIANTD") {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Some(path);
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?.to_path_buf();
+    for _ in 0..3 {
+        let candidate = dir.join(format!("mvtee-variantd{}", std::env::consts::EXE_SUFFIX));
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        dir = dir.parent()?.to_path_buf();
+    }
+    None
+}
+
+/// The monitor-side transports of one placed variant, plus its host
+/// handle — what [`place_variant`] hands back regardless of placement.
+pub(crate) struct PlacedVariant {
+    /// Thread or process handle.
+    pub handle: VariantHandle,
+    /// Bootstrap transport (monitor side).
+    pub boot: Box<dyn FrameTransport>,
+    /// Stage-request transport (monitor side).
+    pub request: Box<dyn FrameTransport>,
+    /// Stage-response transport (monitor side).
+    pub response: Box<dyn FrameTransport>,
+}
+
+/// How long the monitor waits for a freshly spawned worker to dial back.
+const WORKER_CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Spawns one `mvtee-variantd` worker: binds an ephemeral loopback port,
+/// launches the binary pointed at it, accepts the connection, splits it
+/// into lanes and ships the placement down the bootstrap lane.
+///
+/// # Errors
+///
+/// Fails when the binary cannot be spawned, the worker does not connect
+/// within the timeout (the worker is killed), or the placement cannot be
+/// serialised.
+pub(crate) fn spawn_worker_process(
+    bin: &Path,
+    placement: &WorkerPlacement,
+) -> Result<PlacedVariant> {
+    let (partition, variant_index) = (placement.partition, placement.variant_index);
+    let (listener, port) =
+        bind_loopback().map_err(|e| MvxError::Transport(e.to_string()))?;
+    let mut child = Command::new(bin)
+        .arg("--connect")
+        .arg(format!("127.0.0.1:{port}"))
+        .stdin(Stdio::null())
+        .spawn()
+        .map_err(|e| MvxError::Transport(format!("spawn {}: {e}", bin.display())))?;
+
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| MvxError::Transport(format!("listener nonblocking: {e}")))?;
+    let deadline = Instant::now() + WORKER_CONNECT_TIMEOUT;
+    let stream = loop {
+        match listener.accept() {
+            Ok((stream, _)) => break stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if let Ok(Some(status)) = child.try_wait() {
+                    return Err(MvxError::Transport(format!(
+                        "worker p{partition}v{variant_index} exited before connecting: {status}"
+                    )));
+                }
+                if Instant::now() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(MvxError::Transport(format!(
+                        "worker p{partition}v{variant_index} never connected"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(MvxError::Transport(format!("worker accept failed: {e}")));
+            }
+        }
+    };
+    stream
+        .set_nonblocking(false)
+        .map_err(|e| MvxError::Transport(format!("stream blocking: {e}")))?;
+    let transport =
+        TcpTransport::new(stream).map_err(|e| MvxError::Transport(e.to_string()))?;
+    let mut lanes = mux::split(transport, &[LANE_BOOTSTRAP, LANE_REQUEST, LANE_RESPONSE]);
+    let response = lanes.pop().expect("three lanes");
+    let request = lanes.pop().expect("three lanes");
+    let boot = lanes.pop().expect("three lanes");
+
+    boot.send_frame(crate::messages::encode(placement)?)
+        .map_err(|e| MvxError::Transport(format!("placement send: {e}")))?;
+    mvtee_telemetry::counter("core.worker.spawned").inc();
+    Ok(PlacedVariant {
+        handle: VariantHandle::from_process(partition, variant_index, child),
+        boot: Box::new(boot),
+        request: Box::new(request),
+        response: Box::new(response),
+    })
+}
+
+/// The `mvtee-variantd` worker entry point: connect back to the monitor,
+/// receive the placement, then run the standard variant-host main loop
+/// over the multiplexed lanes until shutdown or connection loss.
+///
+/// # Errors
+///
+/// Fails on connection loss, a malformed placement, or any variant-host
+/// failure (bootstrap rejection, manifest violation…).
+pub fn run_worker(addr: &str) -> Result<()> {
+    let transport =
+        TcpTransport::connect(addr).map_err(|e| MvxError::Transport(e.to_string()))?;
+    let mut lanes = mux::split(transport, &[LANE_BOOTSTRAP, LANE_REQUEST, LANE_RESPONSE]);
+    let response: MuxLane = lanes.pop().expect("three lanes");
+    let request: MuxLane = lanes.pop().expect("three lanes");
+    let boot: MuxLane = lanes.pop().expect("three lanes");
+
+    let placement_bytes = boot
+        .recv_frame()
+        .map_err(|e| MvxError::Transport(format!("placement recv: {e}")))?;
+    let placement: WorkerPlacement = crate::messages::decode(&placement_bytes)?;
+    let launch = VariantLaunch {
+        partition: placement.partition,
+        variant_index: placement.variant_index,
+        tee_kind: placement.tee_kind,
+        platform: Platform::from_root(placement.platform_root),
+        init_code: placement.init_code,
+        init_manifest: placement.init_manifest,
+        bundle_path: placement.bundle_path,
+        sealed_blob: (placement.sealed_salt, placement.sealed_blob),
+        encrypt: placement.encrypt,
+        attack: None,
+        frameflip: None,
+        liveness: None,
+        bootstrap: Box::new(boot),
+        request: Box::new(request),
+        response: Box::new(response),
+    };
+    variant_main(launch)
+}
+
+/// Simulated faults a variant host can carry — grouped so placement
+/// dispatch can reject them wholesale for out-of-process variants.
+#[derive(Default)]
+pub(crate) struct HostFaults {
+    /// Simulated CVE attack on the host's software stack.
+    pub attack: Option<Attack>,
+    /// Simulated platform-wide FrameFlip.
+    pub frameflip: Option<FrameFlip>,
+    /// Simulated liveness fault (stall or lossy channel).
+    pub liveness: Option<LivenessFault>,
+}
+
+impl HostFaults {
+    fn any(&self) -> bool {
+        self.attack.is_some() || self.frameflip.is_some() || self.liveness.is_some()
+    }
+}
+
+/// Places one variant host per the requested [`VariantPlacement`]: a
+/// thread over in-memory transports, or a `mvtee-variantd` process over
+/// multiplexed TCP lanes. The monitor-side result is placement-agnostic —
+/// the same boxed transports either way.
+///
+/// # Errors
+///
+/// Out-of-process placement fails when simulated faults are requested
+/// (they model compromises of *this* process's stack and only make sense
+/// in-process), when no worker binary can be located, or on any spawn /
+/// connect failure.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn place_variant(
+    placement: VariantPlacement,
+    worker_bin: Option<&Path>,
+    partition: usize,
+    variant_index: usize,
+    tee_kind: TeeKind,
+    platform: &Platform,
+    init_code: &[u8],
+    artifact: &VariantArtifact,
+    encrypt: bool,
+    faults: HostFaults,
+) -> Result<PlacedVariant> {
+    match placement {
+        VariantPlacement::InProcess => {
+            let (boot_monitor, boot_variant) = memory_pair();
+            let (req_monitor, req_variant) = memory_pair();
+            let (resp_variant, resp_monitor) = memory_pair();
+            let launch = VariantLaunch {
+                partition,
+                variant_index,
+                tee_kind,
+                platform: platform.clone(),
+                init_code: init_code.to_vec(),
+                init_manifest: artifact.init_manifest.clone(),
+                bundle_path: artifact.bundle_path.clone(),
+                sealed_blob: artifact.sealed.clone(),
+                encrypt,
+                attack: faults.attack,
+                frameflip: faults.frameflip,
+                liveness: faults.liveness,
+                bootstrap: Box::new(boot_variant),
+                request: Box::new(req_variant),
+                response: Box::new(resp_variant),
+            };
+            Ok(PlacedVariant {
+                handle: spawn_variant(launch),
+                boot: Box::new(boot_monitor),
+                request: Box::new(req_monitor),
+                response: Box::new(resp_monitor),
+            })
+        }
+        VariantPlacement::OutOfProcess => {
+            if faults.any() {
+                return Err(MvxError::InvalidConfig(format!(
+                    "variant p{partition}v{variant_index}: simulated platform faults \
+                     (attack/frameflip/liveness) target this process's software stack \
+                     and cannot be placed out-of-process"
+                )));
+            }
+            let resolved;
+            let bin = match worker_bin {
+                Some(bin) => bin,
+                None => {
+                    resolved = worker_binary().ok_or_else(|| {
+                        MvxError::InvalidConfig(
+                            "no mvtee-variantd binary found (build the workspace or set \
+                             MVTEE_VARIANTD)"
+                                .into(),
+                        )
+                    })?;
+                    &resolved
+                }
+            };
+            let placement = placement_for(
+                partition,
+                variant_index,
+                tee_kind,
+                platform,
+                init_code,
+                artifact,
+                encrypt,
+            );
+            spawn_worker_process(bin, &placement)
+        }
+    }
+}
+
+/// Builds the [`WorkerPlacement`] for one variant from its offline
+/// artifact — the single construction shared by launch and recovery.
+pub(crate) fn placement_for(
+    partition: usize,
+    variant_index: usize,
+    tee_kind: TeeKind,
+    platform: &Platform,
+    init_code: &[u8],
+    artifact: &VariantArtifact,
+    encrypt: bool,
+) -> WorkerPlacement {
+    WorkerPlacement {
+        partition,
+        variant_index,
+        tee_kind,
+        platform_root: platform.export_root(),
+        init_code: init_code.to_vec(),
+        init_manifest: artifact.init_manifest.clone(),
+        bundle_path: artifact.bundle_path.clone(),
+        sealed_salt: artifact.sealed.0,
+        sealed_blob: artifact.sealed.1.clone(),
+        encrypt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{decode, encode};
+
+    #[test]
+    fn worker_placement_round_trips_through_codec() {
+        let placement = WorkerPlacement {
+            partition: 1,
+            variant_index: 2,
+            tee_kind: TeeKind::Sgx,
+            platform_root: [7u8; 32],
+            init_code: b"init".to_vec(),
+            init_manifest: Manifest::init_variant("init-p1-v2"),
+            bundle_path: "/enc/p1/v2".into(),
+            sealed_salt: [9u8; 16],
+            sealed_blob: vec![1, 2, 3, 4],
+            encrypt: true,
+        };
+        let bytes = encode(&placement).unwrap();
+        let back: WorkerPlacement = decode(&bytes).unwrap();
+        assert_eq!(back.partition, 1);
+        assert_eq!(back.variant_index, 2);
+        assert_eq!(back.platform_root, [7u8; 32]);
+        assert_eq!(back.init_manifest, placement.init_manifest);
+        assert_eq!(back.sealed_salt, [9u8; 16]);
+        assert_eq!(back.sealed_blob, vec![1, 2, 3, 4]);
+        assert!(back.encrypt);
+    }
+
+    #[test]
+    fn worker_binary_resolver_honours_env_override() {
+        // The resolver must never return a non-file path, whatever the
+        // environment says.
+        if let Some(bin) = worker_binary() {
+            assert!(bin.is_file());
+        }
+    }
+}

@@ -38,6 +38,27 @@ pub trait FrameTransport: Send {
     ///
     /// Returns [`CryptoError::MalformedFrame`] if the peer is gone.
     fn recv_frame(&self) -> Result<Vec<u8>>;
+
+    /// Actively tears the transport down so a peer blocked in
+    /// `recv_frame` observes a disconnect. In-memory transports signal
+    /// disconnection by dropping, so the default is a no-op; transports
+    /// whose connection outlives individual handles (TCP behind a
+    /// demultiplexer) override this.
+    fn close(&self) {}
+}
+
+impl FrameTransport for Box<dyn FrameTransport> {
+    fn send_frame(&self, frame: Vec<u8>) -> Result<()> {
+        (**self).send_frame(frame)
+    }
+
+    fn recv_frame(&self) -> Result<Vec<u8>> {
+        (**self).recv_frame()
+    }
+
+    fn close(&self) {
+        (**self).close()
+    }
 }
 
 /// In-memory duplex transport half, built from a pair of mpsc channels.

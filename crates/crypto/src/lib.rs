@@ -44,6 +44,7 @@
 pub mod aes;
 pub mod channel;
 pub mod gcm;
+pub mod mux;
 pub mod sha256;
 pub mod tcp;
 pub mod x25519;

@@ -1,0 +1,193 @@
+//! Lane multiplexing: several [`FrameTransport`] endpoints over one
+//! connection.
+//!
+//! A variant worker process keeps a single TCP connection to the monitor
+//! but needs three independent frame streams on it — the plaintext
+//! bootstrap exchange plus the two directional data-plane channels that
+//! each own their own AEAD sequence space. [`split`] turns one transport
+//! into N [`MuxLane`]s: every outbound frame is prefixed with its 1-byte
+//! lane id, and a demultiplexer thread routes inbound frames to the
+//! destination lane's queue.
+//!
+//! Lifecycle: when the underlying connection dies the pump thread exits
+//! and every lane's `recv_frame` reports a disconnect (how a killed
+//! worker process surfaces as a quarantine in the monitor). Conversely,
+//! when the *last* lane of a split is dropped the underlying transport
+//! is closed, so the remote peer observes the hang-up even though the
+//! local pump still holds a reference to the connection.
+
+use crate::channel::FrameTransport;
+use crate::{CryptoError, Result};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// Lane id for the bootstrap/attestation exchange.
+pub const LANE_BOOTSTRAP: u8 = 0;
+/// Lane id for stage requests (monitor → variant).
+pub const LANE_REQUEST: u8 = 1;
+/// Lane id for stage responses (variant → monitor).
+pub const LANE_RESPONSE: u8 = 2;
+
+/// Closes the shared transport once every lane of a split is gone.
+struct LaneRegistry {
+    transport: Arc<dyn FrameTransport + Sync>,
+}
+
+impl Drop for LaneRegistry {
+    fn drop(&mut self) {
+        self.transport.close();
+    }
+}
+
+/// One multiplexed endpoint of a [`split`] transport.
+///
+/// Sends prefix the lane id; receives are fed by the shared demux pump.
+/// Implements [`FrameTransport`], so a
+/// [`SecureChannel`](crate::channel::SecureChannel) or a plaintext
+/// framing layer runs over a lane exactly as over a dedicated connection.
+pub struct MuxLane {
+    lane: u8,
+    registry: Arc<LaneRegistry>,
+    rx: Mutex<mpsc::Receiver<Vec<u8>>>,
+    bytes_out: mvtee_telemetry::Counter,
+    bytes_in: mvtee_telemetry::Counter,
+}
+
+impl std::fmt::Debug for MuxLane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MuxLane({})", self.lane)
+    }
+}
+
+impl MuxLane {
+    /// This endpoint's lane id.
+    pub fn lane(&self) -> u8 {
+        self.lane
+    }
+}
+
+impl FrameTransport for MuxLane {
+    fn send_frame(&self, frame: Vec<u8>) -> Result<()> {
+        let mut tagged = Vec::with_capacity(1 + frame.len());
+        tagged.push(self.lane);
+        tagged.extend_from_slice(&frame);
+        self.bytes_out.add(tagged.len() as u64);
+        self.registry.transport.send_frame(tagged)
+    }
+
+    fn recv_frame(&self) -> Result<Vec<u8>> {
+        let rx = self.rx.lock().expect("mux lane receiver poisoned");
+        let frame = rx.recv().map_err(|_| CryptoError::MalformedFrame)?;
+        self.bytes_in.add(1 + frame.len() as u64);
+        Ok(frame)
+    }
+
+    fn close(&self) {
+        self.registry.transport.close();
+    }
+}
+
+/// Splits `transport` into one [`MuxLane`] per entry of `lanes`
+/// (returned in the same order) and spawns the demux pump thread.
+///
+/// Inbound frames with an unknown lane id are dropped (the AEAD layer
+/// above each lane makes injection useless anyway); an inbound frame too
+/// short to carry a lane id terminates the pump as malformed. Frames for
+/// a lane whose endpoint was dropped are discarded while the other lanes
+/// keep flowing.
+pub fn split<T>(transport: T, lanes: &[u8]) -> Vec<MuxLane>
+where
+    T: FrameTransport + Sync + 'static,
+{
+    let shared: Arc<dyn FrameTransport + Sync> = Arc::new(transport);
+    let registry = Arc::new(LaneRegistry { transport: Arc::clone(&shared) });
+    let bytes_out = mvtee_telemetry::counter("crypto.mux.bytes_out");
+    let bytes_in = mvtee_telemetry::counter("crypto.mux.bytes_in");
+    let mut senders: HashMap<u8, mpsc::Sender<Vec<u8>>> = HashMap::new();
+    let mut endpoints = Vec::with_capacity(lanes.len());
+    for &lane in lanes {
+        let (tx, rx) = mpsc::channel();
+        senders.insert(lane, tx);
+        endpoints.push(MuxLane {
+            lane,
+            registry: Arc::clone(&registry),
+            rx: Mutex::new(rx),
+            bytes_out: bytes_out.clone(),
+            bytes_in: bytes_in.clone(),
+        });
+    }
+    std::thread::Builder::new()
+        .name("mux-pump".into())
+        .spawn(move || {
+            while let Ok(frame) = shared.recv_frame() {
+                let Some((&lane, rest)) = frame.split_first() else {
+                    break; // framing violation: no lane id
+                };
+                if let Some(tx) = senders.get(&lane) {
+                    let _ = tx.send(rest.to_vec());
+                }
+            }
+            // Dropping the senders here disconnects every lane receiver.
+        })
+        .expect("thread spawn cannot fail");
+    endpoints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Handshake, Role, SecureChannel};
+    use crate::tcp::loopback_pair;
+
+    fn lane_pair() -> (Vec<MuxLane>, Vec<MuxLane>) {
+        let (client, server) = loopback_pair().expect("loopback");
+        let ids = [LANE_BOOTSTRAP, LANE_REQUEST, LANE_RESPONSE];
+        (split(client, &ids), split(server, &ids))
+    }
+
+    #[test]
+    fn lanes_are_independent_streams() {
+        let (a, b) = lane_pair();
+        a[0].send_frame(b"boot".to_vec()).unwrap();
+        a[2].send_frame(b"resp".to_vec()).unwrap();
+        a[1].send_frame(b"req".to_vec()).unwrap();
+        // Delivery order across lanes is the wire order, but each lane
+        // only ever sees its own frames.
+        assert_eq!(b[1].recv_frame().unwrap(), b"req");
+        assert_eq!(b[0].recv_frame().unwrap(), b"boot");
+        assert_eq!(b[2].recv_frame().unwrap(), b"resp");
+    }
+
+    #[test]
+    fn secure_channels_run_over_distinct_lanes() {
+        let (mut a, mut b) = lane_pair();
+        let hs_i = Handshake::from_pre_shared(b"secret", Role::Initiator);
+        let hs_r = Handshake::from_pre_shared(b"secret", Role::Responder);
+        let mut req_tx = SecureChannel::new(a.remove(1), &hs_i, 0);
+        let mut req_rx = SecureChannel::new(b.remove(1), &hs_r, 0);
+        let mut resp_rx = SecureChannel::new(a.pop().unwrap(), &hs_i, 1);
+        let mut resp_tx = SecureChannel::new(b.pop().unwrap(), &hs_r, 1);
+        req_tx.send(b"stage request").unwrap();
+        assert_eq!(req_rx.recv().unwrap(), b"stage request");
+        resp_tx.send(b"stage response").unwrap();
+        assert_eq!(resp_rx.recv().unwrap(), b"stage response");
+    }
+
+    #[test]
+    fn connection_loss_disconnects_every_lane() {
+        let (a, b) = lane_pair();
+        drop(b); // last remote lane dropped → remote registry closes TCP
+        for lane in &a {
+            assert!(lane.recv_frame().is_err(), "lane {} must disconnect", lane.lane());
+        }
+    }
+
+    #[test]
+    fn dropping_one_lane_keeps_the_others_flowing() {
+        let (mut a, b) = lane_pair();
+        drop(a.remove(0)); // bootstrap lane retired after attestation
+        a[0].send_frame(b"still here".to_vec()).unwrap();
+        assert_eq!(b[1].recv_frame().unwrap(), b"still here");
+    }
+}

@@ -68,6 +68,40 @@ impl TcpTransport {
     }
 }
 
+/// Binds a loopback listener on an OS-assigned port (port 0) and returns
+/// it with the port actually chosen. Every loopback rendezvous — tests,
+/// worker-process spawning — goes through this, so parallel runs never
+/// collide on a fixed port.
+///
+/// # Errors
+///
+/// Fails when the loopback interface cannot be bound at all.
+pub fn bind_loopback() -> Result<(TcpListener, u16)> {
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|_| CryptoError::HandshakeFailed("loopback bind failed".into()))?;
+    let port = listener
+        .local_addr()
+        .map_err(|_| CryptoError::HandshakeFailed("loopback addr unavailable".into()))?
+        .port();
+    Ok((listener, port))
+}
+
+/// Creates a connected loopback pair (client, server) over an ephemeral
+/// port — the TCP analogue of [`crate::channel::memory_pair`].
+///
+/// # Errors
+///
+/// Fails when binding, connecting or accepting fails.
+pub fn loopback_pair() -> Result<(TcpTransport, TcpTransport)> {
+    let (listener, port) = bind_loopback()?;
+    let join = std::thread::spawn(move || TcpTransport::accept(&listener));
+    let client = TcpTransport::connect(&format!("127.0.0.1:{port}"))?;
+    let server = join
+        .join()
+        .map_err(|_| CryptoError::HandshakeFailed("accept thread panicked".into()))??;
+    Ok((client, server))
+}
+
 impl FrameTransport for TcpTransport {
     fn send_frame(&self, frame: Vec<u8>) -> Result<()> {
         if frame.len() > MAX_FRAME_LEN {
@@ -93,6 +127,12 @@ impl FrameTransport for TcpTransport {
         reader.read_exact(&mut frame).map_err(|_| CryptoError::MalformedFrame)?;
         Ok(frame)
     }
+
+    fn close(&self) {
+        if let Ok(writer) = self.writer.lock() {
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -102,12 +142,33 @@ mod tests {
     use std::thread;
 
     fn loopback_pair() -> (TcpTransport, TcpTransport) {
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-        let addr = listener.local_addr().expect("has addr").to_string();
-        let join = thread::spawn(move || TcpTransport::accept(&listener).expect("accepts"));
-        let client = TcpTransport::connect(&addr).expect("connects");
-        let server = join.join().expect("accept thread");
-        (client, server)
+        super::loopback_pair().expect("loopback pair")
+    }
+
+    #[test]
+    fn bind_loopback_reports_the_chosen_port() {
+        let (listener, port) = bind_loopback().expect("bind");
+        assert_ne!(port, 0, "the OS-assigned port must be propagated, not the wildcard");
+        assert_eq!(listener.local_addr().expect("addr").port(), port);
+    }
+
+    #[test]
+    fn parallel_loopback_pairs_never_collide() {
+        // Each pair binds its own ephemeral port; a fixed port would make
+        // one of these binds fail or cross-connect.
+        let pairs: Vec<_> = (0..4).map(|_| loopback_pair()).collect();
+        for (i, (client, server)) in pairs.iter().enumerate() {
+            client.send_frame(vec![i as u8]).unwrap();
+            assert_eq!(server.recv_frame().unwrap(), vec![i as u8]);
+        }
+    }
+
+    #[test]
+    fn close_unblocks_the_peer() {
+        let (client, server) = loopback_pair();
+        let join = thread::spawn(move || server.recv_frame());
+        client.close();
+        assert!(join.join().expect("recv thread").is_err());
     }
 
     #[test]

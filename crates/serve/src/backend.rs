@@ -1,0 +1,59 @@
+//! The replica backend abstraction: what the pool schedules over.
+//!
+//! A pool replica used to be a concrete [`Deployment`]. With
+//! distributed MVX a replica's variant hosts may live in this process
+//! (threads) or in separate `mvtee-variantd` worker processes — and a
+//! future frontend may proxy a replica on another machine entirely.
+//! [`ReplicaBackend`] is the narrow waist: the pool only needs to
+//! stream traced micro-batches, observe monitor events, and shut the
+//! replica down. [`Deployment`] implements it directly (whatever its
+//! variant placements), so `ReplicaPool::new` keeps its signature while
+//! `ReplicaPool::from_backends` accepts anything behind the trait.
+
+use mvtee::deployment::StreamStats;
+use mvtee::{Deployment, EventLog, MvxError};
+use mvtee_telemetry::trace::TraceCtx;
+use mvtee_tensor::Tensor;
+
+/// One schedulable MVX replica, placement-agnostic.
+pub trait ReplicaBackend: Send {
+    /// Streams a traced micro-batch through the replica's pipeline;
+    /// per-request outcomes come back in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Whole-stream infrastructure failure (the pool resolves every
+    /// member request with the error).
+    fn infer_stream_traced(
+        &mut self,
+        inputs: &[Tensor],
+        traces: &[TraceCtx],
+    ) -> Result<StreamStats, MvxError>;
+
+    /// The replica's monitor event log — how the pool's callers observe
+    /// quarantines and recoveries while the backend is owned by a
+    /// worker thread.
+    fn events(&self) -> EventLog;
+
+    /// Stops the replica, joining whatever hosts it runs (threads or
+    /// worker processes).
+    fn shutdown(&mut self);
+}
+
+impl ReplicaBackend for Deployment {
+    fn infer_stream_traced(
+        &mut self,
+        inputs: &[Tensor],
+        traces: &[TraceCtx],
+    ) -> Result<StreamStats, MvxError> {
+        Deployment::infer_stream_traced(self, inputs, traces)
+    }
+
+    fn events(&self) -> EventLog {
+        Deployment::events(self).clone()
+    }
+
+    fn shutdown(&mut self) {
+        Deployment::shutdown(self);
+    }
+}

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod batcher;
 mod config;
 mod frontend;
@@ -42,6 +43,7 @@ mod pool;
 mod queue;
 mod request;
 
+pub use backend::ReplicaBackend;
 pub use batcher::{BatcherConfig, MicroBatch, MicroBatcher};
 pub use config::ServeConfig;
 pub use frontend::{ServeHandle, ServeFrontend};

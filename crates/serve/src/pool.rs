@@ -1,6 +1,7 @@
 //! The MVX replica pool: N diversified deployments behind a
 //! least-outstanding-requests scheduler.
 
+use crate::backend::ReplicaBackend;
 use crate::batcher::MicroBatch;
 use crate::request::RequestOutcome;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -29,7 +30,10 @@ struct ReplicaWorker {
     handle: JoinHandle<()>,
 }
 
-/// N independently diversified [`Deployment`]s serving one model key.
+/// N independent MVX replicas serving one model key — concrete
+/// [`Deployment`]s (whatever their variant placements: in-process
+/// threads, out-of-process `mvtee-variantd` workers, or a mix) or any
+/// other [`ReplicaBackend`].
 ///
 /// Scheduling is least-outstanding-requests with lowest-index
 /// tie-break: a replica wedged in quarantine/recovery keeps its
@@ -52,16 +56,36 @@ impl ReplicaPool {
         model_key: impl Into<String>,
         deployments: Vec<Deployment>,
     ) -> Result<Self, MvxError> {
-        if deployments.is_empty() {
+        Self::from_backends(
+            model_key,
+            deployments
+                .into_iter()
+                .map(|d| Box::new(d) as Box<dyn ReplicaBackend>)
+                .collect(),
+        )
+    }
+
+    /// Wraps arbitrary replica backends in worker threads — the
+    /// placement-agnostic constructor ([`ReplicaPool::new`] is the
+    /// all-[`Deployment`] special case).
+    ///
+    /// # Errors
+    ///
+    /// [`MvxError::InvalidConfig`] when `backends` is empty.
+    pub fn from_backends(
+        model_key: impl Into<String>,
+        backends: Vec<Box<dyn ReplicaBackend>>,
+    ) -> Result<Self, MvxError> {
+        if backends.is_empty() {
             return Err(MvxError::InvalidConfig(
-                "a replica pool needs at least one deployment".into(),
+                "a replica pool needs at least one replica backend".into(),
             ));
         }
         let model_key = model_key.into();
-        let workers = deployments
+        let workers = backends
             .into_iter()
             .enumerate()
-            .map(|(index, deployment)| Self::spawn_worker(&model_key, index, deployment))
+            .map(|(index, backend)| Self::spawn_worker(&model_key, index, backend))
             .collect();
         Ok(Self { model_key, workers })
     }
@@ -83,12 +107,16 @@ impl ReplicaPool {
         Self::new(model_key, builder.build_many(n)?)
     }
 
-    fn spawn_worker(model_key: &str, index: usize, mut deployment: Deployment) -> ReplicaWorker {
+    fn spawn_worker(
+        model_key: &str,
+        index: usize,
+        mut backend: Box<dyn ReplicaBackend>,
+    ) -> ReplicaWorker {
         let (tx, rx): (Sender<MicroBatch>, Receiver<MicroBatch>) = unbounded();
         let outstanding = Arc::new(AtomicI64::new(0));
         let served_batches = Arc::new(AtomicU64::new(0));
         let served_requests = Arc::new(AtomicU64::new(0));
-        let events = deployment.events().clone();
+        let events = backend.events();
         let worker_outstanding = Arc::clone(&outstanding);
         let worker_batches = Arc::clone(&served_batches);
         let worker_requests = Arc::clone(&served_requests);
@@ -107,7 +135,7 @@ impl ReplicaPool {
                         batch.requests.iter().map(|r| r.input.clone()).collect();
                     let traces: Vec<mvtee_telemetry::trace::TraceCtx> =
                         batch.requests.iter().map(|r| r.trace).collect();
-                    let result = deployment.infer_stream_traced(&inputs, &traces);
+                    let result = backend.infer_stream_traced(&inputs, &traces);
                     match result {
                         Ok(stats) => {
                             for (req, out) in
@@ -147,7 +175,7 @@ impl ReplicaPool {
                     worker_outstanding.fetch_sub(size, Ordering::Release);
                     outstanding_gauge.add(-size);
                 }
-                deployment.shutdown();
+                backend.shutdown();
             })
             .expect("spawn replica worker");
         ReplicaWorker {

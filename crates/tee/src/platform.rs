@@ -78,6 +78,21 @@ impl Platform {
         Platform { inner: Arc::new(PlatformInner { key: random_array() }) }
     }
 
+    /// Exports the platform root so a second host can be provisioned as
+    /// part of the same trust domain — the simulation's analogue of two
+    /// machines sharing one vendor attestation infrastructure. A worker
+    /// process rebuilt with [`Platform::from_root`] signs and verifies
+    /// reports compatibly with this handle.
+    pub fn export_root(&self) -> [u8; 32] {
+        self.inner.key
+    }
+
+    /// Reconstructs a platform handle from an exported root (see
+    /// [`Platform::export_root`]).
+    pub fn from_root(root: [u8; 32]) -> Self {
+        Platform { inner: Arc::new(PlatformInner { key: root }) }
+    }
+
     /// Signs a report for an enclave on this platform.
     ///
     /// # Panics
@@ -163,6 +178,17 @@ mod tests {
         let mut t = r.clone();
         t.tee_kind = TeeKind::Tdx;
         assert!(!p.verify_report(&t));
+    }
+
+    #[test]
+    fn exported_root_rebuilds_a_compatible_platform() {
+        let p = Platform::new();
+        let worker_side = Platform::from_root(p.export_root());
+        // Reports cross process boundaries in both directions.
+        assert!(worker_side.verify_report(&sample_report(&p)));
+        assert!(p.verify_report(&sample_report(&worker_side)));
+        // A foreign root remains foreign.
+        assert!(!Platform::new().verify_report(&sample_report(&p)));
     }
 
     #[test]

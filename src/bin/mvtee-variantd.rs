@@ -1,0 +1,59 @@
+//! `mvtee-variantd`: one variant TEE host as a separate OS process.
+//!
+//! The untrusted orchestrator (the monitor process's deployment layer)
+//! spawns this binary with `--connect HOST:PORT`. The worker dials the
+//! monitor, receives its placement over the bootstrap lane of the
+//! multiplexed connection, and then runs the exact same variant-host
+//! main loop an in-process variant thread runs: two-stage attested
+//! bootstrap, sealed-bundle decryption, engine preparation, and the
+//! encrypted checkpoint serve loop, until shutdown or connection loss.
+//!
+//! The process carries no secrets at launch — everything sensitive
+//! arrives sealed (the variant bundle) or inside the attested key
+//! release, mirroring the paper's init-variant trust model.
+
+use std::process::ExitCode;
+
+fn usage(program: &str) -> ExitCode {
+    eprintln!("usage: {program} --connect HOST:PORT");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let program = args.first().map(String::as_str).unwrap_or("mvtee-variantd");
+    let mut addr: Option<&str> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--connect" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage(program);
+                };
+                addr = Some(value);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("mvtee-variantd: MVTEE variant TEE worker process");
+                println!();
+                println!("usage: {program} --connect HOST:PORT");
+                println!();
+                println!("Dials the monitor at HOST:PORT, receives its variant placement");
+                println!("over the bootstrap lane, attests, and serves checkpoints until");
+                println!("shutdown or connection loss.");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(program),
+        }
+    }
+    let Some(addr) = addr else {
+        return usage(program);
+    };
+    match mvtee::run_worker(addr) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mvtee-variantd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -16,12 +16,10 @@ use mvtee_faults::{
 };
 use mvtee_graph::zoo::{self, Model, ModelKind, ScaleProfile};
 use mvtee_tensor::Tensor;
+use std::time::{Duration, Instant};
 
 const PANEL: usize = 3;
 const MVX_PARTITION: usize = 1;
-/// Bound on batches streamed while waiting for the asynchronous recovery
-/// to land; healing later than this is a failure, not a wait.
-const BATCH_CAP: u64 = 40;
 
 fn model_input(model: &Model, salt: u64) -> Tensor {
     let n = model.input_shape.num_elements();
@@ -46,14 +44,32 @@ fn recovery_config() -> MvxConfig {
     cfg
 }
 
+/// The worst-case time the detect→react loop may take, derived from the
+/// deployment's own configuration rather than a hardcoded batch cap:
+/// detection costs up to one checkpoint deadline, each retry adds its
+/// configured backoff, and re-attestation/probation get one deadline of
+/// slack per allowed attempt. Healing later than this is a failure, not
+/// a wait.
+fn heal_deadline(cfg: &MvxConfig) -> Duration {
+    let attempts = cfg.recovery.max_retries + 1;
+    let backoff_total: Duration =
+        (0..cfg.recovery.max_retries).map(|k| cfg.recovery.backoff(k)).sum();
+    cfg.checkpoint_deadline() * (attempts + 1) + backoff_total + cfg.result_timeout()
+}
+
 /// Streams batches until the quarantined variant has rejoined and a
 /// later checkpoint passed at full panel strength; panics with the event
-/// log when the cap is exhausted. Returns the quarantine `(variant,
-/// batch)`.
+/// log when the config-derived deadline is exhausted. Returns the
+/// quarantine `(variant, batch)`.
 fn stream_until_healed(d: &mut Deployment, inputs: &[Tensor]) -> (usize, u64) {
-    for b in 0..BATCH_CAP {
+    let cfg = recovery_config();
+    let deadline = Instant::now() + heal_deadline(&cfg);
+    let poll = cfg.drain_poll();
+    let mut b = 0u64;
+    while Instant::now() < deadline {
         let idx = (b % inputs.len() as u64) as usize;
         let _ = d.infer(&inputs[idx]).expect("degraded service must continue");
+        b += 1;
         let events = d.events();
         if let Some(&(qp, qv, qb)) = events.quarantines().first() {
             assert_eq!(qp, MVX_PARTITION, "quarantine at the wrong partition");
@@ -66,9 +82,13 @@ fn stream_until_healed(d: &mut Deployment, inputs: &[Tensor]) -> (usize, u64) {
                 return (qv, qb);
             }
         }
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::thread::sleep(poll);
     }
-    panic!("panel never healed within {BATCH_CAP} batches:\n{}", d.events().render());
+    panic!(
+        "panel never healed within the config-derived deadline ({} batches streamed):\n{}",
+        b,
+        d.events().render()
+    );
 }
 
 /// The full scripted loop for a *value* fault: sealed weight bit flips
@@ -92,8 +112,9 @@ fn divergent_variant_is_quarantined_reprovisioned_and_rejoins() {
         inputs.iter().map(|i| clean.infer(i).expect("oracle runs")).collect();
     clean.shutdown();
 
+    let cfg = recovery_config();
     let mut d = Deployment::builder(model)
-        .config(recovery_config())
+        .config(cfg.clone())
         .weight_fault(
             MVX_PARTITION,
             0,
@@ -103,14 +124,18 @@ fn divergent_variant_is_quarantined_reprovisioned_and_rejoins() {
         .expect("deploys");
     let launch_bindings = d.bindings().len();
 
+    let deadline = Instant::now() + heal_deadline(&cfg);
+    let poll = cfg.drain_poll();
     let mut healed = None;
-    for b in 0..BATCH_CAP {
+    let mut b = 0u64;
+    while Instant::now() < deadline {
         let idx = (b % inputs.len() as u64) as usize;
         let out = d.infer(&inputs[idx]).expect("majority must keep serving");
         assert!(
             bits_equal(&out, &expected[idx]),
             "batch {b}: degraded/recovered output diverged from the oracle"
         );
+        b += 1;
         let events = d.events();
         if let Some(&(qp, qv, qb)) = events.quarantines().first() {
             assert_eq!(qp, MVX_PARTITION);
@@ -124,7 +149,7 @@ fn divergent_variant_is_quarantined_reprovisioned_and_rejoins() {
                 break;
             }
         }
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::thread::sleep(poll);
     }
     let (qv, _) =
         healed.unwrap_or_else(|| panic!("never healed:\n{}", d.events().render()));

@@ -16,7 +16,7 @@ use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
 use mvtee_serve::{ReplicaPool, RequestOutcome, ServeConfig, ServeFrontend, ShedReason};
 use mvtee_tensor::Tensor;
 use std::collections::BTreeSet;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const SEED: u64 = 23;
 const PANEL: usize = 3;
@@ -49,6 +49,17 @@ fn recovery_mvx() -> MvxConfig {
     cfg.recovery = RecoveryPolicy::enabled();
     cfg.checkpoint_deadline_ms = 300;
     cfg
+}
+
+/// The worst-case detect→react time, derived from the MVX configuration
+/// rather than a hardcoded probe count: one checkpoint deadline to
+/// detect, per-retry backoff, a deadline of slack per allowed attempt,
+/// and the result timeout for the in-flight batch.
+fn heal_deadline(cfg: &MvxConfig) -> Duration {
+    let attempts = cfg.recovery.max_retries + 1;
+    let backoff_total: Duration =
+        (0..cfg.recovery.max_retries).map(|k| cfg.recovery.backoff(k)).sum();
+    cfg.checkpoint_deadline() * (attempts + 1) + backoff_total + cfg.result_timeout()
 }
 
 #[test]
@@ -180,9 +191,13 @@ fn quarantine_mid_burst_loses_nothing_and_sheds_are_distinct() {
 
     // The stall must have tripped quarantine during the burst; keep a
     // trickle flowing until the recovery manager rejoins the variant
-    // (probation needs fresh checkpoints to vote against).
+    // (probation needs fresh checkpoints to vote against). The wait is
+    // bounded by the MVX config's own detect→react deadline.
+    let mvx = recovery_mvx();
+    let deadline = Instant::now() + heal_deadline(&mvx);
+    let poll = mvx.drain_poll();
     let handle = frontend.handle();
-    for _ in 0..200 {
+    while Instant::now() < deadline {
         if !events.recoveries().is_empty() {
             break;
         }
@@ -192,7 +207,7 @@ fn quarantine_mid_burst_loses_nothing_and_sheds_are_distinct() {
                 assert!(bits_equal(&tensor, &reference));
             }
         }
-        std::thread::sleep(Duration::from_millis(20));
+        std::thread::sleep(poll);
     }
     assert!(!events.quarantines().is_empty(), "the stall must trip a quarantine");
     assert!(!events.recoveries().is_empty(), "the quarantined variant must rejoin");
