@@ -9,6 +9,7 @@
 //! experiments serve [--seed N] [--quick] [--out PATH]
 //! experiments trace [--seed N] [--quick] [--out PATH] [--trace-out PATH]
 //! experiments dist [--seed N] [--quick] [--out PATH]
+//! experiments netchaos [--seed N] [--quick] [--out PATH]
 //! experiments audit TRANSCRIPT
 //! ```
 //!
@@ -68,6 +69,21 @@
 //! batch after a worker kill, or a panel that fails to heal to full
 //! strength.
 //!
+//! The `netchaos` subcommand runs the adversarial-transport experiment:
+//! a seeded wire gauntlet over a faulted `SecureChannel` (eight
+//! wire-fault classes; corruption must be AEAD-rejected at 100% and
+//! nothing wrong may be accepted), deployment storms with each class on
+//! a panel member's response wire (every storm must end detected+healed
+//! with bit-correct outputs, or provably masked for a sub-deadline
+//! delay), a crash-loop flap probe (a repeatedly killed worker must trip
+//! the budget and degrade, not respawn forever), and a reconnect probe
+//! (a severed supervised worker must rejoin without a respawn). It
+//! writes `BENCH_netchaos.json` (per-class heal p50/p95,
+//! injected-vs-detected counts, reconnect-vs-respawn split) and exits
+//! non-zero on any byte mismatch, lost batch, missed detection, or
+//! failed heal. The flap/reconnect probes need the built
+//! `mvtee-variantd` worker binary, like `dist`.
+//!
 //! The `audit` subcommand replays a transcript's hash chain and exits
 //! non-zero on any tamper or gap.
 
@@ -77,6 +93,7 @@ use mvtee_bench::experiments::{
     ablation_metric, ablation_weight_fn, fig10, fig11, fig12, fig13, fig14, fig9,
     security_faults, table1, telemetry_report, Settings,
 };
+use mvtee_bench::netchaos::{run_netchaos, NetchaosSettings};
 use mvtee_bench::perf::{run_perf, PerfSettings};
 use mvtee_bench::serve::{run_serve, ServeSettings};
 use mvtee_bench::table::Table;
@@ -327,6 +344,41 @@ fn run_dist_command(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// The `netchaos` subcommand: runs the adversarial-transport experiment,
+/// writes the JSON report and exits non-zero on any byte mismatch, lost
+/// batch, missed detection, or failed heal.
+fn run_netchaos_command(args: &[String]) -> ! {
+    let seed = flag_value(args, "--seed", 7);
+    let settings = if args.iter().any(|a| a == "--quick") {
+        NetchaosSettings::quick(seed)
+    } else {
+        NetchaosSettings::full(seed)
+    };
+    let out_path = flag_path(args, "--out", "BENCH_netchaos.json");
+    status!(
+        "# running adversarial-transport experiment (seed={seed}, {} gauntlet trial(s) and \
+         {} storm(s) per wire-fault class, flap + reconnect probes) …",
+        settings.gauntlet_trials,
+        settings.storms_per_class
+    );
+    let report = run_netchaos(&settings);
+    status!("{}", report.render_text());
+    if let Err(e) = std::fs::write(&out_path, report.render_json()) {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    status!("# wrote {out_path}");
+    status!("{}", telemetry_report());
+    let failures = report.gate_failures();
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("error: {f}");
+        }
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 /// The `audit` subcommand: replays a transcript's hash chain; exits
 /// non-zero on any tamper or gap.
 fn run_audit_command(args: &[String]) -> ! {
@@ -373,7 +425,7 @@ fn main() {
     QUIET.store(args.iter().any(|a| a == "--quiet"), Ordering::Relaxed);
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments [--quick] [--markdown] [--quiet] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]\n       experiments campaign [--seed N] [--count N] [--no-shrink]\n       experiments chaos [--seed N] [--scenarios N] [--quick]\n       experiments perf [--quick] [--out PATH]\n       experiments serve [--seed N] [--quick] [--out PATH]\n       experiments trace [--seed N] [--quick] [--out PATH] [--trace-out PATH]\n       experiments dist [--seed N] [--quick] [--out PATH]\n       experiments audit TRANSCRIPT"
+            "usage: experiments [--quick] [--markdown] [--quiet] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]\n       experiments campaign [--seed N] [--count N] [--no-shrink]\n       experiments chaos [--seed N] [--scenarios N] [--quick]\n       experiments perf [--quick] [--out PATH]\n       experiments serve [--seed N] [--quick] [--out PATH]\n       experiments trace [--seed N] [--quick] [--out PATH] [--trace-out PATH]\n       experiments dist [--seed N] [--quick] [--out PATH]\n       experiments netchaos [--seed N] [--quick] [--out PATH]\n       experiments audit TRANSCRIPT"
         );
         return;
     }
@@ -394,6 +446,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("dist") {
         run_dist_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("netchaos") {
+        run_netchaos_command(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("audit") {
         run_audit_command(&args[1..]);

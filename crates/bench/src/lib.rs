@@ -31,6 +31,7 @@ pub mod chaos;
 pub mod costs;
 pub mod dist;
 pub mod experiments;
+pub mod netchaos;
 pub mod perf;
 pub mod serve;
 pub mod sim;

@@ -20,7 +20,7 @@ use mvtee::{
     PartitionMvx, PathMode, RecoveryPolicy, ResponsePolicy, SpecPatch,
 };
 use mvtee_faults::cve::InputTrigger;
-use mvtee_faults::{flip_weight_bits, Attack, FaultDescriptor, LivenessFault};
+use mvtee_faults::{flip_weight_bits, Attack, FaultDescriptor, LivenessFault, NetFaultClass};
 use mvtee_graph::zoo::{self, Model, ScaleProfile};
 use mvtee_graph::ValueId;
 use mvtee_runtime::{Engine, EngineConfig, EngineKind};
@@ -130,9 +130,10 @@ fn nonpanel_engine(sc: &Scenario) -> EngineConfig {
         }
         // Bit flips are sealed into one panel variant only.
         FaultDescriptor::WeightBitFlip(_) => EngineConfig::of_kind(EngineKind::OrtLike),
-        // Liveness faults live in one panel host's scheduling/transport
-        // stack; non-panel partitions are untouched by construction.
-        FaultDescriptor::Stall(_) | FaultDescriptor::Channel(_) => {
+        // Liveness and wire faults live in one panel host's
+        // scheduling/transport stack; non-panel partitions are untouched
+        // by construction.
+        FaultDescriptor::Stall(_) | FaultDescriptor::Channel(_) | FaultDescriptor::Net(_) => {
             EngineConfig::of_kind(EngineKind::OrtLike)
         }
     }
@@ -201,9 +202,10 @@ pub fn scenario_overrides(sc: &Scenario) -> HashMap<(usize, usize), SpecPatch> {
             // else: the replicated default (plain ORT-like) is susceptible.
         }
         FaultDescriptor::WeightBitFlip(_) => {}
-        // The liveness cycle pairs with Replica: variant 0 keeps the
-        // default spec and the fault is injected into its host instead.
-        FaultDescriptor::Stall(_) | FaultDescriptor::Channel(_) => {}
+        // The liveness and net cycles pair with Replica: variant 0 keeps
+        // the default spec and the fault is injected into its host (or
+        // its wire) instead.
+        FaultDescriptor::Stall(_) | FaultDescriptor::Channel(_) | FaultDescriptor::Net(_) => {}
     }
     for v in 1..sc.panel_size {
         if let Some(patch) = defender_patch(sc) {
@@ -226,7 +228,7 @@ pub fn scenario_config(sc: &Scenario) -> MvxConfig {
     cfg.claims[sc.mvx_partition] = PartitionMvx {
         variants: sc.panel_size,
         replicated: true,
-        metric: if sc.defender.homogeneous() { Metric::strict() } else { Metric::relaxed() },
+        metric: if sc.defender.homogeneous() { Metric::exact() } else { Metric::relaxed() },
         intra_op_threads: 1,
     };
     match &sc.fault {
@@ -247,6 +249,15 @@ pub fn scenario_config(sc: &Scenario) -> MvxConfig {
             cfg.response = ResponsePolicy::ContinueWithMajority;
             cfg.degradation = DegradationPolicy::Degrade;
         }
+        // Wire faults run the same self-healing loop as stalls: the wire
+        // misbehaves, the link errors (AEAD / framing / deadline), the
+        // member is quarantined and a clean replacement rejoins.
+        FaultDescriptor::Net(_) => {
+            cfg.checkpoint_deadline_ms = LIVENESS_DEADLINE_MS;
+            cfg.response = ResponsePolicy::ContinueWithMajority;
+            cfg.degradation = DegradationPolicy::Degrade;
+            cfg.recovery = RecoveryPolicy::enabled();
+        }
         _ => {}
     }
     cfg
@@ -262,9 +273,13 @@ pub fn scenario_config(sc: &Scenario) -> MvxConfig {
 pub fn run_scenario(sc: &Scenario, profile: ScaleProfile) -> Result<Outcome, String> {
     // Liveness faults attack progress, not values: they need a
     // multi-batch stream (so the panel can re-form mid-stream) and their
-    // own classifier.
+    // own classifier. Wire faults attack the transport itself and get
+    // their own runner on top of the same streaming skeleton.
     if matches!(sc.fault, FaultDescriptor::Stall(_) | FaultDescriptor::Channel(_)) {
         return run_liveness_scenario(sc, profile);
+    }
+    if matches!(sc.fault, FaultDescriptor::Net(_)) {
+        return run_netfault_scenario(sc, profile);
     }
     let model = zoo::build(sc.model, profile, sc.seed).map_err(|e| e.to_string())?;
     let input = trigger_input(sc, &model);
@@ -287,6 +302,7 @@ pub fn run_scenario(sc: &Scenario, profile: ScaleProfile) -> Result<Outcome, Str
         FaultDescriptor::Channel(f) => {
             builder.liveness_fault(sc.mvx_partition, 0, LivenessFault::Channel(*f))
         }
+        FaultDescriptor::Net(nf) => builder.net_fault(sc.mvx_partition, 0, *nf),
     };
     let mut d = builder.build().map_err(|e| e.to_string())?;
     // One batch: the campaign asserts detection at the first checkpoint,
@@ -441,6 +457,108 @@ fn run_liveness_scenario(sc: &Scenario, profile: ScaleProfile) -> Result<Outcome
     Ok(verdict)
 }
 
+/// Runs a wire-fault scenario: streams batches through the real pipeline
+/// with a seeded [`mvtee_faults::NetFault`] wrapped around panel variant
+/// 0's response transport, checks every forwarded output bit-for-bit
+/// against an unfaulted oracle deployment, and classifies against the
+/// adversarial-transport invariant:
+///
+/// * corruption classes (corrupt / truncate / torn) must surface as AEAD
+///   or framing link errors — never as silently-accepted bytes — and the
+///   quarantined member must be replaced ([`Outcome::Recovered`]);
+/// * liveness classes (stall / drop / disconnect / duplicate) must heal
+///   through the same quarantine → re-provision loop;
+/// * only a sub-deadline delay may end [`Outcome::Masked`] — every frame
+///   arrived intact and on time, so there is provably nothing to detect.
+fn run_netfault_scenario(sc: &Scenario, profile: ScaleProfile) -> Result<Outcome, String> {
+    let nf = match &sc.fault {
+        FaultDescriptor::Net(nf) => *nf,
+        other => return Err(format!("not a net fault: {other}")),
+    };
+    let cfg = scenario_config(sc);
+    let overrides = scenario_overrides(sc);
+    let build = |model| {
+        let mut builder = Deployment::builder(model).config(cfg.clone());
+        for ((p, v), patch) in &overrides {
+            builder = builder.spec_patch(*p, *v, patch.clone());
+        }
+        builder
+    };
+
+    let model = zoo::build(sc.model, profile, sc.seed).map_err(|e| e.to_string())?;
+    let inputs: Vec<Tensor> =
+        (0..LIVENESS_INPUT_PERIOD).map(|b| liveness_input(sc, &model, b)).collect();
+
+    // The correctness oracle: the identical deployment on a clean wire.
+    let mut clean = build(model).build().map_err(|e| e.to_string())?;
+    let mut expected = Vec::with_capacity(inputs.len());
+    for input in &inputs {
+        expected.push(clean.infer(input).map_err(|e| format!("oracle run failed: {e}"))?);
+    }
+    clean.shutdown();
+
+    let faulted_model = zoo::build(sc.model, profile, sc.seed).map_err(|e| e.to_string())?;
+    let mut d = build(faulted_model)
+        .net_fault(sc.mvx_partition, 0, nf)
+        .build()
+        .map_err(|e| e.to_string())?;
+
+    let mut verdict: Option<Outcome> = None;
+    for b in 0..LIVENESS_BATCH_CAP {
+        let idx = (b % LIVENESS_INPUT_PERIOD) as usize;
+        match d.infer(&inputs[idx]) {
+            Ok(out) => {
+                if !bits_equal(std::slice::from_ref(&out), std::slice::from_ref(&expected[idx]))
+                {
+                    verdict = Some(Outcome::Missed {
+                        reason: format!("wire fault corrupted the output of batch {b}"),
+                    });
+                    break;
+                }
+            }
+            Err(e) => {
+                verdict = Some(Outcome::Missed {
+                    reason: format!("stream failed at batch {b}: {e}"),
+                });
+                break;
+            }
+        }
+        if b + 1 < LIVENESS_BATCHES {
+            continue;
+        }
+        // Terminal-state check: stop streaming once the invariant holds.
+        let events = d.events();
+        if let Some(&(qp, qv, qb)) = events.quarantines().first() {
+            let rejoined = events.recoveries().contains(&(qp, qv))
+                && events.checkpoint_passes().iter().any(|&(pp, pb, agreeing)| {
+                    pp == qp && pb > qb && agreeing == sc.panel_size
+                });
+            if rejoined {
+                verdict = Some(Outcome::Recovered { partition: qp, variant: qv });
+                break;
+            }
+            // Recovery is asynchronous: give the manager a beat before
+            // the next batch dispatches.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        } else if matches!(nf.class, NetFaultClass::Delay { .. }) {
+            // Every frame arrived intact, on time, and in order: a
+            // sub-deadline delay is provably without effect. No other
+            // class may end here — a corrupted or dropped frame that
+            // raised no alarm is a MISSED, caught by the batch cap.
+            verdict = Some(Outcome::Masked);
+            break;
+        }
+    }
+    let verdict = verdict.unwrap_or_else(|| Outcome::Missed {
+        reason: format!(
+            "wire fault raised no alarm and the panel never healed within \
+             {LIVENESS_BATCH_CAP} batches"
+        ),
+    });
+    d.shutdown();
+    Ok(verdict)
+}
+
 fn classify(
     sc: &Scenario,
     cfg: &MvxConfig,
@@ -507,7 +625,11 @@ fn classify(
 
 /// Proves (or refutes) masking: re-executes the faulted variant standalone
 /// — same subgraph, same stage inputs, same fault — and compares its
-/// output bit-for-bit with its own clean run.
+/// output with its own clean run under the panel's own checkpoint metric.
+/// A fault whose effect that metric cannot see is masked by construction:
+/// no checkpoint configured for this panel could ever flag it. (For
+/// homogeneous panels the metric is [`Metric::exact`], so this is the
+/// bit-for-bit comparison it reads as.)
 fn standalone_masked(sc: &Scenario, profile: ScaleProfile) -> Result<bool, String> {
     let model = zoo::build(sc.model, profile, sc.seed).map_err(|e| e.to_string())?;
     let set = select_partition_set(&model.graph, sc.partitions, sc.partition_seed)
@@ -583,14 +705,19 @@ fn standalone_masked(sc: &Scenario, profile: ScaleProfile) -> Result<bool, Strin
                 .run(&stage_inputs)
                 .map_err(|e| e.to_string())?
         }
-        // Liveness faults are value-preserving by construction: a stalled
-        // or frame-dropping host computes the same tensors (or none).
-        // They are classified by the dedicated liveness runner, never by
-        // the standalone masked-check.
-        FaultDescriptor::Stall(_) | FaultDescriptor::Channel(_) => clean.clone(),
+        // Liveness and wire faults are value-preserving by construction:
+        // a stalled host or a misbehaving transport computes the same
+        // tensors (or none — the AEAD layer refuses corrupted frames).
+        // They are classified by their dedicated runners, never by the
+        // standalone masked-check.
+        FaultDescriptor::Stall(_) | FaultDescriptor::Channel(_) | FaultDescriptor::Net(_) => {
+            clean.clone()
+        }
     };
 
-    Ok(bits_equal(&clean, &faulted))
+    let metric = cfg.claims[sc.mvx_partition].metric;
+    Ok(clean.len() == faulted.len()
+        && clean.iter().zip(faulted.iter()).all(|(c, f)| metric.check(c, f)))
 }
 
 /// Bit-exact tensor-list equality (NaN-safe, unlike `f32` comparison).
@@ -609,7 +736,7 @@ fn bits_equal(a: &[Tensor], b: &[Tensor]) -> bool {
 mod tests {
     use super::*;
     use crate::scenario::generate_scenario;
-    use mvtee_faults::{BitFlipFault, BitFlipStrategy};
+    use mvtee_faults::{BitFlipFault, BitFlipStrategy, NetFault};
     use mvtee_graph::zoo::ModelKind;
 
     fn bitflip_scenario() -> Scenario {
@@ -684,6 +811,34 @@ mod tests {
         assert!(
             matches!(out, Outcome::Crashed { .. }),
             "UNP must crash the variant, got {out}"
+        );
+    }
+
+    #[test]
+    fn corrupted_wire_is_detected_by_aead_and_heals() {
+        // Byte corruption on variant 0's response wire: the monitor's
+        // AEAD layer must refuse the frame (never accept the bytes), the
+        // member must be quarantined, and a clean replacement must rejoin
+        // at full strength while the stream stays bit-correct throughout.
+        let sc = Scenario {
+            seed: 21,
+            model: ModelKind::MnasNet,
+            partitions: 2,
+            partition_seed: 4,
+            mvx_partition: 1,
+            panel_size: 3,
+            defender: Defender::Replica,
+            immune: false,
+            fault: FaultDescriptor::Net(NetFault {
+                class: NetFaultClass::Corrupt { seed: 7 },
+                from_frame: 1,
+            }),
+            force_fast: false,
+        };
+        let out = run_scenario(&sc, ScaleProfile::Test).unwrap();
+        assert!(
+            matches!(out, Outcome::Recovered { partition: 1, variant: 0 }),
+            "corrupt wire must quarantine and heal, got {out}"
         );
     }
 

@@ -11,7 +11,7 @@
 use mvtee_faults::cve::InputTrigger;
 use mvtee_faults::{
     Attack, BitFlipFault, BitFlipStrategy, ChannelFault, ChannelFaultMode, CveClass,
-    FaultDescriptor, FrameFlip, StallFault, StallMode,
+    FaultDescriptor, FrameFlip, NetFault, NetFaultClass, StallFault, StallMode,
 };
 use mvtee_graph::zoo::ModelKind;
 use mvtee_runtime::BlasKind;
@@ -248,11 +248,12 @@ pub const CAMPAIGN_MODELS: [ModelKind; 4] =
 
 /// The family schedule cycled by scenario index, guaranteeing that every
 /// CVE class and every fault family — the six CVE classes, weight bit
-/// flips, FrameFlip, and both liveness families (stall and lossy channel)
-/// — appears in any campaign of ≥ 10 scenarios. Slots 0–7 are unchanged
-/// from the original value-fault cycle so historical pinned scenarios
-/// stay valid; the liveness slots are appended.
-const FAMILY_CYCLE: usize = 10;
+/// flips, FrameFlip, both liveness families (stall and lossy channel),
+/// and the wire-level net family — appears in any campaign of ≥ 11
+/// scenarios. Slots 0–7 are unchanged from the original value-fault
+/// cycle so historical pinned scenarios stay valid; the liveness and
+/// transport slots are appended.
+const FAMILY_CYCLE: usize = 11;
 
 /// Generates the `index`-th scenario of the campaign with master seed
 /// `campaign_seed`. Deterministic: the same `(campaign_seed, index)`
@@ -332,7 +333,7 @@ pub fn generate_scenario(campaign_seed: u64, index: u64) -> Scenario {
             let fault = StallFault { from_batch: rng.gen_range(1..=2), mode: StallMode::Hang };
             (FaultDescriptor::Stall(fault), Defender::Replica)
         }
-        _ => {
+        9 => {
             // A lossy response channel without recovery: the panel drops
             // to survivors and the expected outcome is DegradedButCorrect.
             let mode = if rng.gen_bool(0.5) {
@@ -343,13 +344,34 @@ pub fn generate_scenario(campaign_seed: u64, index: u64) -> Scenario {
             let fault = ChannelFault { on_batch: rng.gen_range(1..=2), mode };
             (FaultDescriptor::Channel(fault), Defender::Replica)
         }
+        _ => {
+            // A seeded wire-level fault on variant 0's response transport.
+            // Corruption classes (corrupt/trunc/torn) must surface as
+            // AEAD or framing detections; liveness classes must heal via
+            // quarantine + recovery. `from_frame >= 1` keeps the first
+            // response frame clean so a verified resync point exists.
+            let from_frame = rng.gen_range(1..=2);
+            let class = match rng.gen_range(0..8u32) {
+                0 => NetFaultClass::Delay { ms: rng.gen_range(10..=40) },
+                1 => NetFaultClass::Stall,
+                2 => NetFaultClass::Drop,
+                3 => NetFaultClass::Duplicate,
+                4 => NetFaultClass::Truncate,
+                5 => NetFaultClass::Corrupt { seed: rng.next_u64() },
+                6 => NetFaultClass::Torn,
+                _ => NetFaultClass::Disconnect,
+            };
+            (FaultDescriptor::Net(NetFault { class, from_frame }), Defender::Replica)
+        }
     };
 
     // Continuing service after a knocked-out member needs a strict
     // majority of the *full* panel among the survivors, so liveness
     // scenarios always run a panel of three (2-of-3 keeps voting).
-    let panel_size = if matches!(fault, FaultDescriptor::Stall(_) | FaultDescriptor::Channel(_))
-    {
+    let panel_size = if matches!(
+        fault,
+        FaultDescriptor::Stall(_) | FaultDescriptor::Channel(_) | FaultDescriptor::Net(_)
+    ) {
         3
     } else {
         panel_size
@@ -357,14 +379,15 @@ pub fn generate_scenario(campaign_seed: u64, index: u64) -> Scenario {
 
     // Bit flips hit one replica's sealed weights: an "immune" panel would
     // simply be an unfaulted deployment, so the flag is meaningless there.
-    // Liveness faults live in one host's scheduling/transport stack, so
-    // the same reasoning applies.
+    // Liveness and wire faults live in one host's scheduling/transport
+    // stack, so the same reasoning applies.
     let immune = immune
         && !matches!(
             fault,
             FaultDescriptor::WeightBitFlip(_)
                 | FaultDescriptor::Stall(_)
                 | FaultDescriptor::Channel(_)
+                | FaultDescriptor::Net(_)
         );
 
     // Marker-triggered attacks only fire at partition 0.
@@ -412,8 +435,11 @@ mod tests {
     #[test]
     fn cycle_covers_all_families_and_classes() {
         let mut classes = std::collections::HashSet::new();
-        for i in 0..10 {
-            classes.insert(generate_scenario(7, i).fault.class_name());
+        let mut families = std::collections::HashSet::new();
+        for i in 0..11 {
+            let sc = generate_scenario(7, i);
+            classes.insert(sc.fault.class_name());
+            families.insert(sc.fault.family());
         }
         for class in CveClass::ALL {
             assert!(classes.contains(&class.to_string()), "missing {class}");
@@ -422,6 +448,7 @@ mod tests {
         assert!(classes.contains("frameflip"));
         assert!(classes.contains("stall"));
         assert!(classes.contains("chan"));
+        assert!(families.contains("net"), "net family missing from the cycle");
     }
 
     #[test]
@@ -440,6 +467,13 @@ mod tests {
                 FaultDescriptor::Channel(f) => {
                     assert!(!sc.immune, "immune channel fault is meaningless: {sc}");
                     assert!(f.on_batch >= 1, "{sc}");
+                    assert_eq!(sc.panel_size, 3, "{sc}");
+                }
+                FaultDescriptor::Net(f) => {
+                    assert!(!sc.immune, "immune net fault is meaningless: {sc}");
+                    // The first response frame must land clean so a
+                    // verified resync point exists before the wire acts up.
+                    assert!(f.from_frame >= 1, "{sc}");
                     assert_eq!(sc.panel_size, 3, "{sc}");
                 }
                 _ => {}

@@ -42,12 +42,14 @@ impl PartitionMvx {
         }
     }
 
-    /// `n` identical replicas with a strict metric.
+    /// `n` identical replicas with the zero-tolerance exact metric: the
+    /// deterministic runtime makes replicas value-exact, so an agreement
+    /// tolerance would only mask sub-tolerance corruption.
     pub fn replicated(n: usize) -> Self {
         PartitionMvx {
             variants: n,
             replicated: true,
-            metric: Metric::strict(),
+            metric: Metric::exact(),
             intra_op_threads: 1,
         }
     }
@@ -152,11 +154,28 @@ pub struct RecoveryPolicy {
     /// Base of the exponential backoff between attempts, in ms: attempt
     /// `k` sleeps `backoff_base_ms * 2^k` before retrying.
     pub backoff_base_ms: u64,
+    /// Crash-loop budget: if more than this many recovery requests for
+    /// the *same* variant slot arrive inside [`crash_loop_window_ms`],
+    /// the manager stops respawning (the death is escalated to
+    /// `RecoveryFailed` and the panel serves degraded per
+    /// [`DegradationPolicy`]). `0` disables crash-loop detection — the
+    /// historical respawn-forever behaviour, so it stays the default.
+    ///
+    /// [`crash_loop_window_ms`]: RecoveryPolicy::crash_loop_window_ms
+    pub crash_loop_budget: u32,
+    /// Width of the crash-loop detection window, in ms.
+    pub crash_loop_window_ms: u64,
 }
 
 impl Default for RecoveryPolicy {
     fn default() -> Self {
-        RecoveryPolicy { enabled: false, max_retries: 3, backoff_base_ms: 25 }
+        RecoveryPolicy {
+            enabled: false,
+            max_retries: 3,
+            backoff_base_ms: 25,
+            crash_loop_budget: 0,
+            crash_loop_window_ms: 10_000,
+        }
     }
 }
 
@@ -170,6 +189,75 @@ impl RecoveryPolicy {
     pub fn backoff(&self, attempt: u32) -> std::time::Duration {
         let factor = 1u64 << attempt.min(16);
         std::time::Duration::from_millis(self.backoff_base_ms.saturating_mul(factor))
+    }
+
+    /// The crash-loop window as a [`std::time::Duration`].
+    pub fn crash_loop_window(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.crash_loop_window_ms)
+    }
+}
+
+/// Heartbeat-driven worker supervision and socket-drop recovery.
+///
+/// Supervision watches each out-of-process worker's heartbeat lane: a
+/// worker that misses [`miss_budget`] consecutive deadlines is declared
+/// stalled, its connection is severed, and the ordinary quarantine →
+/// recovery machinery heals it. With [`reconnect`] on, a worker whose
+/// *socket* dropped but whose process is alive may redial and resume
+/// from the last verified checkpoint instead of being fully respawned.
+///
+/// [`miss_budget`]: SupervisionPolicy::miss_budget
+/// [`reconnect`]: SupervisionPolicy::reconnect
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisionPolicy {
+    /// Master switch: when `false` (the default) no heartbeat lane is
+    /// provisioned and workers are only supervised by connection loss.
+    pub enabled: bool,
+    /// Keepalive ping period, in ms. Also the monitor's per-ping receive
+    /// deadline.
+    pub heartbeat_interval_ms: u64,
+    /// Consecutive missed deadlines before the worker is declared
+    /// stalled.
+    pub miss_budget: u32,
+    /// Allow a disconnected-but-alive worker to redial, re-attest and
+    /// resume (reconnect-and-resume) before falling back to a respawn.
+    pub reconnect: bool,
+    /// How long the monitor holds the redial door open before giving up
+    /// and respawning, in ms.
+    pub reconnect_window_ms: u64,
+}
+
+impl Default for SupervisionPolicy {
+    fn default() -> Self {
+        SupervisionPolicy {
+            enabled: false,
+            heartbeat_interval_ms: 100,
+            miss_budget: 3,
+            reconnect: false,
+            reconnect_window_ms: 1_000,
+        }
+    }
+}
+
+impl SupervisionPolicy {
+    /// Supervision switched on with the default cadence.
+    pub fn enabled() -> Self {
+        SupervisionPolicy { enabled: true, ..Self::default() }
+    }
+
+    /// Supervision with reconnect-and-resume also enabled.
+    pub fn with_reconnect() -> Self {
+        SupervisionPolicy { enabled: true, reconnect: true, ..Self::default() }
+    }
+
+    /// The heartbeat interval as a [`std::time::Duration`].
+    pub fn heartbeat_interval(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.heartbeat_interval_ms)
+    }
+
+    /// The reconnect window as a [`std::time::Duration`].
+    pub fn reconnect_window(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.reconnect_window_ms)
     }
 }
 
@@ -221,6 +309,8 @@ pub struct MvxConfig {
     pub degradation: DegradationPolicy,
     /// Automatic quarantine-and-recover policy.
     pub recovery: RecoveryPolicy,
+    /// Heartbeat supervision of out-of-process workers.
+    pub supervision: SupervisionPolicy,
 }
 
 impl MvxConfig {
@@ -243,6 +333,7 @@ impl MvxConfig {
             result_timeout_ms: 120_000,
             degradation: DegradationPolicy::default(),
             recovery: RecoveryPolicy::default(),
+            supervision: SupervisionPolicy::default(),
         }
     }
 
@@ -338,6 +429,17 @@ impl MvxConfig {
         if self.result_timeout_ms == 0 {
             return Err(crate::MvxError::InvalidConfig("zero result timeout".into()));
         }
+        if self.supervision.enabled {
+            if self.supervision.heartbeat_interval_ms == 0 {
+                return Err(crate::MvxError::InvalidConfig("zero heartbeat interval".into()));
+            }
+            if self.supervision.miss_budget == 0 {
+                return Err(crate::MvxError::InvalidConfig("zero heartbeat miss budget".into()));
+            }
+            if self.supervision.reconnect && self.supervision.reconnect_window_ms == 0 {
+                return Err(crate::MvxError::InvalidConfig("zero reconnect window".into()));
+            }
+        }
         if self.exec == ExecMode::AsyncCrossValidation && self.partitions == 1 {
             // "This mode is inherently inapplicable for full MVX without
             // partitioning."
@@ -415,12 +517,84 @@ mod tests {
 
     #[test]
     fn recovery_backoff_is_exponential() {
-        let p = RecoveryPolicy { enabled: true, max_retries: 3, backoff_base_ms: 25 };
+        let p = RecoveryPolicy { max_retries: 3, backoff_base_ms: 25, ..RecoveryPolicy::enabled() };
         assert_eq!(p.backoff(0), std::time::Duration::from_millis(25));
         assert_eq!(p.backoff(1), std::time::Duration::from_millis(50));
         assert_eq!(p.backoff(2), std::time::Duration::from_millis(100));
         // Saturates rather than overflowing for absurd attempt counts.
         assert!(p.backoff(63) >= p.backoff(16));
+    }
+
+    #[test]
+    fn recovery_backoff_caps_at_the_shift_limit() {
+        let p = RecoveryPolicy { backoff_base_ms: 25, ..RecoveryPolicy::enabled() };
+        // Every attempt beyond the cap gets the attempt-16 delay exactly:
+        // the shift saturates instead of growing without bound.
+        let cap = p.backoff(16);
+        assert_eq!(cap, std::time::Duration::from_millis(25 << 16));
+        for attempt in [17, 100, 1_000_000, u32::MAX - 1, u32::MAX] {
+            assert_eq!(p.backoff(attempt), cap, "attempt {attempt} must hit the cap");
+        }
+    }
+
+    #[test]
+    fn recovery_backoff_saturates_on_huge_bases() {
+        // A base large enough that base * 2^16 overflows u64 must
+        // saturate, not panic or wrap to a tiny delay.
+        let p = RecoveryPolicy { backoff_base_ms: u64::MAX / 2, ..RecoveryPolicy::enabled() };
+        assert_eq!(p.backoff(u32::MAX), std::time::Duration::from_millis(u64::MAX));
+        assert!(p.backoff(3) >= p.backoff(2));
+    }
+
+    #[test]
+    fn recovery_backoff_is_monotone_nondecreasing() {
+        for base in [1u64, 25, 1_000] {
+            let p = RecoveryPolicy { backoff_base_ms: base, ..RecoveryPolicy::enabled() };
+            let mut prev = p.backoff(0);
+            for attempt in 1..40u32 {
+                let next = p.backoff(attempt);
+                assert!(next >= prev, "backoff regressed at attempt {attempt} (base {base})");
+                prev = next;
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_backoff_zero_base_is_always_zero() {
+        let p = RecoveryPolicy { backoff_base_ms: 0, ..RecoveryPolicy::enabled() };
+        for attempt in [0, 1, 16, 17, u32::MAX] {
+            assert_eq!(p.backoff(attempt), std::time::Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn crash_loop_detection_is_off_by_default() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(p.crash_loop_budget, 0);
+        assert_eq!(p.crash_loop_window(), std::time::Duration::from_secs(10));
+        assert_eq!(RecoveryPolicy::enabled().crash_loop_budget, 0);
+    }
+
+    #[test]
+    fn supervision_defaults_and_validation() {
+        let c = MvxConfig::fast_path(2);
+        assert!(!c.supervision.enabled);
+        let mut c = MvxConfig::fast_path(2);
+        c.supervision = SupervisionPolicy::enabled();
+        assert_eq!(c.supervision.heartbeat_interval(), std::time::Duration::from_millis(100));
+        assert_eq!(c.supervision.miss_budget, 3);
+        c.validate().unwrap();
+        c.supervision.heartbeat_interval_ms = 0;
+        assert!(c.validate().is_err());
+        let mut c = MvxConfig::fast_path(2);
+        c.supervision = SupervisionPolicy::with_reconnect();
+        assert!(c.supervision.reconnect);
+        c.supervision.reconnect_window_ms = 0;
+        assert!(c.validate().is_err());
+        let mut c = MvxConfig::fast_path(2);
+        c.supervision = SupervisionPolicy::enabled();
+        c.supervision.miss_budget = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

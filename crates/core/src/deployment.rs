@@ -29,9 +29,10 @@ use crate::pipeline::{
     StageRuntime, VariantLink,
 };
 use crate::recovery::{spawn_recovery_manager, RecoveryContext, RecoveryRequest};
+use crate::supervisor::HeartbeatMonitor;
 use crate::transcript::TranscriptLog;
 use crate::variant_host::{SealedVariantPayload, VariantHandle};
-use crate::worker::{place_variant, HostFaults, VariantPlacement};
+use crate::worker::{place_variant, HostFaults, VariantPlacement, WorkerRegistry};
 use crate::{MvxError, Result};
 use crossbeam::channel::{unbounded, Sender};
 use mvtee_crypto::channel::{FrameTransport, Role};
@@ -41,8 +42,9 @@ use mvtee_crypto::x25519::EphemeralKeypair;
 use mvtee_crypto::{random_array, random_bytes};
 use mvtee_diversify::spec::spread_specs;
 use mvtee_telemetry::trace::TraceCtx;
+use mvtee_tensor::metrics::Metric;
 use mvtee_diversify::{VariantGenerator, VariantId, VariantSpec};
-use mvtee_faults::{flip_weight_bits, Attack, BitFlipFault, FrameFlip, LivenessFault};
+use mvtee_faults::{flip_weight_bits, Attack, BitFlipFault, FrameFlip, LivenessFault, NetFault};
 use mvtee_graph::zoo::Model;
 use mvtee_graph::{Graph, ValueId};
 use mvtee_partition::{PartitionPool, PartitionSet, Partitioner, PoolConfig};
@@ -478,6 +480,7 @@ pub struct DeploymentBuilder {
     overrides: HashMap<(usize, usize), SpecPatch>,
     weight_faults: HashMap<(usize, usize), BitFlipFault>,
     liveness_faults: HashMap<(usize, usize), LivenessFault>,
+    net_faults: HashMap<(usize, usize), NetFault>,
     attack: Option<Attack>,
     frameflip: Option<FrameFlip>,
     tee_kind_default: TeeKind,
@@ -496,6 +499,7 @@ impl DeploymentBuilder {
             overrides: HashMap::new(),
             weight_faults: HashMap::new(),
             liveness_faults: HashMap::new(),
+            net_faults: HashMap::new(),
             attack: None,
             frameflip: None,
             tee_kind_default: TeeKind::Sgx,
@@ -520,6 +524,7 @@ impl DeploymentBuilder {
         cfg.drain_poll_ms = self.config.drain_poll_ms;
         cfg.degradation = self.config.degradation;
         cfg.recovery = self.config.recovery;
+        cfg.supervision = self.config.supervision;
         self.config = cfg;
         self
     }
@@ -534,6 +539,16 @@ impl DeploymentBuilder {
     pub fn mvx_on_partition(mut self, partition: usize, variants: usize) -> Self {
         if partition < self.config.claims.len() {
             self.config.claims[partition] = PartitionMvx::replicated(variants);
+        }
+        self
+    }
+
+    /// Overrides the consistency metric of one partition's checkpoint —
+    /// e.g. relaxing a replicated claim whose members were re-engined
+    /// into a heterogeneous panel via [`Self::engine_override`].
+    pub fn checkpoint_metric(mut self, partition: usize, metric: Metric) -> Self {
+        if partition < self.config.claims.len() {
+            self.config.claims[partition].metric = metric;
         }
         self
     }
@@ -642,6 +657,19 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Injects a deterministic wire fault into one variant's network
+    /// path (the adversarial-transport exercise path). Unlike the host
+    /// faults this models the *network between* monitor and variant, so
+    /// it is legal for both placements: in-process it wraps the
+    /// variant's response transport, out-of-process the whole worker
+    /// connection (heartbeat frames exempt from one-shot faults).
+    /// Transient like a liveness fault — replacements provisioned by the
+    /// recovery manager get a fresh, clean connection.
+    pub fn net_fault(mut self, partition: usize, variant: usize, fault: NetFault) -> Self {
+        self.net_faults.insert((partition, variant), fault);
+        self
+    }
+
     /// Injects a simulated CVE attack on every variant host.
     pub fn attack(mut self, attack: Attack) -> Self {
         self.attack = Some(attack);
@@ -720,6 +748,7 @@ impl DeploymentBuilder {
             self.attack,
             self.frameflip,
             self.liveness_faults,
+            self.net_faults,
             self.tee_kind_default,
             self.placements,
             self.worker_bin,
@@ -801,9 +830,15 @@ pub struct Deployment {
     attack: Option<Attack>,
     frameflip: Option<FrameFlip>,
     liveness_faults: HashMap<(usize, usize), LivenessFault>,
+    net_faults: HashMap<(usize, usize), NetFault>,
     tee_kind_default: TeeKind,
     placements: HashMap<(usize, usize), VariantPlacement>,
     worker_bin: Option<PathBuf>,
+    worker_registry: WorkerRegistry,
+    // Replacement handles provisioned by the recovery manager, shared so
+    // kill_worker/worker_pids reach respawned workers too.
+    respawned_workers: Arc<Mutex<Vec<VariantHandle>>>,
+    heartbeat_monitor: HeartbeatMonitor,
     pool: Option<PartitionPool>,
     recovery_tx: Option<Sender<RecoveryRequest>>,
     recovery_manager: Option<JoinHandle<()>>,
@@ -859,6 +894,7 @@ impl Deployment {
         attack: Option<Attack>,
         frameflip: Option<FrameFlip>,
         liveness_faults: HashMap<(usize, usize), LivenessFault>,
+        net_faults: HashMap<(usize, usize), NetFault>,
         tee_kind_default: TeeKind,
         placements: HashMap<(usize, usize), VariantPlacement>,
         worker_bin: Option<PathBuf>,
@@ -901,9 +937,13 @@ impl Deployment {
             attack,
             frameflip,
             liveness_faults,
+            net_faults,
             tee_kind_default,
             placements,
             worker_bin,
+            worker_registry: Arc::new(Mutex::new(HashMap::new())),
+            respawned_workers: Arc::new(Mutex::new(Vec::new())),
+            heartbeat_monitor: HeartbeatMonitor::new(),
             pool: None,
             recovery_tx: None,
             recovery_manager: None,
@@ -957,6 +997,10 @@ impl Deployment {
                 generation: self.generation,
                 events: self.events.clone(),
                 policy: self.config.recovery,
+                supervision: self.config.supervision,
+                registry: self.worker_registry.clone(),
+                respawned: self.respawned_workers.clone(),
+                monitor: self.heartbeat_monitor.clone(),
             };
             self.recovery_manager = Some(spawn_recovery_manager(ctx, rx));
             Some(tx)
@@ -1002,14 +1046,32 @@ impl Deployment {
                         frameflip: self.frameflip.clone(),
                         liveness: self.liveness_faults.get(&(p, v)).cloned(),
                     },
+                    self.net_faults.get(&(p, v)).copied(),
+                    &self.config.supervision,
+                    Some(&self.worker_registry),
                 )?;
                 self.variant_threads.push(placed.handle);
+                let heartbeat = placed.heartbeat;
 
                 let bootstrap_timer =
                     mvtee_telemetry::histogram("core.deployment.bootstrap_ns").start();
                 let session_secret =
                     bootstrap_variant(&boot_ctx, p, v, &artifact, tee_kind, placed.boot.as_ref())?;
                 bootstrap_timer.finish();
+                // Supervise only once the variant is attested and bound:
+                // watching earlier would pin the transport open across a
+                // failed bootstrap.
+                if self.config.supervision.enabled {
+                    if let Some(hb) = heartbeat {
+                        self.heartbeat_monitor.watch(
+                            p,
+                            v,
+                            hb,
+                            &self.config.supervision,
+                            self.events.clone(),
+                        );
+                    }
+                }
                 let tx = DataLink::from_transport(
                     placed.request,
                     self.config.encrypt,
@@ -1097,8 +1159,10 @@ impl Deployment {
     /// Process ids of the out-of-process variant hosts, keyed by
     /// `(partition, variant)` — empty for an all-in-process deployment.
     pub fn worker_pids(&self) -> Vec<((usize, usize), u32)> {
+        let respawned = self.respawned_workers.lock().expect("respawned registry poisoned");
         self.variant_threads
             .iter()
+            .chain(respawned.iter())
             .filter_map(|h| h.pid().map(|pid| ((h.partition, h.variant_index), pid)))
             .collect()
     }
@@ -1110,6 +1174,18 @@ impl Deployment {
     /// re-attesting a replacement worker. Returns `false` when the
     /// variant is in-process or unknown.
     pub fn kill_worker(&mut self, partition: usize, variant: usize) -> bool {
+        // Newest handle first: after a heal the live worker is the
+        // recovery manager's replacement, not the original (whose host
+        // was consumed by the first kill).
+        {
+            let mut respawned =
+                self.respawned_workers.lock().expect("respawned registry poisoned");
+            if let Some(h) = respawned.iter_mut().rev().find(|h| {
+                h.partition == partition && h.variant_index == variant && h.is_process()
+            }) {
+                return h.kill();
+            }
+        }
         self.variant_threads
             .iter_mut()
             .find(|h| h.partition == partition && h.variant_index == variant && h.is_process())
@@ -1403,6 +1479,16 @@ impl Deployment {
 
     fn stop_pipeline(&mut self) {
         self.generation += 1;
+        // Stop heartbeat watchers before tearing the pipeline down so an
+        // orderly shutdown is not misread as a mass stall; a fresh
+        // monitor replaces the stopped one for any relaunch.
+        self.heartbeat_monitor.shutdown();
+        self.heartbeat_monitor = HeartbeatMonitor::new();
+        // Clear the retained reconnect sockets first: lingering
+        // `--resume` workers now get connection-refused on redial and
+        // exit on their own instead of waiting out their strike budget
+        // against a listener nobody will accept on.
+        self.worker_registry.lock().expect("worker registry poisoned").clear();
         let mut runtimes = Vec::new();
         if let Some(handles) = self.handles.take() {
             for tx in &handles.all_stages {

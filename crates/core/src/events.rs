@@ -124,6 +124,34 @@ pub enum MonitorEvent {
         /// Last failure reason.
         reason: String,
     },
+    /// A supervised worker missed a heartbeat deadline (not yet fatal).
+    HeartbeatMissed {
+        /// Partition index.
+        partition: usize,
+        /// Variant index.
+        variant: usize,
+        /// Consecutive misses so far (1-based).
+        missed: u32,
+    },
+    /// A supervised worker exhausted its heartbeat miss budget and was
+    /// declared stalled; its connection is severed so the ordinary
+    /// quarantine → recovery machinery takes over.
+    WorkerStalled {
+        /// Partition index.
+        partition: usize,
+        /// Variant index.
+        variant: usize,
+        /// Consecutive misses at escalation.
+        missed: u32,
+    },
+    /// A live worker whose socket dropped redialed, re-attested and
+    /// resumed from the last verified checkpoint — no respawn needed.
+    WorkerReconnected {
+        /// Partition index.
+        partition: usize,
+        /// Variant index.
+        variant: usize,
+    },
 }
 
 impl fmt::Display for MonitorEvent {
@@ -168,6 +196,18 @@ impl fmt::Display for MonitorEvent {
             MonitorEvent::RecoveryFailed { partition, variant, attempts, reason } => write!(
                 f,
                 "recovery failed for variant {variant} of partition {partition} after {attempts} attempts: {reason}"
+            ),
+            MonitorEvent::HeartbeatMissed { partition, variant, missed } => write!(
+                f,
+                "variant {variant} of partition {partition} missed heartbeat deadline ({missed} consecutive)"
+            ),
+            MonitorEvent::WorkerStalled { partition, variant, missed } => write!(
+                f,
+                "worker for variant {variant} of partition {partition} stalled after {missed} missed heartbeats"
+            ),
+            MonitorEvent::WorkerReconnected { partition, variant } => write!(
+                f,
+                "worker for variant {variant} of partition {partition} reconnected and resumed"
             ),
         }
     }
@@ -250,6 +290,18 @@ impl EventLog {
                 mvtee_telemetry::counter("core.recovery.failed").inc();
                 trace_name = Some("core.event.recovery_failed");
                 dump = true;
+            }
+            MonitorEvent::HeartbeatMissed { .. } => {
+                mvtee_telemetry::counter("core.supervisor.heartbeat_missed").inc();
+            }
+            MonitorEvent::WorkerStalled { .. } => {
+                mvtee_telemetry::counter("core.supervisor.stalled").inc();
+                trace_name = Some("core.event.worker_stalled");
+                dump = true;
+            }
+            MonitorEvent::WorkerReconnected { .. } => {
+                mvtee_telemetry::counter("core.worker.reconnected").inc();
+                trace_name = Some("core.event.worker_reconnected");
             }
             _ => {}
         }
@@ -347,6 +399,34 @@ impl EventLog {
             .filter_map(|(_, e)| match e {
                 MonitorEvent::VariantCrashed { partition, variant, batch, .. } => {
                     Some((*partition, *variant, *batch))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Reconnect-and-resume events: `(partition, variant)`.
+    pub fn reconnections(&self) -> Vec<(usize, usize)> {
+        self.inner
+            .lock()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                MonitorEvent::WorkerReconnected { partition, variant } => {
+                    Some((*partition, *variant))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Worker-stall escalations: `(partition, variant)`.
+    pub fn stalls(&self) -> Vec<(usize, usize)> {
+        self.inner
+            .lock()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                MonitorEvent::WorkerStalled { partition, variant, .. } => {
+                    Some((*partition, *variant))
                 }
                 _ => None,
             })
@@ -477,10 +557,24 @@ mod tests {
                 attempts: 4,
                 reason: "probation".into(),
             },
+            MonitorEvent::HeartbeatMissed { partition: 0, variant: 0, missed: 1 },
+            MonitorEvent::WorkerStalled { partition: 0, variant: 0, missed: 3 },
+            MonitorEvent::WorkerReconnected { partition: 0, variant: 0 },
         ];
         for e in events {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn supervisor_events_do_not_count_as_detections() {
+        let log = EventLog::new();
+        log.record(MonitorEvent::HeartbeatMissed { partition: 0, variant: 1, missed: 1 });
+        log.record(MonitorEvent::WorkerStalled { partition: 0, variant: 1, missed: 3 });
+        log.record(MonitorEvent::WorkerReconnected { partition: 0, variant: 1 });
+        assert_eq!(log.detection_count(), 0);
+        assert_eq!(log.stalls(), vec![(0, 1)]);
+        assert_eq!(log.reconnections(), vec![(0, 1)]);
     }
 
     #[test]

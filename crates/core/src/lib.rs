@@ -57,6 +57,7 @@ pub mod link;
 pub mod messages;
 pub mod pipeline;
 pub mod recovery;
+pub mod supervisor;
 pub mod transcript;
 pub mod variant_host;
 pub mod voting;
@@ -66,12 +67,13 @@ mod error;
 
 pub use config::{
     DegradationPolicy, ExecMode, MvxConfig, PartitionMvx, PathMode, RecoveryPolicy,
-    ResponsePolicy, VotingPolicy,
+    ResponsePolicy, SupervisionPolicy, VotingPolicy,
 };
 pub use deployment::{build_specs, select_partition_set, Deployment, DeploymentBuilder, OfflinePhase, SpecPatch};
 pub use error::MvxError;
 pub use events::{EventLog, MonitorEvent};
 pub use recovery::{RecoveryRequest, ResyncPoint};
+pub use supervisor::HeartbeatMonitor;
 pub use transcript::{
     verify_transcript, AuditError, AuditSummary, TranscriptEntry, TranscriptLog,
     TranscriptVerdict,

@@ -25,7 +25,7 @@
 //!    variant rejoins the panel on the next batch without replaying
 //!    batch history.
 
-use crate::config::RecoveryPolicy;
+use crate::config::{RecoveryPolicy, SupervisionPolicy};
 use crate::deployment::{
     bootstrap_variant, seal_artifact, BindingRecord, BootstrapCtx, VariantArtifact,
 };
@@ -33,20 +33,26 @@ use crate::events::{EventLog, MonitorEvent};
 use crate::link::DataLink;
 use crate::messages::{decode, encode, StageRequest, StageResponse};
 use crate::pipeline::{spawn_rx_thread, RxEvent, VariantLink};
+use crate::supervisor::HeartbeatMonitor;
 use crate::variant_host::VariantHandle;
-use crate::worker::{place_variant, HostFaults, VariantPlacement};
+use crate::worker::{
+    place_variant, placement_for, HostFaults, PlacedVariant, VariantPlacement, WorkerRegistry,
+    WORKER_LANES,
+};
 use crate::{MvxError, Result};
 use crossbeam::channel::{Receiver, Sender};
 use mvtee_crypto::channel::{FrameTransport, Role};
+use mvtee_crypto::mux;
+use mvtee_crypto::tcp::TcpTransport;
 use mvtee_diversify::{VariantGenerator, VariantId, VariantSpec};
 use mvtee_faults::{Attack, FrameFlip};
 use mvtee_graph::Graph;
 use mvtee_tee::{Platform, TeeKind};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The newest checkpoint payload that verified (quorum or full
 /// agreement): the resynchronisation point a recovered variant must
@@ -116,6 +122,16 @@ pub(crate) struct RecoveryContext {
     pub events: EventLog,
     /// Retry budget and backoff.
     pub policy: RecoveryPolicy,
+    /// Worker supervision policy (heartbeats, reconnect-and-resume).
+    pub supervision: SupervisionPolicy,
+    /// Retained worker accept sockets, for reconnect-and-resume.
+    pub registry: WorkerRegistry,
+    /// Replacement worker handles, shared with the deployment so fault
+    /// injection (`kill_worker`) and pid listing reach respawned workers.
+    pub respawned: Arc<Mutex<Vec<VariantHandle>>>,
+    /// Heartbeat watchers — respawned and reconnected workers register
+    /// here so they are supervised exactly like first-launch ones.
+    pub monitor: HeartbeatMonitor,
 }
 
 /// Spawns the recovery-manager thread. It exits when every
@@ -129,12 +145,44 @@ pub(crate) fn spawn_recovery_manager(
     std::thread::Builder::new()
         .name("recovery-manager".into())
         .spawn(move || {
-            let mut handles: Vec<VariantHandle> = Vec::new();
             let mut seq: u64 = 0;
             let time_to_recovery =
                 mvtee_telemetry::histogram("core.recovery.time_to_recovery_ns");
+            let crash_loop_trips = mvtee_telemetry::counter("core.recovery.crash_loop_trips");
+            // Per-variant death timestamps inside the crash-loop window.
+            let mut death_log: HashMap<(usize, usize), VecDeque<Instant>> = HashMap::new();
             while let Ok(req) = requests.recv() {
                 let started = Instant::now();
+                // Crash-loop detection: a variant dying faster than it
+                // heals would otherwise respawn forever, soaking the
+                // retry budget and masking a persistent fault. Once more
+                // than `crash_loop_budget` deaths land inside the window
+                // the variant is abandoned to the degradation policy.
+                if ctx.policy.crash_loop_budget > 0 {
+                    let window = ctx.policy.crash_loop_window();
+                    let deaths = death_log.entry((req.partition, req.variant)).or_default();
+                    let now = Instant::now();
+                    while deaths.front().is_some_and(|t| now.duration_since(*t) > window) {
+                        deaths.pop_front();
+                    }
+                    deaths.push_back(now);
+                    if deaths.len() as u64 > u64::from(ctx.policy.crash_loop_budget) {
+                        crash_loop_trips.inc();
+                        ctx.events.record(MonitorEvent::RecoveryFailed {
+                            partition: req.partition,
+                            variant: req.variant,
+                            attempts: 0,
+                            reason: format!(
+                                "crash-loop budget exhausted: {} deaths inside {:?} \
+                                 (budget {})",
+                                deaths.len(),
+                                window,
+                                ctx.policy.crash_loop_budget
+                            ),
+                        });
+                        continue;
+                    }
+                }
                 // Recovery work forms its own trace keyed by the
                 // quarantined variant's coordinates and channel epoch;
                 // probation replay spans nest under it via the ambient
@@ -163,7 +211,10 @@ pub(crate) fn spawn_recovery_manager(
                     seq += 1;
                     match attempt_recovery(&ctx, &req, seq) {
                         Ok(handle) => {
-                            handles.push(handle);
+                            ctx.respawned
+                                .lock()
+                                .expect("respawned registry poisoned")
+                                .push(handle);
                             recovered = true;
                             break;
                         }
@@ -186,7 +237,12 @@ pub(crate) fn spawn_recovery_manager(
                     });
                 }
             }
-            for h in handles {
+            let drained: Vec<VariantHandle> = {
+                let mut respawned =
+                    ctx.respawned.lock().expect("respawned registry poisoned");
+                respawned.drain(..).collect()
+            };
+            for h in drained {
                 h.join();
             }
         })
@@ -237,25 +293,143 @@ fn attempt_recovery(
         },
         VariantPlacement::OutOfProcess => HostFaults::default(),
     };
-    let placed = place_variant(
-        placement,
-        ctx.worker_bin.as_deref(),
+    // Reconnect-and-resume: a live worker whose socket dropped redials
+    // the retained port. Accepting that redial and re-placing over the
+    // fresh connection (full re-attestation + probation, like any
+    // recovery) skips the expensive respawn; if no redial arrives
+    // inside the window, fall through to a full respawn. Wire faults
+    // are transient, like liveness faults — a replacement's fresh
+    // connection does not re-inherit them.
+    let mut reconnected = false;
+    let placed = match placement {
+        VariantPlacement::OutOfProcess
+            if ctx.supervision.enabled && ctx.supervision.reconnect =>
+        {
+            match try_reconnect_worker(ctx, p, v, &artifact, tee_kind)? {
+                Some(placed) => {
+                    reconnected = true;
+                    placed
+                }
+                None => place_variant(
+                    placement,
+                    ctx.worker_bin.as_deref(),
+                    p,
+                    v,
+                    tee_kind,
+                    &ctx.platform,
+                    &ctx.init_code,
+                    &artifact,
+                    ctx.encrypt,
+                    faults,
+                    None,
+                    &ctx.supervision,
+                    Some(&ctx.registry),
+                )?,
+            }
+        }
+        _ => place_variant(
+            placement,
+            ctx.worker_bin.as_deref(),
+            p,
+            v,
+            tee_kind,
+            &ctx.platform,
+            &ctx.init_code,
+            &artifact,
+            ctx.encrypt,
+            faults,
+            None,
+            &ctx.supervision,
+            Some(&ctx.registry),
+        )?,
+    };
+    let handle = placed.handle;
+    let heartbeat = placed.heartbeat;
+    // `provision` owns every monitor-side transport: any failure inside
+    // drops them (and the heartbeat lane with them), which closes the
+    // variant's channels, which lets the replacement host exit — so
+    // dropping `handle` on the error path joins promptly instead of
+    // deadlocking on a half-bootstrapped TEE.
+    provision(ctx, req, &artifact, tee_kind, placed.boot, placed.request, placed.response)?;
+    // Supervise only once the replacement is actually serving: watching
+    // earlier would pin the transport open across a failed provision.
+    if ctx.supervision.enabled {
+        if let Some(hb) = heartbeat {
+            ctx.monitor.watch(p, v, hb, &ctx.supervision, ctx.events.clone());
+        }
+    }
+    if reconnected {
+        ctx.events.record(MonitorEvent::WorkerReconnected { partition: p, variant: v });
+    }
+    Ok(handle)
+}
+
+/// Accepts a resumed worker's redial on the retained listener, within
+/// the policy's reconnect window. `Ok(None)` means no redial arrived
+/// (or no socket was retained) and the caller should respawn instead.
+fn try_reconnect_worker(
+    ctx: &RecoveryContext,
+    p: usize,
+    v: usize,
+    artifact: &VariantArtifact,
+    tee_kind: TeeKind,
+) -> Result<Option<PlacedVariant>> {
+    // Clone the listener out so provisioning never holds the registry
+    // lock (pipeline teardown clears the registry concurrently).
+    let listener = {
+        let registry = ctx.registry.lock().expect("worker registry poisoned");
+        match registry.get(&(p, v)) {
+            Some(l) => match l.try_clone() {
+                Ok(l) => l,
+                Err(_) => return Ok(None),
+            },
+            None => return Ok(None),
+        }
+    };
+    let deadline = Instant::now() + ctx.supervision.reconnect_window();
+    let stream = loop {
+        match listener.accept() {
+            Ok((stream, _)) => break stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Ok(None);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return Ok(None),
+        }
+    };
+    stream
+        .set_nonblocking(false)
+        .map_err(|e| MvxError::Transport(format!("reconnect stream blocking: {e}")))?;
+    let transport =
+        TcpTransport::new(stream).map_err(|e| MvxError::Transport(e.to_string()))?;
+    let mut lanes = mux::split(transport, &WORKER_LANES);
+    let heartbeat = lanes.pop().expect("four lanes");
+    let response = lanes.pop().expect("four lanes");
+    let request = lanes.pop().expect("four lanes");
+    let boot = lanes.pop().expect("four lanes");
+    let placement = placement_for(
         p,
         v,
         tee_kind,
         &ctx.platform,
         &ctx.init_code,
-        &artifact,
+        artifact,
         ctx.encrypt,
-        faults,
-    )?;
-    let handle = placed.handle;
-    // `provision` owns every monitor-side transport: any failure inside
-    // drops them, which closes the variant's channels, which lets the
-    // replacement host exit — so dropping `handle` on the error path
-    // joins promptly instead of deadlocking on a half-bootstrapped TEE.
-    provision(ctx, req, &artifact, tee_kind, placed.boot, placed.request, placed.response)?;
-    Ok(handle)
+        ctx.supervision.heartbeat_interval_ms,
+    );
+    boot.send_frame(encode(&placement)?)
+        .map_err(|e| MvxError::Transport(format!("reconnect placement send: {e}")))?;
+    Ok(Some(PlacedVariant {
+        // The original handle still owns the worker `Child`; the
+        // resumed placement must not double-own the process.
+        handle: VariantHandle::detached(p, v),
+        boot: Box::new(boot),
+        request: Box::new(request),
+        response: Box::new(response),
+        heartbeat: Some(heartbeat),
+    }))
 }
 
 /// The fallible monitor-side half of one attempt: bootstrap, probation,

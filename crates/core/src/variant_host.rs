@@ -111,6 +111,15 @@ impl VariantHandle {
         VariantHandle { partition, variant_index, host: Some(HostKind::Process(child)) }
     }
 
+    /// A handle with no underlying host to own: used when an *existing*
+    /// worker process reconnects after a dropped socket — the original
+    /// handle (and its `Child`) still belongs to the first placement, so
+    /// the resumed placement tracks the variant without double-owning
+    /// the process.
+    pub fn detached(partition: usize, variant_index: usize) -> Self {
+        VariantHandle { partition, variant_index, host: None }
+    }
+
     /// Whether this variant runs as a separate OS process.
     pub fn is_process(&self) -> bool {
         matches!(self.host, Some(HostKind::Process(_)))

@@ -6,12 +6,12 @@
 //! worker the untrusted orchestrator spawns, the distributed setting).
 //! The worker connects back to the monitor over loopback TCP; the single
 //! connection is lane-multiplexed ([`mvtee_crypto::mux`]) into the
-//! bootstrap transport plus the two data-plane transports, and from there
-//! the *identical* variant-host code runs: Fig 5/6 two-stage attestation,
-//! AES-GCM channels with per-direction keys, checkpoint serving. The
-//! monitor cannot tell the placements apart except through the transport
-//! handle — which is exactly the conformance property
-//! `tests/dist_conformance.rs` pins down.
+//! bootstrap transport, the two data-plane transports and a heartbeat
+//! lane, and from there the *identical* variant-host code runs: Fig 5/6
+//! two-stage attestation, AES-GCM channels with per-direction keys,
+//! checkpoint serving. The monitor cannot tell the placements apart
+//! except through the transport handle — which is exactly the
+//! conformance property `tests/dist_conformance.rs` pins down.
 //!
 //! What crosses the process boundary in the clear is only what the
 //! untrusted orchestrator legitimately holds: public init-variant code,
@@ -22,18 +22,32 @@
 //! across host processes by sharing the root) — the variant key and
 //! session secrets still only ever travel inside the attested key
 //! release.
+//!
+//! Supervision additions: when a [`SupervisionPolicy`] is enabled the
+//! worker keepalive-pings the heartbeat lane so the monitor's
+//! [`HeartbeatMonitor`](crate::supervisor::HeartbeatMonitor) can tell a
+//! stalled peer from a slow one, and with `reconnect` the monitor
+//! retains each worker's accept socket in a [`WorkerRegistry`] so a
+//! live worker whose connection dropped can redial (`--resume`) and be
+//! re-placed without a full respawn.
 
+use crate::config::SupervisionPolicy;
 use crate::deployment::VariantArtifact;
 use crate::variant_host::{spawn_variant, variant_main, VariantHandle, VariantLaunch};
 use crate::{MvxError, Result};
 use mvtee_crypto::channel::{memory_pair, FrameTransport};
-use mvtee_faults::{Attack, FrameFlip, LivenessFault};
-use mvtee_crypto::mux::{self, MuxLane, LANE_BOOTSTRAP, LANE_REQUEST, LANE_RESPONSE};
+use mvtee_crypto::mux::{
+    self, MuxLane, LANE_BOOTSTRAP, LANE_HEARTBEAT, LANE_REQUEST, LANE_RESPONSE,
+};
 use mvtee_crypto::tcp::{bind_loopback, TcpTransport};
+use mvtee_faults::{Attack, FaultDirection, FaultyTransport, FrameFlip, LivenessFault, NetFault};
 use mvtee_tee::{Manifest, Platform, TeeKind};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Where a variant host runs.
@@ -74,6 +88,9 @@ pub struct WorkerPlacement {
     pub sealed_blob: Vec<u8>,
     /// Whether data-plane traffic is encrypted.
     pub encrypt: bool,
+    /// Keepalive ping period on the heartbeat lane, in milliseconds.
+    /// Zero disables the worker-side pinger (no supervision).
+    pub heartbeat_interval_ms: u64,
 }
 
 /// Locates the `mvtee-variantd` worker binary: the `MVTEE_VARIANTD`
@@ -82,24 +99,51 @@ pub struct WorkerPlacement {
 /// binaries, `target/<profile>` for the experiments binary — both
 /// resolve to the sibling `target/<profile>/mvtee-variantd` that a
 /// workspace build produces).
-pub fn worker_binary() -> Option<PathBuf> {
+///
+/// # Errors
+///
+/// When no candidate resolves to a file, the error lists every path
+/// that was searched plus how to fix it — build the workspace binary or
+/// point `MVTEE_VARIANTD` at one.
+pub fn worker_binary() -> Result<PathBuf> {
+    let mut searched = Vec::new();
     if let Ok(path) = std::env::var("MVTEE_VARIANTD") {
         let path = PathBuf::from(path);
         if path.is_file() {
-            return Some(path);
+            return Ok(path);
         }
+        searched.push(format!("{} (from MVTEE_VARIANTD)", path.display()));
     }
-    let exe = std::env::current_exe().ok()?;
-    let mut dir = exe.parent()?.to_path_buf();
-    for _ in 0..3 {
-        let candidate = dir.join(format!("mvtee-variantd{}", std::env::consts::EXE_SUFFIX));
-        if candidate.is_file() {
-            return Some(candidate);
+    if let Ok(exe) = std::env::current_exe() {
+        let mut dir = exe.parent().map(Path::to_path_buf);
+        for _ in 0..3 {
+            let Some(d) = dir else { break };
+            let candidate = d.join(format!("mvtee-variantd{}", std::env::consts::EXE_SUFFIX));
+            if candidate.is_file() {
+                return Ok(candidate);
+            }
+            searched.push(candidate.display().to_string());
+            dir = d.parent().map(Path::to_path_buf);
         }
-        dir = dir.parent()?.to_path_buf();
+    } else {
+        searched.push("<current executable unresolvable>".into());
     }
-    None
+    Err(MvxError::InvalidConfig(format!(
+        "no mvtee-variantd worker binary found; searched: [{}] — build it with \
+         `cargo build --bin mvtee-variantd` or set MVTEE_VARIANTD to its path",
+        searched.join(", ")
+    )))
 }
+
+/// Retained worker accept sockets, keyed by `(partition, variant)`.
+///
+/// Populated when the supervision policy allows reconnection: the
+/// monitor keeps each worker's listening socket open after the first
+/// accept so a worker whose connection dropped can redial the *same*
+/// port and resume, instead of being killed and respawned. Cleared
+/// before pipeline teardown so lingering `--resume` workers get
+/// connection-refused and exit on their own.
+pub(crate) type WorkerRegistry = Arc<Mutex<HashMap<(usize, usize), TcpListener>>>;
 
 /// The monitor-side transports of one placed variant, plus its host
 /// handle — what [`place_variant`] hands back regardless of placement.
@@ -112,10 +156,44 @@ pub(crate) struct PlacedVariant {
     pub request: Box<dyn FrameTransport>,
     /// Stage-response transport (monitor side).
     pub response: Box<dyn FrameTransport>,
+    /// Heartbeat lane (monitor side), present for out-of-process
+    /// placements — the supervisor watches it with a receive deadline.
+    pub heartbeat: Option<MuxLane>,
 }
+
+/// Supervision-driven options for spawning one worker process.
+#[derive(Default)]
+pub(crate) struct SpawnOptions<'a> {
+    /// Pass `--resume` so the child redials after connection loss.
+    pub resume: bool,
+    /// Retain the accept socket here for reconnect-and-resume.
+    pub registry: Option<&'a WorkerRegistry>,
+    /// Wrap the worker connection in a deterministic wire-fault
+    /// injector (the adversarial-network harness). Heartbeat frames are
+    /// exempt from one-shot faults so liveness verdicts stay about the
+    /// data plane — an ongoing stall still silences them, which is the
+    /// point.
+    pub netfault: Option<NetFault>,
+}
+
+/// Lane layout of a worker connection, in [`mux::split`] order.
+pub(crate) const WORKER_LANES: [u8; 4] =
+    [LANE_BOOTSTRAP, LANE_REQUEST, LANE_RESPONSE, LANE_HEARTBEAT];
 
 /// How long the monitor waits for a freshly spawned worker to dial back.
 const WORKER_CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long a resumed worker waits for the monitor to re-send a
+/// placement after redialling. A connect can succeed via the retained
+/// listener's backlog even when the monitor is not actively
+/// reconnecting, so the placement wait needs its own deadline.
+const RESUME_PLACEMENT_TIMEOUT: Duration = Duration::from_secs(3);
+
+/// Consecutive failed redial attempts before a resuming worker exits.
+const RESUME_MAX_STRIKES: u32 = 5;
+
+/// Pause between redial attempts.
+const RESUME_RETRY_DELAY: Duration = Duration::from_millis(50);
 
 /// Spawns one `mvtee-variantd` worker: binds an ephemeral loopback port,
 /// launches the binary pointed at it, accepts the connection, splits it
@@ -129,13 +207,17 @@ const WORKER_CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
 pub(crate) fn spawn_worker_process(
     bin: &Path,
     placement: &WorkerPlacement,
+    opts: &SpawnOptions<'_>,
 ) -> Result<PlacedVariant> {
     let (partition, variant_index) = (placement.partition, placement.variant_index);
     let (listener, port) =
         bind_loopback().map_err(|e| MvxError::Transport(e.to_string()))?;
-    let mut child = Command::new(bin)
-        .arg("--connect")
-        .arg(format!("127.0.0.1:{port}"))
+    let mut cmd = Command::new(bin);
+    cmd.arg("--connect").arg(format!("127.0.0.1:{port}"));
+    if opts.resume {
+        cmd.arg("--resume");
+    }
+    let mut child = cmd
         .stdin(Stdio::null())
         .spawn()
         .map_err(|e| MvxError::Transport(format!("spawn {}: {e}", bin.display())))?;
@@ -174,19 +256,36 @@ pub(crate) fn spawn_worker_process(
         .map_err(|e| MvxError::Transport(format!("stream blocking: {e}")))?;
     let transport =
         TcpTransport::new(stream).map_err(|e| MvxError::Transport(e.to_string()))?;
-    let mut lanes = mux::split(transport, &[LANE_BOOTSTRAP, LANE_REQUEST, LANE_RESPONSE]);
-    let response = lanes.pop().expect("three lanes");
-    let request = lanes.pop().expect("three lanes");
-    let boot = lanes.pop().expect("three lanes");
+    let mut lanes = match opts.netfault {
+        Some(nf) => mux::split(
+            FaultyTransport::new(transport, nf, FaultDirection::Recv)
+                .exempt_lane(LANE_HEARTBEAT),
+            &WORKER_LANES,
+        ),
+        None => mux::split(transport, &WORKER_LANES),
+    };
+    let heartbeat = lanes.pop().expect("four lanes");
+    let response = lanes.pop().expect("four lanes");
+    let request = lanes.pop().expect("four lanes");
+    let boot = lanes.pop().expect("four lanes");
 
     boot.send_frame(crate::messages::encode(placement)?)
         .map_err(|e| MvxError::Transport(format!("placement send: {e}")))?;
+    if let Some(registry) = opts.registry {
+        // Keep the (nonblocking) accept socket so the worker can redial
+        // this port if its connection drops.
+        registry
+            .lock()
+            .expect("worker registry poisoned")
+            .insert((partition, variant_index), listener);
+    }
     mvtee_telemetry::counter("core.worker.spawned").inc();
     Ok(PlacedVariant {
         handle: VariantHandle::from_process(partition, variant_index, child),
         boot: Box::new(boot),
         request: Box::new(request),
         response: Box::new(response),
+        heartbeat: Some(heartbeat),
     })
 }
 
@@ -194,22 +293,61 @@ pub(crate) fn spawn_worker_process(
 /// receive the placement, then run the standard variant-host main loop
 /// over the multiplexed lanes until shutdown or connection loss.
 ///
+/// With `resume` the worker does not exit when its placement ends:
+/// it redials the same address — the monitor retains the accept socket
+/// in its [`WorkerRegistry`] — and serves a fresh placement if one
+/// arrives. A monitor that has shut down (or never re-places) shows up
+/// as consecutive refused/placement-less attempts, after which the
+/// worker exits cleanly.
+///
 /// # Errors
 ///
-/// Fails on connection loss, a malformed placement, or any variant-host
-/// failure (bootstrap rejection, manifest violation…).
-pub fn run_worker(addr: &str) -> Result<()> {
+/// Fails on first-connection loss, a malformed placement, or any
+/// variant-host failure (bootstrap rejection, manifest violation…).
+pub fn run_worker(addr: &str, resume: bool) -> Result<()> {
+    // The first connection must succeed: failures here are spawn or
+    // configuration errors, not transient network loss.
+    serve_connection(addr, false)?;
+    if !resume {
+        return Ok(());
+    }
+    let mut strikes = 0u32;
+    while strikes < RESUME_MAX_STRIKES {
+        match serve_connection(addr, true) {
+            Ok(()) => strikes = 0,
+            Err(_) => {
+                strikes += 1;
+                std::thread::sleep(RESUME_RETRY_DELAY);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One worker connection: dial, split lanes, receive the placement,
+/// start the keepalive pinger, run the variant host to completion.
+fn serve_connection(addr: &str, resumed: bool) -> Result<()> {
     let transport =
         TcpTransport::connect(addr).map_err(|e| MvxError::Transport(e.to_string()))?;
-    let mut lanes = mux::split(transport, &[LANE_BOOTSTRAP, LANE_REQUEST, LANE_RESPONSE]);
-    let response: MuxLane = lanes.pop().expect("three lanes");
-    let request: MuxLane = lanes.pop().expect("three lanes");
-    let boot: MuxLane = lanes.pop().expect("three lanes");
+    let mut lanes = mux::split(transport, &WORKER_LANES);
+    let heartbeat: MuxLane = lanes.pop().expect("four lanes");
+    let response: MuxLane = lanes.pop().expect("four lanes");
+    let request: MuxLane = lanes.pop().expect("four lanes");
+    let boot: MuxLane = lanes.pop().expect("four lanes");
 
-    let placement_bytes = boot
-        .recv_frame()
-        .map_err(|e| MvxError::Transport(format!("placement recv: {e}")))?;
+    let placement_bytes = if resumed {
+        boot.recv_frame_deadline(RESUME_PLACEMENT_TIMEOUT)
+    } else {
+        boot.recv_frame()
+    }
+    .map_err(|e| MvxError::Transport(format!("placement recv: {e}")))?;
     let placement: WorkerPlacement = crate::messages::decode(&placement_bytes)?;
+    // Keepalive starts before bootstrap so the supervisor's first
+    // deadline window already sees pings; held until variant_main ends,
+    // then dropped (stopping the pinger) with the connection.
+    let _keepalive = (placement.heartbeat_interval_ms > 0).then(|| {
+        mux::spawn_keepalive(heartbeat, Duration::from_millis(placement.heartbeat_interval_ms))
+    });
     let launch = VariantLaunch {
         partition: placement.partition,
         variant_index: placement.variant_index,
@@ -253,6 +391,11 @@ impl HostFaults {
 /// multiplexed TCP lanes. The monitor-side result is placement-agnostic —
 /// the same boxed transports either way.
 ///
+/// A `netfault` — unlike [`HostFaults`] — models the *network between*
+/// monitor and variant, so it is legal for both placements: in-process
+/// it wraps the variant's response transport, out-of-process it wraps
+/// the worker connection underneath the mux.
+///
 /// # Errors
 ///
 /// Out-of-process placement fails when simulated faults are requested
@@ -271,12 +414,21 @@ pub(crate) fn place_variant(
     artifact: &VariantArtifact,
     encrypt: bool,
     faults: HostFaults,
+    netfault: Option<NetFault>,
+    supervision: &SupervisionPolicy,
+    registry: Option<&WorkerRegistry>,
 ) -> Result<PlacedVariant> {
     match placement {
         VariantPlacement::InProcess => {
             let (boot_monitor, boot_variant) = memory_pair();
             let (req_monitor, req_variant) = memory_pair();
             let (resp_variant, resp_monitor) = memory_pair();
+            let response_transport: Box<dyn FrameTransport> = match netfault {
+                Some(nf) => {
+                    Box::new(FaultyTransport::new(resp_variant, nf, FaultDirection::Send))
+                }
+                None => Box::new(resp_variant),
+            };
             let launch = VariantLaunch {
                 partition,
                 variant_index,
@@ -292,13 +444,14 @@ pub(crate) fn place_variant(
                 liveness: faults.liveness,
                 bootstrap: Box::new(boot_variant),
                 request: Box::new(req_variant),
-                response: Box::new(resp_variant),
+                response: response_transport,
             };
             Ok(PlacedVariant {
                 handle: spawn_variant(launch),
                 boot: Box::new(boot_monitor),
                 request: Box::new(req_monitor),
                 response: Box::new(resp_monitor),
+                heartbeat: None,
             })
         }
         VariantPlacement::OutOfProcess => {
@@ -313,16 +466,12 @@ pub(crate) fn place_variant(
             let bin = match worker_bin {
                 Some(bin) => bin,
                 None => {
-                    resolved = worker_binary().ok_or_else(|| {
-                        MvxError::InvalidConfig(
-                            "no mvtee-variantd binary found (build the workspace or set \
-                             MVTEE_VARIANTD)"
-                                .into(),
-                        )
-                    })?;
+                    resolved = worker_binary()?;
                     &resolved
                 }
             };
+            let heartbeat_ms =
+                if supervision.enabled { supervision.heartbeat_interval_ms } else { 0 };
             let placement = placement_for(
                 partition,
                 variant_index,
@@ -331,14 +480,22 @@ pub(crate) fn place_variant(
                 init_code,
                 artifact,
                 encrypt,
+                heartbeat_ms,
             );
-            spawn_worker_process(bin, &placement)
+            let reconnect = supervision.enabled && supervision.reconnect;
+            let opts = SpawnOptions {
+                resume: reconnect,
+                registry: if reconnect { registry } else { None },
+                netfault,
+            };
+            spawn_worker_process(bin, &placement, &opts)
         }
     }
 }
 
 /// Builds the [`WorkerPlacement`] for one variant from its offline
 /// artifact — the single construction shared by launch and recovery.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn placement_for(
     partition: usize,
     variant_index: usize,
@@ -347,6 +504,7 @@ pub(crate) fn placement_for(
     init_code: &[u8],
     artifact: &VariantArtifact,
     encrypt: bool,
+    heartbeat_interval_ms: u64,
 ) -> WorkerPlacement {
     WorkerPlacement {
         partition,
@@ -359,6 +517,7 @@ pub(crate) fn placement_for(
         sealed_salt: artifact.sealed.0,
         sealed_blob: artifact.sealed.1.clone(),
         encrypt,
+        heartbeat_interval_ms,
     }
 }
 
@@ -380,6 +539,7 @@ mod tests {
             sealed_salt: [9u8; 16],
             sealed_blob: vec![1, 2, 3, 4],
             encrypt: true,
+            heartbeat_interval_ms: 250,
         };
         let bytes = encode(&placement).unwrap();
         let back: WorkerPlacement = decode(&bytes).unwrap();
@@ -390,14 +550,20 @@ mod tests {
         assert_eq!(back.sealed_salt, [9u8; 16]);
         assert_eq!(back.sealed_blob, vec![1, 2, 3, 4]);
         assert!(back.encrypt);
+        assert_eq!(back.heartbeat_interval_ms, 250);
     }
 
     #[test]
-    fn worker_binary_resolver_honours_env_override() {
-        // The resolver must never return a non-file path, whatever the
-        // environment says.
-        if let Some(bin) = worker_binary() {
-            assert!(bin.is_file());
+    fn worker_binary_resolver_reports_what_it_searched() {
+        // Whatever the environment, the resolver either produces a real
+        // file or an error naming the searched paths and the override.
+        match worker_binary() {
+            Ok(bin) => assert!(bin.is_file()),
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(msg.contains("MVTEE_VARIANTD"), "error must hint the override: {msg}");
+                assert!(msg.contains("searched"), "error must list searched paths: {msg}");
+            }
         }
     }
 }

@@ -207,6 +207,7 @@ struct ChannelTelemetry {
     bytes_in: mvtee_telemetry::Counter,
     seal_ns: mvtee_telemetry::Histogram,
     open_ns: mvtee_telemetry::Histogram,
+    auth_failures: mvtee_telemetry::Counter,
 }
 
 impl ChannelTelemetry {
@@ -216,6 +217,7 @@ impl ChannelTelemetry {
             bytes_in: mvtee_telemetry::counter("crypto.channel.bytes_in"),
             seal_ns: mvtee_telemetry::histogram("crypto.channel.seal_ns"),
             open_ns: mvtee_telemetry::histogram("crypto.channel.open_ns"),
+            auth_failures: mvtee_telemetry::counter("crypto.channel.auth_failures"),
         }
     }
 }
@@ -329,6 +331,12 @@ impl<T: FrameTransport> SecureChannel<T> {
             }
             Err(e) => {
                 open_timer.cancel();
+                if e == CryptoError::AuthenticationFailed {
+                    // A frame that *arrived* but fails AEAD is corruption
+                    // or tampering — distinct from disconnects/timeouts,
+                    // and the netchaos detection gate audits this count.
+                    self.telemetry.auth_failures.inc();
+                }
                 Err(e)
             }
         }
@@ -417,6 +425,26 @@ mod tests {
         c.send_frame(frame).unwrap();
         let mut rx = SecureChannel::new(d, &hs_r, 2);
         assert!(matches!(rx.recv(), Err(CryptoError::AuthenticationFailed)));
+    }
+
+    #[test]
+    fn auth_failures_are_counted() {
+        let counter = mvtee_telemetry::counter("crypto.channel.auth_failures");
+        let before = counter.get();
+        let hs_i = Handshake::from_pre_shared(b"count", Role::Initiator);
+        let hs_r = Handshake::from_pre_shared(b"count", Role::Responder);
+        let (a, b) = memory_pair();
+        let mut tx = SecureChannel::new(a, &hs_i, 4);
+        tx.send(b"payload").unwrap();
+        let mut frame = b.recv_frame().unwrap();
+        frame[9] ^= 0x01;
+        let (c, d) = memory_pair();
+        c.send_frame(frame).unwrap();
+        let mut rx = SecureChannel::new(d, &hs_r, 4);
+        assert!(matches!(rx.recv(), Err(CryptoError::AuthenticationFailed)));
+        // Other tests tamper frames concurrently, so assert growth, not
+        // an exact delta.
+        assert!(counter.get() > before);
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub enum CryptoError {
     },
     /// The channel handshake failed.
     HandshakeFailed(String),
+    /// The peer hung up cleanly (orderly close, not a protocol violation).
+    ConnectionClosed,
+    /// No frame arrived before the caller's deadline expired.
+    RecvTimeout,
 }
 
 impl fmt::Display for CryptoError {
@@ -51,6 +55,8 @@ impl fmt::Display for CryptoError {
                 write!(f, "sequence mismatch: expected {expected}, got {actual}")
             }
             CryptoError::HandshakeFailed(why) => write!(f, "handshake failed: {why}"),
+            CryptoError::ConnectionClosed => write!(f, "connection closed by peer"),
+            CryptoError::RecvTimeout => write!(f, "receive deadline expired"),
         }
     }
 }
@@ -71,6 +77,8 @@ mod tests {
             CryptoError::MalformedFrame,
             CryptoError::SequenceMismatch { expected: 1, actual: 9 },
             CryptoError::HandshakeFailed("nope".into()),
+            CryptoError::ConnectionClosed,
+            CryptoError::RecvTimeout,
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -17,6 +17,7 @@ use crate::bitflip::BitFlipStrategy;
 use crate::blasfault::{FrameFlip, GemmCorruption};
 use crate::cve::{Attack, CveClass, InputTrigger};
 use crate::liveness::{ChannelFault, ChannelFaultMode, StallFault, StallMode};
+use crate::netfault::NetFault;
 use mvtee_runtime::BlasKind;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -48,6 +49,8 @@ pub enum FaultDescriptor {
     Stall(StallFault),
     /// A lossy response channel (drop or truncation) on one variant host.
     Channel(ChannelFault),
+    /// A wire-level transport fault on one variant's connection.
+    Net(NetFault),
 }
 
 /// Bit-flip family row label.
@@ -58,6 +61,8 @@ pub const FAMILY_FRAMEFLIP: &str = "frameflip";
 pub const FAMILY_STALL: &str = "stall";
 /// Channel-fault (liveness) family row label.
 pub const FAMILY_CHANNEL: &str = "chan";
+/// Wire-level transport fault family row label.
+pub const FAMILY_NET: &str = "net";
 
 impl FaultDescriptor {
     /// Matrix row label: the fault class. CVE faults use the Table 1 class
@@ -69,10 +74,12 @@ impl FaultDescriptor {
             FaultDescriptor::Cve(a) => a.class.to_string(),
             FaultDescriptor::Stall(_) => FAMILY_STALL.to_string(),
             FaultDescriptor::Channel(_) => FAMILY_CHANNEL.to_string(),
+            FaultDescriptor::Net(n) => format!("net-{}", n.class.token()),
         }
     }
 
-    /// Coarse family name (`bitflip`, `frameflip`, `cve`, `stall`, `chan`).
+    /// Coarse family name (`bitflip`, `frameflip`, `cve`, `stall`,
+    /// `chan`, `net`).
     pub fn family(&self) -> &'static str {
         match self {
             FaultDescriptor::WeightBitFlip(_) => FAMILY_BITFLIP,
@@ -80,17 +87,19 @@ impl FaultDescriptor {
             FaultDescriptor::Cve(_) => "cve",
             FaultDescriptor::Stall(_) => FAMILY_STALL,
             FaultDescriptor::Channel(_) => FAMILY_CHANNEL,
+            FaultDescriptor::Net(_) => FAMILY_NET,
         }
     }
 
     /// Draws a descriptor uniformly from the full fault space
     /// (`Arbitrary`-style; deterministic given the RNG state).
     pub fn arbitrary(rng: &mut StdRng) -> Self {
-        match rng.gen_range(0..5) {
+        match rng.gen_range(0..6) {
             0 => FaultDescriptor::WeightBitFlip(BitFlipFault::arbitrary(rng)),
             1 => FaultDescriptor::BlasFault(arbitrary_frameflip(rng)),
             2 => FaultDescriptor::Stall(arbitrary_stall(rng)),
             3 => FaultDescriptor::Channel(arbitrary_channel(rng)),
+            4 => FaultDescriptor::Net(NetFault::arbitrary(rng)),
             _ => FaultDescriptor::Cve(arbitrary_attack(rng)),
         }
     }
@@ -200,7 +209,8 @@ pub fn cve_class_from_token(token: &str) -> Result<CveClass, String> {
 impl fmt::Display for FaultDescriptor {
     /// One-token spec, e.g. `bitflip:exp:2:13`, `frameflip:blocked:zero:0.3`,
     /// `cve:oob:always`, `cve:acf:marker:1337`, `stall:3:hang`,
-    /// `stall:0:delay:50`, `chan:2:drop`, `chan:1:trunc`.
+    /// `stall:0:delay:50`, `chan:2:drop`, `chan:1:trunc`, `net:corrupt:1:99`,
+    /// `net:disc:0`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FaultDescriptor::WeightBitFlip(b) => {
@@ -234,6 +244,7 @@ impl fmt::Display for FaultDescriptor {
                 ChannelFaultMode::Drop => write!(f, "chan:{}:drop", c.on_batch),
                 ChannelFaultMode::Truncate => write!(f, "chan:{}:trunc", c.on_batch),
             },
+            FaultDescriptor::Net(n) => write!(f, "{n}"),
         }
     }
 }
@@ -303,6 +314,7 @@ impl FromStr for FaultDescriptor {
                     mode: ChannelFaultMode::Truncate,
                 }))
             }
+            ["net", ..] => Ok(FaultDescriptor::Net(s.parse()?)),
             _ => Err(bad("unrecognised shape")),
         }
     }
@@ -325,6 +337,14 @@ mod tests {
             "stall:0:delay:50",
             "chan:2:drop",
             "chan:1:trunc",
+            "net:delay:2:20",
+            "net:stall:1",
+            "net:drop:0",
+            "net:dup:3",
+            "net:trunc:2",
+            "net:corrupt:1:7777",
+            "net:torn:0",
+            "net:disc:1",
         ];
         for s in samples {
             let d: FaultDescriptor = s.parse().unwrap();
@@ -357,6 +377,7 @@ mod tests {
         assert!(seen.contains("cve"));
         assert!(seen.contains("stall"));
         assert!(seen.contains("chan"));
+        assert!(seen.contains("net"));
     }
 
     #[test]
@@ -379,6 +400,8 @@ mod tests {
             "stall:x:hang",
             "stall:1:freeze",
             "chan:2:corrupt",
+            "net:melt:1",
+            "net:drop:x",
         ] {
             assert!(s.parse::<FaultDescriptor>().is_err(), "accepted bad spec '{s}'");
         }

@@ -15,7 +15,13 @@
 //!   reproducing Table 1's "defending variants" matrix,
 //! * [`liveness`] — progress faults (deterministic stalls/hangs, lossy
 //!   response channels) that never corrupt a value but starve a
-//!   checkpoint, exercising the straggler watchdog and recovery manager.
+//!   checkpoint, exercising the straggler watchdog and recovery manager,
+//! * [`netfault`] — wire-level faults (delay, stall, drop, duplicate,
+//!   truncate, corrupt, torn write, disconnect) injected under the
+//!   secure channel by a seeded [`FrameTransport`] wrapper, exercising
+//!   AEAD detection, heartbeat deadlines and the connection supervisor.
+//!
+//! [`FrameTransport`]: mvtee_crypto::channel::FrameTransport
 //!
 //! Faults manifest exactly like the real thing at the MVX observation
 //! level: a crash (the variant's run returns
@@ -30,9 +36,11 @@ pub mod blasfault;
 pub mod cve;
 pub mod descriptor;
 pub mod liveness;
+pub mod netfault;
 
 pub use bitflip::{flip_weight_bits, BitFlipStrategy, FlippedBit};
 pub use blasfault::{FaultyBlas, FrameFlip, GemmCorruption};
 pub use cve::{Attack, CveClass, FaultEffect, InputTrigger, VulnerableModel};
 pub use descriptor::{BitFlipFault, FaultDescriptor};
 pub use liveness::{ChannelFault, ChannelFaultMode, LivenessFault, StallFault, StallMode};
+pub use netfault::{FaultDirection, FaultyTransport, NetFault, NetFaultClass};

@@ -1,0 +1,526 @@
+//! Deterministic wire-level fault injection: a [`FaultyTransport`]
+//! wrapper around any [`FrameTransport`].
+//!
+//! The liveness faults of [`crate::liveness`] act inside a variant host;
+//! this module attacks the layer below — the framed connection itself —
+//! with the eight wire-fault classes a distributed panel must survive:
+//! delay, stall, drop, duplicate, truncate, byte-corrupt, torn mid-frame
+//! write, and abrupt disconnect. Faults fire from a replayable schedule
+//! keyed on the frame index of the faulted direction, so the same
+//! [`NetFault`] spec always perturbs the same frame — a failing netchaos
+//! storm replays byte-for-byte.
+//!
+//! The wrapper never blocks forever: a stall *swallows* frames (send) or
+//! *discards* them while continuing to consume (receive), so the faulted
+//! endpoint unblocks with an error the moment the underlying transport
+//! dies. Detection is someone else's job by design — the AEAD layer
+//! rejects corruption, sequence numbers expose drops and duplicates, and
+//! heartbeat deadlines expose stalls.
+
+use mvtee_crypto::channel::FrameTransport;
+use mvtee_crypto::CryptoError;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One of the eight wire-fault classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetFaultClass {
+    /// Every frame from the trigger onward is delayed by `ms` before
+    /// delivery (liveness degradation, never corruption).
+    Delay {
+        /// Added latency per frame, milliseconds.
+        ms: u64,
+    },
+    /// Every frame from the trigger onward is silently discarded — the
+    /// peer stops hearing from us but the connection stays up.
+    Stall,
+    /// Exactly one frame is discarded.
+    Drop,
+    /// Exactly one frame is delivered twice.
+    Duplicate,
+    /// Exactly one frame is cut to half its length.
+    Truncate,
+    /// Exactly one frame has one byte flipped inside its trailing 16
+    /// bytes (the AEAD tag region of a sealed frame), at a seeded
+    /// position.
+    Corrupt {
+        /// Seed selecting the flipped byte and the XOR mask.
+        seed: u64,
+    },
+    /// A torn mid-frame write: half the frame is delivered, then the
+    /// connection is torn down.
+    Torn,
+    /// The connection is abruptly closed at the trigger frame.
+    Disconnect,
+}
+
+impl NetFaultClass {
+    /// `true` for classes that keep applying from the trigger onward
+    /// (delay, stall); `false` for one-shot classes.
+    pub fn is_ongoing(self) -> bool {
+        matches!(self, NetFaultClass::Delay { .. } | NetFaultClass::Stall)
+    }
+
+    /// Short class token used in specs and report rows.
+    pub fn token(self) -> &'static str {
+        match self {
+            NetFaultClass::Delay { .. } => "delay",
+            NetFaultClass::Stall => "stall",
+            NetFaultClass::Drop => "drop",
+            NetFaultClass::Duplicate => "dup",
+            NetFaultClass::Truncate => "trunc",
+            NetFaultClass::Corrupt { .. } => "corrupt",
+            NetFaultClass::Torn => "torn",
+            NetFaultClass::Disconnect => "disc",
+        }
+    }
+
+    /// Every class, for schedule enumeration in benches and campaigns.
+    pub const ALL_TOKENS: [&'static str; 8] =
+        ["delay", "stall", "drop", "dup", "trunc", "corrupt", "torn", "disc"];
+}
+
+/// A seeded, replayable wire fault: `class` applied at (or from)
+/// non-exempt frame index `from_frame` of the faulted direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFault {
+    /// Which wire-fault class fires.
+    pub class: NetFaultClass,
+    /// Frame index (0-based, counting only non-exempt frames on the
+    /// faulted path) at which the fault fires; ongoing classes apply
+    /// from here onward.
+    pub from_frame: u64,
+}
+
+impl NetFault {
+    /// Draws a fault uniformly over all eight classes
+    /// (`Arbitrary`-style; deterministic given the RNG state).
+    pub fn arbitrary(rng: &mut StdRng) -> Self {
+        let from_frame = rng.gen_range(0..4);
+        let class = match rng.gen_range(0..8) {
+            0 => NetFaultClass::Delay { ms: rng.gen_range(1u64..=4) * 10 },
+            1 => NetFaultClass::Stall,
+            2 => NetFaultClass::Drop,
+            3 => NetFaultClass::Duplicate,
+            4 => NetFaultClass::Truncate,
+            5 => NetFaultClass::Corrupt { seed: rng.next_u64() },
+            6 => NetFaultClass::Torn,
+            _ => NetFaultClass::Disconnect,
+        };
+        NetFault { class, from_frame }
+    }
+}
+
+impl fmt::Display for NetFault {
+    /// One-token spec, e.g. `net:delay:2:20`, `net:stall:1`,
+    /// `net:corrupt:3:12345`, `net:disc:0`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let from = self.from_frame;
+        match self.class {
+            NetFaultClass::Delay { ms } => write!(f, "net:delay:{from}:{ms}"),
+            NetFaultClass::Corrupt { seed } => write!(f, "net:corrupt:{from}:{seed}"),
+            other => write!(f, "net:{}:{from}", other.token()),
+        }
+    }
+}
+
+impl FromStr for NetFault {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let bad = |msg: &str| format!("bad net fault spec '{s}': {msg}");
+        let parse_from = |t: &str| t.parse::<u64>().map_err(|_| bad("bad frame index"));
+        let (class, from_frame) = match parts.as_slice() {
+            ["net", "delay", from, ms] => (
+                NetFaultClass::Delay { ms: ms.parse().map_err(|_| bad("bad delay"))? },
+                parse_from(from)?,
+            ),
+            ["net", "corrupt", from, seed] => (
+                NetFaultClass::Corrupt { seed: seed.parse().map_err(|_| bad("bad seed"))? },
+                parse_from(from)?,
+            ),
+            ["net", "stall", from] => (NetFaultClass::Stall, parse_from(from)?),
+            ["net", "drop", from] => (NetFaultClass::Drop, parse_from(from)?),
+            ["net", "dup", from] => (NetFaultClass::Duplicate, parse_from(from)?),
+            ["net", "trunc", from] => (NetFaultClass::Truncate, parse_from(from)?),
+            ["net", "torn", from] => (NetFaultClass::Torn, parse_from(from)?),
+            ["net", "disc", from] => (NetFaultClass::Disconnect, parse_from(from)?),
+            _ => return Err(bad("unrecognised shape")),
+        };
+        Ok(NetFault { class, from_frame })
+    }
+}
+
+/// Which direction of the wrapped transport the fault perturbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDirection {
+    /// Outbound frames (`send_frame`) are faulted.
+    Send,
+    /// Inbound frames (`recv_frame`) are faulted.
+    Recv,
+}
+
+/// A [`FrameTransport`] wrapper injecting one [`NetFault`] into one
+/// direction of an inner transport.
+///
+/// Frames on the non-faulted direction pass through untouched. When the
+/// wrapper sits *under* a lane multiplexer, [`exempt_lane`] excludes a
+/// lane (by its 1-byte prefix) from frame counting and one-shot faults,
+/// keeping the trigger index deterministic even when timing-dependent
+/// traffic (heartbeats) shares the connection — an active stall still
+/// silences exempt frames, because a stalled wire stalls everything.
+///
+/// [`exempt_lane`]: FaultyTransport::exempt_lane
+pub struct FaultyTransport<T> {
+    inner: T,
+    fault: NetFault,
+    direction: FaultDirection,
+    exempt: Option<u8>,
+    count: AtomicU64,
+    injected: Arc<AtomicU64>,
+    pending: Mutex<Option<Vec<u8>>>,
+    injected_total: mvtee_telemetry::Counter,
+}
+
+impl<T: FrameTransport> FaultyTransport<T> {
+    /// Wraps `inner`, faulting the `direction` path with `fault`.
+    pub fn new(inner: T, fault: NetFault, direction: FaultDirection) -> Self {
+        FaultyTransport {
+            inner,
+            fault,
+            direction,
+            exempt: None,
+            count: AtomicU64::new(0),
+            injected: Arc::new(AtomicU64::new(0)),
+            pending: Mutex::new(None),
+            injected_total: mvtee_telemetry::counter("faults.net.injected"),
+        }
+    }
+
+    /// Excludes frames whose first byte is `lane` from counting and
+    /// one-shot faults (see the type docs).
+    pub fn exempt_lane(mut self, lane: u8) -> Self {
+        self.exempt = Some(lane);
+        self
+    }
+
+    /// A shared handle to this wrapper's injection count, usable after
+    /// the wrapper itself has been consumed by a mux split.
+    pub fn injected_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.injected)
+    }
+
+    fn is_exempt(&self, frame: &[u8]) -> bool {
+        matches!((self.exempt, frame.first()), (Some(lane), Some(&first)) if lane == first)
+    }
+
+    fn record_injection(&self) {
+        self.injected.fetch_add(1, Ordering::SeqCst);
+        self.injected_total.inc();
+    }
+
+    /// Whether the ongoing-stall window is open (the schedule position
+    /// has reached the trigger frame).
+    fn stall_active(&self) -> bool {
+        self.fault.class == NetFaultClass::Stall
+            && self.count.load(Ordering::SeqCst) >= self.fault.from_frame
+    }
+
+    fn triggers(&self, idx: u64) -> bool {
+        if self.fault.class.is_ongoing() {
+            idx >= self.fault.from_frame
+        } else {
+            idx == self.fault.from_frame
+        }
+    }
+
+    fn faulted_send(&self, frame: Vec<u8>) -> mvtee_crypto::Result<()> {
+        if self.is_exempt(&frame) {
+            if self.stall_active() {
+                self.record_injection();
+                return Ok(());
+            }
+            return self.inner.send_frame(frame);
+        }
+        let idx = self.count.fetch_add(1, Ordering::SeqCst);
+        if !self.triggers(idx) {
+            return self.inner.send_frame(frame);
+        }
+        match self.fault.class {
+            NetFaultClass::Delay { ms } => {
+                self.record_injection();
+                std::thread::sleep(Duration::from_millis(ms));
+                self.inner.send_frame(frame)
+            }
+            NetFaultClass::Stall | NetFaultClass::Drop => {
+                self.record_injection();
+                Ok(())
+            }
+            NetFaultClass::Duplicate => {
+                self.record_injection();
+                self.inner.send_frame(frame.clone())?;
+                self.inner.send_frame(frame)
+            }
+            NetFaultClass::Truncate => {
+                self.record_injection();
+                self.inner.send_frame(frame[..frame.len() / 2].to_vec())
+            }
+            NetFaultClass::Corrupt { seed } => {
+                self.record_injection();
+                self.inner.send_frame(corrupt_frame(frame, seed))
+            }
+            NetFaultClass::Torn => {
+                self.record_injection();
+                let _ = self.inner.send_frame(frame[..frame.len() / 2].to_vec());
+                self.inner.close();
+                Err(CryptoError::ConnectionClosed)
+            }
+            NetFaultClass::Disconnect => {
+                self.record_injection();
+                self.inner.close();
+                Err(CryptoError::ConnectionClosed)
+            }
+        }
+    }
+
+    fn faulted_recv(&self) -> mvtee_crypto::Result<Vec<u8>> {
+        if let Some(frame) = self.pending.lock().expect("pending poisoned").take() {
+            return Ok(frame);
+        }
+        loop {
+            let frame = self.inner.recv_frame()?;
+            if self.is_exempt(&frame) {
+                if self.stall_active() {
+                    self.record_injection();
+                    continue;
+                }
+                return Ok(frame);
+            }
+            let idx = self.count.fetch_add(1, Ordering::SeqCst);
+            if !self.triggers(idx) {
+                return Ok(frame);
+            }
+            match self.fault.class {
+                NetFaultClass::Delay { ms } => {
+                    self.record_injection();
+                    std::thread::sleep(Duration::from_millis(ms));
+                    return Ok(frame);
+                }
+                NetFaultClass::Stall | NetFaultClass::Drop => {
+                    // Discard but keep consuming: unblocks with Err the
+                    // moment the inner transport dies.
+                    self.record_injection();
+                    continue;
+                }
+                NetFaultClass::Duplicate => {
+                    self.record_injection();
+                    *self.pending.lock().expect("pending poisoned") = Some(frame.clone());
+                    return Ok(frame);
+                }
+                NetFaultClass::Truncate => {
+                    self.record_injection();
+                    return Ok(frame[..frame.len() / 2].to_vec());
+                }
+                NetFaultClass::Corrupt { seed } => {
+                    self.record_injection();
+                    return Ok(corrupt_frame(frame, seed));
+                }
+                NetFaultClass::Torn => {
+                    self.record_injection();
+                    let half = frame[..frame.len() / 2].to_vec();
+                    self.inner.close();
+                    return Ok(half);
+                }
+                NetFaultClass::Disconnect => {
+                    self.record_injection();
+                    self.inner.close();
+                    return Err(CryptoError::ConnectionClosed);
+                }
+            }
+        }
+    }
+}
+
+/// Flips one seeded byte inside the trailing 16 bytes of `frame` — the
+/// AEAD tag region of any sealed frame, so corruption is always
+/// detectable rather than sometimes landing in plaintext headers the
+/// receiver ignores.
+fn corrupt_frame(mut frame: Vec<u8>, seed: u64) -> Vec<u8> {
+    if frame.is_empty() {
+        return frame;
+    }
+    let window = frame.len().min(16) as u64;
+    let pos = frame.len() - 1 - (seed % window) as usize;
+    frame[pos] ^= (seed >> 8) as u8 | 1;
+    frame
+}
+
+impl<T: FrameTransport> FrameTransport for FaultyTransport<T> {
+    fn send_frame(&self, frame: Vec<u8>) -> mvtee_crypto::Result<()> {
+        match self.direction {
+            FaultDirection::Send => self.faulted_send(frame),
+            FaultDirection::Recv => self.inner.send_frame(frame),
+        }
+    }
+
+    fn recv_frame(&self) -> mvtee_crypto::Result<Vec<u8>> {
+        match self.direction {
+            FaultDirection::Recv => self.faulted_recv(),
+            FaultDirection::Send => self.inner.recv_frame(),
+        }
+    }
+
+    fn close(&self) {
+        self.inner.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvtee_crypto::channel::{memory_pair, Handshake, MemoryTransport, Role, SecureChannel};
+
+    fn spec(s: &str) -> NetFault {
+        s.parse().expect("spec parses")
+    }
+
+    fn faulty_pair(
+        fault: NetFault,
+        direction: FaultDirection,
+    ) -> (FaultyTransport<MemoryTransport>, MemoryTransport) {
+        let (a, b) = memory_pair();
+        (FaultyTransport::new(a, fault, direction), b)
+    }
+
+    #[test]
+    fn specs_round_trip() {
+        for s in [
+            "net:delay:2:20",
+            "net:stall:0",
+            "net:drop:3",
+            "net:dup:1",
+            "net:trunc:2",
+            "net:corrupt:1:987654321",
+            "net:torn:0",
+            "net:disc:4",
+        ] {
+            let f: NetFault = s.parse().unwrap();
+            assert_eq!(f.to_string(), s, "round trip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for s in ["net", "net:melt:1", "net:drop:x", "net:delay:1", "drop:1", ""] {
+            assert!(s.parse::<NetFault>().is_err(), "accepted bad spec '{s}'");
+        }
+    }
+
+    #[test]
+    fn drop_loses_exactly_one_frame() {
+        let (tx, rx) = faulty_pair(spec("net:drop:1"), FaultDirection::Send);
+        for i in 0..4u8 {
+            tx.send_frame(vec![i]).unwrap();
+        }
+        let seen: Vec<Vec<u8>> = (0..3).map(|_| rx.recv_frame().unwrap()).collect();
+        assert_eq!(seen, vec![vec![0], vec![2], vec![3]]);
+        assert_eq!(tx.injected_handle().load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice() {
+        let (tx, rx) = faulty_pair(spec("net:dup:0"), FaultDirection::Send);
+        tx.send_frame(vec![7]).unwrap();
+        tx.send_frame(vec![8]).unwrap();
+        assert_eq!(rx.recv_frame().unwrap(), vec![7]);
+        assert_eq!(rx.recv_frame().unwrap(), vec![7]);
+        assert_eq!(rx.recv_frame().unwrap(), vec![8]);
+    }
+
+    #[test]
+    fn duplicate_on_recv_replays_from_pending() {
+        let (a, b) = memory_pair();
+        let rx = FaultyTransport::new(b, spec("net:dup:0"), FaultDirection::Recv);
+        a.send_frame(vec![5, 6]).unwrap();
+        a.send_frame(vec![9]).unwrap();
+        assert_eq!(rx.recv_frame().unwrap(), vec![5, 6]);
+        assert_eq!(rx.recv_frame().unwrap(), vec![5, 6]);
+        assert_eq!(rx.recv_frame().unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn truncate_halves_the_frame() {
+        let (tx, rx) = faulty_pair(spec("net:trunc:0"), FaultDirection::Send);
+        tx.send_frame(vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(rx.recv_frame().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn stall_swallows_from_trigger_onward() {
+        let (tx, rx) = faulty_pair(spec("net:stall:2"), FaultDirection::Send);
+        for i in 0..5u8 {
+            tx.send_frame(vec![i]).unwrap();
+        }
+        assert_eq!(rx.recv_frame().unwrap(), vec![0]);
+        assert_eq!(rx.recv_frame().unwrap(), vec![1]);
+        drop(tx); // sender gone: the starved receiver unblocks with Err
+        assert!(rx.recv_frame().is_err());
+    }
+
+    #[test]
+    fn disconnect_errors_and_torn_sends_half_then_dies() {
+        let (tx, rx) = faulty_pair(spec("net:disc:0"), FaultDirection::Send);
+        assert!(matches!(tx.send_frame(vec![1]), Err(CryptoError::ConnectionClosed)));
+        drop(rx);
+
+        let (tx, rx) = faulty_pair(spec("net:torn:0"), FaultDirection::Send);
+        assert!(tx.send_frame(vec![1, 2, 3, 4]).is_err());
+        assert_eq!(rx.recv_frame().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn corrupted_secure_frame_fails_aead() {
+        let hs_i = Handshake::from_pre_shared(b"net", Role::Initiator);
+        let hs_r = Handshake::from_pre_shared(b"net", Role::Responder);
+        let (a, b) = memory_pair();
+        let mut tx = SecureChannel::new(
+            FaultyTransport::new(a, spec("net:corrupt:0:42"), FaultDirection::Send),
+            &hs_i,
+            6,
+        );
+        let mut rx = SecureChannel::new(b, &hs_r, 6);
+        tx.send(b"checkpoint").unwrap();
+        assert!(matches!(rx.recv(), Err(CryptoError::AuthenticationFailed)));
+    }
+
+    #[test]
+    fn exempt_lane_bypasses_counting_but_not_stall() {
+        const HB: u8 = 3;
+        let (a, b) = memory_pair();
+        let tx = FaultyTransport::new(a, spec("net:drop:0"), FaultDirection::Send).exempt_lane(HB);
+        tx.send_frame(vec![HB, 0xA5]).unwrap(); // exempt: not counted
+        tx.send_frame(vec![1, 1]).unwrap(); // idx 0: dropped
+        tx.send_frame(vec![1, 2]).unwrap();
+        assert_eq!(b.recv_frame().unwrap(), vec![HB, 0xA5]);
+        assert_eq!(b.recv_frame().unwrap(), vec![1, 2]);
+
+        let (a, b) = memory_pair();
+        let tx = FaultyTransport::new(a, spec("net:stall:0"), FaultDirection::Send).exempt_lane(HB);
+        tx.send_frame(vec![HB, 0xA5]).unwrap(); // stall active from frame 0: silenced too
+        drop(tx);
+        assert!(b.recv_frame().is_err());
+    }
+
+    #[test]
+    fn delay_preserves_content() {
+        let (tx, rx) = faulty_pair(spec("net:delay:0:1"), FaultDirection::Send);
+        tx.send_frame(vec![42; 8]).unwrap();
+        assert_eq!(rx.recv_frame().unwrap(), vec![42; 8]);
+    }
+}

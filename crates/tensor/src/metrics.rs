@@ -98,8 +98,17 @@ pub enum Metric {
 }
 
 impl Metric {
-    /// Default metric for identical/replicated variants (bit-equality scale
-    /// tolerances).
+    /// Zero-tolerance metric for identical replicas: the deterministic
+    /// runtime makes replicated variants value-exact, so any nonzero
+    /// difference — however small — is a divergence. An `AllClose`-style
+    /// tolerance here would let a sub-tolerance weight corruption sail
+    /// through a unanimous checkpoint.
+    pub fn exact() -> Self {
+        Metric::MaxAbsDiff { max_diff: 0.0 }
+    }
+
+    /// Tight-tolerance metric for near-identical variants (bit-equality
+    /// scale tolerances). Prefer [`Metric::exact`] for true replicas.
     pub fn strict() -> Self {
         Metric::AllClose { rtol: 1e-5, atol: 1e-6 }
     }
@@ -236,6 +245,16 @@ mod tests {
         assert!(Metric::MaxAbsDiff { max_diff: 1e-3 }.check(&a, &b));
         assert!(Metric::relaxed().check(&a, &b));
         assert!(!Metric::strict().check(&a, &t(&[1.0, 3.0])));
+    }
+
+    #[test]
+    fn exact_metric_rejects_any_difference() {
+        let a = t(&[1.0, 2.0]);
+        assert!(Metric::exact().check(&a, &a));
+        // A perturbation far below the strict atol must still register.
+        let b = t(&[1.0, 2.0 + 1e-7]);
+        assert!(Metric::strict().check(&a, &b));
+        assert!(!Metric::exact().check(&a, &b));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::process::ExitCode;
 
 fn usage(program: &str) -> ExitCode {
-    eprintln!("usage: {program} --connect HOST:PORT");
+    eprintln!("usage: {program} --connect HOST:PORT [--resume]");
     ExitCode::from(2)
 }
 
@@ -23,6 +23,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let program = args.first().map(String::as_str).unwrap_or("mvtee-variantd");
     let mut addr: Option<&str> = None;
+    let mut resume = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -33,14 +34,23 @@ fn main() -> ExitCode {
                 addr = Some(value);
                 i += 2;
             }
+            "--resume" => {
+                resume = true;
+                i += 1;
+            }
             "--help" | "-h" => {
                 println!("mvtee-variantd: MVTEE variant TEE worker process");
                 println!();
-                println!("usage: {program} --connect HOST:PORT");
+                println!("usage: {program} --connect HOST:PORT [--resume]");
                 println!();
                 println!("Dials the monitor at HOST:PORT, receives its variant placement");
                 println!("over the bootstrap lane, attests, and serves checkpoints until");
                 println!("shutdown or connection loss.");
+                println!();
+                println!("With --resume the worker survives connection loss: it redials");
+                println!("the same port (the monitor retains the accept socket) and");
+                println!("serves a fresh placement, exiting only once redials go");
+                println!("unanswered.");
                 return ExitCode::SUCCESS;
             }
             _ => return usage(program),
@@ -49,7 +59,7 @@ fn main() -> ExitCode {
     let Some(addr) = addr else {
         return usage(program);
     };
-    match mvtee::run_worker(addr) {
+    match mvtee::run_worker(addr, resume) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("mvtee-variantd: {e}");
