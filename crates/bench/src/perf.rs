@@ -1,12 +1,17 @@
 //! The `perf` sweep: runtime latency under deterministic intra-op
-//! parallelism.
+//! parallelism and per-shape kernel autotuning.
 //!
-//! Sweeps zoo model × engine family × `intra_op_threads ∈ {1,2,4,8}` plus
-//! one large standalone GEMM workload, measuring p50/p95 wall-clock latency
-//! and the speedup versus the single-thread baseline, and — the part CI
-//! gates on — verifying that every thread count produces **byte-identical**
-//! output tensors. Results land in `BENCH_runtime.json` so future PRs have
-//! a latency trajectory to beat.
+//! Sweeps zoo model × engine family × `intra_op_threads ∈ {1,2,4,8}`, then
+//! the first model across every [`KernelStrategy`] (the autotuned `Auto`
+//! table plus the three pinned kernels), plus one large standalone GEMM
+//! workload in both its blocked-BLAS and SIMD-microkernel forms, measuring
+//! p50/p95 wall-clock latency and the speedup versus the single-thread
+//! baseline (strategies additionally report speedup versus the pinned
+//! `scalar` kernel). The part CI gates on: every same-config run must be
+//! **byte-identical** across thread counts *and* across repeated runs with
+//! a fresh engine. The sweep also snapshots the strategy table's per-shape
+//! selections so `BENCH_runtime.json` records which kernel the autotuner
+//! picked for each shape class.
 //!
 //! Timings here are manual [`Instant`]-based sampling (the vendored
 //! criterion is a stub): each configuration runs a few warm-up inferences
@@ -18,7 +23,10 @@
 use crate::costs::model_input;
 use crate::table::Table;
 use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
-use mvtee_runtime::{Engine, EngineConfig, EngineKind, RuntimeConfig, ThreadPool};
+use mvtee_runtime::{
+    session_cache, simd, Engine, EngineConfig, EngineKind, KernelStrategy, RuntimeConfig,
+    StrategyEntry, ThreadPool,
+};
 use mvtee_tensor::Tensor;
 use std::time::Instant;
 
@@ -105,6 +113,18 @@ pub struct PerfReport {
     pub pack_misses: u64,
     /// `runtime.cache.arena_bytes_reused` delta over the sweep.
     pub arena_bytes_reused: u64,
+    /// Per-shape-class kernel selections of the autotuned (`Auto`)
+    /// configuration's strategy table after the sweep.
+    pub strategy_table: Vec<StrategyEntry>,
+    /// `(strategy token, p50 speedup vs the pinned scalar kernel)` at the
+    /// baseline thread count, for the strategy-swept model.
+    pub strategy_speedups: Vec<(String, f64)>,
+    /// `runtime.cache.strategy_table.hits` delta over the sweep.
+    pub strategy_hits: u64,
+    /// `runtime.cache.strategy_table.misses` delta over the sweep.
+    pub strategy_misses: u64,
+    /// `runtime.cache.strategy_table.calibrations` delta over the sweep.
+    pub strategy_calibrations: u64,
 }
 
 impl PerfReport {
@@ -135,6 +155,19 @@ impl PerfReport {
             "\npack cache: {} hits / {} misses; arena bytes reused: {}\n",
             self.pack_hits, self.pack_misses, self.arena_bytes_reused
         ));
+        s.push_str(&format!(
+            "strategy table: {} hits / {} misses / {} calibrations\n",
+            self.strategy_hits, self.strategy_misses, self.strategy_calibrations
+        ));
+        for e in &self.strategy_table {
+            s.push_str(&format!(
+                "  select {} [{}] -> {} ({} cost units)\n",
+                e.op, e.class, e.choice, e.cost_units
+            ));
+        }
+        for (token, speedup) in &self.strategy_speedups {
+            s.push_str(&format!("  strategy {token}: {speedup:.2}x vs scalar\n"));
+        }
         for m in &self.mismatches {
             s.push_str(&format!("MISMATCH: {m}\n"));
         }
@@ -175,6 +208,30 @@ impl PerfReport {
             self.pack_hits, self.pack_misses
         ));
         out.push_str(&format!("  \"arena_bytes_reused\": {},\n", self.arena_bytes_reused));
+        out.push_str("  \"strategy\": {\n    \"selection\": [\n");
+        for (i, e) in self.strategy_table.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"op\": \"{}\", \"class\": \"{}\", \"choice\": \"{}\", \
+                 \"cost_units\": {}}}{}\n",
+                e.op,
+                e.class,
+                e.choice,
+                e.cost_units,
+                if i + 1 == self.strategy_table.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("    ],\n    \"speedups_vs_scalar\": {");
+        for (i, (token, speedup)) in self.strategy_speedups.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\"{token}\": {speedup:.4}",
+                if i == 0 { "" } else { ", " }
+            ));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!(
+            "    \"counters\": {{\"hits\": {}, \"misses\": {}, \"calibrations\": {}}}\n  }},\n",
+            self.strategy_hits, self.strategy_misses, self.strategy_calibrations
+        ));
         out.push_str(&format!("  \"mismatch_count\": {}\n}}\n", self.mismatches.len()));
         out
     }
@@ -229,6 +286,9 @@ pub fn run_perf(s: &PerfSettings) -> PerfReport {
     let pack_hits0 = mvtee_telemetry::counter("runtime.cache.pack_hits").get();
     let pack_misses0 = mvtee_telemetry::counter("runtime.cache.pack_misses").get();
     let arena0 = mvtee_telemetry::counter("runtime.cache.arena_bytes_reused").get();
+    let strat_hits0 = mvtee_telemetry::counter("runtime.cache.strategy_table.hits").get();
+    let strat_misses0 = mvtee_telemetry::counter("runtime.cache.strategy_table.misses").get();
+    let strat_cal0 = mvtee_telemetry::counter("runtime.cache.strategy_table.calibrations").get();
 
     let mut cases = Vec::new();
     let mut mismatches = Vec::new();
@@ -286,6 +346,87 @@ pub fn run_perf(s: &PerfSettings) -> PerfReport {
         }
     }
 
+    // Kernel-strategy sweep over the first model: each strategy (autotuned
+    // plus the three pinned kernels) runs at every thread count under the
+    // ORT-like family. Two determinism gates per strategy: every thread
+    // count must reproduce the baseline bytes, and a *fresh* engine at the
+    // baseline thread count must reproduce them again (cross-run replay).
+    let mut strategy_speedups: Vec<(String, f64)> = Vec::new();
+    if let Some(&kind) = s.models.first() {
+        let model = zoo::build(kind, s.scale, PERF_SEED).expect("zoo model builds");
+        let input = model_input(&model);
+        let mut raw_p50s: Vec<(String, f64)> = Vec::new();
+        let mut scalar_p50 = 0.0f64;
+        for &ks in &KernelStrategy::ALL {
+            let family = EngineConfig::of_kind(EngineKind::OrtLike).with_kernel_strategy(ks);
+            let label = format!("ort-like/mk-{}", ks.token());
+            let mut baseline_p50 = 0.0f64;
+            let mut baseline_out: Option<Tensor> = None;
+            for (ti, &threads) in s.threads.iter().enumerate() {
+                let engine = Engine::new(family.clone().with_threads(threads));
+                let prepared = engine.prepare(&model.graph).expect("prepare succeeds");
+                let run = || {
+                    prepared
+                        .run(std::slice::from_ref(&input))
+                        .expect("inference succeeds")
+                        .remove(0)
+                };
+                let (p50, p95, out) = sample(s.warmup, s.iterations, run);
+                let bitwise_match = match &baseline_out {
+                    None => true,
+                    Some(reference) => match first_bit_diff(reference, &out) {
+                        None => true,
+                        Some(idx) => {
+                            mismatches.push(format!(
+                                "{} × {label} diverges at flat index {idx} between threads={} and threads={threads}",
+                                kind.display_name(),
+                                s.threads[0],
+                            ));
+                            false
+                        }
+                    },
+                };
+                if ti == 0 {
+                    baseline_p50 = p50;
+                    // Cross-run gate: a brand-new engine on the same
+                    // config must replay the strategy table and reproduce
+                    // the output byte-for-byte.
+                    let fresh = Engine::new(family.clone().with_threads(threads))
+                        .prepare(&model.graph)
+                        .expect("prepare succeeds");
+                    let rerun = fresh
+                        .run(std::slice::from_ref(&input))
+                        .expect("inference succeeds")
+                        .remove(0);
+                    if let Some(idx) = first_bit_diff(&out, &rerun) {
+                        mismatches.push(format!(
+                            "{} × {label} diverges at flat index {idx} across repeated runs at threads={threads}",
+                            kind.display_name(),
+                        ));
+                    }
+                    baseline_out = Some(out);
+                }
+                cases.push(PerfCase {
+                    workload: kind.display_name().to_string(),
+                    family: label.clone(),
+                    threads,
+                    p50_us: p50,
+                    p95_us: p95,
+                    speedup: if p50 > 0.0 { baseline_p50 / p50 } else { 1.0 },
+                    bitwise_match,
+                });
+            }
+            if ks == KernelStrategy::Scalar {
+                scalar_p50 = baseline_p50;
+            }
+            raw_p50s.push((ks.token().to_string(), baseline_p50));
+        }
+        for (token, p50) in raw_p50s {
+            let speedup = if p50 > 0.0 && scalar_p50 > 0.0 { scalar_p50 / p50 } else { 1.0 };
+            strategy_speedups.push((token, speedup));
+        }
+    }
+
     // Standalone GEMM workload: the largest dense kernel, exercised
     // directly through the pool's row-panel split.
     let dim = s.gemm_dim;
@@ -335,6 +476,56 @@ pub fn run_perf(s: &PerfSettings) -> PerfReport {
         });
     }
 
+    // The same GEMM shape class through the SIMD microkernel (operand
+    // pre-transposed, the layout the 8-lane inner loop consumes). Its
+    // `speedup` column is versus the single-thread blocked-BLAS baseline
+    // above — the measured microkernel win on this shape class. The
+    // bitwise gate here is cross-run: two invocations must agree exactly
+    // (blocked BLAS accumulates in a different order, so cross-kernel
+    // comparison is a tolerance question handled by the differential
+    // tests, not a byte gate).
+    {
+        let mut bt = vec![0.0f32; dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                bt[j * dim + i] = b[i * dim + j];
+            }
+        }
+        let run = || {
+            let mut c = vec![0.0f32; dim * dim];
+            simd::gemm_bt(dim, dim, dim, &a, &bt, &mut c);
+            c
+        };
+        let (p50, p95, out) = sample(s.warmup, s.iterations, run);
+        let mut c2 = vec![0.0f32; dim * dim];
+        simd::gemm_bt(dim, dim, dim, &a, &bt, &mut c2);
+        let bitwise_match =
+            match out.iter().zip(c2.iter()).position(|(x, y)| x.to_bits() != y.to_bits()) {
+                Some(idx) => {
+                    mismatches.push(format!(
+                        "gemm-simd {dim} diverges at flat index {idx} across repeated runs"
+                    ));
+                    false
+                }
+                None => true,
+            };
+        cases.push(PerfCase {
+            workload: format!("gemm {dim}"),
+            family: "simd-microkernel".into(),
+            threads: 1,
+            p50_us: p50,
+            p95_us: p95,
+            speedup: if p50 > 0.0 { baseline_p50 / p50 } else { 1.0 },
+            bitwise_match,
+        });
+    }
+
+    // Snapshot the autotuned configuration's per-shape selections — the
+    // table the `Auto` sweep legs populated (calibrated once, then replayed
+    // from the session cache by every later engine on the same config).
+    let strategy_table =
+        session_cache().strategy_table(&EngineConfig::of_kind(EngineKind::OrtLike)).entries();
+
     PerfReport {
         seed: PERF_SEED,
         fingerprint: format!(
@@ -348,6 +539,15 @@ pub fn run_perf(s: &PerfSettings) -> PerfReport {
         pack_misses: mvtee_telemetry::counter("runtime.cache.pack_misses").get() - pack_misses0,
         arena_bytes_reused: mvtee_telemetry::counter("runtime.cache.arena_bytes_reused").get()
             - arena0,
+        strategy_table,
+        strategy_speedups,
+        strategy_hits: mvtee_telemetry::counter("runtime.cache.strategy_table.hits").get()
+            - strat_hits0,
+        strategy_misses: mvtee_telemetry::counter("runtime.cache.strategy_table.misses").get()
+            - strat_misses0,
+        strategy_calibrations: mvtee_telemetry::counter("runtime.cache.strategy_table.calibrations")
+            .get()
+            - strat_cal0,
     }
 }
 
@@ -359,10 +559,21 @@ mod tests {
     fn quick_sweep_has_no_mismatches_and_hits_pack_cache() {
         let report = run_perf(&PerfSettings::quick());
         assert!(!report.has_mismatch(), "mismatches: {:?}", report.mismatches);
-        // Each timed repetition past the first reuses the packed weights.
+        // The pinned panel-packed strategy legs reuse the packed weights
+        // on every repetition past the first.
         assert!(report.pack_hits > 0, "expected pack-cache hits on repeat inference");
-        // 1 model × 3 families × 2 thread counts + gemm × 2 thread counts
-        assert_eq!(report.cases.len(), 3 * 2 + 2);
+        // 1 model × 3 families × 2 thread counts
+        //   + 4 kernel strategies × 2 thread counts
+        //   + gemm × 2 thread counts + 1 simd-microkernel gemm
+        assert_eq!(report.cases.len(), 3 * 2 + 4 * 2 + 2 + 1);
+        // The Auto legs calibrated and then replayed a per-shape table.
+        assert!(!report.strategy_table.is_empty(), "strategy table never populated");
+        assert!(report.strategy_hits > 0, "strategy table never replayed");
+        assert_eq!(report.strategy_speedups.len(), KernelStrategy::ALL.len());
+        assert!(
+            report.strategy_speedups.iter().any(|(t, _)| t == "scalar"),
+            "scalar baseline missing from speedups"
+        );
     }
 
     #[test]

@@ -169,6 +169,9 @@ fn defender_patch(sc: &Scenario) -> Option<SpecPatch> {
         Defender::Blas(b) => {
             Some(SpecPatch::engine(EngineConfig::of_kind(EngineKind::OrtLike).with_blas(*b)))
         }
+        // Keep the claim's default engine; only pin the kernel-strategy
+        // axis, so the panel mixes microkernels over identical weights.
+        Defender::Strategy(ks) => Some(SpecPatch::kernel(*ks)),
         Defender::Replica => None,
     }
 }
@@ -791,6 +794,21 @@ mod tests {
         sc.force_fast = true;
         let out = run_scenario(&sc, ScaleProfile::Test).unwrap();
         assert!(out.is_missed(), "force-fast must miss, got {out}");
+    }
+
+    #[test]
+    fn strategy_diversified_panel_catches_the_exponent_bitflip() {
+        // Slot 11 of the family cycle: a strategy-pinned defender panel
+        // vs a sealed exponent-MSB weight flip. The panel compares under
+        // the relaxed metric (heterogeneous kernels), which the blown
+        // exponent must still sail past — never MISSED.
+        let sc = generate_scenario(7, 11);
+        assert!(
+            matches!(sc.defender, Defender::Strategy(_)),
+            "slot 11 should be the strategy slot: {sc}"
+        );
+        let out = run_scenario(&sc, ScaleProfile::Test).unwrap();
+        assert!(!out.is_missed(), "strategy panel missed the bit flip: {out}");
     }
 
     #[test]

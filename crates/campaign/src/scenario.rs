@@ -14,7 +14,7 @@ use mvtee_faults::{
     FaultDescriptor, FrameFlip, NetFault, NetFaultClass, StallFault, StallMode,
 };
 use mvtee_graph::zoo::ModelKind;
-use mvtee_runtime::BlasKind;
+use mvtee_runtime::{BlasKind, KernelStrategy};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::fmt;
@@ -33,6 +33,9 @@ pub enum Defender {
     Aslr,
     /// Same runtime on a different BLAS backend (FrameFlip defense).
     Blas(BlasKind),
+    /// Same runtime pinned to a different kernel strategy (the per-shape
+    /// autotuning axis; bit-flip defense with strategy diversity).
+    Strategy(KernelStrategy),
     /// An identical clean replica (bit-flip defense: the fault is local
     /// to one TEE's sealed weights).
     Replica,
@@ -47,6 +50,7 @@ impl Defender {
             Defender::Hardening(h) => format!("hardening:{h}"),
             Defender::Aslr => "aslr".into(),
             Defender::Blas(_) => "different-blas".into(),
+            Defender::Strategy(_) => "kernel-strategy".into(),
             Defender::Replica => "replica".into(),
         }
     }
@@ -66,6 +70,7 @@ impl Defender {
             Defender::Hardening(h) => format!("hard:{h}"),
             Defender::Aslr => "aslr".into(),
             Defender::Blas(b) => format!("blas:{}", blas_token(*b)),
+            Defender::Strategy(ks) => format!("strat:{}", ks.token()),
             Defender::Replica => "replica".into(),
         }
     }
@@ -76,6 +81,11 @@ impl Defender {
         }
         if let Some(b) = s.strip_prefix("blas:") {
             return Ok(Defender::Blas(blas_from_token(b)?));
+        }
+        if let Some(ks) = s.strip_prefix("strat:") {
+            return KernelStrategy::from_token(ks)
+                .map(Defender::Strategy)
+                .ok_or_else(|| format!("unknown kernel strategy '{ks}'"));
         }
         match s {
             "rt-tvm" => Ok(Defender::RtTvm),
@@ -249,11 +259,12 @@ pub const CAMPAIGN_MODELS: [ModelKind; 4] =
 /// The family schedule cycled by scenario index, guaranteeing that every
 /// CVE class and every fault family — the six CVE classes, weight bit
 /// flips, FrameFlip, both liveness families (stall and lossy channel),
-/// and the wire-level net family — appears in any campaign of ≥ 11
-/// scenarios. Slots 0–7 are unchanged from the original value-fault
-/// cycle so historical pinned scenarios stay valid; the liveness and
-/// transport slots are appended.
-const FAMILY_CYCLE: usize = 11;
+/// the wire-level net family, and the kernel-strategy-diversified bit
+/// flip — appears in any campaign of ≥ 12 scenarios. Slots 0–7 are
+/// unchanged from the original value-fault cycle so historical pinned
+/// scenarios stay valid; the liveness, transport and strategy slots are
+/// appended.
+const FAMILY_CYCLE: usize = 12;
 
 /// Generates the `index`-th scenario of the campaign with master seed
 /// `campaign_seed`. Deterministic: the same `(campaign_seed, index)`
@@ -344,7 +355,7 @@ pub fn generate_scenario(campaign_seed: u64, index: u64) -> Scenario {
             let fault = ChannelFault { on_batch: rng.gen_range(1..=2), mode };
             (FaultDescriptor::Channel(fault), Defender::Replica)
         }
-        _ => {
+        10 => {
             // A seeded wire-level fault on variant 0's response transport.
             // Corruption classes (corrupt/trunc/torn) must surface as
             // AEAD or framing detections; liveness classes must heal via
@@ -362,6 +373,27 @@ pub fn generate_scenario(campaign_seed: u64, index: u64) -> Scenario {
                 _ => NetFaultClass::Disconnect,
             };
             (FaultDescriptor::Net(NetFault { class, from_frame }), Defender::Replica)
+        }
+        _ => {
+            // Strategy-diversified panel vs a sealed-weight bit flip: the
+            // defenders pin a concrete kernel strategy while variant 0
+            // keeps the per-shape autotuned default, so the panel mixes
+            // kernels and compares under the relaxed metric. Exponent-MSB
+            // flips blow values far past any heterogeneous tolerance, so
+            // detection must still be clean. Never `Auto`: the defender
+            // must be *pinned* off the susceptible variant's table.
+            let fault = BitFlipFault {
+                strategy: BitFlipStrategy::ExponentMsb,
+                count: rng.gen_range(1..=3),
+                seed: rng.next_u64(),
+            };
+            let pinned = [
+                KernelStrategy::Scalar,
+                KernelStrategy::SimdMicrokernel,
+                KernelStrategy::PanelPacked,
+            ];
+            let ks = pinned[rng.gen_range(0..pinned.len())];
+            (FaultDescriptor::WeightBitFlip(fault), Defender::Strategy(ks))
         }
     };
 
@@ -436,10 +468,19 @@ mod tests {
     fn cycle_covers_all_families_and_classes() {
         let mut classes = std::collections::HashSet::new();
         let mut families = std::collections::HashSet::new();
-        for i in 0..11 {
+        let mut strategy_defender = false;
+        for i in 0..12 {
             let sc = generate_scenario(7, i);
             classes.insert(sc.fault.class_name());
             families.insert(sc.fault.family());
+            if let Defender::Strategy(ks) = &sc.defender {
+                strategy_defender = true;
+                assert_ne!(*ks, KernelStrategy::Auto, "strategy defender must be pinned: {sc}");
+                assert!(
+                    matches!(sc.fault, FaultDescriptor::WeightBitFlip(_)),
+                    "strategy slot pairs with a bit flip: {sc}"
+                );
+            }
         }
         for class in CveClass::ALL {
             assert!(classes.contains(&class.to_string()), "missing {class}");
@@ -449,6 +490,7 @@ mod tests {
         assert!(classes.contains("stall"));
         assert!(classes.contains("chan"));
         assert!(families.contains("net"), "net family missing from the cycle");
+        assert!(strategy_defender, "kernel-strategy defender missing from the cycle");
     }
 
     #[test]

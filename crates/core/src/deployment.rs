@@ -48,7 +48,7 @@ use mvtee_faults::{flip_weight_bits, Attack, BitFlipFault, FrameFlip, LivenessFa
 use mvtee_graph::zoo::Model;
 use mvtee_graph::{Graph, ValueId};
 use mvtee_partition::{PartitionPool, PartitionSet, Partitioner, PoolConfig};
-use mvtee_runtime::{EngineConfig, EngineKind};
+use mvtee_runtime::{EngineConfig, EngineKind, KernelStrategy};
 use mvtee_tee::{
     compute_measurement, AttestationReport, CodeIdentity, Enclave, Manifest, Platform,
     ProtectedFs, TeeKind,
@@ -75,6 +75,12 @@ pub struct SpecPatch {
     /// engine swap, so it composes with `engine`). Thread counts are
     /// freely diversifiable: the runtime pool is bit-deterministic.
     pub intra_op_threads: Option<usize>,
+    /// Replace this variant's GEMM-family kernel strategy (applied after
+    /// any engine swap, so it composes with `engine`). Unlike thread
+    /// counts, different strategies round differently — a panel mixing
+    /// them must opt into a tolerance via
+    /// `DeploymentBuilder::checkpoint_metric`.
+    pub kernel_strategy: Option<KernelStrategy>,
 }
 
 impl SpecPatch {
@@ -86,6 +92,11 @@ impl SpecPatch {
     /// A patch that only sets the intra-op thread count.
     pub fn threads(threads: usize) -> Self {
         SpecPatch { intra_op_threads: Some(threads), ..Default::default() }
+    }
+
+    /// A patch that only pins the GEMM-family kernel strategy.
+    pub fn kernel(strategy: KernelStrategy) -> Self {
+        SpecPatch { kernel_strategy: Some(strategy), ..Default::default() }
     }
 
     /// Applies the patch to a spec.
@@ -104,6 +115,9 @@ impl SpecPatch {
         }
         if let Some(n) = self.intra_op_threads {
             spec.engine.intra_op_threads = n.max(1);
+        }
+        if let Some(ks) = self.kernel_strategy {
+            spec.engine.kernel_strategy = ks;
         }
     }
 }

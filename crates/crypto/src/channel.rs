@@ -18,7 +18,7 @@ use crate::gcm::{nonce_from_sequence, AesGcm};
 use crate::sha256::{derive_key32, hkdf, sha256};
 use crate::x25519::EphemeralKeypair;
 use crate::{CryptoError, Result};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 
 /// A reliable, ordered, duplex frame transport.
 ///
@@ -62,17 +62,22 @@ impl FrameTransport for Box<dyn FrameTransport> {
 }
 
 /// In-memory duplex transport half, built from a pair of mpsc channels.
+/// The receiver sits behind a mutex so the transport is `Sync` and can be
+/// shared by the mux pump the way the socket transports are.
 #[derive(Debug)]
 pub struct MemoryTransport {
     tx: mpsc::Sender<Vec<u8>>,
-    rx: mpsc::Receiver<Vec<u8>>,
+    rx: Mutex<mpsc::Receiver<Vec<u8>>>,
 }
 
 /// Creates a connected pair of in-memory transports.
 pub fn memory_pair() -> (MemoryTransport, MemoryTransport) {
     let (tx_a, rx_b) = mpsc::channel();
     let (tx_b, rx_a) = mpsc::channel();
-    (MemoryTransport { tx: tx_a, rx: rx_a }, MemoryTransport { tx: tx_b, rx: rx_b })
+    (
+        MemoryTransport { tx: tx_a, rx: Mutex::new(rx_a) },
+        MemoryTransport { tx: tx_b, rx: Mutex::new(rx_b) },
+    )
 }
 
 impl FrameTransport for MemoryTransport {
@@ -81,7 +86,8 @@ impl FrameTransport for MemoryTransport {
     }
 
     fn recv_frame(&self) -> Result<Vec<u8>> {
-        self.rx.recv().map_err(|_| CryptoError::MalformedFrame)
+        let rx = self.rx.lock().map_err(|_| CryptoError::MalformedFrame)?;
+        rx.recv().map_err(|_| CryptoError::MalformedFrame)
     }
 }
 

@@ -2,7 +2,7 @@
 //! diversification space.
 
 use crate::TransformKind;
-use mvtee_runtime::{Accumulation, BlasKind, ConvStrategy, EngineConfig, EngineKind};
+use mvtee_runtime::{Accumulation, BlasKind, ConvStrategy, EngineConfig, EngineKind, KernelStrategy};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -96,7 +96,7 @@ impl VariantSpec {
     /// accumulation, optimisation, TEE, transform set).
     pub fn diversity_distance(&self, other: &VariantSpec) -> f64 {
         let mut differing = 0usize;
-        const AXES: usize = 7;
+        const AXES: usize = 8;
         if self.engine.kind != other.engine.kind {
             differing += 1;
         }
@@ -110,6 +110,9 @@ impl VariantSpec {
             differing += 1;
         }
         if self.engine.optimize != other.engine.optimize {
+            differing += 1;
+        }
+        if self.engine.kernel_strategy != other.engine.kernel_strategy {
             differing += 1;
         }
         if self.tee != other.tee {
@@ -162,6 +165,15 @@ pub fn spread_specs(n: usize, seed: u64) -> Vec<VariantSpec> {
         if i % 5 == 4 {
             engine.conv_strategy = ConvStrategy::Direct;
         }
+        // Kernel strategy is the 8th axis: cycle Auto (per-shape table)
+        // with the three pinned kernels. Decorrelated from the i%3 engine
+        // family cycle by the modulus.
+        engine.kernel_strategy = [
+            KernelStrategy::Auto,
+            KernelStrategy::SimdMicrokernel,
+            KernelStrategy::Scalar,
+            KernelStrategy::PanelPacked,
+        ][i % 4];
         let mut transforms: Vec<TransformKind> = TransformKind::ALL.to_vec();
         transforms.shuffle(&mut rng);
         transforms.truncate(1 + i % 3);

@@ -14,6 +14,7 @@ use crate::cache::{KernelCtx, PackedGemm};
 use crate::kernels::{self, Accumulation, ConvAttrs};
 use crate::optimize;
 use crate::pool::{RuntimeConfig, ThreadPool};
+use crate::strategy::{GemmStrategy, KernelStrategy, OpClass, StrategyTable};
 use crate::{Result, RuntimeError};
 use mvtee_graph::{Graph, Node, NodeId, Op};
 use mvtee_tensor::Tensor;
@@ -74,6 +75,11 @@ pub struct EngineConfig {
     /// problem size, never of this count), so it is freely diversifiable
     /// per variant.
     pub intra_op_threads: usize,
+    /// GEMM-family kernel strategy: `Auto` consults the per-shape
+    /// [`StrategyTable`](crate::StrategyTable); a fixed value pins every
+    /// GEMM-family op to one kernel, making strategy choice a
+    /// diversification axis.
+    pub kernel_strategy: KernelStrategy,
 }
 
 impl EngineConfig {
@@ -87,6 +93,7 @@ impl EngineConfig {
                 accumulation: Accumulation::Sequential,
                 conv_strategy: ConvStrategy::Direct,
                 intra_op_threads: 1,
+                kernel_strategy: KernelStrategy::Auto,
             },
             EngineKind::OrtLike => EngineConfig {
                 kind,
@@ -95,6 +102,7 @@ impl EngineConfig {
                 accumulation: Accumulation::Sequential,
                 conv_strategy: ConvStrategy::Im2col,
                 intra_op_threads: 1,
+                kernel_strategy: KernelStrategy::Auto,
             },
             EngineKind::TvmLike => EngineConfig {
                 kind,
@@ -103,6 +111,7 @@ impl EngineConfig {
                 accumulation: Accumulation::Tree,
                 conv_strategy: ConvStrategy::Im2col,
                 intra_op_threads: 1,
+                kernel_strategy: KernelStrategy::Auto,
             },
         }
     }
@@ -135,10 +144,16 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the GEMM-family kernel strategy override.
+    pub fn with_kernel_strategy(mut self, strategy: KernelStrategy) -> Self {
+        self.kernel_strategy = strategy;
+        self
+    }
+
     /// A short human-readable descriptor (for logs and variant metadata).
     pub fn describe(&self) -> String {
         format!(
-            "{}/{}/{}{}{}",
+            "{}/{}/{}{}{}{}",
             self.kind,
             self.blas,
             match self.conv_strategy {
@@ -151,6 +166,10 @@ impl EngineConfig {
                 format!("/t{}", self.intra_op_threads)
             } else {
                 String::new()
+            },
+            match self.kernel_strategy {
+                KernelStrategy::Auto => String::new(),
+                pinned => format!("/mk-{}", pinned.token()),
             }
         )
     }
@@ -270,6 +289,24 @@ impl Engine {
                 }
             }
         }
+        // Per-shape kernel selection table, shared through the session
+        // cache next to the packed weights. Custom-BLAS engines get none:
+        // their fault models corrupt outputs as a function of the per-call
+        // GEMM shape, so they stay pinned to the sequential scalar path.
+        let strategy = if self.custom_blas {
+            None
+        } else {
+            let table = crate::cache::session_cache().strategy_table(&self.config);
+            if self.config.kernel_strategy == KernelStrategy::Auto {
+                // Prewarm: calibrate each FC layer's batch-1 shape class
+                // now, at the same moment the weights pack, instead of on
+                // the first inference a client is waiting on.
+                for (m, k) in optimize::gemm_weight_shapes(&compiled) {
+                    table.select_gemm(OpClass::GemmFc, 1, m, k);
+                }
+            }
+            Some(table)
+        };
         Ok(Box::new(Interpreter {
             graph: compiled,
             order,
@@ -278,6 +315,7 @@ impl Engine {
             config: self.config.clone(),
             ctx: KernelCtx::new(Arc::clone(&self.pool)),
             packed,
+            strategy,
             op_latency,
             gemm_calls,
         }))
@@ -292,11 +330,43 @@ struct Interpreter {
     config: EngineConfig,
     ctx: KernelCtx,
     packed: HashMap<usize, Arc<PackedGemm>>,
+    /// `None` for custom-BLAS engines, which are pinned to the scalar path.
+    strategy: Option<Arc<StrategyTable>>,
     op_latency: mvtee_telemetry::Histogram,
     gemm_calls: mvtee_telemetry::Counter,
 }
 
 impl Interpreter {
+    /// Resolves the kernel for one GEMM-family invocation: custom-BLAS
+    /// engines are pinned to `Scalar`, a non-`Auto` config override wins
+    /// next, otherwise the per-shape table decides.
+    fn gemm_strategy(&self, op: OpClass, m: usize, n: usize, k: usize) -> GemmStrategy {
+        match (&self.strategy, self.config.kernel_strategy.fixed()) {
+            (None, _) => GemmStrategy::Scalar,
+            (Some(_), Some(pinned)) => pinned,
+            (Some(table), None) => table.select_gemm(op, m, n, k),
+        }
+    }
+
+    /// Resolves the im2col inner-product kernel and records the conv shape
+    /// class in the selection table (conv lowering itself stays the
+    /// configured `conv_strategy` — it is its own diversification axis).
+    fn conv_strategy_for(&self, x: &Tensor, w: &Tensor, attrs: &ConvAttrs) -> GemmStrategy {
+        let (Ok((_, _, h, wd)), Ok((oc, icg, kh, kw))) =
+            (x.shape().as_nchw(), w.shape().as_nchw())
+        else {
+            return GemmStrategy::Scalar;
+        };
+        let (oh, ow) = kernels::conv_out_dims(h, wd, attrs);
+        let pixels = oh * ow;
+        let patch = icg * kh * kw;
+        let oc_per_group = oc / attrs.groups.max(1);
+        if let Some(table) = &self.strategy {
+            table.record_conv(self.config.conv_strategy, oc, pixels, patch);
+        }
+        self.gemm_strategy(OpClass::ConvIm2col, oc_per_group, pixels, patch)
+    }
+
     fn compute(&self, node: &Node, inputs: &[&Tensor]) -> Result<Tensor> {
         let acc = self.config.accumulation;
         match &node.op {
@@ -312,13 +382,15 @@ impl Interpreter {
                     ConvStrategy::Direct => kernels::conv2d_direct(inputs[0], inputs[1], bias, &attrs),
                     ConvStrategy::Im2col => {
                         self.gemm_calls.inc();
-                        kernels::conv2d_im2col_with(
+                        let strategy = self.conv_strategy_for(inputs[0], inputs[1], &attrs);
+                        kernels::conv2d_im2col_strategic(
                             &self.ctx,
                             inputs[0],
                             inputs[1],
                             bias,
                             &attrs,
                             self.blas.as_ref(),
+                            strategy,
                         )
                     }
                     ConvStrategy::NhwcDirect => {
@@ -337,18 +409,39 @@ impl Interpreter {
                     .get(1)
                     .and_then(|wid| self.packed.get(&wid.0))
                     .map(Arc::as_ref);
-                kernels::gemm_fc_with(
+                let strategy = if inputs[0].rank() == 2 && inputs[1].rank() == 2 {
+                    self.gemm_strategy(
+                        OpClass::GemmFc,
+                        inputs[0].dims()[0],
+                        inputs[1].dims()[0],
+                        inputs[0].dims()[1],
+                    )
+                } else {
+                    GemmStrategy::Scalar
+                };
+                kernels::gemm_fc_strategic(
                     &self.ctx,
                     inputs[0],
                     inputs[1],
                     inputs.get(2).copied(),
                     self.blas.as_ref(),
                     packed,
+                    strategy,
                 )
             }
             Op::MatMul => {
                 self.gemm_calls.inc();
-                kernels::matmul_with(&self.ctx, inputs[0], inputs[1], self.blas.as_ref())
+                let strategy = if inputs[0].rank() == 2 && inputs[1].rank() == 2 {
+                    self.gemm_strategy(
+                        OpClass::MatMul,
+                        inputs[0].dims()[0],
+                        inputs[1].dims()[1],
+                        inputs[0].dims()[1],
+                    )
+                } else {
+                    GemmStrategy::Scalar
+                };
+                kernels::matmul_strategic(&self.ctx, inputs[0], inputs[1], self.blas.as_ref(), strategy)
             }
             Op::BatchNorm { epsilon } => kernels::batch_norm_with(
                 &self.ctx, inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], *epsilon,

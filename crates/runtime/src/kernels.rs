@@ -7,6 +7,8 @@
 
 use crate::blas::Blas;
 use crate::cache::{pack_hits, pack_misses, KernelCtx, PackedGemm};
+use crate::simd;
+use crate::strategy::GemmStrategy;
 use crate::{Result, RuntimeError};
 use mvtee_graph::op::{ActivationKind, PoolKind};
 use mvtee_tensor::Tensor;
@@ -56,7 +58,7 @@ pub struct ConvAttrs {
     pub groups: usize,
 }
 
-fn conv_out_dims(h: usize, w: usize, a: &ConvAttrs) -> (usize, usize) {
+pub(crate) fn conv_out_dims(h: usize, w: usize, a: &ConvAttrs) -> (usize, usize) {
     let oh = (h + 2 * a.padding.0 - a.kernel.0) / a.stride.0 + 1;
     let ow = (w + 2 * a.padding.1 - a.kernel.1) / a.stride.1 + 1;
     (oh, ow)
@@ -152,6 +154,28 @@ pub fn conv2d_im2col_with(
     a: &ConvAttrs,
     blas: &dyn Blas,
 ) -> Result<Tensor> {
+    conv2d_im2col_strategic(ctx, x, w, bias, a, blas, GemmStrategy::Scalar)
+}
+
+/// [`conv2d_im2col_with`] under an explicit kernel strategy for the inner
+/// product. `Scalar` / `PanelPacked` fill the `[patch, cols]` column buffer
+/// and run the row-panel BLAS GEMM; `SimdMicrokernel` fills the buffer
+/// **transposed** (`[cols, patch]`, same arena bytes) so both the filter row
+/// and the patch column are contiguous, then runs one fixed-tree
+/// [`simd::dot8`] per output element.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Kernel`] on shape inconsistencies.
+pub fn conv2d_im2col_strategic(
+    ctx: &KernelCtx,
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    a: &ConvAttrs,
+    blas: &dyn Blas,
+    strategy: GemmStrategy,
+) -> Result<Tensor> {
     let (n, c, h, wd) = x.shape().as_nchw()?;
     let (oc, icg, kh, kw) = w.shape().as_nchw()?;
     if (kh, kw) != a.kernel || c % a.groups != 0 || oc % a.groups != 0 || icg != c / a.groups {
@@ -173,48 +197,105 @@ pub fn conv2d_im2col_with(
     let ic_rows = kh * kw * cols;
     for b_i in 0..n {
         for g in 0..a.groups {
-            // im2col for this batch/group — input channels are disjoint
-            // row blocks of the patch matrix, so they chunk freely.
-            ctx.pool.for_each_chunk(icg, ic_rows, &mut col, |_, ic0, _, block| {
-                block.fill(0.0);
-                for (local, rows) in block.chunks_mut(ic_rows).enumerate() {
-                    let c_in = g * icg + ic0 + local;
-                    for ky in 0..kh {
-                        for kx in 0..kw {
-                            let row = ky * kw + kx;
-                            for oy in 0..oh {
-                                let iy =
-                                    (oy * a.stride.0 + ky) as isize - a.padding.0 as isize;
-                                if iy < 0 || iy as usize >= h {
-                                    continue;
-                                }
-                                let x_base = ((b_i * c + c_in) * h + iy as usize) * wd;
-                                let row_base = row * cols + oy * ow;
-                                for ox in 0..ow {
-                                    let ix = (ox * a.stride.1 + kx) as isize
-                                        - a.padding.1 as isize;
-                                    if ix < 0 || ix as usize >= wd {
+            let w_base = g * oc_per_group * patch;
+            match strategy {
+                GemmStrategy::SimdMicrokernel => {
+                    // Transposed im2col: one contiguous [patch] row per
+                    // output pixel, chunked over pixels.
+                    ctx.pool.for_each_chunk(cols, patch, &mut col, |_, p0, _p1, block| {
+                        block.fill(0.0);
+                        for (local, prow) in block.chunks_mut(patch).enumerate() {
+                            let pix = p0 + local;
+                            let (oy, ox) = (pix / ow, pix % ow);
+                            for ic in 0..icg {
+                                let c_in = g * icg + ic;
+                                for ky in 0..kh {
+                                    let iy = (oy * a.stride.0 + ky) as isize
+                                        - a.padding.0 as isize;
+                                    if iy < 0 || iy as usize >= h {
                                         continue;
                                     }
-                                    rows[row_base + ox] = xs[x_base + ix as usize];
+                                    let x_base = ((b_i * c + c_in) * h + iy as usize) * wd;
+                                    for kx in 0..kw {
+                                        let ix = (ox * a.stride.1 + kx) as isize
+                                            - a.padding.1 as isize;
+                                        if ix < 0 || ix as usize >= wd {
+                                            continue;
+                                        }
+                                        prow[(ic * kh + ky) * kw + kx] =
+                                            xs[x_base + ix as usize];
+                                    }
                                 }
                             }
                         }
-                    }
+                    });
+                    // One dot8 per (output channel, pixel) over two
+                    // contiguous rows, chunked over output channels.
+                    let colt_ref = &col;
+                    ctx.pool.for_each_chunk(
+                        oc_per_group,
+                        cols,
+                        &mut prod,
+                        |_, o0, o1, block| {
+                            for o in o0..o1 {
+                                let wr = &ws[w_base + o * patch..w_base + (o + 1) * patch];
+                                let dst = &mut block[(o - o0) * cols..(o - o0 + 1) * cols];
+                                for (p, v) in dst.iter_mut().enumerate() {
+                                    *v = simd::dot8(
+                                        wr,
+                                        &colt_ref[p * patch..(p + 1) * patch],
+                                    );
+                                }
+                            }
+                        },
+                    );
                 }
-            });
-            // filters[oc/g, patch] · col[patch, cols], row-panelled over
-            // output channels.
-            let w_base = g * oc_per_group * patch;
-            ctx.pool.par_gemm(
-                blas,
-                oc_per_group,
-                cols,
-                patch,
-                &ws[w_base..w_base + oc_per_group * patch],
-                &col,
-                &mut prod,
-            );
+                GemmStrategy::Scalar | GemmStrategy::PanelPacked => {
+                    // im2col for this batch/group — input channels are
+                    // disjoint row blocks of the patch matrix, so they
+                    // chunk freely.
+                    ctx.pool.for_each_chunk(icg, ic_rows, &mut col, |_, ic0, _, block| {
+                        block.fill(0.0);
+                        for (local, rows) in block.chunks_mut(ic_rows).enumerate() {
+                            let c_in = g * icg + ic0 + local;
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let row = ky * kw + kx;
+                                    for oy in 0..oh {
+                                        let iy = (oy * a.stride.0 + ky) as isize
+                                            - a.padding.0 as isize;
+                                        if iy < 0 || iy as usize >= h {
+                                            continue;
+                                        }
+                                        let x_base =
+                                            ((b_i * c + c_in) * h + iy as usize) * wd;
+                                        let row_base = row * cols + oy * ow;
+                                        for ox in 0..ow {
+                                            let ix = (ox * a.stride.1 + kx) as isize
+                                                - a.padding.1 as isize;
+                                            if ix < 0 || ix as usize >= wd {
+                                                continue;
+                                            }
+                                            rows[row_base + ox] = xs[x_base + ix as usize];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    });
+                    // filters[oc/g, patch] · col[patch, cols], row-panelled
+                    // over output channels.
+                    ctx.pool.par_gemm(
+                        blas,
+                        oc_per_group,
+                        cols,
+                        patch,
+                        &ws[w_base..w_base + oc_per_group * patch],
+                        &col,
+                        &mut prod,
+                    );
+                }
+            }
             // Bias epilogue, again parallel over output channels (the
             // group's channels are contiguous in the output).
             let out_base = (b_i * oc + g * oc_per_group) * cols;
@@ -630,6 +711,33 @@ pub fn gemm_fc_with(
     blas: &dyn Blas,
     packed: Option<&PackedGemm>,
 ) -> Result<Tensor> {
+    gemm_fc_strategic(ctx, x, w, bias, blas, packed, GemmStrategy::PanelPacked)
+}
+
+/// [`gemm_fc_with`] under an explicit kernel strategy.
+///
+/// * `Scalar` — row-panel BLAS `par_gemm` over the `[k, m]` transpose
+///   (prepacked when available, else derived once through the arena).
+/// * `PanelPacked` — `Scalar` plus the batch-1 pre-split column-panel fast
+///   path; byte-identical to `Scalar` (both re-tile the same ascending-`k`
+///   BLAS accumulation).
+/// * `SimdMicrokernel` — `w` is `[m, k]` row-major, i.e. its rows already
+///   *are* the contiguous columns the 8-lane dot product needs, so this
+///   path runs with **no transpose or pack at all**, one fixed-tree
+///   [`simd::dot8`] per output element.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Kernel`] on shape problems.
+pub fn gemm_fc_strategic(
+    ctx: &KernelCtx,
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    blas: &dyn Blas,
+    packed: Option<&PackedGemm>,
+    strategy: GemmStrategy,
+) -> Result<Tensor> {
     if x.rank() != 2 || w.rank() != 2 || x.dims()[1] != w.dims()[1] {
         return Err(RuntimeError::Kernel {
             node: "gemm".into(),
@@ -639,35 +747,66 @@ pub fn gemm_fc_with(
     let (n, k) = (x.dims()[0], x.dims()[1]);
     let m = w.dims()[0];
     let mut out = vec![0.0f32; n * m];
-    match packed.filter(|p| p.k == k && p.m == m) {
-        Some(p) => {
-            pack_hits().inc();
-            if n == 1
-                && p.panels.len() > 1
-                && p.panels.len() == ctx.pool.chunk_ranges(m).len()
-            {
-                // Batch-1: row-parallelism degenerates, so split the
-                // single output row into the pre-packed column panels.
-                let xd = x.data();
-                ctx.pool.for_each_chunk(m, 1, &mut out, |cidx, j0, j1, chunk| {
-                    blas.gemm(1, j1 - j0, k, xd, &p.panels[cidx], chunk);
+    match strategy {
+        GemmStrategy::SimdMicrokernel => {
+            let xd = x.data();
+            let ws = w.data();
+            if n == 1 {
+                // Batch-1: parallelise over output features instead of the
+                // degenerate row dimension. Each element is an independent
+                // dot product, so the split never moves an addition.
+                ctx.pool.for_each_chunk(m, 1, &mut out, |_, o0, o1, chunk| {
+                    for (local, o) in (o0..o1).enumerate() {
+                        chunk[local] = simd::dot8(xd, &ws[o * k..(o + 1) * k]);
+                    }
                 });
             } else {
-                ctx.pool.par_gemm(blas, n, m, k, x.data(), &p.wt, &mut out);
+                ctx.pool.for_each_chunk(n, m, &mut out, |_, r0, r1, block| {
+                    for r in r0..r1 {
+                        let xr = &xd[r * k..(r + 1) * k];
+                        let row = &mut block[(r - r0) * m..(r - r0 + 1) * m];
+                        for (o, v) in row.iter_mut().enumerate() {
+                            *v = simd::dot8(xr, &ws[o * k..(o + 1) * k]);
+                        }
+                    }
+                });
             }
         }
-        None => {
-            pack_misses().inc();
-            // Transpose w to [k, m] for row-major GEMM, via the arena.
-            let ws = w.data();
-            let mut wt = ctx.arena.take(k * m);
-            for o in 0..m {
-                for i in 0..k {
-                    wt[i * m + o] = ws[o * k + i];
+        GemmStrategy::Scalar | GemmStrategy::PanelPacked => {
+            match packed.filter(|p| p.k == k && p.m == m) {
+                Some(p) => {
+                    pack_hits().inc();
+                    if strategy == GemmStrategy::PanelPacked
+                        && n == 1
+                        && p.panels.len() > 1
+                        && p.panels.len() == ctx.pool.chunk_ranges(m).len()
+                    {
+                        // Batch-1: row-parallelism degenerates, so split the
+                        // single output row into the pre-packed column panels.
+                        let xd = x.data();
+                        ctx.pool.for_each_chunk(m, 1, &mut out, |cidx, j0, j1, chunk| {
+                            blas.gemm(1, j1 - j0, k, xd, &p.panels[cidx], chunk);
+                        });
+                    } else {
+                        ctx.pool.par_gemm(blas, n, m, k, x.data(), &p.wt, &mut out);
+                    }
+                }
+                None => {
+                    pack_misses().inc();
+                    // One-shot pack: transpose w to [k, m] for row-major
+                    // GEMM, through the arena so repeated identical shapes
+                    // within one forward recycle the buffer.
+                    let ws = w.data();
+                    let mut wt = ctx.arena.take(k * m);
+                    for o in 0..m {
+                        for i in 0..k {
+                            wt[i * m + o] = ws[o * k + i];
+                        }
+                    }
+                    ctx.pool.par_gemm(blas, n, m, k, x.data(), &wt, &mut out);
+                    ctx.arena.give(wt);
                 }
             }
-            ctx.pool.par_gemm(blas, n, m, k, x.data(), &wt, &mut out);
-            ctx.arena.give(wt);
         }
     }
     if let Some(b) = bias {
@@ -698,6 +837,25 @@ pub fn matmul(a: &Tensor, b: &Tensor, blas: &dyn Blas) -> Result<Tensor> {
 ///
 /// Returns [`RuntimeError::Kernel`] on shape problems.
 pub fn matmul_with(ctx: &KernelCtx, a: &Tensor, b: &Tensor, blas: &dyn Blas) -> Result<Tensor> {
+    matmul_strategic(ctx, a, b, blas, GemmStrategy::Scalar)
+}
+
+/// [`matmul_with`] under an explicit kernel strategy. `Scalar` and
+/// `PanelPacked` run the row-panel BLAS path (no prepacked weight exists
+/// for a dynamic right-hand side); `SimdMicrokernel` derives a one-shot
+/// `[n, k]` transpose of `b` through the arena, then runs one fixed-tree
+/// [`simd::dot8`] per output element over the two contiguous rows.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::Kernel`] on shape problems.
+pub fn matmul_strategic(
+    ctx: &KernelCtx,
+    a: &Tensor,
+    b: &Tensor,
+    blas: &dyn Blas,
+    strategy: GemmStrategy,
+) -> Result<Tensor> {
     if a.rank() != 2 || b.rank() != 2 || a.dims()[1] != b.dims()[0] {
         return Err(RuntimeError::Kernel {
             node: "matmul".into(),
@@ -707,7 +865,34 @@ pub fn matmul_with(ctx: &KernelCtx, a: &Tensor, b: &Tensor, blas: &dyn Blas) -> 
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let n = b.dims()[1];
     let mut out = vec![0.0f32; m * n];
-    ctx.pool.par_gemm(blas, m, n, k, a.data(), b.data(), &mut out);
+    match strategy {
+        GemmStrategy::SimdMicrokernel => {
+            // One-shot pack of b to [n, k] (bᵀ) through the arena, so a
+            // repeated shape within one forward recycles the buffer.
+            let bd = b.data();
+            let mut bt = ctx.arena.take(n * k);
+            for j in 0..n {
+                for i in 0..k {
+                    bt[j * k + i] = bd[i * n + j];
+                }
+            }
+            let ad = a.data();
+            let bt_ref = &bt;
+            ctx.pool.for_each_chunk(m, n, &mut out, |_, r0, r1, block| {
+                for r in r0..r1 {
+                    let ar = &ad[r * k..(r + 1) * k];
+                    let row = &mut block[(r - r0) * n..(r - r0 + 1) * n];
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v = simd::dot8(ar, &bt_ref[j * k..(j + 1) * k]);
+                    }
+                }
+            });
+            ctx.arena.give(bt);
+        }
+        GemmStrategy::Scalar | GemmStrategy::PanelPacked => {
+            ctx.pool.par_gemm(blas, m, n, k, a.data(), b.data(), &mut out);
+        }
+    }
     Ok(Tensor::from_vec(out, &[m, n])?)
 }
 

@@ -52,6 +52,8 @@ mod error;
 pub mod kernels;
 pub mod optimize;
 pub mod pool;
+pub mod simd;
+pub mod strategy;
 
 pub use blas::{Blas, BlasKind, BlockedBlas, NaiveBlas, StridedBlas};
 pub use cache::{
@@ -62,6 +64,7 @@ pub use engine::{ConvStrategy, Engine, EngineConfig, EngineKind, PreparedModel};
 pub use error::RuntimeError;
 pub use kernels::Accumulation;
 pub use pool::{register_runtime_metrics, RuntimeConfig, ThreadPool};
+pub use strategy::{GemmStrategy, KernelStrategy, OpClass, ShapeClass, StrategyEntry, StrategyKey, StrategyTable};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -89,6 +89,68 @@ fn diversified_panels_agree_across_models() {
 }
 
 #[test]
+fn kernel_strategy_diversified_panel_passes_relaxed_checkpoints() {
+    // The kernel-strategy axis as a diversification dimension: one panel
+    // member keeps the autotuned default while the others pin different
+    // microkernels. Same weights, different inner-loop accumulation order
+    // — so the panel opts into the heterogeneous tolerance through
+    // `checkpoint_metric` and must sail through without detections.
+    use mvtee::SpecPatch;
+    use mvtee_runtime::KernelStrategy;
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 43).expect("builds");
+    let input = model_input(&model);
+    let expected = reference_output(&model, &input);
+    let mut d = Deployment::builder(model)
+        .partitions(2)
+        .mvx_on_partition(1, 3)
+        .spec_patch(1, 1, SpecPatch::kernel(KernelStrategy::SimdMicrokernel))
+        .spec_patch(1, 2, SpecPatch::kernel(KernelStrategy::Scalar))
+        .checkpoint_metric(1, metrics::Metric::relaxed())
+        .build()
+        .unwrap();
+    let out = d.infer(&input).unwrap();
+    assert!(
+        metrics::allclose(&out, &expected, 1e-3, 1e-4),
+        "strategy-diverse output diverged from reference by {}",
+        metrics::max_abs_diff(&out, &expected)
+    );
+    assert_eq!(
+        d.events().detection_count(),
+        0,
+        "strategy-diverse panel disagreed: {:?}",
+        d.events().events()
+    );
+    d.shutdown();
+}
+
+#[test]
+fn same_strategy_replicas_stay_bit_identical_under_exact_metric() {
+    // Pinning every panel member to the same strategy keeps the claim
+    // homogeneous: the default exact metric must hold (byte-identical
+    // replicas), with no tolerance opt-in needed.
+    use mvtee::SpecPatch;
+    use mvtee_runtime::KernelStrategy;
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 43).expect("builds");
+    let input = model_input(&model);
+    let mut d = Deployment::builder(model)
+        .partitions(2)
+        .mvx_on_partition(1, 2)
+        .spec_patch(1, 0, SpecPatch::kernel(KernelStrategy::SimdMicrokernel))
+        .spec_patch(1, 1, SpecPatch::kernel(KernelStrategy::SimdMicrokernel))
+        .build()
+        .unwrap();
+    let out = d.infer(&input).unwrap();
+    assert!(out.data().iter().all(|v| v.is_finite()));
+    assert_eq!(
+        d.events().detection_count(),
+        0,
+        "same-strategy replicas must agree exactly: {:?}",
+        d.events().events()
+    );
+    d.shutdown();
+}
+
+#[test]
 fn pipelined_stream_matches_sequential_stream() {
     let model = zoo::build(ModelKind::InceptionV3, ScaleProfile::Test, 37).expect("builds");
     let inputs: Vec<Tensor> = (0..5)

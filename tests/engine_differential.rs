@@ -7,9 +7,12 @@
 //! false-positives in production.
 
 use mvtee_graph::zoo::{self, Model, ModelKind, ScaleProfile};
-use mvtee_runtime::{Engine, EngineConfig, EngineKind};
+use mvtee_runtime::{
+    Engine, EngineConfig, EngineKind, KernelStrategy, OpClass, StrategyKey, StrategyTable,
+};
 use mvtee_tensor::metrics::{max_abs_diff, Metric};
 use mvtee_tensor::Tensor;
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -134,6 +137,102 @@ fn parallel_path_stays_within_cross_family_metric() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn every_kernel_strategy_agrees_with_reference_on_seeded_zoo_models() {
+    // The kernel-strategy axis must stay inside the same heterogeneous
+    // tolerance every other diversification axis respects: an ORT-like
+    // engine pinned to any strategy (or left on the autotuned table) must
+    // agree with the Reference interpreter under the relaxed metric.
+    let metric = Metric::relaxed();
+    let cases: [(ModelKind, u64); 3] =
+        [(ModelKind::MnasNet, 11), (ModelKind::MobileNetV3, 29), (ModelKind::ResNet50, 53)];
+    for (kind, seed) in cases {
+        let model = zoo::build(kind, ScaleProfile::Test, seed).expect("builds");
+        let input = random_input(&model, seed ^ 0x5742);
+        let reference = run(EngineKind::Reference, &model, &input);
+        for ks in KernelStrategy::ALL {
+            let outputs =
+                Engine::new(EngineConfig::of_kind(EngineKind::OrtLike).with_kernel_strategy(ks))
+                    .prepare(&model.graph)
+                    .expect("prepares")
+                    .run(std::slice::from_ref(&input))
+                    .expect("runs");
+            assert_eq!(reference.len(), outputs.len());
+            for (a, b) in reference.iter().zip(outputs.iter()) {
+                assert!(
+                    metric.check(a, b),
+                    "strategy {ks} diverged from reference on {kind:?} seed {seed}: \
+                     max |Δ| = {}",
+                    max_abs_diff(a, b)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn strategy_selection_ignores_thread_count() {
+    // The strategy key deliberately excludes `intra_op_threads`: engines
+    // differing only in thread count must share one selection table, so
+    // the chosen kernel — and therefore the bytes — cannot fork on
+    // parallelism. Feed the same shape stream to tables keyed by configs
+    // at every thread count and require identical rendered bytes.
+    let shapes = [(1usize, 64usize, 128usize), (8, 32, 96), (3, 7, 5), (1, 256, 300)];
+    let tables: Vec<StrategyTable> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&t| {
+            let cfg = EngineConfig::of_kind(EngineKind::OrtLike).with_threads(t);
+            let table = StrategyTable::new(StrategyKey::of(&cfg));
+            for &(m, n, k) in &shapes {
+                table.select_gemm(OpClass::GemmFc, m, n, k);
+                table.select_gemm(OpClass::MatMul, m, n, k);
+            }
+            table
+        })
+        .collect();
+    for t in &tables[1..] {
+        assert_eq!(
+            tables[0].render_bytes(),
+            t.render_bytes(),
+            "strategy table forked on thread count"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn strategy_table_selection_is_pure(
+        shapes in proptest::collection::vec(
+            (0usize..3, 1usize..512, 1usize..512, 1usize..512), 1..12
+        ),
+        kind_ix in 0usize..3,
+    ) {
+        // Same config slice + same shape stream twice → byte-identical
+        // rendered tables. This is the replay property the session cache
+        // and the cross-run perf gate rely on: selection is a pure
+        // function of (op, shape, config), with no wall-clock input.
+        let kind = [EngineKind::Reference, EngineKind::OrtLike, EngineKind::TvmLike][kind_ix];
+        let cfg = EngineConfig::of_kind(kind);
+        let ops = [OpClass::GemmFc, OpClass::MatMul, OpClass::ConvIm2col];
+        let feed = |table: &StrategyTable| {
+            for &(op_ix, m, n, k) in &shapes {
+                table.select_gemm(ops[op_ix], m, n, k);
+            }
+        };
+        let first = StrategyTable::new(StrategyKey::of(&cfg));
+        feed(&first);
+        let second = StrategyTable::new(StrategyKey::of(&cfg));
+        feed(&second);
+        prop_assert_eq!(first.render_bytes(), second.render_bytes());
+        // Replaying the same stream over a populated table must not
+        // change it either (hits only, no re-calibration drift).
+        feed(&first);
+        prop_assert_eq!(first.render_bytes(), second.render_bytes());
     }
 }
 
