@@ -10,6 +10,7 @@
 //! experiments trace [--seed N] [--quick] [--out PATH] [--trace-out PATH]
 //! experiments dist [--seed N] [--quick] [--out PATH]
 //! experiments netchaos [--seed N] [--quick] [--out PATH]
+//! experiments coldstart [--seed N] [--quick] [--out PATH]
 //! experiments audit TRANSCRIPT
 //! ```
 //!
@@ -84,10 +85,26 @@
 //! failed heal. The flap/reconnect probes need the built
 //! `mvtee-variantd` worker binary, like `dist`.
 //!
+//! The `coldstart` subcommand runs the encrypted-model-registry
+//! experiment (`mvtee-registry` + the serve cold-start path): tenants
+//! upload models as chunked ciphertext over the attested provisioning
+//! lane (with a wire tap proving no plaintext crosses the host), a torn
+//! upload is resumed from its last verified chunk, a seeded
+//! provisioning-fault sweep must be rejected at 100%, and every model is
+//! then cold-started through the serving frontend and held byte-identical
+//! (outputs *and* rendered audit transcript) to an in-memory reference.
+//! It writes `BENCH_registry.json` (upload throughput, p50/p99
+//! time-to-first-inference per model size, warm-vs-cold hit ratio,
+//! eviction counts) and exits non-zero on any plaintext sighting,
+//! accepted corrupt chunk, byte mismatch, failed resume, or missing
+//! `ColdStart` shed under saturation.
+//!
 //! The `audit` subcommand replays a transcript's hash chain and exits
 //! non-zero on any tamper or gap.
 
 use mvtee_bench::chaos::{run_chaos, ChaosConfig};
+use mvtee_bench::cli::{self, CommonArgs};
+use mvtee_bench::coldstart::{run_coldstart, ColdstartSettings};
 use mvtee_bench::dist::{run_dist, DistSettings};
 use mvtee_bench::experiments::{
     ablation_metric, ablation_weight_fn, fig10, fig11, fig12, fig13, fig14, fig9,
@@ -118,43 +135,13 @@ macro_rules! status {
     };
 }
 
-/// Parses `--flag N` from the argument list; exits with a usage error on a
-/// malformed value.
-fn flag_value(args: &[String], flag: &str, default: u64) -> u64 {
-    match args.iter().position(|a| a == flag) {
-        None => default,
-        Some(i) => match args.get(i + 1).map(|v| v.parse::<u64>()) {
-            Some(Ok(v)) => v,
-            _ => {
-                eprintln!("error: {flag} requires an unsigned integer value");
-                std::process::exit(2);
-            }
-        },
-    }
-}
-
-/// Parses `--flag PATH` from the argument list; exits with a usage error
-/// when the path is missing.
-fn flag_path(args: &[String], flag: &str, default: &str) -> String {
-    match args.iter().position(|a| a == flag) {
-        None => default.to_string(),
-        Some(i) => match args.get(i + 1) {
-            Some(p) => p.clone(),
-            None => {
-                eprintln!("error: {flag} requires a path");
-                std::process::exit(2);
-            }
-        },
-    }
-}
-
 /// The `campaign` subcommand: runs the fault-injection campaign and exits
 /// non-zero on any MISSED scenario.
 fn run_campaign_command(args: &[String]) -> ! {
-    let seed = flag_value(args, "--seed", 7);
-    let count = flag_value(args, "--count", 64);
+    let seed = CommonArgs::parse(args, 7).seed;
+    let count = cli::flag_value(args, "--count", 64);
     let mut cfg = mvtee_campaign::CampaignConfig::new(seed, count);
-    cfg.shrink = !args.iter().any(|a| a == "--no-shrink");
+    cfg.shrink = !cli::has_flag(args, "--no-shrink");
     status!("# running fault-injection campaign (seed={seed}, count={count}) …");
     let report = mvtee_campaign::run_campaign(&cfg);
     status!("{}", report.render_text());
@@ -176,12 +163,13 @@ fn run_campaign_command(args: &[String]) -> ! {
 /// The `chaos` subcommand: runs the self-healing storm campaign and exits
 /// non-zero when any storm fails to heal.
 fn run_chaos_command(args: &[String]) -> ! {
-    let seed = flag_value(args, "--seed", 7);
+    let common = CommonArgs::parse(args, 7);
+    let seed = common.seed;
     let mut cfg = ChaosConfig::new(seed);
-    if args.iter().any(|a| a == "--quick") {
+    if common.quick {
         cfg.scenarios = 4; // CI smoke
     }
-    cfg.scenarios = flag_value(args, "--scenarios", cfg.scenarios);
+    cfg.scenarios = cli::flag_value(args, "--scenarios", cfg.scenarios);
     status!(
         "# running chaos storm campaign (seed={seed}, scenarios={}) …",
         cfg.scenarios
@@ -200,12 +188,13 @@ fn run_chaos_command(args: &[String]) -> ! {
 /// The `perf` subcommand: runs the intra-op parallelism sweep, writes the
 /// JSON report and exits non-zero on any cross-thread-count mismatch.
 fn run_perf_command(args: &[String]) -> ! {
-    let settings = if args.iter().any(|a| a == "--quick") {
+    let common = CommonArgs::parse(args, 7);
+    let settings = if common.quick {
         PerfSettings::quick()
     } else {
         PerfSettings::full()
     };
-    let out_path = flag_path(args, "--out", "BENCH_runtime.json");
+    let out_path = common.out_or("BENCH_runtime.json");
     status!(
         "# running runtime perf sweep (threads {:?}, models {:?}) …",
         settings.threads,
@@ -233,14 +222,14 @@ fn run_perf_command(args: &[String]) -> ! {
 /// writes the JSON report and exits non-zero when any serving invariant
 /// broke (or anything was shed at smoke load).
 fn run_serve_command(args: &[String]) -> ! {
-    let seed = flag_value(args, "--seed", 7);
-    let quick = args.iter().any(|a| a == "--quick");
+    let common = CommonArgs::parse(args, 7);
+    let (seed, quick) = (common.seed, common.quick);
     let settings = if quick {
         ServeSettings::quick(seed)
     } else {
         ServeSettings::full(seed)
     };
-    let out_path = flag_path(args, "--out", "BENCH_serve.json");
+    let out_path = common.out_or("BENCH_serve.json");
     status!(
         "# running serve load experiment (seed={seed}, replicas={}, clients={}, open-loop {} req @ {} req/s) …",
         settings.replicas, settings.clients, settings.open_loop_requests, settings.open_loop_rate,
@@ -275,15 +264,15 @@ fn run_serve_command(args: &[String]) -> ! {
 /// Merkle transcript and the Chrome-trace timeline, and exits non-zero
 /// when any trace gate failed.
 fn run_trace_command(args: &[String]) -> ! {
-    let seed = flag_value(args, "--seed", 7);
-    let quick = args.iter().any(|a| a == "--quick");
-    let settings = if quick {
+    let common = CommonArgs::parse(args, 7);
+    let seed = common.seed;
+    let settings = if common.quick {
         TraceSettings::quick(seed)
     } else {
         TraceSettings::full(seed)
     };
-    let out_path = flag_path(args, "--out", "AUDIT_transcript.jsonl");
-    let trace_path = flag_path(args, "--trace-out", "TRACE_run.json");
+    let out_path = common.out_or("AUDIT_transcript.jsonl");
+    let trace_path = cli::flag_path(args, "--trace-out", "TRACE_run.json");
     status!(
         "# running trace/audit experiment (seed={seed}, batches={}) …",
         settings.batches
@@ -315,13 +304,14 @@ fn run_trace_command(args: &[String]) -> ! {
 /// experiment, writes the JSON report and exits non-zero on any byte
 /// mismatch across placements, lost batch, or failed heal.
 fn run_dist_command(args: &[String]) -> ! {
-    let seed = flag_value(args, "--seed", 7);
-    let settings = if args.iter().any(|a| a == "--quick") {
+    let common = CommonArgs::parse(args, 7);
+    let seed = common.seed;
+    let settings = if common.quick {
         DistSettings::quick(seed)
     } else {
         DistSettings::full(seed)
     };
-    let out_path = flag_path(args, "--out", "BENCH_dist.json");
+    let out_path = common.out_or("BENCH_dist.json");
     status!(
         "# running distributed-MVX experiment (seed={seed}, batches={}, 2 worker processes + kill/heal probe) …",
         settings.batches
@@ -348,13 +338,14 @@ fn run_dist_command(args: &[String]) -> ! {
 /// writes the JSON report and exits non-zero on any byte mismatch, lost
 /// batch, missed detection, or failed heal.
 fn run_netchaos_command(args: &[String]) -> ! {
-    let seed = flag_value(args, "--seed", 7);
-    let settings = if args.iter().any(|a| a == "--quick") {
+    let common = CommonArgs::parse(args, 7);
+    let seed = common.seed;
+    let settings = if common.quick {
         NetchaosSettings::quick(seed)
     } else {
         NetchaosSettings::full(seed)
     };
-    let out_path = flag_path(args, "--out", "BENCH_netchaos.json");
+    let out_path = common.out_or("BENCH_netchaos.json");
     status!(
         "# running adversarial-transport experiment (seed={seed}, {} gauntlet trial(s) and \
          {} storm(s) per wire-fault class, flap + reconnect probes) …",
@@ -362,6 +353,45 @@ fn run_netchaos_command(args: &[String]) -> ! {
         settings.storms_per_class
     );
     let report = run_netchaos(&settings);
+    status!("{}", report.render_text());
+    if let Err(e) = std::fs::write(&out_path, report.render_json()) {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    status!("# wrote {out_path}");
+    status!("{}", telemetry_report());
+    let failures = report.gate_failures();
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("error: {f}");
+        }
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// The `coldstart` subcommand: runs the encrypted-model-registry
+/// provisioning and cold-start-serving experiment, writes
+/// `BENCH_registry.json` and exits non-zero on any plaintext-on-host
+/// sighting, accepted corrupt chunk, cold-start byte mismatch (outputs
+/// or rendered transcript), or failed torn-upload resume.
+fn run_coldstart_command(args: &[String]) -> ! {
+    let common = CommonArgs::parse(args, 7);
+    let settings = if common.quick {
+        ColdstartSettings::quick(common.seed)
+    } else {
+        ColdstartSettings::full(common.seed)
+    };
+    let out_path = common.out_or("BENCH_registry.json");
+    status!(
+        "# running registry coldstart experiment (seed={}, {} model(s), {} cold trial(s), \
+         {} fault scenario(s)) …",
+        settings.seed,
+        settings.models.len(),
+        settings.cold_trials,
+        settings.fault_scenarios,
+    );
+    let report = run_coldstart(&settings);
     status!("{}", report.render_text());
     if let Err(e) = std::fs::write(&out_path, report.render_json()) {
         eprintln!("error: could not write {out_path}: {e}");
@@ -422,10 +452,10 @@ fn run_audit_command(args: &[String]) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    QUIET.store(args.iter().any(|a| a == "--quiet"), Ordering::Relaxed);
+    QUIET.store(cli::has_flag(&args, "--quiet"), Ordering::Relaxed);
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: experiments [--quick] [--markdown] [--quiet] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]\n       experiments campaign [--seed N] [--count N] [--no-shrink]\n       experiments chaos [--seed N] [--scenarios N] [--quick]\n       experiments perf [--quick] [--out PATH]\n       experiments serve [--seed N] [--quick] [--out PATH]\n       experiments trace [--seed N] [--quick] [--out PATH] [--trace-out PATH]\n       experiments dist [--seed N] [--quick] [--out PATH]\n       experiments netchaos [--seed N] [--quick] [--out PATH]\n       experiments audit TRANSCRIPT"
+            "usage: experiments [--quick] [--markdown] [--quiet] [fig9|fig10|fig11|fig12|fig13|fig14|table1|security|ablation|all]\n       experiments campaign [--seed N] [--count N] [--no-shrink]\n       experiments chaos [--seed N] [--scenarios N] [--quick]\n       experiments perf [--quick] [--out PATH]\n       experiments serve [--seed N] [--quick] [--out PATH]\n       experiments trace [--seed N] [--quick] [--out PATH] [--trace-out PATH]\n       experiments dist [--seed N] [--quick] [--out PATH]\n       experiments netchaos [--seed N] [--quick] [--out PATH]\n       experiments coldstart [--seed N] [--quick] [--out PATH]\n       experiments audit TRANSCRIPT"
         );
         return;
     }
@@ -450,11 +480,14 @@ fn main() {
     if args.first().map(String::as_str) == Some("netchaos") {
         run_netchaos_command(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("coldstart") {
+        run_coldstart_command(&args[1..]);
+    }
     if args.first().map(String::as_str) == Some("audit") {
         run_audit_command(&args[1..]);
     }
-    let quick = args.iter().any(|a| a == "--quick");
-    let markdown = args.iter().any(|a| a == "--markdown");
+    let quick = cli::has_flag(&args, "--quick");
+    let markdown = cli::has_flag(&args, "--markdown");
     let selected: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

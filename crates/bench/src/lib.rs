@@ -28,6 +28,8 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod cli;
+pub mod coldstart;
 pub mod costs;
 pub mod dist;
 pub mod experiments;

@@ -48,6 +48,7 @@ use mvtee_faults::{flip_weight_bits, Attack, BitFlipFault, FrameFlip, LivenessFa
 use mvtee_graph::zoo::Model;
 use mvtee_graph::{Graph, ValueId};
 use mvtee_partition::{PartitionPool, PartitionSet, Partitioner, PoolConfig};
+use mvtee_registry::Registry;
 use mvtee_runtime::{EngineConfig, EngineKind, KernelStrategy};
 use mvtee_tee::{
     compute_measurement, AttestationReport, CodeIdentity, Enclave, Manifest, Platform,
@@ -505,6 +506,54 @@ pub struct DeploymentBuilder {
 }
 
 impl DeploymentBuilder {
+    /// Cold-starts a builder from the model registry: resolves `key`
+    /// (the tenant routing name), unseals and verifies the bundle
+    /// (digest + graph fingerprint), and warms the session
+    /// [`EngineCache`](mvtee_runtime::EngineCache) /
+    /// `PackedGemm` / [`StrategyTable`](mvtee_runtime::StrategyTable)
+    /// path so the first inference doesn't pay graph preparation on the
+    /// critical path. Bundles the registry's LRU evicted on the way are
+    /// dropped from the engine cache too — an evicted model is cold
+    /// everywhere, sealed and in-memory alike.
+    ///
+    /// Telemetry: `registry.coldstart.warm` / `registry.coldstart.cold`
+    /// count whether a prepared engine already existed for the model;
+    /// `registry.coldstart.checkout_ns` times unseal + verification +
+    /// warmup.
+    ///
+    /// # Errors
+    ///
+    /// [`MvxError::Registry`] when the key is unknown, the bundle was
+    /// evicted, or verification fails; [`MvxError::Runtime`] if warmup
+    /// preparation fails.
+    pub fn from_registry(registry: &Mutex<Registry>, key: &str) -> Result<DeploymentBuilder> {
+        let timer = mvtee_telemetry::histogram("registry.coldstart.checkout_ns").start();
+        let (model, evicted) = {
+            let mut reg = registry.lock().expect("registry lock");
+            let model = reg.checkout_named(key)?;
+            (model, reg.drain_evictions())
+        };
+        let cache = mvtee_runtime::session_cache();
+        for fp in evicted {
+            cache.evict(fp);
+        }
+        let fingerprint = mvtee_registry::key_for(&model);
+        if cache.contains(fingerprint) {
+            mvtee_telemetry::counter("registry.coldstart.warm").inc();
+        } else {
+            mvtee_telemetry::counter("registry.coldstart.cold").inc();
+        }
+        // Warm the default-engine path: preparation packs GEMM weights
+        // and populates the strategy table, so same-config variants of
+        // the deployment hit a hot cache at build time.
+        let config = EngineConfig::of_kind(EngineKind::OrtLike);
+        let engine = mvtee_runtime::Engine::new(config.clone());
+        cache.prepare(&engine, &model.graph)?;
+        cache.strategy_table(&config);
+        timer.finish();
+        Ok(DeploymentBuilder::new(model))
+    }
+
     fn new(model: Model) -> Self {
         DeploymentBuilder {
             model,
@@ -1593,6 +1642,48 @@ mod tests {
             .run(std::slice::from_ref(input))
             .unwrap()
             .remove(0)
+    }
+
+    #[test]
+    fn registry_cold_start_matches_in_memory_deployment_bit_for_bit() {
+        use mvtee_registry::{upload_model, RegistryConfig};
+        let m = model();
+        let input = test_input();
+
+        // Reference: the existing in-memory path.
+        let mut reference = Deployment::builder(m.clone()).partitions(2).build().unwrap();
+        let expected = reference.infer(&input).unwrap();
+        reference.shutdown();
+
+        // Provision the same model through the registry's attested lane.
+        let registry = Arc::new(Mutex::new(Registry::new(random_array(), RegistryConfig::default())));
+        let (tenant, server) = mvtee_crypto::channel::memory_pair();
+        let hs_t = mvtee_crypto::channel::Handshake::from_pre_shared(b"cold-start-test", Role::Initiator);
+        let hs_s = mvtee_crypto::channel::Handshake::from_pre_shared(b"cold-start-test", Role::Responder);
+        let reg = Arc::clone(&registry);
+        let srv = std::thread::spawn(move || {
+            let mut chan = mvtee_crypto::channel::SecureChannel::new(server, &hs_s, 4);
+            mvtee_registry::serve_provisioning(&reg, &mut chan)
+        });
+        let mut chan = mvtee_crypto::channel::SecureChannel::new(tenant, &hs_t, 4);
+        upload_model(&mut chan, &m, "tenant/mnasnet").unwrap();
+        mvtee_registry::end_session(&mut chan).unwrap();
+        srv.join().unwrap().unwrap();
+
+        // Cold-start from the registry: byte-identical output.
+        let mut cold = DeploymentBuilder::from_registry(&registry, "tenant/mnasnet")
+            .unwrap()
+            .partitions(2)
+            .build()
+            .unwrap();
+        let got = cold.infer(&input).unwrap();
+        assert_eq!(got, expected, "cold-started deployment diverged from the in-memory reference");
+        cold.shutdown();
+
+        assert!(matches!(
+            DeploymentBuilder::from_registry(&registry, "nobody/unknown"),
+            Err(MvxError::Registry(_))
+        ));
     }
 
     #[test]

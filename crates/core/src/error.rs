@@ -35,6 +35,9 @@ pub enum MvxError {
     },
     /// The deployment is not in a state to serve the request.
     BadState(String),
+    /// The model registry rejected or could not serve a request
+    /// (provisioning fault, evicted bundle, unknown key).
+    Registry(String),
 }
 
 impl fmt::Display for MvxError {
@@ -58,6 +61,7 @@ impl fmt::Display for MvxError {
                 write!(f, "variant {variant} of partition {partition} crashed: {reason}")
             }
             MvxError::BadState(e) => write!(f, "bad deployment state: {e}"),
+            MvxError::Registry(e) => write!(f, "registry failure: {e}"),
         }
     }
 }
@@ -100,6 +104,12 @@ impl From<mvtee_graph::GraphError> for MvxError {
     }
 }
 
+impl From<mvtee_registry::RegistryError> for MvxError {
+    fn from(e: mvtee_registry::RegistryError) -> Self {
+        MvxError::Registry(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +127,7 @@ mod tests {
             MvxError::DivergenceHalt { partition: 2, detail: "mismatch".into() },
             MvxError::VariantCrashed { partition: 1, variant: 0, reason: "oob".into() },
             MvxError::BadState("b".into()),
+            MvxError::Registry("evicted".into()),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

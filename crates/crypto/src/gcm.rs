@@ -139,6 +139,39 @@ impl<'a> GHash<'a> {
     }
 }
 
+/// Payload-size bucket labels for the seal/open latency histograms.
+///
+/// AEAD cost is dominated by payload length, so one flat histogram
+/// would bury the registry's megabyte-class re-seals under the data
+/// plane's kilobyte-class checkpoint traffic. Four decade-ish buckets
+/// keep both visible in the telemetry report.
+const SIZE_BUCKETS: [(&str, usize); 4] = [
+    ("le_1k", 1 << 10),
+    ("le_64k", 1 << 16),
+    ("le_1m", 1 << 20),
+    ("gt_1m", usize::MAX),
+];
+
+/// The per-bucket histograms, resolved once per process (registry
+/// lookups are lock-protected; the hot seal path must not pay them per
+/// call).
+fn size_histograms(op: &str) -> &'static [mvtee_telemetry::Histogram; 4] {
+    use std::sync::OnceLock;
+    static SEAL: OnceLock<[mvtee_telemetry::Histogram; 4]> = OnceLock::new();
+    static OPEN: OnceLock<[mvtee_telemetry::Histogram; 4]> = OnceLock::new();
+    let cell = if op == "seal" { &SEAL } else { &OPEN };
+    cell.get_or_init(|| {
+        SIZE_BUCKETS
+            .map(|(label, _)| mvtee_telemetry::histogram(&format!("crypto.{op}_ns.{label}")))
+    })
+}
+
+/// The histogram recording an `op` of `len` payload bytes.
+fn size_histogram(op: &str, len: usize) -> &'static mvtee_telemetry::Histogram {
+    let idx = SIZE_BUCKETS.iter().position(|&(_, cap)| len <= cap).unwrap_or(3);
+    &size_histograms(op)[idx]
+}
+
 /// An AES-GCM AEAD cipher bound to one key.
 ///
 /// # Example
@@ -225,10 +258,12 @@ impl AesGcm {
     /// Encrypts `plaintext` with associated data `aad`, returning
     /// `ciphertext || tag`.
     pub fn seal(&self, nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let timer = size_histogram("seal", plaintext.len()).start();
         let mut out = plaintext.to_vec();
         self.ctr_xor(nonce, &mut out);
         let tag = self.compute_tag(nonce, &out, aad);
         out.extend_from_slice(&tag);
+        timer.finish();
         out
     }
 
@@ -244,13 +279,16 @@ impl AesGcm {
         if sealed.len() < TAG_LEN {
             return Err(CryptoError::CiphertextTooShort { len: sealed.len() });
         }
+        let timer = size_histogram("open", sealed.len() - TAG_LEN).start();
         let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
         let expected = self.compute_tag(nonce, ct, aad);
         if !ct_eq(&expected, tag) {
+            timer.cancel(); // rejected opens must not skew the latency curve
             return Err(CryptoError::AuthenticationFailed);
         }
         let mut out = ct.to_vec();
         self.ctr_xor(nonce, &mut out);
+        timer.finish();
         Ok(out)
     }
 }
@@ -373,6 +411,34 @@ mod tests {
             GHash::gf_mul(a ^ b, c),
             GHash::gf_mul(a, c) ^ GHash::gf_mul(b, c)
         );
+    }
+
+    #[test]
+    fn seal_open_latency_lands_in_the_size_bucket() {
+        let cipher = AesGcm::new_256(&[8u8; 32]);
+        let nonce = [3u8; NONCE_LEN];
+        let small = vec![0u8; 100];
+        let large = vec![0u8; 70_000];
+        let count = |name: &str| {
+            mvtee_telemetry::snapshot().histograms.get(name).map_or(0, |h| h.count)
+        };
+        let (s0, l0, o0) = (
+            count("crypto.seal_ns.le_1k"),
+            count("crypto.seal_ns.le_1m"),
+            count("crypto.open_ns.le_1k"),
+        );
+        let sealed = cipher.seal(&nonce, &small, b"");
+        cipher.seal(&nonce, &large, b"");
+        cipher.open(&nonce, &sealed, b"").unwrap();
+        assert_eq!(count("crypto.seal_ns.le_1k") - s0, 1);
+        assert_eq!(count("crypto.seal_ns.le_1m") - l0, 1);
+        assert_eq!(count("crypto.open_ns.le_1k") - o0, 1);
+        // A rejected open is cancelled, not recorded.
+        let mut bad = sealed.clone();
+        bad[0] ^= 1;
+        let before = count("crypto.open_ns.le_1k");
+        assert!(cipher.open(&nonce, &bad, b"").is_err());
+        assert_eq!(count("crypto.open_ns.le_1k"), before);
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub const LANE_REQUEST: u8 = 1;
 pub const LANE_RESPONSE: u8 = 2;
 /// Lane id for keepalive heartbeats (variant → monitor).
 pub const LANE_HEARTBEAT: u8 = 3;
+/// Lane id for model-registry provisioning (tenant → registry): the
+/// chunked encrypted upload protocol of `mvtee-registry` runs its
+/// begin/push/finalize exchange on this lane so model material shares a
+/// connection with the bootstrap and data-plane lanes without ever
+/// mixing frame streams.
+pub const LANE_PROVISION: u8 = 4;
 
 /// Pump has not exited yet.
 const PUMP_RUNNING: u8 = 0;

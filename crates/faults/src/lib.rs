@@ -19,7 +19,11 @@
 //! * [`netfault`] — wire-level faults (delay, stall, drop, duplicate,
 //!   truncate, corrupt, torn write, disconnect) injected under the
 //!   secure channel by a seeded [`FrameTransport`] wrapper, exercising
-//!   AEAD detection, heartbeat deadlines and the connection supervisor.
+//!   AEAD detection, heartbeat deadlines and the connection supervisor,
+//! * [`provision`] — chunked-model-upload faults (corrupt, truncated,
+//!   dropped or reordered chunks, torn uploads, fingerprint mismatches)
+//!   that the model registry must detect at provisioning time, before a
+//!   variant ever runs the model.
 //!
 //! [`FrameTransport`]: mvtee_crypto::channel::FrameTransport
 //!
@@ -37,6 +41,7 @@ pub mod cve;
 pub mod descriptor;
 pub mod liveness;
 pub mod netfault;
+pub mod provision;
 
 pub use bitflip::{flip_weight_bits, BitFlipStrategy, FlippedBit};
 pub use blasfault::{FaultyBlas, FrameFlip, GemmCorruption};
@@ -44,3 +49,4 @@ pub use cve::{Attack, CveClass, FaultEffect, InputTrigger, VulnerableModel};
 pub use descriptor::{BitFlipFault, FaultDescriptor};
 pub use liveness::{ChannelFault, ChannelFaultMode, LivenessFault, StallFault, StallMode};
 pub use netfault::{FaultDirection, FaultyTransport, NetFault, NetFaultClass};
+pub use provision::{ProvisionFault, FAMILY_PROVISION};

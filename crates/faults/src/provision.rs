@@ -1,0 +1,215 @@
+//! Provisioning faults: corruption of the chunked encrypted model
+//! upload.
+//!
+//! The model registry (`mvtee-registry`) receives models as chunked
+//! AES-GCM ciphertext over the attested provisioning lane. This module
+//! enumerates the ways that stream can go wrong — a flipped ciphertext
+//! byte, a truncated chunk, a dropped or reordered chunk, a tenant that
+//! tears the upload mid-stream, and a manifest that lies about the
+//! model's graph fingerprint. Every one must be **Detected** at
+//! provisioning time: the registry rejects the upload with a precise
+//! error and no variant ever runs a model assembled from a bad stream.
+//!
+//! Like [`FaultDescriptor`](crate::descriptor::FaultDescriptor), a
+//! [`ProvisionFault`] round-trips through `Display`/`FromStr` so a
+//! failing provisioning scenario replays byte-for-byte from its one-line
+//! spec, and [`ProvisionFault::arbitrary`] draws from the full space
+//! deterministically for seeded campaigns.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+use std::str::FromStr;
+
+/// One fault injected into a chunked model upload.
+///
+/// `chunk` indices are taken modulo the upload's chunk count at
+/// injection time, so a drawn descriptor applies to any model size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProvisionFault {
+    /// XORs `mask` into one byte of chunk `chunk`'s ciphertext (AEAD
+    /// must reject the chunk).
+    CorruptChunk {
+        /// Target chunk index (modulo chunk count).
+        chunk: u64,
+        /// Non-zero XOR mask applied to one ciphertext byte.
+        mask: u8,
+    },
+    /// Truncates the tail of chunk `chunk`'s ciphertext frame.
+    TruncateChunk {
+        /// Target chunk index (modulo chunk count).
+        chunk: u64,
+    },
+    /// Silently skips chunk `chunk` (the registry must notice the gap,
+    /// not assemble a shorter model).
+    DropChunk {
+        /// Target chunk index (modulo chunk count).
+        chunk: u64,
+    },
+    /// Swaps chunk `chunk` with its successor on the wire.
+    ReorderChunks {
+        /// First chunk of the swapped pair (modulo chunk count − 1).
+        chunk: u64,
+    },
+    /// The tenant disconnects after `after` verified chunks and never
+    /// finalizes — the torn upload the resume protocol recovers from.
+    TornUpload {
+        /// Chunks delivered before the tear (modulo chunk count).
+        after: u64,
+    },
+    /// The manifest claims a graph fingerprint that does not match the
+    /// uploaded bytes (a tenant trying to poison another tenant's
+    /// content address).
+    FingerprintMismatch,
+}
+
+/// Provisioning fault family row label.
+pub const FAMILY_PROVISION: &str = "prov";
+
+impl ProvisionFault {
+    /// Matrix row label: the provisioning fault class.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            ProvisionFault::CorruptChunk { .. } => "prov-corrupt",
+            ProvisionFault::TruncateChunk { .. } => "prov-trunc",
+            ProvisionFault::DropChunk { .. } => "prov-drop",
+            ProvisionFault::ReorderChunks { .. } => "prov-reorder",
+            ProvisionFault::TornUpload { .. } => "prov-torn",
+            ProvisionFault::FingerprintMismatch => "prov-fpmismatch",
+        }
+    }
+
+    /// Whether the fault tears the upload instead of corrupting it —
+    /// torn uploads are *resumable*, not rejected, so campaigns hold
+    /// them to a different invariant (resume from the last verified
+    /// chunk) than the corruption classes (reject before finalize).
+    pub fn is_torn(&self) -> bool {
+        matches!(self, ProvisionFault::TornUpload { .. })
+    }
+
+    /// Draws a fault uniformly from the full space (`Arbitrary`-style;
+    /// deterministic given the RNG state).
+    pub fn arbitrary(rng: &mut StdRng) -> Self {
+        match rng.gen_range(0..6) {
+            0 => ProvisionFault::CorruptChunk {
+                chunk: rng.gen_range(0..16),
+                mask: rng.gen_range(1..=255),
+            },
+            1 => ProvisionFault::TruncateChunk { chunk: rng.gen_range(0..16) },
+            2 => ProvisionFault::DropChunk { chunk: rng.gen_range(0..16) },
+            3 => ProvisionFault::ReorderChunks { chunk: rng.gen_range(0..16) },
+            4 => ProvisionFault::TornUpload { after: rng.gen_range(0..16) },
+            _ => ProvisionFault::FingerprintMismatch,
+        }
+    }
+}
+
+impl fmt::Display for ProvisionFault {
+    /// One-token spec, e.g. `prov:corrupt:2:129`, `prov:trunc:0`,
+    /// `prov:drop:3`, `prov:reorder:1`, `prov:torn:4`, `prov:fpmismatch`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProvisionFault::CorruptChunk { chunk, mask } => {
+                write!(f, "prov:corrupt:{chunk}:{mask}")
+            }
+            ProvisionFault::TruncateChunk { chunk } => write!(f, "prov:trunc:{chunk}"),
+            ProvisionFault::DropChunk { chunk } => write!(f, "prov:drop:{chunk}"),
+            ProvisionFault::ReorderChunks { chunk } => write!(f, "prov:reorder:{chunk}"),
+            ProvisionFault::TornUpload { after } => write!(f, "prov:torn:{after}"),
+            ProvisionFault::FingerprintMismatch => write!(f, "prov:fpmismatch"),
+        }
+    }
+}
+
+impl FromStr for ProvisionFault {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let bad = |msg: &str| format!("bad provisioning fault spec '{s}': {msg}");
+        match parts.as_slice() {
+            ["prov", "corrupt", chunk, mask] => {
+                let chunk = chunk.parse().map_err(|_| bad("bad chunk"))?;
+                let mask: u8 = mask.parse().map_err(|_| bad("bad mask"))?;
+                if mask == 0 {
+                    return Err(bad("mask must be non-zero"));
+                }
+                Ok(ProvisionFault::CorruptChunk { chunk, mask })
+            }
+            ["prov", "trunc", chunk] => Ok(ProvisionFault::TruncateChunk {
+                chunk: chunk.parse().map_err(|_| bad("bad chunk"))?,
+            }),
+            ["prov", "drop", chunk] => Ok(ProvisionFault::DropChunk {
+                chunk: chunk.parse().map_err(|_| bad("bad chunk"))?,
+            }),
+            ["prov", "reorder", chunk] => Ok(ProvisionFault::ReorderChunks {
+                chunk: chunk.parse().map_err(|_| bad("bad chunk"))?,
+            }),
+            ["prov", "torn", after] => Ok(ProvisionFault::TornUpload {
+                after: after.parse().map_err(|_| bad("bad chunk"))?,
+            }),
+            ["prov", "fpmismatch"] => Ok(ProvisionFault::FingerprintMismatch),
+            _ => Err(bad("unrecognised shape")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn specs_round_trip() {
+        let samples = [
+            "prov:corrupt:2:129",
+            "prov:corrupt:0:1",
+            "prov:trunc:0",
+            "prov:drop:3",
+            "prov:reorder:1",
+            "prov:torn:4",
+            "prov:fpmismatch",
+        ];
+        for s in samples {
+            let f: ProvisionFault = s.parse().unwrap();
+            assert_eq!(f.to_string(), s, "round trip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_is_deterministic_and_covers_every_class() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            let a = ProvisionFault::arbitrary(&mut StdRng::seed_from_u64(seed));
+            let b = ProvisionFault::arbitrary(&mut StdRng::seed_from_u64(seed));
+            assert_eq!(a, b);
+            let re: ProvisionFault = a.to_string().parse().unwrap();
+            assert_eq!(re, a);
+            seen.insert(a.class_name());
+        }
+        assert_eq!(seen.len(), 6, "64 seeds must cover all six classes: {seen:?}");
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for s in [
+            "",
+            "prov",
+            "prov:corrupt:2",
+            "prov:corrupt:2:0",
+            "prov:corrupt:x:1",
+            "prov:melt:1",
+            "prov:fpmismatch:1",
+            "chan:2:drop",
+        ] {
+            assert!(s.parse::<ProvisionFault>().is_err(), "accepted bad spec '{s}'");
+        }
+    }
+
+    #[test]
+    fn only_torn_uploads_are_resumable() {
+        assert!(ProvisionFault::TornUpload { after: 1 }.is_torn());
+        assert!(!ProvisionFault::CorruptChunk { chunk: 0, mask: 1 }.is_torn());
+        assert!(!ProvisionFault::FingerprintMismatch.is_torn());
+    }
+}

@@ -1,0 +1,118 @@
+//! The serialized form of a registered model and its content address.
+//!
+//! A model's registry key is its **graph fingerprint** — a content hash of
+//! the graph name, topology, operator attributes and every initializer bit
+//! ([`mvtee_runtime::graph_fingerprint`]). Two tenants uploading the same
+//! model land on the same key and the second upload dedups; the engine
+//! cache is keyed by the same fingerprint, so a registry key maps directly
+//! onto warm prepared models. Integrity of the *bytes* is carried
+//! separately by a SHA-256 digest of the encoded blob: the fingerprint
+//! names the model, the digest proves the stream.
+
+use mvtee_crypto::sha256::sha256;
+use mvtee_graph::zoo::{Model, ModelKind, ScaleProfile};
+use mvtee_graph::Graph;
+use mvtee_runtime::graph_fingerprint;
+use mvtee_tensor::Shape;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{RegistryError, Result};
+
+/// Wire/storage form of a model: everything needed to reconstruct a
+/// [`Model`] inside the enclave. This is the plaintext that is chunked,
+/// sealed, uploaded and later re-sealed into content-addressed storage —
+/// it exists in clear only inside TEE memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelBlob {
+    /// Architecture tag.
+    pub kind: ModelKind,
+    /// Scale the model was built at.
+    pub profile: ScaleProfile,
+    /// The computational graph, weights included.
+    pub graph: Graph,
+    /// Canonical input shape dims.
+    pub input_dims: Vec<usize>,
+}
+
+impl ModelBlob {
+    /// Captures a built model.
+    pub fn of(model: &Model) -> Self {
+        ModelBlob {
+            kind: model.kind,
+            profile: model.profile,
+            graph: model.graph.clone(),
+            input_dims: model.input_shape.dims().to_vec(),
+        }
+    }
+
+    /// Reconstructs the in-enclave model.
+    pub fn into_model(self) -> Model {
+        Model {
+            kind: self.kind,
+            profile: self.profile,
+            input_shape: Shape::new(&self.input_dims),
+            graph: self.graph,
+        }
+    }
+
+    /// Serializes the blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::DecodeFailed`] if the codec rejects the
+    /// value (indicates a bug; all zoo models encode).
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        mvtee_codec::to_bytes(self).map_err(|e| RegistryError::DecodeFailed(e.to_string()))
+    }
+
+    /// Deserializes a blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::DecodeFailed`] on malformed bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        mvtee_codec::from_bytes(bytes).map_err(|e| RegistryError::DecodeFailed(e.to_string()))
+    }
+}
+
+/// The registry key of a model: its graph fingerprint. Deliberately
+/// independent of any [`EngineConfig`](mvtee_runtime::EngineConfig) —
+/// execution diversity must never change a model's identity.
+pub fn key_for(model: &Model) -> u64 {
+    graph_fingerprint(&model.graph)
+}
+
+/// Renders a registry key the way paths and logs spell it.
+pub fn key_hex(fingerprint: u64) -> String {
+    format!("{fingerprint:016x}")
+}
+
+/// Encodes a model and computes its content address: the encoded bytes,
+/// the graph fingerprint (registry key) and the SHA-256 digest of the
+/// bytes.
+///
+/// # Errors
+///
+/// Propagates [`ModelBlob::to_bytes`] failures.
+pub fn encode_model(model: &Model) -> Result<(Vec<u8>, u64, [u8; 32])> {
+    let bytes = ModelBlob::of(model).to_bytes()?;
+    let digest = sha256(&bytes);
+    Ok((bytes, key_for(model), digest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+
+    #[test]
+    fn blob_round_trips_a_model() {
+        let m = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 4).unwrap();
+        let (bytes, key, digest) = encode_model(&m).unwrap();
+        let back = ModelBlob::from_bytes(&bytes).unwrap().into_model();
+        assert_eq!(back.kind, m.kind);
+        assert_eq!(back.input_shape, m.input_shape);
+        assert_eq!(key_for(&back), key, "reconstruction must preserve the content address");
+        assert_eq!(sha256(&ModelBlob::of(&back).to_bytes().unwrap()), digest);
+    }
+}

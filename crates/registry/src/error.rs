@@ -1,0 +1,129 @@
+//! Registry error taxonomy.
+//!
+//! Every rejection during provisioning names the exact chunk and cause —
+//! the coldstart experiment's gates require a *precise* error for each
+//! injected fault class, never a wrong accepted model and never a vague
+//! "upload failed".
+
+use std::fmt;
+
+/// Everything that can go wrong in the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A chunk arrived out of order: a dropped chunk shows up as a later
+    /// index than expected, a reordered one as an earlier/later mismatch.
+    BadChunkIndex {
+        /// Index the registry expected next.
+        expected: u64,
+        /// Index the frame carried.
+        actual: u64,
+    },
+    /// A chunk's AEAD authentication failed (flipped ciphertext byte,
+    /// spliced frame, wrong upload key).
+    ChunkAuthFailed {
+        /// Index of the rejected chunk.
+        index: u64,
+    },
+    /// A chunk frame was shorter than the AEAD tag — a truncated write.
+    ChunkTruncated {
+        /// Index of the truncated chunk.
+        index: u64,
+        /// Bytes actually received.
+        len: usize,
+    },
+    /// A chunk authenticated but decrypted to the wrong number of bytes
+    /// for its position in the upload.
+    ChunkLengthMismatch {
+        /// Index of the offending chunk.
+        index: u64,
+        /// Length the manifest implies for this position.
+        expected: usize,
+        /// Length received.
+        actual: usize,
+    },
+    /// `finalize` arrived before every chunk was verified (torn final
+    /// chunk, or a client that skipped ahead).
+    Incomplete {
+        /// Chunks verified so far.
+        verified: u64,
+        /// Chunks the manifest declared.
+        total: u64,
+    },
+    /// The assembled plaintext does not hash to the declared digest.
+    DigestMismatch,
+    /// The uploaded graph's fingerprint does not match the manifest's
+    /// claim (a tenant trying to poison another tenant's content address,
+    /// or a corrupted-but-authenticated blob).
+    FingerprintMismatch {
+        /// Fingerprint the manifest declared.
+        declared: u64,
+        /// Fingerprint computed from the uploaded graph.
+        actual: u64,
+    },
+    /// Two different byte streams claimed the same fingerprint with
+    /// different digests — content addresses must be collision-free.
+    ContentCollision {
+        /// The contested fingerprint.
+        fingerprint: u64,
+    },
+    /// The manifest is internally inconsistent (zero-length chunks, chunk
+    /// count not matching the total, empty model).
+    BadManifest(String),
+    /// No pending upload with this id.
+    UnknownUpload {
+        /// The id presented.
+        upload_id: u64,
+    },
+    /// No stored model under this key.
+    UnknownModel {
+        /// The key presented.
+        key: String,
+    },
+    /// The registry is at its pending-upload or bundle capacity and
+    /// cannot admit more work right now.
+    Saturated,
+    /// The assembled blob failed to decode as a model.
+    DecodeFailed(String),
+    /// A transport or secure-channel failure under the protocol.
+    Channel(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::BadChunkIndex { expected, actual } => {
+                write!(f, "chunk index {actual} where {expected} was expected (dropped or reordered chunk)")
+            }
+            RegistryError::ChunkAuthFailed { index } => {
+                write!(f, "chunk {index} failed AEAD authentication")
+            }
+            RegistryError::ChunkTruncated { index, len } => {
+                write!(f, "chunk {index} truncated ({len} bytes is too short to authenticate)")
+            }
+            RegistryError::ChunkLengthMismatch { index, expected, actual } => {
+                write!(f, "chunk {index} decrypted to {actual} bytes where the manifest implies {expected}")
+            }
+            RegistryError::Incomplete { verified, total } => {
+                write!(f, "finalize with only {verified}/{total} chunks verified (torn upload)")
+            }
+            RegistryError::DigestMismatch => write!(f, "assembled model does not match the declared digest"),
+            RegistryError::FingerprintMismatch { declared, actual } => {
+                write!(f, "manifest declared graph fingerprint {declared:#018x} but the uploaded graph fingerprints to {actual:#018x}")
+            }
+            RegistryError::ContentCollision { fingerprint } => {
+                write!(f, "fingerprint {fingerprint:#018x} already stores different content")
+            }
+            RegistryError::BadManifest(why) => write!(f, "bad upload manifest: {why}"),
+            RegistryError::UnknownUpload { upload_id } => write!(f, "no pending upload {upload_id}"),
+            RegistryError::UnknownModel { key } => write!(f, "no registered model under key {key:?}"),
+            RegistryError::Saturated => write!(f, "registry at capacity"),
+            RegistryError::DecodeFailed(why) => write!(f, "uploaded blob failed to decode: {why}"),
+            RegistryError::Channel(why) => write!(f, "provisioning channel failure: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Registry result alias.
+pub type Result<T> = std::result::Result<T, RegistryError>;

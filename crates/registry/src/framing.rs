@@ -1,0 +1,195 @@
+//! Chunked AEAD framing for model uploads.
+//!
+//! A tenant serializes its model ([`ModelBlob`](crate::blob::ModelBlob)),
+//! splits the bytes into fixed-size chunks and seals each chunk under a
+//! fresh per-upload AES-GCM-256 key carried in the [`UploadManifest`].
+//! The sealed chunks then ride the attested provisioning lane, which
+//! encrypts them *again* at the channel layer — the host and monitor
+//! relay ciphertext of ciphertext and never see a weight byte.
+//!
+//! Position binding: chunk `i` is sealed with nonce
+//! `nonce_from_sequence(nonce_seed, i)` and associated data naming the
+//! upload (`nonce_seed`), the chunk index, the chunk count and the total
+//! length. A chunk spliced from another position, another upload, or a
+//! stream with a different declared geometry fails authentication — the
+//! protocol's expected-index check catches drops and reorders first with
+//! a more precise error, and the AAD makes the check cryptographic.
+
+use mvtee_crypto::gcm::{nonce_from_sequence, AesGcm, TAG_LEN};
+use mvtee_crypto::CryptoError;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{RegistryError, Result};
+
+/// Default upload chunk size (64 KiB of plaintext per chunk).
+pub const DEFAULT_CHUNK_LEN: usize = 64 * 1024;
+
+/// Everything the registry must know before the first chunk arrives.
+///
+/// Travels inside the `Begin` message over the attested secure channel,
+/// so the per-upload key is itself channel-encrypted in transit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UploadManifest {
+    /// Tenant-chosen routing name (serve's model key).
+    pub model_name: String,
+    /// Declared graph fingerprint — the content address the model will
+    /// live under. Verified against the uploaded graph at finalize.
+    pub fingerprint: u64,
+    /// SHA-256 of the encoded plaintext blob.
+    pub digest: [u8; 32],
+    /// Total plaintext length in bytes.
+    pub total_len: u64,
+    /// Plaintext bytes per chunk (the final chunk may be shorter).
+    pub chunk_len: u32,
+    /// Fresh per-upload AES-GCM-256 key for the chunk layer.
+    pub upload_key: [u8; 32],
+    /// Nonce namespace for this upload's chunk stream.
+    pub nonce_seed: u32,
+}
+
+impl UploadManifest {
+    /// Number of chunks the declared geometry implies.
+    pub fn chunk_count(&self) -> u64 {
+        self.total_len.div_ceil(self.chunk_len as u64)
+    }
+
+    /// Plaintext length chunk `index` must decrypt to.
+    pub fn chunk_plain_len(&self, index: u64) -> usize {
+        let start = index * self.chunk_len as u64;
+        (self.total_len - start).min(self.chunk_len as u64) as usize
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::BadManifest`] naming the inconsistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.total_len == 0 {
+            return Err(RegistryError::BadManifest("empty model".into()));
+        }
+        if self.chunk_len == 0 {
+            return Err(RegistryError::BadManifest("zero chunk length".into()));
+        }
+        if self.model_name.is_empty() {
+            return Err(RegistryError::BadManifest("empty model name".into()));
+        }
+        Ok(())
+    }
+
+    /// The chunk-layer cipher for this upload.
+    pub fn cipher(&self) -> AesGcm {
+        AesGcm::new_256(&self.upload_key)
+    }
+
+    fn chunk_aad(&self, index: u64) -> Vec<u8> {
+        let mut aad = Vec::with_capacity(44);
+        aad.extend_from_slice(b"mvtee.registry.chunk");
+        aad.extend_from_slice(&self.nonce_seed.to_le_bytes());
+        aad.extend_from_slice(&index.to_le_bytes());
+        aad.extend_from_slice(&self.chunk_count().to_le_bytes());
+        aad.extend_from_slice(&self.total_len.to_le_bytes());
+        aad
+    }
+}
+
+/// Seals chunk `index` of an upload.
+pub fn seal_chunk(cipher: &AesGcm, manifest: &UploadManifest, index: u64, plaintext: &[u8]) -> Vec<u8> {
+    let nonce = nonce_from_sequence(manifest.nonce_seed, index);
+    cipher.seal(&nonce, plaintext, &manifest.chunk_aad(index))
+}
+
+/// Opens chunk `index`, mapping crypto failures to the registry's precise
+/// rejection taxonomy and enforcing the positional plaintext length.
+///
+/// # Errors
+///
+/// * [`RegistryError::ChunkTruncated`] — frame shorter than the tag,
+/// * [`RegistryError::ChunkAuthFailed`] — AEAD rejection (flip/splice),
+/// * [`RegistryError::ChunkLengthMismatch`] — authenticated but the wrong
+///   size for this position.
+pub fn open_chunk(cipher: &AesGcm, manifest: &UploadManifest, index: u64, sealed: &[u8]) -> Result<Vec<u8>> {
+    let nonce = nonce_from_sequence(manifest.nonce_seed, index);
+    let plain = cipher.open(&nonce, sealed, &manifest.chunk_aad(index)).map_err(|e| match e {
+        CryptoError::CiphertextTooShort { len } => RegistryError::ChunkTruncated { index, len },
+        _ => RegistryError::ChunkAuthFailed { index },
+    })?;
+    let expected = manifest.chunk_plain_len(index);
+    if plain.len() != expected {
+        return Err(RegistryError::ChunkLengthMismatch { index, expected, actual: plain.len() });
+    }
+    Ok(plain)
+}
+
+/// Splits and seals a whole blob into its chunk sequence.
+pub fn seal_all(manifest: &UploadManifest, blob: &[u8]) -> Vec<Vec<u8>> {
+    let cipher = manifest.cipher();
+    blob.chunks(manifest.chunk_len as usize)
+        .enumerate()
+        .map(|(i, c)| seal_chunk(&cipher, manifest, i as u64, c))
+        .collect()
+}
+
+/// Sealed chunk overhead in bytes (the GCM tag).
+pub const CHUNK_OVERHEAD: usize = TAG_LEN;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(total: u64, chunk: u32) -> UploadManifest {
+        UploadManifest {
+            model_name: "m".into(),
+            fingerprint: 7,
+            digest: [0u8; 32],
+            total_len: total,
+            chunk_len: chunk,
+            upload_key: [9u8; 32],
+            nonce_seed: 42,
+        }
+    }
+
+    #[test]
+    fn geometry_matches_div_ceil() {
+        let m = manifest(100, 32);
+        assert_eq!(m.chunk_count(), 4);
+        assert_eq!(m.chunk_plain_len(0), 32);
+        assert_eq!(m.chunk_plain_len(3), 4);
+        assert_eq!(manifest(96, 32).chunk_count(), 3);
+    }
+
+    #[test]
+    fn chunks_round_trip_and_bind_position() {
+        let m = manifest(100, 32);
+        let blob: Vec<u8> = (0..100u8).collect();
+        let sealed = seal_all(&m, &blob);
+        let cipher = m.cipher();
+        let mut back = Vec::new();
+        for (i, c) in sealed.iter().enumerate() {
+            back.extend(open_chunk(&cipher, &m, i as u64, c).unwrap());
+        }
+        assert_eq!(back, blob);
+        // A chunk presented at the wrong index fails authentication.
+        assert_eq!(
+            open_chunk(&cipher, &m, 1, &sealed[0]),
+            Err(RegistryError::ChunkAuthFailed { index: 1 })
+        );
+    }
+
+    #[test]
+    fn truncation_and_flips_are_precise() {
+        let m = manifest(40, 40);
+        let sealed = seal_all(&m, &[1u8; 40]);
+        let cipher = m.cipher();
+        let mut flipped = sealed[0].clone();
+        flipped[3] ^= 0x80;
+        assert_eq!(
+            open_chunk(&cipher, &m, 0, &flipped),
+            Err(RegistryError::ChunkAuthFailed { index: 0 })
+        );
+        assert_eq!(
+            open_chunk(&cipher, &m, 0, &sealed[0][..8]),
+            Err(RegistryError::ChunkTruncated { index: 0, len: 8 })
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Encrypted multi-model registry (DESIGN.md §7).
+//!
+//! Deployments used to seal their one model in-memory at build time; a
+//! multi-tenant population needs models that arrive encrypted, are stored
+//! content-addressed, and cold-start on demand. This crate is that
+//! boundary:
+//!
+//! * [`protocol`] — `Begin / Push / Finalize` over the dedicated
+//!   provisioning mux lane
+//!   ([`LANE_PROVISION`](mvtee_crypto::mux::LANE_PROVISION)): tenants
+//!   upload models as chunked AES-GCM ciphertext *inside* the attested
+//!   secure channel, so the host and monitor relay ciphertext of
+//!   ciphertext and never hold a plaintext weight;
+//! * [`framing`] — the chunk AEAD layer: per-upload key, positional
+//!   nonces and associated data binding each chunk to its index and the
+//!   upload geometry;
+//! * [`registry`] — the state machine: incremental chunk verification,
+//!   torn-upload resume from the last verified chunk, digest + graph
+//!   fingerprint verification at finalize;
+//! * [`store`] — content-addressed sealed storage keyed by graph
+//!   fingerprint with cross-tenant dedup and a capacity-bounded LRU whose
+//!   evictions are reported so in-memory engines die with their bundles;
+//! * [`blob`] — the serialized model form and its content address
+//!   (fingerprint = identity, SHA-256 digest = byte integrity).
+//!
+//! Everything is observable under `registry.*` telemetry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blob;
+pub mod error;
+pub mod framing;
+pub mod protocol;
+pub mod registry;
+pub mod store;
+
+pub use blob::{encode_model, key_for, key_hex, ModelBlob};
+pub use error::{RegistryError, Result};
+pub use framing::{open_chunk, seal_all, seal_chunk, UploadManifest, DEFAULT_CHUNK_LEN};
+pub use protocol::{
+    drive_upload, end_session, prepare_upload, serve_provisioning, upload_model, PreparedUpload,
+    ProvisionReply, ProvisionRequest, UploadOutcome,
+};
+pub use registry::{Admission, Registered, Registry, RegistryConfig};
+pub use store::{BundleMeta, PutOutcome, SealedStore};

@@ -1,0 +1,313 @@
+//! The provisioning wire protocol on [`LANE_PROVISION`].
+//!
+//! A tenant opens a [`SecureChannel`] on the provisioning lane of an
+//! already-attested connection and drives `Begin → Push×N → Finalize`.
+//! Every request gets exactly one reply, so the protocol is lock-step and
+//! a torn connection leaves the registry in a resumable state. Rejections
+//! carry the rendered [`RegistryError`](crate::RegistryError) string, so
+//! the tenant learns *which* chunk failed and why without the registry
+//! leaking anything about other tenants' content.
+//!
+//! [`LANE_PROVISION`]: mvtee_crypto::mux::LANE_PROVISION
+//! [`SecureChannel`]: mvtee_crypto::channel::SecureChannel
+
+use mvtee_crypto::channel::{FrameTransport, SecureChannel};
+use mvtee_crypto::sha256::sha256;
+use mvtee_crypto::{random_array, CryptoError};
+use mvtee_graph::zoo::Model;
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+
+use crate::blob::encode_model;
+use crate::error::{RegistryError, Result};
+use crate::framing::{seal_all, UploadManifest, DEFAULT_CHUNK_LEN};
+use crate::registry::{Registered, Registry};
+
+/// Tenant → registry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ProvisionRequest {
+    /// Declare an upload (or ask to resume / dedup one).
+    Begin(UploadManifest),
+    /// One sealed chunk.
+    Push {
+        /// Upload handle from `Begun`.
+        upload_id: u64,
+        /// Chunk index.
+        index: u64,
+        /// Chunk-layer AEAD ciphertext.
+        sealed: Vec<u8>,
+    },
+    /// Commit the upload.
+    Finalize {
+        /// Upload handle from `Begun`.
+        upload_id: u64,
+        /// SHA-256 the tenant computed over its plaintext.
+        digest: [u8; 32],
+    },
+    /// Orderly end of the session.
+    End,
+}
+
+/// Registry → tenant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ProvisionReply {
+    /// Upload admitted.
+    Begun {
+        /// Handle for subsequent requests.
+        upload_id: u64,
+        /// First chunk index expected (resume/dedup skip ahead).
+        resume_from: u64,
+    },
+    /// Chunk verified and appended.
+    ChunkOk {
+        /// The verified index.
+        index: u64,
+    },
+    /// Upload committed.
+    Finalized {
+        /// Content address the model is stored under.
+        fingerprint: u64,
+        /// Whether the bundle already existed.
+        dedup: bool,
+    },
+    /// Request rejected; the rendered registry error.
+    Rejected {
+        /// Why (rendered [`RegistryError`](crate::RegistryError)).
+        error: String,
+    },
+    /// Session closing.
+    Bye,
+}
+
+fn send_msg<T: FrameTransport, M: Serialize>(chan: &mut SecureChannel<T>, msg: &M) -> Result<()> {
+    let bytes = mvtee_codec::to_bytes(msg).map_err(|e| RegistryError::Channel(e.to_string()))?;
+    chan.send(&bytes).map_err(|e| RegistryError::Channel(format!("{e:?}")))
+}
+
+fn recv_msg<T: FrameTransport, M: for<'de> Deserialize<'de>>(chan: &mut SecureChannel<T>) -> Result<M> {
+    let bytes = chan.recv().map_err(|e| RegistryError::Channel(format!("{e:?}")))?;
+    mvtee_codec::from_bytes(&bytes).map_err(|e| RegistryError::Channel(e.to_string()))
+}
+
+/// Serves one provisioning session: a lock-step request/reply loop until
+/// `End` or disconnect. Rejected requests do not end the session — the
+/// tenant may retry or abandon; a disconnect leaves torn uploads
+/// resumable.
+///
+/// # Errors
+///
+/// Only transport-level failures other than an orderly/abrupt peer
+/// disconnect surface; protocol rejections are replied, not returned.
+pub fn serve_provisioning<T: FrameTransport>(
+    registry: &Arc<Mutex<Registry>>,
+    chan: &mut SecureChannel<T>,
+) -> Result<()> {
+    loop {
+        let req: ProvisionRequest = match recv_msg(chan) {
+            Ok(req) => req,
+            // Peer gone (orderly close or torn connection): uploads stay
+            // pending for resume.
+            Err(_) => return Ok(()),
+        };
+        let reply = match req {
+            ProvisionRequest::Begin(manifest) => {
+                let admitted = registry.lock().expect("registry lock").begin(manifest);
+                match admitted {
+                    Ok(a) => ProvisionReply::Begun { upload_id: a.upload_id, resume_from: a.resume_from },
+                    Err(e) => ProvisionReply::Rejected { error: e.to_string() },
+                }
+            }
+            ProvisionRequest::Push { upload_id, index, sealed } => {
+                match registry.lock().expect("registry lock").push(upload_id, index, &sealed) {
+                    Ok(()) => ProvisionReply::ChunkOk { index },
+                    Err(e) => ProvisionReply::Rejected { error: e.to_string() },
+                }
+            }
+            ProvisionRequest::Finalize { upload_id, digest } => {
+                match registry.lock().expect("registry lock").finalize(upload_id, digest) {
+                    Ok(Registered { fingerprint, dedup }) => ProvisionReply::Finalized { fingerprint, dedup },
+                    Err(e) => ProvisionReply::Rejected { error: e.to_string() },
+                }
+            }
+            ProvisionRequest::End => {
+                let _ = send_msg(chan, &ProvisionReply::Bye);
+                return Ok(());
+            }
+        };
+        send_msg(chan, &reply)?;
+    }
+}
+
+/// What a completed upload reports back to the tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UploadOutcome {
+    /// Content address the model is stored under.
+    pub fingerprint: u64,
+    /// Whether the registry already had the content.
+    pub dedup: bool,
+    /// Chunk index the upload started from (non-zero = resumed).
+    pub resumed_from: u64,
+    /// Sealed bytes actually sent.
+    pub bytes_sent: u64,
+}
+
+/// Builds the manifest + sealed chunk stream for a model without touching
+/// a channel — the unit fault-injection campaigns mutate this before
+/// driving [`drive_upload`].
+#[derive(Debug, Clone)]
+pub struct PreparedUpload {
+    /// The manifest the tenant will declare.
+    pub manifest: UploadManifest,
+    /// Chunk-layer ciphertext, in order.
+    pub chunks: Vec<Vec<u8>>,
+}
+
+/// Serializes, addresses and seals `model` for upload under `name`.
+///
+/// # Errors
+///
+/// Propagates encode failures (a zoo model always encodes).
+pub fn prepare_upload(model: &Model, name: &str, chunk_len: usize) -> Result<PreparedUpload> {
+    let (bytes, fingerprint, digest) = encode_model(model)?;
+    let manifest = UploadManifest {
+        model_name: name.to_string(),
+        fingerprint,
+        digest,
+        total_len: bytes.len() as u64,
+        chunk_len: chunk_len.max(1) as u32,
+        upload_key: random_array(),
+        nonce_seed: u32::from_le_bytes(random_array::<4>()),
+    };
+    let chunks = seal_all(&manifest, &bytes);
+    // Recompute as a self-check: the digest in the manifest is what the
+    // registry will verify against.
+    debug_assert_eq!(sha256(&bytes), manifest.digest);
+    Ok(PreparedUpload { manifest, chunks })
+}
+
+/// Drives a prepared upload over a channel: `Begin`, `Push` from the
+/// admitted resume point, `Finalize`.
+///
+/// # Errors
+///
+/// [`RegistryError::Channel`] on transport failure; the registry's own
+/// rejection (parsed back from the rendered string is not attempted —
+/// the raw message is preserved) as [`RegistryError::Channel`] with the
+/// `rejected:` prefix stripped into the message.
+pub fn drive_upload<T: FrameTransport>(
+    chan: &mut SecureChannel<T>,
+    upload: &PreparedUpload,
+) -> Result<UploadOutcome> {
+    send_msg(chan, &ProvisionRequest::Begin(upload.manifest.clone()))?;
+    let (upload_id, resume_from) = match recv_msg(chan)? {
+        ProvisionReply::Begun { upload_id, resume_from } => (upload_id, resume_from),
+        ProvisionReply::Rejected { error } => return Err(RegistryError::Channel(error)),
+        other => return Err(RegistryError::Channel(format!("unexpected reply {other:?}"))),
+    };
+    let mut bytes_sent = 0u64;
+    for (i, sealed) in upload.chunks.iter().enumerate().skip(resume_from as usize) {
+        bytes_sent += sealed.len() as u64;
+        send_msg(
+            chan,
+            &ProvisionRequest::Push { upload_id, index: i as u64, sealed: sealed.clone() },
+        )?;
+        match recv_msg(chan)? {
+            ProvisionReply::ChunkOk { index } if index == i as u64 => {}
+            ProvisionReply::Rejected { error } => return Err(RegistryError::Channel(error)),
+            other => return Err(RegistryError::Channel(format!("unexpected reply {other:?}"))),
+        }
+    }
+    send_msg(chan, &ProvisionRequest::Finalize { upload_id, digest: upload.manifest.digest })?;
+    match recv_msg(chan)? {
+        ProvisionReply::Finalized { fingerprint, dedup } => {
+            Ok(UploadOutcome { fingerprint, dedup, resumed_from: resume_from, bytes_sent })
+        }
+        ProvisionReply::Rejected { error } => Err(RegistryError::Channel(error)),
+        other => Err(RegistryError::Channel(format!("unexpected reply {other:?}"))),
+    }
+}
+
+/// One-call happy path: prepare and drive an upload.
+///
+/// # Errors
+///
+/// As [`prepare_upload`] and [`drive_upload`].
+pub fn upload_model<T: FrameTransport>(
+    chan: &mut SecureChannel<T>,
+    model: &Model,
+    name: &str,
+) -> Result<UploadOutcome> {
+    let prepared = prepare_upload(model, name, DEFAULT_CHUNK_LEN)?;
+    drive_upload(chan, &prepared)
+}
+
+/// Sends the orderly session end.
+///
+/// # Errors
+///
+/// Transport failures only.
+pub fn end_session<T: FrameTransport>(chan: &mut SecureChannel<T>) -> Result<()> {
+    send_msg(chan, &ProvisionRequest::End)?;
+    // Bye may race a dropped server; ignore its loss.
+    let _: std::result::Result<ProvisionReply, _> = recv_msg(chan);
+    Ok(())
+}
+
+/// Maps a crypto error into the registry taxonomy (helper for hosts
+/// embedding the protocol).
+pub fn channel_error(e: CryptoError) -> RegistryError {
+    RegistryError::Channel(format!("{e:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+    use mvtee_crypto::channel::{memory_pair, Handshake, Role};
+    use mvtee_crypto::mux::{split, LANE_PROVISION};
+    use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+
+    fn channel_pair() -> (SecureChannel<mvtee_crypto::mux::MuxLane>, SecureChannel<mvtee_crypto::mux::MuxLane>) {
+        let (a, b) = memory_pair();
+        let mut lanes_a = split(a, &[LANE_PROVISION]);
+        let mut lanes_b = split(b, &[LANE_PROVISION]);
+        let hs_a = Handshake::from_pre_shared(b"registry-test", Role::Initiator);
+        let hs_b = Handshake::from_pre_shared(b"registry-test", Role::Responder);
+        (
+            SecureChannel::new(lanes_a.remove(0), &hs_a, u32::from(LANE_PROVISION)),
+            SecureChannel::new(lanes_b.remove(0), &hs_b, u32::from(LANE_PROVISION)),
+        )
+    }
+
+    #[test]
+    fn upload_over_the_lane_and_checkout() {
+        let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 4).unwrap();
+        let registry = Arc::new(Mutex::new(Registry::new([2u8; 32], RegistryConfig::default())));
+        let (mut tenant, mut server) = channel_pair();
+        let reg = Arc::clone(&registry);
+        let srv = std::thread::spawn(move || serve_provisioning(&reg, &mut server));
+        let outcome = upload_model(&mut tenant, &model, "zoo/mnasnet").unwrap();
+        end_session(&mut tenant).unwrap();
+        srv.join().unwrap().unwrap();
+        assert!(!outcome.dedup);
+        assert_eq!(outcome.resumed_from, 0);
+        let back = registry.lock().unwrap().checkout_named("zoo/mnasnet").unwrap();
+        assert_eq!(back.kind, model.kind);
+    }
+
+    #[test]
+    fn rejected_uploads_report_the_precise_error() {
+        let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 4).unwrap();
+        let registry = Arc::new(Mutex::new(Registry::new([2u8; 32], RegistryConfig::default())));
+        let (mut tenant, mut server) = channel_pair();
+        let reg = Arc::clone(&registry);
+        let srv = std::thread::spawn(move || serve_provisioning(&reg, &mut server));
+        let mut prepared = prepare_upload(&model, "zoo/mnasnet", 1024).unwrap();
+        prepared.chunks[1][0] ^= 0x40;
+        let err = drive_upload(&mut tenant, &prepared).unwrap_err();
+        assert!(err.to_string().contains("chunk 1 failed AEAD authentication"), "got: {err}");
+        end_session(&mut tenant).unwrap();
+        srv.join().unwrap().unwrap();
+        assert_eq!(registry.lock().unwrap().stored(), 0);
+    }
+}

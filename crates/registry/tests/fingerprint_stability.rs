@@ -1,0 +1,58 @@
+//! Registry-key stability: a model's content address must depend only on
+//! the model — the same zoo model built twice yields the same key, no
+//! `EngineConfig` choice can change it, and distinct models never collide
+//! across a seeded sweep of the whole zoo.
+
+use std::collections::HashMap;
+
+use mvtee_graph::zoo::{self, ModelKind, ScaleProfile};
+use mvtee_registry::{encode_model, key_for};
+use mvtee_runtime::{session_cache, Engine, EngineConfig, EngineKind};
+
+#[test]
+fn same_model_built_twice_has_the_same_key_and_digest() {
+    for kind in ModelKind::extended() {
+        let a = zoo::build(kind, ScaleProfile::Test, 11).unwrap();
+        let b = zoo::build(kind, ScaleProfile::Test, 11).unwrap();
+        let (bytes_a, key_a, digest_a) = encode_model(&a).unwrap();
+        let (bytes_b, key_b, digest_b) = encode_model(&b).unwrap();
+        assert_eq!(key_a, key_b, "{kind:?}: rebuild changed the registry key");
+        assert_eq!(digest_a, digest_b, "{kind:?}: rebuild changed the content digest");
+        assert_eq!(bytes_a, bytes_b, "{kind:?}: rebuild changed the encoded bytes");
+    }
+}
+
+#[test]
+fn engine_config_variations_never_change_identity() {
+    let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 11).unwrap();
+    let key_before = key_for(&model);
+    // Run the model through differently-configured engines — the very
+    // diversity MVTEE deploys. Preparation must not perturb the key the
+    // registry stores the model under (the engine cache keys on
+    // (config, fingerprint); the registry keys on fingerprint alone).
+    for kind in [EngineKind::OrtLike, EngineKind::TvmLike] {
+        let mut config = EngineConfig::of_kind(kind);
+        config.optimize = !config.optimize;
+        let engine = Engine::new(config);
+        session_cache().prepare(&engine, &model.graph).unwrap();
+        assert_eq!(key_for(&model), key_before, "{kind:?} preparation changed the key");
+    }
+    let (_, key_after, _) = encode_model(&model).unwrap();
+    assert_eq!(key_after, key_before);
+}
+
+#[test]
+fn distinct_models_never_collide_in_a_seeded_sweep() {
+    let mut seen: HashMap<u64, String> = HashMap::new();
+    for seed in [3u64, 11, 29] {
+        for kind in ModelKind::extended() {
+            let model = zoo::build(kind, ScaleProfile::Test, seed).unwrap();
+            let key = key_for(&model);
+            let label = format!("{kind:?}@seed{seed}");
+            if let Some(prev) = seen.insert(key, label.clone()) {
+                panic!("registry key collision: {label} and {prev} share {key:#018x}");
+            }
+        }
+    }
+    assert_eq!(seen.len(), 3 * ModelKind::extended().len());
+}

@@ -1,0 +1,297 @@
+//! Property tests for chunked-upload framing and the registry's
+//! rejection taxonomy: arbitrary chunk geometries round-trip, and any
+//! single flipped byte, dropped chunk, reordered chunk or torn final
+//! chunk is rejected with the precise error — never a wrong accepted
+//! model.
+
+use std::sync::OnceLock;
+
+use mvtee_faults::ProvisionFault;
+use mvtee_graph::zoo::{self, Model, ModelKind, ScaleProfile};
+use mvtee_registry::{
+    encode_model, seal_all, Registry, RegistryConfig, RegistryError, UploadManifest,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One zoo model, encoded once — proptest cases reuse it so each case
+/// costs chunk sealing, not a graph build.
+fn fixture() -> &'static (Model, Vec<u8>, u64, [u8; 32]) {
+    static FIX: OnceLock<(Model, Vec<u8>, u64, [u8; 32])> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 4).unwrap();
+        let (bytes, fp, digest) = encode_model(&model).unwrap();
+        (model, bytes, fp, digest)
+    })
+}
+
+fn manifest(chunk_len: u32, key_byte: u8) -> UploadManifest {
+    let (_, bytes, fp, digest) = fixture();
+    UploadManifest {
+        model_name: "props/mnasnet".into(),
+        fingerprint: *fp,
+        digest: *digest,
+        total_len: bytes.len() as u64,
+        chunk_len,
+        upload_key: [key_byte; 32],
+        nonce_seed: u32::from(key_byte) + 1,
+    }
+}
+
+/// Chunk lengths that keep the chunk count in [2, ~96] for the fixture
+/// blob, so cases stay fast while covering ragged final chunks.
+fn chunk_lens() -> impl Strategy<Value = u32> {
+    let total = fixture().1.len() as u32;
+    (total / 96).max(1)..=total / 2 + 1
+}
+
+fn fresh_registry() -> Registry {
+    Registry::new([11u8; 32], RegistryConfig { max_bundles: 8, max_pending: 8 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arbitrary_payload_and_chunk_geometries_round_trip(
+        payload in proptest::collection::vec(any::<u8>(), 1..2048),
+        chunk_len in 1u32..300,
+    ) {
+        let m = UploadManifest {
+            model_name: "raw".into(),
+            fingerprint: 1,
+            digest: [0; 32],
+            total_len: payload.len() as u64,
+            chunk_len,
+            upload_key: [5u8; 32],
+            nonce_seed: 9,
+        };
+        let chunks = seal_all(&m, &payload);
+        prop_assert_eq!(chunks.len() as u64, m.chunk_count());
+        let cipher = m.cipher();
+        let mut back = Vec::new();
+        for (i, c) in chunks.iter().enumerate() {
+            back.extend(mvtee_registry::open_chunk(&cipher, &m, i as u64, c).unwrap());
+        }
+        prop_assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn any_flipped_byte_is_rejected_and_nothing_is_stored(
+        chunk_len in chunk_lens(),
+        target in any::<u64>(),
+        byte in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let (_, bytes, ..) = fixture();
+        let m = manifest(chunk_len, 1);
+        let mut chunks = seal_all(&m, bytes);
+        let ci = (target % chunks.len() as u64) as usize;
+        let bi = byte % chunks[ci].len();
+        chunks[ci][bi] ^= mask;
+
+        let mut reg = fresh_registry();
+        let adm = reg.begin(m.clone()).unwrap();
+        let mut rejected = None;
+        for (i, c) in chunks.iter().enumerate() {
+            match reg.push(adm.upload_id, i as u64, c) {
+                Ok(()) => {}
+                Err(e) => { rejected = Some((i, e)); break; }
+            }
+        }
+        let (at, err) = rejected.expect("corrupt chunk must be rejected");
+        prop_assert_eq!(at, ci, "rejection must name the corrupted chunk");
+        prop_assert_eq!(err, RegistryError::ChunkAuthFailed { index: ci as u64 });
+        // The stream never completed, so finalize is a precise torn error
+        // and nothing reaches the store.
+        let torn = matches!(
+            reg.finalize(adm.upload_id, m.digest),
+            Err(RegistryError::Incomplete { .. })
+        );
+        prop_assert!(torn);
+        prop_assert_eq!(reg.stored(), 0);
+    }
+
+    #[test]
+    fn dropped_and_reordered_chunks_are_precise_index_errors(
+        chunk_len in chunk_lens(),
+        target in any::<u64>(),
+    ) {
+        let (_, bytes, ..) = fixture();
+        let m = manifest(chunk_len, 2);
+        let chunks = seal_all(&m, bytes);
+        prop_assume!(chunks.len() >= 2);
+        let drop_at = (target % (chunks.len() as u64 - 1)) as usize;
+
+        // Drop: chunk `drop_at` vanishes, its successor arrives instead.
+        let mut reg = fresh_registry();
+        let adm = reg.begin(m.clone()).unwrap();
+        for (i, c) in chunks.iter().enumerate().take(drop_at) {
+            reg.push(adm.upload_id, i as u64, c).unwrap();
+        }
+        prop_assert_eq!(
+            reg.push(adm.upload_id, drop_at as u64 + 1, &chunks[drop_at + 1]).unwrap_err(),
+            RegistryError::BadChunkIndex { expected: drop_at as u64, actual: drop_at as u64 + 1 }
+        );
+
+        // Reorder disguised as the right index: the AAD still catches it.
+        prop_assert_eq!(
+            reg.push(adm.upload_id, drop_at as u64, &chunks[drop_at + 1]).unwrap_err(),
+            RegistryError::ChunkAuthFailed { index: drop_at as u64 }
+        );
+        prop_assert_eq!(reg.stored(), 0);
+    }
+
+    #[test]
+    fn torn_final_chunk_is_rejected_then_the_upload_resumes(
+        chunk_len in chunk_lens(),
+        cut in any::<usize>(),
+    ) {
+        let (model, bytes, ..) = fixture();
+        let m = manifest(chunk_len, 3);
+        let chunks = seal_all(&m, bytes);
+        let last = chunks.len() - 1;
+        let torn = &chunks[last][..cut % chunks[last].len()];
+
+        let mut reg = fresh_registry();
+        let adm = reg.begin(m.clone()).unwrap();
+        for (i, c) in chunks.iter().enumerate().take(last) {
+            reg.push(adm.upload_id, i as u64, c).unwrap();
+        }
+        let err = reg.push(adm.upload_id, last as u64, torn).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                RegistryError::ChunkTruncated { index, .. } | RegistryError::ChunkAuthFailed { index }
+                if index == last as u64
+            ),
+            "torn final chunk got {err:?}"
+        );
+        let torn = matches!(
+            reg.finalize(adm.upload_id, m.digest),
+            Err(RegistryError::Incomplete { .. })
+        );
+        prop_assert!(torn);
+
+        // The tenant reconnects: resume starts exactly at the torn chunk.
+        let resumed = reg.begin(m.clone()).unwrap();
+        prop_assert_eq!(resumed.upload_id, adm.upload_id);
+        prop_assert_eq!(resumed.resume_from, last as u64);
+        reg.push(resumed.upload_id, last as u64, &chunks[last]).unwrap();
+        reg.finalize(resumed.upload_id, m.digest).unwrap();
+        let back = reg.checkout_named("props/mnasnet").unwrap();
+        prop_assert_eq!(back.kind, model.kind);
+        prop_assert_eq!(mvtee_registry::key_for(&back), m.fingerprint);
+    }
+}
+
+/// Seeded sweep over the campaign's [`ProvisionFault`] descriptor space:
+/// every corruption class is Detected (precise rejection, empty store)
+/// and every torn upload resumes from its last verified chunk.
+#[test]
+fn every_provision_fault_class_is_detected_or_resumed() {
+    let (_, bytes, ..) = fixture();
+    let chunk_len = (bytes.len() as u32 / 8).max(1);
+    for seed in 0..24u64 {
+        let fault = ProvisionFault::arbitrary(&mut StdRng::seed_from_u64(seed));
+        let mut m = manifest(chunk_len, 4);
+        m.nonce_seed = seed as u32 + 100;
+        let count = m.chunk_count();
+        let mut chunks = seal_all(&m, bytes);
+        let mut reg = fresh_registry();
+
+        match fault {
+            ProvisionFault::CorruptChunk { chunk, mask } => {
+                let ci = (chunk % count) as usize;
+                let bi = chunks[ci].len() / 2;
+                chunks[ci][bi] ^= mask;
+                let adm = reg.begin(m.clone()).unwrap();
+                for (i, c) in chunks.iter().enumerate().take(ci) {
+                    reg.push(adm.upload_id, i as u64, c).unwrap();
+                }
+                assert_eq!(
+                    reg.push(adm.upload_id, ci as u64, &chunks[ci]).unwrap_err(),
+                    RegistryError::ChunkAuthFailed { index: ci as u64 },
+                    "seed {seed} fault {fault}"
+                );
+            }
+            ProvisionFault::TruncateChunk { chunk } => {
+                let ci = (chunk % count) as usize;
+                let adm = reg.begin(m.clone()).unwrap();
+                for (i, c) in chunks.iter().enumerate().take(ci) {
+                    reg.push(adm.upload_id, i as u64, c).unwrap();
+                }
+                let torn = &chunks[ci][..4.min(chunks[ci].len())];
+                assert!(
+                    matches!(
+                        reg.push(adm.upload_id, ci as u64, torn).unwrap_err(),
+                        RegistryError::ChunkTruncated { .. } | RegistryError::ChunkAuthFailed { .. }
+                    ),
+                    "seed {seed} fault {fault}"
+                );
+            }
+            ProvisionFault::DropChunk { chunk } if count >= 2 => {
+                let ci = (chunk % (count - 1)) as usize;
+                let adm = reg.begin(m.clone()).unwrap();
+                for (i, c) in chunks.iter().enumerate().take(ci) {
+                    reg.push(adm.upload_id, i as u64, c).unwrap();
+                }
+                assert!(
+                    matches!(
+                        reg.push(adm.upload_id, ci as u64 + 1, &chunks[ci + 1]).unwrap_err(),
+                        RegistryError::BadChunkIndex { .. }
+                    ),
+                    "seed {seed} fault {fault}"
+                );
+            }
+            ProvisionFault::ReorderChunks { chunk } if count >= 2 => {
+                let ci = (chunk % (count - 1)) as usize;
+                chunks.swap(ci, ci + 1);
+                let adm = reg.begin(m.clone()).unwrap();
+                let mut ok = true;
+                for (i, c) in chunks.iter().enumerate() {
+                    if reg.push(adm.upload_id, i as u64, c).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                assert!(!ok, "seed {seed}: reordered stream accepted");
+            }
+            ProvisionFault::TornUpload { after } => {
+                let stop = after % count;
+                let adm = reg.begin(m.clone()).unwrap();
+                for i in 0..stop {
+                    reg.push(adm.upload_id, i, &chunks[i as usize]).unwrap();
+                }
+                // Disconnect, reconnect: resume exactly where we tore.
+                let resumed = reg.begin(m.clone()).unwrap();
+                assert_eq!(resumed.resume_from, stop, "seed {seed} fault {fault}");
+                for i in stop..count {
+                    reg.push(resumed.upload_id, i, &chunks[i as usize]).unwrap();
+                }
+                reg.finalize(resumed.upload_id, m.digest).unwrap();
+                assert_eq!(reg.stored(), 1);
+                continue;
+            }
+            ProvisionFault::FingerprintMismatch => {
+                m.fingerprint ^= 0x5a5a_5a5a;
+                let chunks = seal_all(&m, bytes);
+                let adm = reg.begin(m.clone()).unwrap();
+                for (i, c) in chunks.iter().enumerate() {
+                    reg.push(adm.upload_id, i as u64, c).unwrap();
+                }
+                assert!(
+                    matches!(
+                        reg.finalize(adm.upload_id, m.digest).unwrap_err(),
+                        RegistryError::FingerprintMismatch { .. }
+                    ),
+                    "seed {seed} fault {fault}"
+                );
+            }
+            // Single-chunk geometries can't drop/reorder; nothing to do.
+            _ => continue,
+        }
+        assert_eq!(reg.stored(), 0, "seed {seed} fault {fault}: corrupt upload reached the store");
+    }
+}

@@ -323,6 +323,26 @@ impl EngineCache {
             m.clear();
         }
     }
+
+    /// Whether any engine configuration holds a prepared model for the
+    /// graph with this fingerprint (a "warm" model in registry terms).
+    pub fn contains(&self, fingerprint: u64) -> bool {
+        self.map
+            .lock()
+            .map(|m| m.keys().any(|(_, fp)| *fp == fingerprint))
+            .unwrap_or(false)
+    }
+
+    /// Evicts every prepared model compiled from the graph with this
+    /// fingerprint, across all engine configurations, returning how many
+    /// entries were dropped. The model registry's capacity LRU calls this
+    /// so in-memory engines never outlive their sealed bundle.
+    pub fn evict(&self, fingerprint: u64) -> usize {
+        let Ok(mut m) = self.map.lock() else { return 0 };
+        let before = m.len();
+        m.retain(|(_, fp), _| *fp != fingerprint);
+        before - m.len()
+    }
 }
 
 /// The process-wide session cache the variant hosts prepare through.
@@ -404,6 +424,24 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn evict_drops_every_config_for_one_graph_only() {
+        let m = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 4).unwrap();
+        let other = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 4).unwrap();
+        let cache = EngineCache::new();
+        let ort = Engine::new(EngineConfig::of_kind(EngineKind::OrtLike));
+        let tvm = Engine::new(EngineConfig::of_kind(EngineKind::TvmLike));
+        cache.prepare(&ort, &m.graph).unwrap();
+        cache.prepare(&tvm, &m.graph).unwrap();
+        cache.prepare(&ort, &other.graph).unwrap();
+        let fp = graph_fingerprint(&m.graph);
+        assert!(cache.contains(fp));
+        assert_eq!(cache.evict(fp), 2, "both configs of the evicted graph must go");
+        assert!(!cache.contains(fp));
+        assert!(cache.contains(graph_fingerprint(&other.graph)), "other graphs stay");
+        assert_eq!(cache.evict(fp), 0);
     }
 
     #[test]

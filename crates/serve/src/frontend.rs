@@ -2,6 +2,7 @@
 //! queue through the micro-batcher into per-model replica pools.
 
 use crate::batcher::MicroBatcher;
+use crate::coldstart::ColdStartProvider;
 use crate::config::ServeConfig;
 use crate::pool::{PoolStats, ReplicaPool};
 use crate::queue::{AdmissionQueue, QueueStats, ShedReason};
@@ -12,7 +13,7 @@ use mvtee_telemetry::trace::TraceCtx;
 use mvtee_tensor::Tensor;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -21,11 +22,17 @@ use std::time::{Duration, Instant};
 /// shutdown-latency of an idle frontend).
 const IDLE_WAIT: Duration = Duration::from_millis(50);
 
+/// The pool map, shared between handles (membership checks), the
+/// dispatcher (routing + cold-start inserts) and the frontend (stats).
+type PoolMap = Arc<RwLock<BTreeMap<String, ReplicaPool>>>;
+
 /// The submission side of the frontend. Cheap to clone; one per client
 /// thread.
 #[derive(Clone)]
 pub struct ServeHandle {
     queue: Arc<AdmissionQueue>,
+    pools: PoolMap,
+    provider: Option<Arc<dyn ColdStartProvider>>,
     next_id: Arc<AtomicU64>,
     default_deadline: Duration,
 }
@@ -80,6 +87,21 @@ impl ServeHandle {
             trace,
             respond: tx,
         };
+        // An unknown key means the dispatcher would have to cold-start
+        // the model from the registry. When the registry cannot begin
+        // one, queuing would only let the request expire — shed now so
+        // the caller can retry elsewhere.
+        if let Some(provider) = &self.provider {
+            let known = self
+                .pools
+                .read()
+                .expect("pool map poisoned")
+                .contains_key(model_key);
+            if !known && provider.saturated() {
+                self.queue.record_coldstart_shed(&req);
+                return Err(ShedReason::ColdStart);
+            }
+        }
         match self.queue.offer(req) {
             Ok(()) => Ok(Ticket { id, rx }),
             Err((_req, reason)) => Err(reason),
@@ -96,25 +118,50 @@ impl ServeHandle {
 pub struct ServeFrontend {
     handle: ServeHandle,
     queue: Arc<AdmissionQueue>,
-    pools: Arc<BTreeMap<String, ReplicaPool>>,
+    pools: PoolMap,
     dispatcher: Option<JoinHandle<()>>,
 }
 
 impl ServeFrontend {
     /// Starts a frontend over the given pools (one per model key).
+    /// Requests for keys outside this set fail; see
+    /// [`ServeFrontend::start_with_cold_start`] for dynamic models.
     pub fn start(pools: Vec<ReplicaPool>, cfg: ServeConfig) -> Self {
+        Self::launch(pools, cfg, None)
+    }
+
+    /// Starts a frontend that cold-starts unknown model keys through
+    /// `provider` (typically backed by the encrypted model registry).
+    /// The first request for an unknown key triggers the build on the
+    /// dispatcher thread; while the provider is saturated, unknown-key
+    /// submissions shed with [`ShedReason::ColdStart`].
+    pub fn start_with_cold_start(
+        pools: Vec<ReplicaPool>,
+        cfg: ServeConfig,
+        provider: Arc<dyn ColdStartProvider>,
+    ) -> Self {
+        Self::launch(pools, cfg, Some(provider))
+    }
+
+    fn launch(
+        pools: Vec<ReplicaPool>,
+        cfg: ServeConfig,
+        provider: Option<Arc<dyn ColdStartProvider>>,
+    ) -> Self {
         let queue = Arc::new(AdmissionQueue::new(
             cfg.max_queue_depth,
             cfg.per_tenant_quota,
         ));
-        let pools: Arc<BTreeMap<String, ReplicaPool>> = Arc::new(
+        let pools: PoolMap = Arc::new(RwLock::new(
             pools
                 .into_iter()
                 .map(|p| (p.model_key().to_string(), p))
                 .collect(),
-        );
+        ));
         let handle = ServeHandle {
             queue: Arc::clone(&queue),
+            pools: Arc::clone(&pools),
+            provider: provider.clone(),
             next_id: Arc::new(AtomicU64::new(0)),
             default_deadline: cfg.default_deadline(),
         };
@@ -124,7 +171,9 @@ impl ServeFrontend {
             let batcher_cfg = cfg.batcher();
             std::thread::Builder::new()
                 .name("serve-dispatcher".to_string())
-                .spawn(move || dispatch_loop(&queue, &pools, MicroBatcher::new(batcher_cfg)))
+                .spawn(move || {
+                    dispatch_loop(&queue, &pools, provider, MicroBatcher::new(batcher_cfg));
+                })
                 .expect("spawn serve dispatcher")
         };
         Self {
@@ -145,20 +194,40 @@ impl ServeFrontend {
         self.queue.stats()
     }
 
+    /// Model keys currently served (static pools plus cold starts).
+    pub fn model_keys(&self) -> Vec<String> {
+        self.pools
+            .read()
+            .expect("pool map poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
     /// Per-replica counters for one model key's pool.
     pub fn pool_stats(&self, model_key: &str) -> Option<PoolStats> {
-        self.pools.get(model_key).map(ReplicaPool::stats)
+        self.pools
+            .read()
+            .expect("pool map poisoned")
+            .get(model_key)
+            .map(ReplicaPool::stats)
     }
 
     /// Replica count for one model key's pool.
     pub fn pool_replicas(&self, model_key: &str) -> Option<usize> {
-        self.pools.get(model_key).map(ReplicaPool::replicas)
+        self.pools
+            .read()
+            .expect("pool map poisoned")
+            .get(model_key)
+            .map(ReplicaPool::replicas)
     }
 
     /// The monitor event log of one replica — lets callers watch core
     /// quarantine/recovery activity while the pool serves.
     pub fn replica_events(&self, model_key: &str, replica: usize) -> Option<EventLog> {
         self.pools
+            .read()
+            .expect("pool map poisoned")
             .get(model_key)
             .filter(|p| replica < p.replicas())
             .map(|p| p.replica_events(replica).clone())
@@ -172,8 +241,10 @@ impl ServeFrontend {
         if let Some(dispatcher) = self.dispatcher.take() {
             let _ = dispatcher.join();
         }
-        let pools = Arc::try_unwrap(self.pools)
-            .unwrap_or_else(|_| panic!("pools still shared after dispatcher join"));
+        // Handles may outlive the frontend; take the pools out from
+        // under the shared map instead of unwrapping the Arc. Late
+        // submissions shed ShuttingDown at the closed queue.
+        let pools = std::mem::take(&mut *self.pools.write().expect("pool map poisoned"));
         for (_, pool) in pools {
             pool.shutdown();
         }
@@ -182,7 +253,8 @@ impl ServeFrontend {
 
 fn dispatch_loop(
     queue: &AdmissionQueue,
-    pools: &BTreeMap<String, ReplicaPool>,
+    pools: &RwLock<BTreeMap<String, ReplicaPool>>,
+    provider: Option<Arc<dyn ColdStartProvider>>,
     mut batcher: MicroBatcher,
 ) {
     let batches_total = mvtee_telemetry::counter("serve.batches_total");
@@ -198,8 +270,19 @@ fn dispatch_loop(
         let drained = queue.drain(wait);
         let now = Instant::now();
         for req in drained.requests {
-            match pools.get(&req.model_key) {
-                Some(_) => batcher.push(req, now),
+            let known = pools
+                .read()
+                .expect("pool map poisoned")
+                .contains_key(&req.model_key);
+            if known {
+                batcher.push(req, now);
+                continue;
+            }
+            match provider.as_deref() {
+                Some(provider) => match cold_start(pools, provider, &req.model_key) {
+                    Ok(()) => batcher.push(req, now),
+                    Err(detail) => req.resolve(None, RequestOutcome::Failed(detail)),
+                },
                 None => {
                     let detail = format!("unknown model key {:?}", req.model_key);
                     req.resolve(None, RequestOutcome::Failed(detail));
@@ -218,8 +301,36 @@ fn dispatch_loop(
     }
 }
 
+/// Builds and installs a pool for `model_key` through the cold-start
+/// provider. Runs on the dispatcher thread — the single writer of the
+/// pool map — so the read-check/insert pair cannot race.
+fn cold_start(
+    pools: &RwLock<BTreeMap<String, ReplicaPool>>,
+    provider: &dyn ColdStartProvider,
+    model_key: &str,
+) -> Result<(), String> {
+    mvtee_telemetry::counter("serve.coldstart.requests").inc();
+    let timer = mvtee_telemetry::histogram("serve.coldstart.build_ns").start();
+    match provider.cold_start(model_key) {
+        Ok(pool) => {
+            timer.finish();
+            mvtee_telemetry::counter("serve.coldstart.built").inc();
+            pools
+                .write()
+                .expect("pool map poisoned")
+                .insert(model_key.to_string(), pool);
+            Ok(())
+        }
+        Err(detail) => {
+            timer.cancel();
+            mvtee_telemetry::counter("serve.coldstart.failed").inc();
+            Err(format!("cold start failed for {model_key:?}: {detail}"))
+        }
+    }
+}
+
 fn dispatch(
-    pools: &BTreeMap<String, ReplicaPool>,
+    pools: &RwLock<BTreeMap<String, ReplicaPool>>,
     batch: crate::batcher::MicroBatch,
     batches_total: &mvtee_telemetry::Counter,
     batch_size: &mvtee_telemetry::Histogram,
@@ -252,7 +363,8 @@ fn dispatch(
                 .arg("batch_size", live.len());
         }
     }
-    let pool = pools.get(&key).expect("dispatch only for known keys");
+    let guard = pools.read().expect("pool map poisoned");
+    let pool = guard.get(&key).expect("dispatch only for known keys");
     if let Err(returned) = pool.submit(crate::batcher::MicroBatch {
         key,
         requests: live,

@@ -37,6 +37,7 @@
 
 mod backend;
 mod batcher;
+mod coldstart;
 mod config;
 mod frontend;
 mod pool;
@@ -45,6 +46,7 @@ mod request;
 
 pub use backend::ReplicaBackend;
 pub use batcher::{BatcherConfig, MicroBatch, MicroBatcher};
+pub use coldstart::ColdStartProvider;
 pub use config::ServeConfig;
 pub use frontend::{ServeHandle, ServeFrontend};
 pub use pool::{PoolStats, ReplicaPool};
@@ -61,6 +63,10 @@ pub fn register_serve_metrics() {
         "serve.shed_total",
         "serve.shed_queue_full",
         "serve.shed_quota",
+        "serve.shed_coldstart",
+        "serve.coldstart.requests",
+        "serve.coldstart.built",
+        "serve.coldstart.failed",
         "serve.expired_total",
         "serve.completed_total",
         "serve.failed_total",
@@ -73,6 +79,7 @@ pub fn register_serve_metrics() {
     mvtee_telemetry::gauge("serve.queue_depth");
     mvtee_telemetry::gauge("serve.pool.outstanding");
     mvtee_telemetry::histogram("serve.batch_size");
+    mvtee_telemetry::histogram("serve.coldstart.build_ns");
     mvtee_telemetry::histogram("serve.queue_wait_ns");
     mvtee_telemetry::histogram("serve.e2e_latency_ns");
 }

@@ -14,6 +14,10 @@ pub enum ShedReason {
     Quota,
     /// The frontend is shutting down.
     ShuttingDown,
+    /// The model key needs a registry cold start and the registry is
+    /// saturated — admitting the request would only let it expire in the
+    /// queue while no cold start can begin.
+    ColdStart,
 }
 
 impl std::fmt::Display for ShedReason {
@@ -22,6 +26,7 @@ impl std::fmt::Display for ShedReason {
             ShedReason::QueueFull => write!(f, "admission queue full"),
             ShedReason::Quota => write!(f, "per-tenant quota exhausted"),
             ShedReason::ShuttingDown => write!(f, "frontend shutting down"),
+            ShedReason::ColdStart => write!(f, "model cold start required and registry saturated"),
         }
     }
 }
@@ -38,6 +43,9 @@ pub struct QueueStats {
     pub shed_queue_full: u64,
     /// Requests rejected because the tenant's quota was exhausted.
     pub shed_quota: u64,
+    /// Requests rejected because the model needed a cold start and the
+    /// registry was saturated.
+    pub shed_coldstart: u64,
     /// Current queue depth.
     pub depth: usize,
 }
@@ -162,6 +170,21 @@ impl AdmissionQueue {
             finished: inner.closed && requests.is_empty(),
             requests,
         }
+    }
+
+    /// Records a cold-start shed decided by the caller *before* the
+    /// request reached the queue (the handle sheds at submit when the
+    /// model key is unknown and the registry cannot start a cold start),
+    /// keeping `submitted`/`shed_*` coherent with queue-side sheds.
+    pub(crate) fn record_coldstart_shed(&self, req: &InferRequest) {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        inner.stats.submitted += 1;
+        inner.stats.shed_coldstart += 1;
+        drop(inner);
+        mvtee_telemetry::counter("serve.submitted_total").inc();
+        mvtee_telemetry::counter("serve.shed_total").inc();
+        mvtee_telemetry::counter("serve.shed_coldstart").inc();
+        shed_trace(req, "coldstart");
     }
 
     /// Closes the intake; queued requests still drain, new offers shed

@@ -169,6 +169,14 @@ impl ProtectedFs {
         false
     }
 
+    /// Removes a sealed file, returning whether it existed. The freshness
+    /// version is kept, so a host re-importing the removed blob later (an
+    /// eviction-replay attack) still fails the rollback check once the
+    /// path has been re-written.
+    pub fn remove(&mut self, path: &str) -> bool {
+        self.sealed.remove(path).is_some()
+    }
+
     /// Lists sealed paths.
     pub fn paths(&self) -> Vec<&str> {
         self.sealed.keys().map(String::as_str).collect()
