@@ -482,7 +482,7 @@ fn partial_upload<T: FrameTransport>(
 ) -> Result<(), String> {
     let reply = exchange(chan, &ProvisionRequest::Begin(upload.manifest.clone()))?;
     let (upload_id, resume_from) = match reply {
-        ProvisionReply::Begun { upload_id, resume_from } => (upload_id, resume_from),
+        ProvisionReply::Begun { upload_id, resume_from, .. } => (upload_id, resume_from),
         other => return Err(format!("unexpected reply {other:?}")),
     };
     for i in resume_from..upto {
@@ -652,7 +652,7 @@ pub fn run_coldstart(s: &ColdstartSettings) -> ColdstartReport {
     // probe at the end is what forces evictions.
     let registry = Arc::new(Mutex::new(Registry::new(
         kdk,
-        RegistryConfig { max_bundles: s.models.len() + 1, max_pending: 4 },
+        RegistryConfig { max_bundles: s.models.len() + 1, ..RegistryConfig::default() },
     )));
 
     // ---- Phase 1: provision the population over the attested lane,
@@ -834,7 +834,7 @@ pub fn run_coldstart(s: &ColdstartSettings) -> ColdstartReport {
         for (i, c) in prepared.chunks.iter().enumerate() {
             reg.push(adm.upload_id, i as u64, c).expect("overflow chunk");
         }
-        reg.finalize(adm.upload_id, prepared.manifest.digest).expect("overflow finalize");
+        reg.finalize(adm.upload_id, prepared.manifest.digest, None).expect("overflow finalize");
     }
     let evicted = registry.lock().expect("registry lock").drain_evictions();
     for fp in &evicted {

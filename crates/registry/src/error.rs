@@ -69,6 +69,18 @@ pub enum RegistryError {
     /// The manifest is internally inconsistent (zero-length chunks, chunk
     /// count not matching the total, empty model).
     BadManifest(String),
+    /// The manifest declares a model larger than the registry accepts —
+    /// rejected before any buffer is reserved.
+    TooLarge {
+        /// Plaintext length the manifest declared.
+        len: u64,
+        /// The registry's configured ceiling.
+        limit: u64,
+    },
+    /// A dedup finalize failed its proof-of-possession check: the tenant
+    /// presented a known `(fingerprint, digest)` but could not prove it
+    /// holds the content bytes.
+    PossessionProofFailed,
     /// No pending upload with this id.
     UnknownUpload {
         /// The id presented.
@@ -114,6 +126,12 @@ impl fmt::Display for RegistryError {
                 write!(f, "fingerprint {fingerprint:#018x} already stores different content")
             }
             RegistryError::BadManifest(why) => write!(f, "bad upload manifest: {why}"),
+            RegistryError::TooLarge { len, limit } => {
+                write!(f, "declared model length {len} exceeds the registry limit of {limit} bytes")
+            }
+            RegistryError::PossessionProofFailed => {
+                write!(f, "dedup finalize failed its proof-of-possession challenge")
+            }
             RegistryError::UnknownUpload { upload_id } => write!(f, "no pending upload {upload_id}"),
             RegistryError::UnknownModel { key } => write!(f, "no registered model under key {key:?}"),
             RegistryError::Saturated => write!(f, "registry at capacity"),

@@ -5,7 +5,7 @@
 //! content-addressed, and cold-start on demand. This crate is that
 //! boundary:
 //!
-//! * [`protocol`] — `Begin / Push / Finalize` over the dedicated
+//! * [`protocol`] — `Begin / Push / Finalize / Abort` over the dedicated
 //!   provisioning mux lane
 //!   ([`LANE_PROVISION`](mvtee_crypto::mux::LANE_PROVISION)): tenants
 //!   upload models as chunked AES-GCM ciphertext *inside* the attested
@@ -39,8 +39,9 @@ pub use blob::{encode_model, key_for, key_hex, ModelBlob};
 pub use error::{RegistryError, Result};
 pub use framing::{open_chunk, seal_all, seal_chunk, UploadManifest, DEFAULT_CHUNK_LEN};
 pub use protocol::{
-    drive_upload, end_session, prepare_upload, serve_provisioning, upload_model, PreparedUpload,
-    ProvisionReply, ProvisionRequest, UploadOutcome,
+    abort_upload, drive_upload, end_session, prepare_upload, prove_possession,
+    serve_provisioning, upload_model, PreparedUpload, ProvisionReply, ProvisionRequest,
+    UploadOutcome,
 };
-pub use registry::{Admission, Registered, Registry, RegistryConfig};
+pub use registry::{pop_response, Admission, Registered, Registry, RegistryConfig};
 pub use store::{BundleMeta, PutOutcome, SealedStore};

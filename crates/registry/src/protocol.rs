@@ -43,6 +43,17 @@ pub enum ProvisionRequest {
         upload_id: u64,
         /// SHA-256 the tenant computed over its plaintext.
         digest: [u8; 32],
+        /// Answer to a dedup admission's proof-of-possession challenge
+        /// ([`pop_response`](crate::registry::pop_response) over the
+        /// plaintext); `None` for ordinary uploads.
+        pop: Option<[u8; 32]>,
+    },
+    /// Drop a pending upload, freeing its slot (a tenant that knows it
+    /// will not finish should abort rather than leave a torn upload to
+    /// age out).
+    Abort {
+        /// Upload handle from `Begun`.
+        upload_id: u64,
     },
     /// Orderly end of the session.
     End,
@@ -57,11 +68,19 @@ pub enum ProvisionReply {
         upload_id: u64,
         /// First chunk index expected (resume/dedup skip ahead).
         resume_from: u64,
+        /// Proof-of-possession challenge on dedup admissions; `Finalize`
+        /// must answer it.
+        challenge: Option<[u8; 32]>,
     },
     /// Chunk verified and appended.
     ChunkOk {
         /// The verified index.
         index: u64,
+    },
+    /// Pending upload dropped.
+    Aborted {
+        /// The dropped upload's handle.
+        upload_id: u64,
     },
     /// Upload committed.
     Finalized {
@@ -113,7 +132,11 @@ pub fn serve_provisioning<T: FrameTransport>(
             ProvisionRequest::Begin(manifest) => {
                 let admitted = registry.lock().expect("registry lock").begin(manifest);
                 match admitted {
-                    Ok(a) => ProvisionReply::Begun { upload_id: a.upload_id, resume_from: a.resume_from },
+                    Ok(a) => ProvisionReply::Begun {
+                        upload_id: a.upload_id,
+                        resume_from: a.resume_from,
+                        challenge: a.challenge,
+                    },
                     Err(e) => ProvisionReply::Rejected { error: e.to_string() },
                 }
             }
@@ -123,9 +146,15 @@ pub fn serve_provisioning<T: FrameTransport>(
                     Err(e) => ProvisionReply::Rejected { error: e.to_string() },
                 }
             }
-            ProvisionRequest::Finalize { upload_id, digest } => {
-                match registry.lock().expect("registry lock").finalize(upload_id, digest) {
+            ProvisionRequest::Finalize { upload_id, digest, pop } => {
+                match registry.lock().expect("registry lock").finalize(upload_id, digest, pop) {
                     Ok(Registered { fingerprint, dedup }) => ProvisionReply::Finalized { fingerprint, dedup },
+                    Err(e) => ProvisionReply::Rejected { error: e.to_string() },
+                }
+            }
+            ProvisionRequest::Abort { upload_id } => {
+                match registry.lock().expect("registry lock").abort(upload_id) {
+                    Ok(()) => ProvisionReply::Aborted { upload_id },
                     Err(e) => ProvisionReply::Rejected { error: e.to_string() },
                 }
             }
@@ -199,8 +228,10 @@ pub fn drive_upload<T: FrameTransport>(
     upload: &PreparedUpload,
 ) -> Result<UploadOutcome> {
     send_msg(chan, &ProvisionRequest::Begin(upload.manifest.clone()))?;
-    let (upload_id, resume_from) = match recv_msg(chan)? {
-        ProvisionReply::Begun { upload_id, resume_from } => (upload_id, resume_from),
+    let (upload_id, resume_from, challenge) = match recv_msg(chan)? {
+        ProvisionReply::Begun { upload_id, resume_from, challenge } => {
+            (upload_id, resume_from, challenge)
+        }
         ProvisionReply::Rejected { error } => return Err(RegistryError::Channel(error)),
         other => return Err(RegistryError::Channel(format!("unexpected reply {other:?}"))),
     };
@@ -217,11 +248,55 @@ pub fn drive_upload<T: FrameTransport>(
             other => return Err(RegistryError::Channel(format!("unexpected reply {other:?}"))),
         }
     }
-    send_msg(chan, &ProvisionRequest::Finalize { upload_id, digest: upload.manifest.digest })?;
+    // A dedup admission challenges us to prove we actually hold the
+    // content; answer over our own plaintext.
+    let pop = match challenge {
+        Some(c) => Some(prove_possession(upload, &c)?),
+        None => None,
+    };
+    send_msg(
+        chan,
+        &ProvisionRequest::Finalize { upload_id, digest: upload.manifest.digest, pop },
+    )?;
     match recv_msg(chan)? {
         ProvisionReply::Finalized { fingerprint, dedup } => {
             Ok(UploadOutcome { fingerprint, dedup, resumed_from: resume_from, bytes_sent })
         }
+        ProvisionReply::Rejected { error } => Err(RegistryError::Channel(error)),
+        other => Err(RegistryError::Channel(format!("unexpected reply {other:?}"))),
+    }
+}
+
+/// Answers a dedup proof-of-possession challenge from the tenant's own
+/// prepared upload: the sealed chunks are opened back to plaintext (the
+/// tenant holds the chunk key) and hashed under the challenge.
+///
+/// # Errors
+///
+/// The chunk-layer errors of [`open_chunk`](crate::framing::open_chunk)
+/// if the prepared chunks were mutated since sealing.
+pub fn prove_possession(upload: &PreparedUpload, challenge: &[u8; 32]) -> Result<[u8; 32]> {
+    let cipher = upload.manifest.cipher();
+    let mut plain = Vec::with_capacity(upload.manifest.total_len as usize);
+    for (i, sealed) in upload.chunks.iter().enumerate() {
+        plain.extend(crate::framing::open_chunk(&cipher, &upload.manifest, i as u64, sealed)?);
+    }
+    Ok(crate::registry::pop_response(challenge, &plain))
+}
+
+/// Drops a pending upload the tenant will not finish.
+///
+/// # Errors
+///
+/// [`RegistryError::Channel`] on transport failure or a rejected abort
+/// (unknown upload id).
+pub fn abort_upload<T: FrameTransport>(
+    chan: &mut SecureChannel<T>,
+    upload_id: u64,
+) -> Result<()> {
+    send_msg(chan, &ProvisionRequest::Abort { upload_id })?;
+    match recv_msg(chan)? {
+        ProvisionReply::Aborted { .. } => Ok(()),
         ProvisionReply::Rejected { error } => Err(RegistryError::Channel(error)),
         other => Err(RegistryError::Channel(format!("unexpected reply {other:?}"))),
     }
@@ -293,6 +368,47 @@ mod tests {
         assert_eq!(outcome.resumed_from, 0);
         let back = registry.lock().unwrap().checkout_named("zoo/mnasnet").unwrap();
         assert_eq!(back.kind, model.kind);
+    }
+
+    #[test]
+    fn abort_frees_the_pending_slot_over_the_lane() {
+        let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 4).unwrap();
+        let registry = Arc::new(Mutex::new(Registry::new([2u8; 32], RegistryConfig::default())));
+        let (mut tenant, mut server) = channel_pair();
+        let reg = Arc::clone(&registry);
+        let srv = std::thread::spawn(move || serve_provisioning(&reg, &mut server));
+        let prepared = prepare_upload(&model, "zoo/aborted", 1024).unwrap();
+        send_msg(&mut tenant, &ProvisionRequest::Begin(prepared.manifest.clone())).unwrap();
+        let upload_id = match recv_msg(&mut tenant).unwrap() {
+            ProvisionReply::Begun { upload_id, .. } => upload_id,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert_eq!(registry.lock().unwrap().pending(), 1);
+        abort_upload(&mut tenant, upload_id).unwrap();
+        assert_eq!(registry.lock().unwrap().pending(), 0);
+        // Aborting again names the unknown upload.
+        let err = abort_upload(&mut tenant, upload_id).unwrap_err();
+        assert!(err.to_string().contains("no pending upload"), "got: {err}");
+        end_session(&mut tenant).unwrap();
+        srv.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn dedup_over_the_lane_answers_the_possession_challenge() {
+        let model = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 4).unwrap();
+        let registry = Arc::new(Mutex::new(Registry::new([2u8; 32], RegistryConfig::default())));
+        let (mut tenant, mut server) = channel_pair();
+        let reg = Arc::clone(&registry);
+        let srv = std::thread::spawn(move || serve_provisioning(&reg, &mut server));
+        upload_model(&mut tenant, &model, "tenant-a/model").unwrap();
+        // Second tenant, same content: drive_upload answers the dedup
+        // challenge from its own plaintext.
+        let outcome = upload_model(&mut tenant, &model, "tenant-b/model").unwrap();
+        assert!(outcome.dedup);
+        end_session(&mut tenant).unwrap();
+        srv.join().unwrap().unwrap();
+        assert_eq!(registry.lock().unwrap().stored(), 1);
+        assert!(registry.lock().unwrap().checkout_named("tenant-b/model").is_ok());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!             begin(manifest)            push(id, i, chunk)×N
 //!   idle ───────────────────▶ pending ──────────────────────▶ complete
 //!    ▲                          │  ▲                             │
-//!    │          disconnect      │  │ begin(same fp+digest)       │ finalize(id, digest)
+//!    │          disconnect      │  │ begin(same fp+digest)       │ finalize(id, digest[, pop])
 //!    │          (torn upload)   ▼  │ → resume_from=verified      ▼
 //!    │                        torn ┘                      verify digest,
 //!    │                                                    decode, verify
@@ -23,9 +23,19 @@
 //!   manifest that lies about its fingerprint is rejected, so no variant
 //!   ever runs a model whose content address it didn't verify;
 //! * a torn upload keeps its verified prefix; a new `begin` with the same
-//!   `(fingerprint, digest)` resumes from the last verified chunk.
+//!   `(fingerprint, digest)` *and the same chunk cipher* resumes from the
+//!   last verified chunk — a different upload key replaces the pending
+//!   state and restarts from chunk 0, so a stale or hostile `begin` can
+//!   never wedge a content address;
+//! * pending slots are reclaimable: `abort` drops an upload explicitly,
+//!   and when the table is full an upload idle past
+//!   [`RegistryConfig::pending_idle_ttl`] is evicted to admit new work;
+//! * a dedup admission must prove possession of the content bytes at
+//!   `finalize` ([`pop_response`] over a registry-issued challenge)
+//!   before its alias is bound.
 
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 use mvtee_crypto::gcm::AesGcm;
 use mvtee_crypto::sha256::sha256;
@@ -37,6 +47,11 @@ use crate::error::{RegistryError, Result};
 use crate::framing::{open_chunk, UploadManifest};
 use crate::store::{BundleMeta, PutOutcome, SealedStore};
 
+/// Upper bound on the plaintext reserved up-front for one upload. The
+/// manifest's `total_len` is tenant-controlled, so the buffer grows with
+/// verified chunks instead of trusting the declaration.
+const INITIAL_BUF_RESERVATION: u64 = 1 << 20;
+
 /// Capacity knobs for a registry instance.
 #[derive(Debug, Clone, Copy)]
 pub struct RegistryConfig {
@@ -44,11 +59,23 @@ pub struct RegistryConfig {
     pub max_bundles: usize,
     /// Concurrent pending (in-flight or torn) uploads admitted.
     pub max_pending: usize,
+    /// Largest plaintext model accepted; `begin` rejects manifests
+    /// declaring more with [`RegistryError::TooLarge`].
+    pub max_model_bytes: u64,
+    /// A pending upload idle at least this long may be evicted to admit
+    /// a new one when the pending table is full, so torn uploads whose
+    /// tenants never return cannot saturate the registry forever.
+    pub pending_idle_ttl: Duration,
 }
 
 impl Default for RegistryConfig {
     fn default() -> Self {
-        RegistryConfig { max_bundles: 8, max_pending: 4 }
+        RegistryConfig {
+            max_bundles: 8,
+            max_pending: 4,
+            max_model_bytes: 256 << 20,
+            pending_idle_ttl: Duration::from_secs(300),
+        }
     }
 }
 
@@ -64,6 +91,10 @@ struct UploadState {
     /// Set when `begin` matched an already-stored bundle: no chunks are
     /// expected and `finalize` dedups against the stored digest.
     dedup: bool,
+    /// Proof-of-possession challenge issued with a dedup admission.
+    challenge: Option<[u8; 32]>,
+    /// Last admission or verified chunk — the idle clock for eviction.
+    last_activity: Instant,
 }
 
 /// Reply to a successful `begin`.
@@ -74,6 +105,10 @@ pub struct Admission {
     /// First chunk index the registry expects (> 0 when resuming a torn
     /// upload; == chunk count when the content is already stored).
     pub resume_from: u64,
+    /// Present on dedup admissions: `finalize` must answer with
+    /// [`pop_response`]`(challenge, plaintext)` to prove the tenant
+    /// actually holds the content it wants to alias.
+    pub challenge: Option<[u8; 32]>,
 }
 
 /// Reply to a successful `finalize`.
@@ -95,57 +130,137 @@ pub struct Registry {
     aliases: BTreeMap<String, u64>,
     next_upload: u64,
     config: RegistryConfig,
+    /// Secret the dedup proof-of-possession challenges are derived from.
+    pop_secret: [u8; 32],
+}
+
+/// The answer a tenant must give a dedup proof-of-possession challenge:
+/// SHA-256 over the challenge followed by the full plaintext blob. Only
+/// a tenant that actually holds the content bytes can compute it.
+pub fn pop_response(challenge: &[u8; 32], blob: &[u8]) -> [u8; 32] {
+    let mut buf = Vec::with_capacity(32 + blob.len());
+    buf.extend_from_slice(challenge);
+    buf.extend_from_slice(blob);
+    sha256(&buf)
 }
 
 impl Registry {
     /// Creates a registry sealing bundles under `kdk`.
     pub fn new(kdk: [u8; 32], config: RegistryConfig) -> Self {
+        let mut secret = Vec::with_capacity(64);
+        secret.extend_from_slice(b"mvtee.registry.pop");
+        secret.extend_from_slice(&kdk);
         Registry {
             store: SealedStore::new(kdk, config.max_bundles),
             pending: BTreeMap::new(),
             aliases: BTreeMap::new(),
             next_upload: 1,
             config,
+            pop_secret: sha256(&secret),
         }
+    }
+
+    /// Derives the challenge for a dedup admission — unpredictable to
+    /// tenants (keyed by the registry's sealed secret), deterministic
+    /// for a given registry instance and upload.
+    fn pop_challenge(&self, upload_id: u64, manifest: &UploadManifest) -> [u8; 32] {
+        let mut buf = Vec::with_capacity(32 + 8 + 8 + 32);
+        buf.extend_from_slice(&self.pop_secret);
+        buf.extend_from_slice(&upload_id.to_le_bytes());
+        buf.extend_from_slice(&manifest.fingerprint.to_le_bytes());
+        buf.extend_from_slice(&manifest.digest);
+        sha256(&buf)
     }
 
     /// Admits an upload. Three outcomes:
     ///
     /// * fresh content → new upload, `resume_from == 0`;
-    /// * same `(fingerprint, digest)` as a torn upload → same upload id,
-    ///   `resume_from == chunks already verified`;
+    /// * same `(fingerprint, digest)` as a torn upload → same upload id;
+    ///   `resume_from == chunks already verified` when the new manifest
+    ///   carries the same chunk cipher (key, nonce seed, geometry), else
+    ///   the pending state is replaced and the upload restarts at 0 — a
+    ///   reconnecting tenant with a fresh upload key can always make
+    ///   progress, and a third party cannot wedge a content address by
+    ///   pre-beginning it with a key it then abandons;
     /// * same `(fingerprint, digest)` as a stored bundle → `resume_from ==
-    ///   chunk count` (client skips straight to `finalize`, which dedups).
+    ///   chunk count` plus a proof-of-possession challenge (client skips
+    ///   straight to `finalize`, which dedups only on a correct answer).
     ///
     /// # Errors
     ///
     /// [`RegistryError::BadManifest`] on inconsistent geometry,
-    /// [`RegistryError::Saturated`] at the pending-upload cap.
+    /// [`RegistryError::TooLarge`] past the configured model-size cap,
+    /// [`RegistryError::Saturated`] at the pending-upload cap (after
+    /// trying to evict an idle torn upload).
     pub fn begin(&mut self, manifest: UploadManifest) -> Result<Admission> {
         manifest.validate()?;
+        if manifest.total_len > self.config.max_model_bytes {
+            return Err(RegistryError::TooLarge {
+                len: manifest.total_len,
+                limit: self.config.max_model_bytes,
+            });
+        }
         // Resume path: a torn upload with identical content identity.
         if let Some((&id, state)) = self
             .pending
-            .iter()
+            .iter_mut()
             .find(|(_, s)| s.manifest.fingerprint == manifest.fingerprint && s.manifest.digest == manifest.digest && !s.dedup)
         {
-            let resume_from = state.verified;
-            mvtee_telemetry::counter("registry.upload.resumes").inc();
-            return Ok(Admission { upload_id: id, resume_from });
+            let same_cipher = state.manifest.upload_key == manifest.upload_key
+                && state.manifest.nonce_seed == manifest.nonce_seed
+                && state.manifest.chunk_len == manifest.chunk_len
+                && state.manifest.total_len == manifest.total_len;
+            state.last_activity = Instant::now();
+            if same_cipher {
+                state.manifest = manifest;
+                let resume_from = state.verified;
+                mvtee_telemetry::counter("registry.upload.resumes").inc();
+                return Ok(Admission { upload_id: id, resume_from, challenge: None });
+            }
+            // New chunk cipher: the verified prefix was sealed under the
+            // old key and cannot be extended — restart from chunk 0 with
+            // the new manifest instead of wedging the address.
+            state.cipher = manifest.cipher();
+            state.manifest = manifest;
+            state.verified = 0;
+            state.buf.clear();
+            mvtee_telemetry::counter("registry.upload.restarts").inc();
+            return Ok(Admission { upload_id: id, resume_from: 0, challenge: None });
         }
         // Dedup path: content already stored under this address.
         if let Some(meta) = self.store.meta(manifest.fingerprint) {
             if meta.digest == manifest.digest {
-                let id = self.admit(manifest.clone(), true)?;
-                return Ok(Admission { upload_id: id, resume_from: manifest.chunk_count() });
+                let challenge = self.pop_challenge(self.next_upload, &manifest);
+                let resume_from = manifest.chunk_count();
+                let id = self.admit(manifest, Some(challenge))?;
+                return Ok(Admission { upload_id: id, resume_from, challenge: Some(challenge) });
             }
             return Err(RegistryError::ContentCollision { fingerprint: manifest.fingerprint });
         }
-        let id = self.admit(manifest, false)?;
-        Ok(Admission { upload_id: id, resume_from: 0 })
+        let id = self.admit(manifest, None)?;
+        Ok(Admission { upload_id: id, resume_from: 0, challenge: None })
     }
 
-    fn admit(&mut self, manifest: UploadManifest, dedup: bool) -> Result<u64> {
+    /// Evicts the longest-idle pending upload that has been inactive at
+    /// least `pending_idle_ttl`, freeing a slot for a new admission.
+    fn evict_stale_pending(&mut self) {
+        let ttl = self.config.pending_idle_ttl;
+        let victim = self
+            .pending
+            .iter()
+            .filter(|(_, s)| s.last_activity.elapsed() >= ttl)
+            .min_by_key(|(_, s)| s.last_activity)
+            .map(|(&id, _)| id);
+        if let Some(id) = victim {
+            self.pending.remove(&id);
+            mvtee_telemetry::counter("registry.upload.expired").inc();
+        }
+    }
+
+    fn admit(&mut self, manifest: UploadManifest, challenge: Option<[u8; 32]>) -> Result<u64> {
+        if self.pending.len() >= self.config.max_pending {
+            self.evict_stale_pending();
+        }
         if self.pending.len() >= self.config.max_pending {
             mvtee_telemetry::counter("registry.upload.sheds").inc();
             return Err(RegistryError::Saturated);
@@ -153,18 +268,36 @@ impl Registry {
         let id = self.next_upload;
         self.next_upload += 1;
         let cipher = manifest.cipher();
+        let dedup = challenge.is_some();
+        // `total_len` is tenant-controlled: never reserve more than the
+        // bounded initial slice; the buffer grows with verified chunks.
+        let reserve = if dedup { 0 } else { manifest.total_len.min(INITIAL_BUF_RESERVATION) as usize };
         self.pending.insert(
             id,
             UploadState {
-                buf: Vec::with_capacity(if dedup { 0 } else { manifest.total_len as usize }),
+                buf: Vec::with_capacity(reserve),
                 manifest,
                 cipher,
                 verified: 0,
                 dedup,
+                challenge,
+                last_activity: Instant::now(),
             },
         );
         mvtee_telemetry::gauge("registry.upload.pending").set(self.pending.len() as i64);
         Ok(id)
+    }
+
+    /// Drops a pending upload, freeing its slot and buffered plaintext.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownUpload`] when no such upload is pending.
+    pub fn abort(&mut self, upload_id: u64) -> Result<()> {
+        self.pending.remove(&upload_id).ok_or(RegistryError::UnknownUpload { upload_id })?;
+        mvtee_telemetry::counter("registry.upload.aborts").inc();
+        mvtee_telemetry::gauge("registry.upload.pending").set(self.pending.len() as i64);
+        Ok(())
     }
 
     /// Verifies and appends one chunk.
@@ -190,13 +323,18 @@ impl Registry {
         })?;
         state.buf.extend_from_slice(&plain);
         state.verified += 1;
+        state.last_activity = Instant::now();
         mvtee_telemetry::counter("registry.upload.chunks").inc();
         mvtee_telemetry::counter("registry.upload.bytes").add(plain.len() as u64);
         Ok(())
     }
 
     /// Completes an upload: digest, decode and fingerprint checks, then
-    /// re-seal into content-addressed storage.
+    /// re-seal into content-addressed storage. A dedup upload must answer
+    /// its admission challenge with `pop` =
+    /// [`pop_response`]`(challenge, plaintext)` — presenting a known
+    /// `(fingerprint, digest)` alone never grants access to stored
+    /// content.
     ///
     /// # Errors
     ///
@@ -204,8 +342,12 @@ impl Registry {
     /// [`RegistryError::DigestMismatch`] /
     /// [`RegistryError::FingerprintMismatch`] /
     /// [`RegistryError::DecodeFailed`] on content that fails verification
-    /// — in every case nothing is stored and no alias is bound.
-    pub fn finalize(&mut self, upload_id: u64, digest: [u8; 32]) -> Result<Registered> {
+    /// — in every case nothing is stored and no alias is bound. A dedup
+    /// finalize fails [`RegistryError::PossessionProofFailed`] on a wrong
+    /// or missing proof, and [`RegistryError::UnknownModel`] when the
+    /// bundle was evicted between `begin` and `finalize` (re-`begin` to
+    /// upload the content for real) — both end the admission.
+    pub fn finalize(&mut self, upload_id: u64, digest: [u8; 32], pop: Option<[u8; 32]>) -> Result<Registered> {
         let state = self.pending.get(&upload_id).ok_or(RegistryError::UnknownUpload { upload_id })?;
         let manifest = &state.manifest;
         let fingerprint = manifest.fingerprint;
@@ -214,6 +356,22 @@ impl Registry {
         }
         if state.dedup {
             let name = manifest.model_name.clone();
+            let challenge = state.challenge.expect("dedup admission carries a challenge");
+            // The LRU may have evicted the bundle since `begin`: binding
+            // the alias anyway would dangle it. End the admission so the
+            // tenant can re-begin as a fresh upload.
+            if !self.store.contains(fingerprint) {
+                self.pending.remove(&upload_id);
+                mvtee_telemetry::gauge("registry.upload.pending").set(self.pending.len() as i64);
+                return Err(RegistryError::UnknownModel { key: key_hex(fingerprint) });
+            }
+            let blob = self.store.get(fingerprint)?;
+            if pop != Some(pop_response(&challenge, &blob)) {
+                self.pending.remove(&upload_id);
+                mvtee_telemetry::gauge("registry.upload.pending").set(self.pending.len() as i64);
+                mvtee_telemetry::counter("registry.upload.pop_failures").inc();
+                return Err(RegistryError::PossessionProofFailed);
+            }
             self.pending.remove(&upload_id);
             self.aliases.insert(name, fingerprint);
             mvtee_telemetry::gauge("registry.upload.pending").set(self.pending.len() as i64);
@@ -362,7 +520,8 @@ mod tests {
         for (i, chunk) in seal_all(manifest, blob).into_iter().enumerate().skip(adm.resume_from as usize) {
             reg.push(adm.upload_id, i as u64, &chunk).unwrap();
         }
-        reg.finalize(adm.upload_id, manifest.digest).unwrap()
+        let pop = adm.challenge.map(|c| pop_response(&c, blob));
+        reg.finalize(adm.upload_id, manifest.digest, pop).unwrap()
     }
 
     #[test]
@@ -388,10 +547,151 @@ mod tests {
         second.upload_key = [9u8; 32];
         let adm = reg.begin(second.clone()).unwrap();
         assert_eq!(adm.resume_from, second.chunk_count(), "dedup admission skips all chunks");
-        let r = reg.finalize(adm.upload_id, second.digest).unwrap();
+        let challenge = adm.challenge.expect("dedup admission issues a challenge");
+        let r = reg
+            .finalize(adm.upload_id, second.digest, Some(pop_response(&challenge, &blob)))
+            .unwrap();
         assert!(r.dedup);
         assert_eq!(reg.stored(), 1);
         assert!(reg.checkout_named("tenant-b/same-model").is_ok());
+    }
+
+    #[test]
+    fn dedup_without_possession_proof_is_rejected() {
+        let m = model();
+        let (manifest, blob) = manifest_for(&m, 4096);
+        let mut reg = Registry::new([1u8; 32], RegistryConfig::default());
+        upload_all(&mut reg, &manifest, &blob);
+        // A tenant that learned the (fingerprint, digest) pair but never
+        // held the bytes: wrong/missing proof must not bind an alias.
+        let mut freeloader = manifest.clone();
+        freeloader.model_name = "tenant-x/stolen".into();
+        let adm = reg.begin(freeloader.clone()).unwrap();
+        let err = reg.finalize(adm.upload_id, freeloader.digest, None).unwrap_err();
+        assert_eq!(err, RegistryError::PossessionProofFailed);
+        assert!(reg.resolve("tenant-x/stolen").is_err(), "no alias without possession");
+        assert_eq!(reg.pending(), 0, "failed proof ends the admission");
+        let adm = reg.begin(freeloader.clone()).unwrap();
+        let wrong = [0xeeu8; 32];
+        let err = reg.finalize(adm.upload_id, freeloader.digest, Some(wrong)).unwrap_err();
+        assert_eq!(err, RegistryError::PossessionProofFailed);
+    }
+
+    #[test]
+    fn dedup_finalize_after_eviction_is_not_a_dangling_alias() {
+        let m1 = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 4).unwrap();
+        let m2 = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 4).unwrap();
+        let mut reg = Registry::new([1u8; 32], RegistryConfig { max_bundles: 1, ..RegistryConfig::default() });
+        let (manifest, blob) = manifest_for(&m1, 4096);
+        upload_all(&mut reg, &manifest, &blob);
+        // Dedup-admit m1, then let m2's upload evict its bundle before
+        // the dedup finalize lands.
+        let mut dup = manifest.clone();
+        dup.model_name = "tenant-b/dup".into();
+        let adm = reg.begin(dup.clone()).unwrap();
+        let challenge = adm.challenge.unwrap();
+        let (bytes2, fp2, digest2) = encode_model(&m2).unwrap();
+        let man2 = UploadManifest {
+            model_name: "tenant-c/other".into(),
+            fingerprint: fp2,
+            digest: digest2,
+            total_len: bytes2.len() as u64,
+            chunk_len: 8192,
+            upload_key: [5u8; 32],
+            nonce_seed: 9,
+        };
+        upload_all(&mut reg, &man2, &bytes2);
+        assert!(!reg.contains(manifest.fingerprint), "m1 must have been evicted");
+        let err = reg
+            .finalize(adm.upload_id, dup.digest, Some(pop_response(&challenge, &blob)))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::UnknownModel { .. }), "got {err:?}");
+        assert!(reg.resolve("tenant-b/dup").is_err(), "no alias to an evicted bundle");
+    }
+
+    #[test]
+    fn oversize_manifest_is_rejected_before_any_allocation() {
+        let mut reg = Registry::new([1u8; 32], RegistryConfig::default());
+        let manifest = UploadManifest {
+            model_name: "giant".into(),
+            fingerprint: 1,
+            digest: [0u8; 32],
+            total_len: u64::MAX - 7,
+            chunk_len: 1 << 20,
+            upload_key: [1u8; 32],
+            nonce_seed: 1,
+        };
+        let err = reg.begin(manifest).unwrap_err();
+        assert!(
+            matches!(err, RegistryError::TooLarge { len, .. } if len == u64::MAX - 7),
+            "got {err:?}"
+        );
+        assert_eq!(reg.pending(), 0);
+    }
+
+    #[test]
+    fn resume_with_a_fresh_upload_key_restarts_instead_of_wedging() {
+        let m = model();
+        let (manifest, blob) = manifest_for(&m, 1024);
+        let chunks = seal_all(&manifest, &blob);
+        let mut reg = Registry::new([1u8; 32], RegistryConfig::default());
+        // A stale (or hostile) begin claims the content address with a
+        // key whose chunks will never arrive.
+        let mut stale = manifest.clone();
+        stale.upload_key = [0xbd; 32];
+        let first = reg.begin(stale).unwrap();
+        // The honest tenant begins with its own fresh key: same address,
+        // different cipher — must restart from 0 under the new manifest,
+        // not resume a prefix sealed under the abandoned key.
+        let adm = reg.begin(manifest.clone()).unwrap();
+        assert_eq!(adm.upload_id, first.upload_id, "the pending slot is reused");
+        assert_eq!(adm.resume_from, 0, "a new cipher cannot extend the old prefix");
+        for (i, c) in chunks.iter().enumerate() {
+            reg.push(adm.upload_id, i as u64, c).unwrap();
+        }
+        reg.finalize(adm.upload_id, manifest.digest, None).unwrap();
+        assert!(reg.checkout_named("tenant-a/mnasnet").is_ok());
+    }
+
+    #[test]
+    fn abort_frees_the_pending_slot() {
+        let m = model();
+        let (manifest, _blob) = manifest_for(&m, 1024);
+        let mut reg = Registry::new([1u8; 32], RegistryConfig { max_pending: 1, ..RegistryConfig::default() });
+        let adm = reg.begin(manifest.clone()).unwrap();
+        assert!(reg.saturated());
+        reg.abort(adm.upload_id).unwrap();
+        assert_eq!(reg.pending(), 0);
+        assert!(!reg.saturated());
+        assert_eq!(
+            reg.abort(adm.upload_id).unwrap_err(),
+            RegistryError::UnknownUpload { upload_id: adm.upload_id }
+        );
+        // The slot is usable again.
+        reg.begin(manifest).unwrap();
+    }
+
+    #[test]
+    fn idle_torn_uploads_are_evicted_when_the_table_is_full() {
+        let m = model();
+        let (manifest, _blob) = manifest_for(&m, 1024);
+        let mut reg = Registry::new(
+            [1u8; 32],
+            RegistryConfig {
+                max_pending: 1,
+                pending_idle_ttl: Duration::ZERO,
+                ..RegistryConfig::default()
+            },
+        );
+        reg.begin(manifest.clone()).unwrap();
+        assert!(reg.saturated());
+        // A different upload arrives at the full table: the idle torn
+        // upload is evicted instead of shedding forever.
+        let mut other = manifest.clone();
+        other.fingerprint ^= 1;
+        other.digest[0] ^= 1;
+        reg.begin(other).unwrap();
+        assert_eq!(reg.pending(), 1, "the stale upload made room");
     }
 
     #[test]
@@ -413,7 +713,7 @@ mod tests {
         for i in torn_after..chunks.len() as u64 {
             reg.push(resumed.upload_id, i, &chunks[i as usize]).unwrap();
         }
-        reg.finalize(resumed.upload_id, manifest.digest).unwrap();
+        reg.finalize(resumed.upload_id, manifest.digest, None).unwrap();
         assert!(reg.checkout_named("tenant-a/mnasnet").is_ok());
     }
 
@@ -425,7 +725,7 @@ mod tests {
         let mut reg = Registry::new([1u8; 32], RegistryConfig::default());
         let adm = reg.begin(manifest.clone()).unwrap();
         reg.push(adm.upload_id, 0, &chunks[0]).unwrap();
-        let err = reg.finalize(adm.upload_id, manifest.digest).unwrap_err();
+        let err = reg.finalize(adm.upload_id, manifest.digest, None).unwrap_err();
         assert_eq!(err, RegistryError::Incomplete { verified: 1, total: chunks.len() as u64 });
     }
 
@@ -441,7 +741,7 @@ mod tests {
         for (i, c) in chunks.iter().enumerate() {
             reg.push(adm.upload_id, i as u64, c).unwrap();
         }
-        let err = reg.finalize(adm.upload_id, manifest.digest).unwrap_err();
+        let err = reg.finalize(adm.upload_id, manifest.digest, None).unwrap_err();
         assert_eq!(
             err,
             RegistryError::FingerprintMismatch { declared: manifest.fingerprint, actual: honest_fp }
@@ -471,7 +771,7 @@ mod tests {
     fn saturation_sheds_new_uploads() {
         let m = model();
         let (manifest, _blob) = manifest_for(&m, 1024);
-        let mut reg = Registry::new([1u8; 32], RegistryConfig { max_bundles: 8, max_pending: 1 });
+        let mut reg = Registry::new([1u8; 32], RegistryConfig { max_bundles: 8, max_pending: 1, ..RegistryConfig::default() });
         reg.begin(manifest.clone()).unwrap();
         let mut other = manifest.clone();
         other.fingerprint ^= 1;
@@ -482,7 +782,7 @@ mod tests {
 
     #[test]
     fn eviction_reports_fingerprints_for_engine_drop() {
-        let mut reg = Registry::new([1u8; 32], RegistryConfig { max_bundles: 1, max_pending: 4 });
+        let mut reg = Registry::new([1u8; 32], RegistryConfig { max_bundles: 1, max_pending: 4, ..RegistryConfig::default() });
         let m1 = zoo::build(ModelKind::MnasNet, ScaleProfile::Test, 4).unwrap();
         let m2 = zoo::build(ModelKind::ResNet50, ScaleProfile::Test, 4).unwrap();
         let (man1, blob1) = {

@@ -47,7 +47,7 @@ fn chunk_lens() -> impl Strategy<Value = u32> {
 }
 
 fn fresh_registry() -> Registry {
-    Registry::new([11u8; 32], RegistryConfig { max_bundles: 8, max_pending: 8 })
+    Registry::new([11u8; 32], RegistryConfig { max_bundles: 8, max_pending: 8, ..RegistryConfig::default() })
 }
 
 proptest! {
@@ -106,7 +106,7 @@ proptest! {
         // The stream never completed, so finalize is a precise torn error
         // and nothing reaches the store.
         let torn = matches!(
-            reg.finalize(adm.upload_id, m.digest),
+            reg.finalize(adm.upload_id, m.digest, None),
             Err(RegistryError::Incomplete { .. })
         );
         prop_assert!(torn);
@@ -169,7 +169,7 @@ proptest! {
             "torn final chunk got {err:?}"
         );
         let torn = matches!(
-            reg.finalize(adm.upload_id, m.digest),
+            reg.finalize(adm.upload_id, m.digest, None),
             Err(RegistryError::Incomplete { .. })
         );
         prop_assert!(torn);
@@ -179,7 +179,7 @@ proptest! {
         prop_assert_eq!(resumed.upload_id, adm.upload_id);
         prop_assert_eq!(resumed.resume_from, last as u64);
         reg.push(resumed.upload_id, last as u64, &chunks[last]).unwrap();
-        reg.finalize(resumed.upload_id, m.digest).unwrap();
+        reg.finalize(resumed.upload_id, m.digest, None).unwrap();
         let back = reg.checkout_named("props/mnasnet").unwrap();
         prop_assert_eq!(back.kind, model.kind);
         prop_assert_eq!(mvtee_registry::key_for(&back), m.fingerprint);
@@ -270,7 +270,7 @@ fn every_provision_fault_class_is_detected_or_resumed() {
                 for i in stop..count {
                     reg.push(resumed.upload_id, i, &chunks[i as usize]).unwrap();
                 }
-                reg.finalize(resumed.upload_id, m.digest).unwrap();
+                reg.finalize(resumed.upload_id, m.digest, None).unwrap();
                 assert_eq!(reg.stored(), 1);
                 continue;
             }
@@ -283,7 +283,7 @@ fn every_provision_fault_class_is_detected_or_resumed() {
                 }
                 assert!(
                     matches!(
-                        reg.finalize(adm.upload_id, m.digest).unwrap_err(),
+                        reg.finalize(adm.upload_id, m.digest, None).unwrap_err(),
                         RegistryError::FingerprintMismatch { .. }
                     ),
                     "seed {seed} fault {fault}"

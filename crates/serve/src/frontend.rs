@@ -132,8 +132,10 @@ impl ServeFrontend {
 
     /// Starts a frontend that cold-starts unknown model keys through
     /// `provider` (typically backed by the encrypted model registry).
-    /// The first request for an unknown key triggers the build on the
-    /// dispatcher thread; while the provider is saturated, unknown-key
+    /// The first request for an unknown key triggers a build on a
+    /// dedicated worker thread — requests for the key park until the
+    /// build lands, and other models' batching and dispatch continue
+    /// unstalled; while the provider is saturated, unknown-key
     /// submissions shed with [`ShedReason::ColdStart`].
     pub fn start_with_cold_start(
         pools: Vec<ReplicaPool>,
@@ -251,6 +253,11 @@ impl ServeFrontend {
     }
 }
 
+/// How often the dispatcher re-checks the build channel while cold
+/// starts are in flight — short, so a finished build releases its parked
+/// requests promptly instead of waiting out a full [`IDLE_WAIT`].
+const BUILD_WAIT: Duration = Duration::from_millis(1);
+
 fn dispatch_loop(
     queue: &AdmissionQueue,
     pools: &RwLock<BTreeMap<String, ReplicaPool>>,
@@ -260,15 +267,27 @@ fn dispatch_loop(
     let batches_total = mvtee_telemetry::counter("serve.batches_total");
     let batch_size = mvtee_telemetry::histogram("serve.batch_size");
     let expired = mvtee_telemetry::counter("serve.expired_total");
+    // Cold starts run on their own worker threads so an expensive
+    // unseal+build for one model never stalls batching and dispatch for
+    // every other model's queued requests. Requests that triggered (or
+    // arrived during) a build are parked under their key and released
+    // when the build lands on `built_rx`.
+    let (built_tx, built_rx) =
+        crossbeam::channel::unbounded::<(String, Result<ReplicaPool, String>)>();
+    let mut parked: BTreeMap<String, Vec<InferRequest>> = BTreeMap::new();
     loop {
         let now = Instant::now();
         let wait = batcher
             .next_flush_at()
             .map(|at| at.saturating_duration_since(now))
             .unwrap_or(IDLE_WAIT)
-            .min(IDLE_WAIT);
+            .min(if parked.is_empty() { IDLE_WAIT } else { BUILD_WAIT });
         let drained = queue.drain(wait);
         let now = Instant::now();
+        // Install finished cold starts and release their parked requests.
+        while let Ok((key, outcome)) = built_rx.try_recv() {
+            settle_cold_start(pools, &mut batcher, &mut parked, key, outcome, now);
+        }
         for req in drained.requests {
             let known = pools
                 .read()
@@ -278,11 +297,17 @@ fn dispatch_loop(
                 batcher.push(req, now);
                 continue;
             }
-            match provider.as_deref() {
-                Some(provider) => match cold_start(pools, provider, &req.model_key) {
-                    Ok(()) => batcher.push(req, now),
-                    Err(detail) => req.resolve(None, RequestOutcome::Failed(detail)),
-                },
+            if let Some(waiting) = parked.get_mut(&req.model_key) {
+                // A build for this key is already in flight.
+                waiting.push(req);
+                continue;
+            }
+            match provider.clone() {
+                Some(provider) => {
+                    let key = req.model_key.clone();
+                    parked.insert(key.clone(), vec![req]);
+                    spawn_cold_start(provider, key, built_tx.clone());
+                }
                 None => {
                     let detail = format!("unknown model key {:?}", req.model_key);
                     req.resolve(None, RequestOutcome::Failed(detail));
@@ -293,6 +318,21 @@ fn dispatch_loop(
             dispatch(pools, batch, &batches_total, &batch_size, &expired);
         }
         if drained.finished {
+            // Intake is closed but builds may still be in flight; every
+            // admitted request must resolve, so wait them out.
+            while !parked.is_empty() {
+                match built_rx.recv() {
+                    Ok((key, outcome)) => settle_cold_start(
+                        pools,
+                        &mut batcher,
+                        &mut parked,
+                        key,
+                        outcome,
+                        Instant::now(),
+                    ),
+                    Err(_) => break,
+                }
+            }
             for batch in batcher.flush_all() {
                 dispatch(pools, batch, &batches_total, &batch_size, &expired);
             }
@@ -301,30 +341,62 @@ fn dispatch_loop(
     }
 }
 
-/// Builds and installs a pool for `model_key` through the cold-start
-/// provider. Runs on the dispatcher thread — the single writer of the
-/// pool map — so the read-check/insert pair cannot race.
-fn cold_start(
+/// Runs one cold-start build on its own worker thread and reports the
+/// outcome back to the dispatcher over `done`.
+fn spawn_cold_start(
+    provider: Arc<dyn ColdStartProvider>,
+    model_key: String,
+    done: crossbeam::channel::Sender<(String, Result<ReplicaPool, String>)>,
+) {
+    std::thread::Builder::new()
+        .name("serve-coldstart".to_string())
+        .spawn(move || {
+            mvtee_telemetry::counter("serve.coldstart.requests").inc();
+            let timer = mvtee_telemetry::histogram("serve.coldstart.build_ns").start();
+            let outcome = provider.cold_start(&model_key);
+            match &outcome {
+                Ok(_) => {
+                    timer.finish();
+                    mvtee_telemetry::counter("serve.coldstart.built").inc();
+                }
+                Err(_) => {
+                    timer.cancel();
+                    mvtee_telemetry::counter("serve.coldstart.failed").inc();
+                }
+            }
+            // The dispatcher may already be gone at shutdown; the pool
+            // (if any) is dropped with the unsent message.
+            let _ = done.send((model_key, outcome));
+        })
+        .expect("spawn serve cold-start worker");
+}
+
+/// Installs a finished cold start (the dispatcher thread is the single
+/// writer of the pool map) and releases or fails its parked requests.
+fn settle_cold_start(
     pools: &RwLock<BTreeMap<String, ReplicaPool>>,
-    provider: &dyn ColdStartProvider,
-    model_key: &str,
-) -> Result<(), String> {
-    mvtee_telemetry::counter("serve.coldstart.requests").inc();
-    let timer = mvtee_telemetry::histogram("serve.coldstart.build_ns").start();
-    match provider.cold_start(model_key) {
+    batcher: &mut MicroBatcher,
+    parked: &mut BTreeMap<String, Vec<InferRequest>>,
+    key: String,
+    outcome: Result<ReplicaPool, String>,
+    now: Instant,
+) {
+    let waiting = parked.remove(&key).unwrap_or_default();
+    match outcome {
         Ok(pool) => {
-            timer.finish();
-            mvtee_telemetry::counter("serve.coldstart.built").inc();
             pools
                 .write()
                 .expect("pool map poisoned")
-                .insert(model_key.to_string(), pool);
-            Ok(())
+                .insert(key, pool);
+            for req in waiting {
+                batcher.push(req, now);
+            }
         }
         Err(detail) => {
-            timer.cancel();
-            mvtee_telemetry::counter("serve.coldstart.failed").inc();
-            Err(format!("cold start failed for {model_key:?}: {detail}"))
+            let detail = format!("cold start failed for {key:?}: {detail}");
+            for req in waiting {
+                req.resolve(None, RequestOutcome::Failed(detail.clone()));
+            }
         }
     }
 }

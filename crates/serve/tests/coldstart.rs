@@ -133,6 +133,49 @@ fn failed_cold_start_fails_the_request_with_the_reason() {
     frontend.shutdown();
 }
 
+/// A provider whose builds block until the test releases them.
+struct GatedProvider {
+    release: crossbeam::channel::Receiver<()>,
+}
+
+impl ColdStartProvider for GatedProvider {
+    fn cold_start(&self, model_key: &str) -> Result<ReplicaPool, String> {
+        self.release.recv().map_err(|_| "gate dropped".to_string())?;
+        Ok(pool_for(model_key))
+    }
+
+    fn saturated(&self) -> bool {
+        false
+    }
+}
+
+#[test]
+fn blocked_cold_start_does_not_stall_other_models() {
+    let (gate, release) = crossbeam::channel::unbounded();
+    let frontend = ServeFrontend::start_with_cold_start(
+        vec![pool_for("warm/model")],
+        ServeConfig::default(),
+        Arc::new(GatedProvider { release }),
+    );
+    let handle = frontend.handle();
+
+    // This build blocks on the gate; the request parks behind it.
+    let cold_ticket = handle.submit("t", "cold/model", input()).expect("admitted");
+    // While the build is stuck, the warm model must keep serving.
+    let warm = handle
+        .submit("t", "warm/model", input())
+        .expect("admitted")
+        .wait_timeout(std::time::Duration::from_secs(10))
+        .expect("warm model must serve while a cold start is in flight");
+    assert!(matches!(warm.outcome, RequestOutcome::Ok(_)), "got {:?}", warm.outcome);
+
+    // Release the build: the parked request resolves.
+    gate.send(()).unwrap();
+    let cold = cold_ticket.wait().unwrap();
+    assert!(matches!(cold.outcome, RequestOutcome::Ok(_)), "got {:?}", cold.outcome);
+    frontend.shutdown();
+}
+
 #[test]
 fn without_a_provider_unknown_keys_still_fail_fast() {
     let frontend = ServeFrontend::start(vec![pool_for("only/model")], ServeConfig::default());

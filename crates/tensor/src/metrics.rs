@@ -251,8 +251,11 @@ mod tests {
     fn exact_metric_rejects_any_difference() {
         let a = t(&[1.0, 2.0]);
         assert!(Metric::exact().check(&a, &a));
-        // A perturbation far below the strict atol must still register.
-        let b = t(&[1.0, 2.0 + 1e-7]);
+        // A one-ulp perturbation — far below the strict atol, and the
+        // smallest representable difference at 2.0 — must still register.
+        // (An additive literal like `2.0 + 1e-7` is below half an ulp and
+        // rounds back to exactly 2.0, making the check vacuous.)
+        let b = t(&[1.0, f32::from_bits(2.0f32.to_bits() + 1)]);
         assert!(Metric::strict().check(&a, &b));
         assert!(!Metric::exact().check(&a, &b));
     }
